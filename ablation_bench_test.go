@@ -1,0 +1,135 @@
+package jsrevealer_test
+
+import (
+	"testing"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/ml/metrics"
+	"jsrevealer/internal/obfuscate"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// enhanced AST vs the regular AST, attention weights vs uniform weights,
+// and the individual transformations inside JavaScript-Obfuscator. Each
+// benchmark reports the resulting F1 as a custom metric so `go test
+// -bench=Ablation` prints the quality impact alongside the cost.
+
+// ablationSplit builds one deterministic train/test partition.
+func ablationSplit() ([]core.Sample, []corpus.Sample) {
+	samples := corpus.Generate(corpus.Config{Benign: 80, Malicious: 80, Seed: 42})
+	var train []core.Sample
+	var test []corpus.Sample
+	for i, s := range samples {
+		if i%4 == 3 {
+			test = append(test, s)
+		} else {
+			train = append(train, core.Sample{Source: s.Source, Malicious: s.Malicious})
+		}
+	}
+	return train, test
+}
+
+// ablationOptions shrinks the pipeline to benchmark scale.
+func ablationOptions() core.Options {
+	opts := core.DefaultOptions()
+	opts.Embedding.Epochs = 5
+	opts.Path.MaxPaths = 600
+	opts.MaxPoolPerClass = 1200
+	return opts
+}
+
+// evalF1 trains with the options and returns F1 on the (optionally
+// obfuscated) test set.
+func evalF1(b *testing.B, opts core.Options, ob obfuscate.Obfuscator) float64 {
+	b.Helper()
+	train, test := ablationSplit()
+	det, err := core.Train(train, nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var c metrics.Confusion
+	for _, s := range test {
+		src := s.Source
+		if ob != nil {
+			if out, err := ob.Obfuscate(src); err == nil {
+				src = out
+			}
+		}
+		pred, err := det.Detect(src)
+		if err != nil {
+			pred = false
+		}
+		c.Add(s.Malicious, pred)
+	}
+	return metrics.ReportOf(c).F1
+}
+
+// BenchmarkAblationEnhancedAST measures the enhanced AST (the paper's
+// configuration) under Jshaman obfuscation.
+func BenchmarkAblationEnhancedAST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f1 := evalF1(b, ablationOptions(), &obfuscate.Jshaman{Seed: 9})
+		b.ReportMetric(f1, "F1%")
+	}
+}
+
+// BenchmarkAblationRegularAST measures the regular-AST ablation (Table IV's
+// second block) under the same obfuscation.
+func BenchmarkAblationRegularAST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := core.RegularASTOptions()
+		opts.Embedding.Epochs = 5
+		opts.Path.MaxPaths = 600
+		opts.MaxPoolPerClass = 1200
+		f1 := evalF1(b, opts, &obfuscate.Jshaman{Seed: 9})
+		b.ReportMetric(f1, "F1%")
+	}
+}
+
+// BenchmarkAblationAttentionWeights measures the paper's attention-weighted
+// features.
+func BenchmarkAblationAttentionWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f1 := evalF1(b, ablationOptions(), &obfuscate.JavaScriptObfuscator{Seed: 9})
+		b.ReportMetric(f1, "F1%")
+	}
+}
+
+// BenchmarkAblationUniformWeights replaces attention weights with uniform
+// per-path mass.
+func BenchmarkAblationUniformWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := ablationOptions()
+		opts.UniformWeights = true
+		f1 := evalF1(b, opts, &obfuscate.JavaScriptObfuscator{Seed: 9})
+		b.ReportMetric(f1, "F1%")
+	}
+}
+
+// BenchmarkAblationJSOFull measures detection under the full
+// JavaScript-Obfuscator.
+func BenchmarkAblationJSOFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f1 := evalF1(b, ablationOptions(), &obfuscate.JavaScriptObfuscator{Seed: 11})
+		b.ReportMetric(f1, "F1%")
+	}
+}
+
+// BenchmarkAblationJSONoFlattening disables control-flow flattening.
+func BenchmarkAblationJSONoFlattening(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ob := &obfuscate.JavaScriptObfuscator{Seed: 11, DisableFlattening: true}
+		f1 := evalF1(b, ablationOptions(), ob)
+		b.ReportMetric(f1, "F1%")
+	}
+}
+
+// BenchmarkAblationJSONoDeadCode disables dead-code injection.
+func BenchmarkAblationJSONoDeadCode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ob := &obfuscate.JavaScriptObfuscator{Seed: 11, DisableDeadCode: true}
+		f1 := evalF1(b, ablationOptions(), ob)
+		b.ReportMetric(f1, "F1%")
+	}
+}

@@ -1,0 +1,271 @@
+package jsrevealer_test
+
+import (
+	"testing"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/experiments"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/ml/cluster"
+	"jsrevealer/internal/obfuscate"
+	"jsrevealer/internal/pathctx"
+)
+
+// benchConfig sizes the per-table benchmarks. Each benchmark regenerates a
+// scaled-down version of its table/figure so `go test -bench=.` reproduces
+// every evaluation artifact; cmd/experiments runs the full-size versions.
+func benchConfig() experiments.Config {
+	return experiments.Config{TrainPerClass: 60, TestPerClass: 20, Repetitions: 1, Seed: 42}
+}
+
+// BenchmarkTable1Dataset regenerates the corpus-composition table.
+func BenchmarkTable1Dataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(benchConfig())
+		if len(res.Rows) != 12 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkTable2Classifiers regenerates the classifier comparison.
+func BenchmarkTable2Classifiers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			b.Fatalf("classifiers = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkTable3KSweep regenerates a reduced K-value grid.
+func BenchmarkTable3KSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchConfig(), []int{7, 11}, []int{4, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, f1 := res.Best(); f1 <= 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkTable4EnhancedAST regenerates the enhanced-vs-regular ablation.
+func BenchmarkTable4EnhancedAST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows["enhanced"]) != 5 || len(res.Rows["regular"]) != 5 {
+			b.Fatal("incomplete ablation grid")
+		}
+	}
+}
+
+// BenchmarkTable5Accuracy and BenchmarkTable6F1 regenerate the detector
+// comparison; figure 6 and 7 derive from the same grid.
+func BenchmarkTable5Accuracy(b *testing.B) {
+	benchComparison(b, func(res experiments.ComparisonResult) string {
+		return res.RenderTable5()
+	})
+}
+
+// BenchmarkTable6F1 regenerates the F1 grid.
+func BenchmarkTable6F1(b *testing.B) {
+	benchComparison(b, func(res experiments.ComparisonResult) string {
+		return res.RenderTable6()
+	})
+}
+
+// BenchmarkFigure6ErrorRates regenerates the FNR/FPR series.
+func BenchmarkFigure6ErrorRates(b *testing.B) {
+	benchComparison(b, func(res experiments.ComparisonResult) string {
+		return res.RenderFigure6()
+	})
+}
+
+// BenchmarkFigure7Average regenerates the averaged comparison.
+func BenchmarkFigure7Average(b *testing.B) {
+	benchComparison(b, func(res experiments.ComparisonResult) string {
+		return res.RenderFigure7()
+	})
+}
+
+func benchComparison(b *testing.B, render func(experiments.ComparisonResult) string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Comparison(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if render(res) == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkTable7Interpretability regenerates the top-feature table.
+func BenchmarkTable7Interpretability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Features) != 5 {
+			b.Fatalf("features = %d", len(res.Features))
+		}
+	}
+}
+
+// BenchmarkTable8Runtime regenerates the per-module timing table.
+func BenchmarkTable8Runtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 8 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkFigure5Elbow regenerates the SSE elbow curves.
+func BenchmarkFigure5Elbow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(benchConfig(), 2, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.BenignSSE) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the pipeline stages (the substance behind Table VIII)
+// ---------------------------------------------------------------------------
+
+func sampleScript() string {
+	samples := corpus.Generate(corpus.Config{Benign: 1, Malicious: 0, Seed: 5, Pristine: true})
+	return samples[0].Source
+}
+
+// BenchmarkParse measures AST construction alone.
+func BenchmarkParse(b *testing.B) {
+	src := sampleScript()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathExtraction measures enhanced-AST path-context extraction.
+func BenchmarkPathExtraction(b *testing.B) {
+	src := sampleScript()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := pathctx.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if paths := pathctx.Extract(prog, opts); len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+// BenchmarkDetect measures end-to-end single-file detection on a trained
+// model (the paper's headline 0.6 s/file scalability number).
+func BenchmarkDetect(b *testing.B) {
+	samples := corpus.Generate(corpus.Config{Benign: 60, Malicious: 60, Seed: 6})
+	train := make([]core.Sample, len(samples))
+	for i, s := range samples {
+		train[i] = core.Sample{Source: s.Source, Malicious: s.Malicious}
+	}
+	opts := core.DefaultOptions()
+	opts.Embedding.Epochs = 4
+	det, err := core.Train(train, nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := sampleScript()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObfuscators measures each obfuscator's rewrite cost.
+func BenchmarkObfuscators(b *testing.B) {
+	src := sampleScript()
+	for name, ob := range obfuscate.Registry(1) {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, err := ob.Obfuscate(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBisectingKMeans measures the clustering stage at pipeline scale.
+func BenchmarkBisectingKMeans(b *testing.B) {
+	points := make([][]float64, 1000)
+	for i := range points {
+		points[i] = []float64{float64(i % 17), float64(i % 31), float64(i % 7)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.BisectingKMeans(points, 11, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorpusGeneration measures synthetic sample creation.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		samples := corpus.Generate(corpus.Config{Benign: 10, Malicious: 10, Seed: int64(i)})
+		if len(samples) != 20 {
+			b.Fatal("bad corpus")
+		}
+	}
+}
+
+// BenchmarkTrain measures a full small training pass.
+func BenchmarkTrain(b *testing.B) {
+	samples := corpus.Generate(corpus.Config{Benign: 40, Malicious: 40, Seed: 7})
+	train := make([]core.Sample, len(samples))
+	for i, s := range samples {
+		train[i] = core.Sample{Source: s.Source, Malicious: s.Malicious}
+	}
+	opts := core.DefaultOptions()
+	opts.Embedding.Epochs = 3
+	opts.Embedding.Dim = 24
+	opts.Path.MaxPaths = 300
+	opts.MaxPoolPerClass = 600
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i)
+		if _, err := core.Train(train, nil, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic corpus.
+//
+// Usage:
+//
+//	experiments [-table N] [-figure N] [-quick] [-train N] [-test N] [-reps N] [-seed N]
+//
+// Without -table/-figure it runs everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jsrevealer/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	table := flag.Int("table", 0, "run only this table (1-8)")
+	figure := flag.Int("figure", 0, "run only this figure (5-7)")
+	comparison := flag.Bool("comparison", false, "run the detector comparison once and print tables V & VI and figures 6 & 7")
+	quick := flag.Bool("quick", false, "use the small quick configuration")
+	train := flag.Int("train", 0, "training samples per class (overrides preset)")
+	test := flag.Int("test", 0, "test samples per class (overrides preset)")
+	reps := flag.Int("reps", 0, "repetitions (overrides preset)")
+	seed := flag.Int64("seed", 42, "base random seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *train > 0 {
+		cfg.TrainPerClass = *train
+	}
+	if *test > 0 {
+		cfg.TestPerClass = *test
+	}
+	if *reps > 0 {
+		cfg.Repetitions = *reps
+	}
+	cfg.Seed = *seed
+
+	all := *table == 0 && *figure == 0 && !*comparison
+	want := func(t, f int) bool {
+		if *comparison {
+			return t == 5 || t == 6 || f == 6 || f == 7
+		}
+		return all || (*table != 0 && *table == t) || (*figure != 0 && *figure == f)
+	}
+	started := time.Now()
+
+	if want(1, 0) {
+		fmt.Println(experiments.Table1(cfg).Render())
+	}
+	if want(2, 0) {
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want(3, 0) {
+		res, err := experiments.Table3(cfg, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want(4, 0) {
+		res, err := experiments.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want(5, 0) || want(6, 0) || want(0, 6) || want(0, 7) {
+		res, err := experiments.Comparison(cfg)
+		if err != nil {
+			return err
+		}
+		if want(5, 0) {
+			fmt.Println(res.RenderTable5())
+		}
+		if want(6, 0) {
+			fmt.Println(res.RenderTable6())
+		}
+		if want(0, 6) {
+			fmt.Println(res.RenderFigure6())
+		}
+		if want(0, 7) {
+			fmt.Println(res.RenderFigure7())
+		}
+	}
+	if want(7, 0) {
+		res, err := experiments.Table7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want(8, 0) {
+		res, err := experiments.Table8(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want(0, 5) {
+		res, err := experiments.Figure5(cfg, 2, 15)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	fmt.Printf("done in %s\n", time.Since(started).Round(time.Millisecond))
+	return nil
+}

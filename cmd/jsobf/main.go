@@ -1,0 +1,65 @@
+// Command jsobf obfuscates JavaScript files with any of the four
+// evaluation obfuscators (or the minifier).
+//
+// Usage:
+//
+//	jsobf -tool JavaScript-Obfuscator [-seed N] [-o out.js] in.js
+//	jsobf -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"jsrevealer/internal/obfuscate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jsobf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tool := flag.String("tool", "JavaScript-Obfuscator", "obfuscator to apply")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output path (default: stdout)")
+	list := flag.Bool("list", false, "list available obfuscators")
+	flag.Parse()
+
+	reg := obfuscate.Registry(*seed)
+	if *list {
+		names := make([]string, 0, len(reg))
+		for n := range reg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	ob, ok := reg[*tool]
+	if !ok {
+		return fmt.Errorf("unknown tool %q (use -list)", *tool)
+	}
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: jsobf -tool NAME in.js")
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	obfuscated, err := ob.Obfuscate(string(data))
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(obfuscated)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(obfuscated), 0o644)
+}

@@ -1,0 +1,141 @@
+// Command jsrevealer trains and runs the malicious-JavaScript detector.
+//
+// Usage:
+//
+//	jsrevealer train  [-benign N] [-malicious N] [-seed N] -model model.json
+//	jsrevealer detect -model model.json file.js [file2.js ...]
+//	jsrevealer explain -model model.json [-top N]
+//
+// The train subcommand trains on the synthetic corpus; detect classifies
+// files with a persisted model; explain prints the most important learned
+// features (the paper's Table VII view).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/corpus"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsrevealer:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// run executes a subcommand and returns the process exit code: 0 for all
+// benign, 1 when any file was flagged malicious, 2 when any file errored.
+func run(args []string) (int, error) {
+	if len(args) == 0 {
+		return 0, fmt.Errorf("usage: jsrevealer <train|detect|explain> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return 0, runTrain(args[1:])
+	case "detect":
+		return runDetect(args[1:])
+	case "explain":
+		return 0, runExplain(args[1:])
+	default:
+		return 0, fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	benign := fs.Int("benign", 400, "benign training samples")
+	malicious := fs.Int("malicious", 400, "malicious training samples")
+	seed := fs.Int64("seed", 42, "random seed")
+	model := fs.String("model", "jsrevealer-model.json", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	samples := corpus.Generate(corpus.Config{Benign: *benign, Malicious: *malicious, Seed: *seed})
+	train := make([]core.Sample, len(samples))
+	for i, s := range samples {
+		train[i] = core.Sample{Source: s.Source, Malicious: s.Malicious}
+	}
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	opts.Embedding.Seed = *seed
+	fmt.Printf("training on %d samples...\n", len(train))
+	det, err := core.Train(train, nil, opts)
+	if err != nil {
+		return err
+	}
+	if err := det.Save(*model); err != nil {
+		return err
+	}
+	fmt.Printf("model written to %s (outlier detector: %s, %d features)\n",
+		*model, det.OutlierDetectorName, len(det.Features()))
+	return nil
+}
+
+func runDetect(args []string) (int, error) {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	model := fs.String("model", "jsrevealer-model.json", "model path")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return 0, fmt.Errorf("detect: no input files")
+	}
+	det, err := core.Load(*model)
+	if err != nil {
+		return 0, err
+	}
+	exit := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return 0, err
+		}
+		verdict, err := det.Detect(string(data))
+		switch {
+		case err != nil:
+			fmt.Printf("%s: error: %v\n", f, err)
+			exit = 2
+		case verdict:
+			fmt.Printf("%s: MALICIOUS\n", f)
+			if exit == 0 {
+				exit = 1
+			}
+		default:
+			fmt.Printf("%s: benign\n", f)
+		}
+	}
+	return exit, nil
+}
+
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	model := fs.String("model", "jsrevealer-model.json", "model path")
+	top := fs.Int("top", 5, "number of features to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	det, err := core.Load(*model)
+	if err != nil {
+		return err
+	}
+	feats, err := det.Explain(*top)
+	if err != nil {
+		return err
+	}
+	for _, f := range feats {
+		origin := "benign"
+		if f.FromMalicious {
+			origin = "malicious"
+		}
+		fmt.Printf("importance=%.3f origin=%s\n  central path: %s\n",
+			f.Importance, origin, f.CentralPath)
+	}
+	return nil
+}

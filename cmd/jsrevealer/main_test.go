@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTrainExplainDetectCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CLI cycle in -short mode")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.json")
+
+	if _, err := run([]string{"train", "-benign", "40", "-malicious", "40",
+		"-seed", "5", "-model", model}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+
+	if _, err := run([]string{"explain", "-model", model, "-top", "3"}); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+
+	// A realistically sized benign file: very short inputs carry too few
+	// path contexts for a stable verdict.
+	benign := filepath.Join(dir, "benign.js")
+	benignSrc := `
+var settings = { theme: "light", perPage: 20, showHeader: true };
+function renderList(items, container) {
+  var html = "";
+  for (var i = 0; i < items.length && i < settings.perPage; i++) {
+    html += "<li>" + items[i].title + "</li>";
+  }
+  container.innerHTML = "<ul>" + html + "</ul>";
+  return items.length;
+}
+function applyTheme(el) {
+  if (settings.theme === "dark") {
+    el.className = "dark";
+  } else {
+    el.className = "light";
+  }
+}
+var list = document.getElementById("results");
+applyTheme(list);
+renderList([{ title: "first" }, { title: "second" }], list);
+`
+	if err := os.WriteFile(benign, []byte(benignSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, err := run([]string{"detect", "-model", model, benign})
+	if err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	if code == 2 {
+		t.Fatalf("detect errored on the benign file (exit %d)", code)
+	}
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	if _, err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if _, err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if _, err := run([]string{"detect", "-model", "missing.json"}); err == nil {
+		t.Error("detect without files accepted")
+	}
+	if _, err := run([]string{"explain", "-model", "does-not-exist.json"}); err == nil {
+		t.Error("explain with missing model accepted")
+	}
+}

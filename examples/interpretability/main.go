@@ -1,0 +1,53 @@
+// Interpretability: train JSRevealer and print the five most important
+// cluster features with their central paths — the paper's Table VII view,
+// which shows benign features centering on functionality implementation
+// and malicious features on data manipulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jsrevealer"
+	"jsrevealer/internal/corpus"
+)
+
+func main() {
+	samples := corpus.Generate(corpus.Config{Benign: 250, Malicious: 250, Seed: 11})
+	train := make([]jsrevealer.Sample, len(samples))
+	for i, s := range samples {
+		train[i] = jsrevealer.Sample{Source: s.Source, Malicious: s.Malicious}
+	}
+	det, err := jsrevealer.Train(train, nil, jsrevealer.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	feats, err := det.Explain(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("five most important features (random-forest Gini importance):")
+	for rank, f := range feats {
+		origin := "benign"
+		if f.FromMalicious {
+			origin = "malicious"
+		}
+		fmt.Printf("%d. importance=%.3f  origin=%s\n   central path: %s\n",
+			rank+1, f.Importance, origin, f.CentralPath)
+	}
+
+	// The split the paper reports: benign features reflect functionality
+	// (function/block structure), malicious ones reflect data manipulation
+	// (binary expressions, assignments over literals).
+	var benignN, maliciousN int
+	for _, f := range feats {
+		if f.FromMalicious {
+			maliciousN++
+		} else {
+			benignN++
+		}
+	}
+	fmt.Printf("\ntop-5 split: %d benign-origin, %d malicious-origin features\n",
+		benignN, maliciousN)
+}

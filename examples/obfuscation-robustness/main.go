@@ -1,0 +1,60 @@
+// Obfuscation-robustness: train JSRevealer, obfuscate a held-out test set
+// with each of the four evaluation obfuscators, and print the metric
+// degradation per obfuscator — a miniature of the paper's Table IV.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jsrevealer"
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/ml/metrics"
+	"jsrevealer/internal/obfuscate"
+)
+
+func main() {
+	samples := corpus.Generate(corpus.Config{Benign: 250, Malicious: 250, Seed: 3})
+	var train []jsrevealer.Sample
+	var test []corpus.Sample
+	for i, s := range samples {
+		if i%5 == 4 {
+			test = append(test, s)
+		} else {
+			train = append(train, jsrevealer.Sample{Source: s.Source, Malicious: s.Malicious})
+		}
+	}
+
+	det, err := jsrevealer.Train(train, nil, jsrevealer.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evaluate := func(ob obfuscate.Obfuscator) metrics.Report {
+		var c metrics.Confusion
+		for _, s := range test {
+			src := s.Source
+			if ob != nil {
+				if out, err := ob.Obfuscate(src); err == nil {
+					src = out
+				}
+			}
+			verdict, err := det.Detect(src)
+			if err != nil {
+				verdict = false
+			}
+			c.Add(s.Malicious, verdict)
+		}
+		return metrics.ReportOf(c)
+	}
+
+	fmt.Printf("%-24s %6s %6s %6s %6s\n", "condition", "Acc", "F1", "FPR", "FNR")
+	base := evaluate(nil)
+	fmt.Printf("%-24s %6.1f %6.1f %6.1f %6.1f\n", "unobfuscated",
+		base.Accuracy, base.F1, base.FPR, base.FNR)
+	registry := obfuscate.Registry(17)
+	for _, name := range obfuscate.PaperOrder() {
+		r := evaluate(registry[name])
+		fmt.Printf("%-24s %6.1f %6.1f %6.1f %6.1f\n", name, r.Accuracy, r.F1, r.FPR, r.FNR)
+	}
+}

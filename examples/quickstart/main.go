@@ -1,0 +1,71 @@
+// Quickstart: train a small JSRevealer model on the synthetic corpus and
+// classify a benign script, a malicious script, and an obfuscated variant
+// of the malicious script.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jsrevealer"
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/obfuscate"
+)
+
+func main() {
+	// A small corpus keeps the example fast; real use wants more data.
+	samples := corpus.Generate(corpus.Config{Benign: 150, Malicious: 150, Seed: 7})
+	train := make([]jsrevealer.Sample, len(samples))
+	for i, s := range samples {
+		train[i] = jsrevealer.Sample{Source: s.Source, Malicious: s.Malicious}
+	}
+
+	opts := jsrevealer.DefaultOptions()
+	det, err := jsrevealer.Train(train, nil, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: %d cluster features, outlier detector %s\n",
+		len(det.Features()), det.OutlierDetectorName)
+
+	benign := `
+function formatPrice(value, currency) {
+  var amount = Number(value).toFixed(2);
+  return currency + " " + amount;
+}
+var label = formatPrice(12.5, "USD");
+document.getElementById("price").textContent = label;
+`
+	malicious := `
+var cs = [121, 139, 125, 132, 76, 74, 121, 132, 129, 121, 138, 140, 76, 77];
+var payload = "";
+for (var i = 0; i < cs.length; i++) {
+  payload += String.fromCharCode(cs[i] - 20);
+}
+eval(payload);
+var img = new Image();
+img.src = "http://127.0.0.1/c2?d=" + escape(payload);
+`
+
+	classify := func(name, src string) {
+		verdict, err := det.Detect(src)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		label := "benign"
+		if verdict {
+			label = "MALICIOUS"
+		}
+		fmt.Printf("%-28s -> %s\n", name, label)
+	}
+	classify("benign price widget", benign)
+	classify("malicious eval dropper", malicious)
+
+	// Obfuscate the dropper and classify again: the verdict should hold.
+	ob := &obfuscate.JavaScriptObfuscator{Seed: 99}
+	obfuscated, err := ob.Obfuscate(malicious)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classify("dropper (obfuscated)", obfuscated)
+}

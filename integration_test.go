@@ -1,0 +1,146 @@
+package jsrevealer_test
+
+import (
+	"sort"
+	"testing"
+
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/obfuscate"
+	"jsrevealer/internal/pathctx"
+)
+
+// pathStrings extracts the sorted multiset of path-context strings.
+func pathStrings(t *testing.T, src string) []string {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	opts := pathctx.DefaultOptions()
+	opts.MaxPaths = 0 // exhaustive, so multisets are comparable
+	paths := pathctx.Extract(prog, opts)
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// structureHashes extracts the sorted multiset of structure-component
+// hashes.
+func structureHashes(t *testing.T, src string) []uint64 {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	opts := pathctx.DefaultOptions()
+	opts.MaxPaths = 0
+	paths := pathctx.Extract(prog, opts)
+	out := make([]uint64, len(paths))
+	for i, p := range paths {
+		_, s, _ := p.ComponentHashes()
+		out[i] = s
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func integrationSamples(t *testing.T, n int) []corpus.Sample {
+	t.Helper()
+	return corpus.Generate(corpus.Config{Benign: n, Malicious: n, Seed: 77, Pristine: true})
+}
+
+// TestMinificationPreservesPathContexts checks the core claim behind the
+// corpus's minify transform: minification changes only whitespace, so the
+// AST — and therefore every extracted path context — is identical.
+func TestMinificationPreservesPathContexts(t *testing.T) {
+	min := &obfuscate.Minifier{}
+	for _, s := range integrationSamples(t, 8) {
+		minified, err := min.Obfuscate(s.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Family, err)
+		}
+		before := pathStrings(t, s.Source)
+		after := pathStrings(t, minified)
+		if len(before) != len(after) {
+			t.Fatalf("%s: path count changed %d -> %d", s.Family, len(before), len(after))
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("%s: path %d changed:\n  %s\n  %s", s.Family, i, before[i], after[i])
+			}
+		}
+	}
+}
+
+// TestRenamingPreservesPathStructures checks the mechanism behind
+// JSRevealer's rename-robustness: pure variable renaming (Jshaman) keeps
+// the multiset of path structure hashes identical — only the value
+// components move, and those fall back to the UNK embedding.
+func TestRenamingPreservesPathStructures(t *testing.T) {
+	jshaman := &obfuscate.Jshaman{Seed: 5}
+	for _, s := range integrationSamples(t, 8) {
+		renamed, err := jshaman.Obfuscate(s.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Family, err)
+		}
+		// Compare against the pretty-printed original: renaming output goes
+		// through the printer, so both sides must use printer layout (which
+		// the parse→extract pipeline makes irrelevant anyway).
+		before := structureHashes(t, s.Source)
+		after := structureHashes(t, renamed)
+		if len(before) != len(after) {
+			t.Fatalf("%s: path count changed %d -> %d under renaming",
+				s.Family, len(before), len(after))
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("%s: structure multiset changed under pure renaming", s.Family)
+			}
+		}
+	}
+}
+
+// TestObfuscationGrowsOrKeepsSize sanity-checks that every obfuscator's
+// output is parseable for every corpus family and that transformations are
+// not no-ops.
+func TestObfuscationChangesSource(t *testing.T) {
+	for _, s := range integrationSamples(t, 6) {
+		for name, ob := range obfuscate.Registry(3) {
+			out, err := ob.Obfuscate(s.Source)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.Family, name, err)
+			}
+			if _, err := parser.Parse(out); err != nil {
+				t.Fatalf("%s/%s output unparseable: %v", s.Family, name, err)
+			}
+			if out == s.Source {
+				t.Errorf("%s/%s: output identical to input", s.Family, name)
+			}
+		}
+	}
+}
+
+// TestObfuscationStacking applies two obfuscators in sequence — the
+// polymorphic-mutation scenario of the paper's background section — and
+// checks the stack still parses.
+func TestObfuscationStacking(t *testing.T) {
+	first := &obfuscate.Jshaman{Seed: 1}
+	second := &obfuscate.JavaScriptObfuscator{Seed: 2}
+	for _, s := range integrationSamples(t, 4) {
+		mid, err := first.Obfuscate(s.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := second.Obfuscate(mid)
+		if err != nil {
+			t.Fatalf("%s: stacked obfuscation failed: %v", s.Family, err)
+		}
+		if _, err := parser.Parse(out); err != nil {
+			t.Fatalf("%s: stacked output unparseable: %v", s.Family, err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package baselines implements the four detectors the paper compares
+// against (Section IV-A3):
+//
+//   - CUJO — token n-grams from lexical analysis (static part), linear SVM.
+//   - ZOZZLE — hierarchical (AST-context, text) features, naive Bayes.
+//   - JAST — n-grams of AST syntactic units, random forest.
+//   - JSTAP — n-grams over the PDG (control + data flow), random forest.
+//
+// Each baseline is an Extractor producing a hashed feature vector plus a
+// matching classifier, so all five detectors (including JSRevealer) can be
+// driven through one evaluation harness.
+package baselines
+
+import (
+	"errors"
+	"hash/fnv"
+	"math"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/ml/classify"
+)
+
+// FeatureDim is the hashed feature-vector width shared by all baselines.
+const FeatureDim = 4096
+
+// Extractor turns a script into a fixed-width feature vector.
+type Extractor interface {
+	// Name identifies the baseline.
+	Name() string
+	// Features extracts the hashed feature vector of src.
+	Features(src string) ([]float64, error)
+}
+
+// Detector is a trained baseline.
+type Detector struct {
+	ex  Extractor
+	clf classify.Classifier
+	// parseFailures counts unparseable training scripts.
+	parseFailures int
+}
+
+// Name returns the baseline's name.
+func (d *Detector) Name() string { return d.ex.Name() }
+
+// ParseFailures reports how many training scripts failed feature extraction.
+func (d *Detector) ParseFailures() int { return d.parseFailures }
+
+// Train fits the baseline's classifier on the samples.
+func Train(ex Extractor, trainer classify.Trainer, samples []core.Sample) (*Detector, error) {
+	if trainer == nil {
+		return nil, errors.New("baselines: nil trainer")
+	}
+	d := &Detector{ex: ex}
+	var feats [][]float64
+	var labels []bool
+	for _, s := range samples {
+		f, err := ex.Features(s.Source)
+		if err != nil {
+			d.parseFailures++
+			continue
+		}
+		feats = append(feats, f)
+		labels = append(labels, s.Malicious)
+	}
+	if len(feats) == 0 {
+		return nil, errors.New("baselines: no training sample extracted")
+	}
+	clf, err := trainer.Train(feats, labels)
+	if err != nil {
+		return nil, err
+	}
+	d.clf = clf
+	return d, nil
+}
+
+// Detect classifies a script; true means malicious.
+func (d *Detector) Detect(src string) (bool, error) {
+	f, err := d.ex.Features(src)
+	if err != nil {
+		return false, err
+	}
+	return d.clf.Predict(f), nil
+}
+
+// NewCUJO builds the CUJO baseline with its published classifier (SVM).
+func NewCUJO(seed int64) (Extractor, classify.Trainer) {
+	return &CUJOExtractor{Q: 3}, &classify.LinearSVMTrainer{Seed: seed}
+}
+
+// NewZOZZLE builds the ZOZZLE baseline with naive Bayes.
+func NewZOZZLE(seed int64) (Extractor, classify.Trainer) {
+	return &ZOZZLEExtractor{}, &classify.GaussianNBTrainer{}
+}
+
+// NewJAST builds the JAST baseline with a random forest.
+func NewJAST(seed int64) (Extractor, classify.Trainer) {
+	return &JASTExtractor{N: 4}, &classify.RandomForestTrainer{Seed: seed}
+}
+
+// NewJSTAP builds the JSTAP (PDG n-grams) baseline with a random forest.
+func NewJSTAP(seed int64) (Extractor, classify.Trainer) {
+	return &JSTAPExtractor{N: 4}, &classify.RandomForestTrainer{Seed: seed}
+}
+
+// hashedBag accumulates string features into a hashed count vector.
+type hashedBag struct {
+	v []float64
+}
+
+func newHashedBag() *hashedBag { return &hashedBag{v: make([]float64, FeatureDim)} }
+
+func (b *hashedBag) add(feature string) {
+	h := fnv.New64a()
+	h.Write([]byte(feature))
+	b.v[h.Sum64()%FeatureDim]++
+}
+
+// vector returns the sublinearly scaled, L2-normalized feature vector.
+func (b *hashedBag) vector() []float64 {
+	norm := 0.0
+	for i, c := range b.v {
+		if c > 0 {
+			b.v[i] = 1 + math.Log(c)
+		}
+		norm += b.v[i] * b.v[i]
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range b.v {
+			b.v[i] /= norm
+		}
+	}
+	return b.v
+}

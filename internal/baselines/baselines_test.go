@@ -1,0 +1,205 @@
+package baselines
+
+import (
+	"testing"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/ml/classify"
+)
+
+func trainTestSplit(t *testing.T, n int, seed int64) ([]core.Sample, []corpus.Sample) {
+	t.Helper()
+	samples := corpus.Generate(corpus.Config{Benign: n, Malicious: n, Seed: seed})
+	var train []core.Sample
+	var test []corpus.Sample
+	for i, s := range samples {
+		if i%4 == 3 {
+			test = append(test, s)
+		} else {
+			train = append(train, core.Sample{Source: s.Source, Malicious: s.Malicious})
+		}
+	}
+	return train, test
+}
+
+func allBaselines(seed int64) []func(int64) (Extractor, classify.Trainer) {
+	return []func(int64) (Extractor, classify.Trainer){
+		NewCUJO, NewZOZZLE, NewJAST, NewJSTAP,
+	}
+}
+
+func TestExtractorsProduceFixedWidthVectors(t *testing.T) {
+	src := "var a = 1;\nif (a) { go(a, \"str\"); }"
+	for _, mk := range allBaselines(1) {
+		ex, _ := mk(1)
+		v, err := ex.Features(src)
+		if err != nil {
+			t.Fatalf("%s: %v", ex.Name(), err)
+		}
+		if len(v) != FeatureDim {
+			t.Errorf("%s vector width = %d, want %d", ex.Name(), len(v), FeatureDim)
+		}
+		nonzero := 0
+		for _, x := range v {
+			if x != 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			t.Errorf("%s produced an all-zero vector", ex.Name())
+		}
+	}
+}
+
+func TestVectorsL2Normalized(t *testing.T) {
+	src := "function f(x) { return x * 2 + 1; }\nf(3);"
+	for _, mk := range allBaselines(1) {
+		ex, _ := mk(1)
+		v, err := ex.Features(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := 0.0
+		for _, x := range v {
+			norm += x * x
+		}
+		if norm < 0.99 || norm > 1.01 {
+			t.Errorf("%s vector norm² = %v, want 1", ex.Name(), norm)
+		}
+	}
+}
+
+func TestASTExtractorsRejectBadInput(t *testing.T) {
+	for _, mk := range []func(int64) (Extractor, classify.Trainer){NewZOZZLE, NewJAST, NewJSTAP} {
+		ex, _ := mk(1)
+		if _, err := ex.Features("var = = ;"); err == nil {
+			t.Errorf("%s accepted invalid input", ex.Name())
+		}
+	}
+	// CUJO is lexical: it only rejects lexically invalid input.
+	cujo, _ := NewCUJO(1)
+	if _, err := cujo.Features(`"unterminated`); err == nil {
+		t.Error("CUJO accepted lexically invalid input")
+	}
+}
+
+func TestBaselinesLearnTheCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus training in -short mode")
+	}
+	train, test := trainTestSplit(t, 60, 11)
+	for _, mk := range allBaselines(5) {
+		ex, tr := mk(5)
+		det, err := Train(ex, tr, train)
+		if err != nil {
+			t.Fatalf("%s: %v", ex.Name(), err)
+		}
+		correct := 0
+		for _, s := range test {
+			pred, err := det.Detect(s.Source)
+			if err != nil {
+				continue
+			}
+			if pred == s.Malicious {
+				correct++
+			}
+		}
+		if acc := float64(correct) / float64(len(test)); acc < 0.7 {
+			t.Errorf("%s accuracy = %.2f on unobfuscated corpus", det.Name(), acc)
+		}
+	}
+}
+
+func TestCUJORenamingInvariance(t *testing.T) {
+	// CUJO abstracts identifiers, so renaming must not change its features.
+	cujo, _ := NewCUJO(1)
+	v1, err := cujo.Features("var alpha = 1; use(alpha);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := cujo.Features("var omega = 1; use(omega);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("CUJO features changed under pure renaming")
+		}
+	}
+}
+
+func TestJASTStructureSensitivity(t *testing.T) {
+	jast, _ := NewJAST(1)
+	v1, err := jast.Features("if (a) { b(); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := jast.Features("while (a) { b(); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("JAST cannot distinguish if from while")
+	}
+}
+
+func TestZOZZLEContextSensitivity(t *testing.T) {
+	zozzle, _ := NewZOZZLE(1)
+	v1, err := zozzle.Features("if (evil) { x = 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := zozzle.Features("while (evil) { x = 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("ZOZZLE context labels not differentiating loop from branch")
+	}
+}
+
+func TestTrainRejectsNilTrainer(t *testing.T) {
+	ex, _ := NewJAST(1)
+	if _, err := Train(ex, nil, nil); err == nil {
+		t.Error("nil trainer accepted")
+	}
+}
+
+func TestTrainRejectsAllUnparseable(t *testing.T) {
+	ex, tr := NewJAST(1)
+	bad := []core.Sample{{Source: "var = ;", Malicious: false}}
+	if _, err := Train(ex, tr, bad); err == nil {
+		t.Error("training on unparseable corpus should fail")
+	}
+}
+
+func TestParseFailuresCounted(t *testing.T) {
+	ex, tr := NewJAST(1)
+	samples := []core.Sample{
+		{Source: "var ok = 1;", Malicious: false},
+		{Source: "var broken = = ;", Malicious: true},
+		{Source: "var fine = 2;", Malicious: true},
+	}
+	det, err := Train(ex, tr, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.ParseFailures() != 1 {
+		t.Errorf("parse failures = %d, want 1", det.ParseFailures())
+	}
+}

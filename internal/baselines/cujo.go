@@ -1,0 +1,59 @@
+package baselines
+
+import (
+	"strings"
+
+	"jsrevealer/internal/js/lexer"
+)
+
+// CUJOExtractor reproduces the static part of CUJO (Rieck et al.): the
+// token stream is abstracted (identifiers, strings, and numbers collapse to
+// placeholder tokens, with strings and numbers bucketed by magnitude) and
+// sliding q-grams over the abstracted stream become the features.
+type CUJOExtractor struct {
+	// Q is the n-gram length; the reference implementation uses 3.
+	Q int
+}
+
+// Name implements Extractor.
+func (*CUJOExtractor) Name() string { return "CUJO" }
+
+// Features implements Extractor.
+func (e *CUJOExtractor) Features(src string) ([]float64, error) {
+	q := e.Q
+	if q <= 0 {
+		q = 3
+	}
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	abstracted := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind == lexer.EOF {
+			break
+		}
+		abstracted = append(abstracted, abstractToken(t))
+	}
+	bag := newHashedBag()
+	for i := 0; i+q <= len(abstracted); i++ {
+		bag.add(strings.Join(abstracted[i:i+q], " "))
+	}
+	return bag.vector(), nil
+}
+
+// abstractToken maps a token to CUJO's abstract alphabet.
+func abstractToken(t lexer.Token) string {
+	switch t.Kind {
+	case lexer.Ident:
+		return "ID"
+	case lexer.String, lexer.Template:
+		return "STR"
+	case lexer.Number:
+		return "NUM"
+	case lexer.Regex:
+		return "REGEX"
+	default:
+		return t.Literal
+	}
+}

@@ -1,0 +1,42 @@
+package baselines
+
+import (
+	"strings"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+)
+
+// JASTExtractor reproduces JAST (Fass et al.): the AST is linearized by a
+// depth-first traversal of syntactic-unit names and sliding n-grams over
+// the traversal become the features (the published system uses n = 4 and a
+// random forest).
+type JASTExtractor struct {
+	// N is the n-gram length; 0 means 4.
+	N int
+}
+
+// Name implements Extractor.
+func (*JASTExtractor) Name() string { return "JAST" }
+
+// Features implements Extractor.
+func (e *JASTExtractor) Features(src string) ([]float64, error) {
+	n := e.N
+	if n <= 0 {
+		n = 4
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var units []string
+	ast.Walk(prog, func(node ast.Node) bool {
+		units = append(units, node.Type())
+		return true
+	})
+	bag := newHashedBag()
+	for i := 0; i+n <= len(units); i++ {
+		bag.add(strings.Join(units[i:i+n], ">"))
+	}
+	return bag.vector(), nil
+}

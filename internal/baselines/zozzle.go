@@ -1,0 +1,112 @@
+package baselines
+
+import (
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+)
+
+// ZOZZLEExtractor reproduces ZOZZLE (Curtsinger et al.): features are pairs
+// of an AST context label and the text of the node observed there —
+// identifiers and string literals annotated with whether they occur in a
+// condition, a loop, a function body, a call, and so on. The original uses
+// naive Bayes over these hierarchical features.
+type ZOZZLEExtractor struct{}
+
+// Name implements Extractor.
+func (*ZOZZLEExtractor) Name() string { return "ZOZZLE" }
+
+// Features implements Extractor.
+func (e *ZOZZLEExtractor) Features(src string) ([]float64, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	bag := newHashedBag()
+	collectZozzle(prog, "script", bag)
+	return bag.vector(), nil
+}
+
+// collectZozzle walks the AST, tracking the hierarchical context label and
+// emitting (context, text) features for textual leaves.
+func collectZozzle(n ast.Node, context string, bag *hashedBag) {
+	if n == nil {
+		return
+	}
+	emit := func(text string) {
+		bag.add(context + ":" + text)
+	}
+	switch v := n.(type) {
+	case *ast.Identifier:
+		emit(v.Name)
+		return
+	case *ast.Literal:
+		if v.Kind == ast.LiteralString {
+			s := v.StrVal
+			if len(s) > 40 {
+				s = s[:40]
+			}
+			emit(s)
+		}
+		return
+	case *ast.IfStatement:
+		collectZozzle(v.Test, "if-cond", bag)
+		collectZozzle(v.Consequent, "if-then", bag)
+		collectZozzle(v.Alternate, "if-else", bag)
+		return
+	case *ast.ForStatement:
+		if v.Init != nil {
+			collectZozzle(v.Init, "loop-init", bag)
+		}
+		collectZozzle(v.Test, "loop-cond", bag)
+		collectZozzle(v.Update, "loop-update", bag)
+		collectZozzle(v.Body, "loop-body", bag)
+		return
+	case *ast.WhileStatement:
+		collectZozzle(v.Test, "loop-cond", bag)
+		collectZozzle(v.Body, "loop-body", bag)
+		return
+	case *ast.DoWhileStatement:
+		collectZozzle(v.Body, "loop-body", bag)
+		collectZozzle(v.Test, "loop-cond", bag)
+		return
+	case *ast.ForInStatement:
+		collectZozzle(v.Left, "loop-init", bag)
+		collectZozzle(v.Right, "loop-cond", bag)
+		collectZozzle(v.Body, "loop-body", bag)
+		return
+	case *ast.FunctionDeclaration:
+		collectZozzle(v.Body, "function", bag)
+		return
+	case *ast.FunctionExpression:
+		collectZozzle(v.Body, "function", bag)
+		return
+	case *ast.CallExpression:
+		collectZozzle(v.Callee, "call", bag)
+		for _, a := range v.Arguments {
+			collectZozzle(a, "call-arg", bag)
+		}
+		return
+	case *ast.NewExpression:
+		collectZozzle(v.Callee, "new", bag)
+		for _, a := range v.Arguments {
+			collectZozzle(a, "call-arg", bag)
+		}
+		return
+	case *ast.AssignmentExpression:
+		collectZozzle(v.Left, "assign-target", bag)
+		collectZozzle(v.Right, "assign-value", bag)
+		return
+	case *ast.TryStatement:
+		collectZozzle(v.Block, "try", bag)
+		if v.Handler != nil {
+			collectZozzle(v.Handler.Body, "catch", bag)
+		}
+		if v.Finalizer != nil {
+			collectZozzle(v.Finalizer, "finally", bag)
+		}
+		return
+	}
+	for _, c := range n.Children() {
+		collectZozzle(c, context, bag)
+	}
+}

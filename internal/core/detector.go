@@ -1,0 +1,585 @@
+// Package core implements the JSRevealer pipeline: path extraction over the
+// enhanced AST, attention-based path embedding, outlier-filtered clustering
+// into semantic features, and random-forest classification (Section III of
+// the paper).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/ml/classify"
+	"jsrevealer/internal/ml/cluster"
+	"jsrevealer/internal/ml/linalg"
+	"jsrevealer/internal/ml/nn"
+	"jsrevealer/internal/ml/outlier"
+	"jsrevealer/internal/pathctx"
+)
+
+// Options configures the pipeline. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	// Path controls path-context extraction (enhanced vs regular AST,
+	// length/width bounds).
+	Path pathctx.Options
+	// Embedding configures the attention embedding network.
+	Embedding nn.Config
+	// KBenign and KMalicious are the clustering K values; the paper's tuned
+	// values are 11 and 10 on the enhanced AST (5 and 6 on the regular AST).
+	KBenign, KMalicious int
+	// OutlierFraction is the share of path vectors removed as outliers
+	// before clustering.
+	OutlierFraction float64
+	// AutoSelectOutlier, when true, picks the outlier detector with the
+	// MetaOD-style selector; otherwise FastABOD is used directly.
+	AutoSelectOutlier bool
+	// OverlapThreshold removes benign/malicious cluster pairs whose
+	// centroid cosine similarity exceeds it (1.0 disables removal; the
+	// paper observes no removals at its tuned K values).
+	OverlapThreshold float64
+	// MaxPoolPerClass caps the per-class path-vector pool fed to outlier
+	// detection and clustering.
+	MaxPoolPerClass int
+	// Trainer builds the final classifier; nil means the paper's random
+	// forest.
+	Trainer classify.Trainer
+	// UniformWeights replaces the attention weights with uniform 1/n per
+	// path during featurization — the ablation of the paper's claim that
+	// attention importance is what the cluster features should accumulate.
+	UniformWeights bool
+	// Seed drives all pipeline randomness.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's configuration (enhanced AST, K=11/10,
+// FastABOD via auto-selection, random forest).
+func DefaultOptions() Options {
+	return Options{
+		Path:              pathctx.DefaultOptions(),
+		Embedding:         nn.DefaultConfig(),
+		KBenign:           11,
+		KMalicious:        10,
+		OutlierFraction:   0.05,
+		AutoSelectOutlier: true,
+		OverlapThreshold:  0.98,
+		MaxPoolPerClass:   2500,
+		Seed:              1,
+	}
+}
+
+// RegularASTOptions returns the Table IV ablation configuration: no data
+// flow, with the K values the paper tunes for the regular AST.
+func RegularASTOptions() Options {
+	o := DefaultOptions()
+	o.Path.UseDataFlow = false
+	o.KBenign = 5
+	o.KMalicious = 6
+	return o
+}
+
+// Sample is one labelled training script.
+type Sample struct {
+	Source    string
+	Malicious bool
+}
+
+// Feature is one learned cluster feature with its provenance, the unit of
+// the paper's interpretability analysis (Table VII).
+type Feature struct {
+	// Centroid is the cluster centre in embedding space.
+	Centroid []float64
+	// FromMalicious records which class's clustering produced the feature.
+	FromMalicious bool
+	// CentralPath is the stored path context nearest to the centroid.
+	CentralPath string
+}
+
+// StageTimings accumulates per-stage wall-clock time, the data behind the
+// paper's Table VIII.
+type StageTimings struct {
+	EnhancedAST   time.Duration
+	PathTraversal time.Duration
+	PreTraining   time.Duration
+	Embedding     time.Duration
+	OutlierDet    time.Duration
+	Clustering    time.Duration
+	Training      time.Duration
+	Classifying   time.Duration
+	// FilesProcessed normalizes extraction/embedding/classifying times.
+	FilesProcessed int
+}
+
+// Detector is a trained JSRevealer instance.
+type Detector struct {
+	opts       Options
+	model      *nn.Model
+	features   []Feature
+	classifier classify.Classifier
+	// OutlierDetectorName records which detector the meta-selection chose.
+	OutlierDetectorName string
+	// Timings holds cumulative stage timings.
+	Timings StageTimings
+	// parseFailures counts training scripts that failed to parse.
+	parseFailures int
+}
+
+// ErrNotTrained is returned by Detect on an untrained detector.
+var ErrNotTrained = errors.New("core: detector not trained")
+
+// extracted is a parsed script reduced to embeddings.
+type extracted struct {
+	paths     []pathctx.Path
+	keys      []nn.PathKey
+	malicious bool
+}
+
+// embedded is one training script reduced to its path embeddings.
+type embedded struct {
+	embs      []nn.Embedding
+	malicious bool
+}
+
+// pooled is a per-class pool of path vectors with their path strings.
+type pooled struct {
+	vecs  [][]float64
+	descs []string
+}
+
+// Prepared holds the K-independent training state: the pre-trained
+// embedding model, the embedded training scripts, and the outlier-filtered
+// per-class path-vector pools. A Prepared can Build detectors for many
+// (K, classifier) combinations without repeating extraction, pre-training,
+// or outlier detection — which is how the paper's Table II (classifier
+// comparison), Table III (K sweep), and Figure 5 (elbow curves) reuse one
+// training pass.
+type Prepared struct {
+	opts  Options
+	model *nn.Model
+	embs  []embedded
+	pools [2]pooled
+	// OutlierDetectorName records the MetaOD-style selection outcome.
+	OutlierDetectorName string
+	// Timings accumulates preparation-stage timings.
+	Timings StageTimings
+	// parseFailures counts unparseable training scripts.
+	parseFailures int
+}
+
+// PoolVectors returns the outlier-filtered path-vector pool of one class,
+// the input to the Figure 5 elbow curves.
+func (p *Prepared) PoolVectors(malicious bool) [][]float64 {
+	c := 0
+	if malicious {
+		c = 1
+	}
+	return p.pools[c].vecs
+}
+
+// ParseFailures reports how many training scripts failed to parse.
+func (p *Prepared) ParseFailures() int { return p.parseFailures }
+
+// Train builds a detector with the options' K values and classifier.
+// pretrain supplies the labelled scripts for embedding pre-training (the
+// paper uses 5,000 additional samples); when nil, the training set itself
+// is reused.
+func Train(train []Sample, pretrain []Sample, opts Options) (*Detector, error) {
+	p, err := Prepare(train, pretrain, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Build(opts.KBenign, opts.KMalicious, opts.Trainer)
+}
+
+// Prepare runs the K-independent training stages: extraction, embedding
+// pre-training, script embedding, pooling, and outlier filtering.
+func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error) {
+	if len(train) == 0 {
+		return nil, errors.New("core: empty training set")
+	}
+	d := &Detector{opts: opts} // timing accumulator for extraction
+	if pretrain == nil {
+		pretrain = train
+	}
+
+	// Stage 1+2: path extraction for all scripts.
+	exPre := make([]extracted, 0, len(pretrain))
+	for _, s := range pretrain {
+		ex, err := d.extract(s.Source)
+		if err != nil {
+			d.parseFailures++
+			continue
+		}
+		ex.malicious = s.Malicious
+		exPre = append(exPre, ex)
+	}
+	exTrain := make([]extracted, 0, len(train))
+	for _, s := range train {
+		ex, err := d.extract(s.Source)
+		if err != nil {
+			d.parseFailures++
+			continue
+		}
+		ex.malicious = s.Malicious
+		exTrain = append(exTrain, ex)
+	}
+	if len(exTrain) == 0 {
+		return nil, errors.New("core: no training script parsed")
+	}
+
+	// Stage 2: pre-train the embedding model.
+	model, err := nn.NewModel(opts.Embedding)
+	if err != nil {
+		return nil, fmt.Errorf("core: embedding: %w", err)
+	}
+	d.model = model
+	hashPaths := func(ex *extracted) {
+		ex.keys = make([]nn.PathKey, len(ex.paths))
+		for i, p := range ex.paths {
+			ex.keys[i] = model.KeyOf(p.ComponentHashes())
+		}
+	}
+	for i := range exPre {
+		hashPaths(&exPre[i])
+	}
+	for i := range exTrain {
+		hashPaths(&exTrain[i])
+	}
+	nnSamples := make([]nn.Sample, len(exPre))
+	for i, ex := range exPre {
+		nnSamples[i] = nn.Sample{Keys: ex.keys, Malicious: ex.malicious}
+	}
+	t0 := time.Now()
+	model.Train(nnSamples)
+	d.Timings.PreTraining += time.Since(t0)
+
+	// Stage 2b: embed the training scripts.
+	t0 = time.Now()
+	embs := make([]embedded, len(exTrain))
+	for i, ex := range exTrain {
+		embs[i] = embedded{embs: model.Embed(ex.keys), malicious: ex.malicious}
+	}
+	d.Timings.Embedding += time.Since(t0)
+
+	// Stage 3: pool per-class path vectors (with their path strings for
+	// interpretability), outlier-filter, cluster.
+	var pools [2]pooled // 0 benign, 1 malicious
+	for i, e := range embs {
+		cls := 0
+		if e.malicious {
+			cls = 1
+		}
+		for j, emb := range e.embs {
+			pools[cls].vecs = append(pools[cls].vecs, emb.Vector)
+			pools[cls].descs = append(pools[cls].descs, exTrain[i].paths[j].String())
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if opts.MaxPoolPerClass > 0 && len(pools[c].vecs) > opts.MaxPoolPerClass {
+			idx := strideSample(len(pools[c].vecs), opts.MaxPoolPerClass)
+			nv := make([][]float64, len(idx))
+			nd := make([]string, len(idx))
+			for k, i := range idx {
+				nv[k] = pools[c].vecs[i]
+				nd[k] = pools[c].descs[i]
+			}
+			pools[c].vecs, pools[c].descs = nv, nd
+		}
+	}
+
+	// Outlier detection (MetaOD-style auto-selection or FastABOD).
+	var det outlier.Detector = &outlier.FastABOD{}
+	if opts.AutoSelectOutlier {
+		sel, err := outlier.SelectDetector(pools[0].vecs, outlier.DefaultCandidates())
+		if err == nil {
+			det = sel
+		}
+	}
+	d.OutlierDetectorName = det.Name()
+	t0 = time.Now()
+	for c := 0; c < 2; c++ {
+		kept, err := outlier.Filter(pools[c].vecs, det, opts.OutlierFraction)
+		if err != nil {
+			continue // too few points: keep everything
+		}
+		nv := make([][]float64, len(kept))
+		nd := make([]string, len(kept))
+		for k, i := range kept {
+			nv[k] = pools[c].vecs[i]
+			nd[k] = pools[c].descs[i]
+		}
+		pools[c].vecs, pools[c].descs = nv, nd
+	}
+	d.Timings.OutlierDet += time.Since(t0)
+
+	return &Prepared{
+		opts:                opts,
+		model:               model,
+		embs:                embs,
+		pools:               pools,
+		OutlierDetectorName: d.OutlierDetectorName,
+		Timings:             d.Timings,
+		parseFailures:       d.parseFailures,
+	}, nil
+}
+
+// Build finishes training: Bisecting K-Means clustering with the given K
+// values, overlap removal, featurization of the training scripts, and
+// classifier fitting. A nil trainer selects the paper's random forest.
+func (p *Prepared) Build(kBenign, kMalicious int, trainer classify.Trainer) (*Detector, error) {
+	d := &Detector{
+		opts:                p.opts,
+		model:               p.model,
+		OutlierDetectorName: p.OutlierDetectorName,
+		Timings:             p.Timings,
+		parseFailures:       p.parseFailures,
+	}
+	d.opts.KBenign, d.opts.KMalicious = kBenign, kMalicious
+
+	t0 := time.Now()
+	ks := [2]int{kBenign, kMalicious}
+	var feats []Feature
+	for c := 0; c < 2; c++ {
+		if len(p.pools[c].vecs) < ks[c] {
+			return nil, fmt.Errorf("core: class %d has %d path vectors, need >= %d",
+				c, len(p.pools[c].vecs), ks[c])
+		}
+		res, err := cluster.BisectingKMeans(p.pools[c].vecs, ks[c], p.opts.Seed+int64(c))
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering: %w", err)
+		}
+		for ci, centroid := range res.Centroids {
+			feats = append(feats, Feature{
+				Centroid:      centroid,
+				FromMalicious: c == 1,
+				CentralPath:   nearestDesc(centroid, p.pools[c].vecs, p.pools[c].descs, res.Assignments, ci),
+			})
+		}
+	}
+	d.Timings.Clustering += time.Since(t0)
+
+	// Remove overlapping benign/malicious cluster pairs.
+	d.features = removeOverlaps(feats, p.opts.OverlapThreshold)
+
+	// Stage 4: featurize training scripts and fit the classifier.
+	featVecs := make([][]float64, len(p.embs))
+	labels := make([]bool, len(p.embs))
+	for i, e := range p.embs {
+		featVecs[i] = d.featurize(e.embs)
+		labels[i] = e.malicious
+	}
+	if trainer == nil {
+		trainer = &classify.RandomForestTrainer{Seed: p.opts.Seed}
+	}
+	t0 = time.Now()
+	clf, err := trainer.Train(featVecs, labels)
+	if err != nil {
+		return nil, fmt.Errorf("core: classifier: %w", err)
+	}
+	d.Timings.Training += time.Since(t0)
+	d.classifier = clf
+	return d, nil
+}
+
+// Name identifies the detector in comparative experiments.
+func (d *Detector) Name() string { return "JSRevealer" }
+
+// extract parses a script and extracts its path contexts, tracking stage
+// timings.
+func (d *Detector) extract(src string) (extracted, error) {
+	t0 := time.Now()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return extracted{}, err
+	}
+	d.Timings.EnhancedAST += time.Since(t0)
+
+	t0 = time.Now()
+	paths := pathctx.Extract(prog, d.opts.Path)
+	d.Timings.PathTraversal += time.Since(t0)
+	d.Timings.FilesProcessed++
+	return extracted{paths: paths}, nil
+}
+
+// featurize converts a script's path embeddings into the cluster-feature
+// vector: the attention weight of each path accrues to the feature whose
+// centroid is nearest, then the vector is min-max normalized (Equation 6).
+func (d *Detector) featurize(embs []nn.Embedding) []float64 {
+	v := make([]float64, len(d.features))
+	if len(d.features) == 0 {
+		return v
+	}
+	centroids := make([][]float64, len(d.features))
+	for i, f := range d.features {
+		centroids[i] = f.Centroid
+	}
+	uniform := 0.0
+	if d.opts.UniformWeights && len(embs) > 0 {
+		uniform = 1 / float64(len(embs))
+	}
+	for _, e := range embs {
+		idx := cluster.Assign(centroids, e.Vector)
+		if idx < 0 {
+			continue
+		}
+		if d.opts.UniformWeights {
+			v[idx] += uniform
+		} else {
+			v[idx] += e.Weight
+		}
+	}
+	return linalg.MinMaxNormalize(v)
+}
+
+// Detect classifies a script; true means malicious.
+func (d *Detector) Detect(src string) (bool, error) {
+	if d.classifier == nil {
+		return false, ErrNotTrained
+	}
+	ex, err := d.extract(src)
+	if err != nil {
+		// Unparseable input is suspicious but the paper's pipeline simply
+		// cannot featurize it; surface the error to the caller.
+		return false, fmt.Errorf("core: %w", err)
+	}
+	keys := make([]nn.PathKey, len(ex.paths))
+	for i, p := range ex.paths {
+		keys[i] = d.model.KeyOf(p.ComponentHashes())
+	}
+	t0 := time.Now()
+	embs := d.model.Embed(keys)
+	d.Timings.Embedding += time.Since(t0)
+
+	t0 = time.Now()
+	feat := d.featurize(embs)
+	verdict := d.classifier.Predict(feat)
+	d.Timings.Classifying += time.Since(t0)
+	return verdict, nil
+}
+
+// DetectProgram classifies an already-parsed program (used by benchmarks to
+// separate parsing cost from pipeline cost).
+func (d *Detector) DetectProgram(prog *ast.Program) (bool, error) {
+	if d.classifier == nil {
+		return false, ErrNotTrained
+	}
+	paths := pathctx.Extract(prog, d.opts.Path)
+	keys := make([]nn.PathKey, len(paths))
+	for i, p := range paths {
+		keys[i] = d.model.KeyOf(p.ComponentHashes())
+	}
+	embs := d.model.Embed(keys)
+	return d.classifier.Predict(d.featurize(embs)), nil
+}
+
+// Features returns the learned cluster features.
+func (d *Detector) Features() []Feature {
+	out := make([]Feature, len(d.features))
+	copy(out, d.features)
+	return out
+}
+
+// Options returns the detector's configuration.
+func (d *Detector) Options() Options { return d.opts }
+
+// ParseFailures reports how many training scripts failed to parse.
+func (d *Detector) ParseFailures() int { return d.parseFailures }
+
+// ImportantFeature pairs a feature with its random-forest importance.
+type ImportantFeature struct {
+	Feature
+	Importance float64
+	// Index is the feature's position in the feature vector.
+	Index int
+}
+
+// Explain returns the top-n features by random-forest Gini importance — the
+// paper's Table VII interpretability output. It returns an error when the
+// classifier is not a random forest.
+func (d *Detector) Explain(n int) ([]ImportantFeature, error) {
+	rf, ok := d.classifier.(*classify.RandomForest)
+	if !ok {
+		return nil, errors.New("core: interpretability requires the random-forest classifier")
+	}
+	imps := rf.FeatureImportances()
+	out := make([]ImportantFeature, 0, len(imps))
+	for i, imp := range imps {
+		if i >= len(d.features) {
+			break
+		}
+		out = append(out, ImportantFeature{Feature: d.features[i], Importance: imp, Index: i})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Importance > out[b].Importance })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+// strideSample returns n evenly spaced indices over [0, total).
+func strideSample(total, n int) []int {
+	out := make([]int, 0, n)
+	stride := float64(total) / float64(n)
+	pos := 0.0
+	for len(out) < n {
+		idx := int(pos)
+		if idx >= total {
+			break
+		}
+		out = append(out, idx)
+		pos += stride
+	}
+	return out
+}
+
+// nearestDesc finds the path string of the member vector closest to the
+// centroid within cluster ci.
+func nearestDesc(centroid []float64, vecs [][]float64, descs []string, assignments []int, ci int) string {
+	best, bestD := -1, 0.0
+	for i, v := range vecs {
+		if assignments[i] != ci {
+			continue
+		}
+		dd := linalg.SquaredDistance(centroid, v)
+		if best == -1 || dd < bestD {
+			best, bestD = i, dd
+		}
+	}
+	if best == -1 {
+		return ""
+	}
+	return descs[best]
+}
+
+// removeOverlaps drops benign/malicious feature pairs whose centroids are
+// nearly identical (cosine similarity above the threshold).
+func removeOverlaps(feats []Feature, threshold float64) []Feature {
+	if threshold >= 1.0 {
+		return feats
+	}
+	drop := make([]bool, len(feats))
+	for i := 0; i < len(feats); i++ {
+		for j := i + 1; j < len(feats); j++ {
+			if feats[i].FromMalicious == feats[j].FromMalicious {
+				continue
+			}
+			if linalg.CosineSimilarity(feats[i].Centroid, feats[j].Centroid) > threshold {
+				drop[i], drop[j] = true, true
+			}
+		}
+	}
+	out := feats[:0]
+	for i, f := range feats {
+		if !drop[i] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

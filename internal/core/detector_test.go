@@ -1,0 +1,307 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/ml/classify"
+)
+
+// smallOptions shrinks the pipeline so unit tests stay fast.
+func smallOptions(seed int64) Options {
+	opts := DefaultOptions()
+	opts.Seed = seed
+	opts.Embedding.Seed = seed
+	opts.Embedding.Dim = 24
+	opts.Embedding.Epochs = 5
+	opts.Path.MaxPaths = 400
+	opts.MaxPoolPerClass = 800
+	return opts
+}
+
+func smallSplit(t *testing.T, n int, seed int64) ([]Sample, []corpus.Sample) {
+	t.Helper()
+	samples := corpus.Generate(corpus.Config{Benign: n, Malicious: n, Seed: seed})
+	var train []Sample
+	var test []corpus.Sample
+	for i, s := range samples {
+		if i%4 == 3 {
+			test = append(test, s)
+		} else {
+			train = append(train, Sample{Source: s.Source, Malicious: s.Malicious})
+		}
+	}
+	return train, test
+}
+
+func trainSmall(t *testing.T, n int, seed int64) (*Detector, []corpus.Sample) {
+	t.Helper()
+	train, test := smallSplit(t, n, seed)
+	det, err := Train(train, nil, smallOptions(seed))
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return det, test
+}
+
+func TestTrainAndDetect(t *testing.T) {
+	det, test := trainSmall(t, 60, 1)
+	correct := 0
+	for _, s := range test {
+		pred, err := det.Detect(s.Source)
+		if err != nil {
+			t.Fatalf("Detect: %v", err)
+		}
+		if pred == s.Malicious {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.8 {
+		t.Errorf("accuracy = %.2f, want >= 0.8", acc)
+	}
+}
+
+func TestFeatureCountMatchesK(t *testing.T) {
+	det, _ := trainSmall(t, 40, 2)
+	// K=11 benign + K=10 malicious, minus overlap removals (usually none).
+	n := len(det.Features())
+	if n < 15 || n > 21 {
+		t.Errorf("features = %d, want close to 21", n)
+	}
+	benign, malicious := 0, 0
+	for _, f := range det.Features() {
+		if f.FromMalicious {
+			malicious++
+		} else {
+			benign++
+		}
+		if f.CentralPath == "" {
+			t.Error("feature missing central path")
+		}
+		if len(f.Centroid) == 0 {
+			t.Error("feature missing centroid")
+		}
+	}
+	if benign == 0 || malicious == 0 {
+		t.Errorf("feature origins: %d benign, %d malicious", benign, malicious)
+	}
+}
+
+func TestUntrainedDetectorErrors(t *testing.T) {
+	var d Detector
+	if _, err := d.Detect("var x = 1;"); err != ErrNotTrained {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestDetectRejectsUnparseable(t *testing.T) {
+	det, _ := trainSmall(t, 30, 3)
+	if _, err := det.Detect("var = = ;"); err == nil {
+		t.Error("unparseable input accepted")
+	}
+}
+
+func TestEmptyTrainingSetRejected(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultOptions()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	bad := []Sample{{Source: "var = ;"}}
+	if _, err := Train(bad, nil, DefaultOptions()); err == nil {
+		t.Error("all-unparseable training set accepted")
+	}
+}
+
+func TestPrepareBuildReuse(t *testing.T) {
+	train, test := smallSplit(t, 40, 4)
+	prep, err := Prepare(train, nil, smallOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prep.PoolVectors(false)) == 0 || len(prep.PoolVectors(true)) == 0 {
+		t.Fatal("empty pools after Prepare")
+	}
+	// Build two detectors with different K from one preparation.
+	d1, err := prep.Build(5, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := prep.Build(11, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Features()) >= len(d2.Features()) {
+		t.Errorf("K=5/4 gave %d features, K=11/10 gave %d",
+			len(d1.Features()), len(d2.Features()))
+	}
+	// Both must classify.
+	for _, d := range []*Detector{d1, d2} {
+		if _, err := d.Detect(test[0].Source); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBuildRejectsOversizedK(t *testing.T) {
+	train, _ := smallSplit(t, 10, 5)
+	opts := smallOptions(5)
+	opts.Path.MaxPaths = 10
+	opts.MaxPoolPerClass = 12
+	prep, err := Prepare(train, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Build(5000, 5000, nil); err == nil {
+		t.Error("K larger than the pool accepted")
+	}
+}
+
+func TestExplainReturnsRankedFeatures(t *testing.T) {
+	det, _ := trainSmall(t, 50, 6)
+	feats, err := det.Explain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 5 {
+		t.Fatalf("Explain(5) returned %d features", len(feats))
+	}
+	for i := 1; i < len(feats); i++ {
+		if feats[i].Importance > feats[i-1].Importance {
+			t.Error("features not sorted by importance")
+		}
+	}
+}
+
+func TestExplainRequiresForest(t *testing.T) {
+	train, _ := smallSplit(t, 30, 7)
+	opts := smallOptions(7)
+	opts.Trainer = &classify.GaussianNBTrainer{}
+	det, err := Train(train, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Explain(5); err == nil {
+		t.Error("Explain should require the random forest")
+	}
+}
+
+func TestAlternativeClassifiers(t *testing.T) {
+	train, test := smallSplit(t, 40, 8)
+	for _, tr := range []classify.Trainer{
+		&classify.LogisticRegressionTrainer{Seed: 8},
+		&classify.LinearSVMTrainer{Seed: 8},
+		&classify.DecisionTreeTrainer{},
+	} {
+		opts := smallOptions(8)
+		opts.Trainer = tr
+		det, err := Train(train, nil, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if _, err := det.Detect(test[0].Source); err != nil {
+			t.Fatalf("%s detect: %v", tr.Name(), err)
+		}
+	}
+}
+
+func TestRegularASTOptions(t *testing.T) {
+	opts := RegularASTOptions()
+	if opts.Path.UseDataFlow {
+		t.Error("regular AST should disable data flow")
+	}
+	if opts.KBenign != 5 || opts.KMalicious != 6 {
+		t.Errorf("regular AST K = %d/%d, want 5/6", opts.KBenign, opts.KMalicious)
+	}
+	train, test := smallSplit(t, 40, 9)
+	opts.Embedding.Dim = 24
+	opts.Embedding.Epochs = 5
+	opts.Path.MaxPaths = 400
+	opts.MaxPoolPerClass = 800
+	det, err := Train(train, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Detect(test[0].Source); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingsAccumulate(t *testing.T) {
+	det, test := trainSmall(t, 30, 10)
+	if det.Timings.FilesProcessed == 0 {
+		t.Error("no files counted during training")
+	}
+	if det.Timings.PreTraining == 0 || det.Timings.Clustering == 0 {
+		t.Error("stage timings not recorded")
+	}
+	before := det.Timings.Classifying
+	if _, err := det.Detect(test[0].Source); err != nil {
+		t.Fatal(err)
+	}
+	if det.Timings.Classifying <= before {
+		t.Error("classification timing did not advance")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	det, test := trainSmall(t, 40, 11)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := det.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range test[:10] {
+		want, err1 := det.Detect(s.Source)
+		got, err2 := restored.Detect(s.Source)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if want != got {
+			t.Fatal("restored detector disagrees with original")
+		}
+	}
+	if len(restored.Features()) != len(det.Features()) {
+		t.Error("features lost in round trip")
+	}
+}
+
+func TestSaveRequiresForest(t *testing.T) {
+	train, _ := smallSplit(t, 30, 12)
+	opts := smallOptions(12)
+	opts.Trainer = &classify.GaussianNBTrainer{}
+	det, err := Train(train, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Save(filepath.Join(t.TempDir(), "m.json")); err == nil {
+		t.Error("Save should refuse non-forest classifiers")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestSeparatePretrainCorpus(t *testing.T) {
+	train, test := smallSplit(t, 30, 13)
+	pre, _ := smallSplit(t, 30, 14)
+	det, err := Train(train, pre, smallOptions(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Detect(test[0].Source); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectorName(t *testing.T) {
+	var d Detector
+	if d.Name() != "JSRevealer" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}

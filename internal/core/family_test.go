@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"jsrevealer/internal/corpus"
+)
+
+func TestFamilyClassifier(t *testing.T) {
+	samples := corpus.Generate(corpus.Config{Benign: 40, Malicious: 40, Seed: 21, Pristine: true})
+	var train []Sample
+	var famTrain []FamilySample
+	var famTest []corpus.Sample
+	for i, s := range samples {
+		train = append(train, Sample{Source: s.Source, Malicious: s.Malicious})
+		if !s.Malicious {
+			continue
+		}
+		if i%4 == 3 {
+			famTest = append(famTest, s)
+		} else {
+			famTrain = append(famTrain, FamilySample{Source: s.Source, Family: s.Family})
+		}
+	}
+	det, err := Train(train, nil, smallOptions(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := TrainFamilyClassifier(det, famTrain, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Families()) != 6 {
+		t.Fatalf("families = %v", fc.Families())
+	}
+	correct := 0
+	for _, s := range famTest {
+		fam, probs, err := fc.Classify(s.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(probs) != 6 {
+			t.Fatalf("probs = %d", len(probs))
+		}
+		if fam == s.Family {
+			correct++
+		}
+	}
+	// Six families, chance = 1/6; even a weak stack should clear 50%.
+	if acc := float64(correct) / float64(len(famTest)); acc < 0.5 {
+		t.Errorf("family accuracy = %.2f", acc)
+	}
+}
+
+func TestFamilyClassifierValidation(t *testing.T) {
+	if _, err := TrainFamilyClassifier(nil, nil, 1); err == nil {
+		t.Error("nil detector accepted")
+	}
+	det, _ := trainSmall(t, 20, 22)
+	if _, err := TrainFamilyClassifier(det, nil, 1); err == nil {
+		t.Error("empty samples accepted")
+	}
+	oneFamily := []FamilySample{
+		{Source: "var a = 1;", Family: "only"},
+		{Source: "var b = 2;", Family: "only"},
+	}
+	if _, err := TrainFamilyClassifier(det, oneFamily, 1); err == nil {
+		t.Error("single family accepted")
+	}
+}
+
+func TestUniformWeightsAblation(t *testing.T) {
+	train, test := smallSplit(t, 40, 23)
+	opts := smallOptions(23)
+	opts.UniformWeights = true
+	det, err := Train(train, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, s := range test {
+		pred, err := det.Detect(s.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == s.Malicious {
+			correct++
+		}
+	}
+	// The ablation must still function as a detector (quality comparisons
+	// happen in the experiments harness).
+	if acc := float64(correct) / float64(len(test)); acc < 0.6 {
+		t.Errorf("uniform-weight ablation accuracy = %.2f", acc)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"jsrevealer/internal/ml/classify"
+	"jsrevealer/internal/ml/nn"
+)
+
+// detectorJSON is the serialized form of a trained detector. Only the
+// random-forest classifier is persistable; detectors built with other
+// trainers return an error from Save.
+type detectorJSON struct {
+	Options             Options                `json:"options"`
+	Model               *nn.Model              `json:"model"`
+	Features            []Feature              `json:"features"`
+	Forest              *classify.RandomForest `json:"forest"`
+	OutlierDetectorName string                 `json:"outlierDetector"`
+}
+
+// ErrNotPersistable is returned when saving a detector whose classifier is
+// not a random forest.
+var ErrNotPersistable = errors.New("core: only random-forest detectors can be persisted")
+
+// MarshalJSON serializes the detector.
+func (d *Detector) MarshalJSON() ([]byte, error) {
+	rf, ok := d.classifier.(*classify.RandomForest)
+	if !ok {
+		return nil, ErrNotPersistable
+	}
+	return json.Marshal(detectorJSON{
+		Options:             d.opts,
+		Model:               d.model,
+		Features:            d.features,
+		Forest:              rf,
+		OutlierDetectorName: d.OutlierDetectorName,
+	})
+}
+
+// UnmarshalJSON deserializes a detector.
+func (d *Detector) UnmarshalJSON(data []byte) error {
+	var dj detectorJSON
+	if err := json.Unmarshal(data, &dj); err != nil {
+		return err
+	}
+	if dj.Model == nil || dj.Forest == nil {
+		return errors.New("core: malformed detector file")
+	}
+	d.opts = dj.Options
+	d.model = dj.Model
+	d.features = dj.Features
+	d.classifier = dj.Forest
+	d.OutlierDetectorName = dj.OutlierDetectorName
+	return nil
+}
+
+// Save writes the detector to a JSON file.
+func (d *Detector) Save(path string) error {
+	data, err := json.Marshal(d)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a detector from a JSON file written by Save.
+func Load(path string) (*Detector, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	var d Detector
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("core: load %s: %w", path, err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,324 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// benignGenerators returns the six benign program families.
+func benignGenerators() []generator {
+	return []generator{
+		{family: "ui-widget", fn: genUIWidget},
+		{family: "form-validation", fn: genFormValidation},
+		{family: "utility-library", fn: genUtilityLibrary},
+		{family: "carousel", fn: genCarousel},
+		{family: "data-table", fn: genDataTable},
+		{family: "event-tracking", fn: genEventTracking},
+	}
+}
+
+// genUIWidget emits a media-player-style widget initializer: an options
+// object, a setup function reading configuration, and handlers — the kind of
+// script the paper's Listing 1 example comes from.
+func genUIWidget(rng *rand.Rand) string {
+	var b strings.Builder
+	opts := uniqueNouns(rng, 4)
+	widget := ident(rng)
+	fmt.Fprintf(&b, "var %s = {\n", opts[0])
+	fmt.Fprintf(&b, "  controls: %v,\n", rng.Intn(2) == 0)
+	fmt.Fprintf(&b, "  autoplay: %v,\n", rng.Intn(2) == 0)
+	fmt.Fprintf(&b, "  volume: 0.%d,\n", 1+rng.Intn(9))
+	fmt.Fprintf(&b, "  theme: \"%s\",\n", []string{"light", "dark", "auto"}[rng.Intn(3)])
+	fmt.Fprintf(&b, "  %s: %d\n", opts[1], 100+rng.Intn(900))
+	fmt.Fprintf(&b, "};\n")
+
+	fmt.Fprintf(&b, "function %s(el, opts) {\n", widget)
+	fmt.Fprintf(&b, "  var %s = opts.%s || %d;\n", opts[2], opts[1], 200+rng.Intn(400))
+	fmt.Fprintf(&b, "  var timeZoneMinutes = new Date().getTimezoneOffset();\n")
+	fmt.Fprintf(&b, "  if (opts.controls) {\n")
+	fmt.Fprintf(&b, "    el.setAttribute(\"data-controls\", \"yes\");\n")
+	fmt.Fprintf(&b, "    el.style.width = %s + \"px\";\n", opts[2])
+	fmt.Fprintf(&b, "  } else {\n")
+	fmt.Fprintf(&b, "    el.removeAttribute(\"data-controls\");\n")
+	fmt.Fprintf(&b, "  }\n")
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "  if (timeZoneMinutes > 0) {\n")
+		fmt.Fprintf(&b, "    el.setAttribute(\"tz\", timeZoneMinutes);\n")
+		fmt.Fprintf(&b, "  }\n")
+	}
+	fmt.Fprintf(&b, "  for (var i = 0; i < el.children.length; i++) {\n")
+	fmt.Fprintf(&b, "    el.children[i].className = \"%s-item\";\n", opts[3])
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  return el;\n")
+	fmt.Fprintf(&b, "}\n")
+
+	hnd := ident(rng)
+	fmt.Fprintf(&b, "function %s(event) {\n", hnd)
+	fmt.Fprintf(&b, "  var target = event.target;\n")
+	fmt.Fprintf(&b, "  if (target && target.dataset) {\n")
+	fmt.Fprintf(&b, "    %s(target, %s);\n", widget, opts[0])
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "document.addEventListener(\"click\", %s);\n", hnd)
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "window.addEventListener(\"resize\", function() {\n")
+		fmt.Fprintf(&b, "  var els = document.querySelectorAll(\".%s\");\n", opts[3])
+		fmt.Fprintf(&b, "  for (var j = 0; j < els.length; j++) { %s(els[j], %s); }\n", widget, opts[0])
+		fmt.Fprintf(&b, "});\n")
+	}
+	return b.String()
+}
+
+// genFormValidation emits field validators and a submit handler.
+func genFormValidation(rng *rand.Rand) string {
+	var b strings.Builder
+	fields := uniqueNouns(rng, 3)
+	minLen := 2 + rng.Intn(6)
+	fmt.Fprintf(&b, "var rules = {\n")
+	fmt.Fprintf(&b, "  %s: { required: true, minLength: %d },\n", fields[0], minLen)
+	fmt.Fprintf(&b, "  %s: { required: %v, pattern: /^[a-z0-9]+$/i },\n", fields[1], rng.Intn(2) == 0)
+	fmt.Fprintf(&b, "  %s: { required: false, maxLength: %d }\n", fields[2], 20+rng.Intn(80))
+	fmt.Fprintf(&b, "};\n")
+
+	fmt.Fprintf(&b, "function validateField(name, value) {\n")
+	fmt.Fprintf(&b, "  var rule = rules[name];\n")
+	fmt.Fprintf(&b, "  if (!rule) { return true; }\n")
+	fmt.Fprintf(&b, "  if (rule.required && !value) { return false; }\n")
+	fmt.Fprintf(&b, "  if (rule.minLength && value.length < rule.minLength) { return false; }\n")
+	fmt.Fprintf(&b, "  if (rule.maxLength && value.length > rule.maxLength) { return false; }\n")
+	fmt.Fprintf(&b, "  if (rule.pattern && !rule.pattern.test(value)) { return false; }\n")
+	fmt.Fprintf(&b, "  return true;\n")
+	fmt.Fprintf(&b, "}\n")
+
+	fmt.Fprintf(&b, "function validateForm(form) {\n")
+	fmt.Fprintf(&b, "  var errors = [];\n")
+	fmt.Fprintf(&b, "  for (var name in rules) {\n")
+	fmt.Fprintf(&b, "    var field = form.elements[name];\n")
+	fmt.Fprintf(&b, "    if (field && !validateField(name, field.value)) {\n")
+	fmt.Fprintf(&b, "      errors.push(name);\n")
+	fmt.Fprintf(&b, "      field.className = \"error\";\n")
+	fmt.Fprintf(&b, "    }\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  return errors;\n")
+	fmt.Fprintf(&b, "}\n")
+
+	fmt.Fprintf(&b, "function onSubmit(event) {\n")
+	fmt.Fprintf(&b, "  var form = event.target;\n")
+	fmt.Fprintf(&b, "  var errors = validateForm(form);\n")
+	fmt.Fprintf(&b, "  if (errors.length > 0) {\n")
+	fmt.Fprintf(&b, "    event.preventDefault();\n")
+	fmt.Fprintf(&b, "    var message = \"Please fix: \" + errors.join(\", \");\n")
+	fmt.Fprintf(&b, "    document.getElementById(\"form-errors\").textContent = message;\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  return errors.length === 0;\n")
+	fmt.Fprintf(&b, "}\n")
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "document.getElementById(\"signup\").addEventListener(\"submit\", onSubmit);\n")
+	} else {
+		fmt.Fprintf(&b, "var formEl = document.forms[0];\n")
+		fmt.Fprintf(&b, "if (formEl) { formEl.onsubmit = onSubmit; }\n")
+	}
+	return b.String()
+}
+
+// genUtilityLibrary emits small string/array helpers like those that fill
+// the 150k JavaScript Dataset.
+func genUtilityLibrary(rng *rand.Rand) string {
+	var b strings.Builder
+	ns := noun(rng) + "Util"
+	fmt.Fprintf(&b, "var %s = {};\n", ns)
+
+	fmt.Fprintf(&b, "%s.capitalize = function(text) {\n", ns)
+	fmt.Fprintf(&b, "  if (!text) { return \"\"; }\n")
+	fmt.Fprintf(&b, "  return text.charAt(0).toUpperCase() + text.slice(1);\n")
+	fmt.Fprintf(&b, "};\n")
+
+	fmt.Fprintf(&b, "%s.chunk = function(items, size) {\n", ns)
+	fmt.Fprintf(&b, "  var out = [];\n")
+	fmt.Fprintf(&b, "  for (var i = 0; i < items.length; i += size) {\n")
+	fmt.Fprintf(&b, "    out.push(items.slice(i, i + size));\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  return out;\n")
+	fmt.Fprintf(&b, "};\n")
+
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "%s.debounce = function(fn, wait) {\n", ns)
+		fmt.Fprintf(&b, "  var timer = null;\n")
+		fmt.Fprintf(&b, "  return function() {\n")
+		fmt.Fprintf(&b, "    var args = arguments;\n")
+		fmt.Fprintf(&b, "    if (timer) { clearTimeout(timer); }\n")
+		fmt.Fprintf(&b, "    timer = setTimeout(function() { fn.apply(null, args); }, wait);\n")
+		fmt.Fprintf(&b, "  };\n")
+		fmt.Fprintf(&b, "};\n")
+	}
+
+	fmt.Fprintf(&b, "%s.formatDate = function(date) {\n", ns)
+	fmt.Fprintf(&b, "  var y = date.getFullYear();\n")
+	fmt.Fprintf(&b, "  var m = date.getMonth() + 1;\n")
+	fmt.Fprintf(&b, "  var d = date.getDate();\n")
+	fmt.Fprintf(&b, "  if (m < 10) { m = \"0\" + m; }\n")
+	fmt.Fprintf(&b, "  if (d < 10) { d = \"0\" + d; }\n")
+	fmt.Fprintf(&b, "  return y + \"-\" + m + \"-\" + d;\n")
+	fmt.Fprintf(&b, "};\n")
+
+	extra := 1 + rng.Intn(3)
+	for i := 0; i < extra; i++ {
+		fn := verbWords[rng.Intn(len(verbWords))]
+		fmt.Fprintf(&b, "%s.%s%d = function(value, fallback) {\n", ns, fn, i)
+		fmt.Fprintf(&b, "  if (value === null || value === undefined) { return fallback; }\n")
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "  return String(value).trim();\n")
+		case 1:
+			fmt.Fprintf(&b, "  return Number(value) || fallback;\n")
+		default:
+			fmt.Fprintf(&b, "  return value;\n")
+		}
+		fmt.Fprintf(&b, "};\n")
+	}
+	return b.String()
+}
+
+// genCarousel emits a rotating-slide component with timers.
+func genCarousel(rng *rand.Rand) string {
+	var b strings.Builder
+	interval := 2000 + rng.Intn(6000)
+	fmt.Fprintf(&b, "function Carousel(container, slides) {\n")
+	fmt.Fprintf(&b, "  this.container = container;\n")
+	fmt.Fprintf(&b, "  this.slides = slides;\n")
+	fmt.Fprintf(&b, "  this.current = 0;\n")
+	fmt.Fprintf(&b, "  this.interval = %d;\n", interval)
+	fmt.Fprintf(&b, "  this.timer = null;\n")
+	fmt.Fprintf(&b, "}\n")
+
+	fmt.Fprintf(&b, "Carousel.prototype.show = function(index) {\n")
+	fmt.Fprintf(&b, "  for (var i = 0; i < this.slides.length; i++) {\n")
+	fmt.Fprintf(&b, "    this.slides[i].style.display = i === index ? \"block\" : \"none\";\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  this.current = index;\n")
+	fmt.Fprintf(&b, "};\n")
+
+	fmt.Fprintf(&b, "Carousel.prototype.next = function() {\n")
+	fmt.Fprintf(&b, "  var nextIndex = (this.current + 1) %% this.slides.length;\n")
+	fmt.Fprintf(&b, "  this.show(nextIndex);\n")
+	fmt.Fprintf(&b, "};\n")
+
+	fmt.Fprintf(&b, "Carousel.prototype.start = function() {\n")
+	fmt.Fprintf(&b, "  var self = this;\n")
+	fmt.Fprintf(&b, "  this.timer = setInterval(function() { self.next(); }, this.interval);\n")
+	fmt.Fprintf(&b, "};\n")
+
+	fmt.Fprintf(&b, "Carousel.prototype.stop = function() {\n")
+	fmt.Fprintf(&b, "  if (this.timer) { clearInterval(this.timer); this.timer = null; }\n")
+	fmt.Fprintf(&b, "};\n")
+
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "var gallery = new Carousel(document.getElementById(\"gallery\"),\n")
+		fmt.Fprintf(&b, "  document.querySelectorAll(\".slide\"));\n")
+		fmt.Fprintf(&b, "gallery.start();\n")
+		fmt.Fprintf(&b, "document.getElementById(\"pause\").onclick = function() { gallery.stop(); };\n")
+	} else {
+		fmt.Fprintf(&b, "var banners = new Carousel(document.querySelector(\".banner\"),\n")
+		fmt.Fprintf(&b, "  document.querySelectorAll(\".banner-item\"));\n")
+		fmt.Fprintf(&b, "banners.show(0);\n")
+		fmt.Fprintf(&b, "window.addEventListener(\"load\", function() { banners.start(); });\n")
+	}
+	return b.String()
+}
+
+// genDataTable emits sorting/filtering logic over row data.
+func genDataTable(rng *rand.Rand) string {
+	var b strings.Builder
+	cols := uniqueNouns(rng, 3)
+	rows := 3 + rng.Intn(4)
+	fmt.Fprintf(&b, "var tableData = [\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "  { %s: \"%s%d\", %s: %d, %s: %v }",
+			cols[0], cols[0], i, cols[1], rng.Intn(1000), cols[2], rng.Intn(2) == 0)
+		if i < rows-1 {
+			fmt.Fprintf(&b, ",")
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "];\n")
+
+	fmt.Fprintf(&b, "function sortBy(data, key, ascending) {\n")
+	fmt.Fprintf(&b, "  var copy = data.slice();\n")
+	fmt.Fprintf(&b, "  copy.sort(function(a, b) {\n")
+	fmt.Fprintf(&b, "    if (a[key] < b[key]) { return ascending ? -1 : 1; }\n")
+	fmt.Fprintf(&b, "    if (a[key] > b[key]) { return ascending ? 1 : -1; }\n")
+	fmt.Fprintf(&b, "    return 0;\n")
+	fmt.Fprintf(&b, "  });\n")
+	fmt.Fprintf(&b, "  return copy;\n")
+	fmt.Fprintf(&b, "}\n")
+
+	fmt.Fprintf(&b, "function renderTable(data) {\n")
+	fmt.Fprintf(&b, "  var tbody = document.querySelector(\"#data tbody\");\n")
+	fmt.Fprintf(&b, "  var html = \"\";\n")
+	fmt.Fprintf(&b, "  for (var i = 0; i < data.length; i++) {\n")
+	fmt.Fprintf(&b, "    var row = data[i];\n")
+	fmt.Fprintf(&b, "    html += \"<tr><td>\" + row.%s + \"</td><td>\" + row.%s + \"</td></tr>\";\n", cols[0], cols[1])
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  tbody.innerHTML = html;\n")
+	fmt.Fprintf(&b, "}\n")
+
+	fmt.Fprintf(&b, "function filterRows(data, query) {\n")
+	fmt.Fprintf(&b, "  var out = [];\n")
+	fmt.Fprintf(&b, "  for (var i = 0; i < data.length; i++) {\n")
+	fmt.Fprintf(&b, "    if (String(data[i].%s).indexOf(query) >= 0) { out.push(data[i]); }\n", cols[0])
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  return out;\n")
+	fmt.Fprintf(&b, "}\n")
+
+	fmt.Fprintf(&b, "renderTable(sortBy(tableData, \"%s\", true));\n", cols[1])
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "document.getElementById(\"search\").oninput = function(e) {\n")
+		fmt.Fprintf(&b, "  renderTable(filterRows(tableData, e.target.value));\n")
+		fmt.Fprintf(&b, "};\n")
+	}
+	return b.String()
+}
+
+// genEventTracking emits a consent-respecting analytics snippet: batching
+// page-view events and flushing them on a timer.
+func genEventTracking(rng *rand.Rand) string {
+	var b strings.Builder
+	batch := 5 + rng.Intn(15)
+	fmt.Fprintf(&b, "var analyticsQueue = [];\n")
+	fmt.Fprintf(&b, "var batchSize = %d;\n", batch)
+	fmt.Fprintf(&b, "var consentGiven = false;\n")
+
+	fmt.Fprintf(&b, "function recordEvent(category, action) {\n")
+	fmt.Fprintf(&b, "  if (!consentGiven) { return; }\n")
+	fmt.Fprintf(&b, "  analyticsQueue.push({\n")
+	fmt.Fprintf(&b, "    category: category,\n")
+	fmt.Fprintf(&b, "    action: action,\n")
+	fmt.Fprintf(&b, "    page: location.pathname,\n")
+	fmt.Fprintf(&b, "    when: Date.now()\n")
+	fmt.Fprintf(&b, "  });\n")
+	fmt.Fprintf(&b, "  if (analyticsQueue.length >= batchSize) { flushEvents(); }\n")
+	fmt.Fprintf(&b, "}\n")
+
+	fmt.Fprintf(&b, "function flushEvents() {\n")
+	fmt.Fprintf(&b, "  if (analyticsQueue.length === 0) { return; }\n")
+	fmt.Fprintf(&b, "  var payload = JSON.stringify(analyticsQueue);\n")
+	fmt.Fprintf(&b, "  var xhr = new XMLHttpRequest();\n")
+	fmt.Fprintf(&b, "  xhr.open(\"POST\", \"/analytics/collect\", true);\n")
+	fmt.Fprintf(&b, "  xhr.setRequestHeader(\"Content-Type\", \"application/json\");\n")
+	fmt.Fprintf(&b, "  xhr.send(payload);\n")
+	fmt.Fprintf(&b, "  analyticsQueue = [];\n")
+	fmt.Fprintf(&b, "}\n")
+
+	fmt.Fprintf(&b, "function enableTracking() {\n")
+	fmt.Fprintf(&b, "  consentGiven = true;\n")
+	fmt.Fprintf(&b, "  recordEvent(\"page\", \"view\");\n")
+	fmt.Fprintf(&b, "}\n")
+
+	fmt.Fprintf(&b, "document.getElementById(\"consent-accept\").onclick = enableTracking;\n")
+	fmt.Fprintf(&b, "setInterval(flushEvents, %d);\n", 10000+rng.Intn(20000))
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "window.addEventListener(\"beforeunload\", flushEvents);\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/js/parser"
+)
+
+func TestGenerateCountsAndLabels(t *testing.T) {
+	samples := Generate(Config{Benign: 24, Malicious: 18, Seed: 1})
+	if len(samples) != 42 {
+		t.Fatalf("generated %d samples, want 42", len(samples))
+	}
+	var benign, malicious int
+	for _, s := range samples {
+		if s.Malicious {
+			malicious++
+		} else {
+			benign++
+		}
+	}
+	if benign != 24 || malicious != 18 {
+		t.Errorf("benign/malicious = %d/%d", benign, malicious)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Generate(Config{Benign: 12, Malicious: 12, Seed: 9})
+	b := Generate(Config{Benign: 12, Malicious: 12, Seed: 9})
+	for i := range a {
+		if a[i].Source != b[i].Source || a[i].Family != b[i].Family {
+			t.Fatalf("sample %d differs between runs", i)
+		}
+	}
+	c := Generate(Config{Benign: 12, Malicious: 12, Seed: 10})
+	same := 0
+	for i := range a {
+		if a[i].Source == c[i].Source {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestEverySampleParses(t *testing.T) {
+	samples := Generate(Config{Benign: 48, Malicious: 48, Seed: 2})
+	for i, s := range samples {
+		if _, err := parser.Parse(s.Source); err != nil {
+			t.Errorf("sample %d (%s, transform=%q) does not parse: %v",
+				i, s.Family, s.Transform, err)
+		}
+	}
+}
+
+func TestFamilyCoverage(t *testing.T) {
+	samples := Generate(Config{Benign: 30, Malicious: 30, Seed: 3})
+	counts := FamilyCounts(samples)
+	if len(counts) != 12 {
+		t.Errorf("families = %d, want 12 (6 benign + 6 malicious)", len(counts))
+	}
+	for fam, n := range counts {
+		if n != 5 {
+			t.Errorf("family %s has %d samples, want 5 (round-robin)", fam, n)
+		}
+	}
+}
+
+func TestWildTransformDistribution(t *testing.T) {
+	samples := Generate(Config{Benign: 200, Malicious: 200, Seed: 4})
+	transformed := map[bool]int{}
+	minified := map[bool]int{}
+	for _, s := range samples {
+		if s.Transform != "" {
+			transformed[s.Malicious]++
+		}
+		if s.Transform == "minify" {
+			minified[s.Malicious]++
+		}
+	}
+	// Benign: ~71% transformed (60% minify). Malicious: ~70% transformed.
+	if transformed[false] < 100 || transformed[false] > 180 {
+		t.Errorf("benign transformed = %d/200, outside expected band", transformed[false])
+	}
+	if minified[false] < 80 {
+		t.Errorf("benign minified = %d/200, want majority", minified[false])
+	}
+	if transformed[true] < 100 {
+		t.Errorf("malicious transformed = %d/200", transformed[true])
+	}
+}
+
+func TestPristineDisablesTransforms(t *testing.T) {
+	samples := Generate(Config{Benign: 30, Malicious: 30, Seed: 5, Pristine: true})
+	for _, s := range samples {
+		if s.Transform != "" {
+			t.Fatalf("pristine corpus has transform %q", s.Transform)
+		}
+	}
+}
+
+func TestMaliciousSamplesCarrySuspiciousAPIs(t *testing.T) {
+	samples := Generate(Config{Benign: 0, Malicious: 60, Seed: 6, Pristine: true})
+	suspicious := 0
+	for _, s := range samples {
+		if strings.Contains(s.Source, "eval") ||
+			strings.Contains(s.Source, "unescape") ||
+			strings.Contains(s.Source, "fromCharCode") ||
+			strings.Contains(s.Source, "ActiveXObject") ||
+			strings.Contains(s.Source, "127.0.0.1") ||
+			strings.Contains(s.Source, "btoa") {
+			suspicious++
+		}
+	}
+	if suspicious < 50 {
+		t.Errorf("only %d/60 malicious samples carry attack markers", suspicious)
+	}
+}
+
+func TestBenignSamplesAvoidExfiltrationHosts(t *testing.T) {
+	samples := Generate(Config{Benign: 60, Malicious: 0, Seed: 7, Pristine: true})
+	for _, s := range samples {
+		if strings.Contains(s.Source, "127.0.0.1") {
+			t.Errorf("benign %s sample contains the exfiltration placeholder host", s.Family)
+		}
+	}
+}
+
+func TestDiversifyPreservesParseability(t *testing.T) {
+	samples := Generate(Config{Benign: 20, Malicious: 20, Seed: 8, Pristine: true})
+	for _, s := range samples {
+		if _, err := parser.Parse(s.Source); err != nil {
+			t.Fatalf("diversified %s sample broken: %v", s.Family, err)
+		}
+	}
+}
+
+func TestSamplesVaryWithinFamily(t *testing.T) {
+	samples := Generate(Config{Benign: 24, Malicious: 0, Seed: 9, Pristine: true})
+	byFamily := make(map[string][]string)
+	for _, s := range samples {
+		byFamily[s.Family] = append(byFamily[s.Family], s.Source)
+	}
+	for fam, sources := range byFamily {
+		for i := 1; i < len(sources); i++ {
+			if sources[i] == sources[0] {
+				t.Errorf("family %s emitted identical samples", fam)
+			}
+		}
+	}
+}

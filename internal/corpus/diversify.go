@@ -1,0 +1,59 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/js/printer"
+)
+
+// diversify applies semantics-preserving structural polymorphism to a
+// generated sample: top-level function declarations move to random
+// positions (hoisting makes this a no-op at runtime), and a fraction of
+// samples gets wrapped in an IIFE with its declarations lifted alongside —
+// the two dominant structural presentation differences between otherwise
+// similar real-world scripts. This keeps every family from having a single
+// rigid AST skeleton that n-gram features could fingerprint.
+func diversify(src string, rng *rand.Rand) string {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return src
+	}
+	// Partition: function declarations are order-independent; everything
+	// else keeps its relative order.
+	var funcs []ast.Statement
+	var rest []ast.Statement
+	for _, s := range prog.Body {
+		if _, ok := s.(*ast.FunctionDeclaration); ok {
+			funcs = append(funcs, s)
+		} else {
+			rest = append(rest, s)
+		}
+	}
+	rng.Shuffle(len(funcs), func(i, j int) { funcs[i], funcs[j] = funcs[j], funcs[i] })
+
+	// Interleave the shuffled functions at random positions among the rest.
+	body := make([]ast.Statement, 0, len(prog.Body))
+	body = append(body, rest...)
+	for _, f := range funcs {
+		pos := 0
+		if len(body) > 0 {
+			pos = rng.Intn(len(body) + 1)
+		}
+		body = append(body[:pos], append([]ast.Statement{f}, body[pos:]...)...)
+	}
+	prog.Body = body
+
+	// A third of samples ship as an IIFE module, a common real-world shape.
+	if rng.Intn(3) == 0 {
+		prog.Body = []ast.Statement{
+			&ast.ExpressionStatement{Expression: &ast.CallExpression{
+				Callee: &ast.FunctionExpression{
+					Body: &ast.BlockStatement{Body: prog.Body},
+				},
+			}},
+		}
+	}
+	return printer.Print(prog)
+}

@@ -1,0 +1,77 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// fillerSnippets emits class-neutral helper code appended to samples of
+// both classes. Real web pages and real droppers alike carry generic
+// utility code (polyfills, helpers, boilerplate), and this shared material
+// keeps the two populations from being separable by surface structure
+// alone — the detectors must find the *semantic* signal, as they must on
+// the paper's real corpora.
+func fillerSnippets(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			name := ident(rng)
+			fmt.Fprintf(&b, "function %s(a, b) {\n", name)
+			fmt.Fprintf(&b, "  if (a === undefined) { return b; }\n")
+			fmt.Fprintf(&b, "  return a;\n")
+			fmt.Fprintf(&b, "}\n")
+		case 1:
+			name := ident(rng)
+			fmt.Fprintf(&b, "function %s(list, fn) {\n", name)
+			fmt.Fprintf(&b, "  var out = [];\n")
+			fmt.Fprintf(&b, "  for (var i = 0; i < list.length; i++) {\n")
+			fmt.Fprintf(&b, "    out.push(fn(list[i], i));\n")
+			fmt.Fprintf(&b, "  }\n")
+			fmt.Fprintf(&b, "  return out;\n")
+			fmt.Fprintf(&b, "}\n")
+		case 2:
+			name := ident(rng)
+			fmt.Fprintf(&b, "function %s(s) {\n", name)
+			fmt.Fprintf(&b, "  return s.replace(/^\\s+|\\s+$/g, \"\");\n")
+			fmt.Fprintf(&b, "}\n")
+		case 3:
+			name := noun(rng) + "Cfg"
+			fmt.Fprintf(&b, "var %s = { retries: %d, timeout: %d, debug: %v };\n",
+				name, 1+rng.Intn(5), 500+rng.Intn(5000), rng.Intn(2) == 0)
+		case 4:
+			name := ident(rng)
+			fmt.Fprintf(&b, "function %s(obj) {\n", name)
+			fmt.Fprintf(&b, "  var keys = [];\n")
+			fmt.Fprintf(&b, "  for (var k in obj) { keys.push(k); }\n")
+			fmt.Fprintf(&b, "  return keys;\n")
+			fmt.Fprintf(&b, "}\n")
+		case 5:
+			name := ident(rng)
+			lo, hi := rng.Intn(10), 50+rng.Intn(100)
+			fmt.Fprintf(&b, "function %s(v) {\n", name)
+			fmt.Fprintf(&b, "  if (v < %d) { return %d; }\n", lo, lo)
+			fmt.Fprintf(&b, "  if (v > %d) { return %d; }\n", hi, hi)
+			fmt.Fprintf(&b, "  return v;\n")
+			fmt.Fprintf(&b, "}\n")
+		case 6:
+			name := ident(rng)
+			fmt.Fprintf(&b, "var %sCount = 0;\n", name)
+			fmt.Fprintf(&b, "function %s() {\n", name)
+			fmt.Fprintf(&b, "  %sCount++;\n", name)
+			fmt.Fprintf(&b, "  return %sCount;\n", name)
+			fmt.Fprintf(&b, "}\n")
+		default:
+			name := ident(rng)
+			fmt.Fprintf(&b, "function %s(x) {\n", name)
+			fmt.Fprintf(&b, "  try {\n")
+			fmt.Fprintf(&b, "    return JSON.parse(x);\n")
+			fmt.Fprintf(&b, "  } catch (e) {\n")
+			fmt.Fprintf(&b, "    return null;\n")
+			fmt.Fprintf(&b, "  }\n")
+			fmt.Fprintf(&b, "}\n")
+		}
+	}
+	return b.String()
+}

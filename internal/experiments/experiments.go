@@ -1,0 +1,223 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic corpus: Tables I-VIII and Figures
+// 5-7. Each experiment returns a structured result with a Render method
+// that prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"jsrevealer/internal/baselines"
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/ml/classify"
+	"jsrevealer/internal/ml/metrics"
+	"jsrevealer/internal/obfuscate"
+)
+
+// Config sizes the experiments. The defaults trade a few minutes of CPU for
+// stable numbers; the benchmarks shrink them further.
+type Config struct {
+	// TrainPerClass is the number of training samples per class (the paper
+	// uses 15,000 after its 75/25 split of 20,000).
+	TrainPerClass int
+	// TestPerClass is the number of held-out test samples per class.
+	TestPerClass int
+	// Repetitions averages results over independent corpus splits (the
+	// paper repeats five times).
+	Repetitions int
+	// Seed drives corpus generation and model seeds.
+	Seed int64
+}
+
+// DefaultConfig returns the standard experiment size.
+func DefaultConfig() Config {
+	return Config{TrainPerClass: 450, TestPerClass: 150, Repetitions: 3, Seed: 42}
+}
+
+// QuickConfig returns a small configuration for smoke tests and benchmarks.
+func QuickConfig() Config {
+	return Config{TrainPerClass: 120, TestPerClass: 40, Repetitions: 1, Seed: 42}
+}
+
+// split is one train/test partition of a generated corpus.
+type split struct {
+	train []core.Sample
+	test  []corpus.Sample
+}
+
+// makeSplit generates a fresh corpus for repetition rep and partitions it.
+func makeSplit(cfg Config, rep int) split {
+	total := cfg.TrainPerClass + cfg.TestPerClass
+	samples := corpus.Generate(corpus.Config{
+		Benign:    total,
+		Malicious: total,
+		Seed:      cfg.Seed + int64(rep)*7919,
+	})
+	// Shuffle deterministically, then split per class to keep both sides
+	// balanced, as the paper's protocol prescribes.
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*104729 + 1))
+	rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+	var sp split
+	trainCount := map[bool]int{}
+	for _, s := range samples {
+		if trainCount[s.Malicious] < cfg.TrainPerClass {
+			sp.train = append(sp.train, core.Sample{Source: s.Source, Malicious: s.Malicious})
+			trainCount[s.Malicious]++
+		} else {
+			sp.test = append(sp.test, s)
+		}
+	}
+	return sp
+}
+
+// NamedDetector is the common surface of JSRevealer and the baselines.
+type NamedDetector interface {
+	Name() string
+	Detect(src string) (bool, error)
+}
+
+// DetectorOrder lists the five detectors in the paper's table order.
+func DetectorOrder() []string {
+	return []string{"CUJO", "ZOZZLE", "JAST", "JSTAP", "JSRevealer"}
+}
+
+// trainAll trains JSRevealer plus the four baselines on one split.
+func trainAll(sp split, seed int64) (map[string]NamedDetector, error) {
+	out := make(map[string]NamedDetector, 5)
+
+	opts := core.DefaultOptions()
+	opts.Seed = seed
+	opts.Embedding.Seed = seed
+	js, err := core.Train(sp.train, nil, opts)
+	if err != nil {
+		return nil, fmt.Errorf("train JSRevealer: %w", err)
+	}
+	out["JSRevealer"] = js
+
+	for _, mk := range []func(int64) (baselines.Extractor, classify.Trainer){
+		baselines.NewCUJO,
+		baselines.NewZOZZLE,
+		baselines.NewJAST,
+		baselines.NewJSTAP,
+	} {
+		ex, tr := mk(seed)
+		det, err := baselines.Train(ex, tr, sp.train)
+		if err != nil {
+			return nil, fmt.Errorf("train %s: %w", ex.Name(), err)
+		}
+		out[det.Name()] = det
+	}
+	return out, nil
+}
+
+// evaluate runs a detector over a test set, optionally transformed by an
+// obfuscator, and returns the metric report. Detection errors (unparseable
+// transforms) count as benign predictions — a detector that cannot analyze
+// a file cannot flag it.
+func evaluate(det NamedDetector, test []corpus.Sample, ob obfuscate.Obfuscator) metrics.Report {
+	var c metrics.Confusion
+	for _, s := range test {
+		src := s.Source
+		if ob != nil {
+			if out, err := ob.Obfuscate(src); err == nil {
+				src = out
+			}
+		}
+		pred, err := det.Detect(src)
+		if err != nil {
+			pred = false
+		}
+		c.Add(s.Malicious, pred)
+	}
+	return metrics.ReportOf(c)
+}
+
+// obfuscatedTestSets pre-computes the test set under every condition so
+// repeated evaluations (K sweeps, multiple detectors) do not re-obfuscate.
+func obfuscatedTestSets(test []corpus.Sample, rep int, seed int64) map[string][]corpus.Sample {
+	out := make(map[string][]corpus.Sample, len(Conditions()))
+	for _, cond := range Conditions() {
+		ob := obfuscatorFor(cond, rep, seed)
+		if ob == nil {
+			out[cond] = test
+			continue
+		}
+		transformed := make([]corpus.Sample, len(test))
+		for i, s := range test {
+			transformed[i] = s
+			if src, err := ob.Obfuscate(s.Source); err == nil {
+				transformed[i].Source = src
+			}
+		}
+		out[cond] = transformed
+	}
+	return out
+}
+
+// obfuscatorFor returns the named obfuscator seeded for a repetition, or
+// nil for the unobfuscated baseline condition.
+func obfuscatorFor(name string, rep int, seed int64) obfuscate.Obfuscator {
+	if name == "" || name == "Baseline" {
+		return nil
+	}
+	return obfuscate.Registry(seed + int64(rep)*31)[name]
+}
+
+// Conditions lists the evaluation conditions in table order: the
+// unobfuscated baseline plus the four obfuscators.
+func Conditions() []string {
+	return append([]string{"Baseline"}, obfuscate.PaperOrder()...)
+}
+
+// ---------------------------------------------------------------------------
+// small rendering helpers shared by the table types
+// ---------------------------------------------------------------------------
+
+// renderGrid prints a header row and aligned data rows.
+func renderGrid(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/ml/metrics"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	return Config{TrainPerClass: 45, TestPerClass: 15, Repetitions: 1, Seed: 42}
+}
+
+func TestMakeSplitBalanced(t *testing.T) {
+	sp := makeSplit(tinyConfig(), 0)
+	if len(sp.train) != 90 {
+		t.Fatalf("train size = %d, want 90", len(sp.train))
+	}
+	if len(sp.test) != 30 {
+		t.Fatalf("test size = %d, want 30", len(sp.test))
+	}
+	trainMal := 0
+	for _, s := range sp.train {
+		if s.Malicious {
+			trainMal++
+		}
+	}
+	if trainMal != 45 {
+		t.Errorf("train malicious = %d, want 45", trainMal)
+	}
+	testMal := 0
+	for _, s := range sp.test {
+		if s.Malicious {
+			testMal++
+		}
+	}
+	if testMal != 15 {
+		t.Errorf("test malicious = %d, want 15", testMal)
+	}
+}
+
+func TestMakeSplitDeterministic(t *testing.T) {
+	a := makeSplit(tinyConfig(), 0)
+	b := makeSplit(tinyConfig(), 0)
+	for i := range a.train {
+		if a.train[i].Source != b.train[i].Source {
+			t.Fatal("split not deterministic")
+		}
+	}
+	c := makeSplit(tinyConfig(), 1)
+	if a.train[0].Source == c.train[0].Source && a.train[1].Source == c.train[1].Source {
+		t.Error("different repetitions should resample")
+	}
+}
+
+func TestConditionsAndOrder(t *testing.T) {
+	conds := Conditions()
+	if len(conds) != 5 || conds[0] != "Baseline" {
+		t.Errorf("conditions = %v", conds)
+	}
+	if len(DetectorOrder()) != 5 || DetectorOrder()[4] != "JSRevealer" {
+		t.Errorf("detector order = %v", DetectorOrder())
+	}
+}
+
+func TestObfuscatorFor(t *testing.T) {
+	if obfuscatorFor("Baseline", 0, 1) != nil || obfuscatorFor("", 0, 1) != nil {
+		t.Error("baseline condition should have no obfuscator")
+	}
+	if obfuscatorFor("Jfogs", 0, 1) == nil {
+		t.Error("named obfuscator missing")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res := Table1(tinyConfig())
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(res.Rows))
+	}
+	// Malicious families first, as in the paper's table.
+	if res.Rows[0].Class != "Malicious" {
+		t.Error("malicious families should come first")
+	}
+	total := 0
+	for _, r := range res.Rows {
+		total += r.Count
+	}
+	if total != 120 {
+		t.Errorf("total = %d, want 120", total)
+	}
+	if !strings.Contains(res.Render(), "Table I") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRenderGridAlignment(t *testing.T) {
+	out := renderGrid([]string{"A", "LongHeader"}, [][]string{{"xx", "y"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("grid lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "--") {
+		t.Error("missing separator row")
+	}
+}
+
+func TestElbowOf(t *testing.T) {
+	// A sharp knee at index 2 (K = kMin+2).
+	sse := []float64{100, 60, 30, 28, 27, 26}
+	if got := elbowOf(sse, 2); got != 4 {
+		t.Errorf("elbowOf = %d, want 4", got)
+	}
+	if got := elbowOf([]float64{5, 4}, 2); got != 2 {
+		t.Errorf("short curve elbow = %d, want kMin", got)
+	}
+}
+
+func TestComparisonResultDerivations(t *testing.T) {
+	res := ComparisonResult{Reports: map[string]map[string]metrics.Report{
+		"JSRevealer": {
+			"Baseline":              {Accuracy: 99, F1: 99},
+			"JavaScript-Obfuscator": {Accuracy: 80, F1: 82, FPR: 20, FNR: 10},
+			"Jfogs":                 {Accuracy: 90, F1: 90},
+			"JSObfu":                {Accuracy: 70, F1: 72},
+			"Jshaman":               {Accuracy: 92, F1: 93},
+		},
+	}}
+	avg := res.AverageOverObfuscators()["JSRevealer"]
+	if avg.Accuracy != 83 {
+		t.Errorf("avg accuracy = %v, want 83", avg.Accuracy)
+	}
+	for _, render := range []string{
+		res.RenderTable5(), res.RenderTable6(), res.RenderFigure6(), res.RenderFigure7(),
+	} {
+		if !strings.Contains(render, "JSRevealer") {
+			t.Error("render missing detector row")
+		}
+	}
+}
+
+func TestTable3BestSelection(t *testing.T) {
+	res := Table3Result{
+		KBenign:    []int{5, 7},
+		KMalicious: []int{4, 6},
+		F1:         [][]float64{{70, 75}, {80, 72}},
+	}
+	kb, km, f1 := res.Best()
+	if kb != 7 || km != 4 || f1 != 80 {
+		t.Errorf("Best = %d/%d/%v", kb, km, f1)
+	}
+	if !strings.Contains(res.Render(), "best: K benign=7") {
+		t.Error("render missing best line")
+	}
+}
+
+// TestEndToEndQuickExperiments exercises the full harness once at tiny scale.
+func TestEndToEndQuickExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	cfg := tinyConfig()
+	res, err := Comparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, det := range DetectorOrder() {
+		conds, ok := res.Reports[det]
+		if !ok {
+			t.Fatalf("missing detector %s", det)
+		}
+		base := conds["Baseline"]
+		if base.Accuracy < 60 {
+			t.Errorf("%s baseline accuracy = %.1f, implausibly low", det, base.Accuracy)
+		}
+	}
+	fig5, err := Figure5(cfg, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig5.BenignSSE) != 4 || len(fig5.MaliciousSSE) != 4 {
+		t.Errorf("figure 5 curve lengths: %d/%d", len(fig5.BenignSSE), len(fig5.MaliciousSSE))
+	}
+	if fig5.BenignElbow < 2 || fig5.BenignElbow > 5 {
+		t.Errorf("benign elbow = %d out of range", fig5.BenignElbow)
+	}
+	t7, err := Table7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Features) != 5 {
+		t.Errorf("table 7 features = %d", len(t7.Features))
+	}
+	t8, err := Table8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Rows) != 8 {
+		t.Errorf("table 8 rows = %d, want 8", len(t8.Rows))
+	}
+	if t8.PerFileDetect <= 0 {
+		t.Error("per-file detection time not measured")
+	}
+}

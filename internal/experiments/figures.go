@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/ml/cluster"
+)
+
+// Figure5Result holds the SSE-vs-K elbow curves for benign and malicious
+// path-vector pools.
+type Figure5Result struct {
+	KMin, KMax     int
+	BenignSSE      []float64
+	MaliciousSSE   []float64
+	BenignElbow    int
+	MaliciousElbow int
+}
+
+// Figure5 computes the elbow curves over the outlier-filtered pools of a
+// prepared training pass.
+func Figure5(cfg Config, kMin, kMax int) (Figure5Result, error) {
+	if kMin <= 0 {
+		kMin = 2
+	}
+	if kMax <= 0 {
+		kMax = 15
+	}
+	res := Figure5Result{KMin: kMin, KMax: kMax}
+	sp := makeSplit(cfg, 0)
+	opts := core.DefaultOptions()
+	opts.Seed = cfg.Seed
+	opts.Embedding.Seed = cfg.Seed
+	prep, err := core.Prepare(sp.train, nil, opts)
+	if err != nil {
+		return res, err
+	}
+	res.BenignSSE, err = cluster.ElbowCurve(prep.PoolVectors(false), kMin, kMax, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	res.MaliciousSSE, err = cluster.ElbowCurve(prep.PoolVectors(true), kMin, kMax, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	res.BenignElbow = elbowOf(res.BenignSSE, kMin)
+	res.MaliciousElbow = elbowOf(res.MaliciousSSE, kMin)
+	return res, nil
+}
+
+// elbowOf picks the K whose point is farthest from the line between the
+// first and last points of the SSE curve (the standard knee heuristic).
+func elbowOf(sse []float64, kMin int) int {
+	n := len(sse)
+	if n < 3 {
+		return kMin
+	}
+	x1, y1 := 0.0, sse[0]
+	x2, y2 := float64(n-1), sse[n-1]
+	best, bestD := 0, -1.0
+	for i := 0; i < n; i++ {
+		// Distance of (i, sse[i]) from the line (x1,y1)-(x2,y2).
+		num := (y2-y1)*float64(i) - (x2-x1)*sse[i] + x2*y1 - y2*x1
+		if num < 0 {
+			num = -num
+		}
+		den := (y2-y1)*(y2-y1) + (x2-x1)*(x2-x1)
+		d := num * num / den
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return kMin + best
+}
+
+// Render prints the two curves with ASCII sparkbars plus the detected
+// elbows.
+func (r Figure5Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: SSE for different K values (elbow method)\n")
+	writeCurve := func(name string, sse []float64, elbow int) {
+		sb.WriteString(name + ":\n")
+		maxV := 0.0
+		for _, v := range sse {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		for i, v := range sse {
+			k := r.KMin + i
+			bar := 0
+			if maxV > 0 {
+				bar = int(v / maxV * 40)
+			}
+			marker := ""
+			if k == elbow {
+				marker = "  <- elbow"
+			}
+			sb.WriteString(fmt.Sprintf("  K=%-3d %-40s %10.2f%s\n", k,
+				strings.Repeat("#", bar), v, marker))
+		}
+	}
+	writeCurve("benign", r.BenignSSE, r.BenignElbow)
+	writeCurve("malicious", r.MaliciousSSE, r.MaliciousElbow)
+	return sb.String()
+}

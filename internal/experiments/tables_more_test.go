@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable2Quick runs the classifier comparison at tiny scale and checks
+// that every classifier produces sane metrics.
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline experiment in -short mode")
+	}
+	res, err := Table2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("classifiers = %d", len(res.Rows))
+	}
+	for name, report := range res.Rows {
+		if report.Accuracy < 50 || report.Accuracy > 100 {
+			t.Errorf("%s accuracy = %v out of range", name, report.Accuracy)
+		}
+		if report.F1 < 0 || report.F1 > 100 {
+			t.Errorf("%s F1 = %v out of range", name, report.F1)
+		}
+	}
+	out := res.Render()
+	for _, name := range Table2Classifiers() {
+		if !strings.Contains(out, name) {
+			t.Errorf("render missing %s", name)
+		}
+	}
+}
+
+// TestTable3Quick sweeps a 2x2 K grid at tiny scale.
+func TestTable3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline experiment in -short mode")
+	}
+	res, err := Table3(tinyConfig(), []int{7, 11}, []int{4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.F1) != 2 || len(res.F1[0]) != 2 {
+		t.Fatalf("grid shape = %dx%d", len(res.F1), len(res.F1[0]))
+	}
+	kb, km, f1 := res.Best()
+	if kb == 0 || km == 0 || f1 <= 0 {
+		t.Errorf("Best = %d/%d/%v", kb, km, f1)
+	}
+}
+
+// TestTable4Quick runs the enhanced-vs-regular ablation at tiny scale and
+// checks the shape claim: the regular AST has a (weakly) higher FPR on
+// average, the paper's headline for Table IV.
+func TestTable4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline experiment in -short mode")
+	}
+	res, err := Table4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"enhanced", "regular"} {
+		if len(res.Rows[mode]) != 5 {
+			t.Fatalf("%s rows = %d", mode, len(res.Rows[mode]))
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "enhanced") || !strings.Contains(out, "regular") {
+		t.Error("render missing modes")
+	}
+}
+
+// TestObfuscatedTestSetsCache checks the cache covers all conditions and
+// leaves the baseline untouched.
+func TestObfuscatedTestSetsCache(t *testing.T) {
+	sp := makeSplit(tinyConfig(), 0)
+	sets := obfuscatedTestSets(sp.test, 0, 42)
+	if len(sets) != len(Conditions()) {
+		t.Fatalf("conditions = %d", len(sets))
+	}
+	for i := range sp.test {
+		if sets["Baseline"][i].Source != sp.test[i].Source {
+			t.Fatal("baseline condition must not transform sources")
+		}
+	}
+	changed := 0
+	for i := range sp.test {
+		if sets["Jshaman"][i].Source != sp.test[i].Source {
+			changed++
+		}
+		if sets["Jshaman"][i].Malicious != sp.test[i].Malicious {
+			t.Fatal("labels corrupted by the cache")
+		}
+	}
+	if changed == 0 {
+		t.Error("obfuscated condition identical to baseline")
+	}
+}

@@ -1,0 +1,755 @@
+// Package ast defines an ESTree-shaped abstract syntax tree for JavaScript.
+//
+// The node vocabulary mirrors the ESTree specification used by Esprima, the
+// parser the JSRevealer paper builds on: node type names such as
+// "VariableDeclaration", "CallExpression", and "MemberExpression" are exactly
+// the strings that appear in extracted path contexts, so downstream packages
+// (pathctx, baselines, obfuscate) depend on these names being stable.
+package ast
+
+import "fmt"
+
+// Node is implemented by every AST node.
+type Node interface {
+	// Type returns the ESTree type name of the node (e.g. "IfStatement").
+	Type() string
+	// Children returns the node's children in source order.
+	Children() []Node
+}
+
+// Statement is implemented by statement nodes.
+type Statement interface {
+	Node
+	stmtNode()
+}
+
+// Expression is implemented by expression nodes.
+type Expression interface {
+	Node
+	exprNode()
+}
+
+// Pattern is implemented by binding targets (identifiers, member expressions
+// in assignment position). ES5 subset: Identifier and MemberExpression.
+type Pattern interface {
+	Node
+	patternNode()
+}
+
+// Program is the root node of a parsed script.
+type Program struct {
+	Body []Statement
+}
+
+// Type implements Node.
+func (*Program) Type() string { return "Program" }
+
+// Children implements Node.
+func (p *Program) Children() []Node { return stmtsToNodes(p.Body) }
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// ExpressionStatement wraps an expression used as a statement.
+type ExpressionStatement struct {
+	Expression Expression
+}
+
+// Type implements Node.
+func (*ExpressionStatement) Type() string { return "ExpressionStatement" }
+
+// Children implements Node.
+func (s *ExpressionStatement) Children() []Node { return []Node{s.Expression} }
+
+// BlockStatement is a brace-delimited list of statements.
+type BlockStatement struct {
+	Body []Statement
+}
+
+// Type implements Node.
+func (*BlockStatement) Type() string { return "BlockStatement" }
+
+// Children implements Node.
+func (s *BlockStatement) Children() []Node { return stmtsToNodes(s.Body) }
+
+// EmptyStatement is a lone semicolon.
+type EmptyStatement struct{}
+
+// Type implements Node.
+func (*EmptyStatement) Type() string { return "EmptyStatement" }
+
+// Children implements Node.
+func (*EmptyStatement) Children() []Node { return nil }
+
+// DebuggerStatement is the `debugger` statement.
+type DebuggerStatement struct{}
+
+// Type implements Node.
+func (*DebuggerStatement) Type() string { return "DebuggerStatement" }
+
+// Children implements Node.
+func (*DebuggerStatement) Children() []Node { return nil }
+
+// VariableDeclaration declares one or more variables.
+type VariableDeclaration struct {
+	Kind         string // "var", "let", or "const"
+	Declarations []*VariableDeclarator
+}
+
+// Type implements Node.
+func (*VariableDeclaration) Type() string { return "VariableDeclaration" }
+
+// Children implements Node.
+func (s *VariableDeclaration) Children() []Node {
+	out := make([]Node, len(s.Declarations))
+	for i, d := range s.Declarations {
+		out[i] = d
+	}
+	return out
+}
+
+// VariableDeclarator is a single `name = init` inside a declaration.
+type VariableDeclarator struct {
+	ID   *Identifier
+	Init Expression // may be nil
+}
+
+// Type implements Node.
+func (*VariableDeclarator) Type() string { return "VariableDeclarator" }
+
+// Children implements Node.
+func (d *VariableDeclarator) Children() []Node {
+	if d.Init == nil {
+		return []Node{d.ID}
+	}
+	return []Node{d.ID, d.Init}
+}
+
+// FunctionDeclaration declares a named function.
+type FunctionDeclaration struct {
+	ID     *Identifier
+	Params []*Identifier
+	Body   *BlockStatement
+}
+
+// Type implements Node.
+func (*FunctionDeclaration) Type() string { return "FunctionDeclaration" }
+
+// Children implements Node.
+func (s *FunctionDeclaration) Children() []Node {
+	out := make([]Node, 0, len(s.Params)+2)
+	out = append(out, s.ID)
+	for _, p := range s.Params {
+		out = append(out, p)
+	}
+	return append(out, s.Body)
+}
+
+// ReturnStatement returns from a function.
+type ReturnStatement struct {
+	Argument Expression // may be nil
+}
+
+// Type implements Node.
+func (*ReturnStatement) Type() string { return "ReturnStatement" }
+
+// Children implements Node.
+func (s *ReturnStatement) Children() []Node {
+	if s.Argument == nil {
+		return nil
+	}
+	return []Node{s.Argument}
+}
+
+// IfStatement is a conditional with optional else branch.
+type IfStatement struct {
+	Test       Expression
+	Consequent Statement
+	Alternate  Statement // may be nil
+}
+
+// Type implements Node.
+func (*IfStatement) Type() string { return "IfStatement" }
+
+// Children implements Node.
+func (s *IfStatement) Children() []Node {
+	out := []Node{s.Test, s.Consequent}
+	if s.Alternate != nil {
+		out = append(out, s.Alternate)
+	}
+	return out
+}
+
+// ForStatement is a C-style for loop; any of Init/Test/Update may be nil.
+type ForStatement struct {
+	Init   Node // *VariableDeclaration or Expression, may be nil
+	Test   Expression
+	Update Expression
+	Body   Statement
+}
+
+// Type implements Node.
+func (*ForStatement) Type() string { return "ForStatement" }
+
+// Children implements Node.
+func (s *ForStatement) Children() []Node {
+	out := make([]Node, 0, 4)
+	if s.Init != nil {
+		out = append(out, s.Init)
+	}
+	if s.Test != nil {
+		out = append(out, s.Test)
+	}
+	if s.Update != nil {
+		out = append(out, s.Update)
+	}
+	return append(out, s.Body)
+}
+
+// ForInStatement is `for (x in obj) body`.
+type ForInStatement struct {
+	Left  Node // *VariableDeclaration or Pattern
+	Right Expression
+	Body  Statement
+}
+
+// Type implements Node.
+func (*ForInStatement) Type() string { return "ForInStatement" }
+
+// Children implements Node.
+func (s *ForInStatement) Children() []Node { return []Node{s.Left, s.Right, s.Body} }
+
+// WhileStatement is a pre-tested loop.
+type WhileStatement struct {
+	Test Expression
+	Body Statement
+}
+
+// Type implements Node.
+func (*WhileStatement) Type() string { return "WhileStatement" }
+
+// Children implements Node.
+func (s *WhileStatement) Children() []Node { return []Node{s.Test, s.Body} }
+
+// DoWhileStatement is a post-tested loop.
+type DoWhileStatement struct {
+	Body Statement
+	Test Expression
+}
+
+// Type implements Node.
+func (*DoWhileStatement) Type() string { return "DoWhileStatement" }
+
+// Children implements Node.
+func (s *DoWhileStatement) Children() []Node { return []Node{s.Body, s.Test} }
+
+// BreakStatement exits a loop or switch; Label may be nil.
+type BreakStatement struct {
+	Label *Identifier
+}
+
+// Type implements Node.
+func (*BreakStatement) Type() string { return "BreakStatement" }
+
+// Children implements Node.
+func (s *BreakStatement) Children() []Node {
+	if s.Label == nil {
+		return nil
+	}
+	return []Node{s.Label}
+}
+
+// ContinueStatement skips to the next loop iteration; Label may be nil.
+type ContinueStatement struct {
+	Label *Identifier
+}
+
+// Type implements Node.
+func (*ContinueStatement) Type() string { return "ContinueStatement" }
+
+// Children implements Node.
+func (s *ContinueStatement) Children() []Node {
+	if s.Label == nil {
+		return nil
+	}
+	return []Node{s.Label}
+}
+
+// LabeledStatement attaches a label to a statement.
+type LabeledStatement struct {
+	Label *Identifier
+	Body  Statement
+}
+
+// Type implements Node.
+func (*LabeledStatement) Type() string { return "LabeledStatement" }
+
+// Children implements Node.
+func (s *LabeledStatement) Children() []Node { return []Node{s.Label, s.Body} }
+
+// SwitchStatement dispatches on a discriminant expression.
+type SwitchStatement struct {
+	Discriminant Expression
+	Cases        []*SwitchCase
+}
+
+// Type implements Node.
+func (*SwitchStatement) Type() string { return "SwitchStatement" }
+
+// Children implements Node.
+func (s *SwitchStatement) Children() []Node {
+	out := make([]Node, 0, len(s.Cases)+1)
+	out = append(out, s.Discriminant)
+	for _, c := range s.Cases {
+		out = append(out, c)
+	}
+	return out
+}
+
+// SwitchCase is one `case test:` (or `default:` when Test is nil) clause.
+type SwitchCase struct {
+	Test       Expression // nil for default
+	Consequent []Statement
+}
+
+// Type implements Node.
+func (*SwitchCase) Type() string { return "SwitchCase" }
+
+// Children implements Node.
+func (c *SwitchCase) Children() []Node {
+	out := make([]Node, 0, len(c.Consequent)+1)
+	if c.Test != nil {
+		out = append(out, c.Test)
+	}
+	for _, s := range c.Consequent {
+		out = append(out, s)
+	}
+	return out
+}
+
+// ThrowStatement raises an exception.
+type ThrowStatement struct {
+	Argument Expression
+}
+
+// Type implements Node.
+func (*ThrowStatement) Type() string { return "ThrowStatement" }
+
+// Children implements Node.
+func (s *ThrowStatement) Children() []Node { return []Node{s.Argument} }
+
+// TryStatement is try/catch/finally; Handler and Finalizer may each be nil.
+type TryStatement struct {
+	Block     *BlockStatement
+	Handler   *CatchClause
+	Finalizer *BlockStatement
+}
+
+// Type implements Node.
+func (*TryStatement) Type() string { return "TryStatement" }
+
+// Children implements Node.
+func (s *TryStatement) Children() []Node {
+	out := []Node{s.Block}
+	if s.Handler != nil {
+		out = append(out, s.Handler)
+	}
+	if s.Finalizer != nil {
+		out = append(out, s.Finalizer)
+	}
+	return out
+}
+
+// CatchClause is the `catch (param) { ... }` part of a try statement.
+type CatchClause struct {
+	Param *Identifier
+	Body  *BlockStatement
+}
+
+// Type implements Node.
+func (*CatchClause) Type() string { return "CatchClause" }
+
+// Children implements Node.
+func (c *CatchClause) Children() []Node { return []Node{c.Param, c.Body} }
+
+// WithStatement is the (deprecated but common in malware) with statement.
+type WithStatement struct {
+	Object Expression
+	Body   Statement
+}
+
+// Type implements Node.
+func (*WithStatement) Type() string { return "WithStatement" }
+
+// Children implements Node.
+func (s *WithStatement) Children() []Node { return []Node{s.Object, s.Body} }
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Identifier is a name reference or binding occurrence.
+type Identifier struct {
+	Name string
+}
+
+// Type implements Node.
+func (*Identifier) Type() string { return "Identifier" }
+
+// Children implements Node.
+func (*Identifier) Children() []Node { return nil }
+
+// LiteralKind discriminates the runtime type of a Literal.
+type LiteralKind int
+
+// Literal kinds, starting at one so the zero value is invalid.
+const (
+	LiteralString LiteralKind = iota + 1
+	LiteralNumber
+	LiteralBool
+	LiteralNull
+	LiteralRegExp
+)
+
+// Literal is a primitive literal value.
+type Literal struct {
+	Kind    LiteralKind
+	StrVal  string  // for LiteralString and LiteralRegExp (raw pattern+flags)
+	NumVal  float64 // for LiteralNumber
+	BoolVal bool    // for LiteralBool
+	Raw     string  // original source text, used by the printer when set
+}
+
+// Type implements Node.
+func (*Literal) Type() string { return "Literal" }
+
+// Children implements Node.
+func (*Literal) Children() []Node { return nil }
+
+// Value returns a printable representation of the literal's value.
+func (l *Literal) Value() string {
+	switch l.Kind {
+	case LiteralString:
+		return l.StrVal
+	case LiteralNumber:
+		return trimFloat(l.NumVal)
+	case LiteralBool:
+		if l.BoolVal {
+			return "true"
+		}
+		return "false"
+	case LiteralNull:
+		return "null"
+	case LiteralRegExp:
+		return l.StrVal
+	default:
+		return ""
+	}
+}
+
+// ThisExpression is the `this` keyword.
+type ThisExpression struct{}
+
+// Type implements Node.
+func (*ThisExpression) Type() string { return "ThisExpression" }
+
+// Children implements Node.
+func (*ThisExpression) Children() []Node { return nil }
+
+// ArrayExpression is an array literal. Elements may contain nil holes.
+type ArrayExpression struct {
+	Elements []Expression
+}
+
+// Type implements Node.
+func (*ArrayExpression) Type() string { return "ArrayExpression" }
+
+// Children implements Node.
+func (e *ArrayExpression) Children() []Node {
+	out := make([]Node, 0, len(e.Elements))
+	for _, el := range e.Elements {
+		if el != nil {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// PropertyKind discriminates init/get/set object properties.
+type PropertyKind int
+
+// Property kinds.
+const (
+	PropertyInit PropertyKind = iota + 1
+	PropertyGet
+	PropertySet
+)
+
+// Property is a single key/value entry of an object literal.
+type Property struct {
+	Kind     PropertyKind
+	Key      Expression // *Identifier or *Literal
+	Value    Expression
+	Computed bool
+}
+
+// Type implements Node.
+func (*Property) Type() string { return "Property" }
+
+// Children implements Node.
+func (p *Property) Children() []Node { return []Node{p.Key, p.Value} }
+
+// ObjectExpression is an object literal.
+type ObjectExpression struct {
+	Properties []*Property
+}
+
+// Type implements Node.
+func (*ObjectExpression) Type() string { return "ObjectExpression" }
+
+// Children implements Node.
+func (e *ObjectExpression) Children() []Node {
+	out := make([]Node, len(e.Properties))
+	for i, p := range e.Properties {
+		out[i] = p
+	}
+	return out
+}
+
+// FunctionExpression is an anonymous or named function expression.
+type FunctionExpression struct {
+	ID     *Identifier // may be nil
+	Params []*Identifier
+	Body   *BlockStatement
+}
+
+// Type implements Node.
+func (*FunctionExpression) Type() string { return "FunctionExpression" }
+
+// Children implements Node.
+func (e *FunctionExpression) Children() []Node {
+	out := make([]Node, 0, len(e.Params)+2)
+	if e.ID != nil {
+		out = append(out, e.ID)
+	}
+	for _, p := range e.Params {
+		out = append(out, p)
+	}
+	return append(out, e.Body)
+}
+
+// UnaryExpression is a prefix operator application (`typeof x`, `-x`, ...).
+type UnaryExpression struct {
+	Operator string
+	Argument Expression
+}
+
+// Type implements Node.
+func (*UnaryExpression) Type() string { return "UnaryExpression" }
+
+// Children implements Node.
+func (e *UnaryExpression) Children() []Node { return []Node{e.Argument} }
+
+// UpdateExpression is `++x`, `x++`, `--x`, or `x--`.
+type UpdateExpression struct {
+	Operator string // "++" or "--"
+	Argument Expression
+	Prefix   bool
+}
+
+// Type implements Node.
+func (*UpdateExpression) Type() string { return "UpdateExpression" }
+
+// Children implements Node.
+func (e *UpdateExpression) Children() []Node { return []Node{e.Argument} }
+
+// BinaryExpression is a non-logical binary operator application.
+type BinaryExpression struct {
+	Operator string
+	Left     Expression
+	Right    Expression
+}
+
+// Type implements Node.
+func (*BinaryExpression) Type() string { return "BinaryExpression" }
+
+// Children implements Node.
+func (e *BinaryExpression) Children() []Node { return []Node{e.Left, e.Right} }
+
+// LogicalExpression is `&&` or `||`.
+type LogicalExpression struct {
+	Operator string // "&&" or "||"
+	Left     Expression
+	Right    Expression
+}
+
+// Type implements Node.
+func (*LogicalExpression) Type() string { return "LogicalExpression" }
+
+// Children implements Node.
+func (e *LogicalExpression) Children() []Node { return []Node{e.Left, e.Right} }
+
+// AssignmentExpression is `target op value` where op includes compound forms.
+type AssignmentExpression struct {
+	Operator string // "=", "+=", "-=", ...
+	Left     Expression
+	Right    Expression
+}
+
+// Type implements Node.
+func (*AssignmentExpression) Type() string { return "AssignmentExpression" }
+
+// Children implements Node.
+func (e *AssignmentExpression) Children() []Node { return []Node{e.Left, e.Right} }
+
+// ConditionalExpression is the ternary `test ? a : b`.
+type ConditionalExpression struct {
+	Test       Expression
+	Consequent Expression
+	Alternate  Expression
+}
+
+// Type implements Node.
+func (*ConditionalExpression) Type() string { return "ConditionalExpression" }
+
+// Children implements Node.
+func (e *ConditionalExpression) Children() []Node {
+	return []Node{e.Test, e.Consequent, e.Alternate}
+}
+
+// CallExpression is a function or method call.
+type CallExpression struct {
+	Callee    Expression
+	Arguments []Expression
+}
+
+// Type implements Node.
+func (*CallExpression) Type() string { return "CallExpression" }
+
+// Children implements Node.
+func (e *CallExpression) Children() []Node {
+	out := make([]Node, 0, len(e.Arguments)+1)
+	out = append(out, e.Callee)
+	for _, a := range e.Arguments {
+		out = append(out, a)
+	}
+	return out
+}
+
+// NewExpression is `new Callee(args)`.
+type NewExpression struct {
+	Callee    Expression
+	Arguments []Expression
+}
+
+// Type implements Node.
+func (*NewExpression) Type() string { return "NewExpression" }
+
+// Children implements Node.
+func (e *NewExpression) Children() []Node {
+	out := make([]Node, 0, len(e.Arguments)+1)
+	out = append(out, e.Callee)
+	for _, a := range e.Arguments {
+		out = append(out, a)
+	}
+	return out
+}
+
+// MemberExpression is `obj.prop` (Computed=false) or `obj[expr]` (true).
+type MemberExpression struct {
+	Object   Expression
+	Property Expression
+	Computed bool
+}
+
+// Type implements Node.
+func (*MemberExpression) Type() string { return "MemberExpression" }
+
+// Children implements Node.
+func (e *MemberExpression) Children() []Node { return []Node{e.Object, e.Property} }
+
+// SequenceExpression is the comma operator `a, b, c`.
+type SequenceExpression struct {
+	Expressions []Expression
+}
+
+// Type implements Node.
+func (*SequenceExpression) Type() string { return "SequenceExpression" }
+
+// Children implements Node.
+func (e *SequenceExpression) Children() []Node {
+	out := make([]Node, len(e.Expressions))
+	for i, x := range e.Expressions {
+		out[i] = x
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Interface conformance markers
+// ---------------------------------------------------------------------------
+
+func (*ExpressionStatement) stmtNode() {}
+func (*BlockStatement) stmtNode()      {}
+func (*EmptyStatement) stmtNode()      {}
+func (*DebuggerStatement) stmtNode()   {}
+func (*VariableDeclaration) stmtNode() {}
+func (*FunctionDeclaration) stmtNode() {}
+func (*ReturnStatement) stmtNode()     {}
+func (*IfStatement) stmtNode()         {}
+func (*ForStatement) stmtNode()        {}
+func (*ForInStatement) stmtNode()      {}
+func (*WhileStatement) stmtNode()      {}
+func (*DoWhileStatement) stmtNode()    {}
+func (*BreakStatement) stmtNode()      {}
+func (*ContinueStatement) stmtNode()   {}
+func (*LabeledStatement) stmtNode()    {}
+func (*SwitchStatement) stmtNode()     {}
+func (*ThrowStatement) stmtNode()      {}
+func (*TryStatement) stmtNode()        {}
+func (*WithStatement) stmtNode()       {}
+
+func (*Identifier) exprNode()            {}
+func (*Literal) exprNode()               {}
+func (*ThisExpression) exprNode()        {}
+func (*ArrayExpression) exprNode()       {}
+func (*ObjectExpression) exprNode()      {}
+func (*FunctionExpression) exprNode()    {}
+func (*UnaryExpression) exprNode()       {}
+func (*UpdateExpression) exprNode()      {}
+func (*BinaryExpression) exprNode()      {}
+func (*LogicalExpression) exprNode()     {}
+func (*AssignmentExpression) exprNode()  {}
+func (*ConditionalExpression) exprNode() {}
+func (*CallExpression) exprNode()        {}
+func (*NewExpression) exprNode()         {}
+func (*MemberExpression) exprNode()      {}
+func (*SequenceExpression) exprNode()    {}
+
+func (*Identifier) patternNode()       {}
+func (*MemberExpression) patternNode() {}
+
+// Compile-time interface checks for representative nodes.
+var (
+	_ Node       = (*Program)(nil)
+	_ Statement  = (*IfStatement)(nil)
+	_ Expression = (*CallExpression)(nil)
+	_ Pattern    = (*Identifier)(nil)
+)
+
+func stmtsToNodes(stmts []Statement) []Node {
+	out := make([]Node, len(stmts))
+	for i, s := range stmts {
+		out[i] = s
+	}
+	return out
+}
+
+// trimFloat renders a float without a trailing ".0" when it is integral.
+func trimFloat(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,175 @@
+package ast
+
+import "testing"
+
+// tinyProgram builds: function add(a, b) { if (a) { return a + b; } return b; }
+func tinyProgram() *Program {
+	return &Program{Body: []Statement{
+		&FunctionDeclaration{
+			ID:     &Identifier{Name: "add"},
+			Params: []*Identifier{{Name: "a"}, {Name: "b"}},
+			Body: &BlockStatement{Body: []Statement{
+				&IfStatement{
+					Test: &Identifier{Name: "a"},
+					Consequent: &BlockStatement{Body: []Statement{
+						&ReturnStatement{Argument: &BinaryExpression{
+							Operator: "+",
+							Left:     &Identifier{Name: "a"},
+							Right:    &Identifier{Name: "b"},
+						}},
+					}},
+				},
+				&ReturnStatement{Argument: &Identifier{Name: "b"}},
+			}},
+		},
+	}}
+}
+
+func TestTypeNamesMatchESTree(t *testing.T) {
+	cases := map[Node]string{
+		&Program{}:               "Program",
+		&ExpressionStatement{}:   "ExpressionStatement",
+		&BlockStatement{}:        "BlockStatement",
+		&EmptyStatement{}:        "EmptyStatement",
+		&DebuggerStatement{}:     "DebuggerStatement",
+		&VariableDeclaration{}:   "VariableDeclaration",
+		&VariableDeclarator{}:    "VariableDeclarator",
+		&FunctionDeclaration{}:   "FunctionDeclaration",
+		&ReturnStatement{}:       "ReturnStatement",
+		&IfStatement{}:           "IfStatement",
+		&ForStatement{}:          "ForStatement",
+		&ForInStatement{}:        "ForInStatement",
+		&WhileStatement{}:        "WhileStatement",
+		&DoWhileStatement{}:      "DoWhileStatement",
+		&BreakStatement{}:        "BreakStatement",
+		&ContinueStatement{}:     "ContinueStatement",
+		&LabeledStatement{}:      "LabeledStatement",
+		&SwitchStatement{}:       "SwitchStatement",
+		&SwitchCase{}:            "SwitchCase",
+		&ThrowStatement{}:        "ThrowStatement",
+		&TryStatement{}:          "TryStatement",
+		&CatchClause{}:           "CatchClause",
+		&WithStatement{}:         "WithStatement",
+		&Identifier{}:            "Identifier",
+		&Literal{}:               "Literal",
+		&ThisExpression{}:        "ThisExpression",
+		&ArrayExpression{}:       "ArrayExpression",
+		&ObjectExpression{}:      "ObjectExpression",
+		&Property{}:              "Property",
+		&FunctionExpression{}:    "FunctionExpression",
+		&UnaryExpression{}:       "UnaryExpression",
+		&UpdateExpression{}:      "UpdateExpression",
+		&BinaryExpression{}:      "BinaryExpression",
+		&LogicalExpression{}:     "LogicalExpression",
+		&AssignmentExpression{}:  "AssignmentExpression",
+		&ConditionalExpression{}: "ConditionalExpression",
+		&CallExpression{}:        "CallExpression",
+		&NewExpression{}:         "NewExpression",
+		&MemberExpression{}:      "MemberExpression",
+		&SequenceExpression{}:    "SequenceExpression",
+	}
+	for node, want := range cases {
+		if node.Type() != want {
+			t.Errorf("Type() = %q, want %q", node.Type(), want)
+		}
+	}
+}
+
+func TestWalkVisitsEveryNode(t *testing.T) {
+	prog := tinyProgram()
+	var types []string
+	Walk(prog, func(n Node) bool {
+		types = append(types, n.Type())
+		return true
+	})
+	// Program, FunctionDeclaration, ID, a, b, Block, If, test-a, Block,
+	// Return, Binary, a, b, Return, b = 15 nodes.
+	if len(types) != 15 {
+		t.Fatalf("visited %d nodes, want 15: %v", len(types), types)
+	}
+	if types[0] != "Program" || types[1] != "FunctionDeclaration" {
+		t.Errorf("pre-order violated: %v", types[:2])
+	}
+}
+
+func TestWalkPrunes(t *testing.T) {
+	prog := tinyProgram()
+	count := 0
+	Walk(prog, func(n Node) bool {
+		count++
+		// Prune below the function declaration.
+		return n.Type() != "FunctionDeclaration"
+	})
+	if count != 2 {
+		t.Errorf("visited %d nodes after pruning, want 2", count)
+	}
+}
+
+func TestWalkWithParent(t *testing.T) {
+	prog := tinyProgram()
+	parents := make(map[string]string)
+	WalkWithParent(prog, func(n, parent Node) bool {
+		if parent != nil {
+			parents[n.Type()] = parent.Type()
+		}
+		return true
+	})
+	if parents["FunctionDeclaration"] != "Program" {
+		t.Errorf("function's parent = %q", parents["FunctionDeclaration"])
+	}
+	if parents["IfStatement"] != "BlockStatement" {
+		t.Errorf("if's parent = %q", parents["IfStatement"])
+	}
+}
+
+func TestCountAndLeaves(t *testing.T) {
+	prog := tinyProgram()
+	if got := Count(prog); got != 15 {
+		t.Errorf("Count = %d, want 15", got)
+	}
+	leaves := Leaves(prog)
+	// Leaves: add, a, b (params), a (test), a, b (binary), b (return) = 7.
+	if len(leaves) != 7 {
+		t.Errorf("Leaves = %d, want 7", len(leaves))
+	}
+	for _, l := range leaves {
+		if len(l.Children()) != 0 {
+			t.Errorf("leaf %s has children", l.Type())
+		}
+	}
+}
+
+func TestLiteralValue(t *testing.T) {
+	cases := map[*Literal]string{
+		{Kind: LiteralString, StrVal: "s"}:   "s",
+		{Kind: LiteralNumber, NumVal: 42}:    "42",
+		{Kind: LiteralNumber, NumVal: 1.5}:   "1.5",
+		{Kind: LiteralBool, BoolVal: true}:   "true",
+		{Kind: LiteralBool}:                  "false",
+		{Kind: LiteralNull}:                  "null",
+		{Kind: LiteralRegExp, StrVal: "/a/"}: "/a/",
+	}
+	for lit, want := range cases {
+		if got := lit.Value(); got != want {
+			t.Errorf("Value() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestNilOptionalChildren(t *testing.T) {
+	ifs := &IfStatement{
+		Test:       &Identifier{Name: "x"},
+		Consequent: &EmptyStatement{},
+	}
+	if len(ifs.Children()) != 2 {
+		t.Errorf("if without else: %d children", len(ifs.Children()))
+	}
+	ret := &ReturnStatement{}
+	if len(ret.Children()) != 0 {
+		t.Error("bare return should have no children")
+	}
+	arr := &ArrayExpression{Elements: []Expression{nil, &Identifier{Name: "a"}}}
+	if len(arr.Children()) != 1 {
+		t.Errorf("array hole should be skipped: %d", len(arr.Children()))
+	}
+}

@@ -1,0 +1,77 @@
+package ast
+
+// Visitor is called for each node during a Walk. Returning false prunes the
+// subtree below the node.
+type Visitor func(n Node) bool
+
+// Walk traverses the tree rooted at n in depth-first pre-order, invoking v on
+// every node. Nil nodes are skipped.
+func Walk(n Node, v Visitor) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !v(n) {
+		return
+	}
+	for _, c := range n.Children() {
+		Walk(c, v)
+	}
+}
+
+// WalkWithParent traverses like Walk but also supplies each node's parent
+// (nil for the root).
+func WalkWithParent(n Node, v func(n, parent Node) bool) {
+	walkParent(n, nil, v)
+}
+
+func walkParent(n, parent Node, v func(n, parent Node) bool) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !v(n, parent) {
+		return
+	}
+	for _, c := range n.Children() {
+		walkParent(c, n, v)
+	}
+}
+
+// Count returns the total number of nodes in the tree rooted at n.
+func Count(n Node) int {
+	total := 0
+	Walk(n, func(Node) bool {
+		total++
+		return true
+	})
+	return total
+}
+
+// Leaves returns all leaf nodes (nodes with no children) in source order.
+func Leaves(n Node) []Node {
+	var out []Node
+	Walk(n, func(c Node) bool {
+		if len(c.Children()) == 0 {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// isNilNode reports whether a non-nil interface holds a nil pointer, which
+// can happen when optional fields (e.g. IfStatement.Alternate) are stored
+// through interface types.
+func isNilNode(n Node) bool {
+	switch v := n.(type) {
+	case *Program:
+		return v == nil
+	case *Identifier:
+		return v == nil
+	case *Literal:
+		return v == nil
+	case *BlockStatement:
+		return v == nil
+	default:
+		return false
+	}
+}

@@ -1,0 +1,210 @@
+// Package cfg builds an intraprocedural control-flow graph over the
+// statement level of a JavaScript AST. It is the control-flow substrate for
+// the JSTAP baseline, whose PDG abstraction extends the AST with control and
+// data flow edges.
+package cfg
+
+import (
+	"jsrevealer/internal/js/ast"
+)
+
+// Node is one CFG node, wrapping a statement.
+type Node struct {
+	// ID is the node's index in Graph.Nodes.
+	ID int
+	// Stmt is the underlying statement (nil for the synthetic entry/exit).
+	Stmt ast.Statement
+	// Kind is the node's statement type name, or "Entry"/"Exit".
+	Kind string
+	// Succs are the IDs of control-flow successors.
+	Succs []int
+}
+
+// Graph is a control-flow graph for one function body or the top level.
+type Graph struct {
+	Nodes []*Node
+	// Entry and Exit are the synthetic boundary node IDs.
+	Entry, Exit int
+}
+
+// EdgeCount returns the number of control-flow edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, node := range g.Nodes {
+		n += len(node.Succs)
+	}
+	return n
+}
+
+// Build constructs the CFG of the program's top level plus, inlined in
+// traversal order, the bodies of all declared functions (each function's
+// body is bracketed by its own entry/exit-like region connected only
+// internally, keeping the analysis intraprocedural while still covering all
+// code, which is what JSTAP's feature extraction wants).
+func Build(prog *ast.Program) *Graph {
+	b := &builder{}
+	entry := b.newNode(nil, "Entry")
+	exit := b.newNode(nil, "Exit")
+	b.exitID = exit.ID
+
+	last := b.sequence(prog.Body, []int{entry.ID}, loopCtx{})
+	b.connect(last, exit.ID)
+
+	// Function bodies, each as its own region.
+	var fnBodies []*ast.BlockStatement
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch f := n.(type) {
+		case *ast.FunctionDeclaration:
+			fnBodies = append(fnBodies, f.Body)
+		case *ast.FunctionExpression:
+			fnBodies = append(fnBodies, f.Body)
+		}
+		return true
+	})
+	for _, body := range fnBodies {
+		fe := b.newNode(nil, "Entry")
+		fx := b.newNode(nil, "Exit")
+		savedExit := b.exitID
+		b.exitID = fx.ID
+		lastF := b.sequence(body.Body, []int{fe.ID}, loopCtx{})
+		b.connect(lastF, fx.ID)
+		b.exitID = savedExit
+	}
+
+	return &Graph{Nodes: b.nodes, Entry: entry.ID, Exit: exit.ID}
+}
+
+type loopCtx struct {
+	// breakTargets collects node IDs that break jumps should land on, filled
+	// by pointer so nested statements can register.
+	breakOut *[]int
+	// continueTarget is the loop-head node ID (-1 when absent).
+	continueTarget int
+	hasLoop        bool
+}
+
+type builder struct {
+	nodes  []*Node
+	exitID int
+}
+
+func (b *builder) newNode(stmt ast.Statement, kind string) *Node {
+	n := &Node{ID: len(b.nodes), Stmt: stmt, Kind: kind}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// connect draws an edge from every node in from to the target.
+func (b *builder) connect(from []int, to int) {
+	for _, f := range from {
+		b.nodes[f].Succs = append(b.nodes[f].Succs, to)
+	}
+}
+
+// sequence threads control flow through a statement list, returning the set
+// of dangling exits.
+func (b *builder) sequence(stmts []ast.Statement, in []int, lc loopCtx) []int {
+	cur := in
+	for _, s := range stmts {
+		cur = b.stmt(s, cur, lc)
+	}
+	return cur
+}
+
+// stmt wires one statement and returns its dangling exits.
+func (b *builder) stmt(s ast.Statement, in []int, lc loopCtx) []int {
+	switch n := s.(type) {
+	case *ast.BlockStatement:
+		return b.sequence(n.Body, in, lc)
+	case *ast.IfStatement:
+		cond := b.newNode(s, "IfStatement")
+		b.connect(in, cond.ID)
+		thenOut := b.stmt(n.Consequent, []int{cond.ID}, lc)
+		if n.Alternate != nil {
+			elseOut := b.stmt(n.Alternate, []int{cond.ID}, lc)
+			return append(thenOut, elseOut...)
+		}
+		return append(thenOut, cond.ID)
+	case *ast.WhileStatement, *ast.DoWhileStatement, *ast.ForStatement, *ast.ForInStatement:
+		head := b.newNode(s, s.Type())
+		b.connect(in, head.ID)
+		var breaks []int
+		inner := loopCtx{breakOut: &breaks, continueTarget: head.ID, hasLoop: true}
+		var body ast.Statement
+		switch v := n.(type) {
+		case *ast.WhileStatement:
+			body = v.Body
+		case *ast.DoWhileStatement:
+			body = v.Body
+		case *ast.ForStatement:
+			body = v.Body
+		case *ast.ForInStatement:
+			body = v.Body
+		}
+		bodyOut := b.stmt(body, []int{head.ID}, inner)
+		b.connect(bodyOut, head.ID) // back edge
+		return append(breaks, head.ID)
+	case *ast.SwitchStatement:
+		head := b.newNode(s, "SwitchStatement")
+		b.connect(in, head.ID)
+		var breaks []int
+		inner := lc
+		inner.breakOut = &breaks
+		out := []int{head.ID}
+		fall := []int(nil)
+		hasDefault := false
+		for _, c := range n.Cases {
+			if c.Test == nil {
+				hasDefault = true
+			}
+			caseIn := append([]int{head.ID}, fall...)
+			fall = b.sequence(c.Consequent, caseIn, inner)
+		}
+		out = append(out, fall...)
+		if hasDefault {
+			out = fall
+		}
+		return append(out, breaks...)
+	case *ast.BreakStatement:
+		node := b.newNode(s, "BreakStatement")
+		b.connect(in, node.ID)
+		if lc.breakOut != nil {
+			*lc.breakOut = append(*lc.breakOut, node.ID)
+		}
+		return nil
+	case *ast.ContinueStatement:
+		node := b.newNode(s, "ContinueStatement")
+		b.connect(in, node.ID)
+		if lc.hasLoop && lc.continueTarget >= 0 {
+			b.nodes[node.ID].Succs = append(b.nodes[node.ID].Succs, lc.continueTarget)
+		}
+		return nil
+	case *ast.ReturnStatement, *ast.ThrowStatement:
+		node := b.newNode(s, s.Type())
+		b.connect(in, node.ID)
+		b.nodes[node.ID].Succs = append(b.nodes[node.ID].Succs, b.exitID)
+		return nil
+	case *ast.TryStatement:
+		node := b.newNode(s, "TryStatement")
+		b.connect(in, node.ID)
+		out := b.stmt(n.Block, []int{node.ID}, lc)
+		if n.Handler != nil {
+			hOut := b.stmt(n.Handler.Body, []int{node.ID}, lc)
+			out = append(out, hOut...)
+		}
+		if n.Finalizer != nil {
+			out = b.stmt(n.Finalizer, out, lc)
+		}
+		return out
+	case *ast.LabeledStatement:
+		return b.stmt(n.Body, in, lc)
+	case *ast.WithStatement:
+		node := b.newNode(s, "WithStatement")
+		b.connect(in, node.ID)
+		return b.stmt(n.Body, []int{node.ID}, lc)
+	default:
+		node := b.newNode(s, s.Type())
+		b.connect(in, node.ID)
+		return []int{node.ID}
+	}
+}

@@ -1,0 +1,204 @@
+package cfg
+
+import (
+	"testing"
+
+	"jsrevealer/internal/js/parser"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Build(prog)
+}
+
+// kinds tallies node kinds.
+func kinds(g *Graph) map[string]int {
+	out := make(map[string]int)
+	for _, n := range g.Nodes {
+		out[n.Kind]++
+	}
+	return out
+}
+
+// succs returns the successor kinds of the first node of the given kind.
+func succs(g *Graph, kind string) []string {
+	for _, n := range g.Nodes {
+		if n.Kind == kind {
+			var out []string
+			for _, s := range n.Succs {
+				out = append(out, g.Nodes[s].Kind)
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "a();\nb();\nc();")
+	k := kinds(g)
+	if k["ExpressionStatement"] != 3 {
+		t.Fatalf("expression nodes = %d", k["ExpressionStatement"])
+	}
+	// Entry -> a -> b -> c -> Exit: 4 edges.
+	if g.EdgeCount() != 4 {
+		t.Errorf("edges = %d, want 4", g.EdgeCount())
+	}
+}
+
+func TestIfBranches(t *testing.T) {
+	g := build(t, "if (x) { a(); } else { b(); }\nc();")
+	ifSuccs := succs(g, "IfStatement")
+	if len(ifSuccs) != 2 {
+		t.Fatalf("if successors = %v, want 2 branches", ifSuccs)
+	}
+	// c() has two predecessors (both branch exits).
+	var cID int
+	for _, n := range g.Nodes {
+		if n.Kind == "ExpressionStatement" {
+			cID = n.ID // last one wins: c
+		}
+	}
+	preds := 0
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			if s == cID {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Errorf("c() predecessors = %d, want 2", preds)
+	}
+}
+
+func TestIfWithoutElseFallsThrough(t *testing.T) {
+	g := build(t, "if (x) { a(); }\nb();")
+	ifSuccs := succs(g, "IfStatement")
+	// One successor into the branch; the false edge goes directly to b().
+	if len(ifSuccs) < 1 {
+		t.Fatalf("if successors = %v", ifSuccs)
+	}
+}
+
+func TestWhileBackEdge(t *testing.T) {
+	g := build(t, "while (x) { a(); }\nb();")
+	var head *Node
+	for _, n := range g.Nodes {
+		if n.Kind == "WhileStatement" {
+			head = n
+		}
+	}
+	if head == nil {
+		t.Fatal("no while node")
+	}
+	// The loop body must flow back to the head.
+	backEdge := false
+	for _, n := range g.Nodes {
+		if n.Kind == "ExpressionStatement" {
+			for _, s := range n.Succs {
+				if s == head.ID {
+					backEdge = true
+				}
+			}
+		}
+	}
+	if !backEdge {
+		t.Error("no back edge from body to loop head")
+	}
+}
+
+func TestBreakJumpsOut(t *testing.T) {
+	g := build(t, "while (1) { if (x) { break; } a(); }\nafter();")
+	k := kinds(g)
+	if k["BreakStatement"] != 1 {
+		t.Fatalf("break nodes = %d", k["BreakStatement"])
+	}
+	// The break node's successor set is filled when the loop closes: it must
+	// not loop back to the while head.
+	for _, n := range g.Nodes {
+		if n.Kind == "BreakStatement" && len(n.Succs) > 0 {
+			for _, s := range n.Succs {
+				if g.Nodes[s].Kind == "WhileStatement" {
+					t.Error("break flows back to loop head")
+				}
+			}
+		}
+	}
+}
+
+func TestContinueTargetsHead(t *testing.T) {
+	g := build(t, "while (1) { continue; }")
+	found := false
+	for _, n := range g.Nodes {
+		if n.Kind == "ContinueStatement" {
+			for _, s := range n.Succs {
+				if g.Nodes[s].Kind == "WhileStatement" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("continue does not flow to loop head")
+	}
+}
+
+func TestReturnFlowsToExit(t *testing.T) {
+	g := build(t, "function f() { return 1; unreachable(); }")
+	for _, n := range g.Nodes {
+		if n.Kind == "ReturnStatement" {
+			if len(n.Succs) != 1 || g.Nodes[n.Succs[0]].Kind != "Exit" {
+				t.Errorf("return successors: %v", n.Succs)
+			}
+		}
+	}
+}
+
+func TestSwitchCases(t *testing.T) {
+	g := build(t, "switch (x) { case 1: a(); break; default: b(); }\nc();")
+	swSuccs := succs(g, "SwitchStatement")
+	if len(swSuccs) < 1 {
+		t.Fatalf("switch successors = %v", swSuccs)
+	}
+}
+
+func TestTryCatchFinallyEdges(t *testing.T) {
+	g := build(t, "try { a(); } catch (e) { b(); } finally { c(); }")
+	k := kinds(g)
+	if k["TryStatement"] != 1 || k["ExpressionStatement"] != 3 {
+		t.Fatalf("kinds = %v", k)
+	}
+	trySuccs := succs(g, "TryStatement")
+	if len(trySuccs) != 2 {
+		t.Errorf("try successors = %v, want block + handler", trySuccs)
+	}
+}
+
+func TestFunctionBodiesCovered(t *testing.T) {
+	g := build(t, "function f() { inner(); }\nouter();")
+	k := kinds(g)
+	// Both the top level and f's body contribute statement nodes, plus two
+	// Entry/Exit pairs.
+	if k["ExpressionStatement"] != 2 {
+		t.Errorf("statement nodes = %d, want 2", k["ExpressionStatement"])
+	}
+	if k["Entry"] != 2 || k["Exit"] != 2 {
+		t.Errorf("entry/exit = %d/%d, want 2/2", k["Entry"], k["Exit"])
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	g := build(t, "for (var i = 0; i < 3; i++) { a(); }")
+	if kinds(g)["ForStatement"] != 1 {
+		t.Fatal("no for node")
+	}
+	forSuccs := succs(g, "ForStatement")
+	if len(forSuccs) == 0 {
+		t.Error("for head has no successors")
+	}
+}

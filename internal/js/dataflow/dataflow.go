@@ -1,0 +1,299 @@
+// Package dataflow computes the "enhanced AST" of the JSRevealer paper:
+// the syntax tree annotated with data-dependency edges between leaves that
+// refer to the same variable, where a later statement reads data defined by
+// an earlier one.
+//
+// The paper's construction (Section III-B) adds a data dependency edge
+// between statements that contain the same variable. Leaves participating in
+// at least one dependency keep their concrete value in extracted paths; all
+// other identifier/literal leaves are abstracted to type indicators such as
+// "@var_str" or "@var_int".
+package dataflow
+
+import (
+	"jsrevealer/internal/js/ast"
+)
+
+// Occurrence is one appearance of a variable in the program.
+type Occurrence struct {
+	// Node is the identifier leaf.
+	Node *ast.Identifier
+	// Stmt is the nearest enclosing statement.
+	Stmt ast.Statement
+	// Write reports whether this occurrence defines (writes) the variable.
+	Write bool
+	// Order is the traversal index of the occurrence, used to orient edges
+	// from earlier definitions to later uses.
+	Order int
+}
+
+// Edge is a data-dependency edge between two identifier leaves: a definition
+// and a later use of the same variable.
+type Edge struct {
+	Def  *Occurrence
+	Use  *Occurrence
+	Name string
+}
+
+// Info is the data-flow annotation of a program: its dependency edges and
+// the set of leaves that participate in at least one edge.
+type Info struct {
+	Edges []Edge
+	// Linked marks identifier nodes that take part in a data dependency.
+	// Keyed by node pointer.
+	Linked map[*ast.Identifier]bool
+	// Occurrences lists every variable occurrence in traversal order.
+	Occurrences []*Occurrence
+}
+
+// HasDependency reports whether the identifier leaf participates in a
+// data-dependency edge.
+func (i *Info) HasDependency(id *ast.Identifier) bool { return i.Linked[id] }
+
+// Analyze computes data-flow information for the program.
+//
+// The analysis is flow-insensitive within a scope, matching the paper's
+// lightweight construction: every write to a name creates dependencies to
+// all later reads of the same name within the same function scope (or the
+// top level). Function parameters count as writes at function entry.
+func Analyze(prog *ast.Program) *Info {
+	a := &analyzer{
+		info: &Info{Linked: make(map[*ast.Identifier]bool)},
+	}
+	a.scopeStack = append(a.scopeStack, newScope())
+	a.stmts(prog.Body)
+	a.closeScope()
+	return a.info
+}
+
+type scope struct {
+	// occ maps variable name to its occurrences within this scope.
+	occ map[string][]*Occurrence
+}
+
+func newScope() *scope { return &scope{occ: make(map[string][]*Occurrence)} }
+
+type analyzer struct {
+	info       *Info
+	scopeStack []*scope
+	curStmt    ast.Statement
+	order      int
+}
+
+func (a *analyzer) scope() *scope { return a.scopeStack[len(a.scopeStack)-1] }
+
+// record registers an occurrence of name in the current scope.
+func (a *analyzer) record(id *ast.Identifier, write bool) {
+	occ := &Occurrence{
+		Node:  id,
+		Stmt:  a.curStmt,
+		Write: write,
+		Order: a.order,
+	}
+	a.order++
+	s := a.scope()
+	s.occ[id.Name] = append(s.occ[id.Name], occ)
+	a.info.Occurrences = append(a.info.Occurrences, occ)
+}
+
+// closeScope resolves def→use edges for the scope being popped.
+func (a *analyzer) closeScope() {
+	s := a.scope()
+	a.scopeStack = a.scopeStack[:len(a.scopeStack)-1]
+	for name, occs := range s.occ {
+		for _, def := range occs {
+			if !def.Write {
+				continue
+			}
+			for _, use := range occs {
+				if use.Write || use.Order <= def.Order || use.Stmt == def.Stmt {
+					continue
+				}
+				a.info.Edges = append(a.info.Edges, Edge{Def: def, Use: use, Name: name})
+				a.info.Linked[def.Node] = true
+				a.info.Linked[use.Node] = true
+			}
+		}
+	}
+}
+
+func (a *analyzer) stmts(list []ast.Statement) {
+	for _, s := range list {
+		a.stmt(s)
+	}
+}
+
+func (a *analyzer) stmt(s ast.Statement) {
+	if s == nil {
+		return
+	}
+	prev := a.curStmt
+	a.curStmt = s
+	defer func() { a.curStmt = prev }()
+
+	switch n := s.(type) {
+	case *ast.ExpressionStatement:
+		a.expr(n.Expression, false)
+	case *ast.BlockStatement:
+		a.stmts(n.Body)
+	case *ast.VariableDeclaration:
+		a.varDecl(n)
+	case *ast.FunctionDeclaration:
+		a.record(n.ID, true)
+		a.function(n.Params, n.Body)
+	case *ast.ReturnStatement:
+		if n.Argument != nil {
+			a.expr(n.Argument, false)
+		}
+	case *ast.IfStatement:
+		a.expr(n.Test, false)
+		a.stmt(n.Consequent)
+		a.stmt(n.Alternate)
+	case *ast.ForStatement:
+		switch init := n.Init.(type) {
+		case *ast.VariableDeclaration:
+			a.varDecl(init)
+		case ast.Expression:
+			a.expr(init, false)
+		}
+		if n.Test != nil {
+			a.expr(n.Test, false)
+		}
+		if n.Update != nil {
+			a.expr(n.Update, false)
+		}
+		a.stmt(n.Body)
+	case *ast.ForInStatement:
+		switch left := n.Left.(type) {
+		case *ast.VariableDeclaration:
+			a.varDecl(left)
+		case ast.Expression:
+			a.expr(left, true)
+		}
+		a.expr(n.Right, false)
+		a.stmt(n.Body)
+	case *ast.WhileStatement:
+		a.expr(n.Test, false)
+		a.stmt(n.Body)
+	case *ast.DoWhileStatement:
+		a.stmt(n.Body)
+		a.expr(n.Test, false)
+	case *ast.LabeledStatement:
+		a.stmt(n.Body)
+	case *ast.SwitchStatement:
+		a.expr(n.Discriminant, false)
+		for _, c := range n.Cases {
+			if c.Test != nil {
+				a.expr(c.Test, false)
+			}
+			a.stmts(c.Consequent)
+		}
+	case *ast.ThrowStatement:
+		a.expr(n.Argument, false)
+	case *ast.TryStatement:
+		a.stmt(n.Block)
+		if n.Handler != nil {
+			a.record(n.Handler.Param, true)
+			a.stmt(n.Handler.Body)
+		}
+		if n.Finalizer != nil {
+			a.stmt(n.Finalizer)
+		}
+	case *ast.WithStatement:
+		a.expr(n.Object, false)
+		a.stmt(n.Body)
+	case *ast.BreakStatement, *ast.ContinueStatement,
+		*ast.EmptyStatement, *ast.DebuggerStatement:
+		// no variable occurrences
+	}
+}
+
+func (a *analyzer) varDecl(d *ast.VariableDeclaration) {
+	for _, dec := range d.Declarations {
+		if dec.Init != nil {
+			a.expr(dec.Init, false)
+		}
+		a.record(dec.ID, true)
+	}
+}
+
+// function analyzes a function body in a fresh scope, with parameters bound
+// as writes at entry.
+func (a *analyzer) function(params []*ast.Identifier, body *ast.BlockStatement) {
+	a.scopeStack = append(a.scopeStack, newScope())
+	for _, p := range params {
+		a.record(p, true)
+	}
+	a.stmts(body.Body)
+	a.closeScope()
+}
+
+// expr walks an expression; write marks the outermost identifier as a
+// definition (assignment target).
+func (a *analyzer) expr(e ast.Expression, write bool) {
+	if e == nil {
+		return
+	}
+	switch n := e.(type) {
+	case *ast.Identifier:
+		a.record(n, write)
+	case *ast.Literal, *ast.ThisExpression:
+		// no occurrences
+	case *ast.ArrayExpression:
+		for _, el := range n.Elements {
+			if el != nil {
+				a.expr(el, false)
+			}
+		}
+	case *ast.ObjectExpression:
+		for _, p := range n.Properties {
+			// Keys are property names, not variable references.
+			a.expr(p.Value, false)
+		}
+	case *ast.FunctionExpression:
+		if n.ID != nil {
+			a.record(n.ID, true)
+		}
+		a.function(n.Params, n.Body)
+	case *ast.UnaryExpression:
+		a.expr(n.Argument, false)
+	case *ast.UpdateExpression:
+		// x++ both reads and writes; record as write so later reads link.
+		a.expr(n.Argument, true)
+	case *ast.BinaryExpression:
+		a.expr(n.Left, false)
+		a.expr(n.Right, false)
+	case *ast.LogicalExpression:
+		a.expr(n.Left, false)
+		a.expr(n.Right, false)
+	case *ast.AssignmentExpression:
+		a.expr(n.Right, false)
+		a.expr(n.Left, true)
+	case *ast.ConditionalExpression:
+		a.expr(n.Test, false)
+		a.expr(n.Consequent, false)
+		a.expr(n.Alternate, false)
+	case *ast.CallExpression:
+		a.expr(n.Callee, false)
+		for _, arg := range n.Arguments {
+			a.expr(arg, false)
+		}
+	case *ast.NewExpression:
+		a.expr(n.Callee, false)
+		for _, arg := range n.Arguments {
+			a.expr(arg, false)
+		}
+	case *ast.MemberExpression:
+		// obj.prop: obj is a variable reference; the write (if any) lands on
+		// the property, so the base object is still a read. Non-computed
+		// property names are not variable references.
+		a.expr(n.Object, false)
+		if n.Computed {
+			a.expr(n.Property, false)
+		}
+	case *ast.SequenceExpression:
+		for _, x := range n.Expressions {
+			a.expr(x, false)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package dataflow
+
+import (
+	"testing"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+)
+
+func analyze(t *testing.T, src string) *Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(prog)
+}
+
+// edgeNames collects the variable names of def->use edges.
+func edgeNames(info *Info) map[string]int {
+	out := make(map[string]int)
+	for _, e := range info.Edges {
+		out[e.Name]++
+	}
+	return out
+}
+
+func TestSimpleDefUse(t *testing.T) {
+	info := analyze(t, "var x = 1;\nvar y = x + 2;")
+	names := edgeNames(info)
+	if names["x"] == 0 {
+		t.Fatalf("no def-use edge for x: %v", names)
+	}
+	// y is defined but never used: no edge.
+	if names["y"] != 0 {
+		t.Errorf("unexpected edge for y")
+	}
+}
+
+func TestNoEdgeWithinSameStatement(t *testing.T) {
+	info := analyze(t, "var x = 1; x = x + 1;")
+	for _, e := range info.Edges {
+		if e.Def.Stmt == e.Use.Stmt {
+			t.Errorf("edge within one statement for %q", e.Name)
+		}
+	}
+}
+
+func TestEdgeDirection(t *testing.T) {
+	info := analyze(t, "var a = 1;\nuse(a);")
+	for _, e := range info.Edges {
+		if e.Def.Order >= e.Use.Order {
+			t.Errorf("edge %q goes backwards", e.Name)
+		}
+		if !e.Def.Write || e.Use.Write {
+			t.Errorf("edge %q not def->use", e.Name)
+		}
+	}
+}
+
+func TestFunctionScopeIsolation(t *testing.T) {
+	// The x inside f is a different variable from the outer x.
+	info := analyze(t, `
+var x = 1;
+function f() {
+  var x = 2;
+  return x;
+}
+`)
+	// Edges exist for the inner x (def in decl, use in return) but not from
+	// outer x to the inner use.
+	inner := 0
+	for _, e := range info.Edges {
+		if e.Name == "x" {
+			inner++
+		}
+	}
+	if inner != 1 {
+		t.Errorf("x edges = %d, want exactly 1 (inner scope only)", inner)
+	}
+}
+
+func TestParamsAreDefs(t *testing.T) {
+	info := analyze(t, "function f(p) { return p + 1; }")
+	if edgeNames(info)["p"] == 0 {
+		t.Error("parameter def not linked to body use")
+	}
+}
+
+func TestCatchParamIsDef(t *testing.T) {
+	info := analyze(t, "try { go(); } catch (e) { log(e); }")
+	if edgeNames(info)["e"] == 0 {
+		t.Error("catch parameter not linked")
+	}
+}
+
+func TestUpdateExpressionIsWrite(t *testing.T) {
+	info := analyze(t, "var i = 0;\ni++;\nuse(i);")
+	// i has defs at declaration and i++, and a use at use(i): at least two
+	// edges terminate at the use.
+	usesLinked := 0
+	for _, e := range info.Edges {
+		if e.Name == "i" {
+			usesLinked++
+		}
+	}
+	if usesLinked < 2 {
+		t.Errorf("i edges = %d, want >= 2", usesLinked)
+	}
+}
+
+func TestMemberObjectIsUse(t *testing.T) {
+	info := analyze(t, "var o = {};\no.field = 1;")
+	if edgeNames(info)["o"] == 0 {
+		t.Error("o.field should use o")
+	}
+}
+
+func TestPropertyNamesAreNotVariables(t *testing.T) {
+	info := analyze(t, "var length = 1;\nvar n = arr.length;")
+	// The .length property must not link to the variable `length`.
+	for _, e := range info.Edges {
+		if e.Name == "length" {
+			t.Errorf("property name linked as variable: %+v", e)
+		}
+	}
+}
+
+func TestHasDependencyMarksBothEnds(t *testing.T) {
+	prog, err := parser.Parse("var v = 1;\nsend(v);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := Analyze(prog)
+	linked := 0
+	ast.Walk(prog, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Identifier); ok && info.HasDependency(id) {
+			linked++
+		}
+		return true
+	})
+	if linked != 2 {
+		t.Errorf("linked identifiers = %d, want 2 (def and use of v)", linked)
+	}
+}
+
+func TestForLoopVariable(t *testing.T) {
+	info := analyze(t, "for (var i = 0; i < 3; i++) { use(i); }")
+	if edgeNames(info)["i"] == 0 {
+		t.Error("loop variable not linked")
+	}
+}
+
+func TestOccurrencesRecorded(t *testing.T) {
+	info := analyze(t, "var a = b;")
+	if len(info.Occurrences) != 2 {
+		t.Errorf("occurrences = %d, want 2 (b use, a def)", len(info.Occurrences))
+	}
+}
+
+func TestFunctionExpressionScope(t *testing.T) {
+	info := analyze(t, `
+var cb = function worker(n) {
+  var acc = n * 2;
+  return acc;
+};
+run(cb);
+`)
+	names := edgeNames(info)
+	if names["n"] == 0 || names["acc"] == 0 {
+		t.Errorf("inner function edges missing: %v", names)
+	}
+	if names["cb"] == 0 {
+		t.Errorf("cb not linked to run(cb): %v", names)
+	}
+}

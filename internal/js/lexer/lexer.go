@@ -1,0 +1,436 @@
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SyntaxError describes a lexing failure with its source position.
+type SyntaxError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer tokenizes a JavaScript source string.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+
+	// newlineSeen is set when a line terminator was consumed since the last
+	// emitted token.
+	newlineSeen bool
+	// prev is the previously emitted token, used to decide whether a '/'
+	// starts a regular expression or a division operator.
+	prev Token
+	// havePrev records whether prev is valid.
+	havePrev bool
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input and returns the token stream, terminated
+// by an EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+// Next returns the next token in the stream.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	startLine, startCol := l.line, l.col
+	nl := l.newlineSeen
+	l.newlineSeen = false
+
+	if l.pos >= len(l.src) {
+		tok := Token{Kind: EOF, Line: startLine, Col: startCol, NewlineBefore: nl}
+		l.remember(tok)
+		return tok, nil
+	}
+
+	c := l.src[l.pos]
+	var (
+		tok Token
+		err error
+	)
+	switch {
+	case isIdentStart(rune(c)) || c >= utf8.RuneSelf:
+		tok = l.scanIdent()
+	case c >= '0' && c <= '9':
+		tok, err = l.scanNumber()
+	case c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		tok, err = l.scanNumber()
+	case c == '"' || c == '\'':
+		tok, err = l.scanString(c)
+	case c == '`':
+		tok, err = l.scanTemplate()
+	case c == '/':
+		if l.regexAllowed() {
+			tok, err = l.scanRegex()
+		} else {
+			tok = l.scanPunct()
+		}
+	default:
+		tok = l.scanPunct()
+		if tok.Literal == "" {
+			err = l.errorf("unexpected character %q", c)
+		}
+	}
+	if err != nil {
+		return Token{}, err
+	}
+	tok.Line, tok.Col = startLine, startCol
+	tok.NewlineBefore = nl
+	l.remember(tok)
+	return tok, nil
+}
+
+func (l *Lexer) remember(tok Token) {
+	l.prev = tok
+	l.havePrev = true
+}
+
+func (l *Lexer) errorf(format string, args ...any) error {
+	return &SyntaxError{Msg: fmt.Sprintf(format, args...), Line: l.line, Col: l.col}
+}
+
+// regexAllowed reports whether a '/' at the current position begins a regex
+// literal rather than a division operator, based on the previous token.
+func (l *Lexer) regexAllowed() bool {
+	if !l.havePrev {
+		return true
+	}
+	switch l.prev.Kind {
+	case Ident, Number, String, Template, Regex:
+		return false
+	case Keyword:
+		// `this` behaves like a value; every other keyword can precede a regex
+		// (e.g. `return /x/`, `typeof /x/`).
+		return l.prev.Literal != "this" && l.prev.Literal != "null" &&
+			l.prev.Literal != "true" && l.prev.Literal != "false"
+	case Punct:
+		switch l.prev.Literal {
+		case ")", "]", "}", "++", "--":
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v':
+			l.advance(1)
+		case c == '\n':
+			l.newlineSeen = true
+			l.advance(1)
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance(2)
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance(2)
+					break
+				}
+				if l.src[l.pos] == '\n' {
+					l.newlineSeen = true
+				}
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) scanIdent() Token {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.advance(size)
+	}
+	text := l.src[start:l.pos]
+	kind := Ident
+	if IsKeyword(text) {
+		kind = Keyword
+	}
+	return Token{Kind: kind, Literal: text, Raw: text}
+}
+
+func (l *Lexer) scanNumber() (Token, error) {
+	start := l.pos
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) &&
+		(l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		l.advance(2)
+		if l.pos >= len(l.src) || !isHexDigit(l.src[l.pos]) {
+			return Token{}, l.errorf("malformed hex literal")
+		}
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+		raw := l.src[start:l.pos]
+		return Token{Kind: Number, Literal: raw, Raw: raw}, nil
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.advance(1)
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.advance(1)
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		l.advance(1)
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.advance(1)
+		}
+		if l.pos >= len(l.src) || !isDigit(l.src[l.pos]) {
+			return Token{}, l.errorf("malformed exponent")
+		}
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+	}
+	raw := l.src[start:l.pos]
+	return Token{Kind: Number, Literal: raw, Raw: raw}, nil
+}
+
+func (l *Lexer) scanString(quote byte) (Token, error) {
+	start := l.pos
+	l.advance(1) // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, l.errorf("unterminated string literal")
+		}
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.advance(1)
+			raw := l.src[start:l.pos]
+			return Token{Kind: String, Literal: sb.String(), Raw: raw}, nil
+		case '\\':
+			l.advance(1)
+			if l.pos >= len(l.src) {
+				return Token{}, l.errorf("unterminated escape")
+			}
+			decoded, consumed, err := l.decodeEscape()
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteString(decoded)
+			l.advance(consumed)
+		case '\n':
+			return Token{}, l.errorf("unterminated string literal")
+		default:
+			sb.WriteByte(c)
+			l.advance(1)
+		}
+	}
+}
+
+// decodeEscape decodes the escape sequence at l.pos (after the backslash) and
+// returns the decoded text plus how many bytes to consume.
+func (l *Lexer) decodeEscape() (string, int, error) {
+	c := l.src[l.pos]
+	switch c {
+	case 'n':
+		return "\n", 1, nil
+	case 't':
+		return "\t", 1, nil
+	case 'r':
+		return "\r", 1, nil
+	case 'b':
+		return "\b", 1, nil
+	case 'f':
+		return "\f", 1, nil
+	case 'v':
+		return "\v", 1, nil
+	case '0':
+		return "\x00", 1, nil
+	case 'x':
+		if l.pos+2 >= len(l.src) {
+			return "", 0, l.errorf("malformed \\x escape")
+		}
+		hi, lo := hexVal(l.src[l.pos+1]), hexVal(l.src[l.pos+2])
+		if hi < 0 || lo < 0 {
+			return "", 0, l.errorf("malformed \\x escape")
+		}
+		return string(rune(hi*16 + lo)), 3, nil
+	case 'u':
+		if l.pos+4 >= len(l.src) {
+			return "", 0, l.errorf("malformed \\u escape")
+		}
+		v := 0
+		for i := 1; i <= 4; i++ {
+			d := hexVal(l.src[l.pos+i])
+			if d < 0 {
+				return "", 0, l.errorf("malformed \\u escape")
+			}
+			v = v*16 + d
+		}
+		return string(rune(v)), 5, nil
+	case '\n':
+		// Line continuation.
+		return "", 1, nil
+	default:
+		return string(c), 1, nil
+	}
+}
+
+func (l *Lexer) scanTemplate() (Token, error) {
+	start := l.pos
+	l.advance(1) // backtick
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, l.errorf("unterminated template literal")
+		}
+		c := l.src[l.pos]
+		switch c {
+		case '`':
+			l.advance(1)
+			raw := l.src[start:l.pos]
+			return Token{Kind: Template, Literal: sb.String(), Raw: raw}, nil
+		case '\\':
+			l.advance(1)
+			if l.pos >= len(l.src) {
+				return Token{}, l.errorf("unterminated escape")
+			}
+			decoded, consumed, err := l.decodeEscape()
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteString(decoded)
+			l.advance(consumed)
+		default:
+			sb.WriteByte(c)
+			l.advance(1)
+		}
+	}
+}
+
+func (l *Lexer) scanRegex() (Token, error) {
+	start := l.pos
+	l.advance(1) // opening slash
+	inClass := false
+	for {
+		if l.pos >= len(l.src) || l.src[l.pos] == '\n' {
+			return Token{}, l.errorf("unterminated regular expression")
+		}
+		c := l.src[l.pos]
+		switch c {
+		case '\\':
+			l.advance(2)
+			continue
+		case '[':
+			inClass = true
+		case ']':
+			inClass = false
+		case '/':
+			if !inClass {
+				l.advance(1)
+				// Flags.
+				for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+					l.advance(1)
+				}
+				raw := l.src[start:l.pos]
+				return Token{Kind: Regex, Literal: raw, Raw: raw}, nil
+			}
+		}
+		l.advance(1)
+	}
+}
+
+// puncts lists punctuators longest-first so maximal munch applies.
+var puncts = []string{
+	">>>=", "===", "!==", ">>>", "<<=", ">>=", "**=",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "=>", "**",
+	"{", "}", "(", ")", "[", "]", ";", ",", "<", ">", "+", "-", "*", "/",
+	"%", "&", "|", "^", "!", "~", "?", ":", "=", ".",
+}
+
+func (l *Lexer) scanPunct() Token {
+	rest := l.src[l.pos:]
+	for _, p := range puncts {
+		if strings.HasPrefix(rest, p) {
+			l.advance(len(p))
+			return Token{Kind: Punct, Literal: p, Raw: p}
+		}
+	}
+	return Token{Kind: Punct}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '$' || r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}

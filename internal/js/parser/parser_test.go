@@ -1,0 +1,344 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/js/ast"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return prog
+}
+
+func firstStmt(t *testing.T, src string) ast.Statement {
+	t.Helper()
+	prog := parse(t, src)
+	if len(prog.Body) == 0 {
+		t.Fatalf("Parse(%q): empty program", src)
+	}
+	return prog.Body[0]
+}
+
+func TestVariableDeclaration(t *testing.T) {
+	stmt := firstStmt(t, "var a = 1, b, c = \"x\";")
+	decl, ok := stmt.(*ast.VariableDeclaration)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if decl.Kind != "var" || len(decl.Declarations) != 3 {
+		t.Fatalf("decl = %+v", decl)
+	}
+	if decl.Declarations[0].ID.Name != "a" || decl.Declarations[0].Init == nil {
+		t.Error("a = 1 mis-parsed")
+	}
+	if decl.Declarations[1].Init != nil {
+		t.Error("b should have no initializer")
+	}
+}
+
+func TestLetConst(t *testing.T) {
+	for _, kind := range []string{"let", "const"} {
+		stmt := firstStmt(t, kind+" x = 2;")
+		decl := stmt.(*ast.VariableDeclaration)
+		if decl.Kind != kind {
+			t.Errorf("kind = %q, want %q", decl.Kind, kind)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	stmt := firstStmt(t, "x = 1 + 2 * 3;")
+	assign := stmt.(*ast.ExpressionStatement).Expression.(*ast.AssignmentExpression)
+	add, ok := assign.Right.(*ast.BinaryExpression)
+	if !ok || add.Operator != "+" {
+		t.Fatalf("top of RHS = %#v, want +", assign.Right)
+	}
+	mul, ok := add.Right.(*ast.BinaryExpression)
+	if !ok || mul.Operator != "*" {
+		t.Fatalf("right of + = %#v, want *", add.Right)
+	}
+}
+
+func TestLogicalVersusBinary(t *testing.T) {
+	stmt := firstStmt(t, "a && b || c;")
+	or := stmt.(*ast.ExpressionStatement).Expression.(*ast.LogicalExpression)
+	if or.Operator != "||" {
+		t.Fatalf("top = %q, want ||", or.Operator)
+	}
+	and := or.Left.(*ast.LogicalExpression)
+	if and.Operator != "&&" {
+		t.Fatalf("left = %q, want &&", and.Operator)
+	}
+}
+
+func TestRightAssociativeAssignment(t *testing.T) {
+	stmt := firstStmt(t, "a = b = 3;")
+	outer := stmt.(*ast.ExpressionStatement).Expression.(*ast.AssignmentExpression)
+	if _, ok := outer.Right.(*ast.AssignmentExpression); !ok {
+		t.Fatalf("a = (b = 3) mis-parsed: %#v", outer.Right)
+	}
+}
+
+func TestConditionalExpression(t *testing.T) {
+	stmt := firstStmt(t, "x = a ? 1 : b ? 2 : 3;")
+	cond := stmt.(*ast.ExpressionStatement).Expression.(*ast.AssignmentExpression).Right.(*ast.ConditionalExpression)
+	if _, ok := cond.Alternate.(*ast.ConditionalExpression); !ok {
+		t.Fatal("nested ternary mis-parsed")
+	}
+}
+
+func TestMemberAndCallChains(t *testing.T) {
+	stmt := firstStmt(t, "a.b.c(1)[d](2);")
+	call := stmt.(*ast.ExpressionStatement).Expression.(*ast.CallExpression)
+	if len(call.Arguments) != 1 {
+		t.Fatal("outer call args")
+	}
+	inner, ok := call.Callee.(*ast.MemberExpression)
+	if !ok || !inner.Computed {
+		t.Fatalf("computed member mis-parsed: %#v", call.Callee)
+	}
+}
+
+func TestNewExpression(t *testing.T) {
+	stmt := firstStmt(t, "var d = new Date(1, 2);")
+	ne := stmt.(*ast.VariableDeclaration).Declarations[0].Init.(*ast.NewExpression)
+	if len(ne.Arguments) != 2 {
+		t.Fatalf("new args = %d", len(ne.Arguments))
+	}
+	// new with member callee
+	stmt = firstStmt(t, "var x = new a.B();")
+	ne = stmt.(*ast.VariableDeclaration).Declarations[0].Init.(*ast.NewExpression)
+	if _, ok := ne.Callee.(*ast.MemberExpression); !ok {
+		t.Fatalf("new a.B callee: %#v", ne.Callee)
+	}
+	// new without parens
+	stmt = firstStmt(t, "var y = new Thing;")
+	if _, ok := stmt.(*ast.VariableDeclaration).Declarations[0].Init.(*ast.NewExpression); !ok {
+		t.Fatal("new without parens mis-parsed")
+	}
+}
+
+func TestUnaryAndUpdate(t *testing.T) {
+	stmt := firstStmt(t, "x = typeof -y;")
+	un := stmt.(*ast.ExpressionStatement).Expression.(*ast.AssignmentExpression).Right.(*ast.UnaryExpression)
+	if un.Operator != "typeof" {
+		t.Fatalf("outer op %q", un.Operator)
+	}
+	stmt = firstStmt(t, "i++;")
+	up := stmt.(*ast.ExpressionStatement).Expression.(*ast.UpdateExpression)
+	if up.Prefix || up.Operator != "++" {
+		t.Fatalf("postfix: %+v", up)
+	}
+	stmt = firstStmt(t, "--j;")
+	up = stmt.(*ast.ExpressionStatement).Expression.(*ast.UpdateExpression)
+	if !up.Prefix || up.Operator != "--" {
+		t.Fatalf("prefix: %+v", up)
+	}
+}
+
+func TestForVariants(t *testing.T) {
+	if _, ok := firstStmt(t, "for (;;) {}").(*ast.ForStatement); !ok {
+		t.Error("empty for")
+	}
+	fs := firstStmt(t, "for (var i = 0; i < 5; i++) { work(); }").(*ast.ForStatement)
+	if fs.Init == nil || fs.Test == nil || fs.Update == nil {
+		t.Error("full for clauses missing")
+	}
+	fi := firstStmt(t, "for (var k in obj) { use(k); }").(*ast.ForInStatement)
+	if _, ok := fi.Left.(*ast.VariableDeclaration); !ok {
+		t.Error("for-in with var")
+	}
+	fi = firstStmt(t, "for (k in obj) {}").(*ast.ForInStatement)
+	if _, ok := fi.Left.(*ast.Identifier); !ok {
+		t.Error("for-in with bare identifier")
+	}
+	// `in` allowed inside parens in for-init.
+	fs = firstStmt(t, "for (var ok = (\"x\" in obj); ok; ) {}").(*ast.ForStatement)
+	if fs.Init == nil {
+		t.Error("parenthesized in for-init")
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	sw := firstStmt(t, `switch (x) { case 1: a(); break; case 2: case 3: b(); default: c(); }`).(*ast.SwitchStatement)
+	if len(sw.Cases) != 4 {
+		t.Fatalf("cases = %d, want 4", len(sw.Cases))
+	}
+	if sw.Cases[3].Test != nil {
+		t.Error("default case should have nil test")
+	}
+	if len(sw.Cases[1].Consequent) != 0 {
+		t.Error("fallthrough case should be empty")
+	}
+}
+
+func TestTryCatchFinally(t *testing.T) {
+	ts := firstStmt(t, "try { a(); } catch (e) { b(e); } finally { c(); }").(*ast.TryStatement)
+	if ts.Handler == nil || ts.Handler.Param.Name != "e" || ts.Finalizer == nil {
+		t.Fatalf("try mis-parsed: %+v", ts)
+	}
+	if _, err := Parse("try { a(); }"); err == nil {
+		t.Error("try without catch/finally should error")
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	ls := firstStmt(t, "outer: while (1) { break outer; }").(*ast.LabeledStatement)
+	if ls.Label.Name != "outer" {
+		t.Fatal("label name")
+	}
+	ws := ls.Body.(*ast.WhileStatement)
+	br := ws.Body.(*ast.BlockStatement).Body[0].(*ast.BreakStatement)
+	if br.Label == nil || br.Label.Name != "outer" {
+		t.Fatal("break label")
+	}
+}
+
+func TestObjectLiteral(t *testing.T) {
+	stmt := firstStmt(t, `var o = { a: 1, "b": 2, 3: "x", get v() { return 1; }, if: 4 };`)
+	obj := stmt.(*ast.VariableDeclaration).Declarations[0].Init.(*ast.ObjectExpression)
+	if len(obj.Properties) != 5 {
+		t.Fatalf("properties = %d", len(obj.Properties))
+	}
+	if obj.Properties[3].Kind != ast.PropertyGet {
+		t.Error("getter kind")
+	}
+	if key, ok := obj.Properties[4].Key.(*ast.Identifier); !ok || key.Name != "if" {
+		t.Error("keyword property key")
+	}
+}
+
+func TestArrayLiteralWithHoles(t *testing.T) {
+	stmt := firstStmt(t, "var a = [1, , 3];")
+	arr := stmt.(*ast.VariableDeclaration).Declarations[0].Init.(*ast.ArrayExpression)
+	if len(arr.Elements) != 3 || arr.Elements[1] != nil {
+		t.Fatalf("elements = %v", arr.Elements)
+	}
+}
+
+func TestASI(t *testing.T) {
+	// Newline-terminated statements parse without semicolons.
+	prog := parse(t, "var a = 1\nvar b = 2\na = b")
+	if len(prog.Body) != 3 {
+		t.Fatalf("ASI program body = %d", len(prog.Body))
+	}
+	// return followed by newline returns undefined.
+	fn := firstStmt(t, "function f() { return\n5; }").(*ast.FunctionDeclaration)
+	ret := fn.Body.Body[0].(*ast.ReturnStatement)
+	if ret.Argument != nil {
+		t.Error("return\\n5 should parse as bare return")
+	}
+	// Missing semicolon without newline is an error.
+	if _, err := Parse("var a = 1 var b = 2"); err == nil {
+		t.Error("expected ASI failure")
+	}
+}
+
+func TestSequenceExpression(t *testing.T) {
+	stmt := firstStmt(t, "x = (a, b, c);")
+	seq := stmt.(*ast.ExpressionStatement).Expression.(*ast.AssignmentExpression).Right.(*ast.SequenceExpression)
+	if len(seq.Expressions) != 3 {
+		t.Fatalf("sequence length = %d", len(seq.Expressions))
+	}
+}
+
+func TestFunctionExpression(t *testing.T) {
+	stmt := firstStmt(t, "var f = function named(a, b) { return a + b; };")
+	fe := stmt.(*ast.VariableDeclaration).Declarations[0].Init.(*ast.FunctionExpression)
+	if fe.ID == nil || fe.ID.Name != "named" || len(fe.Params) != 2 {
+		t.Fatalf("function expression: %+v", fe)
+	}
+	stmt = firstStmt(t, "(function() { go(); })();")
+	if _, ok := stmt.(*ast.ExpressionStatement).Expression.(*ast.CallExpression); !ok {
+		t.Error("IIFE mis-parsed")
+	}
+}
+
+func TestNumericLiterals(t *testing.T) {
+	stmt := firstStmt(t, "var n = 0x10;")
+	lit := stmt.(*ast.VariableDeclaration).Declarations[0].Init.(*ast.Literal)
+	if lit.NumVal != 16 {
+		t.Errorf("0x10 = %v, want 16", lit.NumVal)
+	}
+}
+
+func TestRegexLiteralExpression(t *testing.T) {
+	stmt := firstStmt(t, "var re = /a[b/]c/gi;")
+	lit := stmt.(*ast.VariableDeclaration).Declarations[0].Init.(*ast.Literal)
+	if lit.Kind != ast.LiteralRegExp || lit.StrVal != "/a[b/]c/gi" {
+		t.Errorf("regex literal: %+v", lit)
+	}
+}
+
+func TestInvalidAssignmentTarget(t *testing.T) {
+	if _, err := Parse("1 = x;"); err == nil {
+		t.Error("expected invalid assignment target error")
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("if (x {")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 1 || !strings.Contains(pe.Error(), "1:") {
+		t.Errorf("error = %v", pe)
+	}
+}
+
+func TestUnterminatedConstructs(t *testing.T) {
+	for _, src := range []string{
+		"{", "function f() {", "var a = [1,", "var o = {a: 1,",
+		"switch (x) {", "f(1,",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestWithStatement(t *testing.T) {
+	ws := firstStmt(t, "with (o) { v; }").(*ast.WithStatement)
+	if ws.Object == nil || ws.Body == nil {
+		t.Fatal("with mis-parsed")
+	}
+}
+
+func TestInstanceofAndIn(t *testing.T) {
+	stmt := firstStmt(t, "x = a instanceof Date && \"k\" in o;")
+	and := stmt.(*ast.ExpressionStatement).Expression.(*ast.AssignmentExpression).Right.(*ast.LogicalExpression)
+	left := and.Left.(*ast.BinaryExpression)
+	if left.Operator != "instanceof" {
+		t.Errorf("left op = %q", left.Operator)
+	}
+	right := and.Right.(*ast.BinaryExpression)
+	if right.Operator != "in" {
+		t.Errorf("right op = %q", right.Operator)
+	}
+}
+
+func TestDeepNestingDoesNotStackOverflow(t *testing.T) {
+	src := strings.Repeat("(", 200) + "1" + strings.Repeat(")", 200) + ";"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("deep parens: %v", err)
+	}
+}
+
+func TestKeywordMemberProperty(t *testing.T) {
+	stmt := firstStmt(t, "a.delete();")
+	call := stmt.(*ast.ExpressionStatement).Expression.(*ast.CallExpression)
+	me := call.Callee.(*ast.MemberExpression)
+	if id, ok := me.Property.(*ast.Identifier); !ok || id.Name != "delete" {
+		t.Error("keyword as member property")
+	}
+}

@@ -1,0 +1,174 @@
+// Package pdg builds a program dependence graph over the statement level of
+// a JavaScript AST: control-dependence edges derived from the syntactic
+// nesting of control structures plus data-dependence edges from the
+// def-use analysis in internal/js/dataflow. This is the code abstraction
+// the JSTAP baseline extracts its n-gram features from.
+package pdg
+
+import (
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/dataflow"
+)
+
+// EdgeKind discriminates control from data dependence.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	ControlDep EdgeKind = iota + 1
+	DataDep
+)
+
+// Node is one PDG node, wrapping a statement.
+type Node struct {
+	// ID is the node's index in Graph.Nodes.
+	ID int
+	// Stmt is the underlying statement.
+	Stmt ast.Statement
+	// Kind is the statement's ESTree type name.
+	Kind string
+}
+
+// Edge is a directed dependence edge between statements.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	// Var names the variable for data edges.
+	Var string
+}
+
+// Graph is the program dependence graph.
+type Graph struct {
+	Nodes []*Node
+	Edges []Edge
+	// index maps a statement to its node ID.
+	index map[ast.Statement]int
+}
+
+// NodeOf returns the PDG node ID of a statement, or -1.
+func (g *Graph) NodeOf(s ast.Statement) int {
+	if id, ok := g.index[s]; ok {
+		return id
+	}
+	return -1
+}
+
+// Successors returns the IDs reachable from id via edges of the given kind
+// (or any kind when kind is 0).
+func (g *Graph) Successors(id int, kind EdgeKind) []int {
+	var out []int
+	for _, e := range g.Edges {
+		if e.From == id && (kind == 0 || e.Kind == kind) {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Build constructs the PDG of a program.
+func Build(prog *ast.Program) *Graph {
+	g := &Graph{index: make(map[ast.Statement]int)}
+
+	// Collect statement nodes in traversal order.
+	addStmt := func(s ast.Statement) int {
+		if id, ok := g.index[s]; ok {
+			return id
+		}
+		n := &Node{ID: len(g.Nodes), Stmt: s, Kind: s.Type()}
+		g.Nodes = append(g.Nodes, n)
+		g.index[s] = n.ID
+		return n.ID
+	}
+
+	// Control dependences: a statement is control-dependent on the nearest
+	// enclosing control-structure statement.
+	var visit func(s ast.Statement, controller ast.Statement)
+	visitList := func(list []ast.Statement, controller ast.Statement) {
+		for _, s := range list {
+			visit(s, controller)
+		}
+	}
+	visit = func(s ast.Statement, controller ast.Statement) {
+		if s == nil {
+			return
+		}
+		// Blocks are transparent: they group statements but are not PDG
+		// nodes themselves.
+		if blk, ok := s.(*ast.BlockStatement); ok {
+			visitList(blk.Body, controller)
+			return
+		}
+		id := addStmt(s)
+		if controller != nil {
+			cid := addStmt(controller)
+			g.Edges = append(g.Edges, Edge{From: cid, To: id, Kind: ControlDep})
+		}
+		switch n := s.(type) {
+		case *ast.IfStatement:
+			visit(n.Consequent, s)
+			visit(n.Alternate, s)
+		case *ast.WhileStatement:
+			visit(n.Body, s)
+		case *ast.DoWhileStatement:
+			visit(n.Body, s)
+		case *ast.ForStatement:
+			visit(n.Body, s)
+		case *ast.ForInStatement:
+			visit(n.Body, s)
+		case *ast.SwitchStatement:
+			for _, c := range n.Cases {
+				visitList(c.Consequent, s)
+			}
+		case *ast.TryStatement:
+			visit(n.Block, s)
+			if n.Handler != nil {
+				visit(n.Handler.Body, s)
+			}
+			if n.Finalizer != nil {
+				visit(n.Finalizer, s)
+			}
+		case *ast.LabeledStatement:
+			visit(n.Body, controller)
+		case *ast.WithStatement:
+			visit(n.Body, s)
+		case *ast.FunctionDeclaration:
+			visitList(n.Body.Body, s)
+		}
+	}
+	visitList(prog.Body, nil)
+
+	// Function expression bodies are nested inside expression statements;
+	// give their statements control dependence on the enclosing statement.
+	ast.WalkWithParent(prog, func(n, parent ast.Node) bool {
+		fe, ok := n.(*ast.FunctionExpression)
+		if !ok {
+			return true
+		}
+		// Find the nearest recorded statement ancestor by scanning the index;
+		// fall back to no controller.
+		for _, st := range fe.Body.Body {
+			if _, seen := g.index[st]; !seen {
+				visit(st, nil)
+			}
+		}
+		return true
+	})
+
+	// Data dependences from the def-use analysis, lifted to statement level.
+	info := dataflow.Analyze(prog)
+	seen := make(map[[2]int]bool)
+	for _, e := range info.Edges {
+		from := g.NodeOf(e.Def.Stmt)
+		to := g.NodeOf(e.Use.Stmt)
+		if from < 0 || to < 0 || from == to {
+			continue
+		}
+		key := [2]int{from, to}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: DataDep, Var: e.Name})
+	}
+	return g
+}

@@ -1,0 +1,142 @@
+package pdg
+
+import (
+	"testing"
+
+	"jsrevealer/internal/js/parser"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Build(prog)
+}
+
+func countEdges(g *Graph, kind EdgeKind) int {
+	n := 0
+	for _, e := range g.Edges {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func TestControlDependence(t *testing.T) {
+	g := build(t, "if (x) { a(); b(); }")
+	if countEdges(g, ControlDep) != 2 {
+		t.Fatalf("control edges = %d, want 2 (if -> a, if -> b)", countEdges(g, ControlDep))
+	}
+	for _, e := range g.Edges {
+		if e.Kind == ControlDep && g.Nodes[e.From].Kind != "IfStatement" {
+			t.Errorf("control edge from %s", g.Nodes[e.From].Kind)
+		}
+	}
+}
+
+func TestNestedControlDependence(t *testing.T) {
+	g := build(t, "while (m) { if (x) { a(); } }")
+	// if depends on while; a() depends on if.
+	wantPairs := map[[2]string]bool{
+		{"WhileStatement", "IfStatement"}:      false,
+		{"IfStatement", "ExpressionStatement"}: false,
+	}
+	for _, e := range g.Edges {
+		if e.Kind != ControlDep {
+			continue
+		}
+		key := [2]string{g.Nodes[e.From].Kind, g.Nodes[e.To].Kind}
+		if _, ok := wantPairs[key]; ok {
+			wantPairs[key] = true
+		}
+	}
+	for pair, seen := range wantPairs {
+		if !seen {
+			t.Errorf("missing control edge %v", pair)
+		}
+	}
+}
+
+func TestDataDependence(t *testing.T) {
+	g := build(t, "var x = 1;\nuse(x);")
+	if countEdges(g, DataDep) != 1 {
+		t.Fatalf("data edges = %d, want 1", countEdges(g, DataDep))
+	}
+	e := g.Edges[len(g.Edges)-1]
+	for _, edge := range g.Edges {
+		if edge.Kind == DataDep {
+			e = edge
+		}
+	}
+	if e.Var != "x" {
+		t.Errorf("data edge var = %q", e.Var)
+	}
+	if g.Nodes[e.From].Kind != "VariableDeclaration" {
+		t.Errorf("data edge from %s", g.Nodes[e.From].Kind)
+	}
+}
+
+func TestDataEdgesDeduplicated(t *testing.T) {
+	g := build(t, "var x = 1;\nuse(x + x + x);")
+	if n := countEdges(g, DataDep); n != 1 {
+		t.Errorf("data edges = %d, want 1 (deduplicated per statement pair)", n)
+	}
+}
+
+func TestSuccessorsFilterByKind(t *testing.T) {
+	g := build(t, "var y = 2;\nif (y) { f(y); }")
+	declID := -1
+	for _, n := range g.Nodes {
+		if n.Kind == "VariableDeclaration" {
+			declID = n.ID
+		}
+	}
+	if declID == -1 {
+		t.Fatal("no declaration node")
+	}
+	data := g.Successors(declID, DataDep)
+	if len(data) == 0 {
+		t.Error("no data successors of the declaration")
+	}
+	all := g.Successors(declID, 0)
+	if len(all) < len(data) {
+		t.Error("kind 0 should include all kinds")
+	}
+}
+
+func TestNodeOfUnknownStatement(t *testing.T) {
+	g := build(t, "a();")
+	if g.NodeOf(nil) != -1 {
+		t.Error("NodeOf(nil) should be -1")
+	}
+}
+
+func TestFunctionBodiesIncluded(t *testing.T) {
+	g := build(t, "function f() { var q = 1; return q; }")
+	kinds := make(map[string]int)
+	for _, n := range g.Nodes {
+		kinds[n.Kind]++
+	}
+	if kinds["VariableDeclaration"] != 1 || kinds["ReturnStatement"] != 1 {
+		t.Errorf("function body nodes missing: %v", kinds)
+	}
+	if countEdges(g, DataDep) == 0 {
+		t.Error("q def-use edge missing inside function")
+	}
+}
+
+func TestSwitchCaseControlDependence(t *testing.T) {
+	g := build(t, "switch (x) { case 1: a(); }")
+	found := false
+	for _, e := range g.Edges {
+		if e.Kind == ControlDep && g.Nodes[e.From].Kind == "SwitchStatement" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("case body not control-dependent on switch")
+	}
+}

@@ -1,0 +1,572 @@
+// Package printer renders an AST back to JavaScript source code.
+//
+// The output is deterministic, parses back to an equivalent AST, and uses
+// parentheses conservatively (precedence-driven) so obfuscated trees print
+// correctly.
+package printer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jsrevealer/internal/js/ast"
+)
+
+// Print renders the program as JavaScript source.
+func Print(p *ast.Program) string {
+	w := &writer{}
+	for _, s := range p.Body {
+		w.stmt(s)
+	}
+	return w.sb.String()
+}
+
+// PrintStatement renders a single statement without a trailing newline.
+func PrintStatement(s ast.Statement) string {
+	w := &writer{}
+	w.stmtInline(s)
+	return w.sb.String()
+}
+
+// PrintExpression renders a single expression.
+func PrintExpression(e ast.Expression) string {
+	w := &writer{}
+	w.expr(e, 0)
+	return w.sb.String()
+}
+
+type writer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (w *writer) ws(s string) { w.sb.WriteString(s) }
+
+func (w *writer) nl() {
+	w.ws("\n")
+	for i := 0; i < w.indent; i++ {
+		w.ws("  ")
+	}
+}
+
+// exprPrec gives the precedence of an expression node for parenthesization.
+// Higher binds tighter.
+func exprPrec(e ast.Expression) int {
+	switch n := e.(type) {
+	case *ast.SequenceExpression:
+		return 0
+	case *ast.AssignmentExpression:
+		return 1
+	case *ast.ConditionalExpression:
+		return 2
+	case *ast.LogicalExpression:
+		if n.Operator == "||" {
+			return 3
+		}
+		return 4
+	case *ast.BinaryExpression:
+		switch n.Operator {
+		case "|":
+			return 5
+		case "^":
+			return 6
+		case "&":
+			return 7
+		case "==", "!=", "===", "!==":
+			return 8
+		case "<", ">", "<=", ">=", "in", "instanceof":
+			return 9
+		case "<<", ">>", ">>>":
+			return 10
+		case "+", "-":
+			return 11
+		default: // * / %
+			return 12
+		}
+	case *ast.UnaryExpression:
+		return 13
+	case *ast.UpdateExpression:
+		if n.Prefix {
+			return 13
+		}
+		return 14
+	case *ast.NewExpression:
+		return 15
+	case *ast.CallExpression:
+		return 15
+	case *ast.MemberExpression:
+		return 16
+	default:
+		return 17
+	}
+}
+
+// expr prints e, wrapping in parentheses when its precedence is below the
+// minimum the context requires.
+func (w *writer) expr(e ast.Expression, minPrec int) {
+	if exprPrec(e) < minPrec {
+		w.ws("(")
+		w.exprInner(e)
+		w.ws(")")
+		return
+	}
+	w.exprInner(e)
+}
+
+func (w *writer) exprInner(e ast.Expression) {
+	switch n := e.(type) {
+	case *ast.Identifier:
+		w.ws(n.Name)
+	case *ast.Literal:
+		w.literal(n)
+	case *ast.ThisExpression:
+		w.ws("this")
+	case *ast.ArrayExpression:
+		w.ws("[")
+		for i, el := range n.Elements {
+			if i > 0 {
+				w.ws(", ")
+			}
+			if el != nil {
+				w.expr(el, 1)
+			}
+		}
+		w.ws("]")
+	case *ast.ObjectExpression:
+		w.objectLiteral(n)
+	case *ast.FunctionExpression:
+		w.ws("function")
+		if n.ID != nil {
+			w.ws(" " + n.ID.Name)
+		}
+		w.params(n.Params)
+		w.ws(" ")
+		w.block(n.Body)
+	case *ast.UnaryExpression:
+		w.ws(n.Operator)
+		if len(n.Operator) > 1 { // typeof, void, delete
+			w.ws(" ")
+		} else if u, ok := n.Argument.(*ast.UnaryExpression); ok && u.Operator == n.Operator {
+			// avoid `--x` when printing -(-x)
+			w.ws(" ")
+		}
+		w.expr(n.Argument, 13)
+	case *ast.UpdateExpression:
+		if n.Prefix {
+			w.ws(n.Operator)
+			w.expr(n.Argument, 13)
+		} else {
+			w.expr(n.Argument, 14)
+			w.ws(n.Operator)
+		}
+	case *ast.BinaryExpression:
+		prec := exprPrec(n)
+		w.expr(n.Left, prec)
+		w.ws(" " + n.Operator + " ")
+		w.expr(n.Right, prec+1)
+	case *ast.LogicalExpression:
+		prec := exprPrec(n)
+		w.expr(n.Left, prec)
+		w.ws(" " + n.Operator + " ")
+		w.expr(n.Right, prec+1)
+	case *ast.AssignmentExpression:
+		w.expr(n.Left, 14)
+		w.ws(" " + n.Operator + " ")
+		w.expr(n.Right, 1)
+	case *ast.ConditionalExpression:
+		w.expr(n.Test, 3)
+		w.ws(" ? ")
+		w.expr(n.Consequent, 1)
+		w.ws(" : ")
+		w.expr(n.Alternate, 1)
+	case *ast.CallExpression:
+		w.expr(n.Callee, 15)
+		w.args(n.Arguments)
+	case *ast.NewExpression:
+		w.ws("new ")
+		w.expr(n.Callee, 16)
+		w.args(n.Arguments)
+	case *ast.MemberExpression:
+		w.memberObject(n.Object)
+		if n.Computed {
+			w.ws("[")
+			w.expr(n.Property, 0)
+			w.ws("]")
+		} else {
+			w.ws(".")
+			w.expr(n.Property, 0)
+		}
+	case *ast.SequenceExpression:
+		for i, x := range n.Expressions {
+			if i > 0 {
+				w.ws(", ")
+			}
+			w.expr(x, 1)
+		}
+	default:
+		w.ws(fmt.Sprintf("/*?%s?*/", e.Type()))
+	}
+}
+
+// memberObject prints the object part of a member expression; numeric
+// literals need parens so `1 .toString` doesn't lex as a decimal point.
+func (w *writer) memberObject(obj ast.Expression) {
+	if lit, ok := obj.(*ast.Literal); ok && lit.Kind == ast.LiteralNumber {
+		w.ws("(")
+		w.exprInner(obj)
+		w.ws(")")
+		return
+	}
+	w.expr(obj, 16)
+}
+
+func (w *writer) literal(l *ast.Literal) {
+	switch l.Kind {
+	case ast.LiteralString:
+		w.ws(quoteJS(l.StrVal))
+	case ast.LiteralNumber:
+		if l.Raw != "" {
+			w.ws(l.Raw)
+		} else {
+			w.ws(formatNumber(l.NumVal))
+		}
+	case ast.LiteralBool:
+		if l.BoolVal {
+			w.ws("true")
+		} else {
+			w.ws("false")
+		}
+	case ast.LiteralNull:
+		w.ws("null")
+	case ast.LiteralRegExp:
+		w.ws(l.StrVal)
+	}
+}
+
+func (w *writer) objectLiteral(o *ast.ObjectExpression) {
+	if len(o.Properties) == 0 {
+		w.ws("{}")
+		return
+	}
+	w.ws("{")
+	w.indent++
+	for i, p := range o.Properties {
+		if i > 0 {
+			w.ws(",")
+		}
+		w.nl()
+		switch p.Kind {
+		case ast.PropertyGet, ast.PropertySet:
+			if p.Kind == ast.PropertyGet {
+				w.ws("get ")
+			} else {
+				w.ws("set ")
+			}
+			w.expr(p.Key, 0)
+			fe := p.Value.(*ast.FunctionExpression)
+			w.params(fe.Params)
+			w.ws(" ")
+			w.block(fe.Body)
+		default:
+			w.expr(p.Key, 0)
+			w.ws(": ")
+			w.expr(p.Value, 1)
+		}
+	}
+	w.indent--
+	w.nl()
+	w.ws("}")
+}
+
+func (w *writer) params(params []*ast.Identifier) {
+	w.ws("(")
+	for i, p := range params {
+		if i > 0 {
+			w.ws(", ")
+		}
+		w.ws(p.Name)
+	}
+	w.ws(")")
+}
+
+func (w *writer) args(args []ast.Expression) {
+	w.ws("(")
+	for i, a := range args {
+		if i > 0 {
+			w.ws(", ")
+		}
+		w.expr(a, 1)
+	}
+	w.ws(")")
+}
+
+func (w *writer) block(b *ast.BlockStatement) {
+	w.ws("{")
+	w.indent++
+	for _, s := range b.Body {
+		w.nl()
+		w.stmtInline(s)
+	}
+	w.indent--
+	w.nl()
+	w.ws("}")
+}
+
+func (w *writer) stmt(s ast.Statement) {
+	w.stmtInline(s)
+	w.ws("\n")
+}
+
+func (w *writer) stmtInline(s ast.Statement) {
+	switch n := s.(type) {
+	case *ast.ExpressionStatement:
+		// Guard expressions beginning with `{` or `function` so the statement
+		// is not misparsed as a block / declaration.
+		if startsAmbiguously(n.Expression) {
+			w.ws("(")
+			w.expr(n.Expression, 0)
+			w.ws(")")
+		} else {
+			w.expr(n.Expression, 0)
+		}
+		w.ws(";")
+	case *ast.BlockStatement:
+		w.block(n)
+	case *ast.EmptyStatement:
+		w.ws(";")
+	case *ast.DebuggerStatement:
+		w.ws("debugger;")
+	case *ast.VariableDeclaration:
+		w.varDecl(n)
+		w.ws(";")
+	case *ast.FunctionDeclaration:
+		w.ws("function " + n.ID.Name)
+		w.params(n.Params)
+		w.ws(" ")
+		w.block(n.Body)
+	case *ast.ReturnStatement:
+		if n.Argument != nil {
+			w.ws("return ")
+			w.expr(n.Argument, 0)
+			w.ws(";")
+		} else {
+			w.ws("return;")
+		}
+	case *ast.IfStatement:
+		w.ws("if (")
+		w.expr(n.Test, 0)
+		w.ws(") ")
+		w.nestedStmt(n.Consequent)
+		if n.Alternate != nil {
+			w.ws(" else ")
+			w.nestedStmt(n.Alternate)
+		}
+	case *ast.ForStatement:
+		w.ws("for (")
+		if n.Init != nil {
+			switch init := n.Init.(type) {
+			case *ast.VariableDeclaration:
+				w.varDecl(init)
+			case ast.Expression:
+				w.expr(init, 0)
+			}
+		}
+		w.ws("; ")
+		if n.Test != nil {
+			w.expr(n.Test, 0)
+		}
+		w.ws("; ")
+		if n.Update != nil {
+			w.expr(n.Update, 0)
+		}
+		w.ws(") ")
+		w.nestedStmt(n.Body)
+	case *ast.ForInStatement:
+		w.ws("for (")
+		switch left := n.Left.(type) {
+		case *ast.VariableDeclaration:
+			w.varDecl(left)
+		case ast.Expression:
+			w.expr(left, 0)
+		}
+		w.ws(" in ")
+		w.expr(n.Right, 0)
+		w.ws(") ")
+		w.nestedStmt(n.Body)
+	case *ast.WhileStatement:
+		w.ws("while (")
+		w.expr(n.Test, 0)
+		w.ws(") ")
+		w.nestedStmt(n.Body)
+	case *ast.DoWhileStatement:
+		w.ws("do ")
+		w.nestedStmt(n.Body)
+		w.ws(" while (")
+		w.expr(n.Test, 0)
+		w.ws(");")
+	case *ast.BreakStatement:
+		if n.Label != nil {
+			w.ws("break " + n.Label.Name + ";")
+		} else {
+			w.ws("break;")
+		}
+	case *ast.ContinueStatement:
+		if n.Label != nil {
+			w.ws("continue " + n.Label.Name + ";")
+		} else {
+			w.ws("continue;")
+		}
+	case *ast.LabeledStatement:
+		w.ws(n.Label.Name + ": ")
+		w.stmtInline(n.Body)
+	case *ast.SwitchStatement:
+		w.ws("switch (")
+		w.expr(n.Discriminant, 0)
+		w.ws(") {")
+		w.indent++
+		for _, c := range n.Cases {
+			w.nl()
+			if c.Test != nil {
+				w.ws("case ")
+				w.expr(c.Test, 0)
+				w.ws(":")
+			} else {
+				w.ws("default:")
+			}
+			w.indent++
+			for _, cs := range c.Consequent {
+				w.nl()
+				w.stmtInline(cs)
+			}
+			w.indent--
+		}
+		w.indent--
+		w.nl()
+		w.ws("}")
+	case *ast.ThrowStatement:
+		w.ws("throw ")
+		w.expr(n.Argument, 0)
+		w.ws(";")
+	case *ast.TryStatement:
+		w.ws("try ")
+		w.block(n.Block)
+		if n.Handler != nil {
+			w.ws(" catch (" + n.Handler.Param.Name + ") ")
+			w.block(n.Handler.Body)
+		}
+		if n.Finalizer != nil {
+			w.ws(" finally ")
+			w.block(n.Finalizer)
+		}
+	case *ast.WithStatement:
+		w.ws("with (")
+		w.expr(n.Object, 0)
+		w.ws(") ")
+		w.nestedStmt(n.Body)
+	default:
+		w.ws(fmt.Sprintf("/*?%s?*/;", s.Type()))
+	}
+}
+
+// nestedStmt prints a statement used as a loop/if body, wrapping non-block
+// bodies in a block for unambiguous output.
+func (w *writer) nestedStmt(s ast.Statement) {
+	if b, ok := s.(*ast.BlockStatement); ok {
+		w.block(b)
+		return
+	}
+	w.ws("{")
+	w.indent++
+	w.nl()
+	w.stmtInline(s)
+	w.indent--
+	w.nl()
+	w.ws("}")
+}
+
+func (w *writer) varDecl(d *ast.VariableDeclaration) {
+	w.ws(d.Kind + " ")
+	for i, dec := range d.Declarations {
+		if i > 0 {
+			w.ws(", ")
+		}
+		w.ws(dec.ID.Name)
+		if dec.Init != nil {
+			w.ws(" = ")
+			w.expr(dec.Init, 1)
+		}
+	}
+}
+
+// startsAmbiguously reports whether printing expr at statement start would be
+// misparsed (object literal as block, function expression as declaration).
+func startsAmbiguously(e ast.Expression) bool {
+	switch n := e.(type) {
+	case *ast.ObjectExpression, *ast.FunctionExpression:
+		return true
+	case *ast.CallExpression:
+		return startsAmbiguously(n.Callee)
+	case *ast.MemberExpression:
+		if obj, ok := n.Object.(ast.Expression); ok {
+			return startsAmbiguously(obj)
+		}
+		return false
+	case *ast.BinaryExpression:
+		return startsAmbiguously(n.Left)
+	case *ast.LogicalExpression:
+		return startsAmbiguously(n.Left)
+	case *ast.AssignmentExpression:
+		return startsAmbiguously(n.Left)
+	case *ast.ConditionalExpression:
+		return startsAmbiguously(n.Test)
+	case *ast.SequenceExpression:
+		return len(n.Expressions) > 0 && startsAmbiguously(n.Expressions[0])
+	default:
+		return false
+	}
+}
+
+// quoteJS renders s as a double-quoted JavaScript string literal.
+func quoteJS(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\b':
+			sb.WriteString(`\b`)
+		case '\f':
+			sb.WriteString(`\f`)
+		case '\v':
+			sb.WriteString(`\v`)
+		case 0:
+			sb.WriteString(`\x00`)
+		default:
+			if r < 0x20 {
+				sb.WriteString(fmt.Sprintf(`\x%02x`, r))
+			} else {
+				sb.WriteRune(r)
+			}
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// formatNumber renders a float as a JavaScript numeric literal.
+func formatNumber(f float64) string {
+	if f == float64(int64(f)) && f >= -1e15 && f <= 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

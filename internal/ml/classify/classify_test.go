@@ -1,0 +1,223 @@
+package classify
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// separableData builds two Gaussian-ish clouds: label=false around origin,
+// label=true around (5,5,...).
+func separableData(n, dim int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	feats := make([][]float64, 0, 2*n)
+	labels := make([]bool, 0, 2*n)
+	for i := 0; i < 2*n; i++ {
+		malicious := i%2 == 1
+		p := make([]float64, dim)
+		base := 0.0
+		if malicious {
+			base = 5.0
+		}
+		for j := range p {
+			p[j] = base + rng.NormFloat64()
+		}
+		feats = append(feats, p)
+		labels = append(labels, malicious)
+	}
+	return feats, labels
+}
+
+// accuracy evaluates a classifier on a dataset.
+func accuracy(c Classifier, feats [][]float64, labels []bool) float64 {
+	correct := 0
+	for i, f := range feats {
+		if c.Predict(f) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(feats))
+}
+
+func allTrainers(seed int64) []Trainer {
+	return []Trainer{
+		&RandomForestTrainer{Seed: seed, Trees: 20},
+		&DecisionTreeTrainer{},
+		&LogisticRegressionTrainer{Seed: seed},
+		&LinearSVMTrainer{Seed: seed},
+		&GaussianNBTrainer{},
+	}
+}
+
+func TestAllClassifiersOnSeparableData(t *testing.T) {
+	trainF, trainL := separableData(60, 4, 1)
+	testF, testL := separableData(30, 4, 2)
+	for _, tr := range allTrainers(7) {
+		clf, err := tr.Train(trainF, trainL)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if acc := accuracy(clf, testF, testL); acc < 0.9 {
+			t.Errorf("%s accuracy = %.2f on separable data", tr.Name(), acc)
+		}
+	}
+}
+
+func TestTrainersRejectEmptyData(t *testing.T) {
+	for _, tr := range allTrainers(1) {
+		if _, err := tr.Train(nil, nil); err == nil {
+			t.Errorf("%s accepted empty training set", tr.Name())
+		}
+		if _, err := tr.Train([][]float64{{1}}, []bool{true, false}); err == nil {
+			t.Errorf("%s accepted mismatched labels", tr.Name())
+		}
+	}
+}
+
+func TestSingleClassTraining(t *testing.T) {
+	feats := [][]float64{{1, 2}, {2, 3}, {3, 4}}
+	labels := []bool{true, true, true}
+	for _, tr := range allTrainers(3) {
+		clf, err := tr.Train(feats, labels)
+		if err != nil {
+			t.Fatalf("%s on single-class: %v", tr.Name(), err)
+		}
+		if !clf.Predict([]float64{2, 3}) {
+			t.Errorf("%s should predict the only seen class", tr.Name())
+		}
+	}
+}
+
+func TestForestDeterministicForSeed(t *testing.T) {
+	feats, labels := separableData(40, 3, 5)
+	tr := &RandomForestTrainer{Seed: 9, Trees: 10}
+	c1, err := tr.Train(feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := tr.Train(feats, labels)
+	probe, _ := separableData(20, 3, 6)
+	for _, p := range probe {
+		if c1.Predict(p) != c2.Predict(p) {
+			t.Fatal("forest training not deterministic")
+		}
+	}
+}
+
+func TestForestImportancesNormalized(t *testing.T) {
+	// Only feature 0 is informative.
+	rng := rand.New(rand.NewSource(4))
+	var feats [][]float64
+	var labels []bool
+	for i := 0; i < 200; i++ {
+		malicious := i%2 == 0
+		x := 0.0
+		if malicious {
+			x = 3.0
+		}
+		feats = append(feats, []float64{x + rng.NormFloat64()*0.1, rng.Float64()})
+		labels = append(labels, malicious)
+	}
+	clf, err := (&RandomForestTrainer{Seed: 2, Trees: 20}).Train(feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps := clf.(*RandomForest).FeatureImportances()
+	sum := 0.0
+	for _, v := range imps {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("importances sum = %v, want 1", sum)
+	}
+	if imps[0] < imps[1] {
+		t.Errorf("informative feature has lower importance: %v", imps)
+	}
+}
+
+func TestPredictProbRange(t *testing.T) {
+	feats, labels := separableData(40, 3, 8)
+	clf, err := (&RandomForestTrainer{Seed: 1, Trees: 15}).Train(feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := clf.(*RandomForest)
+	f := func(a, b, c float64) bool {
+		p := rf.PredictProb([]float64{a, b, c})
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecisionTreeDepthLimit(t *testing.T) {
+	feats, labels := separableData(50, 2, 10)
+	clf, err := (&DecisionTreeTrainer{MaxDepth: 1}).Train(feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A depth-1 tree (a stump) still separates the linearly separable data.
+	if acc := accuracy(clf, feats, labels); acc < 0.9 {
+		t.Errorf("stump accuracy = %.2f", acc)
+	}
+}
+
+func TestForestSerializationRoundTrip(t *testing.T) {
+	feats, labels := separableData(40, 3, 12)
+	clf, err := (&RandomForestTrainer{Seed: 3, Trees: 8}).Train(feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := clf.(*RandomForest)
+	data, err := json.Marshal(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored RandomForest
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := separableData(20, 3, 13)
+	for _, p := range probe {
+		if rf.Predict(p) != restored.Predict(p) {
+			t.Fatal("restored forest disagrees with original")
+		}
+	}
+	imps := restored.FeatureImportances()
+	if len(imps) != 3 {
+		t.Errorf("importances lost in round trip: %v", imps)
+	}
+}
+
+func TestEmptyForestUnmarshalFails(t *testing.T) {
+	var f RandomForest
+	if err := json.Unmarshal([]byte(`{"trees":[],"importance":[]}`), &f); err == nil {
+		t.Error("empty forest should fail to unmarshal")
+	}
+}
+
+func TestTrainerNames(t *testing.T) {
+	want := map[string]bool{
+		"RandomForest": true, "DecisionTree": true, "LogisticRegression": true,
+		"SVM": true, "GaussianNB": true,
+	}
+	for _, tr := range allTrainers(1) {
+		if !want[tr.Name()] {
+			t.Errorf("unexpected trainer name %q", tr.Name())
+		}
+	}
+}
+
+func TestGaussianNBHandlesConstantFeature(t *testing.T) {
+	feats := [][]float64{{1, 0}, {1, 1}, {1, 0}, {1, 1}}
+	labels := []bool{false, true, false, true}
+	clf, err := (&GaussianNBTrainer{}).Train(feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clf.Predict([]float64{1, 1}) || clf.Predict([]float64{1, 0}) {
+		t.Error("NB failed on the informative second feature")
+	}
+}

@@ -1,0 +1,359 @@
+// Package classify implements the supervised classifiers the paper
+// evaluates in Table II: random forest (the final choice), a single
+// decision tree, logistic regression, a linear SVM, and Gaussian naive
+// Bayes. All operate on dense feature vectors with binary labels
+// (true = malicious).
+package classify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoData is returned when a classifier is trained on an empty set.
+var ErrNoData = errors.New("classify: no training data")
+
+// Classifier is a trained binary classifier.
+type Classifier interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Predict returns true when the feature vector is classified malicious.
+	Predict(features []float64) bool
+}
+
+// Trainer builds a classifier from labelled data.
+type Trainer interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Train fits a classifier. labels[i] corresponds to features[i].
+	Train(features [][]float64, labels []bool) (Classifier, error)
+}
+
+// ---------------------------------------------------------------------------
+// Decision tree (CART, Gini impurity)
+// ---------------------------------------------------------------------------
+
+type treeNode struct {
+	// Leaf fields.
+	leaf  bool
+	label bool
+	prob  float64
+	// Split fields.
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+}
+
+// DecisionTree is a CART tree classifier.
+type DecisionTree struct {
+	root *treeNode
+}
+
+// DecisionTreeTrainer configures CART training.
+type DecisionTreeTrainer struct {
+	// MaxDepth bounds tree depth; 0 means a default of 12.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; 0 means 2.
+	MinLeaf int
+	// featureSubset, when positive, limits each split to a random subset of
+	// features (used by the forest); 0 considers all features.
+	featureSubset int
+	// rng is used for feature subsetting (may be nil for deterministic all-
+	// feature splits).
+	rng *rand.Rand
+}
+
+// Name implements Trainer.
+func (*DecisionTreeTrainer) Name() string { return "DecisionTree" }
+
+// Name implements Classifier.
+func (*DecisionTree) Name() string { return "DecisionTree" }
+
+// Train implements Trainer.
+func (t *DecisionTreeTrainer) Train(features [][]float64, labels []bool) (Classifier, error) {
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, ErrNoData
+	}
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	idx := make([]int, len(features))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &treeBuilder{
+		features: features,
+		labels:   labels,
+		maxDepth: maxDepth,
+		minLeaf:  minLeaf,
+		subset:   t.featureSubset,
+		rng:      t.rng,
+	}
+	return &DecisionTree{root: b.build(idx, 0)}, nil
+}
+
+// Predict implements Classifier.
+func (d *DecisionTree) Predict(features []float64) bool {
+	return d.PredictProb(features) >= 0.5
+}
+
+// PredictProb returns the malicious probability at the reached leaf.
+func (d *DecisionTree) PredictProb(features []float64) float64 {
+	n := d.root
+	for !n.leaf {
+		if features[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+type treeBuilder struct {
+	features [][]float64
+	labels   []bool
+	maxDepth int
+	minLeaf  int
+	subset   int
+	rng      *rand.Rand
+
+	// importance accumulates Gini gain per feature for interpretability.
+	importance []float64
+}
+
+func (b *treeBuilder) build(idx []int, depth int) *treeNode {
+	pos := 0
+	for _, i := range idx {
+		if b.labels[i] {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	if depth >= b.maxDepth || len(idx) < 2*b.minLeaf || pos == 0 || pos == len(idx) {
+		return &treeNode{leaf: true, label: prob >= 0.5, prob: prob}
+	}
+	feat, thresh, gain := b.bestSplit(idx)
+	if feat < 0 || gain <= 1e-12 {
+		return &treeNode{leaf: true, label: prob >= 0.5, prob: prob}
+	}
+	if b.importance != nil {
+		b.importance[feat] += gain * float64(len(idx))
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.features[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.minLeaf || len(right) < b.minLeaf {
+		return &treeNode{leaf: true, label: prob >= 0.5, prob: prob}
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thresh,
+		left:      b.build(left, depth+1),
+		right:     b.build(right, depth+1),
+	}
+}
+
+// bestSplit finds the feature/threshold pair with the highest Gini gain.
+func (b *treeBuilder) bestSplit(idx []int) (feature int, threshold, gain float64) {
+	nFeatures := len(b.features[idx[0]])
+	candidates := make([]int, 0, nFeatures)
+	if b.subset > 0 && b.subset < nFeatures && b.rng != nil {
+		perm := b.rng.Perm(nFeatures)
+		candidates = append(candidates, perm[:b.subset]...)
+	} else {
+		for f := 0; f < nFeatures; f++ {
+			candidates = append(candidates, f)
+		}
+	}
+	sort.Ints(candidates)
+
+	parentGini := giniOf(b.labels, idx)
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+
+	type fv struct {
+		v   float64
+		pos bool
+	}
+	vals := make([]fv, len(idx))
+	for _, f := range candidates {
+		for j, i := range idx {
+			vals[j] = fv{b.features[i][f], b.labels[i]}
+		}
+		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
+		totalPos := 0
+		for _, v := range vals {
+			if v.pos {
+				totalPos++
+			}
+		}
+		leftPos := 0
+		n := len(vals)
+		for j := 0; j < n-1; j++ {
+			if vals[j].pos {
+				leftPos++
+			}
+			if vals[j].v == vals[j+1].v {
+				continue
+			}
+			nl, nr := j+1, n-j-1
+			gl := giniBinary(leftPos, nl)
+			gr := giniBinary(totalPos-leftPos, nr)
+			weighted := (float64(nl)*gl + float64(nr)*gr) / float64(n)
+			g := parentGini - weighted
+			if g > bestGain {
+				bestGain = g
+				bestFeat = f
+				bestThresh = (vals[j].v + vals[j+1].v) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestGain
+}
+
+func giniOf(labels []bool, idx []int) float64 {
+	pos := 0
+	for _, i := range idx {
+		if labels[i] {
+			pos++
+		}
+	}
+	return giniBinary(pos, len(idx))
+}
+
+func giniBinary(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// ---------------------------------------------------------------------------
+// Random forest
+// ---------------------------------------------------------------------------
+
+// RandomForest is a bagged ensemble of CART trees with feature subsetting.
+type RandomForest struct {
+	trees      []*DecisionTree
+	importance []float64
+}
+
+// RandomForestTrainer configures forest training.
+type RandomForestTrainer struct {
+	// Trees is the ensemble size; 0 means 60.
+	Trees int
+	// MaxDepth per tree; 0 means 12.
+	MaxDepth int
+	// Seed drives bootstrap sampling and feature subsetting.
+	Seed int64
+}
+
+// Name implements Trainer.
+func (*RandomForestTrainer) Name() string { return "RandomForest" }
+
+// Name implements Classifier.
+func (*RandomForest) Name() string { return "RandomForest" }
+
+// Train implements Trainer.
+func (t *RandomForestTrainer) Train(features [][]float64, labels []bool) (Classifier, error) {
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, ErrNoData
+	}
+	nTrees := t.Trees
+	if nTrees <= 0 {
+		nTrees = 60
+	}
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	nFeatures := len(features[0])
+	subset := int(math.Sqrt(float64(nFeatures)))
+	if subset < 1 {
+		subset = 1
+	}
+	rng := rand.New(rand.NewSource(t.Seed))
+	forest := &RandomForest{importance: make([]float64, nFeatures)}
+	n := len(features)
+	for ti := 0; ti < nTrees; ti++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		bootF := make([][]float64, n)
+		bootL := make([]bool, n)
+		for i, j := range idx {
+			bootF[i] = features[j]
+			bootL[i] = labels[j]
+		}
+		b := &treeBuilder{
+			features:   bootF,
+			labels:     bootL,
+			maxDepth:   maxDepth,
+			minLeaf:    2,
+			subset:     subset,
+			rng:        rand.New(rand.NewSource(t.Seed + int64(ti)*977 + 13)),
+			importance: make([]float64, nFeatures),
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		tree := &DecisionTree{root: b.build(all, 0)}
+		forest.trees = append(forest.trees, tree)
+		for f, imp := range b.importance {
+			forest.importance[f] += imp
+		}
+	}
+	// Normalize importances to sum to one.
+	total := 0.0
+	for _, v := range forest.importance {
+		total += v
+	}
+	if total > 0 {
+		for i := range forest.importance {
+			forest.importance[i] /= total
+		}
+	}
+	return forest, nil
+}
+
+// Predict implements Classifier by majority vote over trees.
+func (f *RandomForest) Predict(features []float64) bool {
+	return f.PredictProb(features) >= 0.5
+}
+
+// PredictProb averages the per-tree leaf probabilities.
+func (f *RandomForest) PredictProb(features []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.PredictProb(features)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// FeatureImportances returns normalized Gini importances per feature, the
+// signal behind the paper's Table VII interpretability analysis.
+func (f *RandomForest) FeatureImportances() []float64 {
+	out := make([]float64, len(f.importance))
+	copy(out, f.importance)
+	return out
+}

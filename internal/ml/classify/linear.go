@@ -1,0 +1,264 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ---------------------------------------------------------------------------
+// Logistic regression
+// ---------------------------------------------------------------------------
+
+// LogisticRegression is an L2-regularized logistic model trained by SGD.
+type LogisticRegression struct {
+	weights []float64
+	bias    float64
+}
+
+// LogisticRegressionTrainer configures training.
+type LogisticRegressionTrainer struct {
+	// Epochs of SGD; 0 means 60.
+	Epochs int
+	// LearningRate; 0 means 0.1.
+	LearningRate float64
+	// L2 regularization strength; 0 disables.
+	L2 float64
+	// Seed drives shuffling.
+	Seed int64
+}
+
+// Name implements Trainer.
+func (*LogisticRegressionTrainer) Name() string { return "LogisticRegression" }
+
+// Name implements Classifier.
+func (*LogisticRegression) Name() string { return "LogisticRegression" }
+
+// Train implements Trainer.
+func (t *LogisticRegressionTrainer) Train(features [][]float64, labels []bool) (Classifier, error) {
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, ErrNoData
+	}
+	epochs := t.Epochs
+	if epochs <= 0 {
+		epochs = 60
+	}
+	lr := t.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	dim := len(features[0])
+	m := &LogisticRegression{weights: make([]float64, dim)}
+	rng := rand.New(rand.NewSource(t.Seed))
+	order := rng.Perm(len(features))
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			x := features[i]
+			y := 0.0
+			if labels[i] {
+				y = 1.0
+			}
+			p := sigmoid(dot(m.weights, x) + m.bias)
+			g := p - y
+			for j := range m.weights {
+				m.weights[j] -= lr * (g*x[j] + t.L2*m.weights[j])
+			}
+			m.bias -= lr * g
+		}
+	}
+	return m, nil
+}
+
+// Predict implements Classifier.
+func (m *LogisticRegression) Predict(features []float64) bool {
+	return sigmoid(dot(m.weights, features)+m.bias) >= 0.5
+}
+
+// ---------------------------------------------------------------------------
+// Linear SVM (hinge loss, SGD / Pegasos style)
+// ---------------------------------------------------------------------------
+
+// LinearSVM is a linear support vector machine trained with subgradient
+// descent on the hinge loss.
+type LinearSVM struct {
+	weights []float64
+	bias    float64
+}
+
+// LinearSVMTrainer configures training.
+type LinearSVMTrainer struct {
+	// Epochs; 0 means 60.
+	Epochs int
+	// Lambda is the regularization strength; 0 means 1e-3.
+	Lambda float64
+	// Seed drives shuffling.
+	Seed int64
+}
+
+// Name implements Trainer.
+func (*LinearSVMTrainer) Name() string { return "SVM" }
+
+// Name implements Classifier.
+func (*LinearSVM) Name() string { return "SVM" }
+
+// Train implements Trainer.
+func (t *LinearSVMTrainer) Train(features [][]float64, labels []bool) (Classifier, error) {
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, ErrNoData
+	}
+	epochs := t.Epochs
+	if epochs <= 0 {
+		epochs = 60
+	}
+	lambda := t.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	dim := len(features[0])
+	m := &LinearSVM{weights: make([]float64, dim)}
+	rng := rand.New(rand.NewSource(t.Seed))
+	order := rng.Perm(len(features))
+	step := 0
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			step++
+			lr := 1 / (lambda * float64(step))
+			x := features[i]
+			y := -1.0
+			if labels[i] {
+				y = 1.0
+			}
+			margin := y * (dot(m.weights, x) + m.bias)
+			for j := range m.weights {
+				m.weights[j] *= 1 - lr*lambda
+			}
+			if margin < 1 {
+				for j := range m.weights {
+					m.weights[j] += lr * y * x[j]
+				}
+				m.bias += lr * y
+			}
+		}
+	}
+	return m, nil
+}
+
+// Predict implements Classifier.
+func (m *LinearSVM) Predict(features []float64) bool {
+	return dot(m.weights, features)+m.bias >= 0
+}
+
+// ---------------------------------------------------------------------------
+// Gaussian naive Bayes
+// ---------------------------------------------------------------------------
+
+// GaussianNB models each feature per class as an independent Gaussian.
+type GaussianNB struct {
+	mean  [2][]float64
+	vari  [2][]float64
+	prior [2]float64
+}
+
+// GaussianNBTrainer configures training (no hyper-parameters).
+type GaussianNBTrainer struct{}
+
+// Name implements Trainer.
+func (*GaussianNBTrainer) Name() string { return "GaussianNB" }
+
+// Name implements Classifier.
+func (*GaussianNB) Name() string { return "GaussianNB" }
+
+// Train implements Trainer.
+func (t *GaussianNBTrainer) Train(features [][]float64, labels []bool) (Classifier, error) {
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, ErrNoData
+	}
+	dim := len(features[0])
+	m := &GaussianNB{}
+	var counts [2]int
+	for c := 0; c < 2; c++ {
+		m.mean[c] = make([]float64, dim)
+		m.vari[c] = make([]float64, dim)
+	}
+	for i, x := range features {
+		c := 0
+		if labels[i] {
+			c = 1
+		}
+		counts[c]++
+		for j, v := range x {
+			m.mean[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range m.mean[c] {
+			m.mean[c][j] /= float64(counts[c])
+		}
+	}
+	for i, x := range features {
+		c := 0
+		if labels[i] {
+			c = 1
+		}
+		for j, v := range x {
+			d := v - m.mean[c][j]
+			m.vari[c][j] += d * d
+		}
+	}
+	const eps = 1e-9
+	for c := 0; c < 2; c++ {
+		if counts[c] == 0 {
+			m.prior[c] = eps
+			continue
+		}
+		for j := range m.vari[c] {
+			m.vari[c][j] = m.vari[c][j]/float64(counts[c]) + eps
+		}
+		m.prior[c] = float64(counts[c]) / float64(len(features))
+	}
+	return m, nil
+}
+
+// Predict implements Classifier.
+func (m *GaussianNB) Predict(features []float64) bool {
+	var logp [2]float64
+	for c := 0; c < 2; c++ {
+		// A class absent from training (prior at the epsilon floor) can
+		// never win: its variance entries were never populated.
+		if m.mean[c] == nil || m.prior[c] <= 1e-9 {
+			logp[c] = math.Inf(-1)
+			continue
+		}
+		logp[c] = math.Log(m.prior[c])
+		for j, v := range features {
+			if j >= len(m.mean[c]) {
+				break
+			}
+			d := v - m.mean[c][j]
+			logp[c] += -0.5*math.Log(2*math.Pi*m.vari[c][j]) - d*d/(2*m.vari[c][j])
+		}
+	}
+	return logp[1] > logp[0]
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

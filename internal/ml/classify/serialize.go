@@ -1,0 +1,90 @@
+package classify
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// nodeJSON is the serialized form of a tree node (recursive).
+type nodeJSON struct {
+	Leaf      bool      `json:"leaf"`
+	Label     bool      `json:"label,omitempty"`
+	Prob      float64   `json:"prob,omitempty"`
+	Feature   int       `json:"feature,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Left      *nodeJSON `json:"left,omitempty"`
+	Right     *nodeJSON `json:"right,omitempty"`
+}
+
+func toNodeJSON(n *treeNode) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	return &nodeJSON{
+		Leaf:      n.leaf,
+		Label:     n.label,
+		Prob:      n.prob,
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Left:      toNodeJSON(n.left),
+		Right:     toNodeJSON(n.right),
+	}
+}
+
+func fromNodeJSON(n *nodeJSON) *treeNode {
+	if n == nil {
+		return nil
+	}
+	return &treeNode{
+		leaf:      n.Leaf,
+		label:     n.Label,
+		prob:      n.Prob,
+		feature:   n.Feature,
+		threshold: n.Threshold,
+		left:      fromNodeJSON(n.Left),
+		right:     fromNodeJSON(n.Right),
+	}
+}
+
+// MarshalJSON serializes the tree.
+func (d *DecisionTree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toNodeJSON(d.root))
+}
+
+// UnmarshalJSON deserializes the tree.
+func (d *DecisionTree) UnmarshalJSON(data []byte) error {
+	var n nodeJSON
+	if err := json.Unmarshal(data, &n); err != nil {
+		return err
+	}
+	d.root = fromNodeJSON(&n)
+	if d.root == nil {
+		return errors.New("classify: empty tree")
+	}
+	return nil
+}
+
+// forestJSON is the serialized form of a random forest.
+type forestJSON struct {
+	Trees      []*DecisionTree `json:"trees"`
+	Importance []float64       `json:"importance"`
+}
+
+// MarshalJSON serializes the forest.
+func (f *RandomForest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(forestJSON{Trees: f.trees, Importance: f.importance})
+}
+
+// UnmarshalJSON deserializes the forest.
+func (f *RandomForest) UnmarshalJSON(data []byte) error {
+	var fj forestJSON
+	if err := json.Unmarshal(data, &fj); err != nil {
+		return err
+	}
+	if len(fj.Trees) == 0 {
+		return errors.New("classify: empty forest")
+	}
+	f.trees = fj.Trees
+	f.importance = fj.Importance
+	return nil
+}

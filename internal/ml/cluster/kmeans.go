@@ -1,0 +1,298 @@
+// Package cluster implements the clustering algorithms of the JSRevealer
+// feature-extraction stage: Lloyd's K-Means, Bisecting K-Means (the paper's
+// choice, which removes the initialization sensitivity of plain K-Means),
+// and the SSE computation that drives the elbow-method curves of Figure 5.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"jsrevealer/internal/ml/linalg"
+)
+
+// ErrNoData is returned when clustering is asked for more clusters than
+// there are points, or for no points at all.
+var ErrNoData = errors.New("cluster: not enough data points")
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Centroids holds K centroid vectors.
+	Centroids [][]float64
+	// Assignments maps each input point to its centroid index.
+	Assignments []int
+	// SSE is the sum of squared distances of points to their centroids.
+	SSE float64
+}
+
+// Sizes returns the number of points assigned to each centroid.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, len(r.Centroids))
+	for _, a := range r.Assignments {
+		if a >= 0 && a < len(sizes) {
+			sizes[a]++
+		}
+	}
+	return sizes
+}
+
+// Assign returns the index of the closest centroid to v.
+func Assign(centroids [][]float64, v []float64) int {
+	best, bestD := -1, math.Inf(1)
+	for i, c := range centroids {
+		d := linalg.SquaredDistance(c, v)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// KMeans runs Lloyd's algorithm with K-Means++-style seeding.
+func KMeans(points [][]float64, k int, seed int64, maxIter int) (*Result, error) {
+	if k <= 0 || len(points) < k {
+		return nil, ErrNoData
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(points, k, rng)
+	assignments := make([]int, len(points))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			a := Assign(centroids, p)
+			if a != assignments[i] {
+				assignments[i] = a
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		dim := len(points[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for i, p := range points {
+			linalg.AddInPlace(sums[assignments[i]], p)
+			counts[assignments[i]]++
+		}
+		for i := range sums {
+			if counts[i] == 0 {
+				// Re-seed an empty cluster with the farthest point.
+				sums[i] = linalg.Clone(farthestPoint(points, centroids))
+				counts[i] = 1
+			} else {
+				linalg.ScaleInPlace(sums[i], 1/float64(counts[i]))
+			}
+		}
+		centroids = sums
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	res := &Result{Centroids: centroids, Assignments: assignments}
+	res.SSE = SSE(points, centroids, assignments)
+	return res, nil
+}
+
+// seedPlusPlus selects k initial centroids with D² weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, linalg.Clone(points[rng.Intn(len(points))]))
+	dists := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := linalg.SquaredDistance(p, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points identical: duplicate the first centroid.
+			centroids = append(centroids, linalg.Clone(points[0]))
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		chosen := len(points) - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= r {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, linalg.Clone(points[chosen]))
+	}
+	return centroids
+}
+
+func farthestPoint(points, centroids [][]float64) []float64 {
+	best, bestD := points[0], -1.0
+	for _, p := range points {
+		d := math.Inf(1)
+		for _, c := range centroids {
+			if dd := linalg.SquaredDistance(p, c); dd < d {
+				d = dd
+			}
+		}
+		if d > bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// SSE computes the sum of squared errors of the assignment.
+func SSE(points, centroids [][]float64, assignments []int) float64 {
+	total := 0.0
+	for i, p := range points {
+		a := assignments[i]
+		if a >= 0 && a < len(centroids) {
+			total += linalg.SquaredDistance(p, centroids[a])
+		}
+	}
+	return total
+}
+
+// BisectingKMeans repeatedly splits the cluster with the largest SSE using
+// 2-means until k clusters exist. This is the algorithm the paper selects
+// for its deterministic behaviour relative to plain K-Means.
+func BisectingKMeans(points [][]float64, k int, seed int64) (*Result, error) {
+	if k <= 0 || len(points) < k {
+		return nil, ErrNoData
+	}
+	type clusterSet struct {
+		indices []int
+		sse     float64
+		center  []float64
+	}
+	all := make([]int, len(points))
+	for i := range all {
+		all[i] = i
+	}
+	root := clusterSet{indices: all}
+	root.center = centroidOf(points, all)
+	root.sse = sseOf(points, all, root.center)
+	clusters := []clusterSet{root}
+
+	for len(clusters) < k {
+		// Pick the cluster with the largest SSE that can still be split.
+		worst := -1
+		for i, c := range clusters {
+			if len(c.indices) < 2 {
+				continue
+			}
+			if worst == -1 || c.sse > clusters[worst].sse {
+				worst = i
+			}
+		}
+		if worst == -1 {
+			return nil, ErrNoData
+		}
+		target := clusters[worst]
+		sub := make([][]float64, len(target.indices))
+		for i, idx := range target.indices {
+			sub[i] = points[idx]
+		}
+		// Try a few bisections and keep the best split, as the canonical
+		// algorithm prescribes.
+		var bestA, bestB []int
+		bestSSE := math.Inf(1)
+		for trial := 0; trial < 3; trial++ {
+			res, err := KMeans(sub, 2, seed+int64(worst*31+trial), 30)
+			if err != nil {
+				return nil, err
+			}
+			var ia, ib []int
+			for i, a := range res.Assignments {
+				if a == 0 {
+					ia = append(ia, target.indices[i])
+				} else {
+					ib = append(ib, target.indices[i])
+				}
+			}
+			if len(ia) == 0 || len(ib) == 0 {
+				continue
+			}
+			if res.SSE < bestSSE {
+				bestSSE = res.SSE
+				bestA, bestB = ia, ib
+			}
+		}
+		if bestA == nil {
+			// Degenerate cluster (identical points): split arbitrarily.
+			half := len(target.indices) / 2
+			bestA = target.indices[:half]
+			bestB = target.indices[half:]
+		}
+		ca := clusterSet{indices: bestA, center: centroidOf(points, bestA)}
+		ca.sse = sseOf(points, bestA, ca.center)
+		cb := clusterSet{indices: bestB, center: centroidOf(points, bestB)}
+		cb.sse = sseOf(points, bestB, cb.center)
+		clusters[worst] = ca
+		clusters = append(clusters, cb)
+	}
+
+	res := &Result{
+		Centroids:   make([][]float64, len(clusters)),
+		Assignments: make([]int, len(points)),
+	}
+	for ci, c := range clusters {
+		res.Centroids[ci] = c.center
+		for _, idx := range c.indices {
+			res.Assignments[idx] = ci
+		}
+		res.SSE += c.sse
+	}
+	return res, nil
+}
+
+func centroidOf(points [][]float64, indices []int) []float64 {
+	if len(indices) == 0 {
+		return nil
+	}
+	out := make([]float64, len(points[indices[0]]))
+	for _, idx := range indices {
+		linalg.AddInPlace(out, points[idx])
+	}
+	linalg.ScaleInPlace(out, 1/float64(len(indices)))
+	return out
+}
+
+func sseOf(points [][]float64, indices []int, center []float64) float64 {
+	total := 0.0
+	for _, idx := range indices {
+		total += linalg.SquaredDistance(points[idx], center)
+	}
+	return total
+}
+
+// ElbowCurve returns the SSE of Bisecting K-Means for every K in [kMin,
+// kMax], the data behind Figure 5.
+func ElbowCurve(points [][]float64, kMin, kMax int, seed int64) ([]float64, error) {
+	if kMin < 1 || kMax < kMin {
+		return nil, errors.New("cluster: invalid K range")
+	}
+	out := make([]float64, 0, kMax-kMin+1)
+	for k := kMin; k <= kMax; k++ {
+		if len(points) < k {
+			return out, nil
+		}
+		res, err := BisectingKMeans(points, k, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.SSE)
+	}
+	return out, nil
+}

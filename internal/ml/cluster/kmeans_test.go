@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates n points around each of the given centers with the given
+// spread.
+func blobs(centers [][]float64, n int, spread float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var out [][]float64
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make([]float64, len(c))
+			for j := range p {
+				p[j] = c[j] + (rng.Float64()*2-1)*spread
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var testCenters = [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	points := blobs(testCenters, 30, 0.5, 1)
+	res, err := KMeans(points, 3, 7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every blob's 30 points must share one assignment.
+	for b := 0; b < 3; b++ {
+		first := res.Assignments[b*30]
+		for i := 1; i < 30; i++ {
+			if res.Assignments[b*30+i] != first {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+	// SSE must be small relative to the blob separation.
+	if res.SSE > 100 {
+		t.Errorf("SSE = %v, too large", res.SSE)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 3, 1, 10); err != ErrNoData {
+		t.Errorf("empty input: %v", err)
+	}
+	if _, err := KMeans([][]float64{{1}}, 2, 1, 10); err != ErrNoData {
+		t.Errorf("k > n: %v", err)
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(points, 2, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE != 0 {
+		t.Errorf("identical points SSE = %v", res.SSE)
+	}
+}
+
+func TestBisectingKMeansSeparatesBlobs(t *testing.T) {
+	points := blobs(testCenters, 25, 0.5, 2)
+	res, err := BisectingKMeans(points, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("centroids = %d", len(res.Centroids))
+	}
+	for b := 0; b < 3; b++ {
+		first := res.Assignments[b*25]
+		for i := 1; i < 25; i++ {
+			if res.Assignments[b*25+i] != first {
+				t.Fatalf("blob %d split", b)
+			}
+		}
+	}
+	sizes := res.Sizes()
+	for i, s := range sizes {
+		if s != 25 {
+			t.Errorf("cluster %d size = %d, want 25", i, s)
+		}
+	}
+}
+
+func TestBisectingDeterministic(t *testing.T) {
+	points := blobs(testCenters, 20, 1.0, 3)
+	r1, err := BisectingKMeans(points, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := BisectingKMeans(points, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Assignments {
+		if r1.Assignments[i] != r2.Assignments[i] {
+			t.Fatal("bisecting K-means not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestAssignNearestCentroid(t *testing.T) {
+	centroids := [][]float64{{0, 0}, {10, 0}}
+	if Assign(centroids, []float64{1, 0}) != 0 {
+		t.Error("point near first centroid misassigned")
+	}
+	if Assign(centroids, []float64{9, 0}) != 1 {
+		t.Error("point near second centroid misassigned")
+	}
+	if Assign(nil, []float64{1}) != -1 {
+		t.Error("no centroids should give -1")
+	}
+}
+
+// TestQuickAssignmentIsNearest property-tests that KMeans assignments always
+// point to the closest centroid after convergence.
+func TestQuickAssignmentIsNearest(t *testing.T) {
+	f := func(seed int64) bool {
+		points := blobs([][]float64{{0, 0}, {8, 8}}, 15, 1.0, seed)
+		res, err := KMeans(points, 2, seed, 50)
+		if err != nil {
+			return false
+		}
+		for i, p := range points {
+			if Assign(res.Centroids, p) != res.Assignments[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSEDecreasesWithK(t *testing.T) {
+	points := blobs(testCenters, 20, 2.0, 4)
+	curve, err := ElbowCurve(points, 1, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 6 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	// Bisecting K-means splits the worst cluster, so SSE is non-increasing
+	// in K (up to the 2-means trials' randomness, which the fixed seed
+	// controls).
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]*1.05 {
+			t.Errorf("SSE increased at K=%d: %v -> %v", i+1, curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestElbowCurveErrors(t *testing.T) {
+	if _, err := ElbowCurve(nil, 3, 2, 1); err == nil {
+		t.Error("invalid range should error")
+	}
+	// K exceeding point count truncates the curve rather than failing.
+	points := blobs([][]float64{{0, 0}}, 3, 0.1, 5)
+	curve, err := ElbowCurve(points, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) > 2 {
+		t.Errorf("curve should stop at n points: %d entries", len(curve))
+	}
+}
+
+func TestBisectingMoreClustersThanPoints(t *testing.T) {
+	if _, err := BisectingKMeans([][]float64{{1}, {2}}, 5, 1); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package linalg provides the dense vector and matrix helpers used by the
+// ML packages. Everything operates on []float64 / [][]float64 to keep the
+// hot paths allocation-free and easy to benchmark.
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDimension is returned when operand dimensions do not agree.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// Dot returns the inner product of a and b. Panics are avoided: mismatched
+// lengths use the shorter prefix, which callers guard against with Check.
+func Dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Check validates that a and b have equal length.
+func Check(a, b []float64) error {
+	if len(a) != len(b) {
+		return ErrDimension
+	}
+	return nil
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+func SquaredDistance(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Distance returns the Euclidean distance between a and b.
+func Distance(a, b []float64) float64 { return math.Sqrt(SquaredDistance(a, b)) }
+
+// CosineSimilarity returns the cosine of the angle between a and b, or 0
+// when either vector is zero.
+func CosineSimilarity(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// AddInPlace adds b into a.
+func AddInPlace(a, b []float64) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		a[i] += b[i]
+	}
+}
+
+// SubInPlace subtracts b from a.
+func SubInPlace(a, b []float64) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		a[i] -= b[i]
+	}
+}
+
+// ScaleInPlace multiplies every element of a by s.
+func ScaleInPlace(a []float64, s float64) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// AXPYInPlace computes a += s*b.
+func AXPYInPlace(a []float64, s float64, b []float64) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		a[i] += s * b[i]
+	}
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Mean returns the element-wise mean of the rows; returns nil for no rows.
+func Mean(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		AddInPlace(out, r)
+	}
+	ScaleInPlace(out, 1/float64(len(rows)))
+	return out
+}
+
+// Softmax writes the softmax of logits into out (allocating when out is nil)
+// using the max-subtraction trick for numerical stability.
+func Softmax(logits []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(logits))
+	}
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// ArgMax returns the index of the largest element (first on ties), or -1
+// for an empty slice.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MinMaxNormalize maps v linearly onto [0,1]; a constant vector maps to all
+// zeros, matching the paper's Equation 6 convention.
+func MinMaxNormalize(v []float64) []float64 {
+	out := make([]float64, len(v))
+	if len(v) == 0 {
+		return out
+	}
+	minV, maxV := v[0], v[0]
+	for _, x := range v {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if maxV == minV {
+		return out
+	}
+	span := maxV - minV
+	for i, x := range v {
+		y := (x - minV) / span
+		// Guard rounding at the extremes (span may be subnormal-adjacent
+		// for pathological inputs).
+		switch {
+		case y < 0 || math.IsNaN(y):
+			y = 0
+		case y > 1:
+			y = 1
+		}
+		out[i] = y
+	}
+	return out
+}

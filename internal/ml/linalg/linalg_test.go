@@ -1,0 +1,189 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil) = %v", got)
+	}
+	// Shorter prefix used on mismatch.
+	if got := Dot([]float64{1, 2}, []float64{3}); got != 3 {
+		t.Errorf("mismatched Dot = %v, want 3", got)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check([]float64{1}, []float64{2}); err != nil {
+		t.Error(err)
+	}
+	if err := Check([]float64{1}, []float64{1, 2}); err != ErrDimension {
+		t.Errorf("Check mismatch = %v, want ErrDimension", err)
+	}
+}
+
+func TestNormAndDistance(t *testing.T) {
+	if got := Norm([]float64{3, 4}); !almostEqual(got, 5) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := Distance([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, 5) {
+		t.Errorf("Distance = %v", got)
+	}
+	if got := SquaredDistance([]float64{1, 1}, []float64{2, 3}); !almostEqual(got, 5) {
+		t.Errorf("SquaredDistance = %v", got)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if got := CosineSimilarity([]float64{1, 0}, []float64{1, 0}); !almostEqual(got, 1) {
+		t.Errorf("parallel = %v", got)
+	}
+	if got := CosineSimilarity([]float64{1, 0}, []float64{0, 1}); !almostEqual(got, 0) {
+		t.Errorf("orthogonal = %v", got)
+	}
+	if got := CosineSimilarity([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero vector = %v, want 0", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := []float64{1, 2}
+	AddInPlace(a, []float64{3, 4})
+	if a[0] != 4 || a[1] != 6 {
+		t.Errorf("AddInPlace = %v", a)
+	}
+	SubInPlace(a, []float64{1, 1})
+	if a[0] != 3 || a[1] != 5 {
+		t.Errorf("SubInPlace = %v", a)
+	}
+	ScaleInPlace(a, 2)
+	if a[0] != 6 || a[1] != 10 {
+		t.Errorf("ScaleInPlace = %v", a)
+	}
+	AXPYInPlace(a, 0.5, []float64{2, 2})
+	if a[0] != 7 || a[1] != 11 {
+		t.Errorf("AXPYInPlace = %v", a)
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig := []float64{1, 2}
+	c := Clone(orig)
+	c[0] = 99
+	if orig[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float64{{1, 2}, {3, 4}})
+	if m[0] != 2 || m[1] != 3 {
+		t.Errorf("Mean = %v", m)
+	}
+	if Mean(nil) != nil {
+		t.Error("Mean(nil) should be nil")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 1, 1}, nil)
+	for _, v := range p {
+		if !almostEqual(v, 1.0/3) {
+			t.Errorf("uniform softmax = %v", p)
+		}
+	}
+	// Numerical stability with huge logits.
+	p = Softmax([]float64{1000, 1000}, nil)
+	if math.IsNaN(p[0]) || !almostEqual(p[0], 0.5) {
+		t.Errorf("large-logit softmax = %v", p)
+	}
+	// Ordering preserved.
+	p = Softmax([]float64{1, 3, 2}, nil)
+	if !(p[1] > p[2] && p[2] > p[0]) {
+		t.Errorf("softmax ordering = %v", p)
+	}
+}
+
+// TestQuickSoftmaxSumsToOne property-tests normalization.
+func TestQuickSoftmaxSumsToOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		logits := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			logits[i] = math.Mod(v, 50)
+		}
+		p := Softmax(logits, nil)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax([]float64{1, 5, 3}); got != 1 {
+		t.Errorf("ArgMax = %d", got)
+	}
+	if got := ArgMax([]float64{2, 2}); got != 0 {
+		t.Errorf("ties: ArgMax = %d, want first", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %d", got)
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	out := MinMaxNormalize([]float64{2, 4, 6})
+	if out[0] != 0 || out[1] != 0.5 || out[2] != 1 {
+		t.Errorf("MinMaxNormalize = %v", out)
+	}
+	// Constant vector maps to zeros.
+	out = MinMaxNormalize([]float64{3, 3})
+	if out[0] != 0 || out[1] != 0 {
+		t.Errorf("constant vector = %v", out)
+	}
+	if len(MinMaxNormalize(nil)) != 0 {
+		t.Error("nil input should produce empty output")
+	}
+}
+
+// TestQuickMinMaxRange property-tests that outputs stay within [0,1].
+func TestQuickMinMaxRange(t *testing.T) {
+	f := func(v []float64) bool {
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		out := MinMaxNormalize(v)
+		for _, x := range out {
+			if x < 0 || x > 1 {
+				return false
+			}
+		}
+		return len(out) == len(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package metrics computes the binary-classification quality measures the
+// paper reports: accuracy, precision, recall, F1, FPR, and FNR, plus the
+// confusion matrix they derive from. The positive class is "malicious".
+package metrics
+
+import "fmt"
+
+// Confusion is a binary confusion matrix. The positive class is malicious.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates one prediction into the matrix.
+func (c *Confusion) Add(actualPositive, predictedPositive bool) {
+	switch {
+	case actualPositive && predictedPositive:
+		c.TP++
+	case actualPositive && !predictedPositive:
+		c.FN++
+	case !actualPositive && predictedPositive:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of accumulated predictions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total; 0 when empty.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP); 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN); 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall; 0 when undefined.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FPR returns FP/(FP+TN), the false-positive rate; 0 when undefined.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// FNR returns FN/(FN+TP), the false-negative rate; 0 when undefined.
+func (c Confusion) FNR() float64 {
+	if c.FN+c.TP == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.FN+c.TP)
+}
+
+// Report bundles the six headline metrics as percentages, the form every
+// table in the paper uses.
+type Report struct {
+	Accuracy, Precision, Recall, F1, FPR, FNR float64
+}
+
+// ReportOf converts a confusion matrix into a percentage report.
+func ReportOf(c Confusion) Report {
+	return Report{
+		Accuracy:  c.Accuracy() * 100,
+		Precision: c.Precision() * 100,
+		Recall:    c.Recall() * 100,
+		F1:        c.F1() * 100,
+		FPR:       c.FPR() * 100,
+		FNR:       c.FNR() * 100,
+	}
+}
+
+// String renders the report as a compact single line.
+func (r Report) String() string {
+	return fmt.Sprintf("Acc=%.1f%% P=%.1f%% R=%.1f%% F1=%.1f%% FPR=%.1f%% FNR=%.1f%%",
+		r.Accuracy, r.Precision, r.Recall, r.F1, r.FPR, r.FNR)
+}
+
+// Average returns the element-wise mean of the reports; zero value for none.
+func Average(reports []Report) Report {
+	if len(reports) == 0 {
+		return Report{}
+	}
+	var sum Report
+	for _, r := range reports {
+		sum.Accuracy += r.Accuracy
+		sum.Precision += r.Precision
+		sum.Recall += r.Recall
+		sum.F1 += r.F1
+		sum.FPR += r.FPR
+		sum.FNR += r.FNR
+	}
+	n := float64(len(reports))
+	return Report{
+		Accuracy:  sum.Accuracy / n,
+		Precision: sum.Precision / n,
+		Recall:    sum.Recall / n,
+		F1:        sum.F1 / n,
+		FPR:       sum.FPR / n,
+		FNR:       sum.FNR / n,
+	}
+}
+
+// Evaluate builds a confusion matrix from parallel slices of actual and
+// predicted labels (true = malicious).
+func Evaluate(actual, predicted []bool) (Confusion, error) {
+	if len(actual) != len(predicted) {
+		return Confusion{}, fmt.Errorf("metrics: %d actuals vs %d predictions", len(actual), len(predicted))
+	}
+	var c Confusion
+	for i := range actual {
+		c.Add(actual[i], predicted[i])
+	}
+	return c, nil
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounting(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.Accuracy() != 0.5 {
+		t.Errorf("Accuracy = %v", c.Accuracy())
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Errorf("P/R/F1 = %v/%v/%v", c.Precision(), c.Recall(), c.F1())
+	}
+	if c.FPR() != 0.5 || c.FNR() != 0.5 {
+		t.Errorf("FPR/FNR = %v/%v", c.FPR(), c.FNR())
+	}
+}
+
+func TestEmptyConfusionIsZero(t *testing.T) {
+	var c Confusion
+	for name, v := range map[string]float64{
+		"acc": c.Accuracy(), "p": c.Precision(), "r": c.Recall(),
+		"f1": c.F1(), "fpr": c.FPR(), "fnr": c.FNR(),
+	} {
+		if v != 0 {
+			t.Errorf("%s on empty = %v", name, v)
+		}
+	}
+}
+
+func TestPerfectClassifier(t *testing.T) {
+	c := Confusion{TP: 10, TN: 10}
+	if c.Accuracy() != 1 || c.F1() != 1 || c.FPR() != 0 || c.FNR() != 0 {
+		t.Errorf("perfect: %+v", ReportOf(c))
+	}
+}
+
+// TestQuickIdentities property-tests metric identities on random counts.
+func TestQuickIdentities(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		if c.Total() == 0 {
+			return true
+		}
+		// Accuracy = 1 - (FP+FN)/total.
+		want := 1 - float64(c.FP+c.FN)/float64(c.Total())
+		if math.Abs(c.Accuracy()-want) > 1e-12 {
+			return false
+		}
+		// Recall = 1 - FNR when defined.
+		if c.TP+c.FN > 0 && math.Abs(c.Recall()-(1-c.FNR())) > 1e-12 {
+			return false
+		}
+		// F1 is the harmonic mean: between min and max of P and R.
+		p, r := c.Precision(), c.Recall()
+		f1 := c.F1()
+		if p+r > 0 && (f1 < math.Min(p, r)-1e-12 || f1 > math.Max(p, r)+1e-12) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	actual := []bool{true, true, false, false}
+	pred := []bool{true, false, true, false}
+	c, err := Evaluate(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Errorf("Evaluate = %+v", c)
+	}
+	if _, err := Evaluate(actual, pred[:2]); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestReportOfScalesToPercent(t *testing.T) {
+	r := ReportOf(Confusion{TP: 1, TN: 1})
+	if r.Accuracy != 100 || r.F1 != 100 {
+		t.Errorf("ReportOf = %+v", r)
+	}
+	if !strings.Contains(r.String(), "Acc=100.0%") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := Report{Accuracy: 80, F1: 60, FPR: 20}
+	b := Report{Accuracy: 100, F1: 80, FPR: 0}
+	avg := Average([]Report{a, b})
+	if avg.Accuracy != 90 || avg.F1 != 70 || avg.FPR != 10 {
+		t.Errorf("Average = %+v", avg)
+	}
+	if Average(nil) != (Report{}) {
+		t.Error("Average(nil) should be zero")
+	}
+}

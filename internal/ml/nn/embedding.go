@@ -1,0 +1,382 @@
+// Package nn implements the path-embedding model of the JSRevealer paper
+// (Section III-C): a fully connected layer with tanh activation maps each
+// path to a d-dimensional vector, an attention vector produces per-path
+// weights, the attention-weighted sum represents the script, and a softmax
+// classifier with cross-entropy loss pre-trains the whole stack on labelled
+// scripts.
+//
+// Paths enter the model as one-hot indices over a hashed vocabulary, so the
+// fully connected layer is realised as an embedding table: column W[:,i] of
+// the paper's weight matrix is row i of the table.
+package nn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"jsrevealer/internal/ml/linalg"
+)
+
+// Config holds the model hyper-parameters.
+type Config struct {
+	// VocabSize is the number of hash buckets for path contexts.
+	VocabSize int
+	// Dim is the embedding dimension d (the paper uses 300).
+	Dim int
+	// Epochs is the number of pre-training passes (the paper uses 100).
+	Epochs int
+	// LearningRate for SGD.
+	LearningRate float64
+	// WeightDecay is the L2 regularization strength applied to the embedding
+	// rows touched by each step; 0 disables.
+	WeightDecay float64
+	// MinCount is the vocabulary threshold: a path component must occur at
+	// least this many times in the pre-training corpus to get its own
+	// embedding row; rarer components share a per-slot UNK row. This makes
+	// renaming-style obfuscation behave identically at training and test
+	// time (fresh names are UNK either way). 0 means 2.
+	MinCount int
+	// Seed drives weight initialization and shuffling; training is
+	// deterministic for a fixed seed.
+	Seed int64
+}
+
+// DefaultConfig returns a configuration sized for the synthetic corpus: the
+// architecture matches the paper; the dimension is reduced from 300 to keep
+// CPU pre-training fast (EXPERIMENTS.md records this substitution).
+func DefaultConfig() Config {
+	return Config{
+		VocabSize:    4096,
+		Dim:          64,
+		Epochs:       8,
+		LearningRate: 0.05,
+		WeightDecay:  1e-3,
+		Seed:         1,
+	}
+}
+
+// PathKey addresses one path context in the hashed vocabulary by its three
+// components (source value, node-type structure, target value). The path's
+// embedding is the sum of the three component embeddings, so paths sharing
+// values or structure are close in embedding space.
+type PathKey struct {
+	Src, Struct, Tgt int
+}
+
+// Sample is one labelled training script, already reduced to path keys.
+type Sample struct {
+	Keys []PathKey
+	// Malicious is the ground-truth label.
+	Malicious bool
+}
+
+// Model is the trained path-embedding network.
+type Model struct {
+	cfg Config
+	// embed[i] is the d-vector for vocabulary bucket i (column i of W).
+	embed [][]float64
+	// known[i] marks buckets that occurred at least MinCount times in the
+	// pre-training corpus. In the paper's one-hot formulation a path
+	// component outside the training vocabulary has no dedicated
+	// representation; here such components share the per-slot unk row, so
+	// fresh names introduced by renaming obfuscation look the same at test
+	// time as rare names did during training.
+	known []bool
+	// unk[slot] is the shared embedding for out-of-vocabulary components in
+	// slot 0 (source value), 1 (structure), or 2 (target value).
+	unk [3][]float64
+	// attn is the attention vector a.
+	attn []float64
+	// clsW is the 2×d softmax classifier weight; clsB its bias.
+	clsW [2][]float64
+	clsB [2]float64
+}
+
+// NewModel initializes a model with small random weights.
+func NewModel(cfg Config) (*Model, error) {
+	if cfg.VocabSize <= 0 || cfg.Dim <= 0 {
+		return nil, errors.New("nn: VocabSize and Dim must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{cfg: cfg}
+	scale := 1 / math.Sqrt(float64(cfg.Dim))
+	m.embed = make([][]float64, cfg.VocabSize)
+	for i := range m.embed {
+		row := make([]float64, cfg.Dim)
+		for j := range row {
+			row[j] = (rng.Float64()*2 - 1) * scale
+		}
+		m.embed[i] = row
+	}
+	m.attn = make([]float64, cfg.Dim)
+	for j := range m.attn {
+		m.attn[j] = (rng.Float64()*2 - 1) * scale
+	}
+	for s := range m.unk {
+		row := make([]float64, cfg.Dim)
+		for j := range row {
+			row[j] = (rng.Float64()*2 - 1) * scale
+		}
+		m.unk[s] = row
+	}
+	for c := 0; c < 2; c++ {
+		m.clsW[c] = make([]float64, cfg.Dim)
+		for j := range m.clsW[c] {
+			m.clsW[c][j] = (rng.Float64()*2 - 1) * scale
+		}
+	}
+	return m, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// BucketOf maps a path hash into the model's vocabulary.
+func (m *Model) BucketOf(hash uint64) int {
+	return int(hash % uint64(m.cfg.VocabSize))
+}
+
+// KeyOf maps the three component hashes of a path context into a PathKey.
+func (m *Model) KeyOf(src, structure, tgt uint64) PathKey {
+	return PathKey{
+		Src:    m.BucketOf(src),
+		Struct: m.BucketOf(structure),
+		Tgt:    m.BucketOf(tgt),
+	}
+}
+
+// forwardState caches the per-script forward pass for backprop.
+type forwardState struct {
+	keys    []PathKey
+	pre     [][]float64 // pre-activation sums w_src + w_struct + w_tgt
+	vecs    [][]float64 // tanh outputs p'_i
+	weights []float64   // attention α_i
+	agg     []float64   // v
+	probs   [2]float64  // softmax output
+}
+
+func (m *Model) forward(keys []PathKey) *forwardState {
+	st := &forwardState{keys: keys}
+	if len(keys) == 0 {
+		st.agg = make([]float64, m.cfg.Dim)
+		logits := m.logits(st.agg)
+		p := linalg.Softmax(logits[:], nil)
+		st.probs = [2]float64{p[0], p[1]}
+		return st
+	}
+	st.pre = make([][]float64, len(keys))
+	st.vecs = make([][]float64, len(keys))
+	scores := make([]float64, len(keys))
+	for i, key := range keys {
+		pre := make([]float64, m.cfg.Dim)
+		for s, idx := range [3]int{key.Src, key.Struct, key.Tgt} {
+			linalg.AddInPlace(pre, m.rowFor(s, idx))
+		}
+		v := make([]float64, m.cfg.Dim)
+		for j := range v {
+			v[j] = math.Tanh(pre[j])
+		}
+		st.pre[i] = pre
+		st.vecs[i] = v
+		scores[i] = linalg.Dot(v, m.attn)
+	}
+	st.weights = linalg.Softmax(scores, nil)
+	st.agg = make([]float64, m.cfg.Dim)
+	for i, v := range st.vecs {
+		linalg.AXPYInPlace(st.agg, st.weights[i], v)
+	}
+	logits := m.logits(st.agg)
+	p := linalg.Softmax(logits[:], nil)
+	st.probs = [2]float64{p[0], p[1]}
+	return st
+}
+
+func (m *Model) logits(v []float64) [2]float64 {
+	return [2]float64{
+		linalg.Dot(m.clsW[0], v) + m.clsB[0],
+		linalg.Dot(m.clsW[1], v) + m.clsB[1],
+	}
+}
+
+// rowFor resolves the embedding row for a component: the bucket's own row
+// when in-vocabulary, else the slot's shared UNK row.
+func (m *Model) rowFor(slot, idx int) []float64 {
+	if m.known == nil || m.known[idx] {
+		return m.embed[idx]
+	}
+	return m.unk[slot]
+}
+
+// Train runs SGD over the samples for the configured number of epochs and
+// returns the mean cross-entropy loss of the final epoch. The samples also
+// define the model's vocabulary: components occurring fewer than MinCount
+// times share a per-slot UNK embedding, during training and at inference.
+func (m *Model) Train(samples []Sample) float64 {
+	minCount := m.cfg.MinCount
+	if minCount <= 0 {
+		minCount = 2
+	}
+	counts := make([]int, m.cfg.VocabSize)
+	for _, s := range samples {
+		for _, k := range s.Keys {
+			counts[k.Src]++
+			counts[k.Struct]++
+			counts[k.Tgt]++
+		}
+	}
+	m.known = make([]bool, m.cfg.VocabSize)
+	for i, c := range counts {
+		m.known[i] = c >= minCount
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 7))
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	lastLoss := 0.0
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, idx := range order {
+			total += m.step(samples[idx])
+		}
+		if len(samples) > 0 {
+			lastLoss = total / float64(len(samples))
+		}
+	}
+	return lastLoss
+}
+
+// step performs one SGD update and returns the sample's loss.
+func (m *Model) step(s Sample) float64 {
+	st := m.forward(s.Keys)
+	label := 0
+	if s.Malicious {
+		label = 1
+	}
+	loss := -math.Log(math.Max(st.probs[label], 1e-12))
+	if len(s.Keys) == 0 {
+		return loss
+	}
+
+	lr := m.cfg.LearningRate
+	// dlogits = probs - onehot(label)
+	var dlogits [2]float64
+	dlogits[0] = st.probs[0]
+	dlogits[1] = st.probs[1]
+	dlogits[label] -= 1
+
+	// Classifier gradients and dv.
+	dv := make([]float64, m.cfg.Dim)
+	for c := 0; c < 2; c++ {
+		linalg.AXPYInPlace(dv, dlogits[c], m.clsW[c])
+		linalg.AXPYInPlace(m.clsW[c], -lr*dlogits[c], st.agg)
+		m.clsB[c] -= lr * dlogits[c]
+	}
+
+	// Attention backward.
+	n := len(st.keys)
+	dalpha := make([]float64, n)
+	for i, v := range st.vecs {
+		dalpha[i] = linalg.Dot(dv, v)
+	}
+	// softmax jacobian: ds_i = α_i (dα_i - Σ_j α_j dα_j)
+	meanD := 0.0
+	for i := range dalpha {
+		meanD += st.weights[i] * dalpha[i]
+	}
+	dattn := make([]float64, m.cfg.Dim)
+	for i, v := range st.vecs {
+		ds := st.weights[i] * (dalpha[i] - meanD)
+		// dp_i = α_i dv + ds_i * a
+		dp := make([]float64, m.cfg.Dim)
+		linalg.AXPYInPlace(dp, st.weights[i], dv)
+		linalg.AXPYInPlace(dp, ds, m.attn)
+		linalg.AXPYInPlace(dattn, ds, v)
+		// Through tanh into the three component embedding rows (the path's
+		// pre-activation is their sum, so each receives the same gradient).
+		key := st.keys[i]
+		for s, rowIdx := range [3]int{key.Src, key.Struct, key.Tgt} {
+			row := m.rowFor(s, rowIdx)
+			for j := range row {
+				g := dp[j]*(1-v[j]*v[j]) + m.cfg.WeightDecay*row[j]
+				row[j] -= lr * g
+			}
+		}
+	}
+	linalg.AXPYInPlace(m.attn, -lr, dattn)
+	return loss
+}
+
+// Embedding is the per-path output of a trained model: the embedded vector
+// and its attention weight within the script.
+type Embedding struct {
+	Vector []float64
+	Weight float64
+}
+
+// Embed maps a script's path keys to per-path embeddings and weights. The
+// returned slice is parallel to keys.
+func (m *Model) Embed(keys []PathKey) []Embedding {
+	st := m.forward(keys)
+	out := make([]Embedding, len(keys))
+	for i := range keys {
+		out[i] = Embedding{Vector: st.vecs[i], Weight: st.weights[i]}
+	}
+	return out
+}
+
+// PredictProb returns the model's own malicious probability for a script,
+// used for diagnostics (the full pipeline classifies with the random forest).
+func (m *Model) PredictProb(keys []PathKey) float64 {
+	st := m.forward(keys)
+	return st.probs[1]
+}
+
+// modelJSON is the serialization envelope.
+type modelJSON struct {
+	Config Config      `json:"config"`
+	Embed  [][]float64 `json:"embed"`
+	Known  []bool      `json:"known"`
+	Unk    [][]float64 `json:"unk"`
+	Attn   []float64   `json:"attn"`
+	ClsW   [][]float64 `json:"clsW"`
+	ClsB   []float64   `json:"clsB"`
+}
+
+// MarshalJSON serializes the model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{
+		Config: m.cfg,
+		Embed:  m.embed,
+		Known:  m.known,
+		Unk:    [][]float64{m.unk[0], m.unk[1], m.unk[2]},
+		Attn:   m.attn,
+		ClsW:   [][]float64{m.clsW[0], m.clsW[1]},
+		ClsB:   []float64{m.clsB[0], m.clsB[1]},
+	})
+}
+
+// UnmarshalJSON deserializes the model.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var mj modelJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return err
+	}
+	if len(mj.ClsW) != 2 || len(mj.ClsB) != 2 {
+		return fmt.Errorf("nn: malformed model: %d classifier rows", len(mj.ClsW))
+	}
+	m.cfg = mj.Config
+	m.embed = mj.Embed
+	m.known = mj.Known
+	if len(mj.Unk) == 3 {
+		m.unk[0], m.unk[1], m.unk[2] = mj.Unk[0], mj.Unk[1], mj.Unk[2]
+	}
+	m.attn = mj.Attn
+	m.clsW[0], m.clsW[1] = mj.ClsW[0], mj.ClsW[1]
+	m.clsB[0], m.clsB[1] = mj.ClsB[0], mj.ClsB[1]
+	return nil
+}

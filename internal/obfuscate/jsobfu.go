@@ -1,0 +1,177 @@
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/js/printer"
+)
+
+// JSObfu reproduces the Rapid7 JSObfu obfuscator, which "randomizes and
+// removes easily-signaturable string constants as much as possible": strings
+// are split into random concatenations or re-encoded through fromCharCode,
+// numbers become arithmetic expressions, booleans become !0/!1, and names
+// are randomized. The paper applies it iteratively three times, which this
+// implementation mirrors.
+type JSObfu struct {
+	// Seed makes output deterministic.
+	Seed int64
+	// Iterations is the number of obfuscation rounds; 0 means the paper's 3.
+	Iterations int
+}
+
+// Name implements Obfuscator.
+func (*JSObfu) Name() string { return "JSObfu" }
+
+// Obfuscate implements Obfuscator.
+func (o *JSObfu) Obfuscate(src string) (string, error) {
+	iters := o.Iterations
+	if iters <= 0 {
+		iters = 3
+	}
+	out := src
+	for i := 0; i < iters; i++ {
+		next, err := o.round(out, o.Seed+int64(i)*104729)
+		if err != nil {
+			return "", err
+		}
+		out = next
+	}
+	return out, nil
+}
+
+func (o *JSObfu) round(src string, seed int64) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("jsobfu: parse: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(len(src))*97531))
+
+	renameAll(prog, RandomWordStyle, rng)
+	// obj.prop becomes obj["pr" + "op"]: property names turn into split
+	// string data, as the real tool does.
+	computedMemberAccess(prog, func(lit *ast.Literal) ast.Expression {
+		return obfuscateString(lit, rng)
+	})
+
+	RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		lit, ok := e.(*ast.Literal)
+		if !ok {
+			return e
+		}
+		switch lit.Kind {
+		case ast.LiteralString:
+			return obfuscateString(lit, rng)
+		case ast.LiteralNumber:
+			return obfuscateNumber(lit, rng)
+		case ast.LiteralBool:
+			// true -> !0, false -> !1
+			n := 1.0
+			if lit.BoolVal {
+				n = 0.0
+			}
+			return &ast.UnaryExpression{
+				Operator: "!",
+				Argument: &ast.Literal{Kind: ast.LiteralNumber, NumVal: n},
+			}
+		}
+		return e
+	})
+	return printer.Print(prog), nil
+}
+
+// obfuscateString splits s into a random concatenation, occasionally routing
+// a chunk through String.fromCharCode.
+func obfuscateString(lit *ast.Literal, rng *rand.Rand) ast.Expression {
+	s := lit.StrVal
+	if len(s) < 2 {
+		return lit
+	}
+	// Random split points.
+	var chunks []string
+	for len(s) > 0 {
+		n := 1 + rng.Intn(3)
+		if n > len(s) {
+			n = len(s)
+		}
+		chunks = append(chunks, s[:n])
+		s = s[n:]
+	}
+	var expr ast.Expression
+	for _, c := range chunks {
+		var piece ast.Expression
+		if rng.Intn(4) == 0 && allASCII(c) {
+			piece = fromCharCode(c)
+		} else {
+			piece = &ast.Literal{Kind: ast.LiteralString, StrVal: c}
+		}
+		if expr == nil {
+			expr = piece
+		} else {
+			expr = &ast.BinaryExpression{Operator: "+", Left: expr, Right: piece}
+		}
+	}
+	return expr
+}
+
+func allASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// fromCharCode builds String.fromCharCode(c0, c1, ...) for an ASCII chunk.
+func fromCharCode(s string) ast.Expression {
+	args := make([]ast.Expression, len(s))
+	for i := 0; i < len(s); i++ {
+		args[i] = &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(s[i])}
+	}
+	return &ast.CallExpression{
+		Callee: &ast.MemberExpression{
+			Object:   &ast.Identifier{Name: "String"},
+			Property: &ast.Identifier{Name: "fromCharCode"},
+		},
+		Arguments: args,
+	}
+}
+
+// obfuscateNumber rewrites an integer literal as an equivalent arithmetic
+// expression; non-integers are left alone.
+func obfuscateNumber(lit *ast.Literal, rng *rand.Rand) ast.Expression {
+	v := lit.NumVal
+	if v != float64(int64(v)) || v < 0 || v > 1e9 {
+		return lit
+	}
+	n := int64(v)
+	switch rng.Intn(3) {
+	case 0: // n = a + b
+		if n < 2 {
+			return lit
+		}
+		a := rng.Int63n(n)
+		return &ast.BinaryExpression{
+			Operator: "+",
+			Left:     &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(a)},
+			Right:    &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(n - a)},
+		}
+	case 1: // n = a - b
+		b := rng.Int63n(1000)
+		return &ast.BinaryExpression{
+			Operator: "-",
+			Left:     &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(n + b)},
+			Right:    &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(b)},
+		}
+	default: // n = (a ^ b)
+		mask := rng.Int63n(1 << 16)
+		return &ast.BinaryExpression{
+			Operator: "^",
+			Left:     &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(n ^ mask)},
+			Right:    &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(mask)},
+		}
+	}
+}

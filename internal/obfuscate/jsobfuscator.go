@@ -1,0 +1,344 @@
+package obfuscate
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math/rand"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/js/printer"
+)
+
+// JavaScriptObfuscator reproduces the signature transformations of the
+// javascript-obfuscator npm tool: hex variable renaming, string-array
+// extraction with base64 encoding and array rotation, control-flow
+// flattening of straight-line statement runs, and dead-code injection.
+type JavaScriptObfuscator struct {
+	// Seed makes output deterministic.
+	Seed int64
+	// DisableFlattening turns off control-flow flattening (for ablations).
+	DisableFlattening bool
+	// DisableDeadCode turns off dead-code injection.
+	DisableDeadCode bool
+}
+
+// Name implements Obfuscator.
+func (*JavaScriptObfuscator) Name() string { return "JavaScript-Obfuscator" }
+
+// Obfuscate implements Obfuscator.
+func (o *JavaScriptObfuscator) Obfuscate(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("javascript-obfuscator: parse: %w", err)
+	}
+	rng := rand.New(rand.NewSource(o.Seed ^ int64(len(src))*1315423911))
+
+	renameAll(prog, HexStyle, rng)
+	// Property access goes through computed string keys first so the string
+	// array then swallows the property names too.
+	computedMemberAccess(prog, nil)
+	extractStringArray(prog, rng, "_0x5c3e")
+	if !o.DisableFlattening {
+		flattenControlFlow(prog, rng)
+	}
+	if !o.DisableDeadCode {
+		injectDeadCode(prog, rng)
+	}
+	return printer.Print(prog), nil
+}
+
+// extractStringArray hoists string literals into a rotated global array with
+// base64-encoded entries and replaces each use with a decoder call — the
+// canonical string-array transformation.
+func extractStringArray(prog *ast.Program, rng *rand.Rand, arrName string) {
+	decoderName := arrName + "b"
+	var pool []string
+	index := make(map[string]int)
+
+	RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		lit, ok := e.(*ast.Literal)
+		if !ok || lit.Kind != ast.LiteralString || len(lit.StrVal) < 2 {
+			return e
+		}
+		idx, seen := index[lit.StrVal]
+		if !seen {
+			idx = len(pool)
+			index[lit.StrVal] = idx
+			pool = append(pool, lit.StrVal)
+		}
+		return &ast.CallExpression{
+			Callee: &ast.Identifier{Name: decoderName},
+			Arguments: []ast.Expression{
+				&ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(idx)},
+			},
+		}
+	})
+	if len(pool) == 0 {
+		return
+	}
+
+	// Rotate the array by a random offset; the decoder compensates.
+	rot := rng.Intn(len(pool))
+	rotated := make([]ast.Expression, len(pool))
+	for i, s := range pool {
+		enc := base64.StdEncoding.EncodeToString([]byte(s))
+		rotated[(i+rot)%len(pool)] = &ast.Literal{Kind: ast.LiteralString, StrVal: enc}
+	}
+
+	arrDecl := &ast.VariableDeclaration{
+		Kind: "var",
+		Declarations: []*ast.VariableDeclarator{{
+			ID:   &ast.Identifier{Name: arrName},
+			Init: &ast.ArrayExpression{Elements: rotated},
+		}},
+	}
+	// function decoder(i) { return atob(arr[(i + rot) % arr.length]); }
+	decoder := &ast.FunctionDeclaration{
+		ID:     &ast.Identifier{Name: decoderName},
+		Params: []*ast.Identifier{{Name: "i"}},
+		Body: &ast.BlockStatement{Body: []ast.Statement{
+			&ast.ReturnStatement{Argument: &ast.CallExpression{
+				Callee: &ast.Identifier{Name: "atob"},
+				Arguments: []ast.Expression{
+					&ast.MemberExpression{
+						Object:   &ast.Identifier{Name: arrName},
+						Computed: true,
+						Property: &ast.BinaryExpression{
+							Operator: "%",
+							Left: &ast.BinaryExpression{
+								Operator: "+",
+								Left:     &ast.Identifier{Name: "i"},
+								Right:    &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(rot)},
+							},
+							Right: &ast.MemberExpression{
+								Object:   &ast.Identifier{Name: arrName},
+								Property: &ast.Identifier{Name: "length"},
+							},
+						},
+					},
+				},
+			}},
+		}},
+	}
+	prog.Body = append([]ast.Statement{arrDecl, decoder}, prog.Body...)
+}
+
+// flattenControlFlow rewrites runs of simple statements inside function
+// bodies (and the top level) into a while-switch dispatcher driven by a
+// shuffled order string — javascript-obfuscator's controlFlowFlattening.
+func flattenControlFlow(prog *ast.Program, rng *rand.Rand) {
+	counter := 0
+	flattenList := func(body []ast.Statement) []ast.Statement {
+		if !isFlattenable(body) {
+			return body
+		}
+		n := len(body)
+		// Shuffled execution order encoded as a pipe-separated index string.
+		perm := rng.Perm(n)
+		// stateOrder[k] = position in switch; we need the order string such
+		// that visiting its entries in sequence executes body in order.
+		orderStr := ""
+		slot := make([]int, n) // slot[i] = case label for body[i]
+		for caseIdx, bodyIdx := range perm {
+			slot[bodyIdx] = caseIdx
+		}
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				orderStr += "|"
+			}
+			orderStr += fmt.Sprintf("%d", slot[i])
+		}
+		counter++
+		ordName := fmt.Sprintf("_0xod%d", counter)
+		idxName := fmt.Sprintf("_0xoi%d", counter)
+
+		cases := make([]*ast.SwitchCase, 0, n+1)
+		for caseIdx, bodyIdx := range perm {
+			cases = append(cases, &ast.SwitchCase{
+				Test: &ast.Literal{Kind: ast.LiteralString, StrVal: fmt.Sprintf("%d", caseIdx)},
+				Consequent: []ast.Statement{
+					body[bodyIdx],
+					&ast.ContinueStatement{},
+				},
+			})
+		}
+
+		// var ord = "...".split("|"), idx = 0;
+		decl := &ast.VariableDeclaration{
+			Kind: "var",
+			Declarations: []*ast.VariableDeclarator{
+				{
+					ID: &ast.Identifier{Name: ordName},
+					Init: &ast.CallExpression{
+						Callee: &ast.MemberExpression{
+							Object:   &ast.Literal{Kind: ast.LiteralString, StrVal: orderStr},
+							Property: &ast.Identifier{Name: "split"},
+						},
+						Arguments: []ast.Expression{
+							&ast.Literal{Kind: ast.LiteralString, StrVal: "|"},
+						},
+					},
+				},
+				{
+					ID:   &ast.Identifier{Name: idxName},
+					Init: &ast.Literal{Kind: ast.LiteralNumber, NumVal: 0},
+				},
+			},
+		}
+		// while (true) { switch (ord[idx++]) { ... } break; }
+		loop := &ast.WhileStatement{
+			Test: &ast.Literal{Kind: ast.LiteralBool, BoolVal: true},
+			Body: &ast.BlockStatement{Body: []ast.Statement{
+				&ast.SwitchStatement{
+					Discriminant: &ast.MemberExpression{
+						Object:   &ast.Identifier{Name: ordName},
+						Computed: true,
+						Property: &ast.UpdateExpression{
+							Operator: "++",
+							Argument: &ast.Identifier{Name: idxName},
+						},
+					},
+					Cases: cases,
+				},
+				&ast.BreakStatement{},
+			}},
+		}
+		return []ast.Statement{decl, loop}
+	}
+
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FunctionDeclaration:
+			fn.Body.Body = flattenList(fn.Body.Body)
+		case *ast.FunctionExpression:
+			fn.Body.Body = flattenList(fn.Body.Body)
+		}
+		return true
+	})
+	prog.Body = flattenList(prog.Body)
+}
+
+// isFlattenable reports whether a statement list can move into the switch
+// dispatcher safely. The dispatcher preserves execution order (each case
+// continues to the next ordered index), so most statement kinds qualify;
+// the exceptions are statements carrying a break/continue bound *outside*
+// the statement itself, which would retarget to the dispatcher loop.
+func isFlattenable(body []ast.Statement) bool {
+	if len(body) < 3 {
+		return false
+	}
+	for _, s := range body {
+		switch s.(type) {
+		case *ast.ExpressionStatement, *ast.VariableDeclaration,
+			*ast.FunctionDeclaration, *ast.ReturnStatement,
+			*ast.ThrowStatement, *ast.EmptyStatement:
+			// always safe
+		case *ast.IfStatement, *ast.ForStatement, *ast.ForInStatement,
+			*ast.WhileStatement, *ast.DoWhileStatement, *ast.SwitchStatement,
+			*ast.TryStatement, *ast.BlockStatement:
+			if containsFreeJump(s) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// containsFreeJump reports whether the statement contains a break or
+// continue that binds outside of it (i.e. not enclosed by a loop or, for
+// break, a switch, within the statement itself). Labelled jumps are always
+// treated as free because their target may be anywhere.
+func containsFreeJump(s ast.Statement) bool {
+	var check func(n ast.Node, loopDepth, switchDepth int) bool
+	check = func(n ast.Node, loopDepth, switchDepth int) bool {
+		switch v := n.(type) {
+		case *ast.BreakStatement:
+			return v.Label != nil || (loopDepth == 0 && switchDepth == 0)
+		case *ast.ContinueStatement:
+			return v.Label != nil || loopDepth == 0
+		case *ast.ForStatement, *ast.ForInStatement,
+			*ast.WhileStatement, *ast.DoWhileStatement:
+			loopDepth++
+		case *ast.SwitchStatement:
+			switchDepth++
+		case *ast.FunctionDeclaration, *ast.FunctionExpression:
+			// Jumps inside nested functions bind inside them.
+			return false
+		}
+		for _, c := range n.Children() {
+			if check(c, loopDepth, switchDepth) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(s, 0, 0)
+}
+
+// deadCodeSnippets are the junk statements dead-code injection draws from.
+func deadCodeSnippets(rng *rand.Rand, counter int) []ast.Statement {
+	v1 := fmt.Sprintf("_0xdead%d", counter)
+	pick := rng.Intn(3)
+	switch pick {
+	case 0:
+		// var _0xdeadN = "gibberish" + "suffix";
+		return []ast.Statement{&ast.VariableDeclaration{
+			Kind: "var",
+			Declarations: []*ast.VariableDeclarator{{
+				ID: &ast.Identifier{Name: v1},
+				Init: &ast.BinaryExpression{
+					Operator: "+",
+					Left:     &ast.Literal{Kind: ast.LiteralString, StrVal: fmt.Sprintf("g%x", rng.Intn(1<<24))},
+					Right:    &ast.Literal{Kind: ast.LiteralString, StrVal: fmt.Sprintf("s%x", rng.Intn(1<<24))},
+				},
+			}},
+		}}
+	case 1:
+		// if (false) { console.log("unreachable"); }
+		return []ast.Statement{&ast.IfStatement{
+			Test: &ast.Literal{Kind: ast.LiteralBool, BoolVal: false},
+			Consequent: &ast.BlockStatement{Body: []ast.Statement{
+				&ast.ExpressionStatement{Expression: &ast.CallExpression{
+					Callee: &ast.MemberExpression{
+						Object:   &ast.Identifier{Name: "console"},
+						Property: &ast.Identifier{Name: "log"},
+					},
+					Arguments: []ast.Expression{
+						&ast.Literal{Kind: ast.LiteralString, StrVal: fmt.Sprintf("u%x", rng.Intn(1<<24))},
+					},
+				}},
+			}},
+		}}
+	default:
+		// function _0xdeadN() { return Math.random() * K; } (never called)
+		return []ast.Statement{&ast.FunctionDeclaration{
+			ID: &ast.Identifier{Name: v1},
+			Body: &ast.BlockStatement{Body: []ast.Statement{
+				&ast.ReturnStatement{Argument: &ast.BinaryExpression{
+					Operator: "*",
+					Left: &ast.CallExpression{Callee: &ast.MemberExpression{
+						Object:   &ast.Identifier{Name: "Math"},
+						Property: &ast.Identifier{Name: "random"},
+					}},
+					Right: &ast.Literal{Kind: ast.LiteralNumber, NumVal: float64(rng.Intn(1000))},
+				}},
+			}},
+		}}
+	}
+}
+
+// injectDeadCode inserts junk statements at random top-level positions.
+func injectDeadCode(prog *ast.Program, rng *rand.Rand) {
+	count := 2 + rng.Intn(3)
+	for i := 0; i < count; i++ {
+		pos := 0
+		if len(prog.Body) > 0 {
+			pos = rng.Intn(len(prog.Body) + 1)
+		}
+		snip := deadCodeSnippets(rng, i)
+		prog.Body = append(prog.Body[:pos], append(snip, prog.Body[pos:]...)...)
+	}
+}

@@ -1,0 +1,88 @@
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/js/printer"
+)
+
+// LiteString is a lightweight string obfuscator representing the *unknown*
+// in-the-wild tools the paper's training corpora contain. Its transformations
+// are deliberately different in structure from the four evaluation
+// obfuscators: strings become reversed-and-rejoined or array-join
+// concatenations rather than string-array lookups (JavaScript-Obfuscator),
+// fog references (Jfogs), or fromCharCode chains (JSObfu).
+type LiteString struct {
+	// Seed makes output deterministic.
+	Seed int64
+}
+
+// Name implements Obfuscator.
+func (*LiteString) Name() string { return "LiteString" }
+
+// Obfuscate implements Obfuscator.
+func (o *LiteString) Obfuscate(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("litestring: parse: %w", err)
+	}
+	rng := rand.New(rand.NewSource(o.Seed ^ int64(len(src))*6364136223846793005))
+	RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		lit, ok := e.(*ast.Literal)
+		if !ok || lit.Kind != ast.LiteralString || len(lit.StrVal) < 4 {
+			return e
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return reverseJoin(lit.StrVal)
+		case 1:
+			return arrayJoin(lit.StrVal, rng)
+		default:
+			return e
+		}
+	})
+	return printer.Print(prog), nil
+}
+
+// reverseJoin emits "gnirts".split("").reverse().join("").
+func reverseJoin(s string) ast.Expression {
+	runes := []rune(s)
+	for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
+		runes[i], runes[j] = runes[j], runes[i]
+	}
+	call := func(obj ast.Expression, method string, args ...ast.Expression) ast.Expression {
+		return &ast.CallExpression{
+			Callee: &ast.MemberExpression{
+				Object:   obj,
+				Property: &ast.Identifier{Name: method},
+			},
+			Arguments: args,
+		}
+	}
+	empty := &ast.Literal{Kind: ast.LiteralString, StrVal: ""}
+	rev := &ast.Literal{Kind: ast.LiteralString, StrVal: string(runes)}
+	return call(call(call(rev, "split", empty), "reverse"), "join", empty)
+}
+
+// arrayJoin emits ["ab","cd","ef"].join("").
+func arrayJoin(s string, rng *rand.Rand) ast.Expression {
+	var parts []ast.Expression
+	for len(s) > 0 {
+		n := 2 + rng.Intn(4)
+		if n > len(s) {
+			n = len(s)
+		}
+		parts = append(parts, &ast.Literal{Kind: ast.LiteralString, StrVal: s[:n]})
+		s = s[n:]
+	}
+	return &ast.CallExpression{
+		Callee: &ast.MemberExpression{
+			Object:   &ast.ArrayExpression{Elements: parts},
+			Property: &ast.Identifier{Name: "join"},
+		},
+		Arguments: []ast.Expression{&ast.Literal{Kind: ast.LiteralString, StrVal: ""}},
+	}
+}

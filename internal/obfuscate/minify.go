@@ -1,0 +1,129 @@
+package obfuscate
+
+import (
+	"fmt"
+	"strings"
+
+	"jsrevealer/internal/js/lexer"
+)
+
+// Minifier strips comments and collapses whitespace — the transformation
+// most benign web scripts ship with (over 60% of Alexa scripts per the
+// measurement study the paper cites). It is applied by the corpus builder
+// to part of the benign population.
+type Minifier struct{}
+
+// Name implements Obfuscator.
+func (*Minifier) Name() string { return "Minify" }
+
+// Obfuscate implements Obfuscator by re-lexing the source and emitting
+// tokens with the minimum necessary separation.
+func (*Minifier) Obfuscate(src string) (string, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return "", fmt.Errorf("minify: %w", err)
+	}
+	var sb strings.Builder
+	var prev lexer.Token
+	have := false
+	for _, t := range toks {
+		if t.Kind == lexer.EOF {
+			break
+		}
+		if have && needsSpace(prev, t) {
+			sb.WriteByte(' ')
+		}
+		// ASI hazard: a statement-terminating token followed by a token that
+		// could continue the statement on a new line must keep a newline so
+		// minification never changes parse. We conservatively keep a newline
+		// when the original had one and the next token starts a regex,
+		// ++/--, or an open paren/bracket.
+		if have && t.NewlineBefore && asiHazard(prev, t) {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(t.Raw)
+		prev, have = t, true
+	}
+	return sb.String(), nil
+}
+
+// needsSpace reports whether two adjacent tokens would merge without a
+// separator.
+func needsSpace(a, b lexer.Token) bool {
+	wordy := func(t lexer.Token) bool {
+		return t.Kind == lexer.Ident || t.Kind == lexer.Keyword || t.Kind == lexer.Number
+	}
+	if wordy(a) && wordy(b) {
+		return true
+	}
+	if a.Kind == lexer.Punct && b.Kind == lexer.Punct {
+		// Avoid forming longer operators: "+" "+" -> "++", "-" "-" -> "--",
+		// "/" "/" -> comment, "<" "<" etc.
+		joined := a.Literal + b.Literal
+		switch {
+		case strings.HasPrefix(joined, "++"), strings.HasPrefix(joined, "--"),
+			strings.HasPrefix(joined, "//"), strings.HasPrefix(joined, "/*"):
+			return true
+		}
+	}
+	if a.Kind == lexer.Number && b.Kind == lexer.Punct && b.Literal == "." {
+		return true
+	}
+	if a.Kind == lexer.Punct && a.Literal == "." && b.Kind == lexer.Number {
+		return true
+	}
+	return false
+}
+
+// asiHazard reports whether removing the newline between a and b could
+// change parsing under automatic semicolon insertion.
+func asiHazard(a, b lexer.Token) bool {
+	if a.Kind == lexer.Punct && a.Literal == ";" {
+		return false
+	}
+	if b.Kind == lexer.Punct {
+		switch b.Literal {
+		case "(", "[", "+", "-", "/", "++", "--", "*", "`":
+			return true
+		}
+	}
+	if b.Kind == lexer.Regex {
+		return true
+	}
+	// `return` / `break` / `continue` / `throw` followed by newline must
+	// keep the newline (restricted productions).
+	if a.Kind == lexer.Keyword {
+		switch a.Literal {
+		case "return", "break", "continue", "throw":
+			return true
+		}
+	}
+	// Conservative default: any statement-ending token followed by a token
+	// that can begin a statement keeps the break.
+	if a.Kind == lexer.Ident || a.Kind == lexer.Number || a.Kind == lexer.String ||
+		(a.Kind == lexer.Punct && (a.Literal == ")" || a.Literal == "]" || a.Literal == "}")) {
+		if b.Kind == lexer.Ident || b.Kind == lexer.Keyword || b.Kind == lexer.String ||
+			b.Kind == lexer.Number {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry returns the paper's four obfuscators plus the minifier, keyed by
+// name, all seeded deterministically from the given base seed.
+func Registry(seed int64) map[string]Obfuscator {
+	return map[string]Obfuscator{
+		"JavaScript-Obfuscator": &JavaScriptObfuscator{Seed: seed},
+		"Jfogs":                 &Jfogs{Seed: seed + 1},
+		"JSObfu":                &JSObfu{Seed: seed + 2},
+		"Jshaman":               &Jshaman{Seed: seed + 3},
+		"Minify":                &Minifier{},
+	}
+}
+
+// PaperOrder lists the four evaluation obfuscators in the order the paper's
+// tables use.
+func PaperOrder() []string {
+	return []string{"JavaScript-Obfuscator", "Jfogs", "JSObfu", "Jshaman"}
+}

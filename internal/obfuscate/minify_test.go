@@ -1,0 +1,88 @@
+package obfuscate
+
+import (
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+)
+
+// minifyAndReparse asserts the minified source parses to a structurally
+// identical AST.
+func minifyAndReparse(t *testing.T, src string) string {
+	t.Helper()
+	out, err := (&Minifier{}).Obfuscate(src)
+	if err != nil {
+		t.Fatalf("minify: %v", err)
+	}
+	orig, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse original: %v", err)
+	}
+	got, err := parser.Parse(out)
+	if err != nil {
+		t.Fatalf("parse minified %q: %v", out, err)
+	}
+	if ast.Count(orig) != ast.Count(got) {
+		t.Fatalf("minification changed AST of %q -> %q (%d vs %d nodes)",
+			src, out, ast.Count(orig), ast.Count(got))
+	}
+	return out
+}
+
+func TestMinifyASIHazards(t *testing.T) {
+	// Each case would change meaning if the newline were dropped naively.
+	cases := []string{
+		"var a = b\n(c).call(a);",           // call vs continuation
+		"var x = y\n[1, 2].forEach(f);",     // index vs array literal
+		"function f() { return\n5; }",       // restricted production
+		"a = b\n++c;",                       // increment vs addition
+		"var q = w;\nvar r = /re/.test(q);", // regex literal after statement
+		"x = y\n-z;",                        // minus continuation
+	}
+	for _, src := range cases {
+		minifyAndReparse(t, src)
+	}
+}
+
+func TestMinifyTokenMerging(t *testing.T) {
+	cases := []string{
+		"var a = 1 + +b;", // + + must not merge to ++
+		"var c = d - -e;", // - - must not merge to --
+		"var f = g / h / i;",
+		"var n = 1 .toString ? 2 : 3;",
+	}
+	for _, src := range cases {
+		out := minifyAndReparse(t, src)
+		if strings.Contains(out, "++") && !strings.Contains(src, "++") {
+			t.Errorf("minify merged + + in %q -> %q", src, out)
+		}
+		if strings.Contains(out, "--") && !strings.Contains(src, "--") {
+			t.Errorf("minify merged - - in %q -> %q", src, out)
+		}
+	}
+}
+
+func TestMinifyStripsComments(t *testing.T) {
+	out := minifyAndReparse(t, "// header\nvar a = 1; /* block */ var b = 2;")
+	if strings.Contains(out, "header") || strings.Contains(out, "block") {
+		t.Errorf("comments survived: %q", out)
+	}
+}
+
+func TestMinifyKeywordSpacing(t *testing.T) {
+	out := minifyAndReparse(t, "var abc = typeof xyz;")
+	if strings.Contains(out, "vara") || strings.Contains(out, "typeofx") {
+		t.Errorf("keyword ran into identifier: %q", out)
+	}
+}
+
+func TestMinifyIdempotent(t *testing.T) {
+	src := "var a = 1;\nfunction f(x) { return x + a; }\nf(2);"
+	once := minifyAndReparse(t, src)
+	twice := minifyAndReparse(t, once)
+	if once != twice {
+		t.Errorf("minify not idempotent:\n%q\n%q", once, twice)
+	}
+}

@@ -1,0 +1,345 @@
+package obfuscate
+
+import (
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+)
+
+const sampleSrc = `
+var secretKey = "abcdef0123456789";
+var counter = 0;
+function computeDigest(input, rounds) {
+  var digest = 0;
+  for (var i = 0; i < rounds; i++) {
+    digest = (digest * 31 + input.charCodeAt(i % input.length)) & 0xffff;
+  }
+  return digest;
+}
+function report(value) {
+  console.log("digest is " + value);
+  counter++;
+}
+if (counter === 0) {
+  report(computeDigest(secretKey, 64));
+}
+`
+
+func allObfuscators() []Obfuscator {
+	return []Obfuscator{
+		&JavaScriptObfuscator{Seed: 1},
+		&Jfogs{Seed: 2},
+		&JSObfu{Seed: 3},
+		&Jshaman{Seed: 4},
+		&LiteString{Seed: 5},
+		&Minifier{},
+	}
+}
+
+func TestOutputsReparse(t *testing.T) {
+	for _, ob := range allObfuscators() {
+		out, err := ob.Obfuscate(sampleSrc)
+		if err != nil {
+			t.Fatalf("%s: %v", ob.Name(), err)
+		}
+		if _, err := parser.Parse(out); err != nil {
+			t.Errorf("%s output does not reparse: %v\n%s", ob.Name(), err, out)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	for _, ob := range allObfuscators() {
+		a, err := ob.Obfuscate(sampleSrc)
+		if err != nil {
+			t.Fatalf("%s: %v", ob.Name(), err)
+		}
+		b, _ := ob.Obfuscate(sampleSrc)
+		if a != b {
+			t.Errorf("%s output not deterministic", ob.Name())
+		}
+	}
+}
+
+func TestRenamersHideDeclaredNames(t *testing.T) {
+	for _, ob := range []Obfuscator{
+		&JavaScriptObfuscator{Seed: 1},
+		&JSObfu{Seed: 3},
+		&Jshaman{Seed: 4},
+	} {
+		out, err := ob.Obfuscate(sampleSrc)
+		if err != nil {
+			t.Fatalf("%s: %v", ob.Name(), err)
+		}
+		// "digest" is excluded: it also occurs inside a string literal,
+		// which renaming must leave alone.
+		for _, name := range []string{"secretKey", "computeDigest", "rounds"} {
+			if strings.Contains(out, name) {
+				t.Errorf("%s kept declared name %q", ob.Name(), name)
+			}
+		}
+	}
+}
+
+func TestRenamingPreservesProtectedGlobals(t *testing.T) {
+	out, err := (&Jshaman{Seed: 9}).Obfuscate(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "console") {
+		t.Error("console global was renamed")
+	}
+}
+
+func TestJavaScriptObfuscatorStringArray(t *testing.T) {
+	out, err := (&JavaScriptObfuscator{Seed: 7}).Obfuscate(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No plaintext long string literals survive.
+	if strings.Contains(out, "abcdef0123456789") || strings.Contains(out, "digest is ") {
+		t.Errorf("plaintext strings survived:\n%s", out)
+	}
+	// The decoder uses atob over the rotated array.
+	if !strings.Contains(out, "atob") {
+		t.Error("no base64 decoder in output")
+	}
+}
+
+func TestJavaScriptObfuscatorFlattening(t *testing.T) {
+	src := "a();\nb();\nc();\nd();"
+	out, err := (&JavaScriptObfuscator{Seed: 7, DisableDeadCode: true}).Obfuscate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "switch") || !strings.Contains(out, "while") {
+		t.Errorf("straight-line run not flattened:\n%s", out)
+	}
+	// The dispatcher executes in the original order: the order string must
+	// visit the shuffled cases such that a,b,c,d stay sequential. We verify
+	// structurally: output parses and contains all four calls.
+	prog, err := parser.Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	ast.Walk(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpression); ok {
+			calls++
+		}
+		return true
+	})
+	if calls < 4 {
+		t.Errorf("flattened output lost calls: %d", calls)
+	}
+}
+
+func TestFlatteningSkipsFreeJumps(t *testing.T) {
+	// The if(x) break; binds to the outer while: flattening the loop body
+	// would retarget it, so the body must stay unflattened.
+	src := "while (1) { a(); b(); if (x) { break; } }"
+	out, err := (&JavaScriptObfuscator{Seed: 3, DisableDeadCode: true}).Obfuscate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No switch may contain the free break.
+	ast.Walk(prog, func(n ast.Node) bool {
+		if sw, ok := n.(*ast.SwitchStatement); ok {
+			ast.Walk(sw, func(m ast.Node) bool {
+				if br, ok := m.(*ast.BreakStatement); ok && br.Label == nil {
+					// breaks inside the dispatcher's own cases are continues
+					// in our construction; a bare break here is the free one.
+					t.Error("free break moved into dispatcher")
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+func TestContainsFreeJump(t *testing.T) {
+	parse1 := func(src string) ast.Statement {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog.Body[0]
+	}
+	cases := map[string]bool{
+		"if (x) { break; }":                       true,
+		"if (x) { continue; }":                    true,
+		"while (1) { break; }":                    false,
+		"for (;;) { continue; }":                  false,
+		"switch (x) { case 1: break; }":           false,
+		"if (x) { while (1) { break; } }":         false,
+		"if (x) { f(function() { return 1; }); }": false,
+		"lbl: while (1) { break lbl; }":           false, // label stays within
+	}
+	for src, want := range cases {
+		stmt := parse1(src)
+		// Labeled case: check the labelled statement's body.
+		if ls, ok := stmt.(*ast.LabeledStatement); ok {
+			stmt = ls.Body
+			want = true // labelled jumps are conservatively free
+		}
+		if got := containsFreeJump(stmt); got != want {
+			t.Errorf("containsFreeJump(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestJfogsHidesCallArguments(t *testing.T) {
+	out, err := (&Jfogs{Seed: 11}).Obfuscate(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Literal arguments move into the fog array.
+	if strings.Contains(out, "computeDigest(secretKey, 64)") {
+		t.Error("call arguments survived verbatim")
+	}
+	if !strings.Contains(out, "$fog$") {
+		t.Error("no fog array in output")
+	}
+	// Function declarations dissolve.
+	prog, err := parser.Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range prog.Body {
+		if fd, ok := s.(*ast.FunctionDeclaration); ok &&
+			!strings.HasPrefix(fd.ID.Name, "$fog") {
+			t.Errorf("function declaration %q survived Jfogs", fd.ID.Name)
+		}
+	}
+}
+
+func TestJSObfuSplitsStrings(t *testing.T) {
+	out, err := (&JSObfu{Seed: 13}).Obfuscate(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `"abcdef0123456789"`) {
+		t.Error("long string survived three rounds of JSObfu")
+	}
+}
+
+func TestJSObfuIterationCount(t *testing.T) {
+	one := &JSObfu{Seed: 13, Iterations: 1}
+	three := &JSObfu{Seed: 13, Iterations: 3}
+	out1, err := one.Obfuscate(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out3, err := three.Obfuscate(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out3) <= len(out1) {
+		t.Errorf("three rounds (%d bytes) should expand more than one (%d bytes)",
+			len(out3), len(out1))
+	}
+}
+
+func TestJshamanOnlyRenames(t *testing.T) {
+	out, err := (&Jshaman{Seed: 17}).Obfuscate(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure is untouched: same statement count and same AST node types
+	// multiset as the original.
+	orig, _ := parser.Parse(sampleSrc)
+	got, err := parser.Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Count(orig) != ast.Count(got) {
+		t.Errorf("node count changed: %d -> %d", ast.Count(orig), ast.Count(got))
+	}
+	// Strings survive verbatim.
+	if !strings.Contains(out, "digest is ") {
+		t.Error("Jshaman must not touch string literals")
+	}
+}
+
+func TestMinifierPreservesAST(t *testing.T) {
+	min := &Minifier{}
+	out, err := min.Obfuscate(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) >= len(sampleSrc) {
+		t.Errorf("minified output (%d) not smaller than input (%d)", len(out), len(sampleSrc))
+	}
+	// The minified source parses to a structurally identical AST.
+	orig, _ := parser.Parse(sampleSrc)
+	got, err := parser.Parse(out)
+	if err != nil {
+		t.Fatalf("minified output does not parse: %v\n%s", err, out)
+	}
+	if ast.Count(orig) != ast.Count(got) {
+		t.Errorf("minification changed the AST: %d vs %d nodes", ast.Count(orig), ast.Count(got))
+	}
+}
+
+func TestLiteStringRewritesStrings(t *testing.T) {
+	out, err := (&LiteString{Seed: 21}).Obfuscate(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parser.Parse(out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "join") {
+		t.Error("LiteString did not rewrite any string")
+	}
+}
+
+func TestRegistryAndPaperOrder(t *testing.T) {
+	reg := Registry(1)
+	for _, name := range PaperOrder() {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+	if len(PaperOrder()) != 4 {
+		t.Errorf("paper order has %d tools, want 4", len(PaperOrder()))
+	}
+	if _, ok := reg["Minify"]; !ok {
+		t.Error("registry missing Minify")
+	}
+}
+
+func TestObfuscatorsRejectBadInput(t *testing.T) {
+	for _, ob := range allObfuscators() {
+		if _, isMinifier := ob.(*Minifier); isMinifier {
+			// The minifier operates on the token stream, so it only rejects
+			// lexically invalid input.
+			if _, err := ob.Obfuscate(`var x = "unterminated`); err == nil {
+				t.Error("Minify accepted lexically invalid JavaScript")
+			}
+			continue
+		}
+		if _, err := ob.Obfuscate("var = = ;"); err == nil {
+			t.Errorf("%s accepted invalid JavaScript", ob.Name())
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	for _, ob := range allObfuscators() {
+		out, err := ob.Obfuscate("")
+		if err != nil {
+			t.Errorf("%s failed on empty input: %v", ob.Name(), err)
+		}
+		if _, err := parser.Parse(out); err != nil {
+			t.Errorf("%s empty-input output does not parse", ob.Name())
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"jsrevealer/internal/js/ast"
+)
+
+// protectedNames are host/builtin identifiers an obfuscator must never
+// rename even when a script shadows them, plus the names the obfuscators
+// themselves inject.
+var protectedNames = map[string]bool{
+	"window": true, "document": true, "navigator": true, "location": true,
+	"console": true, "Math": true, "JSON": true, "Date": true, "RegExp": true,
+	"String": true, "Number": true, "Boolean": true, "Array": true,
+	"Object": true, "Function": true, "Error": true, "TypeError": true,
+	"eval": true, "unescape": true, "escape": true, "decodeURIComponent": true,
+	"encodeURIComponent": true, "parseInt": true, "parseFloat": true,
+	"isNaN": true, "setTimeout": true, "setInterval": true, "atob": true,
+	"btoa": true, "XMLHttpRequest": true, "ActiveXObject": true,
+	"WScript": true, "alert": true, "undefined": true, "arguments": true,
+	"Promise": true, "fetch": true, "localStorage": true, "screen": true,
+	"Uint8Array": true, "ArrayBuffer": true, "Worker": true, "Image": true,
+	"NaN": true, "Infinity": true,
+}
+
+// declaredNames collects every name the program itself binds: variable
+// declarations, function declarations and expressions, parameters, and
+// catch parameters. Only these may be renamed.
+func declaredNames(prog *ast.Program) map[string]bool {
+	names := make(map[string]bool)
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.VariableDeclarator:
+			names[v.ID.Name] = true
+		case *ast.FunctionDeclaration:
+			names[v.ID.Name] = true
+			for _, p := range v.Params {
+				names[p.Name] = true
+			}
+		case *ast.FunctionExpression:
+			if v.ID != nil {
+				names[v.ID.Name] = true
+			}
+			for _, p := range v.Params {
+				names[p.Name] = true
+			}
+		case *ast.CatchClause:
+			names[v.Param.Name] = true
+		}
+		return true
+	})
+	for n := range protectedNames {
+		delete(names, n)
+	}
+	return names
+}
+
+// NameStyle selects how replacement identifiers look.
+type NameStyle int
+
+// Name styles.
+const (
+	// HexStyle produces _0x1a2b3c names (JavaScript-Obfuscator, Jshaman).
+	HexStyle NameStyle = iota + 1
+	// RandomWordStyle produces gibberish letter runs (JSObfu).
+	RandomWordStyle
+)
+
+// renameAll renames every program-declared identifier consistently and
+// returns the number of distinct names renamed. Property names (obj.prop,
+// object-literal keys) are never touched — JavaScript property access must
+// survive renaming.
+func renameAll(prog *ast.Program, style NameStyle, rng *rand.Rand) int {
+	decl := declaredNames(prog)
+	if len(decl) == 0 {
+		return 0
+	}
+	// Deterministic order for reproducible output.
+	names := make([]string, 0, len(decl))
+	for n := range decl {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	mapping := make(map[string]string, len(names))
+	used := make(map[string]bool)
+	for _, n := range names {
+		for {
+			candidate := freshName(style, rng)
+			if !used[candidate] && !protectedNames[candidate] && !decl[candidate] {
+				mapping[n] = candidate
+				used[candidate] = true
+				break
+			}
+		}
+	}
+	applyRename(prog, mapping)
+	return len(mapping)
+}
+
+func freshName(style NameStyle, rng *rand.Rand) string {
+	switch style {
+	case RandomWordStyle:
+		const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+		n := 6 + rng.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(b)
+	default:
+		return fmt.Sprintf("_0x%04x%02x", rng.Intn(0x10000), rng.Intn(0x100))
+	}
+}
+
+// computedMemberAccess rewrites every dotted member access obj.prop into
+// the equivalent computed access obj["prop"], a transformation both
+// javascript-obfuscator and JSObfu perform so that property names become
+// string data. A transform hook, when non-nil, maps the property-name
+// expression (letting JSObfu split the string immediately).
+func computedMemberAccess(prog interface {
+	Children() []ast.Node
+	Type() string
+}, transform func(*ast.Literal) ast.Expression) {
+	p, ok := prog.(*ast.Program)
+	if !ok {
+		return
+	}
+	RewriteExpressions(p, func(e ast.Expression) ast.Expression {
+		me, ok := e.(*ast.MemberExpression)
+		if !ok || me.Computed {
+			return e
+		}
+		id, ok := me.Property.(*ast.Identifier)
+		if !ok {
+			return e
+		}
+		lit := &ast.Literal{Kind: ast.LiteralString, StrVal: id.Name}
+		me.Computed = true
+		if transform != nil {
+			me.Property = transform(lit)
+		} else {
+			me.Property = lit
+		}
+		return me
+	})
+}
+
+// applyRename rewrites identifier references and binding occurrences per the
+// mapping, skipping non-computed member properties and object keys.
+func applyRename(prog *ast.Program, mapping map[string]string) {
+	rename := func(id *ast.Identifier) {
+		if id == nil {
+			return
+		}
+		if to, ok := mapping[id.Name]; ok {
+			id.Name = to
+		}
+	}
+	var walkNode func(n ast.Node)
+	walkNode = func(n ast.Node) {
+		switch v := n.(type) {
+		case *ast.MemberExpression:
+			walkNode(v.Object)
+			if v.Computed {
+				walkNode(v.Property)
+			}
+			return
+		case *ast.ObjectExpression:
+			for _, p := range v.Properties {
+				// Skip the key (a property name, not a binding).
+				walkNode(p.Value)
+			}
+			return
+		case *ast.Identifier:
+			rename(v)
+			return
+		case *ast.LabeledStatement:
+			// Labels share the identifier node type but live in their own
+			// namespace; leaving them stable is safe and simpler.
+			walkNode(v.Body)
+			return
+		case *ast.BreakStatement, *ast.ContinueStatement:
+			return
+		}
+		for _, c := range n.Children() {
+			walkNode(c)
+		}
+	}
+	walkNode(prog)
+}

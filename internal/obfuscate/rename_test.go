@@ -1,0 +1,150 @@
+package obfuscate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/js/printer"
+)
+
+func TestDeclaredNamesCollection(t *testing.T) {
+	src := `
+var topVar = 1;
+function declared(param1, param2) {
+  var inner = param1;
+  try { inner(); } catch (caught) { log(caught); }
+  var fe = function namedExpr(feParam) { return feParam; };
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := declaredNames(prog)
+	for _, want := range []string{
+		"topVar", "declared", "param1", "param2", "inner",
+		"caught", "fe", "namedExpr", "feParam",
+	} {
+		if !names[want] {
+			t.Errorf("declaredNames missing %q", want)
+		}
+	}
+	for _, protected := range []string{"log", "document", "eval"} {
+		if names[protected] {
+			t.Errorf("declaredNames includes undeclared/protected %q", protected)
+		}
+	}
+}
+
+func TestRenameConsistency(t *testing.T) {
+	src := "var shared = 1;\nfunction f() { return shared; }\nuse(shared, f());"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := renameAll(prog, HexStyle, rand.New(rand.NewSource(1)))
+	if renamed != 2 { // shared and f
+		t.Errorf("renamed %d names, want 2", renamed)
+	}
+	out := printer.Print(prog)
+	// All occurrences of `shared` map to one fresh name: exactly one
+	// distinct hex name appears three times.
+	if strings.Contains(out, "shared") {
+		t.Fatalf("shared survived: %s", out)
+	}
+	prog2, err := parser.Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	ast.Walk(prog2, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Identifier); ok && strings.HasPrefix(id.Name, "_0x") {
+			counts[id.Name]++
+		}
+		return true
+	})
+	if len(counts) != 2 {
+		t.Fatalf("distinct fresh names = %d, want 2: %v", len(counts), counts)
+	}
+	// The variable's fresh name occurs 3 times (decl + two uses).
+	found3 := false
+	for _, c := range counts {
+		if c == 3 {
+			found3 = true
+		}
+	}
+	if !found3 {
+		t.Errorf("no fresh name with 3 occurrences: %v", counts)
+	}
+}
+
+func TestRenameSkipsPropertiesAndKeys(t *testing.T) {
+	src := "var value = 1;\nvar o = { value: 2 };\nsend(o.value, value);"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renameAll(prog, HexStyle, rand.New(rand.NewSource(2)))
+	out := printer.Print(prog)
+	// The property key and the member property keep the name `value`; the
+	// variable does not.
+	if !strings.Contains(out, "value: 2") {
+		t.Errorf("object key renamed: %s", out)
+	}
+	if !strings.Contains(out, ".value") {
+		t.Errorf("member property renamed: %s", out)
+	}
+	if strings.Contains(out, "var value") {
+		t.Errorf("variable not renamed: %s", out)
+	}
+}
+
+func TestRenameStyles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hex := freshName(HexStyle, rng)
+	if !strings.HasPrefix(hex, "_0x") {
+		t.Errorf("hex style name = %q", hex)
+	}
+	word := freshName(RandomWordStyle, rng)
+	if strings.HasPrefix(word, "_0x") || len(word) < 6 {
+		t.Errorf("word style name = %q", word)
+	}
+}
+
+func TestComputedMemberAccess(t *testing.T) {
+	src := "obj.first.second(arg);\na[i].third = 1;"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	computedMemberAccess(prog, nil)
+	out := printer.Print(prog)
+	if strings.Contains(out, ".first") || strings.Contains(out, ".second") ||
+		strings.Contains(out, ".third") {
+		t.Errorf("dotted access survived: %s", out)
+	}
+	for _, want := range []string{`["first"]`, `["second"]`, `["third"]`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing computed form %s in %s", want, out)
+		}
+	}
+	if _, err := parser.Parse(out); err != nil {
+		t.Fatalf("output unparseable: %v", err)
+	}
+}
+
+func TestRenameLeavesLabelsAlone(t *testing.T) {
+	src := "var loop = 1;\nloop2: while (loop) { break loop2; }"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renameAll(prog, HexStyle, rand.New(rand.NewSource(4)))
+	out := printer.Print(prog)
+	if !strings.Contains(out, "loop2:") || !strings.Contains(out, "break loop2") {
+		t.Errorf("labels damaged: %s", out)
+	}
+}

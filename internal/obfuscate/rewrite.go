@@ -1,0 +1,182 @@
+// Package obfuscate implements source-level JavaScript obfuscators that
+// reproduce the signature transformations of the four tools in the paper's
+// evaluation (JavaScript-Obfuscator, Jfogs, JSObfu, Jshaman) plus a
+// minifier. Each obfuscator parses the input, rewrites the AST, and prints
+// it back, so outputs always re-parse.
+package obfuscate
+
+import (
+	"jsrevealer/internal/js/ast"
+)
+
+// Obfuscator transforms JavaScript source while preserving its semantics.
+type Obfuscator interface {
+	// Name identifies the tool the obfuscator reproduces.
+	Name() string
+	// Obfuscate rewrites src. The same input and seed produce the same
+	// output.
+	Obfuscate(src string) (string, error)
+}
+
+// ExprRewriter maps an expression to its replacement (possibly itself).
+type ExprRewriter func(e ast.Expression) ast.Expression
+
+// RewriteExpressions rebuilds the program bottom-up, applying f to every
+// expression after its children have been rewritten. The program is mutated
+// in place and also returned.
+func RewriteExpressions(prog *ast.Program, f ExprRewriter) *ast.Program {
+	for i, s := range prog.Body {
+		prog.Body[i] = rewriteStmt(s, f)
+	}
+	return prog
+}
+
+func rewriteStmt(s ast.Statement, f ExprRewriter) ast.Statement {
+	switch n := s.(type) {
+	case *ast.ExpressionStatement:
+		n.Expression = rewriteExpr(n.Expression, f)
+	case *ast.BlockStatement:
+		for i, b := range n.Body {
+			n.Body[i] = rewriteStmt(b, f)
+		}
+	case *ast.VariableDeclaration:
+		for _, d := range n.Declarations {
+			if d.Init != nil {
+				d.Init = rewriteExpr(d.Init, f)
+			}
+		}
+	case *ast.FunctionDeclaration:
+		rewriteBlock(n.Body, f)
+	case *ast.ReturnStatement:
+		if n.Argument != nil {
+			n.Argument = rewriteExpr(n.Argument, f)
+		}
+	case *ast.IfStatement:
+		n.Test = rewriteExpr(n.Test, f)
+		n.Consequent = rewriteStmt(n.Consequent, f)
+		if n.Alternate != nil {
+			n.Alternate = rewriteStmt(n.Alternate, f)
+		}
+	case *ast.ForStatement:
+		switch init := n.Init.(type) {
+		case *ast.VariableDeclaration:
+			for _, d := range init.Declarations {
+				if d.Init != nil {
+					d.Init = rewriteExpr(d.Init, f)
+				}
+			}
+		case ast.Expression:
+			n.Init = rewriteExpr(init, f)
+		}
+		if n.Test != nil {
+			n.Test = rewriteExpr(n.Test, f)
+		}
+		if n.Update != nil {
+			n.Update = rewriteExpr(n.Update, f)
+		}
+		n.Body = rewriteStmt(n.Body, f)
+	case *ast.ForInStatement:
+		if left, ok := n.Left.(ast.Expression); ok {
+			n.Left = rewriteExpr(left, f)
+		}
+		n.Right = rewriteExpr(n.Right, f)
+		n.Body = rewriteStmt(n.Body, f)
+	case *ast.WhileStatement:
+		n.Test = rewriteExpr(n.Test, f)
+		n.Body = rewriteStmt(n.Body, f)
+	case *ast.DoWhileStatement:
+		n.Body = rewriteStmt(n.Body, f)
+		n.Test = rewriteExpr(n.Test, f)
+	case *ast.LabeledStatement:
+		n.Body = rewriteStmt(n.Body, f)
+	case *ast.SwitchStatement:
+		n.Discriminant = rewriteExpr(n.Discriminant, f)
+		for _, c := range n.Cases {
+			if c.Test != nil {
+				c.Test = rewriteExpr(c.Test, f)
+			}
+			for i, cs := range c.Consequent {
+				c.Consequent[i] = rewriteStmt(cs, f)
+			}
+		}
+	case *ast.ThrowStatement:
+		n.Argument = rewriteExpr(n.Argument, f)
+	case *ast.TryStatement:
+		rewriteBlock(n.Block, f)
+		if n.Handler != nil {
+			rewriteBlock(n.Handler.Body, f)
+		}
+		if n.Finalizer != nil {
+			rewriteBlock(n.Finalizer, f)
+		}
+	case *ast.WithStatement:
+		n.Object = rewriteExpr(n.Object, f)
+		n.Body = rewriteStmt(n.Body, f)
+	}
+	return s
+}
+
+func rewriteBlock(b *ast.BlockStatement, f ExprRewriter) {
+	for i, s := range b.Body {
+		b.Body[i] = rewriteStmt(s, f)
+	}
+}
+
+func rewriteExpr(e ast.Expression, f ExprRewriter) ast.Expression {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *ast.ArrayExpression:
+		for i, el := range n.Elements {
+			if el != nil {
+				n.Elements[i] = rewriteExpr(el, f)
+			}
+		}
+	case *ast.ObjectExpression:
+		for _, p := range n.Properties {
+			// Keys stay untouched: rewriting them would change property
+			// names. Values recurse.
+			p.Value = rewriteExpr(p.Value, f)
+		}
+	case *ast.FunctionExpression:
+		rewriteBlock(n.Body, f)
+	case *ast.UnaryExpression:
+		n.Argument = rewriteExpr(n.Argument, f)
+	case *ast.UpdateExpression:
+		n.Argument = rewriteExpr(n.Argument, f)
+	case *ast.BinaryExpression:
+		n.Left = rewriteExpr(n.Left, f)
+		n.Right = rewriteExpr(n.Right, f)
+	case *ast.LogicalExpression:
+		n.Left = rewriteExpr(n.Left, f)
+		n.Right = rewriteExpr(n.Right, f)
+	case *ast.AssignmentExpression:
+		n.Left = rewriteExpr(n.Left, f)
+		n.Right = rewriteExpr(n.Right, f)
+	case *ast.ConditionalExpression:
+		n.Test = rewriteExpr(n.Test, f)
+		n.Consequent = rewriteExpr(n.Consequent, f)
+		n.Alternate = rewriteExpr(n.Alternate, f)
+	case *ast.CallExpression:
+		n.Callee = rewriteExpr(n.Callee, f)
+		for i, a := range n.Arguments {
+			n.Arguments[i] = rewriteExpr(a, f)
+		}
+	case *ast.NewExpression:
+		n.Callee = rewriteExpr(n.Callee, f)
+		for i, a := range n.Arguments {
+			n.Arguments[i] = rewriteExpr(a, f)
+		}
+	case *ast.MemberExpression:
+		n.Object = rewriteExpr(n.Object, f)
+		if n.Computed {
+			n.Property = rewriteExpr(n.Property, f)
+		}
+	case *ast.SequenceExpression:
+		for i, x := range n.Expressions {
+			n.Expressions[i] = rewriteExpr(x, f)
+		}
+	}
+	return f(e)
+}

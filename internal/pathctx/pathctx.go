@@ -1,0 +1,413 @@
+// Package pathctx extracts path contexts from enhanced ASTs.
+//
+// A path context is the triple <x_s, n1..nk, x_t> of the JSRevealer paper
+// (after Alon et al.'s code2vec): x_s and x_t are the values associated with
+// two leaves of the AST and n1..nk is the sequence of node types on the
+// tree path between them. Paths are bounded by a maximum length (k) and a
+// maximum width (the child-index distance at the path's topmost node).
+//
+// Leaves whose identifier participates in a data dependency keep their
+// concrete value; all other leaves are abstracted to a type indicator such
+// as "@var_str" or "@var_int", which is what makes the representation
+// robust to renaming-style obfuscation.
+package pathctx
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/dataflow"
+)
+
+// Default extraction bounds from the paper (Section III-B).
+const (
+	DefaultMaxLength = 12
+	DefaultMaxWidth  = 4
+	// DefaultMaxPaths caps the number of contexts per script so extraction
+	// stays tractable on large files; sampling is deterministic.
+	DefaultMaxPaths = 1200
+)
+
+// Options configures extraction.
+type Options struct {
+	MaxLength int
+	MaxWidth  int
+	MaxPaths  int
+	// UseDataFlow selects the enhanced AST (true, the paper's default) or
+	// the regular AST ablation of Table IV (false): with it disabled every
+	// leaf is abstracted and no concrete values survive.
+	UseDataFlow bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		MaxLength:   DefaultMaxLength,
+		MaxWidth:    DefaultMaxWidth,
+		MaxPaths:    DefaultMaxPaths,
+		UseDataFlow: true,
+	}
+}
+
+// Path is one extracted path context.
+type Path struct {
+	// Source and Target are the (possibly abstracted) leaf values.
+	Source, Target string
+	// Nodes is the sequence of AST node-type names along the path,
+	// including both leaf node types.
+	Nodes []string
+}
+
+// String renders the context in the paper's "<xs, n1...nk, xt>" spirit,
+// with components joined by commas and node types by spaces.
+func (p Path) String() string {
+	return p.Source + "," + strings.Join(p.Nodes, " ") + "," + p.Target
+}
+
+// Hash returns a stable 64-bit hash of the full context, used by the
+// embedding model's hashed vocabulary.
+func (p Path) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.Source))
+	h.Write([]byte{0})
+	for _, n := range p.Nodes {
+		h.Write([]byte(n))
+		h.Write([]byte{1})
+	}
+	h.Write([]byte(p.Target))
+	return h.Sum64()
+}
+
+// ComponentHashes returns stable hashes of the context's three components:
+// source value, node-type sequence, and target value. The embedding model
+// sums the component embeddings, which realises the paper's requirement
+// that "two paths with data dependency will have the same value in their
+// triplets, and the vectors obtained in the embedding process will be
+// closer": shared values or shared structure directly translate into vector
+// proximity.
+func (p Path) ComponentHashes() (source, structure, target uint64) {
+	hs := fnv.New64a()
+	hs.Write([]byte("src:"))
+	hs.Write([]byte(p.Source))
+	hn := fnv.New64a()
+	hn.Write([]byte("nodes:"))
+	for _, n := range p.Nodes {
+		hn.Write([]byte(n))
+		hn.Write([]byte{1})
+	}
+	ht := fnv.New64a()
+	ht.Write([]byte("tgt:"))
+	ht.Write([]byte(p.Target))
+	return hs.Sum64(), hn.Sum64(), ht.Sum64()
+}
+
+// Extract parses nothing: it takes an already-parsed program, runs the
+// data-flow analysis when enabled, and returns the path contexts.
+func Extract(prog *ast.Program, opts Options) []Path {
+	if opts.MaxLength <= 0 {
+		opts.MaxLength = DefaultMaxLength
+	}
+	if opts.MaxWidth <= 0 {
+		opts.MaxWidth = DefaultMaxWidth
+	}
+	var info *dataflow.Info
+	if opts.UseDataFlow {
+		info = dataflow.Analyze(prog)
+	}
+	types := inferTypes(prog)
+
+	leaves := collectLeaves(prog, info, types)
+	// Pair enumeration is quadratic in the leaf count, so heavily
+	// obfuscated files (hundreds of kilobytes, tens of thousands of leaves)
+	// must be down-sampled before enumeration — the same "limit the number
+	// of extracted paths" requirement the paper states, applied one level
+	// earlier so the cost bound holds too.
+	if opts.MaxPaths > 0 {
+		maxLeaves := 4 * opts.MaxPaths
+		if len(leaves) > maxLeaves {
+			idx := strideIndices(len(leaves), maxLeaves)
+			kept := make([]leaf, len(idx))
+			for i, j := range idx {
+				kept[i] = leaves[j]
+			}
+			leaves = kept
+		}
+	}
+	paths := enumerate(leaves, opts)
+	if opts.MaxPaths > 0 && len(paths) > opts.MaxPaths {
+		paths = sample(paths, opts.MaxPaths)
+	}
+	return paths
+}
+
+// strideIndices returns n evenly spaced indices over [0, total).
+func strideIndices(total, n int) []int {
+	out := make([]int, 0, n)
+	stride := float64(total) / float64(n)
+	pos := 0.0
+	for len(out) < n {
+		idx := int(pos)
+		if idx >= total {
+			break
+		}
+		out = append(out, idx)
+		pos += stride
+	}
+	return out
+}
+
+// leaf is an AST leaf annotated with its abstracted value and the chain of
+// ancestors from the root (inclusive of the leaf itself).
+type leaf struct {
+	value string
+	// chain[0] is the root; chain[len-1] is the leaf node.
+	chain []ast.Node
+	// childIdx[i] is the index of chain[i+1] among chain[i]'s children.
+	childIdx []int
+}
+
+// collectLeaves gathers all leaves in source order with their root chains.
+func collectLeaves(prog *ast.Program, info *dataflow.Info, types map[string]string) []leaf {
+	var out []leaf
+	var chain []ast.Node
+	var idxs []int
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		chain = append(chain, n)
+		kids := n.Children()
+		if len(kids) == 0 {
+			val := leafValue(n, info, types)
+			if val != "" {
+				c := make([]ast.Node, len(chain))
+				copy(c, chain)
+				ci := make([]int, len(idxs))
+				copy(ci, idxs)
+				out = append(out, leaf{value: val, chain: c, childIdx: ci})
+			}
+		}
+		for i, k := range kids {
+			idxs = append(idxs, i)
+			walk(k)
+			idxs = idxs[:len(idxs)-1]
+		}
+		chain = chain[:len(chain)-1]
+	}
+	walk(prog)
+	return out
+}
+
+// leafValue computes the path-context value for a leaf: a concrete value for
+// data-dependent identifiers, a type indicator otherwise.
+func leafValue(n ast.Node, info *dataflow.Info, types map[string]string) string {
+	switch v := n.(type) {
+	case *ast.Identifier:
+		if info != nil && info.HasDependency(v) {
+			return v.Name
+		}
+		if t, ok := types[v.Name]; ok {
+			return "@var_" + t
+		}
+		return "@var_any"
+	case *ast.Literal:
+		switch v.Kind {
+		case ast.LiteralString:
+			return "@var_str"
+		case ast.LiteralNumber:
+			if v.NumVal == float64(int64(v.NumVal)) {
+				return "@var_int"
+			}
+			return "@var_num"
+		case ast.LiteralBool:
+			return "@var_bool"
+		case ast.LiteralNull:
+			return "@var_null"
+		case ast.LiteralRegExp:
+			return "@var_regex"
+		}
+		return "@var_any"
+	case *ast.ThisExpression:
+		return "this"
+	case *ast.EmptyStatement, *ast.DebuggerStatement:
+		return n.Type()
+	case *ast.BreakStatement, *ast.ContinueStatement:
+		return n.Type()
+	default:
+		return n.Type()
+	}
+}
+
+// inferTypes derives a coarse static type for each variable name from its
+// declarations and assignments (last write wins; conflicting kinds degrade
+// to "any").
+func inferTypes(prog *ast.Program) map[string]string {
+	types := make(map[string]string)
+	set := func(name, t string) {
+		if prev, ok := types[name]; ok && prev != t {
+			types[name] = "any"
+			return
+		}
+		types[name] = t
+	}
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.VariableDeclarator:
+			if v.Init != nil {
+				set(v.ID.Name, exprType(v.Init))
+			}
+		case *ast.AssignmentExpression:
+			if id, ok := v.Left.(*ast.Identifier); ok && v.Operator == "=" {
+				set(id.Name, exprType(v.Right))
+			}
+		case *ast.FunctionDeclaration:
+			set(v.ID.Name, "fun")
+		}
+		return true
+	})
+	return types
+}
+
+// exprType maps an initializer expression to a coarse type tag.
+func exprType(e ast.Expression) string {
+	switch v := e.(type) {
+	case *ast.Literal:
+		switch v.Kind {
+		case ast.LiteralString:
+			return "str"
+		case ast.LiteralNumber:
+			if v.NumVal == float64(int64(v.NumVal)) {
+				return "int"
+			}
+			return "num"
+		case ast.LiteralBool:
+			return "bool"
+		case ast.LiteralNull:
+			return "null"
+		case ast.LiteralRegExp:
+			return "regex"
+		}
+	case *ast.ArrayExpression:
+		return "arr"
+	case *ast.ObjectExpression:
+		return "obj"
+	case *ast.FunctionExpression:
+		return "fun"
+	case *ast.NewExpression:
+		return "obj"
+	case *ast.BinaryExpression:
+		if v.Operator == "+" {
+			lt, rt := exprType(v.Left), exprType(v.Right)
+			if lt == "str" || rt == "str" {
+				return "str"
+			}
+			if lt == "int" && rt == "int" {
+				return "int"
+			}
+			return "num"
+		}
+		switch v.Operator {
+		case "==", "!=", "===", "!==", "<", ">", "<=", ">=", "in", "instanceof":
+			return "bool"
+		}
+		return "num"
+	case *ast.LogicalExpression:
+		return "bool"
+	case *ast.UnaryExpression:
+		switch v.Operator {
+		case "!":
+			return "bool"
+		case "typeof":
+			return "str"
+		case "-", "+", "~":
+			return "num"
+		}
+	case *ast.CallExpression, *ast.MemberExpression:
+		return "any"
+	}
+	return "any"
+}
+
+// enumerate produces leaf pairs whose connecting path satisfies the length
+// and width bounds, stopping once far more paths than the final sample
+// needs have been collected.
+func enumerate(leaves []leaf, opts Options) []Path {
+	budget := -1
+	if opts.MaxPaths > 0 {
+		budget = 20 * opts.MaxPaths
+	}
+	var out []Path
+	for i := 0; i < len(leaves); i++ {
+		for j := i + 1; j < len(leaves); j++ {
+			p, ok := connect(leaves[i], leaves[j], opts)
+			if ok {
+				out = append(out, p)
+				if budget > 0 && len(out) >= budget {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// connect builds the path context between two leaves if it fits the bounds.
+func connect(a, b leaf, opts Options) (Path, bool) {
+	// Find lowest common ancestor depth.
+	lca := 0
+	for lca < len(a.chain) && lca < len(b.chain) && a.chain[lca] == b.chain[lca] {
+		lca++
+	}
+	lca-- // last common index
+	if lca < 0 {
+		return Path{}, false
+	}
+	// Width: distance of the child indices immediately below the LCA. When a
+	// leaf *is* the LCA the width constraint does not apply in the same way;
+	// such degenerate paths (one leaf an ancestor of the other) are skipped
+	// because both endpoints of a path context must be distinct leaves.
+	if lca >= len(a.childIdx) || lca >= len(b.childIdx) {
+		return Path{}, false
+	}
+	width := b.childIdx[lca] - a.childIdx[lca]
+	if width < 0 {
+		width = -width
+	}
+	if width > opts.MaxWidth {
+		return Path{}, false
+	}
+	// Length: nodes up from a's leaf to LCA plus down to b's leaf, counting
+	// both leaf nodes once each.
+	upLen := len(a.chain) - 1 - lca   // edges from a-leaf up to LCA
+	downLen := len(b.chain) - 1 - lca // edges from LCA down to b-leaf
+	k := upLen + downLen + 1          // number of nodes on the path
+	if k > opts.MaxLength {
+		return Path{}, false
+	}
+
+	nodes := make([]string, 0, k)
+	for d := len(a.chain) - 1; d >= lca; d-- {
+		nodes = append(nodes, a.chain[d].Type())
+	}
+	for d := lca + 1; d <= len(b.chain)-1; d++ {
+		nodes = append(nodes, b.chain[d].Type())
+	}
+	return Path{Source: a.value, Target: b.value, Nodes: nodes}, true
+}
+
+// sample deterministically reduces paths to n entries with an even stride so
+// the selection covers the whole file.
+func sample(paths []Path, n int) []Path {
+	out := make([]Path, 0, n)
+	stride := float64(len(paths)) / float64(n)
+	pos := 0.0
+	for len(out) < n {
+		idx := int(pos)
+		if idx >= len(paths) {
+			break
+		}
+		out = append(out, paths[idx])
+		pos += stride
+	}
+	return out
+}

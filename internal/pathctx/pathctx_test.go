@@ -1,0 +1,237 @@
+package pathctx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jsrevealer/internal/js/parser"
+)
+
+func extract(t *testing.T, src string, opts Options) []Path {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Extract(prog, opts)
+}
+
+const sampleSrc = `
+var timeZoneMinutes = offsetOf();
+var dateStr = "2023-01-01";
+if (timeZoneMinutes > 0) {
+  el.setAttribute("tz", timeZoneMinutes);
+}
+`
+
+func TestBoundsRespected(t *testing.T) {
+	opts := DefaultOptions()
+	paths := extract(t, sampleSrc, opts)
+	if len(paths) == 0 {
+		t.Fatal("no paths extracted")
+	}
+	for _, p := range paths {
+		if len(p.Nodes) > opts.MaxLength {
+			t.Errorf("path length %d exceeds %d: %v", len(p.Nodes), opts.MaxLength, p.Nodes)
+		}
+	}
+}
+
+func TestMaxPathsCap(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxPaths = 10
+	paths := extract(t, sampleSrc, opts)
+	if len(paths) > 10 {
+		t.Errorf("cap violated: %d paths", len(paths))
+	}
+}
+
+func TestDataDependentLeafKeepsValue(t *testing.T) {
+	paths := extract(t, sampleSrc, DefaultOptions())
+	foundConcrete := false
+	for _, p := range paths {
+		if p.Source == "timeZoneMinutes" || p.Target == "timeZoneMinutes" {
+			foundConcrete = true
+		}
+	}
+	if !foundConcrete {
+		t.Error("data-dependent variable name not preserved in any path")
+	}
+}
+
+func TestIndependentLeafAbstracted(t *testing.T) {
+	// dateStr has no data dependencies: it must appear only as @var_str.
+	paths := extract(t, sampleSrc, DefaultOptions())
+	for _, p := range paths {
+		if p.Source == "dateStr" || p.Target == "dateStr" {
+			t.Errorf("independent variable kept concrete value: %v", p)
+		}
+	}
+}
+
+func TestRegularASTAbstractsEverything(t *testing.T) {
+	opts := DefaultOptions()
+	opts.UseDataFlow = false
+	paths := extract(t, sampleSrc, opts)
+	for _, p := range paths {
+		for _, v := range []string{p.Source, p.Target} {
+			if !strings.HasPrefix(v, "@var_") && v != "this" &&
+				!strings.Contains(v, "Statement") {
+				t.Errorf("regular AST leaked concrete value %q", v)
+			}
+		}
+	}
+}
+
+func TestLiteralAbstractionKinds(t *testing.T) {
+	src := `var a = 1; var b = 1.5; var c = "s"; var d = true; var e = null; var f = /x/;`
+	paths := extract(t, src, DefaultOptions())
+	seen := make(map[string]bool)
+	for _, p := range paths {
+		seen[p.Source] = true
+		seen[p.Target] = true
+	}
+	for _, want := range []string{"@var_int", "@var_num", "@var_str", "@var_bool", "@var_null", "@var_regex"} {
+		if !seen[want] {
+			t.Errorf("missing abstraction %s in %v", want, keys(seen))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestPathStringFormat(t *testing.T) {
+	p := Path{Source: "a", Target: "b", Nodes: []string{"Identifier", "BinaryExpression", "Identifier"}}
+	want := "a,Identifier BinaryExpression Identifier,b"
+	if p.String() != want {
+		t.Errorf("String() = %q, want %q", p.String(), want)
+	}
+}
+
+func TestHashDeterministicAndDiscriminating(t *testing.T) {
+	p1 := Path{Source: "a", Target: "b", Nodes: []string{"X", "Y"}}
+	p2 := Path{Source: "a", Target: "b", Nodes: []string{"X", "Y"}}
+	p3 := Path{Source: "a", Target: "c", Nodes: []string{"X", "Y"}}
+	if p1.Hash() != p2.Hash() {
+		t.Error("equal paths hash differently")
+	}
+	if p1.Hash() == p3.Hash() {
+		t.Error("different paths collide (unlikely)")
+	}
+	// Component boundary: ("ab","c") must differ from ("a","bc").
+	q1 := Path{Source: "ab", Target: "c", Nodes: []string{"N"}}
+	q2 := Path{Source: "a", Target: "bc", Nodes: []string{"N"}}
+	if q1.Hash() == q2.Hash() {
+		t.Error("component boundary not separated in hash")
+	}
+}
+
+func TestComponentHashes(t *testing.T) {
+	p := Path{Source: "v", Target: "v", Nodes: []string{"N1", "N2"}}
+	s1, n1, t1 := p.ComponentHashes()
+	// Same value in source and target slots must still hash differently
+	// (slot-prefixed).
+	if s1 == t1 {
+		t.Error("source and target hashes should differ by slot prefix")
+	}
+	// Same structure with different values shares the structure hash.
+	p2 := Path{Source: "w", Target: "w", Nodes: []string{"N1", "N2"}}
+	_, n2, _ := p2.ComponentHashes()
+	if n1 != n2 {
+		t.Error("structure hash should be value-independent")
+	}
+}
+
+func TestRenamingPreservesStructureHashes(t *testing.T) {
+	src1 := "var alpha = 1;\nuse(alpha);"
+	src2 := "var zeta9 = 1;\nuse(zeta9);"
+	p1 := extract(t, src1, DefaultOptions())
+	p2 := extract(t, src2, DefaultOptions())
+	if len(p1) != len(p2) {
+		t.Fatalf("path counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		_, n1, _ := p1[i].ComponentHashes()
+		_, n2, _ := p2[i].ComponentHashes()
+		if n1 != n2 {
+			t.Errorf("structure hash changed under renaming: %v vs %v", p1[i], p2[i])
+		}
+	}
+}
+
+// TestQuickLengthBound property-tests the length bound across random
+// option values.
+func TestQuickLengthBound(t *testing.T) {
+	prog, err := parser.Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawLen, rawWidth uint8) bool {
+		opts := Options{
+			MaxLength:   2 + int(rawLen%14),
+			MaxWidth:    1 + int(rawWidth%6),
+			MaxPaths:    0,
+			UseDataFlow: true,
+		}
+		for _, p := range Extract(prog, opts) {
+			if len(p.Nodes) > opts.MaxLength {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	src := `
+var s = "x" + "y";
+var i = 2 + 3;
+var flag = !s;
+var arr = [1];
+var obj = { a: 1 };
+var fn = function() { return 1; };
+lonely(s, i, flag, arr, obj, fn);
+notused(s);
+var untouched1 = s;
+var u2 = i, u3 = flag, u4 = arr, u5 = obj, u6 = fn;
+`
+	// Force abstraction by checking types map indirectly: the un-linked
+	// declarations carry @var_* sources.
+	opts := DefaultOptions()
+	opts.UseDataFlow = false // everything abstracted -> inferred types visible
+	paths := extract(t, src, opts)
+	seen := make(map[string]bool)
+	for _, p := range paths {
+		seen[p.Source] = true
+		seen[p.Target] = true
+	}
+	for _, want := range []string{"@var_str", "@var_int", "@var_bool", "@var_arr", "@var_obj", "@var_fun"} {
+		if !seen[want] {
+			t.Errorf("missing inferred type %s in %v", want, keys(seen))
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	paths := extract(t, "", DefaultOptions())
+	if len(paths) != 0 {
+		t.Errorf("empty program produced %d paths", len(paths))
+	}
+}
+
+func TestSingleStatementStillYieldsPaths(t *testing.T) {
+	paths := extract(t, "f(a, b);", DefaultOptions())
+	if len(paths) == 0 {
+		t.Error("single call should yield leaf-pair paths")
+	}
+}

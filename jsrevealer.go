@@ -1,0 +1,53 @@
+// Package jsrevealer is a Go reproduction of "JSRevealer: A Robust
+// Malicious JavaScript Detector against Obfuscation" (DSN 2023).
+//
+// The package is a thin facade over the internal pipeline: it re-exports
+// the detector, its options, and the training entry points so downstream
+// users work with one import path.
+//
+//	det, err := jsrevealer.Train(trainingSamples, nil, jsrevealer.DefaultOptions())
+//	verdict, err := det.Detect(src) // true = malicious
+//
+// The building blocks live in internal packages: internal/js/* (lexer,
+// parser, printer, data flow, CFG, PDG), internal/pathctx (path contexts),
+// internal/ml/* (embedding network, clustering, outlier detection,
+// classifiers, metrics), internal/obfuscate (the four evaluation
+// obfuscators), internal/corpus (the synthetic dataset), and
+// internal/baselines (CUJO, ZOZZLE, JAST, JSTAP).
+package jsrevealer
+
+import (
+	"jsrevealer/internal/core"
+)
+
+// Sample is one labelled training script.
+type Sample = core.Sample
+
+// Options configures the detection pipeline.
+type Options = core.Options
+
+// Detector is a trained JSRevealer instance.
+type Detector = core.Detector
+
+// Feature is one learned cluster feature.
+type Feature = core.Feature
+
+// ImportantFeature pairs a feature with its random-forest importance.
+type ImportantFeature = core.ImportantFeature
+
+// DefaultOptions returns the paper's configuration: enhanced AST, K=11/10,
+// FastABOD-selected outlier removal, random forest.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// RegularASTOptions returns the Table IV ablation configuration (no data
+// flow; K=5/6).
+func RegularASTOptions() Options { return core.RegularASTOptions() }
+
+// Train builds a detector from labelled samples. pretrain supplies the
+// embedding pre-training corpus; nil reuses the training set.
+func Train(train, pretrain []Sample, opts Options) (*Detector, error) {
+	return core.Train(train, pretrain, opts)
+}
+
+// Load reads a detector previously written with Detector.Save.
+func Load(path string) (*Detector, error) { return core.Load(path) }

