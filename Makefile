@@ -1,0 +1,18 @@
+.PHONY: build test check fuzz
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The full verification gate: go vet, a clean build, the full test suite,
+# and a race-detector pass (see scripts/check.sh for scope).
+check:
+	sh scripts/check.sh
+
+# Bounded fuzzing budgets for the robustness targets.
+fuzz:
+	go test -fuzz=FuzzLex -fuzztime=30s ./internal/js/lexer/
+	go test -fuzz=FuzzParse -fuzztime=30s ./internal/js/parser/
+	go test -fuzz=FuzzDetect -fuzztime=30s ./internal/scan/

@@ -3,21 +3,32 @@
 // Usage:
 //
 //	jsrevealer train  [-benign N] [-malicious N] [-seed N] -model model.json
-//	jsrevealer detect -model model.json file.js [file2.js ...]
+//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] file.js [file2.js ...]
 //	jsrevealer explain -model model.json [-top N]
 //
 // The train subcommand trains on the synthetic corpus; detect classifies
 // files with a persisted model; explain prints the most important learned
 // features (the paper's Table VII view).
+//
+// detect runs files through the hardened scan engine: each file is
+// classified under a per-file deadline (-timeout) with size (-max-bytes),
+// token-count, and parser recursion-depth guards, across -workers
+// concurrent workers. Files the full pipeline cannot classify degrade to a
+// lexical heuristic and are reported as DEGRADED with the structured reason
+// on stderr. Exit codes: 0 all benign, 1 at least one file flagged
+// malicious, 2 at least one file degraded or failed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"jsrevealer/internal/core"
 	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/scan"
 )
 
 func main() {
@@ -80,6 +91,9 @@ func runTrain(args []string) error {
 func runDetect(args []string) (int, error) {
 	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
 	model := fs.String("model", "jsrevealer-model.json", "model path")
+	workers := fs.Int("workers", 0, "concurrent scan workers (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", scan.DefaultTimeout, "per-file classification deadline")
+	maxBytes := fs.Int64("max-bytes", scan.DefaultMaxBytes, "per-file size cap; larger files degrade to the fallback")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -91,26 +105,41 @@ func runDetect(args []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	eng := scan.New(det, scan.Config{
+		Workers:  *workers,
+		Timeout:  *timeout,
+		MaxBytes: *maxBytes,
+	})
+	results, stats := eng.ScanFiles(context.Background(), files)
 	exit := 0
-	for _, f := range files {
-		data, err := os.ReadFile(f)
-		if err != nil {
-			return 0, err
-		}
-		verdict, err := det.Detect(string(data))
-		switch {
-		case err != nil:
-			fmt.Printf("%s: error: %v\n", f, err)
-			exit = 2
-		case verdict:
-			fmt.Printf("%s: MALICIOUS\n", f)
+	for _, r := range results {
+		switch r.Verdict {
+		case scan.VerdictMalicious:
+			fmt.Printf("%s: MALICIOUS\n", r.Path)
 			if exit == 0 {
 				exit = 1
 			}
+		case scan.VerdictBenign:
+			fmt.Printf("%s: benign\n", r.Path)
+		case scan.VerdictDegraded:
+			label := "benign"
+			if r.Malicious {
+				label = "MALICIOUS"
+			}
+			fmt.Printf("%s: DEGRADED (fallback verdict: %s)\n", r.Path, label)
+			fmt.Fprintf(os.Stderr, "jsrevealer: %s: degraded: %v\n", r.Path, r.Err)
+			exit = 2
 		default:
-			fmt.Printf("%s: benign\n", f)
+			fmt.Printf("%s: FAILED\n", r.Path)
+			fmt.Fprintf(os.Stderr, "jsrevealer: %s: failed: %v\n", r.Path, r.Err)
+			exit = 2
 		}
 	}
+	fmt.Fprintf(os.Stderr,
+		"jsrevealer: scanned %d (flagged %d, degraded %d, failed %d) in %s; latency p50 %s p99 %s\n",
+		stats.Scanned, stats.Flagged, stats.Degraded, stats.Failed,
+		stats.Wall.Round(time.Millisecond),
+		stats.P50.Round(time.Millisecond), stats.P99.Round(time.Millisecond))
 	return exit, nil
 }
 

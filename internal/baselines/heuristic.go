@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"context"
+	"math"
+	"strings"
+)
+
+// Heuristic is a parser-free lexical detector. It exists as the graceful
+// degradation fallback of the scan engine: when the full JSRevealer
+// pipeline cannot process a sample (parse failure, depth limit, timeout,
+// oversized input), the heuristic still yields a verdict from a single
+// bounded pass over the raw bytes. Its signals are the classic
+// drive-by-download tells the ZOZZLE and JSTAP literature relies on:
+// dynamic code generation, decoder loops, environment fingerprinting, and
+// high-entropy encoded blobs.
+type Heuristic struct {
+	// Threshold is the score at or above which input is called malicious.
+	Threshold float64
+	// MaxBytes caps how much of the input is inspected; <= 0 means
+	// DefaultHeuristicBytes.
+	MaxBytes int
+}
+
+// DefaultHeuristicBytes bounds the heuristic's work per sample.
+const DefaultHeuristicBytes = 1 << 20
+
+// NewHeuristic returns the heuristic with its tuned default threshold.
+func NewHeuristic() *Heuristic {
+	return &Heuristic{Threshold: 3.0}
+}
+
+// Name implements the common detector naming convention.
+func (*Heuristic) Name() string { return "LexicalHeuristic" }
+
+// markers are suspicious substrings with per-occurrence weights; counts are
+// capped so a single repeated token cannot dominate unboundedly.
+var markers = []struct {
+	text   string
+	weight float64
+}{
+	{"eval(", 1.5},
+	{"unescape(", 1.5},
+	{"String.fromCharCode", 1.5},
+	{"fromCharCode", 0.5},
+	{"new Function", 1.5},
+	{"ActiveXObject", 2.0},
+	{"WScript.", 2.0},
+	{"document.write(", 1.0},
+	{"document.cookie", 1.0},
+	{"charCodeAt", 0.5},
+	{"createElement(\"script\")", 1.0},
+	{"createElement('script')", 1.0},
+	{".shellexecute", 2.5},
+	{"%u", 0.25},
+	{"\\x", 0.05},
+}
+
+// Score computes the suspicion score of src in one bounded pass.
+func (h *Heuristic) Score(src string) float64 {
+	maxBytes := h.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultHeuristicBytes
+	}
+	if len(src) > maxBytes {
+		src = src[:maxBytes]
+	}
+	lower := strings.ToLower(src)
+
+	score := 0.0
+	for _, m := range markers {
+		needle := m.text
+		if needle != "%u" && needle != "\\x" {
+			needle = strings.ToLower(needle)
+		}
+		n := strings.Count(lower, needle)
+		if n > 4 {
+			n = 4
+		}
+		score += float64(n) * m.weight
+	}
+
+	// Dense encoded payloads: high byte entropy over a prefix window is a
+	// strong packed/encoded-blob signal that survives any obfuscator.
+	if len(src) >= 512 {
+		window := src
+		if len(window) > 4096 {
+			window = window[:4096]
+		}
+		if byteEntropy(window) > 5.6 {
+			score += 1.5
+		}
+	}
+	return score
+}
+
+// Detect classifies src; true means malicious. It never returns an error:
+// the heuristic is the last line of degradation and must not fail.
+func (h *Heuristic) Detect(src string) (bool, error) {
+	return h.Score(src) >= h.Threshold, nil
+}
+
+// DetectCtx implements the scan engine's context-aware classifier shape.
+// The pass is bounded, so the context is not consulted.
+func (h *Heuristic) DetectCtx(_ context.Context, src string) (bool, error) {
+	return h.Detect(src)
+}
+
+// byteEntropy returns the Shannon entropy of s in bits per byte.
+func byteEntropy(s string) float64 {
+	var counts [256]int
+	for i := 0; i < len(s); i++ {
+		counts[s[i]]++
+	}
+	total := float64(len(s))
+	e := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		e -= p * math.Log2(p)
+	}
+	return e
+}

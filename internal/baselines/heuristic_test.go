@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestHeuristicFlagsDecoderLoop(t *testing.T) {
+	h := NewHeuristic()
+	malicious := `
+var fragments = [101, 118, 97, 108];
+var cmd = "";
+for (var i = 0; i < fragments.length; i++) {
+  cmd += String.fromCharCode(fragments[i]);
+}
+var runner = new Function(cmd + "('var x = 1;')");
+runner();
+var beacon = new Image();
+beacon.src = "http://127.0.0.1/ping?x=" + escape(document.cookie);
+`
+	v, err := h.Detect(malicious)
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	if !v {
+		t.Errorf("decoder-loop sample not flagged (score %.2f)", h.Score(malicious))
+	}
+}
+
+func TestHeuristicPassesBenignUI(t *testing.T) {
+	h := NewHeuristic()
+	benign := `
+var menuState = { open: false, animating: false, duration: 250 };
+function toggleMenu(id) {
+  var el = document.getElementById(id);
+  if (menuState.animating) { return false; }
+  el.style.display = el.style.display === "none" ? "block" : "none";
+  return menuState.open;
+}
+window.addEventListener("load", toggleMenu);
+`
+	v, err := h.DetectCtx(context.Background(), benign)
+	if err != nil {
+		t.Fatalf("DetectCtx: %v", err)
+	}
+	if v {
+		t.Errorf("benign UI sample flagged (score %.2f)", h.Score(benign))
+	}
+}
+
+func TestHeuristicBoundedOnHugeInput(t *testing.T) {
+	h := NewHeuristic()
+	// 8MB of repeated eval( markers: the scan must stay bounded (capped
+	// counts, capped bytes) and still flag the sample.
+	huge := strings.Repeat("eval(unescape('%u9090'));", 8<<20/25)
+	v, err := h.Detect(huge)
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	if !v {
+		t.Error("marker-saturated input not flagged")
+	}
+}
+
+func TestHeuristicNeverErrorsOnGarbage(t *testing.T) {
+	h := NewHeuristic()
+	for _, src := range []string{"", "\xff\xfe\x00\x01", strings.Repeat("(", 100000)} {
+		if _, err := h.Detect(src); err != nil {
+			t.Errorf("Detect(%q...): %v", src[:min(8, len(src))], err)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -5,9 +5,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"jsrevealer/internal/js/ast"
@@ -121,8 +123,12 @@ type Detector struct {
 	classifier classify.Classifier
 	// OutlierDetectorName records which detector the meta-selection chose.
 	OutlierDetectorName string
-	// Timings holds cumulative stage timings.
+	// Timings holds cumulative stage timings. Concurrent Detect calls
+	// update it under mu; read it only while no detection is in flight.
 	Timings StageTimings
+	// mu guards Timings (and FilesProcessed within it) so Detect is safe
+	// to call from many goroutines at once.
+	mu sync.Mutex
 	// parseFailures counts training scripts that failed to parse.
 	parseFailures int
 }
@@ -208,7 +214,7 @@ func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error)
 	// Stage 1+2: path extraction for all scripts.
 	exPre := make([]extracted, 0, len(pretrain))
 	for _, s := range pretrain {
-		ex, err := d.extract(s.Source)
+		ex, err := d.extract(s.Source, parser.Limits{})
 		if err != nil {
 			d.parseFailures++
 			continue
@@ -218,7 +224,7 @@ func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error)
 	}
 	exTrain := make([]extracted, 0, len(train))
 	for _, s := range train {
-		ex, err := d.extract(s.Source)
+		ex, err := d.extract(s.Source, parser.Limits{})
 		if err != nil {
 			d.parseFailures++
 			continue
@@ -387,20 +393,25 @@ func (p *Prepared) Build(kBenign, kMalicious int, trainer classify.Trainer) (*De
 // Name identifies the detector in comparative experiments.
 func (d *Detector) Name() string { return "JSRevealer" }
 
-// extract parses a script and extracts its path contexts, tracking stage
-// timings.
-func (d *Detector) extract(src string) (extracted, error) {
+// extract parses a script under the given limits and extracts its path
+// contexts, tracking stage timings.
+func (d *Detector) extract(src string, lim parser.Limits) (extracted, error) {
 	t0 := time.Now()
-	prog, err := parser.Parse(src)
+	prog, err := parser.ParseWithLimits(src, lim)
 	if err != nil {
 		return extracted{}, err
 	}
-	d.Timings.EnhancedAST += time.Since(t0)
+	astDur := time.Since(t0)
 
 	t0 = time.Now()
 	paths := pathctx.Extract(prog, d.opts.Path)
-	d.Timings.PathTraversal += time.Since(t0)
+	pathDur := time.Since(t0)
+
+	d.mu.Lock()
+	d.Timings.EnhancedAST += astDur
+	d.Timings.PathTraversal += pathDur
 	d.Timings.FilesProcessed++
+	d.mu.Unlock()
 	return extracted{paths: paths}, nil
 }
 
@@ -436,14 +447,40 @@ func (d *Detector) featurize(embs []nn.Embedding) []float64 {
 
 // Detect classifies a script; true means malicious.
 func (d *Detector) Detect(src string) (bool, error) {
+	return d.DetectWithLimits(context.Background(), src, parser.Limits{})
+}
+
+// DetectCtx classifies a script honouring the context's deadline and
+// cancellation (checked cooperatively between and inside pipeline stages).
+// It is safe to call from many goroutines concurrently.
+func (d *Detector) DetectCtx(ctx context.Context, src string) (bool, error) {
+	return d.DetectWithLimits(ctx, src, parser.Limits{})
+}
+
+// DetectWithLimits classifies a script under explicit parser resource
+// limits. When lim.Cancel is nil the context's Done channel is used, so a
+// deadline on ctx aborts even a parse of pathological input promptly.
+func (d *Detector) DetectWithLimits(ctx context.Context, src string, lim parser.Limits) (bool, error) {
 	if d.classifier == nil {
 		return false, ErrNotTrained
 	}
-	ex, err := d.extract(src)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if lim.Cancel == nil {
+		lim.Cancel = ctx.Done()
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	ex, err := d.extract(src, lim)
 	if err != nil {
 		// Unparseable input is suspicious but the paper's pipeline simply
 		// cannot featurize it; surface the error to the caller.
 		return false, fmt.Errorf("core: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
 	keys := make([]nn.PathKey, len(ex.paths))
 	for i, p := range ex.paths {
@@ -451,12 +488,17 @@ func (d *Detector) Detect(src string) (bool, error) {
 	}
 	t0 := time.Now()
 	embs := d.model.Embed(keys)
-	d.Timings.Embedding += time.Since(t0)
+	embDur := time.Since(t0)
 
 	t0 = time.Now()
 	feat := d.featurize(embs)
 	verdict := d.classifier.Predict(feat)
-	d.Timings.Classifying += time.Since(t0)
+	clsDur := time.Since(t0)
+
+	d.mu.Lock()
+	d.Timings.Embedding += embDur
+	d.Timings.Classifying += clsDur
+	d.mu.Unlock()
 	return verdict, nil
 }
 

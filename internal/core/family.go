@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"jsrevealer/internal/js/parser"
 	"jsrevealer/internal/ml/classify"
 	"jsrevealer/internal/ml/nn"
 )
@@ -110,7 +111,7 @@ func (fc *FamilyClassifier) Classify(src string) (string, []float64, error) {
 // featurizeSource runs the extraction + embedding + cluster-feature stages
 // on one script and returns the feature vector.
 func (d *Detector) featurizeSource(src string) ([]float64, error) {
-	ex, err := d.extract(src)
+	ex, err := d.extract(src, parser.Limits{})
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,8 @@
 package dataflow
 
 import (
+	"sort"
+
 	"jsrevealer/internal/js/ast"
 )
 
@@ -73,11 +75,17 @@ type scope struct {
 
 func newScope() *scope { return &scope{occ: make(map[string][]*Occurrence)} }
 
+// maxWalkDepth bounds AST traversal depth; nodes nested deeper than any
+// parseable program simply contribute no occurrences instead of overflowing
+// the stack on adversarially constructed trees.
+const maxWalkDepth = 4096
+
 type analyzer struct {
 	info       *Info
 	scopeStack []*scope
 	curStmt    ast.Statement
 	order      int
+	depth      int
 }
 
 func (a *analyzer) scope() *scope { return a.scopeStack[len(a.scopeStack)-1] }
@@ -96,22 +104,96 @@ func (a *analyzer) record(id *ast.Identifier, write bool) {
 	a.info.Occurrences = append(a.info.Occurrences, occ)
 }
 
+// Materializing every def→use pair is quadratic in a variable's occurrence
+// count, which lets a single machine-generated file (one name written tens of
+// thousands of times) stall the analysis for minutes. Linked is therefore
+// computed exactly with linear passes, while the explicit Edge list — needed
+// only by PDG construction and diagnostics — is capped per variable.
+const (
+	// maxEdgesPerVar caps emitted Edge values per (scope, variable).
+	maxEdgesPerVar = 4096
+	// maxEdgeScanPerVar caps pair-scan work per (scope, variable) so a
+	// skip-heavy occurrence pattern cannot reintroduce the quadratic cost.
+	maxEdgeScanPerVar = 1 << 16
+)
+
 // closeScope resolves def→use edges for the scope being popped.
 func (a *analyzer) closeScope() {
 	s := a.scope()
 	a.scopeStack = a.scopeStack[:len(a.scopeStack)-1]
 	for name, occs := range s.occ {
-		for _, def := range occs {
-			if !def.Write {
+		a.markLinked(occs)
+		a.emitEdges(name, occs)
+	}
+}
+
+// markLinked sets Linked for every occurrence that participates in some
+// def→use dependency, in O(occurrences): a read is linked iff an earlier
+// write exists in a different statement, a write iff a later read does. Each
+// direction only needs a summary of the statements seen so far — the first
+// one plus whether a second distinct one appeared.
+func (a *analyzer) markLinked(occs []*Occurrence) {
+	var wStmt ast.Statement
+	wSeen, wMulti := false, false
+	for _, o := range occs {
+		if o.Write {
+			if !wSeen {
+				wSeen, wStmt = true, o.Stmt
+			} else if o.Stmt != wStmt {
+				wMulti = true
+			}
+		} else if wSeen && (wMulti || o.Stmt != wStmt) {
+			a.info.Linked[o.Node] = true
+		}
+	}
+	var rStmt ast.Statement
+	rSeen, rMulti := false, false
+	for i := len(occs) - 1; i >= 0; i-- {
+		o := occs[i]
+		if !o.Write {
+			if !rSeen {
+				rSeen, rStmt = true, o.Stmt
+			} else if o.Stmt != rStmt {
+				rMulti = true
+			}
+		} else if rSeen && (rMulti || o.Stmt != rStmt) {
+			a.info.Linked[o.Node] = true
+		}
+	}
+}
+
+// emitEdges materializes def→use Edge values, earliest definitions first,
+// bounded by maxEdgesPerVar / maxEdgeScanPerVar.
+func (a *analyzer) emitEdges(name string, occs []*Occurrence) {
+	var reads []*Occurrence
+	for _, o := range occs {
+		if !o.Write {
+			reads = append(reads, o)
+		}
+	}
+	if len(reads) == 0 {
+		return
+	}
+	emitted, scanned := 0, 0
+	for _, def := range occs {
+		if !def.Write {
+			continue
+		}
+		// Occurrences are recorded in strictly increasing Order, so the
+		// reads slice is sorted: jump straight to the first later read.
+		lo := sort.Search(len(reads), func(i int) bool { return reads[i].Order > def.Order })
+		for _, use := range reads[lo:] {
+			scanned++
+			if scanned > maxEdgeScanPerVar {
+				return
+			}
+			if use.Stmt == def.Stmt {
 				continue
 			}
-			for _, use := range occs {
-				if use.Write || use.Order <= def.Order || use.Stmt == def.Stmt {
-					continue
-				}
-				a.info.Edges = append(a.info.Edges, Edge{Def: def, Use: use, Name: name})
-				a.info.Linked[def.Node] = true
-				a.info.Linked[use.Node] = true
+			a.info.Edges = append(a.info.Edges, Edge{Def: def, Use: use, Name: name})
+			emitted++
+			if emitted >= maxEdgesPerVar {
+				return
 			}
 		}
 	}
@@ -124,9 +206,11 @@ func (a *analyzer) stmts(list []ast.Statement) {
 }
 
 func (a *analyzer) stmt(s ast.Statement) {
-	if s == nil {
+	if s == nil || a.depth >= maxWalkDepth {
 		return
 	}
+	a.depth++
+	defer func() { a.depth-- }()
 	prev := a.curStmt
 	a.curStmt = s
 	defer func() { a.curStmt = prev }()
@@ -231,9 +315,11 @@ func (a *analyzer) function(params []*ast.Identifier, body *ast.BlockStatement) 
 // expr walks an expression; write marks the outermost identifier as a
 // definition (assignment target).
 func (a *analyzer) expr(e ast.Expression, write bool) {
-	if e == nil {
+	if e == nil || a.depth >= maxWalkDepth {
 		return
 	}
+	a.depth++
+	defer func() { a.depth-- }()
 	switch n := e.(type) {
 	case *ast.Identifier:
 		a.record(n, write)

@@ -1,11 +1,17 @@
 package lexer
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"unicode"
 	"unicode/utf8"
 )
+
+// ErrTooManyTokens is wrapped by TokenizeLimit when the input produces more
+// tokens than the configured cap, so adversarially large inputs are rejected
+// in bounded time instead of exhausting memory.
+var ErrTooManyTokens = errors.New("lexer: token limit exceeded")
 
 // SyntaxError describes a lexing failure with its source position.
 type SyntaxError struct {
@@ -44,6 +50,13 @@ func New(src string) *Lexer {
 // Tokenize scans the entire input and returns the token stream, terminated
 // by an EOF token.
 func Tokenize(src string) ([]Token, error) {
+	return TokenizeLimit(src, 0)
+}
+
+// TokenizeLimit scans the entire input like Tokenize but fails with an error
+// wrapping ErrTooManyTokens once more than maxTokens tokens (excluding the
+// final EOF) have been produced. maxTokens <= 0 disables the cap.
+func TokenizeLimit(src string, maxTokens int) ([]Token, error) {
 	lx := New(src)
 	var out []Token
 	for {
@@ -54,6 +67,9 @@ func Tokenize(src string) ([]Token, error) {
 		out = append(out, tok)
 		if tok.Kind == EOF {
 			return out, nil
+		}
+		if maxTokens > 0 && len(out) > maxTokens {
+			return nil, fmt.Errorf("%w (limit %d)", ErrTooManyTokens, maxTokens)
 		}
 	}
 }
@@ -77,8 +93,18 @@ func (l *Lexer) Next() (Token, error) {
 		err error
 	)
 	switch {
-	case isIdentStart(rune(c)) || c >= utf8.RuneSelf:
+	case isIdentStart(rune(c)) && c < utf8.RuneSelf:
 		tok = l.scanIdent()
+	case c >= utf8.RuneSelf:
+		// Decode the full rune: identifier starts proceed, anything else
+		// (including invalid UTF-8, which decodes to RuneError without
+		// advancing scanIdent) is an error rather than an infinite loop.
+		r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+		if r != utf8.RuneError && isIdentStart(r) {
+			tok = l.scanIdent()
+		} else {
+			err = l.errorf("unexpected character %q", r)
+		}
 	case c >= '0' && c <= '9':
 		tok, err = l.scanNumber()
 	case c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):

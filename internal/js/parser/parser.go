@@ -7,6 +7,7 @@
 package parser
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -14,6 +15,34 @@ import (
 	"jsrevealer/internal/js/ast"
 	"jsrevealer/internal/js/lexer"
 )
+
+// DefaultMaxDepth is the recursion-depth budget applied when Limits.MaxDepth
+// is unset. Pathological inputs (e.g. tens of thousands of nested
+// parentheses) otherwise overflow the goroutine stack; ~2000 frames is far
+// beyond anything real code or the evaluation obfuscators produce.
+const DefaultMaxDepth = 2000
+
+// ErrTooDeep is wrapped by parse failures caused by exceeding the recursion
+// depth limit; callers distinguish it from ordinary syntax errors with
+// errors.Is.
+var ErrTooDeep = errors.New("parser: recursion depth limit exceeded")
+
+// ErrCancelled is wrapped by parse failures caused by Limits.Cancel firing,
+// letting callers enforce deadlines on hostile inputs cooperatively.
+var ErrCancelled = errors.New("parser: parse cancelled")
+
+// Limits bounds the resources a single parse may consume. The zero value
+// applies DefaultMaxDepth with no token cap and no cancellation.
+type Limits struct {
+	// MaxDepth caps recursive-descent nesting; <= 0 means DefaultMaxDepth.
+	MaxDepth int
+	// MaxTokens caps the token count (see lexer.TokenizeLimit); <= 0
+	// disables the cap.
+	MaxTokens int
+	// Cancel, when non-nil, aborts the parse with ErrCancelled shortly
+	// after the channel is closed. Pass ctx.Done() to honour deadlines.
+	Cancel <-chan struct{}
+}
 
 // ParseError describes a parse failure with its source position.
 type ParseError struct {
@@ -27,13 +56,21 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
-// Parse parses src into a Program.
+// Parse parses src into a Program with default limits.
 func Parse(src string) (*ast.Program, error) {
-	toks, err := lexer.Tokenize(src)
+	return ParseWithLimits(src, Limits{})
+}
+
+// ParseWithLimits parses src into a Program under the given resource limits.
+func ParseWithLimits(src string, lim Limits) (*ast.Program, error) {
+	if lim.MaxDepth <= 0 {
+		lim.MaxDepth = DefaultMaxDepth
+	}
+	toks, err := lexer.TokenizeLimit(src, lim.MaxTokens)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, maxDepth: lim.MaxDepth, cancel: lim.Cancel}
 	prog := &ast.Program{}
 	for !p.atEOF() {
 		stmt, err := p.parseStatement()
@@ -48,7 +85,36 @@ func Parse(src string) (*ast.Program, error) {
 type parser struct {
 	toks []lexer.Token
 	pos  int
+
+	// depth tracks recursive-descent nesting against maxDepth.
+	depth    int
+	maxDepth int
+	// steps counts enter calls so cancellation is polled cheaply.
+	steps  int
+	cancel <-chan struct{}
 }
+
+// enter charges one recursion frame; it fails once the depth budget is
+// exhausted or the parse has been cancelled. Every recursive production
+// (statements, assignments, unary chains, new chains) calls it, so nesting
+// of any shape is bounded.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > p.maxDepth {
+		return fmt.Errorf("%w (limit %d)", ErrTooDeep, p.maxDepth)
+	}
+	p.steps++
+	if p.cancel != nil && p.steps&255 == 0 {
+		select {
+		case <-p.cancel:
+			return ErrCancelled
+		default:
+		}
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() lexer.Token { return p.toks[p.pos] }
 func (p *parser) atEOF() bool      { return p.cur().Kind == lexer.EOF }
@@ -120,6 +186,10 @@ func (p *parser) consumeSemicolon() error {
 // ---------------------------------------------------------------------------
 
 func (p *parser) parseStatement() (ast.Statement, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.Kind == lexer.Punct && t.Literal == "{":
@@ -624,6 +694,10 @@ func (p *parser) parseAssignment() (ast.Expression, error) {
 }
 
 func (p *parser) parseAssignmentIn(allowIn bool) (ast.Expression, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	left, err := p.parseConditional(allowIn)
 	if err != nil {
 		return nil, err
@@ -727,6 +801,10 @@ var unaryOps = map[string]bool{
 }
 
 func (p *parser) parseUnary() (ast.Expression, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if (t.Kind == lexer.Punct || t.Kind == lexer.Keyword) && unaryOps[t.Literal] {
 		op := p.advance().Literal
@@ -812,6 +890,10 @@ func (p *parser) parseCallMemberTail(expr ast.Expression) (ast.Expression, error
 }
 
 func (p *parser) parseNew() (ast.Expression, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	p.advance() // new
 	var callee ast.Expression
 	var err error

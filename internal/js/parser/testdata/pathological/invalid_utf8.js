@@ -1,0 +1,1 @@
+var v = 1; ÿş€ var w = 2;

@@ -1,0 +1,2 @@
+/* never closed
+var a = 1;

@@ -1,0 +1,1 @@
+var r = /never closed

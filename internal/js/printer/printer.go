@@ -36,9 +36,16 @@ func PrintExpression(e ast.Expression) string {
 	return w.sb.String()
 }
 
+// maxPrintDepth bounds AST recursion while printing. Trees nested deeper
+// than anything the parser's own depth limit admits print a placeholder
+// (`null` for expressions, `;` for statements) instead of overflowing the
+// stack; the output remains parseable.
+const maxPrintDepth = 4096
+
 type writer struct {
 	sb     strings.Builder
 	indent int
+	depth  int
 }
 
 func (w *writer) ws(s string) { w.sb.WriteString(s) }
@@ -105,6 +112,12 @@ func exprPrec(e ast.Expression) int {
 // expr prints e, wrapping in parentheses when its precedence is below the
 // minimum the context requires.
 func (w *writer) expr(e ast.Expression, minPrec int) {
+	if w.depth >= maxPrintDepth {
+		w.ws("null")
+		return
+	}
+	w.depth++
+	defer func() { w.depth-- }()
 	if exprPrec(e) < minPrec {
 		w.ws("(")
 		w.exprInner(e)
@@ -319,6 +332,12 @@ func (w *writer) stmt(s ast.Statement) {
 }
 
 func (w *writer) stmtInline(s ast.Statement) {
+	if w.depth >= maxPrintDepth {
+		w.ws(";")
+		return
+	}
+	w.depth++
+	defer func() { w.depth-- }()
 	switch n := s.(type) {
 	case *ast.ExpressionStatement:
 		// Guard expressions beginning with `{` or `function` so the statement

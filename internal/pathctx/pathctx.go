@@ -167,6 +167,11 @@ type leaf struct {
 	childIdx []int
 }
 
+// maxWalkDepth bounds AST traversal depth so programmatically built trees
+// deeper than anything the parser's own recursion limit admits cannot
+// overflow the stack; leaves below the cap are simply not extracted.
+const maxWalkDepth = 4096
+
 // collectLeaves gathers all leaves in source order with their root chains.
 func collectLeaves(prog *ast.Program, info *dataflow.Info, types map[string]string) []leaf {
 	var out []leaf
@@ -175,6 +180,9 @@ func collectLeaves(prog *ast.Program, info *dataflow.Info, types map[string]stri
 
 	var walk func(n ast.Node)
 	walk = func(n ast.Node) {
+		if len(chain) >= maxWalkDepth {
+			return
+		}
 		chain = append(chain, n)
 		kids := n.Children()
 		if len(kids) == 0 {

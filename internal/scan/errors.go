@@ -1,0 +1,58 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"jsrevealer/internal/js/lexer"
+	"jsrevealer/internal/js/parser"
+)
+
+// The structured error taxonomy of the scan engine. Every Result.Err wraps
+// exactly one of these sentinels (match with errors.Is); the concrete cause
+// is preserved in the wrapped message.
+var (
+	// ErrParse marks input the lexer or parser rejected as malformed.
+	ErrParse = errors.New("parse failed")
+	// ErrDepthLimit marks input that exceeded the parser's recursion-depth
+	// budget (e.g. tens of thousands of nested parentheses).
+	ErrDepthLimit = errors.New("recursion depth limit exceeded")
+	// ErrTimeout marks a file whose per-file deadline expired.
+	ErrTimeout = errors.New("per-file deadline exceeded")
+	// ErrTooLarge marks input rejected by a size guard (file bytes or
+	// token count).
+	ErrTooLarge = errors.New("input exceeds size limits")
+	// ErrInternal marks unexpected pipeline failures, including recovered
+	// panics and unreadable files.
+	ErrInternal = errors.New("internal pipeline failure")
+)
+
+// classifyError maps an error escaping the detection pipeline onto the
+// taxonomy. ctx is the per-file context: when it has expired, cooperative
+// cancellation errors surfacing from any stage are reported as timeouts.
+func classifyError(err error, ctx context.Context) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, parser.ErrTooDeep):
+		return fmt.Errorf("%w: %v", ErrDepthLimit, err)
+	case errors.Is(err, lexer.ErrTooManyTokens):
+		return fmt.Errorf("%w: %v", ErrTooLarge, err)
+	case errors.Is(err, parser.ErrCancelled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	// A cooperative stage may surface its own error type after noticing
+	// cancellation; attribute it to the deadline when the context is done.
+	if ctx != nil && ctx.Err() != nil {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	var pe *parser.ParseError
+	var se *lexer.SyntaxError
+	if errors.As(err, &pe) || errors.As(err, &se) {
+		return fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	return fmt.Errorf("%w: %v", ErrInternal, err)
+}

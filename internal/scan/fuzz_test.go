@@ -1,0 +1,47 @@
+package scan
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzDetect drives the full hardened engine — trained detector, guards,
+// fallback — over arbitrary bytes. The contract: every input yields a
+// Result with a coherent verdict/error pairing, and never a panic, hang,
+// or stack overflow. The shared package detector is trained once on the
+// first execution.
+func FuzzDetect(f *testing.F) {
+	f.Add("var a = 1;")
+	f.Add("eval(unescape('%u9090%u9090'));")
+	f.Add(strings.Repeat("(", 5000))
+	f.Add("\"unterminated")
+	f.Add("\xff\xfe\x80")
+	f.Add("var s = \"" + strings.Repeat("\\u0041", 2000) + "\";")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		det, _ := trainedDetector(t)
+		eng := New(det, Config{
+			Workers:   1,
+			Timeout:   5 * time.Second,
+			MaxBytes:  1 << 20,
+			MaxTokens: 200_000,
+			MaxDepth:  500,
+		})
+		res := eng.ScanSource(context.Background(), "fuzz.js", src)
+		switch res.Verdict {
+		case VerdictBenign, VerdictMalicious:
+			if res.Err != nil {
+				t.Fatalf("clean verdict %v carries error %v", res.Verdict, res.Err)
+			}
+		case VerdictDegraded, VerdictFailed:
+			if res.Err == nil {
+				t.Fatalf("verdict %v without a structured error", res.Verdict)
+			}
+		default:
+			t.Fatalf("unknown verdict %v", res.Verdict)
+		}
+	})
+}

@@ -1,0 +1,440 @@
+// Package scan is the hardened bulk-scanning engine: it drives a classifier
+// over many files from a configurable worker pool while guaranteeing that
+// no single input — however pathological — can take the scan down.
+//
+// Each file is classified inside an isolated goroutine with
+//
+//   - panic recovery: a panic anywhere in the pipeline becomes a structured
+//     ErrInternal result instead of crashing the process;
+//   - a per-file deadline enforced via context.Context and the parser's
+//     cooperative cancellation;
+//   - input guards: maximum file size, maximum token count, and the
+//     parser's recursion-depth limit;
+//   - graceful degradation: when the full pipeline fails or times out, a
+//     cheap lexical fallback still produces a verdict and the result is
+//     reported as Degraded rather than dropped.
+//
+// Results carry the error taxonomy of errors.go plus per-scan counters and
+// latency percentiles (Stats), the substrate for observability layers.
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jsrevealer/internal/baselines"
+	"jsrevealer/internal/js/parser"
+)
+
+// Classifier is the full detection pipeline the engine drives. It must be
+// safe for concurrent use and should honour ctx cancellation cooperatively;
+// the engine additionally enforces the deadline from outside and recovers
+// panics, so a misbehaving classifier degrades a file, never the scan.
+type Classifier interface {
+	DetectCtx(ctx context.Context, src string) (bool, error)
+}
+
+// LimitedClassifier is optionally implemented by classifiers that accept
+// explicit parser resource limits (core.Detector does); the engine then
+// threads its MaxDepth/MaxTokens guards through the parse.
+type LimitedClassifier interface {
+	DetectWithLimits(ctx context.Context, src string, lim parser.Limits) (bool, error)
+}
+
+// ClassifierFunc adapts a function to the Classifier interface.
+type ClassifierFunc func(ctx context.Context, src string) (bool, error)
+
+// DetectCtx implements Classifier.
+func (f ClassifierFunc) DetectCtx(ctx context.Context, src string) (bool, error) {
+	return f(ctx, src)
+}
+
+// Fallback produces a cheap verdict when the full pipeline cannot. It must
+// be panic-free in spirit (the engine still recovers) and bounded: it runs
+// after the per-file deadline has already been spent.
+type Fallback interface {
+	DetectCtx(ctx context.Context, src string) (bool, error)
+}
+
+// Default resource guards.
+const (
+	DefaultTimeout   = 10 * time.Second
+	DefaultMaxBytes  = int64(10 << 20)
+	DefaultMaxTokens = 2_000_000
+)
+
+// Config tunes the engine. The zero value gets sensible hardened defaults.
+type Config struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout is the per-file deadline; <= 0 means DefaultTimeout.
+	// The pipeline is aborted cooperatively and the file degraded.
+	Timeout time.Duration
+	// MaxBytes caps the file size read for full classification; larger
+	// files are degraded on a MaxBytes prefix. <= 0 means DefaultMaxBytes.
+	MaxBytes int64
+	// MaxTokens caps the lexer token count; <= 0 means DefaultMaxTokens.
+	MaxTokens int
+	// MaxDepth caps parser recursion; <= 0 means parser.DefaultMaxDepth.
+	MaxDepth int
+	// Fallback overrides the degradation detector; nil selects the
+	// baselines lexical heuristic.
+	Fallback Fallback
+	// NoFallback disables degradation entirely: guarded or failing files
+	// are reported as Failed instead of Degraded.
+	NoFallback bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.MaxTokens <= 0 {
+		c.MaxTokens = DefaultMaxTokens
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = parser.DefaultMaxDepth
+	}
+	if c.Fallback == nil {
+		c.Fallback = baselines.NewHeuristic()
+	}
+	return c
+}
+
+// Verdict is the outcome class of one scanned file.
+type Verdict int
+
+const (
+	// VerdictBenign: the full pipeline ran and found nothing.
+	VerdictBenign Verdict = iota
+	// VerdictMalicious: the full pipeline flagged the file.
+	VerdictMalicious
+	// VerdictDegraded: the full pipeline failed or timed out and the
+	// fallback produced the verdict; Result.Err holds the cause and
+	// Result.Malicious the fallback's opinion.
+	VerdictDegraded
+	// VerdictFailed: no verdict at all (fallback disabled or failed too).
+	VerdictFailed
+)
+
+// String renders the verdict for logs and CLI output.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictBenign:
+		return "benign"
+	case VerdictMalicious:
+		return "MALICIOUS"
+	case VerdictDegraded:
+		return "DEGRADED"
+	case VerdictFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Result is the outcome of scanning one file.
+type Result struct {
+	// Path identifies the input (file path or caller-chosen name).
+	Path string
+	// Verdict is the outcome class.
+	Verdict Verdict
+	// Malicious is the boolean verdict; for VerdictDegraded it comes from
+	// the fallback, for VerdictFailed it is meaningless.
+	Malicious bool
+	// Err is nil for clean verdicts; otherwise it wraps exactly one of the
+	// taxonomy sentinels (ErrParse, ErrDepthLimit, ErrTimeout, ErrTooLarge,
+	// ErrInternal).
+	Err error
+	// Bytes is the input size.
+	Bytes int64
+	// Duration is the wall time spent on the file, fallback included.
+	Duration time.Duration
+}
+
+// Stats aggregates one engine run.
+type Stats struct {
+	// Scanned counts all files with any result.
+	Scanned int
+	// Flagged counts malicious verdicts, degraded ones included.
+	Flagged int
+	// Degraded counts files the fallback had to cover.
+	Degraded int
+	// Failed counts files with no verdict at all.
+	Failed int
+	// Wall is the end-to-end scan time.
+	Wall time.Duration
+	// P50 and P99 are per-file latency percentiles.
+	P50, P99 time.Duration
+}
+
+// Engine scans files concurrently with panic isolation, deadlines, input
+// guards, and graceful degradation. It is safe for concurrent use.
+type Engine struct {
+	c   Classifier
+	cfg Config
+}
+
+// New builds an engine around a classifier. cfg zero-values select the
+// hardened defaults.
+func New(c Classifier, cfg Config) *Engine {
+	return &Engine{c: c, cfg: cfg.withDefaults()}
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ScanDir walks dir and scans every .js file. Unreadable files or
+// directory entries become Failed results; the walk itself never aborts on
+// a per-entry error. The returned error is non-nil only when the root
+// itself is unusable.
+func (e *Engine) ScanDir(ctx context.Context, dir string) ([]Result, Stats, error) {
+	var paths []string
+	var broken []Result
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if path == dir {
+				return err
+			}
+			broken = append(broken, Result{
+				Path:    path,
+				Verdict: VerdictFailed,
+				Err:     fmt.Errorf("%w: %v", ErrInternal, err),
+			})
+			return nil
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".js") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	results, stats := e.ScanFiles(ctx, paths)
+	results = append(results, broken...)
+	stats.Scanned += len(broken)
+	stats.Failed += len(broken)
+	return results, stats, nil
+}
+
+// ScanFiles scans the given files through the worker pool and returns one
+// Result per path, in input order, plus aggregate statistics.
+func (e *Engine) ScanFiles(ctx context.Context, paths []string) ([]Result, Stats) {
+	start := time.Now()
+	results := make([]Result, len(paths))
+	workers := e.cfg.Workers
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(paths) || ctx.Err() != nil {
+					return
+				}
+				results[i] = e.scanFile(ctx, paths[i])
+			}
+		}()
+	}
+	wg.Wait()
+	// Files skipped by an engine-wide cancellation still get a result.
+	for i := range results {
+		if results[i].Path == "" {
+			results[i] = Result{
+				Path:    paths[i],
+				Verdict: VerdictFailed,
+				Err:     fmt.Errorf("%w: scan cancelled: %v", ErrTimeout, ctx.Err()),
+			}
+		}
+	}
+	return results, summarize(results, time.Since(start))
+}
+
+// ScanSource scans one in-memory script under the engine's guards.
+func (e *Engine) ScanSource(ctx context.Context, name, src string) Result {
+	start := time.Now()
+	res := e.scanSource(ctx, name, src)
+	res.Duration = time.Since(start)
+	return res
+}
+
+// scanFile loads one file and scans it; oversized files skip straight to
+// degradation on a bounded prefix without ever being fully read.
+func (e *Engine) scanFile(ctx context.Context, path string) Result {
+	start := time.Now()
+	res := Result{Path: path}
+	info, err := os.Stat(path)
+	if err != nil {
+		res.Verdict = VerdictFailed
+		res.Err = fmt.Errorf("%w: %v", ErrInternal, err)
+		res.Duration = time.Since(start)
+		return res
+	}
+	if info.Size() > e.cfg.MaxBytes {
+		res.Bytes = info.Size()
+		prefix, err := readPrefix(path, e.cfg.MaxBytes)
+		if err != nil {
+			res.Verdict = VerdictFailed
+			res.Err = fmt.Errorf("%w: %v", ErrInternal, err)
+		} else {
+			cause := fmt.Errorf("%w: file is %d bytes (limit %d)",
+				ErrTooLarge, info.Size(), e.cfg.MaxBytes)
+			res.Verdict, res.Malicious, res.Err = e.degrade(ctx, prefix, cause)
+		}
+		res.Duration = time.Since(start)
+		return res
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		res.Verdict = VerdictFailed
+		res.Err = fmt.Errorf("%w: %v", ErrInternal, err)
+		res.Duration = time.Since(start)
+		return res
+	}
+	res = e.scanSource(ctx, path, string(data))
+	res.Duration = time.Since(start)
+	return res
+}
+
+// scanSource runs the guarded pipeline over src and degrades on any
+// structured failure. Duration is left for the caller to stamp.
+func (e *Engine) scanSource(ctx context.Context, name, src string) Result {
+	res := Result{Path: name, Bytes: int64(len(src))}
+	if int64(len(src)) > e.cfg.MaxBytes {
+		cause := fmt.Errorf("%w: input is %d bytes (limit %d)",
+			ErrTooLarge, len(src), e.cfg.MaxBytes)
+		res.Verdict, res.Malicious, res.Err = e.degrade(ctx, src[:e.cfg.MaxBytes], cause)
+		return res
+	}
+	fctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
+	defer cancel()
+	malicious, err := e.classify(fctx, src)
+	if err == nil {
+		res.Malicious = malicious
+		if malicious {
+			res.Verdict = VerdictMalicious
+		} else {
+			res.Verdict = VerdictBenign
+		}
+		return res
+	}
+	res.Verdict, res.Malicious, res.Err = e.degrade(ctx, src, err)
+	return res
+}
+
+// classify runs the full pipeline in an isolated goroutine: panics become
+// ErrInternal, and the select enforces the deadline even against a
+// classifier that ignores ctx (the cooperative parser cancellation bounds
+// how long such a goroutine can linger).
+func (e *Engine) classify(ctx context.Context, src string) (bool, error) {
+	type outcome struct {
+		malicious bool
+		err       error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("%w: panic: %v", ErrInternal, r)}
+			}
+		}()
+		lim := parser.Limits{MaxDepth: e.cfg.MaxDepth, MaxTokens: e.cfg.MaxTokens}
+		var malicious bool
+		var err error
+		if lc, ok := e.c.(LimitedClassifier); ok {
+			malicious, err = lc.DetectWithLimits(ctx, src, lim)
+		} else {
+			malicious, err = e.c.DetectCtx(ctx, src)
+		}
+		ch <- outcome{malicious: malicious, err: classifyError(err, ctx)}
+	}()
+	select {
+	case o := <-ch:
+		return o.malicious, o.err
+	case <-ctx.Done():
+		return false, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	}
+}
+
+// degrade produces the fallback verdict for a file whose full-pipeline run
+// failed with cause. The fallback runs with panic isolation and without the
+// (already spent) per-file deadline.
+func (e *Engine) degrade(ctx context.Context, src string, cause error) (Verdict, bool, error) {
+	if e.cfg.NoFallback {
+		return VerdictFailed, false, cause
+	}
+	malicious, err := func() (v bool, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("fallback panic: %v", r)
+			}
+		}()
+		return e.cfg.Fallback.DetectCtx(ctx, src)
+	}()
+	if err != nil {
+		return VerdictFailed, false, fmt.Errorf("%w (fallback also failed: %v)", cause, err)
+	}
+	return VerdictDegraded, malicious, cause
+}
+
+// readPrefix reads at most n bytes from path.
+func readPrefix(path string, n int64) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	read, err := io.ReadFull(f, buf)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		return "", err
+	}
+	return string(buf[:read]), nil
+}
+
+// summarize computes aggregate statistics over one run's results.
+func summarize(results []Result, wall time.Duration) Stats {
+	s := Stats{Scanned: len(results), Wall: wall}
+	durs := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		switch r.Verdict {
+		case VerdictDegraded:
+			s.Degraded++
+		case VerdictFailed:
+			s.Failed++
+		}
+		if r.Malicious && r.Verdict != VerdictFailed {
+			s.Flagged++
+		}
+		durs = append(durs, r.Duration)
+	}
+	if len(durs) > 0 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		s.P50 = durs[len(durs)/2]
+		s.P99 = durs[(len(durs)*99)/100]
+	}
+	return s
+}

@@ -18,6 +18,7 @@ package jsrevealer
 
 import (
 	"jsrevealer/internal/core"
+	"jsrevealer/internal/scan"
 )
 
 // Sample is one labelled training script.
@@ -51,3 +52,46 @@ func Train(train, pretrain []Sample, opts Options) (*Detector, error) {
 
 // Load reads a detector previously written with Detector.Save.
 func Load(path string) (*Detector, error) { return core.Load(path) }
+
+// Scanner is the hardened bulk-scanning engine: a worker pool that
+// classifies untrusted files with panic isolation, per-file deadlines,
+// input-size/token/recursion guards, and graceful degradation to a cheap
+// lexical heuristic when the full pipeline cannot run.
+type Scanner = scan.Engine
+
+// ScanConfig bounds a Scanner: worker count, per-file timeout, byte/token/
+// depth caps, and the degradation fallback.
+type ScanConfig = scan.Config
+
+// ScanResult is one file's outcome: verdict, structured error, size, and
+// classification latency.
+type ScanResult = scan.Result
+
+// ScanStats aggregates a scan: scanned/flagged/degraded/failed counts, wall
+// time, and p50/p99 per-file latency.
+type ScanStats = scan.Stats
+
+// ScanVerdict is the per-file outcome class.
+type ScanVerdict = scan.Verdict
+
+// Per-file outcome classes reported by the Scanner.
+const (
+	VerdictBenign    = scan.VerdictBenign
+	VerdictMalicious = scan.VerdictMalicious
+	VerdictDegraded  = scan.VerdictDegraded
+	VerdictFailed    = scan.VerdictFailed
+)
+
+// Structured scan-error taxonomy; match with errors.Is on ScanResult.Err.
+var (
+	ErrScanParse      = scan.ErrParse
+	ErrScanDepthLimit = scan.ErrDepthLimit
+	ErrScanTimeout    = scan.ErrTimeout
+	ErrScanTooLarge   = scan.ErrTooLarge
+	ErrScanInternal   = scan.ErrInternal
+)
+
+// NewScanner wraps a trained detector in the hardened scan engine. A zero
+// ScanConfig applies the defaults (GOMAXPROCS workers, 10s deadline, 10MB
+// size cap, lexical-heuristic fallback).
+func NewScanner(det *Detector, cfg ScanConfig) *Scanner { return scan.New(det, cfg) }
