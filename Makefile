@@ -1,4 +1,4 @@
-.PHONY: build test check fuzz
+.PHONY: build test check fuzz bench
 
 build:
 	go build ./...
@@ -7,9 +7,14 @@ test:
 	go test ./...
 
 # The full verification gate: go vet, a clean build, the full test suite,
-# and a race-detector pass (see scripts/check.sh for scope).
+# a race-detector pass, and a `jsrevealer serve` smoke test against
+# /healthz and /metrics (see scripts/check.sh for scope).
 check:
 	sh scripts/check.sh
+
+# Scan-engine benchmarks; results land in BENCH_scan.json.
+bench:
+	sh scripts/bench.sh
 
 # Bounded fuzzing budgets for the robustness targets.
 fuzz:

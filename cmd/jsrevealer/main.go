@@ -2,13 +2,20 @@
 //
 // Usage:
 //
-//	jsrevealer train  [-benign N] [-malicious N] [-seed N] -model model.json
-//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] file.js [file2.js ...]
+//	jsrevealer train  [-benign N] [-malicious N] [-seed N] [-profile cpu|heap] -model model.json
+//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
 //	jsrevealer explain -model model.json [-top N]
+//	jsrevealer serve  [-addr host:port] [-model model.json] [-log-level L]
 //
 // The train subcommand trains on the synthetic corpus; detect classifies
 // files with a persisted model; explain prints the most important learned
-// features (the paper's Table VII view).
+// features (the paper's Table VII view); serve exposes the observability
+// endpoint (/metrics in Prometheus text format, /healthz, net/http/pprof,
+// and POST /detect when a model is given).
+//
+// train and detect accept -profile cpu|heap with -profile-out to write a
+// pprof profile of the run; detect additionally accepts -stats-json to dump
+// scan statistics plus the full metrics snapshot as JSON.
 //
 // detect runs files through the hardened scan engine: each file is
 // classified under a per-file deadline (-timeout) with size (-max-bytes),
@@ -21,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +36,7 @@ import (
 
 	"jsrevealer/internal/core"
 	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/obs"
 	"jsrevealer/internal/scan"
 )
 
@@ -44,7 +53,7 @@ func main() {
 // benign, 1 when any file was flagged malicious, 2 when any file errored.
 func run(args []string) (int, error) {
 	if len(args) == 0 {
-		return 0, fmt.Errorf("usage: jsrevealer <train|detect|explain> [flags]")
+		return 0, fmt.Errorf("usage: jsrevealer <train|detect|explain|serve> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -53,20 +62,33 @@ func run(args []string) (int, error) {
 		return runDetect(args[1:])
 	case "explain":
 		return 0, runExplain(args[1:])
+	case "serve":
+		return 0, runServe(args[1:])
 	default:
 		return 0, fmt.Errorf("unknown subcommand %q", args[0])
 	}
 }
 
-func runTrain(args []string) error {
+func runTrain(args []string) (err error) {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	benign := fs.Int("benign", 400, "benign training samples")
 	malicious := fs.Int("malicious", 400, "malicious training samples")
 	seed := fs.Int64("seed", 42, "random seed")
 	model := fs.String("model", "jsrevealer-model.json", "output model path")
+	profile := fs.String("profile", "", "write a pprof profile of the run: cpu or heap")
+	profileOut := fs.String("profile-out", "jsrevealer-train.pprof", "profile output path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfile, err := obs.StartProfile(*profile, *profileOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	samples := corpus.Generate(corpus.Config{Benign: *benign, Malicious: *malicious, Seed: *seed})
 	train := make([]core.Sample, len(samples))
 	for i, s := range samples {
@@ -88,12 +110,15 @@ func runTrain(args []string) error {
 	return nil
 }
 
-func runDetect(args []string) (int, error) {
+func runDetect(args []string) (code int, err error) {
 	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
 	model := fs.String("model", "jsrevealer-model.json", "model path")
 	workers := fs.Int("workers", 0, "concurrent scan workers (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", scan.DefaultTimeout, "per-file classification deadline")
 	maxBytes := fs.Int64("max-bytes", scan.DefaultMaxBytes, "per-file size cap; larger files degrade to the fallback")
+	profile := fs.String("profile", "", "write a pprof profile of the run: cpu or heap")
+	profileOut := fs.String("profile-out", "jsrevealer-detect.pprof", "profile output path")
+	statsJSON := fs.String("stats-json", "", "write scan stats and the metrics snapshot as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -101,6 +126,15 @@ func runDetect(args []string) (int, error) {
 	if len(files) == 0 {
 		return 0, fmt.Errorf("detect: no input files")
 	}
+	stopProfile, err := obs.StartProfile(*profile, *profileOut)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	det, err := core.Load(*model)
 	if err != nil {
 		return 0, err
@@ -110,7 +144,8 @@ func runDetect(args []string) (int, error) {
 		Timeout:  *timeout,
 		MaxBytes: *maxBytes,
 	})
-	results, stats := eng.ScanFiles(context.Background(), files)
+	reg := obs.NewRegistry()
+	results, stats := eng.ScanFiles(obs.WithRegistry(context.Background(), reg), files)
 	exit := 0
 	for _, r := range results {
 		switch r.Verdict {
@@ -140,7 +175,29 @@ func runDetect(args []string) (int, error) {
 		stats.Scanned, stats.Flagged, stats.Degraded, stats.Failed,
 		stats.Wall.Round(time.Millisecond),
 		stats.P50.Round(time.Millisecond), stats.P99.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr,
+		"jsrevealer: errors by reason: parse %d, timeout %d, too_large %d, depth_limit %d, internal %d\n",
+		stats.ParseErrors, stats.Timeouts, stats.TooLarge, stats.DepthLimit, stats.Internal)
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, stats, reg); err != nil {
+			return 0, err
+		}
+	}
 	return exit, nil
+}
+
+// writeStatsJSON dumps the scan statistics plus the full metrics snapshot
+// of the scan's registry, the machine-readable twin of the stderr summary.
+func writeStatsJSON(path string, stats scan.Stats, reg *obs.Registry) error {
+	payload := struct {
+		Stats   scan.Stats   `json:"stats"`
+		Metrics obs.Snapshot `json:"metrics"`
+	}{stats, reg.Snapshot()}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func runExplain(args []string) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,12 +54,45 @@ renderList([{ title: "first" }, { title: "second" }], list);
 	if err := os.WriteFile(benign, []byte(benignSrc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	code, err := run([]string{"detect", "-model", model, benign})
+	statsPath := filepath.Join(dir, "stats.json")
+	profPath := filepath.Join(dir, "detect.pprof")
+	code, err := run([]string{"detect", "-model", model,
+		"-stats-json", statsPath, "-profile", "heap", "-profile-out", profPath, benign})
 	if err != nil {
 		t.Fatalf("detect: %v", err)
 	}
 	if code == 2 {
 		t.Fatalf("detect errored on the benign file (exit %d)", code)
+	}
+
+	// -stats-json must dump the taxonomy counts and the metrics snapshot.
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("stats-json not written: %v", err)
+	}
+	var dump struct {
+		Stats struct {
+			Scanned     int `json:"Scanned"`
+			ParseErrors int `json:"ParseErrors"`
+		} `json:"stats"`
+		Metrics struct {
+			Counters   []json.RawMessage `json:"counters"`
+			Histograms []json.RawMessage `json:"histograms"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("stats-json invalid: %v", err)
+	}
+	if dump.Stats.Scanned != 1 || dump.Stats.ParseErrors != 0 {
+		t.Errorf("stats-json stats = %+v", dump.Stats)
+	}
+	if len(dump.Metrics.Counters) == 0 || len(dump.Metrics.Histograms) == 0 {
+		t.Error("stats-json metrics snapshot empty")
+	}
+
+	// -profile heap must leave a non-empty pprof file behind.
+	if fi, err := os.Stat(profPath); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile not written: %v", err)
 	}
 
 	// A file the full pipeline cannot classify (nesting beyond the parser's

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/scan"
+)
+
+// maxDetectBody caps the request body of POST /detect; larger scripts are
+// rejected before they reach the pipeline (the engine has its own guards,
+// but the HTTP layer should not buffer unbounded input).
+const maxDetectBody = 16 << 20
+
+// runServe starts the observability endpoint: /metrics (Prometheus text
+// format), /healthz, the net/http/pprof handlers, and — when a model is
+// given — POST /detect classifying the request body.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address (host:port, port 0 picks a free one)")
+	model := fs.String("model", "", "optional model path; enables POST /detect")
+	readyFile := fs.String("ready-file", "", "write the resolved listen address to this file once serving")
+	logLevel := fs.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	obs.DefaultLogger().SetLevel(lvl)
+
+	mux, err := newServeMux(obs.Default(), *model)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Handler: requestLog(mux)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "jsrevealer: serving on http://%s (/metrics /healthz /debug/pprof/)\n", ln.Addr())
+	obs.DefaultLogger().Event(ctx, obs.LevelInfo, "serve.listening",
+		"addr", ln.Addr().String(), "model", *model)
+
+	select {
+	case <-ctx.Done():
+		obs.DefaultLogger().Event(nil, obs.LevelInfo, "serve.shutdown", "reason", "signal")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}
+
+// newServeMux assembles the serve handler against reg. Pre-registers the
+// detector-stage and scan metric families so /metrics exposes the full
+// surface before any traffic. Separated from runServe so tests can drive
+// it through httptest without binding a port.
+func newServeMux(reg *obs.Registry, modelPath string) (http.Handler, error) {
+	core.RegisterStageMetrics(reg)
+	scan.RegisterMetrics(reg)
+	mux := obs.NewServeMux(reg)
+	if modelPath != "" {
+		det, err := core.Load(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		eng := scan.New(det, scan.Config{})
+		mux.Handle("/detect", detectHandler(eng, reg))
+	}
+	return mux, nil
+}
+
+// detectHandler classifies the POST body and answers with a JSON verdict.
+// Scan metrics land in reg, so served traffic shows up on /metrics.
+func detectHandler(eng *scan.Engine, reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a JavaScript source body", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxDetectBody+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxDetectBody {
+			http.Error(w, "request body exceeds 16MiB", http.StatusRequestEntityTooLarge)
+			return
+		}
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			name = "request.js"
+		}
+		ctx := obs.WithRegistry(r.Context(), reg)
+		res := eng.ScanSource(ctx, name, string(body))
+		resp := map[string]any{
+			"path":      res.Path,
+			"verdict":   res.Verdict.String(),
+			"malicious": res.Malicious,
+		}
+		if res.Err != nil {
+			resp["error"] = res.Err.Error()
+			resp["reason"] = scan.Reason(res.Err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+}
+
+// requestLog wraps h with structured access logging and request metrics on
+// the default registry.
+func requestLog(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, sp := obs.StartSpan(r.Context(), "http.request")
+		h.ServeHTTP(w, r.WithContext(ctx))
+		sp.End()
+		obs.DefaultLogger().Event(ctx, obs.LevelDebug, "http.request",
+			"method", r.Method, "path", r.URL.Path, "elapsed", time.Since(start))
+	})
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/obs"
+)
+
+// TestServeMuxExposesMetricSurface drives the serve handler through
+// httptest: /metrics must expose the pre-registered stage and scan metric
+// families before any traffic, /healthz must report ok, and /detect must
+// stay unrouted without a model.
+func TestServeMuxExposesMetricSurface(t *testing.T) {
+	reg := obs.NewRegistry()
+	mux, err := newServeMux(reg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`jsrevealer_stage_duration_seconds_bucket{stage="parse",le="+Inf"} 0`,
+		`jsrevealer_scan_files_total{verdict="malicious"} 0`,
+		`jsrevealer_scan_errors_total{reason="timeout"} 0`,
+		"# TYPE jsrevealer_scan_file_duration_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	health, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d", health.StatusCode)
+	}
+	var status map[string]string
+	if err := json.NewDecoder(health.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status["status"] != "ok" {
+		t.Errorf("/healthz status field = %q", status["status"])
+	}
+
+	if resp, err := http.Get(srv.URL + "/debug/pprof/cmdline"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: %v status %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	if resp, err := http.Post(srv.URL+"/detect", "text/plain", strings.NewReader("var a=1;")); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("/detect without model: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestServeDetectEndpoint loads a freshly trained model into the mux and
+// checks POST /detect verdicts land as JSON and as scan metrics.
+func TestServeDetectEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	samples := corpus.Generate(corpus.Config{Benign: 30, Malicious: 30, Seed: 17})
+	train := make([]core.Sample, len(samples))
+	for i, s := range samples {
+		train[i] = core.Sample{Source: s.Source, Malicious: s.Malicious}
+	}
+	opts := core.DefaultOptions()
+	opts.Seed = 17
+	opts.Embedding.Seed = 17
+	opts.Embedding.Dim = 24
+	opts.Embedding.Epochs = 5
+	opts.Path.MaxPaths = 400
+	opts.MaxPoolPerClass = 800
+	det, err := core.Train(train, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := filepath.Join(t.TempDir(), "model.json")
+	if err := det.Save(model); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	mux, err := newServeMux(reg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/detect?name=sample.js", "text/plain",
+		strings.NewReader(samples[0].Source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/detect status = %d", resp.StatusCode)
+	}
+	var verdict struct {
+		Path      string `json:"path"`
+		Verdict   string `json:"verdict"`
+		Malicious bool   `json:"malicious"`
+		Reason    string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&verdict); err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Path != "sample.js" || verdict.Verdict == "" {
+		t.Errorf("verdict = %+v", verdict)
+	}
+
+	// An unparseable body degrades with the parse taxonomy reason.
+	resp2, err := http.Post(srv.URL+"/detect", "text/plain", strings.NewReader("var = = ;;;("))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&verdict); err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Verdict != "DEGRADED" || verdict.Reason != "parse" {
+		t.Errorf("broken body verdict = %+v, want DEGRADED/parse", verdict)
+	}
+
+	// Wrong method is rejected.
+	if resp, err := http.Get(srv.URL + "/detect"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /detect status = %d, want 405", resp.StatusCode)
+		}
+	}
+
+	// Both scans must be visible on the registry the mux exposes.
+	var total int64
+	for _, v := range []string{"benign", "malicious", "degraded", "failed"} {
+		total += reg.Counter("jsrevealer_scan_files_total", "", obs.Labels{"verdict": v}).Value()
+	}
+	if total != 2 {
+		t.Errorf("scan files counter total = %d, want 2", total)
+	}
+}

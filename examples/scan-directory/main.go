@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	go run ./examples/scan-directory [-model path] [-dir path] [-workers N] [-timeout D]
+//	go run ./examples/scan-directory [-model path] [-dir path] [-workers N] [-timeout D] [-stats-json out.json]
 //
 // Without -dir, the example writes a small demo directory with a benign
 // file, a malicious file, and a pathological file (nesting beyond the
@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +27,7 @@ import (
 
 	"jsrevealer"
 	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/obs"
 )
 
 func main() {
@@ -33,13 +35,14 @@ func main() {
 	dir := flag.String("dir", "", "directory to scan (demo directory when empty)")
 	workers := flag.Int("workers", 0, "concurrent scan workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-file classification deadline")
+	statsJSON := flag.String("stats-json", "", "write scan stats and the metrics snapshot as JSON to this path")
 	flag.Parse()
-	if err := run(*model, *dir, *workers, *timeout); err != nil {
+	if err := run(*model, *dir, *workers, *timeout, *statsJSON); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(modelPath, dir string, workers int, timeout time.Duration) error {
+func run(modelPath, dir string, workers int, timeout time.Duration, statsJSON string) error {
 	det, err := loadOrTrain(modelPath)
 	if err != nil {
 		return err
@@ -58,7 +61,10 @@ func run(modelPath, dir string, workers int, timeout time.Duration) error {
 		Workers: workers,
 		Timeout: timeout,
 	})
-	results, stats, err := scanner.ScanDir(context.Background(), dir)
+	// Metrics land in a private registry attached to the scan context; the
+	// -stats-json dump snapshots it alongside the aggregate statistics.
+	reg := obs.NewRegistry()
+	results, stats, err := scanner.ScanDir(obs.WithRegistry(context.Background(), reg), dir)
 	if err != nil {
 		return err
 	}
@@ -89,11 +95,27 @@ func run(modelPath, dir string, workers int, timeout time.Duration) error {
 		stats.Scanned, stats.Wall.Round(time.Millisecond),
 		stats.Flagged, stats.Degraded, stats.Failed,
 		stats.P50.Round(time.Millisecond), stats.P99.Round(time.Millisecond))
+	fmt.Printf("errors by reason: parse %d, timeout %d, too_large %d, depth_limit %d, internal %d\n",
+		stats.ParseErrors, stats.Timeouts, stats.TooLarge, stats.DepthLimit, stats.Internal)
 	if len(problems) > 0 {
 		fmt.Println("\nfiles the full pipeline could not classify:")
 		for _, r := range problems {
 			fmt.Printf("  %s: %v\n", r.Path, r.Err)
 		}
+	}
+	if statsJSON != "" {
+		payload := struct {
+			Stats   jsrevealer.ScanStats `json:"stats"`
+			Metrics obs.Snapshot         `json:"metrics"`
+		}{stats, reg.Snapshot()}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(statsJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("stats written to %s\n", statsJSON)
 	}
 	return nil
 }

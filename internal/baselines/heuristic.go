@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"strings"
+
+	"jsrevealer/internal/obs"
 )
 
 // Heuristic is a parser-free lexical detector. It exists as the graceful
@@ -101,8 +103,11 @@ func (h *Heuristic) Detect(src string) (bool, error) {
 }
 
 // DetectCtx implements the scan engine's context-aware classifier shape.
-// The pass is bounded, so the context is not consulted.
-func (h *Heuristic) DetectCtx(_ context.Context, src string) (bool, error) {
+// The pass is bounded, so the context is consulted only for its span scope
+// and metrics registry.
+func (h *Heuristic) DetectCtx(ctx context.Context, src string) (bool, error) {
+	_, sp := obs.StartSpan(ctx, "heuristic")
+	defer sp.End()
 	return h.Detect(src)
 }
 

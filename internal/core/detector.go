@@ -19,6 +19,7 @@ import (
 	"jsrevealer/internal/ml/linalg"
 	"jsrevealer/internal/ml/nn"
 	"jsrevealer/internal/ml/outlier"
+	"jsrevealer/internal/obs"
 	"jsrevealer/internal/pathctx"
 )
 
@@ -100,8 +101,11 @@ type Feature struct {
 	CentralPath string
 }
 
-// StageTimings accumulates per-stage wall-clock time, the data behind the
-// paper's Table VIII.
+// StageTimings is the per-stage wall-clock accounting behind the paper's
+// Table VIII. It is no longer accumulated in place: Detector.Timings()
+// derives it on demand from the detector's registry-backed stage counters
+// (see internal/core/obs.go), so reading it never contends with in-flight
+// detections.
 type StageTimings struct {
 	EnhancedAST   time.Duration
 	PathTraversal time.Duration
@@ -123,15 +127,30 @@ type Detector struct {
 	classifier classify.Classifier
 	// OutlierDetectorName records which detector the meta-selection chose.
 	OutlierDetectorName string
-	// Timings holds cumulative stage timings. Concurrent Detect calls
-	// update it under mu; read it only while no detection is in flight.
-	Timings StageTimings
-	// mu guards Timings (and FilesProcessed within it) so Detect is safe
-	// to call from many goroutines at once.
-	mu sync.Mutex
+	// acct is the registry-backed cumulative stage accounting; Timings()
+	// is its compatibility view. Accumulation is lock-free, so Detect is
+	// safe to call from many goroutines at once.
+	acct     *stageAccount
+	acctOnce sync.Once
 	// parseFailures counts training scripts that failed to parse.
 	parseFailures int
 }
+
+// account returns the detector's stage accounting, creating it lazily for
+// detectors not built through Prepare/Build (e.g. deserialized ones).
+func (d *Detector) account() *stageAccount {
+	d.acctOnce.Do(func() {
+		if d.acct == nil {
+			d.acct = newStageAccount()
+		}
+	})
+	return d.acct
+}
+
+// Timings returns the cumulative per-stage wall-clock view, Table VIII's
+// data. It reads atomic counters, so it is safe (and consistent enough for
+// reporting) while detections are in flight.
+func (d *Detector) Timings() StageTimings { return d.account().view() }
 
 // ErrNotTrained is returned by Detect on an untrained detector.
 var ErrNotTrained = errors.New("core: detector not trained")
@@ -169,11 +188,15 @@ type Prepared struct {
 	pools [2]pooled
 	// OutlierDetectorName records the MetaOD-style selection outcome.
 	OutlierDetectorName string
-	// Timings accumulates preparation-stage timings.
-	Timings StageTimings
+	// acct holds the preparation stages' registry-backed accounting; every
+	// Build seeds its detector with an independent copy.
+	acct *stageAccount
 	// parseFailures counts unparseable training scripts.
 	parseFailures int
 }
+
+// Timings returns the cumulative preparation-stage wall-clock view.
+func (p *Prepared) Timings() StageTimings { return p.acct.view() }
 
 // PoolVectors returns the outlier-filtered path-vector pool of one class,
 // the input to the Figure 5 elbow curves.
@@ -206,7 +229,8 @@ func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error)
 	if len(train) == 0 {
 		return nil, errors.New("core: empty training set")
 	}
-	d := &Detector{opts: opts} // timing accumulator for extraction
+	d := &Detector{opts: opts, acct: newStageAccount()}
+	ctx := context.Background()
 	if pretrain == nil {
 		pretrain = train
 	}
@@ -214,7 +238,7 @@ func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error)
 	// Stage 1+2: path extraction for all scripts.
 	exPre := make([]extracted, 0, len(pretrain))
 	for _, s := range pretrain {
-		ex, err := d.extract(s.Source, parser.Limits{})
+		ex, err := d.extract(ctx, s.Source, parser.Limits{})
 		if err != nil {
 			d.parseFailures++
 			continue
@@ -224,7 +248,7 @@ func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error)
 	}
 	exTrain := make([]extracted, 0, len(train))
 	for _, s := range train {
-		ex, err := d.extract(s.Source, parser.Limits{})
+		ex, err := d.extract(ctx, s.Source, parser.Limits{})
 		if err != nil {
 			d.parseFailures++
 			continue
@@ -258,17 +282,17 @@ func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error)
 	for i, ex := range exPre {
 		nnSamples[i] = nn.Sample{Keys: ex.keys, Malicious: ex.malicious}
 	}
-	t0 := time.Now()
+	_, sp := obs.StartSpan(ctx, "pretrain")
 	model.Train(nnSamples)
-	d.Timings.PreTraining += time.Since(t0)
+	d.record(ctx, stgPreTrain, sp.End())
 
 	// Stage 2b: embed the training scripts.
-	t0 = time.Now()
+	_, sp = obs.StartSpan(ctx, "embed")
 	embs := make([]embedded, len(exTrain))
 	for i, ex := range exTrain {
 		embs[i] = embedded{embs: model.Embed(ex.keys), malicious: ex.malicious}
 	}
-	d.Timings.Embedding += time.Since(t0)
+	d.record(ctx, stgEmbed, sp.End())
 
 	// Stage 3: pool per-class path vectors (with their path strings for
 	// interpretability), outlier-filter, cluster.
@@ -305,7 +329,7 @@ func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error)
 		}
 	}
 	d.OutlierDetectorName = det.Name()
-	t0 = time.Now()
+	_, sp = obs.StartSpan(ctx, "outlier")
 	for c := 0; c < 2; c++ {
 		kept, err := outlier.Filter(pools[c].vecs, det, opts.OutlierFraction)
 		if err != nil {
@@ -319,7 +343,7 @@ func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error)
 		}
 		pools[c].vecs, pools[c].descs = nv, nd
 	}
-	d.Timings.OutlierDet += time.Since(t0)
+	d.record(ctx, stgOutlier, sp.End())
 
 	return &Prepared{
 		opts:                opts,
@@ -327,7 +351,7 @@ func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error)
 		embs:                embs,
 		pools:               pools,
 		OutlierDetectorName: d.OutlierDetectorName,
-		Timings:             d.Timings,
+		acct:                d.acct,
 		parseFailures:       d.parseFailures,
 	}, nil
 }
@@ -340,12 +364,13 @@ func (p *Prepared) Build(kBenign, kMalicious int, trainer classify.Trainer) (*De
 		opts:                p.opts,
 		model:               p.model,
 		OutlierDetectorName: p.OutlierDetectorName,
-		Timings:             p.Timings,
+		acct:                p.acct.clone(),
 		parseFailures:       p.parseFailures,
 	}
 	d.opts.KBenign, d.opts.KMalicious = kBenign, kMalicious
 
-	t0 := time.Now()
+	ctx := context.Background()
+	_, sp := obs.StartSpan(ctx, "cluster")
 	ks := [2]int{kBenign, kMalicious}
 	var feats []Feature
 	for c := 0; c < 2; c++ {
@@ -365,7 +390,7 @@ func (p *Prepared) Build(kBenign, kMalicious int, trainer classify.Trainer) (*De
 			})
 		}
 	}
-	d.Timings.Clustering += time.Since(t0)
+	d.record(ctx, stgCluster, sp.End())
 
 	// Remove overlapping benign/malicious cluster pairs.
 	d.features = removeOverlaps(feats, p.opts.OverlapThreshold)
@@ -380,12 +405,12 @@ func (p *Prepared) Build(kBenign, kMalicious int, trainer classify.Trainer) (*De
 	if trainer == nil {
 		trainer = &classify.RandomForestTrainer{Seed: p.opts.Seed}
 	}
-	t0 = time.Now()
+	_, sp = obs.StartSpan(ctx, "fit")
 	clf, err := trainer.Train(featVecs, labels)
 	if err != nil {
 		return nil, fmt.Errorf("core: classifier: %w", err)
 	}
-	d.Timings.Training += time.Since(t0)
+	d.record(ctx, stgFit, sp.End())
 	d.classifier = clf
 	return d, nil
 }
@@ -394,24 +419,25 @@ func (p *Prepared) Build(kBenign, kMalicious int, trainer classify.Trainer) (*De
 func (d *Detector) Name() string { return "JSRevealer" }
 
 // extract parses a script under the given limits and extracts its path
-// contexts, tracking stage timings.
-func (d *Detector) extract(src string, lim parser.Limits) (extracted, error) {
-	t0 := time.Now()
-	prog, err := parser.ParseWithLimits(src, lim)
+// contexts, attributing lex/parse and dataflow/traversal time separately
+// to the stage instruments and nesting "parse"/"pathctx" spans under
+// whatever span ctx already carries.
+func (d *Detector) extract(ctx context.Context, src string, lim parser.Limits) (extracted, error) {
+	_, sp := obs.StartSpan(ctx, "parse")
+	prog, ptm, err := parser.ParseTimed(src, lim)
+	sp.End()
+	d.record(ctx, stgLex, ptm.Lex)
+	d.record(ctx, stgParse, ptm.Parse)
 	if err != nil {
 		return extracted{}, err
 	}
-	astDur := time.Since(t0)
 
-	t0 = time.Now()
-	paths := pathctx.Extract(prog, d.opts.Path)
-	pathDur := time.Since(t0)
-
-	d.mu.Lock()
-	d.Timings.EnhancedAST += astDur
-	d.Timings.PathTraversal += pathDur
-	d.Timings.FilesProcessed++
-	d.mu.Unlock()
+	_, sp = obs.StartSpan(ctx, "pathctx")
+	paths, xtm := pathctx.ExtractTimed(prog, d.opts.Path)
+	sp.End()
+	d.record(ctx, stgDataFlow, xtm.DataFlow)
+	d.record(ctx, stgTraverse, xtm.Traversal)
+	d.account().addFile()
 	return extracted{paths: paths}, nil
 }
 
@@ -473,7 +499,9 @@ func (d *Detector) DetectWithLimits(ctx context.Context, src string, lim parser.
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
-	ex, err := d.extract(src, lim)
+	ctx, sp := obs.StartSpan(ctx, "detect")
+	defer sp.End()
+	ex, err := d.extract(ctx, src, lim)
 	if err != nil {
 		// Unparseable input is suspicious but the paper's pipeline simply
 		// cannot featurize it; surface the error to the caller.
@@ -486,19 +514,14 @@ func (d *Detector) DetectWithLimits(ctx context.Context, src string, lim parser.
 	for i, p := range ex.paths {
 		keys[i] = d.model.KeyOf(p.ComponentHashes())
 	}
-	t0 := time.Now()
+	_, esp := obs.StartSpan(ctx, "embed")
 	embs := d.model.Embed(keys)
-	embDur := time.Since(t0)
+	d.record(ctx, stgEmbed, esp.End())
 
-	t0 = time.Now()
+	_, csp := obs.StartSpan(ctx, "classify")
 	feat := d.featurize(embs)
 	verdict := d.classifier.Predict(feat)
-	clsDur := time.Since(t0)
-
-	d.mu.Lock()
-	d.Timings.Embedding += embDur
-	d.Timings.Classifying += clsDur
-	d.mu.Unlock()
+	d.record(ctx, stgClassify, csp.End())
 	return verdict, nil
 }
 

@@ -228,17 +228,17 @@ func TestRegularASTOptions(t *testing.T) {
 
 func TestTimingsAccumulate(t *testing.T) {
 	det, test := trainSmall(t, 30, 10)
-	if det.Timings.FilesProcessed == 0 {
+	if det.Timings().FilesProcessed == 0 {
 		t.Error("no files counted during training")
 	}
-	if det.Timings.PreTraining == 0 || det.Timings.Clustering == 0 {
+	if tm := det.Timings(); tm.PreTraining == 0 || tm.Clustering == 0 {
 		t.Error("stage timings not recorded")
 	}
-	before := det.Timings.Classifying
+	before := det.Timings().Classifying
 	if _, err := det.Detect(test[0].Source); err != nil {
 		t.Fatal(err)
 	}
-	if det.Timings.Classifying <= before {
+	if det.Timings().Classifying <= before {
 		t.Error("classification timing did not advance")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -111,7 +112,7 @@ func (fc *FamilyClassifier) Classify(src string) (string, []float64, error) {
 // featurizeSource runs the extraction + embedding + cluster-feature stages
 // on one script and returns the feature vector.
 func (d *Detector) featurizeSource(src string) ([]float64, error) {
-	ex, err := d.extract(src, parser.Limits{})
+	ex, err := d.extract(context.Background(), src, parser.Limits{})
 	if err != nil {
 		return nil, err
 	}

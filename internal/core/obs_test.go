@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"jsrevealer/internal/obs"
+)
+
+// TestDetectStageMetrics verifies one DetectCtx call lands one observation
+// in every per-call stage histogram of the context's registry.
+func TestDetectStageMetrics(t *testing.T) {
+	det, test := trainSmall(t, 30, 3)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	if _, err := det.DetectCtx(ctx, test[0].Source); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"lex", "parse", "dataflow", "traverse", "embed", "classify"} {
+		h := reg.Histogram(StageDurationMetric, "", nil, obs.Labels{"stage": stage})
+		if h.Count() != 1 {
+			t.Errorf("stage %q observations = %d, want 1", stage, h.Count())
+		}
+	}
+	for _, span := range []string{"detect", "parse", "pathctx", "embed", "classify"} {
+		h := reg.Histogram(obs.SpanDurationMetric, "", nil, obs.Labels{"span": span})
+		if h.Count() != 1 {
+			t.Errorf("span %q observations = %d, want 1", span, h.Count())
+		}
+	}
+}
+
+// TestConcurrentDetectSpans runs many Detect calls in parallel against one
+// shared registry — under -race this is the span-nesting concurrency test
+// the observability layer is specified against. Every goroutine checks its
+// spans nest under its own detect root, and the shared histograms must
+// reconcile exactly.
+func TestConcurrentDetectSpans(t *testing.T) {
+	det, test := trainSmall(t, 30, 4)
+	reg := obs.NewRegistry()
+	base := obs.WithRegistry(context.Background(), reg)
+
+	const goroutines, per = 8, 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ctx, root := obs.StartSpan(base, "scan.file")
+				if _, err := det.DetectCtx(ctx, test[(g+i)%len(test)].Source); err != nil {
+					t.Errorf("DetectCtx: %v", err)
+				}
+				if inner := obs.SpanFromContext(ctx); inner != root {
+					t.Error("detect leaked a child span into the caller's context")
+				}
+				root.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := uint64(goroutines * per)
+	for _, span := range []string{"scan.file", "detect", "parse", "pathctx", "embed", "classify"} {
+		h := reg.Histogram(obs.SpanDurationMetric, "", nil, obs.Labels{"span": span})
+		if h.Count() != total {
+			t.Errorf("span %q count = %d, want %d", span, h.Count(), total)
+		}
+	}
+	if got := det.Timings().FilesProcessed; got < int(total) {
+		t.Errorf("FilesProcessed = %d, want >= %d", got, total)
+	}
+}
+
+// TestTimingsViewFromRegistry checks the StageTimings compatibility view
+// is derived from (and consistent with) the registry-backed accounting.
+func TestTimingsViewFromRegistry(t *testing.T) {
+	det, test := trainSmall(t, 30, 5)
+	tm := det.Timings()
+	if tm.EnhancedAST == 0 || tm.PathTraversal == 0 {
+		t.Error("extraction stages empty after training")
+	}
+	// The view must equal the sum of the fine-grained counters.
+	acct := det.account()
+	if want := acct.nanos[stgLex].Value() + acct.nanos[stgParse].Value(); int64(tm.EnhancedAST) != want {
+		t.Errorf("EnhancedAST = %d, want lex+parse = %d", tm.EnhancedAST, want)
+	}
+	if _, err := det.Detect(test[0].Source); err != nil {
+		t.Fatal(err)
+	}
+	if det.Timings().FilesProcessed != tm.FilesProcessed+1 {
+		t.Error("FilesProcessed did not advance by one detection")
+	}
+}
+
+// TestRegisterStageMetrics checks pre-registration exposes every stage
+// series before any traffic.
+func TestRegisterStageMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterStageMetrics(reg)
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != int(numStages) {
+		t.Errorf("pre-registered %d stage series, want %d", len(snap.Histograms), numStages)
+	}
+	for _, h := range snap.Histograms {
+		if h.Count != 0 {
+			t.Errorf("stage %v pre-registered with observations", h.Labels)
+		}
+	}
+}

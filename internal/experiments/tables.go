@@ -506,8 +506,8 @@ func Table8(cfg Config) (Table8Result, error) {
 	if err != nil {
 		return Table8Result{}, err
 	}
-	trainFiles := det.Timings.FilesProcessed
-	trainTimings := det.Timings
+	trainTimings := det.Timings()
+	trainFiles := trainTimings.FilesProcessed
 
 	detectStart := time.Now()
 	for _, s := range sp.test {
@@ -516,7 +516,7 @@ func Table8(cfg Config) (Table8Result, error) {
 		}
 	}
 	detectWall := time.Since(detectStart)
-	total := det.Timings
+	total := det.Timings()
 	nTest := len(sp.test)
 	if nTest == 0 {
 		nTest = 1

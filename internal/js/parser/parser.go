@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"jsrevealer/internal/js/ast"
 	"jsrevealer/internal/js/lexer"
@@ -63,23 +64,47 @@ func Parse(src string) (*ast.Program, error) {
 
 // ParseWithLimits parses src into a Program under the given resource limits.
 func ParseWithLimits(src string, lim Limits) (*ast.Program, error) {
+	prog, _, err := ParseTimed(src, lim)
+	return prog, err
+}
+
+// Timing breaks one parse into its two phases, the substrate for the
+// observability layer's per-stage attribution (lexing and parsing would
+// otherwise be indistinguishable from the outside).
+type Timing struct {
+	// Lex is the tokenization time, including a failed tokenization.
+	Lex time.Duration
+	// Parse is the recursive-descent time over the token stream.
+	Parse time.Duration
+}
+
+// ParseTimed is ParseWithLimits with a per-phase timing breakdown. The
+// timing is valid even when err is non-nil (the failing phase's duration is
+// still reported).
+func ParseTimed(src string, lim Limits) (*ast.Program, Timing, error) {
 	if lim.MaxDepth <= 0 {
 		lim.MaxDepth = DefaultMaxDepth
 	}
+	var tm Timing
+	t0 := time.Now()
 	toks, err := lexer.TokenizeLimit(src, lim.MaxTokens)
+	tm.Lex = time.Since(t0)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
+	t0 = time.Now()
 	p := &parser{toks: toks, maxDepth: lim.MaxDepth, cancel: lim.Cancel}
 	prog := &ast.Program{}
 	for !p.atEOF() {
 		stmt, err := p.parseStatement()
 		if err != nil {
-			return nil, err
+			tm.Parse = time.Since(t0)
+			return nil, tm, err
 		}
 		prog.Body = append(prog.Body, stmt)
 	}
-	return prog, nil
+	tm.Parse = time.Since(t0)
+	return prog, tm, nil
 }
 
 type parser struct {

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves r in Prometheus text exposition format, the
+// /metrics endpoint of `jsrevealer serve`.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// HealthHandler reports liveness as JSON. Each check is run per request;
+// the first failure flips the status to 503 with the failing error.
+func HealthHandler(checks ...func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		for _, check := range checks {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(map[string]string{
+					"status": "unhealthy", "error": err.Error(),
+				})
+				return
+			}
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+}
+
+// NewServeMux builds the standard exposition mux: /metrics over r,
+// /healthz with the given checks, and the net/http/pprof profiling
+// endpoints under /debug/pprof/.
+func NewServeMux(r *Registry, checks ...func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/healthz", HealthHandler(checks...))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

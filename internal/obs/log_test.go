@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerLevelsAndFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Debug("dropped")
+	l.Info("scan.start", "files", 3, "dir", "/tmp")
+	l.Error("scan.fail", "err", errors.New("boom"), "took", 250*time.Millisecond)
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (debug filtered)", len(lines))
+	}
+	if lines[0]["event"] != "scan.start" || lines[0]["files"] != float64(3) {
+		t.Errorf("info line = %v", lines[0])
+	}
+	if lines[1]["err"] != "boom" || lines[1]["took"] != "250ms" {
+		t.Errorf("error line = %v", lines[1])
+	}
+	if lines[1]["level"] != "error" {
+		t.Errorf("level = %v", lines[1]["level"])
+	}
+	if _, ok := lines[0]["ts"]; !ok {
+		t.Error("missing ts field")
+	}
+}
+
+func TestLoggerSpanCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	ctx, sp := StartSpan(WithRegistry(context.Background(), NewRegistry()), "work")
+	l.Event(ctx, LevelInfo, "inside")
+	sp.End()
+	lines := decodeLines(t, &buf)
+	if lines[0]["trace_id"] != float64(sp.TraceID) || lines[0]["span_id"] != float64(sp.SpanID) {
+		t.Errorf("span correlation missing: %v", lines[0])
+	}
+}
+
+func TestLoggerOddPairsAndSetLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelError)
+	l.Warn("dropped")
+	l.SetLevel(LevelWarn)
+	l.Warn("kept", "dangling")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 || lines[0]["dangling"] != "(MISSING)" {
+		t.Errorf("lines = %v", lines)
+	}
+	if l.Enabled(LevelDebug) {
+		t.Error("debug enabled at warn level")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn,
+		"error": LevelError, "off": LevelOff,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bogus level accepted")
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("tick", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if lines := decodeLines(t, &buf); len(lines) != 800 {
+		t.Errorf("got %d intact lines, want 800", len(lines))
+	}
+}

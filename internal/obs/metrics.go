@@ -1,0 +1,224 @@
+// Package obs is the pipeline-wide observability layer: a concurrent-safe
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus text-format exposition and JSON snapshots, lightweight trace
+// spans threaded through context.Context, a leveled structured JSON logger,
+// and pprof profiling helpers.
+//
+// The package is dependency-free by design (stdlib only) so every layer of
+// the pipeline — lexer to scan engine to CLI — can instrument itself
+// without pulling a metrics SDK into the module. Instruments are cheap:
+// counters and gauges are single atomics, histogram observation is one
+// binary search plus three atomic adds, and instrument lookup is a
+// read-locked map hit (callers on hot paths should still cache the
+// returned instrument pointer).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Labels attaches dimensions to an instrument. Instruments with the same
+// name but different label values are distinct series within one metric
+// family; the family's help text and kind are shared.
+type Labels map[string]string
+
+// clone returns a defensive copy so callers cannot mutate a registered
+// series' identity after the fact.
+func (l Labels) clone() Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Counter is a monotonically increasing count. All methods are safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n; negative deltas are ignored so the
+// counter stays monotone.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down. All methods are safe
+// for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: bounds are
+// inclusive upper bounds, with an implicit +Inf bucket at the end. All
+// methods are safe for concurrent use; reads taken during concurrent
+// observation are approximate (count, sum, and buckets are not snapshotted
+// atomically together), which is the standard trade-off for lock-free
+// observation.
+type Histogram struct {
+	bounds  []float64 // sorted inclusive upper bounds, excluding +Inf
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefDurationBuckets spans 100µs to 30s, the range of per-stage and
+// per-file latencies the pipeline produces (sub-millisecond embedding up to
+// the scan engine's 10s default deadline).
+var DefDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// DefSizeBuckets spans 256B to 16MB in powers of four, matching the scan
+// engine's 10MB default size cap.
+var DefSizeBuckets = []float64{
+	256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	// Drop duplicates and non-finite bounds; +Inf is implicit.
+	kept := bs[:0]
+	for i, b := range bs {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			continue
+		}
+		if i > 0 && len(kept) > 0 && kept[len(kept)-1] == b {
+			continue
+		}
+		kept = append(kept, b)
+	}
+	return &Histogram{bounds: kept, buckets: make([]atomic.Uint64, len(kept)+1)}
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds, the Prometheus base unit.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the finite upper bounds (the +Inf bucket is implicit).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// BucketCounts returns per-bucket (non-cumulative) counts; the last entry
+// is the +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts
+// with linear interpolation inside the chosen bucket — the same estimate a
+// Prometheus histogram_quantile() gives. Values in the +Inf bucket clamp to
+// the highest finite bound. It returns NaN when the histogram is empty or q
+// is out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	counts := h.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			if len(h.bounds) == 0 {
+				return math.NaN()
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+	g.Add(-5)
+	if got := g.Value(); got != -2 {
+		t.Errorf("gauge = %v, want -2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6 (NaN dropped)", got)
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+10; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	// Upper bounds are inclusive: 1 lands in le=1, 2 in le=2.
+	want := []uint64{2, 2, 1, 1}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBoundsSanitized(t *testing.T) {
+	h := newHistogram([]float64{5, 1, 1, math.Inf(1), math.NaN(), 2})
+	want := []float64{1, 2, 5}
+	got := h.Bounds()
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40})
+	// 40 uniform observations, 10 per bucket.
+	for b := 0; b < 4; b++ {
+		for i := 0; i < 10; i++ {
+			h.Observe(float64(b*10) + 5)
+		}
+	}
+	cases := []struct{ q, want float64 }{
+		{0.25, 10}, // rank 10 sits exactly at the first bucket's upper edge
+		{0.5, 20},
+		{0.75, 30},
+		{1.0, 40},
+		{0.125, 5}, // rank 5: halfway through [0,10)
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile = %v, want NaN", got)
+	}
+	h.Observe(100) // +Inf bucket only
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 2", got)
+	}
+	if got := h.Quantile(-0.1); !math.IsNaN(got) {
+		t.Errorf("out-of-range quantile = %v, want NaN", got)
+	}
+	if got := h.Quantile(1.1); !math.IsNaN(got) {
+		t.Errorf("out-of-range quantile = %v, want NaN", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := newHistogram(DefDurationBuckets)
+	h.ObserveDuration(250 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("sum = %v, want 0.25", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g % 4))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Errorf("count = %d, want %d", got, goroutines*per)
+	}
+	var sum uint64
+	for _, c := range h.BucketCounts() {
+		sum += c
+	}
+	if sum != goroutines*per {
+		t.Errorf("bucket total = %d, want %d", sum, goroutines*per)
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfile begins writing the given pprof profile kind to path and
+// returns a stop function that finishes and closes the file. Supported
+// kinds:
+//
+//	"cpu"  — StartCPUProfile now, stop on the returned function
+//	"heap" — snapshot the heap (after a GC) when the returned function runs
+//	""     — disabled; the stop function is a no-op
+//
+// The output file is created immediately for every kind so path errors
+// surface before the profiled work runs.
+func StartProfile(kind, path string) (stop func() error, err error) {
+	if kind == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: profile output: %w", err)
+	}
+	switch kind {
+	case "cpu":
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		}, nil
+	case "heap":
+		return func() error {
+			runtime.GC() // settle allocations so the snapshot reflects live heap
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			return f.Close()
+		}, nil
+	default:
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("obs: unknown profile kind %q (want cpu or heap)", kind)
+	}
+}

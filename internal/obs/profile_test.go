@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfile(t *testing.T) {
+	dir := t.TempDir()
+
+	stop, err := StartProfile("", "ignored")
+	if err != nil || stop() != nil {
+		t.Fatalf("disabled profile errored: %v", err)
+	}
+
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err = StartProfile("cpu", cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile not written: %v", err)
+	}
+
+	heap := filepath.Join(dir, "heap.pprof")
+	stop, err = StartProfile("heap", heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile not written: %v", err)
+	}
+
+	if _, err := StartProfile("flame", filepath.Join(dir, "x")); err == nil {
+		t.Error("unknown profile kind accepted")
+	}
+	if _, err := StartProfile("cpu", filepath.Join(dir, "missing", "x")); err == nil {
+		t.Error("uncreatable path accepted")
+	}
+}

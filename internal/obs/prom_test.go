@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"errors"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one family of every kind, labelled
+// and unlabelled series, and values needing careful formatting.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("jsrevealer_scan_files_total", "Files scanned by verdict.", Labels{"verdict": "benign"}).Add(12)
+	r.Counter("jsrevealer_scan_files_total", "Files scanned by verdict.", Labels{"verdict": "malicious"}).Add(3)
+	r.Counter("jsrevealer_build_total", "Unlabelled counter.", nil).Inc()
+	r.Gauge("jsrevealer_scan_inflight", "In-flight scans.", nil).Set(2.5)
+	r.Gauge("jsrevealer_info", "Multi\nline help.", Labels{"version": `v"1"` + "\\"}).Set(1)
+	h := r.Histogram("jsrevealer_stage_duration_seconds", "Stage durations.",
+		[]float64{0.001, 0.01, 0.1}, Labels{"stage": "parse"})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.05)
+	h.Observe(5)
+	return r
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusFormatInvariants checks structural validity independent of
+// the golden file: every sample preceded by its TYPE line, cumulative
+// bucket counts, a terminal +Inf bucket, and the histogram count matching
+// its +Inf bucket.
+func TestPrometheusFormatInvariants(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]bool{}
+	var prevBucket, infBucket, histCount uint64
+	sampleValue := func(line string) uint64 {
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparsable sample %q: %v", line, err)
+		}
+		return v
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			typed[strings.Fields(line)[2]] = true
+		case strings.HasPrefix(line, "#"):
+		default:
+			name := line[:strings.IndexAny(line, "{ ")]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if !typed[name] && !typed[base] {
+				t.Errorf("sample %q appears before its TYPE line", line)
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				v := sampleValue(line)
+				if v < prevBucket {
+					t.Errorf("bucket counts not cumulative at %q", line)
+				}
+				prevBucket = v
+				if strings.Contains(line, `le="+Inf"`) {
+					infBucket = v
+					prevBucket = 0
+				}
+			case strings.HasSuffix(name, "_count"):
+				histCount = sampleValue(line)
+			}
+		}
+	}
+	if infBucket == 0 {
+		t.Fatal("histogram exposition missing +Inf bucket")
+	}
+	if histCount != infBucket {
+		t.Errorf("histogram _count %d != +Inf bucket %d", histCount, infBucket)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	srv := httptest.NewServer(MetricsHandler(goldenRegistry()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestHealthHandler(t *testing.T) {
+	srv := httptest.NewServer(HealthHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+	bad := httptest.NewServer(HealthHandler(func() error { return errors.New("model not loaded") }))
+	defer bad.Close()
+	resp, err = bad.Client().Get(bad.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("failing healthz = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,389 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind discriminates metric families.
+type kind uint8
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is one labelled instrument inside a family.
+type series struct {
+	labels Labels
+	key    string // rendered sorted labels, the series identity
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name; kind and help are fixed
+// at first registration.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64 // histogram families only
+	series map[string]*series
+}
+
+// Registry is a concurrent-safe collection of metric families. Instruments
+// are created on first use and shared on subsequent lookups, so calling a
+// getter repeatedly with the same (name, labels) is cheap and idempotent.
+// The zero value is not usable; use NewRegistry.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, the sink for instrumentation
+// running without an explicit registry in context.
+func Default() *Registry { return defaultRegistry }
+
+type registryCtxKey struct{}
+
+// WithRegistry returns a context routing this package's context-aware
+// instrumentation (spans, FromContext callers) into r.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, registryCtxKey{}, r)
+}
+
+// FromContext returns the registry carried by ctx, or Default().
+func FromContext(ctx context.Context) *Registry {
+	if ctx != nil {
+		if r, ok := ctx.Value(registryCtxKey{}).(*Registry); ok && r != nil {
+			return r
+		}
+	}
+	return defaultRegistry
+}
+
+// Counter returns the counter series (name, labels), creating it (and its
+// family) on first use. It panics when name is already registered as a
+// different kind — mixing kinds under one name is a programming error that
+// would corrupt the exposition.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.lookup(name, help, counterKind, nil, labels)
+	return s.c
+}
+
+// Gauge returns the gauge series (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.lookup(name, help, gaugeKind, nil, labels)
+	return s.g
+}
+
+// Histogram returns the histogram series (name, labels), creating it on
+// first use. bounds are inclusive upper bounds (+Inf implicit); they are
+// fixed by the first registration of the family and ignored afterwards. A
+// nil bounds selects DefDurationBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	s := r.lookup(name, help, histogramKind, bounds, labels)
+	return s.h
+}
+
+func (r *Registry) lookup(name, help string, k kind, bounds []float64, labels Labels) *series {
+	key := labelKey(labels)
+	r.mu.RLock()
+	if f, ok := r.fams[name]; ok {
+		if s, ok := f.series[key]; ok && f.kind == k {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		if k == histogramKind && bounds == nil {
+			bounds = DefDurationBuckets
+		}
+		f = &family{name: name, help: help, kind: k, bounds: bounds, series: make(map[string]*series)}
+		r.fams[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels.clone(), key: key}
+		switch k {
+		case counterKind:
+			s.c = &Counter{}
+		case gaugeKind:
+			s.g = &Gauge{}
+		case histogramKind:
+			s.h = newHistogram(f.bounds)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// labelKey renders labels sorted by key into the canonical series identity,
+// which doubles as the exposition label block (minus braces).
+func labelKey(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a value the way Prometheus clients do: shortest
+// round-trip representation, with +Inf spelled "+Inf".
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every family in Prometheus text exposition format
+// (version 0.0.4), families sorted by name and series by label key, so the
+// output is deterministic and golden-file testable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		// Series creation only ever adds to f.series under the registry
+		// lock; iterate a sorted snapshot for deterministic output.
+		r.mu.RLock()
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		r.mu.RUnlock()
+		sort.Slice(ss, func(i, j int) bool { return ss[i].key < ss[j].key })
+
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range ss {
+			switch f.kind {
+			case counterKind:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, braced(s.key), s.c.Value())
+			case gaugeKind:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, braced(s.key), formatFloat(s.g.Value()))
+			case histogramKind:
+				writeHistogram(&b, f.name, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func braced(key string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "}"
+}
+
+// writeHistogram emits the cumulative _bucket/_sum/_count triplet of one
+// histogram series, merging the le label into the series labels.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	counts := s.h.BucketCounts()
+	bounds := s.h.Bounds()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		bound := math.Inf(1)
+		if i < len(bounds) {
+			bound = bounds[i]
+		}
+		key := s.key
+		if key != "" {
+			key += ","
+		}
+		key += `le="` + formatFloat(bound) + `"`
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, key, cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, braced(s.key), formatFloat(s.h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, braced(s.key), s.h.Count())
+}
+
+// Snapshot is a JSON-marshalable view of a registry, the payload behind
+// `-stats-json` and the BENCH_*.json trajectory.
+type Snapshot struct {
+	Counters   []Point          `json:"counters,omitempty"`
+	Gauges     []Point          `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// Point is one counter or gauge series value.
+type Point struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramPoint is one histogram series with derived quantiles.
+type HistogramPoint struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	P50     float64           `json:"p50"`
+	P99     float64           `json:"p99"`
+	Buckets []Bucket          `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket; Le is the rendered upper
+// bound ("+Inf" for the overflow bucket) because JSON cannot encode
+// infinities as numbers.
+type Bucket struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot captures the current value of every series, sorted like the
+// Prometheus exposition. Quantiles for empty histograms are reported as 0
+// rather than NaN so the snapshot always marshals.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var snap Snapshot
+	for _, f := range fams {
+		r.mu.RLock()
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		r.mu.RUnlock()
+		sort.Slice(ss, func(i, j int) bool { return ss[i].key < ss[j].key })
+		for _, s := range ss {
+			switch f.kind {
+			case counterKind:
+				snap.Counters = append(snap.Counters, Point{
+					Name: f.name, Labels: s.labels, Value: float64(s.c.Value()),
+				})
+			case gaugeKind:
+				snap.Gauges = append(snap.Gauges, Point{
+					Name: f.name, Labels: s.labels, Value: s.g.Value(),
+				})
+			case histogramKind:
+				hp := HistogramPoint{
+					Name: f.name, Labels: s.labels,
+					Count: s.h.Count(), Sum: s.h.Sum(),
+					P50: finiteOrZero(s.h.Quantile(0.5)),
+					P99: finiteOrZero(s.h.Quantile(0.99)),
+				}
+				counts := s.h.BucketCounts()
+				bounds := s.h.Bounds()
+				var cum uint64
+				for i, c := range counts {
+					cum += c
+					bound := math.Inf(1)
+					if i < len(bounds) {
+						bound = bounds[i]
+					}
+					hp.Buckets = append(hp.Buckets, Bucket{Le: formatFloat(bound), Count: cum})
+				}
+				snap.Histograms = append(snap.Histograms, hp)
+			}
+		}
+	}
+	return snap
+}
+
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

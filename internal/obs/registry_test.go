@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRegistryReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "Hits.", Labels{"code": "200"})
+	b := r.Counter("hits_total", "Hits.", Labels{"code": "200"})
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("hits_total", "Hits.", Labels{"code": "500"})
+	if a == c {
+		t.Error("distinct labels returned the same counter")
+	}
+}
+
+func TestRegistryLabelOrderIrrelevant(t *testing.T) {
+	r := NewRegistry()
+	a := r.Gauge("g", "", Labels{"a": "1", "b": "2"})
+	b := r.Gauge("g", "", Labels{"b": "2", "a": "1"})
+	if a != b {
+		t.Error("label insertion order changed series identity")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as two kinds did not panic")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestRegistryHistogramBoundsFixedByFirstRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("h", "", []float64{1, 2}, nil)
+	b := r.Histogram("h", "", []float64{9, 99}, Labels{"x": "y"})
+	if len(a.Bounds()) != 2 || len(b.Bounds()) != 2 || b.Bounds()[0] != 1 {
+		t.Errorf("family bounds not fixed: %v vs %v", a.Bounds(), b.Bounds())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c_total", "", Labels{"w": string(rune('a' + g%4))}).Inc()
+				r.Gauge("g", "", nil).Set(float64(i))
+				r.Histogram("h_seconds", "", []float64{0.1, 1}, nil).Observe(0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for g := 0; g < 4; g++ {
+		total += r.Counter("c_total", "", Labels{"w": string(rune('a' + g))}).Value()
+	}
+	if total != 8*500 {
+		t.Errorf("counter total = %d, want %d", total, 8*500)
+	}
+	if got := r.Histogram("h_seconds", "", nil, nil).Count(); got != 8*500 {
+		t.Errorf("histogram count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestSnapshotMarshals(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("files_total", "Files.", Labels{"verdict": "benign"}).Add(3)
+	r.Gauge("inflight", "", nil).Set(2)
+	h := r.Histogram("lat_seconds", "", []float64{1, 10}, nil)
+	h.Observe(0.5)
+	h.Observe(100)
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 3 {
+		t.Errorf("counters = %+v", back.Counters)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 2 {
+		t.Fatalf("histograms = %+v", back.Histograms)
+	}
+	if le := back.Histograms[0].Buckets[len(back.Histograms[0].Buckets)-1].Le; le != "+Inf" {
+		t.Errorf("last bucket le = %q, want +Inf", le)
+	}
+}
+
+func TestContextRegistryRouting(t *testing.T) {
+	r := NewRegistry()
+	ctx := WithRegistry(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Error("FromContext did not return the attached registry")
+	}
+	if FromContext(context.Background()) != Default() {
+		t.Error("FromContext without registry did not fall back to Default")
+	}
+	if FromContext(nil) != Default() {
+		t.Error("FromContext(nil) did not fall back to Default")
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// SpanDurationMetric is the histogram family every ended span observes
+// into, labelled by span name.
+const SpanDurationMetric = "jsrevealer_span_duration_seconds"
+
+type spanCtxKey struct{}
+
+// spanIDs issues process-unique span identifiers. A plain counter (rather
+// than random IDs) keeps span start allocation-free beyond the Span itself
+// and makes IDs stable enough for log correlation within one process.
+var spanIDs atomic.Uint64
+
+// Span is one timed region of work. Spans form a tree via context: a span
+// started from a context that already carries a span becomes its child and
+// inherits its trace ID. Ending a span records its duration into the
+// registry carried by the starting context (Default() when none).
+//
+// All Span methods are nil-safe so instrumentation never has to guard.
+type Span struct {
+	// Name labels the span's duration series.
+	Name string
+	// TraceID groups all spans descending from one root span.
+	TraceID uint64
+	// SpanID uniquely identifies this span within the process.
+	SpanID uint64
+	// ParentID is the enclosing span's SpanID, 0 at the root.
+	ParentID uint64
+
+	start time.Time
+	reg   *Registry
+}
+
+// StartSpan begins a span named name as a child of the span in ctx (if
+// any) and returns a derived context carrying it. The caller must End the
+// span; the usual shape is
+//
+//	ctx, sp := obs.StartSpan(ctx, "parse")
+//	defer sp.End()
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Span{
+		Name:   name,
+		SpanID: spanIDs.Add(1),
+		start:  time.Now(),
+		reg:    FromContext(ctx),
+	}
+	if parent := SpanFromContext(ctx); parent != nil {
+		s.TraceID = parent.TraceID
+		s.ParentID = parent.SpanID
+	} else {
+		s.TraceID = s.SpanID
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SpanFromContext returns the innermost span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// End stops the span, records its duration into the registry it was
+// started under, and returns the duration. End on a nil span is a no-op.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.Histogram(SpanDurationMetric, "Span durations by name.",
+		DefDurationBuckets, Labels{"span": s.Name}).ObserveDuration(d)
+	return d
+}
+
+// Elapsed returns the time since the span started without ending it.
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}

@@ -15,6 +15,7 @@ package pathctx
 import (
 	"hash/fnv"
 	"strings"
+	"time"
 
 	"jsrevealer/internal/js/ast"
 	"jsrevealer/internal/js/dataflow"
@@ -105,16 +106,38 @@ func (p Path) ComponentHashes() (source, structure, target uint64) {
 // Extract parses nothing: it takes an already-parsed program, runs the
 // data-flow analysis when enabled, and returns the path contexts.
 func Extract(prog *ast.Program, opts Options) []Path {
+	paths, _ := ExtractTimed(prog, opts)
+	return paths
+}
+
+// Timing breaks one extraction into its two phases so the observability
+// layer can attribute data-flow analysis separately from path traversal —
+// the paper's Table VIII distinguishes exactly these costs.
+type Timing struct {
+	// DataFlow is the enhanced-AST data-dependency analysis time (zero
+	// when UseDataFlow is disabled).
+	DataFlow time.Duration
+	// Traversal is the leaf collection, pair enumeration, and sampling
+	// time.
+	Traversal time.Duration
+}
+
+// ExtractTimed is Extract with a per-phase timing breakdown.
+func ExtractTimed(prog *ast.Program, opts Options) ([]Path, Timing) {
 	if opts.MaxLength <= 0 {
 		opts.MaxLength = DefaultMaxLength
 	}
 	if opts.MaxWidth <= 0 {
 		opts.MaxWidth = DefaultMaxWidth
 	}
+	var tm Timing
 	var info *dataflow.Info
 	if opts.UseDataFlow {
+		t0 := time.Now()
 		info = dataflow.Analyze(prog)
+		tm.DataFlow = time.Since(t0)
 	}
+	t0 := time.Now()
 	types := inferTypes(prog)
 
 	leaves := collectLeaves(prog, info, types)
@@ -138,7 +161,8 @@ func Extract(prog *ast.Program, opts Options) []Path {
 	if opts.MaxPaths > 0 && len(paths) > opts.MaxPaths {
 		paths = sample(paths, opts.MaxPaths)
 	}
-	return paths
+	tm.Traversal = time.Since(t0)
+	return paths, tm
 }
 
 // strideIndices returns n evenly spaced indices over [0, total).

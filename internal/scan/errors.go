@@ -28,6 +28,27 @@ var (
 	ErrInternal = errors.New("internal pipeline failure")
 )
 
+// Reason maps a Result.Err onto its taxonomy label — the `reason` label of
+// the scan error metrics and the key of Stats' per-taxonomy counts. It
+// returns "" for nil and "internal" for errors outside the taxonomy (which
+// Result.Err never carries, but callers may pass arbitrary errors).
+func Reason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrParse):
+		return "parse"
+	case errors.Is(err, ErrDepthLimit):
+		return "depth_limit"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrTooLarge):
+		return "too_large"
+	default:
+		return "internal"
+	}
+}
+
 // classifyError maps an error escaping the detection pipeline onto the
 // taxonomy. ctx is the per-file context: when it has expired, cooperative
 // cancellation errors surfacing from any stage are reported as timeouts.

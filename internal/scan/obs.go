@@ -1,0 +1,93 @@
+package scan
+
+import (
+	"jsrevealer/internal/obs"
+)
+
+// Metric families emitted by the engine. They land in the registry carried
+// by the scan's context (obs.Default() otherwise), which is what
+// `jsrevealer serve` exposes on /metrics.
+const (
+	// FilesMetric counts finished files by verdict
+	// (benign|malicious|degraded|failed).
+	FilesMetric = "jsrevealer_scan_files_total"
+	// ErrorsMetric counts degraded/failed files by taxonomy reason
+	// (parse|timeout|too_large|depth_limit|internal).
+	ErrorsMetric = "jsrevealer_scan_errors_total"
+	// FileDurationMetric is the per-file wall-time histogram, fallback
+	// included.
+	FileDurationMetric = "jsrevealer_scan_file_duration_seconds"
+	// QueueWaitMetric is the time a file sat enqueued before a worker
+	// picked it up, the engine's backpressure signal.
+	QueueWaitMetric = "jsrevealer_scan_queue_wait_seconds"
+	// BytesMetric counts input bytes submitted for scanning.
+	BytesMetric = "jsrevealer_scan_bytes_total"
+	// InflightMetric gauges files currently being classified.
+	InflightMetric = "jsrevealer_scan_inflight"
+)
+
+// verdictLabels maps Verdict to its metric label (Verdict.String shouts
+// for CLI output; labels stay lowercase).
+var verdictLabels = [...]string{
+	VerdictBenign:    "benign",
+	VerdictMalicious: "malicious",
+	VerdictDegraded:  "degraded",
+	VerdictFailed:    "failed",
+}
+
+// errorReasons is the closed set Reason can return for non-nil errors.
+var errorReasons = []string{"parse", "timeout", "too_large", "depth_limit", "internal"}
+
+// RegisterMetrics pre-creates every scan metric series in reg (all verdict
+// and reason label values, zero-valued), so an exposition endpoint shows
+// the full metric surface before the first scan.
+func RegisterMetrics(reg *obs.Registry) {
+	newInstruments(reg)
+}
+
+// instruments caches the engine's metric series for one scan so the per-
+// file hot path pays pointer derefs, not registry lookups.
+type instruments struct {
+	verdicts [len(verdictLabels)]*obs.Counter
+	reasons  map[string]*obs.Counter
+	duration *obs.Histogram
+	wait     *obs.Histogram
+	bytes    *obs.Counter
+	inflight *obs.Gauge
+}
+
+func newInstruments(reg *obs.Registry) *instruments {
+	ins := &instruments{
+		reasons: make(map[string]*obs.Counter, len(errorReasons)),
+		duration: reg.Histogram(FileDurationMetric,
+			"Per-file scan wall time in seconds, fallback included.",
+			obs.DefDurationBuckets, nil),
+		wait: reg.Histogram(QueueWaitMetric,
+			"Seconds a file waited in the scan queue before a worker picked it up.",
+			obs.DefDurationBuckets, nil),
+		bytes: reg.Counter(BytesMetric, "Input bytes submitted for scanning.", nil),
+		inflight: reg.Gauge(InflightMetric,
+			"Files currently being classified.", nil),
+	}
+	for v, label := range verdictLabels {
+		ins.verdicts[v] = reg.Counter(FilesMetric,
+			"Files scanned by verdict.", obs.Labels{"verdict": label})
+	}
+	for _, reason := range errorReasons {
+		ins.reasons[reason] = reg.Counter(ErrorsMetric,
+			"Degraded or failed files by taxonomy reason.", obs.Labels{"reason": reason})
+	}
+	return ins
+}
+
+// observe records one finished file.
+func (ins *instruments) observe(r Result) {
+	ins.duration.ObserveDuration(r.Duration)
+	ins.bytes.Add(r.Bytes)
+	if int(r.Verdict) < len(ins.verdicts) {
+		ins.verdicts[r.Verdict].Inc()
+	}
+	if reason := Reason(r.Err); reason != "" {
+		ins.reasons[reason].Inc()
+	}
+}

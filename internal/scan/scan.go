@@ -35,6 +35,7 @@ import (
 
 	"jsrevealer/internal/baselines"
 	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/obs"
 )
 
 // Classifier is the full detection pipeline the engine drives. It must be
@@ -179,6 +180,13 @@ type Stats struct {
 	Degraded int
 	// Failed counts files with no verdict at all.
 	Failed int
+	// Per-error-taxonomy counts over degraded and failed files, derived
+	// from Result.Err (see Reason). Their sum equals Degraded+Failed.
+	ParseErrors int
+	Timeouts    int
+	TooLarge    int
+	DepthLimit  int
+	Internal    int
 	// Wall is the end-to-end scan time.
 	Wall time.Duration
 	// P50 and P99 are per-file latency percentiles.
@@ -229,16 +237,24 @@ func (e *Engine) ScanDir(ctx context.Context, dir string) ([]Result, Stats, erro
 		return nil, Stats{}, err
 	}
 	results, stats := e.ScanFiles(ctx, paths)
+	ins := newInstruments(obs.FromContext(ctx))
+	for _, r := range broken {
+		ins.observe(r)
+	}
 	results = append(results, broken...)
 	stats.Scanned += len(broken)
 	stats.Failed += len(broken)
+	stats.Internal += len(broken)
 	return results, stats, nil
 }
 
 // ScanFiles scans the given files through the worker pool and returns one
-// Result per path, in input order, plus aggregate statistics.
+// Result per path, in input order, plus aggregate statistics. Per-file
+// latency, queue wait, verdict, and error-taxonomy metrics are recorded
+// into the registry carried by ctx (obs.Default() otherwise).
 func (e *Engine) ScanFiles(ctx context.Context, paths []string) ([]Result, Stats) {
 	start := time.Now()
+	ins := newInstruments(obs.FromContext(ctx))
 	results := make([]Result, len(paths))
 	workers := e.cfg.Workers
 	if workers > len(paths) {
@@ -255,7 +271,14 @@ func (e *Engine) ScanFiles(ctx context.Context, paths []string) ([]Result, Stats
 				if i >= len(paths) || ctx.Err() != nil {
 					return
 				}
-				results[i] = e.scanFile(ctx, paths[i])
+				// Queue wait: how long the file sat before any worker
+				// reached it — the engine's backpressure signal.
+				ins.wait.ObserveDuration(time.Since(start))
+				ins.inflight.Inc()
+				res := e.scanFile(ctx, paths[i])
+				ins.inflight.Dec()
+				ins.observe(res)
+				results[i] = res
 			}
 		}()
 	}
@@ -268,23 +291,35 @@ func (e *Engine) ScanFiles(ctx context.Context, paths []string) ([]Result, Stats
 				Verdict: VerdictFailed,
 				Err:     fmt.Errorf("%w: scan cancelled: %v", ErrTimeout, ctx.Err()),
 			}
+			ins.observe(results[i])
 		}
 	}
 	return results, summarize(results, time.Since(start))
 }
 
-// ScanSource scans one in-memory script under the engine's guards.
+// ScanSource scans one in-memory script under the engine's guards,
+// recording the same per-file metrics as ScanFiles.
 func (e *Engine) ScanSource(ctx context.Context, name, src string) Result {
 	start := time.Now()
-	res := e.scanSource(ctx, name, src)
+	ins := newInstruments(obs.FromContext(ctx))
+	sctx, sp := obs.StartSpan(ctx, "scan.file")
+	ins.inflight.Inc()
+	res := e.scanSource(sctx, name, src)
+	ins.inflight.Dec()
+	sp.End()
 	res.Duration = time.Since(start)
+	ins.observe(res)
 	return res
 }
 
 // scanFile loads one file and scans it; oversized files skip straight to
-// degradation on a bounded prefix without ever being fully read.
+// degradation on a bounded prefix without ever being fully read. The whole
+// file is covered by a "scan.file" span, under which the classifier's own
+// spans nest.
 func (e *Engine) scanFile(ctx context.Context, path string) Result {
 	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "scan.file")
+	defer sp.End()
 	res := Result{Path: path}
 	info, err := os.Stat(path)
 	if err != nil {
@@ -386,6 +421,8 @@ func (e *Engine) degrade(ctx context.Context, src string, cause error) (Verdict,
 	if e.cfg.NoFallback {
 		return VerdictFailed, false, cause
 	}
+	ctx, sp := obs.StartSpan(ctx, "scan.fallback")
+	defer sp.End()
 	malicious, err := func() (v bool, err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -428,6 +465,18 @@ func summarize(results []Result, wall time.Duration) Stats {
 		}
 		if r.Malicious && r.Verdict != VerdictFailed {
 			s.Flagged++
+		}
+		switch Reason(r.Err) {
+		case "parse":
+			s.ParseErrors++
+		case "timeout":
+			s.Timeouts++
+		case "too_large":
+			s.TooLarge++
+		case "depth_limit":
+			s.DepthLimit++
+		case "internal":
+			s.Internal++
 		}
 		durs = append(durs, r.Duration)
 	}

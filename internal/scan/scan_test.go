@@ -14,6 +14,7 @@ import (
 	"jsrevealer/internal/core"
 	"jsrevealer/internal/corpus"
 	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/obs"
 )
 
 // trainedDetector builds one small shared detector for the whole package;
@@ -27,7 +28,7 @@ var (
 	detSamples []core.Sample
 )
 
-func trainedDetector(t *testing.T) (*core.Detector, []core.Sample) {
+func trainedDetector(t testing.TB) (*core.Detector, []core.Sample) {
 	t.Helper()
 	detOnce.Do(func() {
 		samples := corpus.Generate(corpus.Config{Benign: 40, Malicious: 40, Seed: 11})
@@ -312,6 +313,137 @@ func TestVerdictString(t *testing.T) {
 	} {
 		if got := v.String(); got != want {
 			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+// TestStatsTaxonomyAndScanMetrics scans a directory holding one file per
+// taxonomy class and checks both views of the outcome: the per-reason Stats
+// counts and the metric series landing in the context's registry.
+func TestStatsTaxonomyAndScanMetrics(t *testing.T) {
+	det, samples := trainedDetector(t)
+	dir := t.TempDir()
+	files := map[string]string{
+		"good.js":   samples[0].Source,
+		"broken.js": "var = = ;;;(",
+		"deep.js":   "var x = " + strings.Repeat("(", 60000) + "1" + strings.Repeat(")", 60000) + ";",
+		"big.js":    "var filler = 0;\n" + strings.Repeat("filler = filler + 1;\n", 20000),
+		"slow.js":   slowMarker + "\nvar a = 1;",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	eng := New(&markedSlow{det: det}, Config{
+		Workers:  2,
+		Timeout:  time.Second,
+		MaxBytes: 256 << 10, // catches big.js (~420KB), passes deep.js (~120KB)
+	})
+	_, stats, err := eng.ScanDir(ctx, dir)
+	if err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+
+	want := Stats{ParseErrors: 1, Timeouts: 1, TooLarge: 1, DepthLimit: 1, Internal: 0}
+	if stats.ParseErrors != want.ParseErrors || stats.Timeouts != want.Timeouts ||
+		stats.TooLarge != want.TooLarge || stats.DepthLimit != want.DepthLimit ||
+		stats.Internal != want.Internal {
+		t.Errorf("taxonomy counts = %+v", stats)
+	}
+	if sum := stats.ParseErrors + stats.Timeouts + stats.TooLarge +
+		stats.DepthLimit + stats.Internal; sum != stats.Degraded+stats.Failed {
+		t.Errorf("taxonomy sum %d != degraded+failed %d", sum, stats.Degraded+stats.Failed)
+	}
+
+	// Every finished file must land in the duration and queue-wait
+	// histograms of the scan context's registry.
+	if n := reg.Histogram(FileDurationMetric, "", nil, nil).Count(); n != uint64(len(files)) {
+		t.Errorf("duration observations = %d, want %d", n, len(files))
+	}
+	if n := reg.Histogram(QueueWaitMetric, "", nil, nil).Count(); n != uint64(len(files)) {
+		t.Errorf("queue-wait observations = %d, want %d", n, len(files))
+	}
+	for reason, want := range map[string]int64{
+		"parse": 1, "timeout": 1, "too_large": 1, "depth_limit": 1, "internal": 0,
+	} {
+		c := reg.Counter(ErrorsMetric, "", obs.Labels{"reason": reason})
+		if c.Value() != want {
+			t.Errorf("errors{reason=%q} = %d, want %d", reason, c.Value(), want)
+		}
+	}
+	var verdictTotal int64
+	for _, label := range verdictLabels {
+		verdictTotal += reg.Counter(FilesMetric, "", obs.Labels{"verdict": label}).Value()
+	}
+	if verdictTotal != int64(len(files)) {
+		t.Errorf("verdict counter total = %d, want %d", verdictTotal, len(files))
+	}
+	if b := reg.Counter(BytesMetric, "", nil).Value(); b <= 0 {
+		t.Errorf("bytes counter = %d, want > 0", b)
+	}
+	if g := reg.Gauge(InflightMetric, "", nil).Value(); g != 0 {
+		t.Errorf("inflight gauge = %v after scan, want 0", g)
+	}
+}
+
+func TestReason(t *testing.T) {
+	for _, c := range []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{fmt.Errorf("wrap: %w", ErrParse), "parse"},
+		{fmt.Errorf("wrap: %w", ErrDepthLimit), "depth_limit"},
+		{fmt.Errorf("wrap: %w", ErrTimeout), "timeout"},
+		{fmt.Errorf("wrap: %w", ErrTooLarge), "too_large"},
+		{fmt.Errorf("wrap: %w", ErrInternal), "internal"},
+		{errors.New("outside the taxonomy"), "internal"},
+	} {
+		if got := Reason(c.err); got != c.want {
+			t.Errorf("Reason(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// BenchmarkScanSource measures the per-file hot path of the engine,
+// instrument accounting included.
+func BenchmarkScanSource(b *testing.B) {
+	det, samples := trainedDetector(b)
+	eng := New(det, Config{})
+	src := samples[0].Source
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := eng.ScanSource(context.Background(), "bench.js", src); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkScanFiles measures the concurrent engine over a small directory
+// tree with the default worker pool.
+func BenchmarkScanFiles(b *testing.B) {
+	det, samples := trainedDetector(b)
+	dir := b.TempDir()
+	var paths []string
+	for i := 0; i < 16; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("f%d.js", i))
+		if err := os.WriteFile(p, []byte(samples[i%len(samples)].Source), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	eng := New(det, Config{Workers: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := eng.ScanFiles(context.Background(), paths)
+		if stats.Failed != 0 {
+			b.Fatalf("%d files failed", stats.Failed)
 		}
 	}
 }

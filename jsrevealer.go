@@ -91,6 +91,11 @@ var (
 	ErrScanInternal   = scan.ErrInternal
 )
 
+// ScanReason maps a ScanResult.Err onto its taxonomy label ("parse",
+// "timeout", "too_large", "depth_limit", "internal"; "" for nil) — the
+// same label the scan error metrics and ScanStats use.
+func ScanReason(err error) string { return scan.Reason(err) }
+
 // NewScanner wraps a trained detector in the hardened scan engine. A zero
 // ScanConfig applies the defaults (GOMAXPROCS workers, 10s deadline, 10MB
 // size cap, lexical-heuristic fallback).

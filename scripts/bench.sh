@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench.sh: run the scan-engine benchmarks and emit a machine-readable
+# summary to BENCH_scan.json — one entry per benchmark with ns/op, B/op,
+# and allocs/op, so regressions show up as diffs in review.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_scan.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "==> go test -bench BenchmarkScan ./internal/scan/"
+go test -bench 'BenchmarkScan' -benchmem -run '^$' ./internal/scan/ | tee "$raw"
+
+# Benchmark lines look like:
+#   BenchmarkScanSource-8   120  9876543 ns/op  65536 B/op  123 allocs/op
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, $2, $3, $5, $7
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "==> wrote $out"

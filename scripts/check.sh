@@ -25,4 +25,30 @@ go test ./...
 echo "==> go test -race -short (all packages except internal/experiments)"
 go test -race -short $(go list ./... | grep -v internal/experiments)
 
+# Serve smoke test: build the CLI, start the exposition endpoint on an
+# ephemeral port (-ready-file publishes the resolved address), and check
+# /healthz and /metrics respond with the expected content.
+echo "==> jsrevealer serve smoke test"
+tmpdir=$(mktemp -d)
+trap 'kill $serve_pid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/jsrevealer" ./cmd/jsrevealer
+"$tmpdir/jsrevealer" serve -addr 127.0.0.1:0 -ready-file "$tmpdir/addr" -log-level warn &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    [ -s "$tmpdir/addr" ] && break
+    sleep 0.1
+done
+[ -s "$tmpdir/addr" ] || { echo "serve never published its address" >&2; exit 1; }
+addr=$(cat "$tmpdir/addr")
+curl -fsS -o "$tmpdir/healthz" "http://$addr/healthz"
+grep -q '"status":"ok"' "$tmpdir/healthz" || {
+    echo "/healthz unhealthy" >&2; exit 1; }
+curl -fsS -o "$tmpdir/metrics" "http://$addr/metrics"
+grep -q '^jsrevealer_scan_files_total' "$tmpdir/metrics" || {
+    echo "/metrics missing scan metric families" >&2; exit 1; }
+grep -q '^jsrevealer_stage_duration_seconds_bucket' "$tmpdir/metrics" || {
+    echo "/metrics missing stage histograms" >&2; exit 1; }
+kill $serve_pid
+wait $serve_pid 2>/dev/null || true
+
 echo "==> OK"
