@@ -1,4 +1,4 @@
-.PHONY: build test check fuzz bench
+.PHONY: build test check fuzz bench bench-compare
 
 build:
 	go build ./...
@@ -12,9 +12,15 @@ test:
 check:
 	sh scripts/check.sh
 
-# Scan-engine benchmarks; results land in BENCH_scan.json.
+# Hot-path benchmarks across scan/nn/pathctx/detect; each run is recorded
+# (with git SHA and timestamp) into BENCH_scan.json alongside earlier runs.
 bench:
 	sh scripts/bench.sh
+
+# Diff the newest recorded benchmark run against the committed baseline;
+# fails when any shared benchmark regresses allocs/op by more than 10%.
+bench-compare:
+	go run ./cmd/benchcompare compare -file BENCH_scan.json
 
 # Bounded fuzzing budgets for the robustness targets.
 fuzz:

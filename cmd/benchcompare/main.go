@@ -1,0 +1,261 @@
+// benchcompare records `go test -bench` results into BENCH_scan.json and
+// compares runs against the committed baseline, failing when allocations
+// regress. It is the enforcement half of the repo's benchmark harness:
+// scripts/bench.sh pipes benchmark output through `benchcompare record`,
+// and `make bench-compare` runs `benchcompare compare` to print per-
+// benchmark deltas and gate on allocs/op.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchcompare record [-file BENCH_scan.json]
+//	benchcompare compare [-file BENCH_scan.json] [-max-alloc-regress 0.10]
+//
+// The file holds every recorded run, oldest first, so the performance
+// history travels with the repo:
+//
+//	{"runs": [{"git_sha": "...", "timestamp": "...", "benchmarks": [...]}]}
+//
+// The pre-harness format (a bare array of benchmark entries) is read as a
+// single baseline run and upgraded on the next record.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Run is one recorded benchmark session.
+type Run struct {
+	GitSHA     string      `json:"git_sha"`
+	Timestamp  string      `json:"timestamp"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the on-disk history.
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "record":
+		fs := flag.NewFlagSet("record", flag.ExitOnError)
+		path := fs.String("file", "BENCH_scan.json", "benchmark history file")
+		fs.Parse(args)
+		if err := record(*path); err != nil {
+			fatal(err)
+		}
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ExitOnError)
+		path := fs.String("file", "BENCH_scan.json", "benchmark history file")
+		maxRegress := fs.Float64("max-alloc-regress", 0.10,
+			"maximum tolerated allocs/op regression (fraction)")
+		fs.Parse(args)
+		ok, err := compare(*path, *maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchcompare record|compare [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcompare:", err)
+	os.Exit(1)
+}
+
+// load reads the history file, accepting both the current {"runs": [...]}
+// shape and the legacy bare-array baseline.
+func load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return File{}, nil
+	}
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err == nil && f.Runs != nil {
+		return f, nil
+	}
+	var legacy []Benchmark
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return File{}, fmt.Errorf("%s: unrecognized format: %w", path, err)
+	}
+	return File{Runs: []Run{{GitSHA: "baseline", Benchmarks: legacy}}}, nil
+}
+
+// record parses benchmark output from stdin, echoes it through, and appends
+// the parsed run to the history file.
+func record(path string) error {
+	var benches []Benchmark
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if b, ok := parseLine(line); ok {
+			benches = append(benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	f, err := load(path)
+	if err != nil {
+		return err
+	}
+	f.Runs = append(f.Runs, Run{
+		GitSHA:     gitSHA(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: benches,
+	})
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchcompare: recorded %d benchmarks to %s (run %d)\n",
+		len(benches), path, len(f.Runs))
+	return nil
+}
+
+// parseLine extracts one `BenchmarkName-P  N  X ns/op [Y MB/s] [Z B/op] [W allocs/op]`
+// line. Values are located by their unit token, so the optional MB/s column
+// (benchmarks using b.SetBytes) does not shift the fields.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			seen = true
+		case "B/op":
+			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return b, seen
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// compare prints per-benchmark deltas between the oldest (baseline) and
+// newest runs and reports whether every shared benchmark stays within the
+// allocs/op regression budget.
+func compare(path string, maxRegress float64) (bool, error) {
+	f, err := load(path)
+	if err != nil {
+		return false, err
+	}
+	if len(f.Runs) < 2 {
+		return false, fmt.Errorf("%s holds %d run(s); need a baseline and a current run", path, len(f.Runs))
+	}
+	base, cur := f.Runs[0], f.Runs[len(f.Runs)-1]
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	fmt.Printf("baseline: %s (%s)  current: %s (%s)\n\n",
+		base.GitSHA, orDash(base.Timestamp), cur.GitSHA, orDash(cur.Timestamp))
+	fmt.Printf("%-36s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "ns/op(old)", "ns/op(new)", "Δns", "allocs(old)", "allocs(new)", "Δallocs")
+	ok := true
+	for _, b := range cur.Benchmarks {
+		old, shared := baseBy[b.Name]
+		if !shared {
+			fmt.Printf("%-36s %14s %14.0f %8s %12s %12d %8s\n",
+				b.Name, "-", b.NsPerOp, "new", "-", b.AllocsPerOp, "new")
+			continue
+		}
+		nsDelta := pct(old.NsPerOp, b.NsPerOp)
+		allocDelta := pct(float64(old.AllocsPerOp), float64(b.AllocsPerOp))
+		verdict := ""
+		if old.AllocsPerOp > 0 &&
+			float64(b.AllocsPerOp) > float64(old.AllocsPerOp)*(1+maxRegress) {
+			verdict = "  REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-36s %14.0f %14.0f %7.1f%% %12d %12d %7.1f%%%s\n",
+			b.Name, old.NsPerOp, b.NsPerOp, nsDelta,
+			old.AllocsPerOp, b.AllocsPerOp, allocDelta, verdict)
+	}
+	if !ok {
+		fmt.Printf("\nFAIL: allocs/op regressed more than %.0f%% on at least one benchmark\n",
+			maxRegress*100)
+	} else {
+		fmt.Printf("\nOK: no benchmark regressed allocs/op beyond %.0f%%\n", maxRegress*100)
+	}
+	return ok, nil
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	jsrevealer train  [-benign N] [-malicious N] [-seed N] [-profile cpu|heap] -model model.json
-//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
+//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-cache-size N] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
 //	jsrevealer explain -model model.json [-top N]
 //	jsrevealer serve  [-addr host:port] [-model model.json] [-log-level L]
 //
@@ -116,6 +116,7 @@ func runDetect(args []string) (code int, err error) {
 	workers := fs.Int("workers", 0, "concurrent scan workers (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", scan.DefaultTimeout, "per-file classification deadline")
 	maxBytes := fs.Int64("max-bytes", scan.DefaultMaxBytes, "per-file size cap; larger files degrade to the fallback")
+	cacheSize := fs.Int("cache-size", 0, "verdict cache entries; 0 = default, negative disables caching of repeated content")
 	profile := fs.String("profile", "", "write a pprof profile of the run: cpu or heap")
 	profileOut := fs.String("profile-out", "jsrevealer-detect.pprof", "profile output path")
 	statsJSON := fs.String("stats-json", "", "write scan stats and the metrics snapshot as JSON to this path")
@@ -140,9 +141,10 @@ func runDetect(args []string) (code int, err error) {
 		return 0, err
 	}
 	eng := scan.New(det, scan.Config{
-		Workers:  *workers,
-		Timeout:  *timeout,
-		MaxBytes: *maxBytes,
+		Workers:   *workers,
+		Timeout:   *timeout,
+		MaxBytes:  *maxBytes,
+		CacheSize: *cacheSize,
 	})
 	reg := obs.NewRegistry()
 	results, stats := eng.ScanFiles(obs.WithRegistry(context.Background(), reg), files)

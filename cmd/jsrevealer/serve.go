@@ -30,6 +30,7 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:9090", "listen address (host:port, port 0 picks a free one)")
 	model := fs.String("model", "", "optional model path; enables POST /detect")
+	cacheSize := fs.Int("cache-size", 0, "verdict cache entries for /detect; 0 = default, negative disables")
 	readyFile := fs.String("ready-file", "", "write the resolved listen address to this file once serving")
 	logLevel := fs.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 	if err := fs.Parse(args); err != nil {
@@ -41,7 +42,7 @@ func runServe(args []string) error {
 	}
 	obs.DefaultLogger().SetLevel(lvl)
 
-	mux, err := newServeMux(obs.Default(), *model)
+	mux, err := newServeMux(obs.Default(), *model, *cacheSize)
 	if err != nil {
 		return err
 	}
@@ -83,7 +84,7 @@ func runServe(args []string) error {
 // detector-stage and scan metric families so /metrics exposes the full
 // surface before any traffic. Separated from runServe so tests can drive
 // it through httptest without binding a port.
-func newServeMux(reg *obs.Registry, modelPath string) (http.Handler, error) {
+func newServeMux(reg *obs.Registry, modelPath string, cacheSize int) (http.Handler, error) {
 	core.RegisterStageMetrics(reg)
 	scan.RegisterMetrics(reg)
 	mux := obs.NewServeMux(reg)
@@ -92,7 +93,7 @@ func newServeMux(reg *obs.Registry, modelPath string) (http.Handler, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := scan.New(det, scan.Config{})
+		eng := scan.New(det, scan.Config{CacheSize: cacheSize})
 		mux.Handle("/detect", detectHandler(eng, reg))
 	}
 	return mux, nil

@@ -20,7 +20,7 @@ import (
 // stay unrouted without a model.
 func TestServeMuxExposesMetricSurface(t *testing.T) {
 	reg := obs.NewRegistry()
-	mux, err := newServeMux(reg, "")
+	mux, err := newServeMux(reg, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,6 +44,8 @@ func TestServeMuxExposesMetricSurface(t *testing.T) {
 		`jsrevealer_stage_duration_seconds_bucket{stage="parse",le="+Inf"} 0`,
 		`jsrevealer_scan_files_total{verdict="malicious"} 0`,
 		`jsrevealer_scan_errors_total{reason="timeout"} 0`,
+		"jsrevealer_cache_hits_total 0",
+		"jsrevealer_cache_misses_total 0",
 		"# TYPE jsrevealer_scan_file_duration_seconds histogram",
 	} {
 		if !strings.Contains(body, want) {
@@ -111,7 +113,7 @@ func TestServeDetectEndpoint(t *testing.T) {
 	}
 
 	reg := obs.NewRegistry()
-	mux, err := newServeMux(reg, model)
+	mux, err := newServeMux(reg, model, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,12 +165,24 @@ func TestServeDetectEndpoint(t *testing.T) {
 		}
 	}
 
-	// Both scans must be visible on the registry the mux exposes.
+	// Reposting the first body is a verdict-cache hit, visible on the
+	// counters the mux exposes.
+	resp3, err := http.Post(srv.URL+"/detect?name=sample.js", "text/plain",
+		strings.NewReader(samples[0].Source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if hits := reg.Counter("jsrevealer_cache_hits_total", "", nil).Value(); hits != 1 {
+		t.Errorf("cache hits after repeated body = %d, want 1", hits)
+	}
+
+	// All three scans must be visible on the registry the mux exposes.
 	var total int64
 	for _, v := range []string{"benign", "malicious", "degraded", "failed"} {
 		total += reg.Counter("jsrevealer_scan_files_total", "", obs.Labels{"verdict": v}).Value()
 	}
-	if total != 2 {
-		t.Errorf("scan files counter total = %d, want 2", total)
+	if total != 3 {
+		t.Errorf("scan files counter total = %d, want 3", total)
 	}
 }

@@ -132,6 +132,12 @@ type Detector struct {
 	// safe to call from many goroutines at once.
 	acct     *stageAccount
 	acctOnce sync.Once
+	// centroidView is the lazily built slice-of-centroids view over features
+	// that featurize shares across calls; features are immutable once the
+	// detector is constructed (Build or deserialization), so building the
+	// view once is safe under concurrent Detect calls.
+	centroidView  [][]float64
+	centroidsOnce sync.Once
 	// parseFailures counts training scripts that failed to parse.
 	parseFailures int
 }
@@ -449,10 +455,7 @@ func (d *Detector) featurize(embs []nn.Embedding) []float64 {
 	if len(d.features) == 0 {
 		return v
 	}
-	centroids := make([][]float64, len(d.features))
-	for i, f := range d.features {
-		centroids[i] = f.Centroid
-	}
+	centroids := d.centroids()
 	uniform := 0.0
 	if d.opts.UniformWeights && len(embs) > 0 {
 		uniform = 1 / float64(len(embs))
@@ -469,6 +472,18 @@ func (d *Detector) featurize(embs []nn.Embedding) []float64 {
 		}
 	}
 	return linalg.MinMaxNormalize(v)
+}
+
+// centroids returns the shared centroid view used by featurize, built once
+// on first use.
+func (d *Detector) centroids() [][]float64 {
+	d.centroidsOnce.Do(func() {
+		d.centroidView = make([][]float64, len(d.features))
+		for i, f := range d.features {
+			d.centroidView[i] = f.Centroid
+		}
+	})
+	return d.centroidView
 }
 
 // Detect classifies a script; true means malicious.

@@ -92,6 +92,15 @@ func ScaleInPlace(a []float64, s float64) {
 	}
 }
 
+// Zero clears v in place. Reused hot-path buffers must be zeroed before
+// accumulation to behave identically to freshly allocated ones; the compiler
+// lowers this loop to memclr.
+func Zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
 // AXPYInPlace computes a += s*b.
 func AXPYInPlace(a []float64, s float64, b []float64) {
 	n := len(a)

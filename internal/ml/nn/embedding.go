@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"jsrevealer/internal/ml/linalg"
 )
@@ -93,6 +94,11 @@ type Model struct {
 	// clsW is the 2×d softmax classifier weight; clsB its bias.
 	clsW [2][]float64
 	clsB [2]float64
+	// pool recycles forward/backward workspaces across calls and across
+	// goroutines, so concurrent Detect traffic reuses buffers instead of
+	// allocating per path. Excluded from serialization; the zero value is
+	// ready to use, so deserialized models pool too.
+	pool sync.Pool
 }
 
 // NewModel initializes a model with small random weights.
@@ -148,50 +154,105 @@ func (m *Model) KeyOf(src, structure, tgt uint64) PathKey {
 	}
 }
 
-// forwardState caches the per-script forward pass for backprop.
-type forwardState struct {
-	keys    []PathKey
-	pre     [][]float64 // pre-activation sums w_src + w_struct + w_tgt
-	vecs    [][]float64 // tanh outputs p'_i
-	weights []float64   // attention α_i
-	agg     []float64   // v
-	probs   [2]float64  // softmax output
+// scratch is a reusable forward/backward workspace. The per-path vectors
+// live in flat backing arrays sliced per path, so one Detect costs a few
+// pooled buffers instead of thousands of per-path allocations. All
+// accumulation buffers are zeroed before use, which keeps the arithmetic
+// bit-identical to the previous freshly-allocated implementation.
+type scratch struct {
+	keys []PathKey
+	// preFlat/vecFlat back the per-path pre and vecs slices.
+	preFlat, vecFlat []float64
+	pre              [][]float64 // pre-activation sums w_src + w_struct + w_tgt
+	vecs             [][]float64 // tanh outputs p'_i
+	scores           []float64   // attention logits
+	weights          []float64   // attention α_i
+	agg              []float64   // v
+	logits           [2]float64
+	probs            [2]float64 // softmax output
+	// Backward temporaries (step only).
+	dv, dattn, dp []float64
+	dalpha        []float64
 }
 
-func (m *Model) forward(keys []PathKey) *forwardState {
-	st := &forwardState{keys: keys}
-	if len(keys) == 0 {
-		st.agg = make([]float64, m.cfg.Dim)
-		logits := m.logits(st.agg)
-		p := linalg.Softmax(logits[:], nil)
-		st.probs = [2]float64{p[0], p[1]}
-		return st
+// grow sizes the workspace for n paths of dimension dim, reusing backing
+// arrays whenever they are already large enough.
+func (sc *scratch) grow(n, dim int) {
+	if need := n * dim; cap(sc.preFlat) < need {
+		sc.preFlat = make([]float64, need)
+		sc.vecFlat = make([]float64, need)
 	}
-	st.pre = make([][]float64, len(keys))
-	st.vecs = make([][]float64, len(keys))
-	scores := make([]float64, len(keys))
+	if cap(sc.pre) < n {
+		sc.pre = make([][]float64, n)
+		sc.vecs = make([][]float64, n)
+	}
+	if cap(sc.scores) < n {
+		sc.scores = make([]float64, n)
+		sc.weights = make([]float64, n)
+		sc.dalpha = make([]float64, n)
+	}
+	if cap(sc.agg) < dim {
+		sc.agg = make([]float64, dim)
+		sc.dv = make([]float64, dim)
+		sc.dattn = make([]float64, dim)
+		sc.dp = make([]float64, dim)
+	}
+	sc.pre, sc.vecs = sc.pre[:n], sc.vecs[:n]
+	sc.scores, sc.weights, sc.dalpha = sc.scores[:n], sc.weights[:n], sc.dalpha[:n]
+	sc.agg = sc.agg[:dim]
+	sc.dv, sc.dattn, sc.dp = sc.dv[:dim], sc.dattn[:dim], sc.dp[:dim]
+}
+
+// getScratch leases a workspace sized for n paths from the model's pool.
+func (m *Model) getScratch(n int) *scratch {
+	sc, _ := m.pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	sc.grow(n, m.cfg.Dim)
+	return sc
+}
+
+// putScratch returns a workspace to the pool. The caller must not touch sc
+// (or anything aliasing its buffers) afterwards: the next Detect on any
+// goroutine may reuse it.
+func (m *Model) putScratch(sc *scratch) {
+	sc.keys = nil
+	m.pool.Put(sc)
+}
+
+// forward runs the forward pass into sc. Everything the backward pass or
+// the caller needs (vecs, weights, agg, probs) stays valid until the
+// scratch is returned to the pool.
+func (m *Model) forward(keys []PathKey, sc *scratch) {
+	sc.keys = keys
+	dim := m.cfg.Dim
+	linalg.Zero(sc.agg)
+	if len(keys) == 0 {
+		sc.logits = m.logits(sc.agg)
+		linalg.Softmax(sc.logits[:], sc.probs[:])
+		return
+	}
 	for i, key := range keys {
-		pre := make([]float64, m.cfg.Dim)
+		pre := sc.preFlat[i*dim : (i+1)*dim : (i+1)*dim]
+		linalg.Zero(pre)
 		for s, idx := range [3]int{key.Src, key.Struct, key.Tgt} {
 			linalg.AddInPlace(pre, m.rowFor(s, idx))
 		}
-		v := make([]float64, m.cfg.Dim)
+		v := sc.vecFlat[i*dim : (i+1)*dim : (i+1)*dim]
 		for j := range v {
 			v[j] = math.Tanh(pre[j])
 		}
-		st.pre[i] = pre
-		st.vecs[i] = v
-		scores[i] = linalg.Dot(v, m.attn)
+		sc.pre[i] = pre
+		sc.vecs[i] = v
+		sc.scores[i] = linalg.Dot(v, m.attn)
 	}
-	st.weights = linalg.Softmax(scores, nil)
-	st.agg = make([]float64, m.cfg.Dim)
-	for i, v := range st.vecs {
-		linalg.AXPYInPlace(st.agg, st.weights[i], v)
+	linalg.Softmax(sc.scores, sc.weights)
+	for i, v := range sc.vecs {
+		linalg.AXPYInPlace(sc.agg, sc.weights[i], v)
 	}
-	logits := m.logits(st.agg)
-	p := linalg.Softmax(logits[:], nil)
-	st.probs = [2]float64{p[0], p[1]}
-	return st
+	sc.logits = m.logits(sc.agg)
+	linalg.Softmax(sc.logits[:], sc.probs[:])
 }
 
 func (m *Model) logits(v []float64) [2]float64 {
@@ -252,12 +313,14 @@ func (m *Model) Train(samples []Sample) float64 {
 
 // step performs one SGD update and returns the sample's loss.
 func (m *Model) step(s Sample) float64 {
-	st := m.forward(s.Keys)
+	sc := m.getScratch(len(s.Keys))
+	defer m.putScratch(sc)
+	m.forward(s.Keys, sc)
 	label := 0
 	if s.Malicious {
 		label = 1
 	}
-	loss := -math.Log(math.Max(st.probs[label], 1e-12))
+	loss := -math.Log(math.Max(sc.probs[label], 1e-12))
 	if len(s.Keys) == 0 {
 		return loss
 	}
@@ -265,40 +328,42 @@ func (m *Model) step(s Sample) float64 {
 	lr := m.cfg.LearningRate
 	// dlogits = probs - onehot(label)
 	var dlogits [2]float64
-	dlogits[0] = st.probs[0]
-	dlogits[1] = st.probs[1]
+	dlogits[0] = sc.probs[0]
+	dlogits[1] = sc.probs[1]
 	dlogits[label] -= 1
 
 	// Classifier gradients and dv.
-	dv := make([]float64, m.cfg.Dim)
+	dv := sc.dv
+	linalg.Zero(dv)
 	for c := 0; c < 2; c++ {
 		linalg.AXPYInPlace(dv, dlogits[c], m.clsW[c])
-		linalg.AXPYInPlace(m.clsW[c], -lr*dlogits[c], st.agg)
+		linalg.AXPYInPlace(m.clsW[c], -lr*dlogits[c], sc.agg)
 		m.clsB[c] -= lr * dlogits[c]
 	}
 
 	// Attention backward.
-	n := len(st.keys)
-	dalpha := make([]float64, n)
-	for i, v := range st.vecs {
+	dalpha := sc.dalpha
+	for i, v := range sc.vecs {
 		dalpha[i] = linalg.Dot(dv, v)
 	}
 	// softmax jacobian: ds_i = α_i (dα_i - Σ_j α_j dα_j)
 	meanD := 0.0
 	for i := range dalpha {
-		meanD += st.weights[i] * dalpha[i]
+		meanD += sc.weights[i] * dalpha[i]
 	}
-	dattn := make([]float64, m.cfg.Dim)
-	for i, v := range st.vecs {
-		ds := st.weights[i] * (dalpha[i] - meanD)
+	dattn := sc.dattn
+	linalg.Zero(dattn)
+	for i, v := range sc.vecs {
+		ds := sc.weights[i] * (dalpha[i] - meanD)
 		// dp_i = α_i dv + ds_i * a
-		dp := make([]float64, m.cfg.Dim)
-		linalg.AXPYInPlace(dp, st.weights[i], dv)
+		dp := sc.dp
+		linalg.Zero(dp)
+		linalg.AXPYInPlace(dp, sc.weights[i], dv)
 		linalg.AXPYInPlace(dp, ds, m.attn)
 		linalg.AXPYInPlace(dattn, ds, v)
 		// Through tanh into the three component embedding rows (the path's
 		// pre-activation is their sum, so each receives the same gradient).
-		key := st.keys[i]
+		key := sc.keys[i]
 		for s, rowIdx := range [3]int{key.Src, key.Struct, key.Tgt} {
 			row := m.rowFor(s, rowIdx)
 			for j := range row {
@@ -319,12 +384,21 @@ type Embedding struct {
 }
 
 // Embed maps a script's path keys to per-path embeddings and weights. The
-// returned slice is parallel to keys.
+// returned slice is parallel to keys. Vectors are copied out of the pooled
+// forward workspace into one flat caller-owned backing array, so the result
+// stays valid (and embeddings stay independent of each other) across
+// subsequent Embed/Detect calls on any goroutine.
 func (m *Model) Embed(keys []PathKey) []Embedding {
-	st := m.forward(keys)
+	sc := m.getScratch(len(keys))
+	defer m.putScratch(sc)
+	m.forward(keys, sc)
 	out := make([]Embedding, len(keys))
+	dim := m.cfg.Dim
+	flat := make([]float64, len(keys)*dim)
 	for i := range keys {
-		out[i] = Embedding{Vector: st.vecs[i], Weight: st.weights[i]}
+		v := flat[i*dim : (i+1)*dim : (i+1)*dim]
+		copy(v, sc.vecs[i])
+		out[i] = Embedding{Vector: v, Weight: sc.weights[i]}
 	}
 	return out
 }
@@ -332,8 +406,10 @@ func (m *Model) Embed(keys []PathKey) []Embedding {
 // PredictProb returns the model's own malicious probability for a script,
 // used for diagnostics (the full pipeline classifies with the random forest).
 func (m *Model) PredictProb(keys []PathKey) float64 {
-	st := m.forward(keys)
-	return st.probs[1]
+	sc := m.getScratch(len(keys))
+	defer m.putScratch(sc)
+	m.forward(keys, sc)
+	return sc.probs[1]
 }
 
 // modelJSON is the serialization envelope.

@@ -2,8 +2,10 @@ package nn
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -204,6 +206,83 @@ func TestSerializationRoundTrip(t *testing.T) {
 				t.Fatal("vectors differ after round trip")
 			}
 		}
+	}
+}
+
+// TestEmbedReturnsIndependentCopies guards the pooled-workspace contract:
+// returned embeddings must not alias the model's internal forward buffers,
+// so neither a later Embed call nor mutation of one embedding may corrupt
+// another.
+func TestEmbedReturnsIndependentCopies(t *testing.T) {
+	cfg := smallConfig()
+	m, _ := NewModel(cfg)
+	m.Train(syntheticSamples(cfg, 40, 12))
+	keysA := syntheticSamples(cfg, 1, 13)[0].Keys
+	keysB := syntheticSamples(cfg, 1, 14)[0].Keys
+
+	embsA := m.Embed(keysA)
+	wantA := make([][]float64, len(embsA))
+	for i, e := range embsA {
+		wantA[i] = append([]float64(nil), e.Vector...)
+	}
+
+	// A second Embed reuses the pooled scratch; the first result must be
+	// unaffected.
+	_ = m.Embed(keysB)
+	for i, e := range embsA {
+		for j := range e.Vector {
+			if e.Vector[j] != wantA[i][j] {
+				t.Fatalf("embedding %d corrupted by a subsequent Embed call", i)
+			}
+		}
+	}
+
+	// Mutating one embedding must not leak into its neighbours.
+	for j := range embsA[0].Vector {
+		embsA[0].Vector[j] = math.Inf(1)
+	}
+	for i := 1; i < len(embsA); i++ {
+		for j := range embsA[i].Vector {
+			if embsA[i].Vector[j] != wantA[i][j] {
+				t.Fatalf("mutating embedding 0 corrupted embedding %d", i)
+			}
+		}
+	}
+}
+
+// TestConcurrentPredictionsAreConsistent drives the pooled hot path from
+// many goroutines: every call must see its own workspace and reproduce the
+// single-threaded result exactly.
+func TestConcurrentPredictionsAreConsistent(t *testing.T) {
+	cfg := smallConfig()
+	m, _ := NewModel(cfg)
+	m.Train(syntheticSamples(cfg, 40, 15))
+	sets := make([][]PathKey, 8)
+	want := make([]float64, len(sets))
+	for i := range sets {
+		sets[i] = syntheticSamples(cfg, 1, int64(20+i))[0].Keys
+		want[i] = m.PredictProb(sets[i])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, keys := range sets {
+					if got := m.PredictProb(keys); got != want[i] {
+						errs <- fmt.Sprintf("set %d: got %v, want %v", i, got, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
 	}
 }
 

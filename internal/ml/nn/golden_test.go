@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden fixture pins the model's numerical behaviour across internal
+// refactors: a model serialized before the flat-buffer workspace rework must
+// load and produce bit-identical PredictProb output afterwards. Regenerate
+// (only when the model's math is *intentionally* changed) with:
+//
+//	NN_WRITE_GOLDEN=1 go test -run TestGoldenPredictProbStability ./internal/ml/nn/
+const (
+	goldenModelPath = "testdata/model_v1.json"
+	goldenProbsPath = "testdata/golden_probs_v1.json"
+)
+
+// goldenProbe is one recorded probe: a key set and the exact bits of the
+// probability the fixture model assigned to it.
+type goldenProbe struct {
+	Keys []PathKey `json:"keys"`
+	// ProbBits is math.Float64bits of PredictProb, rendered in hex so the
+	// comparison is exact (JSON float round-trips are not).
+	ProbBits string `json:"probBits"`
+}
+
+// goldenKeySets builds a deterministic battery of probes: empty input,
+// single paths, dense scripts, and out-of-vocabulary components.
+func goldenKeySets(cfg Config) [][]PathKey {
+	rng := rand.New(rand.NewSource(99))
+	sets := [][]PathKey{
+		nil,
+		{{Src: 1, Struct: 31, Tgt: 61}},
+		{{Src: 500, Struct: 501, Tgt: 502}}, // likely OOV -> UNK rows
+	}
+	for n := 0; n < 8; n++ {
+		keys := make([]PathKey, 5+rng.Intn(40))
+		for j := range keys {
+			keys[j] = PathKey{
+				Src:    rng.Intn(cfg.VocabSize),
+				Struct: rng.Intn(cfg.VocabSize),
+				Tgt:    rng.Intn(cfg.VocabSize),
+			}
+		}
+		sets = append(sets, keys)
+	}
+	return sets
+}
+
+func TestGoldenPredictProbStability(t *testing.T) {
+	cfg := smallConfig()
+	if os.Getenv("NN_WRITE_GOLDEN") != "" {
+		writeGolden(t, cfg)
+	}
+	data, err := os.ReadFile(goldenModelPath)
+	if err != nil {
+		t.Fatalf("golden model missing (regenerate with NN_WRITE_GOLDEN=1): %v", err)
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("golden model unmarshal: %v", err)
+	}
+	probData, err := os.ReadFile(goldenProbsPath)
+	if err != nil {
+		t.Fatalf("golden probs missing: %v", err)
+	}
+	var probes []goldenProbe
+	if err := json.Unmarshal(probData, &probes); err != nil {
+		t.Fatalf("golden probs unmarshal: %v", err)
+	}
+	if len(probes) == 0 {
+		t.Fatal("golden probe file is empty")
+	}
+	for i, p := range probes {
+		got := math.Float64bits(m.PredictProb(p.Keys))
+		if want := fmt.Sprintf("%016x", got); want != p.ProbBits {
+			t.Errorf("probe %d (%d keys): PredictProb bits %s, golden %s",
+				i, len(p.Keys), want, p.ProbBits)
+		}
+	}
+}
+
+// writeGolden trains the fixture model and records the probe outputs.
+func writeGolden(t *testing.T, cfg Config) {
+	t.Helper()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(syntheticSamples(cfg, 80, 42))
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenModelPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenModelPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var probes []goldenProbe
+	for _, keys := range goldenKeySets(cfg) {
+		probes = append(probes, goldenProbe{
+			Keys:     keys,
+			ProbBits: fmt.Sprintf("%016x", math.Float64bits(m.PredictProb(keys))),
+		})
+	}
+	probData, err := json.MarshalIndent(probes, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenProbsPath, append(probData, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("golden fixtures regenerated under testdata/")
+}

@@ -13,7 +13,6 @@
 package pathctx
 
 import (
-	"hash/fnv"
 	"strings"
 	"time"
 
@@ -66,18 +65,44 @@ func (p Path) String() string {
 	return p.Source + "," + strings.Join(p.Nodes, " ") + "," + p.Target
 }
 
+// FNV-1a parameters (FNV-0 offset basis and 64-bit prime). The hashes are
+// computed inline over string bytes rather than through hash/fnv: the
+// stdlib constructor heap-allocates a hasher per call and the Write
+// interface forces a []byte conversion per component, which dominated the
+// allocation profile of the detect hot path. The byte sequences fed in are
+// identical to the previous hash/fnv implementation, so every hash value —
+// and therefore every vocabulary bucket — is unchanged.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString folds the bytes of s into h.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvByte folds one separator byte into h.
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
 // Hash returns a stable 64-bit hash of the full context, used by the
 // embedding model's hashed vocabulary.
 func (p Path) Hash() uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(p.Source))
-	h.Write([]byte{0})
+	h := fnvString(fnvOffset64, p.Source)
+	h = fnvByte(h, 0)
 	for _, n := range p.Nodes {
-		h.Write([]byte(n))
-		h.Write([]byte{1})
+		h = fnvString(h, n)
+		h = fnvByte(h, 1)
 	}
-	h.Write([]byte(p.Target))
-	return h.Sum64()
+	return fnvString(h, p.Target)
 }
 
 // ComponentHashes returns stable hashes of the context's three components:
@@ -88,19 +113,13 @@ func (p Path) Hash() uint64 {
 // closer": shared values or shared structure directly translate into vector
 // proximity.
 func (p Path) ComponentHashes() (source, structure, target uint64) {
-	hs := fnv.New64a()
-	hs.Write([]byte("src:"))
-	hs.Write([]byte(p.Source))
-	hn := fnv.New64a()
-	hn.Write([]byte("nodes:"))
+	source = fnvString(fnvString(fnvOffset64, "src:"), p.Source)
+	structure = fnvString(fnvOffset64, "nodes:")
 	for _, n := range p.Nodes {
-		hn.Write([]byte(n))
-		hn.Write([]byte{1})
+		structure = fnvByte(fnvString(structure, n), 1)
 	}
-	ht := fnv.New64a()
-	ht.Write([]byte("tgt:"))
-	ht.Write([]byte(p.Target))
-	return hs.Sum64(), hn.Sum64(), ht.Sum64()
+	target = fnvString(fnvString(fnvOffset64, "tgt:"), p.Target)
+	return source, structure, target
 }
 
 // Extract parses nothing: it takes an already-parsed program, runs the
@@ -158,9 +177,6 @@ func ExtractTimed(prog *ast.Program, opts Options) ([]Path, Timing) {
 		}
 	}
 	paths := enumerate(leaves, opts)
-	if opts.MaxPaths > 0 && len(paths) > opts.MaxPaths {
-		paths = sample(paths, opts.MaxPaths)
-	}
 	tm.Traversal = time.Since(t0)
 	return paths, tm
 }
@@ -187,6 +203,9 @@ type leaf struct {
 	value string
 	// chain[0] is the root; chain[len-1] is the leaf node.
 	chain []ast.Node
+	// typs[i] is chain[i].Type(), cached so path construction copies
+	// strings instead of re-dispatching the interface method per pair.
+	typs []string
 	// childIdx[i] is the index of chain[i+1] among chain[i]'s children.
 	childIdx []int
 }
@@ -196,11 +215,71 @@ type leaf struct {
 // overflow the stack; leaves below the cap are simply not extracted.
 const maxWalkDepth = 4096
 
+// arenaBlock is the chunk size (in elements) of the extraction arenas. Leaf
+// chains and path node sequences are carved out of shared blocks instead of
+// being allocated per leaf / per pair, which amortizes thousands of small
+// allocations per extraction into a handful of block allocations. Blocks
+// are never reused across Extract calls — retained Paths alias them.
+const arenaBlock = 4096
+
+// stringArena hands out []string chunks carved from shared blocks.
+type stringArena struct{ free []string }
+
+func (a *stringArena) alloc(n int) []string {
+	if len(a.free) < n {
+		size := arenaBlock
+		if n > size {
+			size = n
+		}
+		a.free = make([]string, size)
+	}
+	out := a.free[:n:n]
+	a.free = a.free[n:]
+	return out
+}
+
+// nodeArena hands out []ast.Node chunks carved from shared blocks.
+type nodeArena struct{ free []ast.Node }
+
+func (a *nodeArena) alloc(n int) []ast.Node {
+	if len(a.free) < n {
+		size := arenaBlock
+		if n > size {
+			size = n
+		}
+		a.free = make([]ast.Node, size)
+	}
+	out := a.free[:n:n]
+	a.free = a.free[n:]
+	return out
+}
+
+// intArena hands out []int chunks carved from shared blocks.
+type intArena struct{ free []int }
+
+func (a *intArena) alloc(n int) []int {
+	if len(a.free) < n {
+		size := arenaBlock
+		if n > size {
+			size = n
+		}
+		a.free = make([]int, size)
+	}
+	out := a.free[:n:n]
+	a.free = a.free[n:]
+	return out
+}
+
 // collectLeaves gathers all leaves in source order with their root chains.
+// Chain and child-index copies come from shared arenas, not per-leaf makes.
 func collectLeaves(prog *ast.Program, info *dataflow.Info, types map[string]string) []leaf {
 	var out []leaf
 	var chain []ast.Node
+	var typs []string
 	var idxs []int
+	var nodes nodeArena
+	var strs stringArena
+	var ints intArena
 
 	var walk func(n ast.Node)
 	walk = func(n ast.Node) {
@@ -208,15 +287,18 @@ func collectLeaves(prog *ast.Program, info *dataflow.Info, types map[string]stri
 			return
 		}
 		chain = append(chain, n)
+		typs = append(typs, n.Type())
 		kids := n.Children()
 		if len(kids) == 0 {
 			val := leafValue(n, info, types)
 			if val != "" {
-				c := make([]ast.Node, len(chain))
+				c := nodes.alloc(len(chain))
 				copy(c, chain)
-				ci := make([]int, len(idxs))
+				ct := strs.alloc(len(typs))
+				copy(ct, typs)
+				ci := ints.alloc(len(idxs))
 				copy(ci, idxs)
-				out = append(out, leaf{value: val, chain: c, childIdx: ci})
+				out = append(out, leaf{value: val, chain: c, typs: ct, childIdx: ci})
 			}
 		}
 		for i, k := range kids {
@@ -225,6 +307,7 @@ func collectLeaves(prog *ast.Program, info *dataflow.Info, types map[string]stri
 			idxs = idxs[:len(idxs)-1]
 		}
 		chain = chain[:len(chain)-1]
+		typs = typs[:len(typs)-1]
 	}
 	walk(prog)
 	return out
@@ -368,77 +451,124 @@ func enumerate(leaves []leaf, opts Options) []Path {
 	if opts.MaxPaths > 0 {
 		budget = 20 * opts.MaxPaths
 	}
-	var out []Path
+	if len(leaves) < 2 {
+		return nil
+	}
+	// Leaves arrive in DFS order, so the last common chain index of any pair
+	// (i, j) is the minimum of the adjacent-pair values over [i, j).
+	// Precomputing those n-1 values turns each pair's LCA into a single
+	// comparison instead of a root-down walk with interface equality checks —
+	// the dominant cost of the quadratic enumeration.
+	adjLCA := make([]int, len(leaves)-1)
+	for j := 0; j+1 < len(leaves); j++ {
+		adjLCA[j] = lastCommonIndex(leaves[j], leaves[j+1])
+	}
+	// Pass 1: collect qualifying pairs as index triples. Paths themselves are
+	// built only after down-sampling — at the default bounds 95% of the
+	// enumerated pairs are discarded by the sampler, so building them (arena
+	// copies, write barriers, GC pressure) would be pure waste.
+	var refs []pairRef
 	for i := 0; i < len(leaves); i++ {
+		lca := len(leaves[i].chain) // running LCA index of (i, j); shrinks as j advances
 		for j := i + 1; j < len(leaves); j++ {
-			p, ok := connect(leaves[i], leaves[j], opts)
-			if ok {
-				out = append(out, p)
-				if budget > 0 && len(out) >= budget {
-					return out
+			if d := adjLCA[j-1]; d < lca {
+				lca = d
+			}
+			// The upward half of the path only grows as j advances (lca is
+			// non-increasing); once it cannot fit MaxLength even with the
+			// shortest possible downward half, no later j qualifies either.
+			if len(leaves[i].chain)-lca+1 > opts.MaxLength {
+				break
+			}
+			if fits(leaves[i], leaves[j], lca, opts) {
+				refs = append(refs, pairRef{a: i, b: j, lca: lca})
+				if budget > 0 && len(refs) >= budget {
+					goto sampled
 				}
 			}
 		}
 	}
+sampled:
+	if opts.MaxPaths > 0 && len(refs) > opts.MaxPaths {
+		refs = sampleRefs(refs, opts.MaxPaths)
+	}
+	// Pass 2: build only the surviving paths.
+	out := make([]Path, len(refs))
+	var arena stringArena
+	for i, r := range refs {
+		out[i] = build(leaves[r.a], leaves[r.b], r.lca, &arena)
+	}
 	return out
 }
 
-// connect builds the path context between two leaves if it fits the bounds.
-func connect(a, b leaf, opts Options) (Path, bool) {
-	// Find lowest common ancestor depth.
-	lca := 0
-	for lca < len(a.chain) && lca < len(b.chain) && a.chain[lca] == b.chain[lca] {
-		lca++
+// pairRef is one qualifying leaf pair with its precomputed LCA index.
+type pairRef struct{ a, b, lca int }
+
+// lastCommonIndex returns the last chain index shared by two leaves' root
+// chains (>= 0: the root is always shared).
+func lastCommonIndex(a, b leaf) int {
+	n := len(a.chain)
+	if len(b.chain) < n {
+		n = len(b.chain)
 	}
-	lca-- // last common index
+	i := 0
+	for i < n && a.chain[i] == b.chain[i] {
+		i++
+	}
+	return i - 1
+}
+
+// fits reports whether the path context between two leaves satisfies the
+// width and length bounds. lca is the pair's last common chain index.
+func fits(a, b leaf, lca int, opts Options) bool {
 	if lca < 0 {
-		return Path{}, false
+		return false
 	}
 	// Width: distance of the child indices immediately below the LCA. When a
 	// leaf *is* the LCA the width constraint does not apply in the same way;
 	// such degenerate paths (one leaf an ancestor of the other) are skipped
 	// because both endpoints of a path context must be distinct leaves.
 	if lca >= len(a.childIdx) || lca >= len(b.childIdx) {
-		return Path{}, false
+		return false
 	}
 	width := b.childIdx[lca] - a.childIdx[lca]
 	if width < 0 {
 		width = -width
 	}
 	if width > opts.MaxWidth {
-		return Path{}, false
+		return false
 	}
 	// Length: nodes up from a's leaf to LCA plus down to b's leaf, counting
 	// both leaf nodes once each.
 	upLen := len(a.chain) - 1 - lca   // edges from a-leaf up to LCA
 	downLen := len(b.chain) - 1 - lca // edges from LCA down to b-leaf
-	k := upLen + downLen + 1          // number of nodes on the path
-	if k > opts.MaxLength {
-		return Path{}, false
-	}
-
-	nodes := make([]string, 0, k)
-	for d := len(a.chain) - 1; d >= lca; d-- {
-		nodes = append(nodes, a.chain[d].Type())
-	}
-	for d := lca + 1; d <= len(b.chain)-1; d++ {
-		nodes = append(nodes, b.chain[d].Type())
-	}
-	return Path{Source: a.value, Target: b.value, Nodes: nodes}, true
+	return upLen+downLen+1 <= opts.MaxLength
 }
 
-// sample deterministically reduces paths to n entries with an even stride so
-// the selection covers the whole file.
-func sample(paths []Path, n int) []Path {
-	out := make([]Path, 0, n)
-	stride := float64(len(paths)) / float64(n)
+// build constructs the path context of a qualifying pair (fits already
+// checked). The node sequence is carved from the shared arena.
+func build(a, b leaf, lca int, arena *stringArena) Path {
+	k := (len(a.chain) - 1 - lca) + (len(b.chain) - 1 - lca) + 1
+	nodes := arena.alloc(k)[:0]
+	for d := len(a.chain) - 1; d >= lca; d-- {
+		nodes = append(nodes, a.typs[d])
+	}
+	nodes = append(nodes, b.typs[lca+1:len(b.chain)]...)
+	return Path{Source: a.value, Target: b.value, Nodes: nodes}
+}
+
+// sampleRefs deterministically reduces the qualifying pairs to n entries
+// with an even stride so the selection covers the whole file.
+func sampleRefs(refs []pairRef, n int) []pairRef {
+	out := make([]pairRef, 0, n)
+	stride := float64(len(refs)) / float64(n)
 	pos := 0.0
 	for len(out) < n {
 		idx := int(pos)
-		if idx >= len(paths) {
+		if idx >= len(refs) {
 			break
 		}
-		out = append(out, paths[idx])
+		out = append(out, refs[idx])
 		pos += stride
 	}
 	return out

@@ -1,0 +1,91 @@
+// Verdict cache: real corpora are full of byte-identical scripts (bundled
+// library copies, CDN mirrors, repeated submissions), and the full pipeline
+// is deterministic for a given engine, so a scan of content the engine has
+// already classified can skip parse, extraction, and embedding entirely.
+// The cache is a serving-layer optimisation — it changes cost, never
+// verdicts — and only clean full-pipeline outcomes (benign/malicious) are
+// stored: degraded and failed results depend on transient conditions
+// (deadlines, resource pressure) and must be recomputed.
+package scan
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheSize bounds the verdict cache when Config.CacheSize is 0.
+// An entry is two words of verdict plus list/map bookkeeping (~100 bytes),
+// so the default costs well under a megabyte.
+const DefaultCacheSize = 4096
+
+// cacheKey identifies cached content: the XXH64 digest plus the length,
+// which turns an (astronomically unlikely) digest collision into a
+// same-length requirement as well.
+type cacheKey struct {
+	hash uint64
+	size int
+}
+
+// cacheEntry is one cached clean verdict.
+type cacheEntry struct {
+	key       cacheKey
+	verdict   Verdict
+	malicious bool
+}
+
+// verdictCache is a bounded, concurrency-safe LRU of clean verdicts.
+type verdictCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	m   map[cacheKey]*list.Element
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached verdict for key, refreshing its recency.
+func (c *verdictCache) get(key cacheKey) (Verdict, bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return 0, false, false
+	}
+	c.ll.MoveToFront(el)
+	ent := el.Value.(*cacheEntry)
+	return ent.verdict, ent.malicious, true
+}
+
+// put stores a clean verdict, evicting the least recently used entry when
+// full. Concurrent scans of identical content may race to put the same key;
+// the second write wins, which is harmless because both computed the same
+// deterministic verdict.
+func (c *verdictCache) put(key cacheKey, verdict Verdict, malicious bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.verdict, ent.malicious = verdict, malicious
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, verdict: verdict, malicious: malicious})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current entry count (tests and diagnostics).
+func (c *verdictCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -36,6 +36,13 @@ func FuzzDetect(f *testing.F) {
 			if res.Err != nil {
 				t.Fatalf("clean verdict %v carries error %v", res.Verdict, res.Err)
 			}
+			// A clean verdict is cached (the engine uses the default cache):
+			// rescanning the same bytes must reproduce it exactly.
+			again := eng.ScanSource(context.Background(), "fuzz-rescan.js", src)
+			if again.Verdict != res.Verdict || again.Malicious != res.Malicious {
+				t.Fatalf("cached rescan (%v, %v) != original (%v, %v)",
+					again.Verdict, again.Malicious, res.Verdict, res.Malicious)
+			}
 		case VerdictDegraded, VerdictFailed:
 			if res.Err == nil {
 				t.Fatalf("verdict %v without a structured error", res.Verdict)

@@ -24,6 +24,11 @@ const (
 	BytesMetric = "jsrevealer_scan_bytes_total"
 	// InflightMetric gauges files currently being classified.
 	InflightMetric = "jsrevealer_scan_inflight"
+	// CacheHitsMetric counts scans answered from the verdict cache.
+	CacheHitsMetric = "jsrevealer_cache_hits_total"
+	// CacheMissesMetric counts scans that ran the full pipeline because the
+	// verdict cache had no entry (or is disabled).
+	CacheMissesMetric = "jsrevealer_cache_misses_total"
 )
 
 // verdictLabels maps Verdict to its metric label (Verdict.String shouts
@@ -54,6 +59,8 @@ type instruments struct {
 	wait     *obs.Histogram
 	bytes    *obs.Counter
 	inflight *obs.Gauge
+	cacheHit *obs.Counter
+	cacheMis *obs.Counter
 }
 
 func newInstruments(reg *obs.Registry) *instruments {
@@ -68,6 +75,10 @@ func newInstruments(reg *obs.Registry) *instruments {
 		bytes: reg.Counter(BytesMetric, "Input bytes submitted for scanning.", nil),
 		inflight: reg.Gauge(InflightMetric,
 			"Files currently being classified.", nil),
+		cacheHit: reg.Counter(CacheHitsMetric,
+			"Scans answered from the verdict cache.", nil),
+		cacheMis: reg.Counter(CacheMissesMetric,
+			"Scans that ran the full pipeline (verdict cache miss or disabled).", nil),
 	}
 	for v, label := range verdictLabels {
 		ins.verdicts[v] = reg.Counter(FilesMetric,

@@ -95,6 +95,12 @@ type Config struct {
 	// NoFallback disables degradation entirely: guarded or failing files
 	// are reported as Failed instead of Degraded.
 	NoFallback bool
+	// CacheSize bounds the verdict cache (entries): repeated scans of
+	// byte-identical content are answered from the cache without re-running
+	// the pipeline. 0 selects DefaultCacheSize; negative disables caching.
+	// Only clean verdicts (benign/malicious) are cached — degraded and
+	// failed results are always recomputed.
+	CacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Fallback == nil {
 		c.Fallback = baselines.NewHeuristic()
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
 	}
 	return c
 }
@@ -196,14 +205,19 @@ type Stats struct {
 // Engine scans files concurrently with panic isolation, deadlines, input
 // guards, and graceful degradation. It is safe for concurrent use.
 type Engine struct {
-	c   Classifier
-	cfg Config
+	c     Classifier
+	cfg   Config
+	cache *verdictCache // nil when caching is disabled
 }
 
 // New builds an engine around a classifier. cfg zero-values select the
 // hardened defaults.
 func New(c Classifier, cfg Config) *Engine {
-	return &Engine{c: c, cfg: cfg.withDefaults()}
+	e := &Engine{c: c, cfg: cfg.withDefaults()}
+	if e.cfg.CacheSize > 0 {
+		e.cache = newVerdictCache(e.cfg.CacheSize)
+	}
+	return e
 }
 
 // Config returns the engine's effective (defaulted) configuration.
@@ -275,7 +289,7 @@ func (e *Engine) ScanFiles(ctx context.Context, paths []string) ([]Result, Stats
 				// reached it — the engine's backpressure signal.
 				ins.wait.ObserveDuration(time.Since(start))
 				ins.inflight.Inc()
-				res := e.scanFile(ctx, paths[i])
+				res := e.scanFile(ctx, ins, paths[i])
 				ins.inflight.Dec()
 				ins.observe(res)
 				results[i] = res
@@ -304,7 +318,7 @@ func (e *Engine) ScanSource(ctx context.Context, name, src string) Result {
 	ins := newInstruments(obs.FromContext(ctx))
 	sctx, sp := obs.StartSpan(ctx, "scan.file")
 	ins.inflight.Inc()
-	res := e.scanSource(sctx, name, src)
+	res := e.scanSource(sctx, ins, name, src)
 	ins.inflight.Dec()
 	sp.End()
 	res.Duration = time.Since(start)
@@ -316,7 +330,7 @@ func (e *Engine) ScanSource(ctx context.Context, name, src string) Result {
 // degradation on a bounded prefix without ever being fully read. The whole
 // file is covered by a "scan.file" span, under which the classifier's own
 // spans nest.
-func (e *Engine) scanFile(ctx context.Context, path string) Result {
+func (e *Engine) scanFile(ctx context.Context, ins *instruments, path string) Result {
 	start := time.Now()
 	ctx, sp := obs.StartSpan(ctx, "scan.file")
 	defer sp.End()
@@ -349,20 +363,32 @@ func (e *Engine) scanFile(ctx context.Context, path string) Result {
 		res.Duration = time.Since(start)
 		return res
 	}
-	res = e.scanSource(ctx, path, string(data))
+	res = e.scanSource(ctx, ins, path, string(data))
 	res.Duration = time.Since(start)
 	return res
 }
 
 // scanSource runs the guarded pipeline over src and degrades on any
-// structured failure. Duration is left for the caller to stamp.
-func (e *Engine) scanSource(ctx context.Context, name, src string) Result {
+// structured failure. Duration is left for the caller to stamp. Content
+// already classified cleanly by this engine is answered from the verdict
+// cache without re-running the pipeline.
+func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src string) Result {
 	res := Result{Path: name, Bytes: int64(len(src))}
 	if int64(len(src)) > e.cfg.MaxBytes {
 		cause := fmt.Errorf("%w: input is %d bytes (limit %d)",
 			ErrTooLarge, len(src), e.cfg.MaxBytes)
 		res.Verdict, res.Malicious, res.Err = e.degrade(ctx, src[:e.cfg.MaxBytes], cause)
 		return res
+	}
+	var key cacheKey
+	if e.cache != nil {
+		key = cacheKey{hash: contentHash(src), size: len(src)}
+		if verdict, malicious, ok := e.cache.get(key); ok {
+			ins.cacheHit.Inc()
+			res.Verdict, res.Malicious = verdict, malicious
+			return res
+		}
+		ins.cacheMis.Inc()
 	}
 	fctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
 	defer cancel()
@@ -373,6 +399,9 @@ func (e *Engine) scanSource(ctx context.Context, name, src string) Result {
 			res.Verdict = VerdictMalicious
 		} else {
 			res.Verdict = VerdictBenign
+		}
+		if e.cache != nil {
+			e.cache.put(key, res.Verdict, res.Malicious)
 		}
 		return res
 	}

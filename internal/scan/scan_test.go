@@ -410,10 +410,12 @@ func TestReason(t *testing.T) {
 }
 
 // BenchmarkScanSource measures the per-file hot path of the engine,
-// instrument accounting included.
+// instrument accounting included. The verdict cache is disabled so every
+// iteration pays the full pipeline — the comparable cached path is
+// BenchmarkScanSourceCachedRescan.
 func BenchmarkScanSource(b *testing.B) {
 	det, samples := trainedDetector(b)
-	eng := New(det, Config{})
+	eng := New(det, Config{CacheSize: -1})
 	src := samples[0].Source
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -437,13 +439,33 @@ func BenchmarkScanFiles(b *testing.B) {
 		}
 		paths = append(paths, p)
 	}
-	eng := New(det, Config{Workers: 4})
+	eng := New(det, Config{Workers: 4, CacheSize: -1})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, stats := eng.ScanFiles(context.Background(), paths)
 		if stats.Failed != 0 {
 			b.Fatalf("%d files failed", stats.Failed)
+		}
+	}
+}
+
+// BenchmarkScanSourceCachedRescan measures rescanning content the engine has
+// already classified: one cold scan primes the verdict cache, then every
+// iteration is a cache hit (hash + LRU lookup + instrument accounting).
+func BenchmarkScanSourceCachedRescan(b *testing.B) {
+	det, samples := trainedDetector(b)
+	eng := New(det, Config{})
+	src := samples[0].Source
+	if res := eng.ScanSource(context.Background(), "prime.js", src); res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := eng.ScanSource(context.Background(), "bench.js", src); res.Err != nil {
+			b.Fatal(res.Err)
 		}
 	}
 }

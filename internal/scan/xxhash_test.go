@@ -1,0 +1,70 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestXXH64KnownVectors pins the seed-0 reference vectors of the XXH64
+// specification.
+func TestXXH64KnownVectors(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xef46db3751d8e999},
+		{"abc", 0x44bc2cf5ad770999},
+	} {
+		if got := contentHash(c.in); got != c.want {
+			t.Errorf("contentHash(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestContentHashLengthBoundaries walks every interesting input length
+// across the 4/8/32-byte processing boundaries and checks basic hash
+// hygiene: deterministic, and distinct for distinct inputs (no collisions
+// in this tiny, structured family).
+func TestContentHashLengthBoundaries(t *testing.T) {
+	seen := make(map[uint64]int)
+	for n := 0; n <= 100; n++ {
+		in := strings.Repeat("x", n)
+		if n > 0 {
+			in = in[:n-1] + string(rune('a'+n%26))
+		}
+		h := contentHash(in)
+		if h != contentHash(in) {
+			t.Fatalf("len %d: hash not deterministic", n)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("len %d collides with len %d", n, prev)
+		}
+		seen[h] = n
+	}
+}
+
+// TestContentHashPrefixSensitivity: a one-byte change anywhere must change
+// the digest (true for any decent hash on such small families).
+func TestContentHashPrefixSensitivity(t *testing.T) {
+	base := strings.Repeat("function a(){return 1;}\n", 8)
+	want := contentHash(base)
+	for i := 0; i < len(base); i += 7 {
+		mut := base[:i] + "#" + base[i+1:]
+		if contentHash(mut) == want {
+			t.Fatalf("flipping byte %d did not change the hash", i)
+		}
+	}
+}
+
+// BenchmarkContentHash measures hashing throughput on a typical script.
+func BenchmarkContentHash(b *testing.B) {
+	src := strings.Repeat("var x = document.createElement('script');\n", 200)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if contentHash(src) == 0 {
+			b.Fatal("zero hash")
+		}
+	}
+}

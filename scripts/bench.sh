@@ -1,7 +1,10 @@
 #!/bin/sh
-# bench.sh: run the scan-engine benchmarks and emit a machine-readable
-# summary to BENCH_scan.json — one entry per benchmark with ns/op, B/op,
-# and allocs/op, so regressions show up as diffs in review.
+# bench.sh: run the hot-path benchmarks across every optimized layer — the
+# scan engine (cold and cached), the embedding network, path hashing and
+# extraction, and end-to-end detection — and record one timestamped run
+# (with the git SHA) into BENCH_scan.json via cmd/benchcompare. Earlier
+# runs are preserved, so `make bench-compare` can diff the newest run
+# against the committed baseline.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,21 +13,22 @@ out=BENCH_scan.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-echo "==> go test -bench BenchmarkScan ./internal/scan/"
-go test -bench 'BenchmarkScan' -benchmem -run '^$' ./internal/scan/ | tee "$raw"
+echo "==> scan engine benchmarks"
+go test -bench 'BenchmarkScan|BenchmarkContentHash' -benchmem -run '^$' \
+    ./internal/scan/ | tee -a "$raw"
 
-# Benchmark lines look like:
-#   BenchmarkScanSource-8   120  9876543 ns/op  65536 B/op  123 allocs/op
-awk '
-BEGIN { print "["; first = 1 }
-/^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    if (!first) printf ",\n"
-    first = 0
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, $2, $3, $5, $7
-}
-END { print "\n]" }
-' "$raw" > "$out"
+echo "==> embedding network benchmarks"
+go test -bench 'BenchmarkEmbed|BenchmarkPredictProb|BenchmarkTrainStep' \
+    -benchmem -run '^$' ./internal/ml/nn/ | tee -a "$raw"
+
+echo "==> path extraction benchmarks"
+go test -bench 'BenchmarkPathHash|BenchmarkExtract' -benchmem -run '^$' \
+    ./internal/pathctx/ | tee -a "$raw"
+
+echo "==> end-to-end detection benchmark"
+go test -bench '^BenchmarkDetect$' -benchmem -run '^$' . | tee -a "$raw"
+
+echo "==> recording run into $out"
+go run ./cmd/benchcompare record -file "$out" < "$raw" > /dev/null
 
 echo "==> wrote $out"

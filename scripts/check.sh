@@ -48,6 +48,8 @@ grep -q '^jsrevealer_scan_files_total' "$tmpdir/metrics" || {
     echo "/metrics missing scan metric families" >&2; exit 1; }
 grep -q '^jsrevealer_stage_duration_seconds_bucket' "$tmpdir/metrics" || {
     echo "/metrics missing stage histograms" >&2; exit 1; }
+grep -q '^jsrevealer_cache_hits_total' "$tmpdir/metrics" || {
+    echo "/metrics missing verdict-cache counters" >&2; exit 1; }
 kill $serve_pid
 wait $serve_pid 2>/dev/null || true
 
