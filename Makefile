@@ -1,4 +1,4 @@
-.PHONY: build test check fuzz bench bench-compare
+.PHONY: build test check fuzz bench bench-compare bench-rebaseline
 
 build:
 	go build ./...
@@ -17,10 +17,16 @@ check:
 bench:
 	sh scripts/bench.sh
 
-# Diff the newest recorded benchmark run against the committed baseline;
+# Diff the newest recorded benchmark run against the recorded baseline;
 # fails when any shared benchmark regresses allocs/op by more than 10%.
 bench-compare:
 	go run ./cmd/benchcompare compare -file BENCH_scan.json
+
+# Promote the newest recorded run to the comparison baseline. Run this after
+# an intentional perf-profile change (or to discard a noisy first run) so
+# bench-compare gates against the new steady state.
+bench-rebaseline:
+	go run ./cmd/benchcompare rebaseline -file BENCH_scan.json
 
 # Bounded fuzzing budgets for the robustness targets.
 fuzz:

@@ -8,12 +8,19 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchcompare record [-file BENCH_scan.json]
-//	benchcompare compare [-file BENCH_scan.json] [-max-alloc-regress 0.10]
+//	benchcompare compare [-file BENCH_scan.json] [-max-alloc-regress 0.10] [-baseline N]
+//	benchcompare rebaseline [-file BENCH_scan.json] [-run N]
+//
+// compare gates the newest run against the recorded baseline — by default
+// the oldest run, until `rebaseline` promotes a later one (use it after an
+// intentional perf-profile change, so the gate tracks the new steady state
+// instead of demanding a hand-edit of the history). `-baseline N` overrides
+// the recorded choice for one invocation.
 //
 // The file holds every recorded run, oldest first, so the performance
 // history travels with the repo:
 //
-//	{"runs": [{"git_sha": "...", "timestamp": "...", "benchmarks": [...]}]}
+//	{"runs": [{"git_sha": "...", "timestamp": "...", "benchmarks": [...]}], "baseline": N}
 //
 // The pre-harness format (a bare array of benchmark entries) is read as a
 // single baseline run and upgraded on the next record.
@@ -47,9 +54,11 @@ type Run struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// File is the on-disk history.
+// File is the on-disk history. Baseline is the index into Runs that compare
+// gates against; zero (the oldest run) until rebaseline promotes a later one.
 type File struct {
-	Runs []Run `json:"runs"`
+	Runs     []Run `json:"runs"`
+	Baseline int   `json:"baseline,omitempty"`
 }
 
 func main() {
@@ -70,13 +79,23 @@ func main() {
 		path := fs.String("file", "BENCH_scan.json", "benchmark history file")
 		maxRegress := fs.Float64("max-alloc-regress", 0.10,
 			"maximum tolerated allocs/op regression (fraction)")
+		baseline := fs.Int("baseline", -1,
+			"run index to gate against (-1: the baseline recorded in the file)")
 		fs.Parse(args)
-		ok, err := compare(*path, *maxRegress)
+		ok, err := compare(*path, *maxRegress, *baseline)
 		if err != nil {
 			fatal(err)
 		}
 		if !ok {
 			os.Exit(1)
+		}
+	case "rebaseline":
+		fs := flag.NewFlagSet("rebaseline", flag.ExitOnError)
+		path := fs.String("file", "BENCH_scan.json", "benchmark history file")
+		run := fs.Int("run", -1, "run index to promote (-1: the newest run)")
+		fs.Parse(args)
+		if err := rebaseline(*path, *run); err != nil {
+			fatal(err)
 		}
 	default:
 		usage()
@@ -84,7 +103,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchcompare record|compare [flags]")
+	fmt.Fprintln(os.Stderr, "usage: benchcompare record|compare|rebaseline [flags]")
 	os.Exit(2)
 }
 
@@ -123,7 +142,11 @@ func record(path string) error {
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
-		if b, ok := parseLine(line); ok {
+		b, ok, err := parseLine(line)
+		if err != nil {
+			return fmt.Errorf("malformed benchmark line %q: %w", line, err)
+		}
+		if ok {
 			benches = append(benches, b)
 		}
 	}
@@ -156,11 +179,15 @@ func record(path string) error {
 
 // parseLine extracts one `BenchmarkName-P  N  X ns/op [Y MB/s] [Z B/op] [W allocs/op]`
 // line. Values are located by their unit token, so the optional MB/s column
-// (benchmarks using b.SetBytes) does not shift the fields.
-func parseLine(line string) (Benchmark, bool) {
+// (benchmarks using b.SetBytes) does not shift the fields. Lines that don't
+// look like benchmark results return ok=false; lines that do but carry a
+// malformed value return an error — recording a silent 0 would poison the
+// history (a zero allocs/op baseline disables the regression gate, and a
+// zero current value reads as a huge improvement).
+func parseLine(line string) (Benchmark, bool, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Benchmark{}, false
+		return Benchmark{}, false, nil
 	}
 	name := fields[0]
 	if i := strings.LastIndex(name, "-"); i > 0 {
@@ -170,7 +197,9 @@ func parseLine(line string) (Benchmark, bool) {
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, false
+		// Not an iteration count, so not a result line (e.g. test prose
+		// that happens to start with "Benchmark").
+		return Benchmark{}, false, nil
 	}
 	b := Benchmark{Name: name, Iterations: iters}
 	seen := false
@@ -178,15 +207,21 @@ func parseLine(line string) (Benchmark, bool) {
 		val, unit := fields[i], fields[i+1]
 		switch unit {
 		case "ns/op":
-			b.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			if b.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Benchmark{}, false, fmt.Errorf("%s: %w", unit, err)
+			}
 			seen = true
 		case "B/op":
-			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			if b.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Benchmark{}, false, fmt.Errorf("%s: %w", unit, err)
+			}
 		case "allocs/op":
-			b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			if b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Benchmark{}, false, fmt.Errorf("%s: %w", unit, err)
+			}
 		}
 	}
-	return b, seen
+	return b, seen, nil
 }
 
 func gitSHA() string {
@@ -197,10 +232,12 @@ func gitSHA() string {
 	return strings.TrimSpace(string(out))
 }
 
-// compare prints per-benchmark deltas between the oldest (baseline) and
-// newest runs and reports whether every shared benchmark stays within the
-// allocs/op regression budget.
-func compare(path string, maxRegress float64) (bool, error) {
+// compare prints per-benchmark deltas between the baseline and newest runs
+// and reports whether every shared benchmark stays within the allocs/op
+// regression budget. The baseline is the file's recorded index (promoted by
+// rebaseline; the oldest run until then) unless baselineIdx >= 0 overrides
+// it for this invocation.
+func compare(path string, maxRegress float64, baselineIdx int) (bool, error) {
 	f, err := load(path)
 	if err != nil {
 		return false, err
@@ -208,13 +245,21 @@ func compare(path string, maxRegress float64) (bool, error) {
 	if len(f.Runs) < 2 {
 		return false, fmt.Errorf("%s holds %d run(s); need a baseline and a current run", path, len(f.Runs))
 	}
-	base, cur := f.Runs[0], f.Runs[len(f.Runs)-1]
+	idx := f.Baseline
+	if baselineIdx >= 0 {
+		idx = baselineIdx
+	}
+	if idx < 0 || idx >= len(f.Runs) {
+		return false, fmt.Errorf("baseline index %d out of range (%d runs)", idx, len(f.Runs))
+	}
+	base, cur := f.Runs[idx], f.Runs[len(f.Runs)-1]
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
 	}
-	fmt.Printf("baseline: %s (%s)  current: %s (%s)\n\n",
-		base.GitSHA, orDash(base.Timestamp), cur.GitSHA, orDash(cur.Timestamp))
+	fmt.Printf("baseline: %s (run %d, %s)  current: %s (run %d, %s)\n\n",
+		base.GitSHA, idx, orDash(base.Timestamp),
+		cur.GitSHA, len(f.Runs)-1, orDash(cur.Timestamp))
 	fmt.Printf("%-36s %14s %14s %8s %12s %12s %8s\n",
 		"benchmark", "ns/op(old)", "ns/op(new)", "Δns", "allocs(old)", "allocs(new)", "Δallocs")
 	ok := true
@@ -244,6 +289,37 @@ func compare(path string, maxRegress float64) (bool, error) {
 		fmt.Printf("\nOK: no benchmark regressed allocs/op beyond %.0f%%\n", maxRegress*100)
 	}
 	return ok, nil
+}
+
+// rebaseline promotes a recorded run (the newest, or runIdx when >= 0) to
+// be the comparison baseline, preserving the full history — the gate simply
+// starts measuring from the new steady state.
+func rebaseline(path string, runIdx int) error {
+	f, err := load(path)
+	if err != nil {
+		return err
+	}
+	if len(f.Runs) == 0 {
+		return fmt.Errorf("%s holds no runs", path)
+	}
+	idx := len(f.Runs) - 1
+	if runIdx >= 0 {
+		idx = runIdx
+	}
+	if idx >= len(f.Runs) {
+		return fmt.Errorf("run index %d out of range (%d runs)", idx, len(f.Runs))
+	}
+	f.Baseline = idx
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchcompare: baseline is now run %d (%s, %s)\n",
+		idx, f.Runs[idx].GitSHA, orDash(f.Runs[idx].Timestamp))
+	return nil
 }
 
 func pct(old, new float64) float64 {

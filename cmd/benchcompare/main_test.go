@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line    string
+		ok      bool
+		wantErr bool
+		want    Benchmark
+	}{
+		{
+			line: "BenchmarkScanSource-8   1405   803276 ns/op   713760 B/op   938 allocs/op",
+			ok:   true,
+			want: Benchmark{Name: "BenchmarkScanSource", Iterations: 1405,
+				NsPerOp: 803276, BytesPerOp: 713760, AllocsPerOp: 938},
+		},
+		{
+			// The MB/s column from b.SetBytes must not shift the fields.
+			line: "BenchmarkContentHash-8   682245   1795 ns/op   4683.21 MB/s   0 B/op   0 allocs/op",
+			ok:   true,
+			want: Benchmark{Name: "BenchmarkContentHash", Iterations: 682245, NsPerOp: 1795},
+		},
+		// Non-result lines are skipped without error.
+		{line: "goos: linux"},
+		{line: "--- FAIL: BenchmarkBroken"},
+		{line: "Benchmark prose that is not a result line"},
+		// Result lines with malformed values must error, not record zeros.
+		{line: "BenchmarkX-8 100 oops ns/op", wantErr: true},
+		{line: "BenchmarkX-8 100 5 ns/op bad B/op 3 allocs/op", wantErr: true},
+		{line: "BenchmarkX-8 100 5 ns/op 10 B/op 3.5 allocs/op", wantErr: true},
+	}
+	for _, c := range cases {
+		got, ok, err := parseLine(c.line)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseLine(%q) err = %v, wantErr %v", c.line, err, c.wantErr)
+			continue
+		}
+		if ok != c.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("parseLine(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+// writeHistory writes a history file with one single-benchmark run per
+// allocs/op value given.
+func writeHistory(t *testing.T, allocs ...int64) string {
+	t.Helper()
+	f := File{}
+	for i, a := range allocs {
+		f.Runs = append(f.Runs, Run{
+			GitSHA:     string(rune('a' + i)),
+			Benchmarks: []Benchmark{{Name: "BenchmarkX", Iterations: 1, NsPerOp: 100, AllocsPerOp: a}},
+		})
+	}
+	out, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareBaselineSelection: the gate must honor the recorded baseline
+// (set by rebaseline) and the -baseline override, instead of being pinned
+// to run 0 forever.
+func TestCompareBaselineSelection(t *testing.T) {
+	// Run 0: 1000 allocs. Run 1: 10 (intentional perf change). Run 2: 12 —
+	// a regression vs run 1, invisible vs run 0.
+	path := writeHistory(t, 1000, 10, 12)
+
+	if ok, err := compare(path, 0.10, -1); err != nil || !ok {
+		t.Fatalf("against run 0: ok=%v err=%v, want pass", ok, err)
+	}
+	if ok, err := compare(path, 0.10, 1); err != nil || ok {
+		t.Fatalf("against -baseline 1: ok=%v err=%v, want regression", ok, err)
+	}
+
+	if err := rebaseline(path, 1); err != nil {
+		t.Fatalf("rebaseline: %v", err)
+	}
+	if ok, err := compare(path, 0.10, -1); err != nil || ok {
+		t.Fatalf("after rebaseline: ok=%v err=%v, want regression", ok, err)
+	}
+
+	// rebaseline with no index promotes the newest run.
+	if err := rebaseline(path, -1); err != nil {
+		t.Fatalf("rebaseline newest: %v", err)
+	}
+	f, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Baseline != 2 {
+		t.Fatalf("baseline = %d, want 2", f.Baseline)
+	}
+
+	if _, err := compare(path, 0.10, 99); err == nil {
+		t.Fatal("out-of-range -baseline accepted")
+	}
+	if err := rebaseline(path, 99); err == nil {
+		t.Fatal("out-of-range rebaseline accepted")
+	}
+}

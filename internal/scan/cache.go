@@ -14,17 +14,15 @@ import (
 )
 
 // DefaultCacheSize bounds the verdict cache when Config.CacheSize is 0.
-// An entry is two words of verdict plus list/map bookkeeping (~100 bytes),
-// so the default costs well under a megabyte.
+// An entry is a 32-byte digest, two words of verdict, and list/map
+// bookkeeping (~150 bytes), so the default costs well under a megabyte.
 const DefaultCacheSize = 4096
 
-// cacheKey identifies cached content: the XXH64 digest plus the length,
-// which turns an (astronomically unlikely) digest collision into a
-// same-length requirement as well.
-type cacheKey struct {
-	hash uint64
-	size int
-}
+// Entries are keyed by cacheKey, the SHA-256 digest of the content (see
+// hash.go). A cryptographic digest matters here: a constructible collision
+// would let an attacker alias a malicious script to a cached benign
+// verdict, so the key's collision resistance is a security property of the
+// detector, not a statistical nicety.
 
 // cacheEntry is one cached clean verdict.
 type cacheEntry struct {

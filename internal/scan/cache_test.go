@@ -15,7 +15,11 @@ import (
 // refresh on get, and in-place update on duplicate put.
 func TestVerdictCacheLRU(t *testing.T) {
 	c := newVerdictCache(2)
-	k := func(i int) cacheKey { return cacheKey{hash: uint64(i), size: i} }
+	k := func(i int) cacheKey {
+		var key cacheKey
+		key[0], key[1] = byte(i), byte(i>>8)
+		return key
+	}
 
 	c.put(k(1), VerdictBenign, false)
 	c.put(k(2), VerdictMalicious, true)

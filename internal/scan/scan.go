@@ -382,7 +382,7 @@ func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src str
 	}
 	var key cacheKey
 	if e.cache != nil {
-		key = cacheKey{hash: contentHash(src), size: len(src)}
+		key = contentKey(src)
 		if verdict, malicious, ok := e.cache.get(key); ok {
 			ins.cacheHit.Inc()
 			res.Verdict, res.Malicious = verdict, malicious
