@@ -6,12 +6,19 @@
 //	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-cache-size N] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
 //	jsrevealer explain -model model.json [-top N]
 //	jsrevealer serve  [-addr host:port] [-model model.json] [-log-level L]
+//	                  [-max-body N] [-max-batch N] [-max-concurrent N] [-max-queue N]
+//	                  [-rate R] [-burst N] [-max-jobs N] [-job-ttl D] [-drain-timeout D]
 //
 // The train subcommand trains on the synthetic corpus; detect classifies
 // files with a persisted model; explain prints the most important learned
-// features (the paper's Table VII view); serve exposes the observability
-// endpoint (/metrics in Prometheus text format, /healthz, net/http/pprof,
-// and POST /detect when a model is given).
+// features (the paper's Table VII view); serve runs the production scan
+// service (internal/serve): /metrics, /healthz, net/http/pprof, and — when
+// a model is given — POST /detect (single script), POST /scan (streaming
+// NDJSON batch), POST /jobs + GET /jobs/{id} (async jobs), POST
+// /admin/reload and SIGHUP (model hot-reload with shadow validation), and
+// GET /version (live model provenance). Admission control (bounded queue,
+// per-client rate limiting) sheds overload as 429 with Retry-After, and
+// shutdown drains in-flight work within -drain-timeout.
 //
 // train and detect accept -profile cpu|heap with -profile-out to write a
 // pprof profile of the run; detect additionally accepts -stats-json to dump

@@ -2,10 +2,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
@@ -13,26 +11,39 @@ import (
 	"syscall"
 	"time"
 
-	"jsrevealer/internal/core"
 	"jsrevealer/internal/obs"
 	"jsrevealer/internal/scan"
+	"jsrevealer/internal/serve"
 )
 
-// maxDetectBody caps the request body of POST /detect; larger scripts are
-// rejected before they reach the pipeline (the engine has its own guards,
-// but the HTTP layer should not buffer unbounded input).
-const maxDetectBody = 16 << 20
-
-// runServe starts the observability endpoint: /metrics (Prometheus text
-// format), /healthz, the net/http/pprof handlers, and — when a model is
-// given — POST /detect classifying the request body.
+// runServe is a flag-parsing wrapper around internal/serve: it builds the
+// subsystem's Config from flags, binds the listener, wires SIGHUP to model
+// hot-reload, and drives the graceful-drain shutdown sequence. Everything
+// HTTP-facing lives in internal/serve.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:9090", "listen address (host:port, port 0 picks a free one)")
-	model := fs.String("model", "", "optional model path; enables POST /detect")
-	cacheSize := fs.Int("cache-size", 0, "verdict cache entries for /detect; 0 = default, negative disables")
-	readyFile := fs.String("ready-file", "", "write the resolved listen address to this file once serving")
+	model := fs.String("model", "", "optional model path; enables /detect, /scan, and /jobs")
+	readyFile := fs.String("ready-file", "", "write the resolved listen address to this file once serving (removed on exit)")
 	logLevel := fs.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+
+	// Scan-engine knobs, shared with the detect CLI.
+	workers := fs.Int("workers", 0, "scan worker pool size; 0 = GOMAXPROCS")
+	timeout := fs.Duration("timeout", 0, "per-script deadline; 0 = engine default")
+	maxBytes := fs.Int64("max-bytes", 0, "per-script size cap in bytes; 0 = engine default")
+	cacheSize := fs.Int("cache-size", 0, "verdict cache entries; 0 = default, negative disables")
+
+	// Serving-subsystem knobs.
+	maxBody := fs.Int64("max-body", serve.DefaultMaxBody, "per-request body cap in bytes")
+	maxBatch := fs.Int("max-batch", serve.DefaultMaxBatch, "max scripts per batch request")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max requests executing at once; 0 = 2x GOMAXPROCS")
+	maxQueue := fs.Int("max-queue", serve.DefaultMaxQueue, "admission waiting room; beyond it requests fast-fail 429 (negative = none)")
+	rate := fs.Float64("rate", 0, "per-client requests/second token-bucket rate; 0 disables rate limiting")
+	burst := fs.Int("burst", 0, "rate-limit burst; 0 = max(1, -rate)")
+	maxJobs := fs.Int("max-jobs", serve.DefaultMaxJobs, "async job store capacity")
+	jobWorkers := fs.Int("job-workers", serve.DefaultJobWorkers, "async job worker count")
+	jobTTL := fs.Duration("job-ttl", serve.DefaultJobTTL, "how long finished jobs stay pollable")
+	drainTimeout := fs.Duration("drain-timeout", serve.DefaultDrainTimeout, "graceful shutdown budget: finish in-flight work before exiting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,10 +53,30 @@ func runServe(args []string) error {
 	}
 	obs.DefaultLogger().SetLevel(lvl)
 
-	mux, err := newServeMux(obs.Default(), *model, *cacheSize)
+	s, err := serve.New(serve.Config{
+		ModelPath: *model,
+		Scan: scan.Config{
+			Workers:   *workers,
+			Timeout:   *timeout,
+			MaxBytes:  *maxBytes,
+			CacheSize: *cacheSize,
+		},
+		MaxBody:       *maxBody,
+		MaxBatch:      *maxBatch,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		RatePerSec:    *rate,
+		Burst:         *burst,
+		MaxJobs:       *maxJobs,
+		JobWorkers:    *jobWorkers,
+		JobTTL:        *jobTTL,
+		DrainTimeout:  *drainTimeout,
+	}, obs.Default())
 	if err != nil {
 		return err
 	}
+	defer s.Close()
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -55,22 +86,51 @@ func runServe(args []string) error {
 			ln.Close()
 			return err
 		}
+		// Remove on every exit path so repeated smoke runs never read a
+		// stale address from a previous process.
+		defer os.Remove(*readyFile)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	srv := &http.Server{Handler: requestLog(mux)}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	// SIGHUP hot-reloads the model without dropping traffic.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			v, err := s.Reload("")
+			if err != nil {
+				obs.DefaultLogger().Event(nil, obs.LevelError, "serve.reload",
+					"trigger", "sighup", "error", err.Error())
+				continue
+			}
+			obs.DefaultLogger().Event(nil, obs.LevelInfo, "serve.reload",
+				"trigger", "sighup", "model", v.ModelPath, "sha256", v.SHA256)
+		}
+	}()
+
+	srv := &http.Server{Handler: requestLog(s.Handler())}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "jsrevealer: serving on http://%s (/metrics /healthz /debug/pprof/)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "jsrevealer: serving on http://%s (/metrics /healthz /scan /jobs /version /debug/pprof/)\n", ln.Addr())
 	obs.DefaultLogger().Event(ctx, obs.LevelInfo, "serve.listening",
 		"addr", ln.Addr().String(), "model", *model)
 
 	select {
 	case <-ctx.Done():
-		obs.DefaultLogger().Event(nil, obs.LevelInfo, "serve.shutdown", "reason", "signal")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		obs.DefaultLogger().Event(nil, obs.LevelInfo, "serve.shutdown",
+			"reason", "signal", "drain_timeout", drainTimeout.String())
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// Stop admitting (healthz flips to draining) and let accepted async
+		// jobs finish, then close the listener and wait for in-flight
+		// requests — both bounded by the same drain budget.
+		if err := s.Drain(shutCtx); err != nil {
+			obs.DefaultLogger().Event(nil, obs.LevelWarn, "serve.drain",
+				"error", err.Error())
+		}
 		return srv.Shutdown(shutCtx)
 	case err := <-errc:
 		if err == http.ErrServerClosed {
@@ -80,63 +140,7 @@ func runServe(args []string) error {
 	}
 }
 
-// newServeMux assembles the serve handler against reg. Pre-registers the
-// detector-stage and scan metric families so /metrics exposes the full
-// surface before any traffic. Separated from runServe so tests can drive
-// it through httptest without binding a port.
-func newServeMux(reg *obs.Registry, modelPath string, cacheSize int) (http.Handler, error) {
-	core.RegisterStageMetrics(reg)
-	scan.RegisterMetrics(reg)
-	mux := obs.NewServeMux(reg)
-	if modelPath != "" {
-		det, err := core.Load(modelPath)
-		if err != nil {
-			return nil, err
-		}
-		eng := scan.New(det, scan.Config{CacheSize: cacheSize})
-		mux.Handle("/detect", detectHandler(eng, reg))
-	}
-	return mux, nil
-}
-
-// detectHandler classifies the POST body and answers with a JSON verdict.
-// Scan metrics land in reg, so served traffic shows up on /metrics.
-func detectHandler(eng *scan.Engine, reg *obs.Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST a JavaScript source body", http.StatusMethodNotAllowed)
-			return
-		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, maxDetectBody+1))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if len(body) > maxDetectBody {
-			http.Error(w, "request body exceeds 16MiB", http.StatusRequestEntityTooLarge)
-			return
-		}
-		name := r.URL.Query().Get("name")
-		if name == "" {
-			name = "request.js"
-		}
-		ctx := obs.WithRegistry(r.Context(), reg)
-		res := eng.ScanSource(ctx, name, string(body))
-		resp := map[string]any{
-			"path":      res.Path,
-			"verdict":   res.Verdict.String(),
-			"malicious": res.Malicious,
-		}
-		if res.Err != nil {
-			resp["error"] = res.Err.Error()
-			resp["reason"] = scan.Reason(res.Err)
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
-	})
-}
-
-// requestLog wraps h with structured access logging and request metrics on
+// requestLog wraps h with structured access logging and request spans on
 // the default registry.
 func requestLog(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

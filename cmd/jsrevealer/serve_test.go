@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -12,19 +13,21 @@ import (
 	"jsrevealer/internal/core"
 	"jsrevealer/internal/corpus"
 	"jsrevealer/internal/obs"
+	"jsrevealer/internal/serve"
 )
 
-// TestServeMuxExposesMetricSurface drives the serve handler through
-// httptest: /metrics must expose the pre-registered stage and scan metric
-// families before any traffic, /healthz must report ok, and /detect must
-// stay unrouted without a model.
-func TestServeMuxExposesMetricSurface(t *testing.T) {
+// TestServeExposesMetricSurface drives the serving subsystem the way the
+// serve subcommand wires it: /metrics must expose the pre-registered
+// stage, scan, and serve metric families before any traffic, /healthz must
+// report ok, and the work endpoints must answer 503 without a model.
+func TestServeExposesMetricSurface(t *testing.T) {
 	reg := obs.NewRegistry()
-	mux, err := newServeMux(reg, "", 0)
+	s, err := serve.New(serve.Config{}, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(mux)
+	defer s.Close()
+	srv := httptest.NewServer(requestLog(s.Handler()))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -45,7 +48,10 @@ func TestServeMuxExposesMetricSurface(t *testing.T) {
 		`jsrevealer_scan_files_total{verdict="malicious"} 0`,
 		`jsrevealer_scan_errors_total{reason="timeout"} 0`,
 		"jsrevealer_cache_hits_total 0",
-		"jsrevealer_cache_misses_total 0",
+		"jsrevealer_serve_queue_depth 0",
+		`jsrevealer_serve_admission_rejects_total{reason="queue_full"} 0`,
+		`jsrevealer_serve_reloads_total{result="ok"} 0`,
+		`jsrevealer_serve_request_duration_seconds_count{endpoint="/scan"} 0`,
 		"# TYPE jsrevealer_scan_file_duration_seconds histogram",
 	} {
 		if !strings.Contains(body, want) {
@@ -75,18 +81,32 @@ func TestServeMuxExposesMetricSurface(t *testing.T) {
 		resp.Body.Close()
 	}
 
-	if resp, err := http.Post(srv.URL+"/detect", "text/plain", strings.NewReader("var a=1;")); err != nil {
+	// Without a model, work endpoints shed load instead of 404ing.
+	for _, path := range []string{"/detect", "/scan", "/jobs"} {
+		resp, err := http.Post(srv.URL+path, "text/plain", strings.NewReader("var a=1;"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s without model: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+
+	// Wrong method is rejected by the route table.
+	if resp, err := http.Get(srv.URL + "/detect"); err != nil {
 		t.Fatal(err)
 	} else {
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusNotFound {
-			t.Errorf("/detect without model: status %d, want 404", resp.StatusCode)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /detect status = %d, want 405", resp.StatusCode)
 		}
 	}
 }
 
-// TestServeDetectEndpoint loads a freshly trained model into the mux and
-// checks POST /detect verdicts land as JSON and as scan metrics.
+// TestServeDetectEndpoint loads a freshly trained model into the subsystem
+// and checks POST /detect verdicts land as JSON and as scan metrics, the
+// verdict cache takes repeats, and /scan streams a real-model batch.
 func TestServeDetectEndpoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a model")
@@ -113,11 +133,12 @@ func TestServeDetectEndpoint(t *testing.T) {
 	}
 
 	reg := obs.NewRegistry()
-	mux, err := newServeMux(reg, model, 0)
+	s, err := serve.New(serve.Config{ModelPath: model}, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(mux)
+	defer s.Close()
+	srv := httptest.NewServer(requestLog(s.Handler()))
 	defer srv.Close()
 
 	resp, err := http.Post(srv.URL+"/detect?name=sample.js", "text/plain",
@@ -155,18 +176,8 @@ func TestServeDetectEndpoint(t *testing.T) {
 		t.Errorf("broken body verdict = %+v, want DEGRADED/parse", verdict)
 	}
 
-	// Wrong method is rejected.
-	if resp, err := http.Get(srv.URL + "/detect"); err != nil {
-		t.Fatal(err)
-	} else {
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Errorf("GET /detect status = %d, want 405", resp.StatusCode)
-		}
-	}
-
 	// Reposting the first body is a verdict-cache hit, visible on the
-	// counters the mux exposes.
+	// counters the subsystem exposes.
 	resp3, err := http.Post(srv.URL+"/detect?name=sample.js", "text/plain",
 		strings.NewReader(samples[0].Source))
 	if err != nil {
@@ -177,12 +188,54 @@ func TestServeDetectEndpoint(t *testing.T) {
 		t.Errorf("cache hits after repeated body = %d, want 1", hits)
 	}
 
-	// All three scans must be visible on the registry the mux exposes.
+	// A real-model NDJSON batch streams one verdict line per script.
+	batch := `{"name":"a.js","source":` + mustJSON(samples[0].Source) + `}` + "\n" +
+		`{"name":"b.js","source":` + mustJSON(samples[1].Source) + `}` + "\n"
+	resp4, err := http.Post(srv.URL+"/scan", "application/x-ndjson", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("/scan status = %d", resp4.StatusCode)
+	}
+	var lines int
+	sc := bufio.NewScanner(resp4.Body)
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("/scan streamed %d lines, want 2", lines)
+	}
+
+	// /version reports the model's provenance.
+	resp5, err := http.Get(srv.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp5.Body.Close()
+	var v serve.Version
+	if err := json.NewDecoder(resp5.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.ModelLoaded || v.ModelPath != model || len(v.SHA256) != 64 {
+		t.Errorf("/version = %+v", v)
+	}
+
+	// All five scans must be visible on the registry the mux exposes.
 	var total int64
-	for _, v := range []string{"benign", "malicious", "degraded", "failed"} {
-		total += reg.Counter("jsrevealer_scan_files_total", "", obs.Labels{"verdict": v}).Value()
+	for _, vl := range []string{"benign", "malicious", "degraded", "failed"} {
+		total += reg.Counter("jsrevealer_scan_files_total", "", obs.Labels{"verdict": vl}).Value()
 	}
-	if total != 3 {
-		t.Errorf("scan files counter total = %d, want 3", total)
+	if total != 5 {
+		t.Errorf("scan files counter total = %d, want 5", total)
 	}
+}
+
+func mustJSON(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
 }

@@ -311,6 +311,77 @@ func (e *Engine) ScanFiles(ctx context.Context, paths []string) ([]Result, Stats
 	return results, summarize(results, time.Since(start))
 }
 
+// Source is one named in-memory script for ScanSources.
+type Source struct {
+	// Name identifies the script in results and logs (a batch submission's
+	// per-record name, for example); it need not be a real path.
+	Name string
+	// Content is the script source.
+	Content string
+}
+
+// ScanSources scans in-memory sources through the worker pool under the
+// same guards as ScanFiles. When emit is non-nil it is invoked once per
+// finished result, in completion order, from worker goroutines — emit must
+// be safe for concurrent use. This is the substrate for streaming batch
+// APIs: callers can forward each verdict as it lands instead of waiting for
+// the whole batch. Aggregate statistics are returned once every source is
+// done; per-file metrics land in the registry carried by ctx.
+func (e *Engine) ScanSources(ctx context.Context, srcs []Source, emit func(Result)) Stats {
+	start := time.Now()
+	ins := newInstruments(obs.FromContext(ctx))
+	results := make([]Result, len(srcs))
+	done := make([]bool, len(srcs))
+	workers := e.cfg.Workers
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(srcs) || ctx.Err() != nil {
+					return
+				}
+				ins.wait.ObserveDuration(time.Since(start))
+				fstart := time.Now()
+				sctx, sp := obs.StartSpan(ctx, "scan.file")
+				ins.inflight.Inc()
+				res := e.scanSource(sctx, ins, srcs[i].Name, srcs[i].Content)
+				ins.inflight.Dec()
+				sp.End()
+				res.Duration = time.Since(fstart)
+				ins.observe(res)
+				results[i] = res
+				done[i] = true
+				if emit != nil {
+					emit(res)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Sources skipped by an engine-wide cancellation still get a result.
+	for i := range results {
+		if !done[i] {
+			results[i] = Result{
+				Path:    srcs[i].Name,
+				Verdict: VerdictFailed,
+				Err:     fmt.Errorf("%w: scan cancelled: %v", ErrTimeout, ctx.Err()),
+			}
+			ins.observe(results[i])
+			if emit != nil {
+				emit(results[i])
+			}
+		}
+	}
+	return summarize(results, time.Since(start))
+}
+
 // ScanSource scans one in-memory script under the engine's guards,
 // recording the same per-file metrics as ScanFiles.
 func (e *Engine) ScanSource(ctx context.Context, name, src string) Result {

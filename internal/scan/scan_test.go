@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -272,6 +273,60 @@ func TestScanFilesPreservesInputOrder(t *testing.T) {
 	}
 	if stats.Scanned != len(paths) {
 		t.Errorf("scanned %d, want %d", stats.Scanned, len(paths))
+	}
+}
+
+func TestScanSourcesStreamsResults(t *testing.T) {
+	flagEvil := ClassifierFunc(func(ctx context.Context, src string) (bool, error) {
+		return strings.Contains(src, "evil"), nil
+	})
+	eng := New(flagEvil, Config{Workers: 4, CacheSize: -1})
+	srcs := []Source{
+		{Name: "a.js", Content: "var a = 1;"},
+		{Name: "b.js", Content: "evil();"},
+		{Name: "c.js", Content: "var c = 3;"},
+		{Name: "d.js", Content: "evil(evil());"},
+	}
+	var mu sync.Mutex
+	emitted := make(map[string]Result)
+	stats := eng.ScanSources(context.Background(), srcs, func(r Result) {
+		mu.Lock()
+		emitted[r.Path] = r
+		mu.Unlock()
+	})
+	if len(emitted) != len(srcs) {
+		t.Fatalf("emitted %d results, want %d", len(emitted), len(srcs))
+	}
+	for _, s := range srcs {
+		r, ok := emitted[s.Name]
+		if !ok {
+			t.Fatalf("no result emitted for %s", s.Name)
+		}
+		wantMal := strings.Contains(s.Content, "evil")
+		if r.Malicious != wantMal || r.Err != nil {
+			t.Errorf("%s: malicious=%v err=%v, want malicious=%v", s.Name, r.Malicious, r.Err, wantMal)
+		}
+	}
+	if stats.Scanned != len(srcs) || stats.Flagged != 2 {
+		t.Errorf("stats = %+v, want Scanned=%d Flagged=2", stats, len(srcs))
+	}
+}
+
+func TestScanSourcesCancelled(t *testing.T) {
+	eng := New(ClassifierFunc(func(ctx context.Context, src string) (bool, error) {
+		return false, nil
+	}), Config{Workers: 2, CacheSize: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var n int64
+	stats := eng.ScanSources(ctx, []Source{{Name: "x.js"}, {Name: "y.js"}}, func(r Result) {
+		atomic.AddInt64(&n, 1)
+		if r.Verdict != VerdictFailed || !errors.Is(r.Err, ErrTimeout) {
+			t.Errorf("%s: verdict %v err %v, want FAILED/ErrTimeout", r.Path, r.Verdict, r.Err)
+		}
+	})
+	if n != 2 || stats.Failed != 2 {
+		t.Errorf("emitted %d, stats %+v; want 2 failed results", n, stats)
 	}
 }
 

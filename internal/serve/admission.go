@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// admission is the bounded admission queue in front of every work endpoint:
+// at most slots requests execute concurrently, at most maxQueue more wait
+// for a slot, and everything beyond that is fast-failed so load sheds at
+// the door instead of piling up in goroutines.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int
+
+	mu      sync.Mutex
+	waiting int
+
+	met *metrics
+}
+
+func newAdmission(slots, maxQueue int, met *metrics) *admission {
+	return &admission{
+		slots:    make(chan struct{}, slots),
+		maxQueue: maxQueue,
+		met:      met,
+	}
+}
+
+// tryEnqueue claims a waiting-room place, or reports the queue full.
+func (a *admission) tryEnqueue() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.waiting >= a.maxQueue {
+		return false
+	}
+	a.waiting++
+	a.met.queueDepth.Set(float64(a.waiting))
+	return true
+}
+
+func (a *admission) dequeue() {
+	a.mu.Lock()
+	a.waiting--
+	a.met.queueDepth.Set(float64(a.waiting))
+	a.mu.Unlock()
+}
+
+// acquire blocks until a concurrency slot is free, the waiting room is
+// full, or the request context ends. It returns a release func on success;
+// queueFull reports a fast-fail (release is nil and the caller should answer
+// 429). When the context ended first, both are nil/false and the caller
+// should just drop the request — the client is gone.
+func (a *admission) acquire(done <-chan struct{}) (release func(), queueFull bool) {
+	start := time.Now()
+	// Fast path: a slot is free right now.
+	select {
+	case a.slots <- struct{}{}:
+		a.met.queueWait.ObserveDuration(time.Since(start))
+		return func() { <-a.slots }, false
+	default:
+	}
+	if !a.tryEnqueue() {
+		return nil, true
+	}
+	defer a.dequeue()
+	select {
+	case a.slots <- struct{}{}:
+		a.met.queueWait.ObserveDuration(time.Since(start))
+		return func() { <-a.slots }, false
+	case <-done:
+		return nil, false
+	}
+}
+
+// tokenBucket is one client's rate-limit state.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a per-client token-bucket limiter keyed by the X-Client
+// header (falling back to the remote address), refilling rate tokens per
+// second up to burst. Idle buckets are swept so the map stays bounded by
+// the active client set.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu        sync.Mutex
+	buckets   map[string]*tokenBucket
+	lastSweep time.Time
+}
+
+// bucketIdleTTL is how long an untouched client bucket survives before a
+// sweep removes it. Any bucket idle this long has long since refilled to
+// burst, so dropping it loses nothing.
+const bucketIdleTTL = 5 * time.Minute
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow spends one token for key, or reports how long until one refills.
+func (l *rateLimiter) allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if now.Sub(l.lastSweep) > bucketIdleTTL {
+		for k, b := range l.buckets {
+			if now.Sub(b.last) > bucketIdleTTL {
+				delete(l.buckets, k)
+			}
+		}
+		l.lastSweep = now
+	}
+	b, ok2 := l.buckets[key]
+	if !ok2 {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// clientKey identifies the caller for rate limiting: the X-Client header
+// when the gateway in front of us sets one, else the remote host.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+
+	"jsrevealer/internal/scan"
+)
+
+// record is one script in a batch submission: a line of the NDJSON body or
+// one multipart file part.
+type record struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// verdictLine is one streamed NDJSON result line, and the per-script result
+// representation stored by async jobs.
+type verdictLine struct {
+	Name       string  `json:"name"`
+	Verdict    string  `json:"verdict"`
+	Malicious  bool    `json:"malicious"`
+	Reason     string  `json:"reason,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Bytes      int64   `json:"bytes"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// toLine renders a scan result as its NDJSON line.
+func toLine(r scan.Result) verdictLine {
+	l := verdictLine{
+		Name:       r.Path,
+		Verdict:    r.Verdict.String(),
+		Malicious:  r.Malicious,
+		Bytes:      r.Bytes,
+		DurationMS: float64(r.Duration.Microseconds()) / 1000,
+	}
+	if r.Err != nil {
+		l.Error = r.Err.Error()
+		l.Reason = scan.Reason(r.Err)
+	}
+	return l
+}
+
+// batchError is a client-attributable batch parse failure carrying the
+// status code the handler should answer with.
+type batchError struct {
+	status int
+	msg    string
+}
+
+func (e *batchError) Error() string { return e.msg }
+
+// parseBatch reads a batch submission from r: concatenated NDJSON
+// {"name","source"} records, or multipart/form-data with one script per
+// part. The body is already wrapped in http.MaxBytesReader by the caller;
+// maxBatch caps the record count so a single request cannot enqueue
+// unbounded work.
+func parseBatch(r *http.Request, maxBatch int) ([]scan.Source, error) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if strings.HasPrefix(ct, "multipart/") {
+		return parseMultipart(r, maxBatch)
+	}
+	return parseNDJSON(r.Body, maxBatch)
+}
+
+func parseNDJSON(body io.Reader, maxBatch int) ([]scan.Source, error) {
+	var srcs []scan.Source
+	dec := json.NewDecoder(body)
+	for {
+		var rec record
+		err := dec.Decode(&rec)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			if isBodyTooLarge(err) {
+				return nil, &batchError{http.StatusRequestEntityTooLarge, "request body exceeds the size limit"}
+			}
+			return nil, &batchError{http.StatusBadRequest,
+				fmt.Sprintf("record %d: invalid NDJSON: %v", len(srcs), err)}
+		}
+		if len(srcs) >= maxBatch {
+			return nil, &batchError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch exceeds %d scripts", maxBatch)}
+		}
+		if rec.Name == "" {
+			rec.Name = fmt.Sprintf("script-%d.js", len(srcs))
+		}
+		srcs = append(srcs, scan.Source{Name: rec.Name, Content: rec.Source})
+	}
+	if len(srcs) == 0 {
+		return nil, &batchError{http.StatusBadRequest, "empty batch: no records"}
+	}
+	return srcs, nil
+}
+
+func parseMultipart(r *http.Request, maxBatch int) ([]scan.Source, error) {
+	mr, err := r.MultipartReader()
+	if err != nil {
+		return nil, &batchError{http.StatusBadRequest, fmt.Sprintf("invalid multipart body: %v", err)}
+	}
+	var srcs []scan.Source
+	for {
+		part, err := mr.NextPart()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			if isBodyTooLarge(err) {
+				return nil, &batchError{http.StatusRequestEntityTooLarge, "request body exceeds the size limit"}
+			}
+			return nil, &batchError{http.StatusBadRequest, fmt.Sprintf("invalid multipart body: %v", err)}
+		}
+		if len(srcs) >= maxBatch {
+			part.Close()
+			return nil, &batchError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch exceeds %d scripts", maxBatch)}
+		}
+		data, err := io.ReadAll(part)
+		part.Close()
+		if err != nil {
+			if isBodyTooLarge(err) {
+				return nil, &batchError{http.StatusRequestEntityTooLarge, "request body exceeds the size limit"}
+			}
+			return nil, &batchError{http.StatusBadRequest, fmt.Sprintf("reading part: %v", err)}
+		}
+		name := part.FileName()
+		if name == "" {
+			name = part.FormName()
+		}
+		if name == "" {
+			name = fmt.Sprintf("script-%d.js", len(srcs))
+		}
+		srcs = append(srcs, scan.Source{Name: name, Content: string(data)})
+	}
+	if len(srcs) == 0 {
+		return nil, &batchError{http.StatusBadRequest, "empty batch: no parts"}
+	}
+	return srcs, nil
+}
+
+// isBodyTooLarge detects the error http.MaxBytesReader injects when the
+// request body crosses the configured byte limit.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/scan"
+)
+
+// BenchmarkServeScanBatch measures the serving layer's per-batch overhead —
+// admission, NDJSON parse, worker fan-out, and streamed encoding — around a
+// near-free classifier, so the number tracks the subsystem itself rather
+// than model inference.
+func BenchmarkServeScanBatch(b *testing.B) {
+	instant := scan.ClassifierFunc(func(ctx context.Context, src string) (bool, error) {
+		return strings.Contains(src, "evil"), nil
+	})
+	s, err := New(Config{
+		ModelPath: "model",
+		Loader: func(string) (scan.Classifier, string, error) {
+			return instant, "bench", nil
+		},
+		Scan: scan.Config{CacheSize: -1},
+	}, obs.NewRegistry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var batch strings.Builder
+	for i := 0; i < 16; i++ {
+		src := fmt.Sprintf("var v%d = %d; function f%d(){ return v%d * 2; }", i, i, i, i)
+		if i%4 == 0 {
+			src += " evil();"
+		}
+		fmt.Fprintf(&batch, "{\"name\":\"s%d.js\",\"source\":%q}\n", i, src)
+	}
+	body := batch.String()
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/scan", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/scan"
+)
+
+// Loader turns a model file into a classifier plus the hex SHA-256 of the
+// model bytes. The default loads a persisted core.Detector; tests inject
+// stubs so the suite never trains a model.
+type Loader func(path string) (scan.Classifier, string, error)
+
+// coreLoader is the production Loader: read the model file once, digest it,
+// and deserialize the detector from the same bytes.
+func coreLoader(path string) (scan.Classifier, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: load model: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	det := new(core.Detector)
+	if err := det.UnmarshalJSON(data); err != nil {
+		return nil, "", fmt.Errorf("serve: load model %s: %w", path, err)
+	}
+	return det, hex.EncodeToString(sum[:]), nil
+}
+
+// model is one immutable loaded-model generation: the engine built around
+// it plus the provenance /version exposes. Reloads swap whole generations
+// atomically; in-flight requests keep the generation they started with.
+type model struct {
+	engine   *scan.Engine
+	path     string
+	sha      string
+	loadedAt time.Time
+}
+
+// Version is the /version payload: which model is taking traffic and how it
+// got there.
+type Version struct {
+	ModelLoaded bool      `json:"model_loaded"`
+	ModelPath   string    `json:"model_path,omitempty"`
+	SHA256      string    `json:"sha256,omitempty"`
+	LoadedAt    time.Time `json:"loaded_at,omitempty"`
+	Reloads     int64     `json:"reloads"`
+}
+
+// holder owns the live model generation behind an atomic pointer, so reads
+// on the request path are a single atomic load and reloads never block
+// traffic. Reloads themselves are serialized and shadow-validated: a
+// candidate model must classify the embedded smoke corpus without error
+// before it takes traffic, so a corrupt or incompatible file can never
+// replace a working model.
+type holder struct {
+	cur     atomic.Pointer[model]
+	loader  Loader
+	scanCfg scan.Config
+	reloads atomic.Int64
+
+	mu sync.Mutex // serializes reload attempts
+}
+
+// smokeCorpus is the embedded shadow-validation set: a few small scripts
+// spanning plain code, control flow, and the suspicious-pattern territory
+// the detector exists for. Validation demands no errors, not particular
+// verdicts — the point is catching models that cannot classify at all.
+var smokeCorpus = []scan.Source{
+	{Name: "smoke-plain.js", Content: "function greet(name) { return 'hello ' + name; }\ngreet('world');"},
+	{Name: "smoke-loop.js", Content: "var total = 0;\nfor (var i = 0; i < 100; i++) { total += i * i; }"},
+	{Name: "smoke-dynamic.js", Content: "var payload = unescape('%61%6c%65%72%74');\nvar fn = new Function(payload + '(1)');\nfn();"},
+}
+
+// smokeTimeout bounds the whole shadow-validation pass; a model that cannot
+// classify three tiny scripts in this budget has no business taking traffic.
+const smokeTimeout = 30 * time.Second
+
+func newHolder(loader Loader, scanCfg scan.Config) *holder {
+	if loader == nil {
+		loader = coreLoader
+	}
+	return &holder{loader: loader, scanCfg: scanCfg}
+}
+
+// current returns the generation taking traffic (nil before the first load).
+func (h *holder) current() *model { return h.cur.Load() }
+
+// reload loads path, shadow-validates the classifier, and — only then —
+// swaps it in as the live generation. On any error the previous generation
+// keeps serving untouched.
+func (h *holder) reload(path string) (*model, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, sha, err := h.loader(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := shadowValidate(c); err != nil {
+		return nil, fmt.Errorf("serve: shadow validation rejected %s: %w", path, err)
+	}
+	m := &model{
+		engine:   scan.New(c, h.scanCfg),
+		path:     path,
+		sha:      sha,
+		loadedAt: time.Now(),
+	}
+	h.cur.Store(m)
+	h.reloads.Add(1)
+	return m, nil
+}
+
+// shadowValidate runs the candidate classifier over the smoke corpus before
+// it can take traffic.
+func shadowValidate(c scan.Classifier) error {
+	ctx, cancel := context.WithTimeout(context.Background(), smokeTimeout)
+	defer cancel()
+	for _, s := range smokeCorpus {
+		if _, err := c.DetectCtx(ctx, s.Content); err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// version snapshots the holder for /version.
+func (h *holder) version() Version {
+	m := h.current()
+	if m == nil {
+		return Version{Reloads: h.reloads.Load()}
+	}
+	return Version{
+		ModelLoaded: true,
+		ModelPath:   m.path,
+		SHA256:      m.sha,
+		LoadedAt:    m.loadedAt,
+		Reloads:     h.reloads.Load(),
+	}
+}

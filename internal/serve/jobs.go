@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"jsrevealer/internal/scan"
+)
+
+// JobState is the lifecycle of one async scan job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a job worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is scanning the job's scripts.
+	JobRunning JobState = "running"
+	// JobDone: every script has a verdict; results are available.
+	JobDone JobState = "done"
+	// JobFailed: the job could not run (e.g. the model was unloaded
+	// between submission and execution).
+	JobFailed JobState = "failed"
+)
+
+// job is one accepted async submission. Mutable state is guarded by mu;
+// the sources slice is written once at submission and read-only afterwards.
+type job struct {
+	id        string
+	sources   []scan.Source
+	submitted time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	results  []verdictLine
+	errMsg   string
+}
+
+// JobView is the GET /jobs/{id} payload: a consistent snapshot of the job.
+type JobView struct {
+	ID          string        `json:"id"`
+	State       JobState      `json:"state"`
+	Scripts     int           `json:"scripts"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	Results     []verdictLine `json:"results,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		State:       j.state,
+		Scripts:     len(j.sources),
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	// Running jobs expose the verdicts landed so far, so polling shows
+	// progress, not just a state string.
+	v.Results = append([]verdictLine(nil), j.results...)
+	return v
+}
+
+// terminal reports whether the job has finished (done or failed) and when.
+func (j *job) terminal() (bool, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == JobDone || j.state == JobFailed, j.finished
+}
+
+// jobStore is the bounded in-memory job index. Finished jobs are kept for
+// ttl so clients can poll results, then evicted; the total population is
+// capped at max, with room made by evicting the oldest finished job early
+// when a fresh submission needs it.
+type jobStore struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // ids in submission order, the eviction scan order
+	max   int
+	ttl   time.Duration
+	met   *metrics
+}
+
+func newJobStore(max int, ttl time.Duration, met *metrics) *jobStore {
+	return &jobStore{jobs: make(map[string]*job), max: max, ttl: ttl, met: met}
+}
+
+// newJobID returns a 16-hex-char random id.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; fall back to a
+		// time-derived id rather than refusing service.
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000000000")))[:16]
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// put registers a new job, evicting expired (and, under population
+// pressure, the oldest finished) jobs first. It reports false when the
+// store is full of unfinished jobs — the backpressure signal POST /jobs
+// turns into a 429.
+func (s *jobStore) put(j *job) bool {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked(now, false)
+	if len(s.jobs) >= s.max {
+		s.evictLocked(now, true)
+	}
+	if len(s.jobs) >= s.max {
+		return false
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return true
+}
+
+// remove deletes a job that never made it onto the queue; its order entry
+// is swept lazily by the next eviction pass.
+func (s *jobStore) remove(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// get looks a job up, running TTL eviction on the way so polls observe
+// expiry without a background janitor.
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked(time.Now(), false)
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// evictLocked removes finished jobs older than ttl; when force is set it
+// additionally removes the single oldest finished job regardless of age,
+// making room for a new submission. Callers hold s.mu.
+func (s *jobStore) evictLocked(now time.Time, force bool) {
+	kept := s.order[:0]
+	forced := false
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		done, finished := j.terminal()
+		expired := done && now.Sub(finished) > s.ttl
+		if expired || (force && done && !forced) {
+			forced = forced || !expired
+			delete(s.jobs, id)
+			s.met.jobs["evicted"].Inc()
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/scan"
+)
+
+// submitJob posts an NDJSON batch to /jobs and returns the accepted id.
+func submitJob(t *testing.T, ts *httptest.Server, names ...string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/x-ndjson",
+		strings.NewReader(ndjsonBatch(names...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/jobs status = %d, want 202", resp.StatusCode)
+	}
+	var acc struct {
+		ID      string `json:"id"`
+		State   string `json:"state"`
+		Scripts int    `json:"scripts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID == "" || acc.State != string(JobQueued) || acc.Scripts != len(names) {
+		t.Fatalf("acceptance = %+v", acc)
+	}
+	return acc.ID
+}
+
+// pollJob polls GET /jobs/{id} until the job reaches a terminal state.
+func pollJob(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State == JobDone || v.State == JobFailed {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobView{}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+	})
+	id := submitJob(t, ts, "a.js", "evil-b.js", "c.js")
+	v := pollJob(t, ts, id)
+	if v.State != JobDone || v.Scripts != 3 || len(v.Results) != 3 {
+		t.Fatalf("finished job = %+v", v)
+	}
+	flagged := 0
+	for _, r := range v.Results {
+		if r.Malicious {
+			flagged++
+		}
+	}
+	if flagged != 1 {
+		t.Errorf("flagged %d of 3, want 1", flagged)
+	}
+	if v.StartedAt == nil || v.FinishedAt == nil {
+		t.Error("finished job missing timestamps")
+	}
+	if n := reg.Counter(JobsMetric, "", obs.Labels{"event": "done"}).Value(); n != 1 {
+		t.Errorf("jobs done counter = %d, want 1", n)
+	}
+	if g := reg.Gauge(JobsInflightMetric, "", nil).Value(); g != 0 {
+		t.Errorf("jobs inflight gauge = %v, want 0", g)
+	}
+
+	// Unknown ids are a clean 404.
+	resp, err := http.Get(ts.URL + "/jobs/deadbeef00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobStoreBoundsAndTTL: a full store of unfinished jobs sheds load;
+// finished jobs are evicted for room and expire after the TTL.
+func TestJobStoreBoundsAndTTL(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	_, ts, reg := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": blockingClassifier(entered, release)}),
+		MaxJobs:   1,
+		JobTTL:    250 * time.Millisecond,
+	})
+
+	first := submitJob(t, ts, "a.js")
+	<-entered // the job is running and parked
+
+	// Store full of unfinished work: submission sheds as 429.
+	resp, err := http.Post(ts.URL+"/jobs", "application/x-ndjson",
+		strings.NewReader(ndjsonBatch("b.js")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit into full store = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("job 429 without Retry-After")
+	}
+
+	close(release)
+	if v := pollJob(t, ts, first); v.State != JobDone {
+		t.Fatalf("first job state = %s", v.State)
+	}
+
+	// The finished job makes room for the next submission (forced
+	// eviction), after which the first id is gone.
+	second := submitJob(t, ts, "c.js")
+	if v := pollJob(t, ts, second); v.State != JobDone {
+		t.Fatalf("second job state = %s", v.State)
+	}
+	respGone, err := http.Get(ts.URL + "/jobs/" + first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respGone.Body.Close()
+	if respGone.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job status = %d, want 404", respGone.StatusCode)
+	}
+	if n := reg.Counter(JobsMetric, "", obs.Labels{"event": "evicted"}).Value(); n < 1 {
+		t.Errorf("evicted counter = %d, want >= 1", n)
+	}
+
+	// TTL expiry: the second job vanishes once its TTL passes.
+	time.Sleep(400 * time.Millisecond)
+	respTTL, err := http.Get(ts.URL + "/jobs/" + second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respTTL.Body.Close()
+	if respTTL.StatusCode != http.StatusNotFound {
+		t.Errorf("expired job status = %d, want 404", respTTL.StatusCode)
+	}
+}
+
+// TestDrainWaitsForJobs: drain blocks until accepted jobs finish, timing
+// out when they do not.
+func TestDrainWaitsForJobs(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	s, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": blockingClassifier(entered, release)}),
+	})
+	id := submitJob(t, ts, "a.js")
+	<-entered
+
+	// The parked job holds the drain open past a short deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	err := s.Drain(ctx)
+	cancel()
+	if err == nil {
+		t.Fatal("drain with a parked job should time out")
+	}
+
+	// Released, the job finishes and a fresh drain completes.
+	close(release)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx2); err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+	if v := pollJob(t, ts, id); v.State != JobDone {
+		t.Errorf("job state after drain = %s, want done", v.State)
+	}
+}

@@ -1,0 +1,570 @@
+// Package serve is the production serving subsystem behind `jsrevealer
+// serve`: everything HTTP-facing in one self-contained, stdlib-only layer.
+//
+// Four pillars:
+//
+//   - Batch and async APIs. POST /scan accepts many scripts per request
+//     (concatenated NDJSON records or multipart parts) and streams one
+//     NDJSON verdict line per script as results complete off the scan
+//     engine's worker pool. POST /jobs + GET /jobs/{id} give an async job
+//     store — bounded, in-memory, TTL-evicted — for submissions too large
+//     to hold a connection open for.
+//
+//   - Admission control. A bounded admission queue (concurrency slots plus
+//     a waiting room) with queue-wait accounting fast-fails 429 with
+//     Retry-After when full; a per-client token bucket (keyed by X-Client
+//     or remote host) sheds abusive callers; per-request byte limits stop
+//     unbounded buffering before the engine's own guards even apply.
+//
+//   - Model hot-reload. The live model sits behind an atomic pointer and
+//     is swapped by SIGHUP or POST /admin/reload. A candidate model must
+//     classify an embedded smoke corpus without error before it takes
+//     traffic, and /version exposes the live model's path, SHA-256, and
+//     load time.
+//
+//   - Graceful drain. Drain stops admitting work, flips /healthz to 503
+//     "draining" so load balancers back off, and waits for accepted async
+//     jobs to finish; in-flight HTTP requests are left to the caller's
+//     http.Server.Shutdown.
+//
+// Every pillar emits jsrevealer_serve_* metrics through internal/obs, so
+// the whole subsystem is visible on the same /metrics surface as the scan
+// engine and detector stages.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jsrevealer/internal/core"
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/scan"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultMaxBody caps one request body at 16MiB.
+	DefaultMaxBody = int64(16 << 20)
+	// DefaultMaxBatch caps scripts per batch request.
+	DefaultMaxBatch = 256
+	// DefaultMaxQueue is the admission waiting room size.
+	DefaultMaxQueue = 64
+	// DefaultMaxJobs bounds the async job store.
+	DefaultMaxJobs = 256
+	// DefaultJobWorkers drain the async job queue.
+	DefaultJobWorkers = 2
+	// DefaultJobTTL keeps finished jobs pollable this long.
+	DefaultJobTTL = 10 * time.Minute
+	// DefaultDrainTimeout bounds graceful shutdown.
+	DefaultDrainTimeout = 5 * time.Second
+)
+
+// Config tunes the serving subsystem. The zero value serves without a
+// model (work endpoints answer 503) under default admission limits.
+type Config struct {
+	// ModelPath enables the work endpoints; empty serves observability only.
+	ModelPath string
+	// Loader loads ModelPath into a classifier; nil selects the production
+	// core.Detector loader. Tests inject stubs here.
+	Loader Loader
+	// Scan configures the engine built around each loaded model (workers,
+	// per-file timeout, byte/token guards, verdict-cache size) — the knobs
+	// shared with the detect CLI.
+	Scan scan.Config
+	// MaxBody caps one request body in bytes; <= 0 means DefaultMaxBody.
+	MaxBody int64
+	// MaxBatch caps scripts per batch request; <= 0 means DefaultMaxBatch.
+	MaxBatch int
+	// MaxConcurrent bounds requests executing at once; <= 0 means twice
+	// GOMAXPROCS (work endpoints are scan-bound, so a small multiple of
+	// the engine's own parallelism keeps the queue meaningful).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot; beyond it requests
+	// fast-fail 429. 0 means DefaultMaxQueue; negative means no waiting
+	// room at all.
+	MaxQueue int
+	// RatePerSec enables per-client token-bucket rate limiting; 0 disables.
+	RatePerSec float64
+	// Burst is the token-bucket capacity; <= 0 means max(1, RatePerSec).
+	Burst int
+	// MaxJobs bounds the async job store; <= 0 means DefaultMaxJobs.
+	MaxJobs int
+	// JobWorkers is the async worker count; <= 0 means DefaultJobWorkers.
+	JobWorkers int
+	// JobTTL keeps finished jobs pollable; <= 0 means DefaultJobTTL.
+	JobTTL time.Duration
+	// DrainTimeout bounds Drain and the caller's server shutdown; <= 0
+	// means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBody <= 0 {
+		c.MaxBody = DefaultMaxBody
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = DefaultMaxQueue
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.Burst <= 0 {
+		c.Burst = int(c.RatePerSec)
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = DefaultMaxJobs
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = DefaultJobWorkers
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = DefaultJobTTL
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	return c
+}
+
+// Server is the serving subsystem: handler wiring, admission control, the
+// async job machinery, and the live-model holder. Build with New, expose
+// Handler() behind an http.Server, and call Drain then Close on shutdown.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	met *metrics
+
+	holder *holder // nil when no model is configured
+	adm    *admission
+	rl     *rateLimiter // nil when rate limiting is disabled
+
+	store       *jobStore
+	jobCh       chan *job
+	jobsPending atomic.Int64
+
+	draining atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	handler http.Handler
+}
+
+// New assembles the subsystem against reg (obs.Default() when nil),
+// loading and shadow-validating the model when cfg.ModelPath is set. The
+// full metric surface — detector stages, scan engine, and serve families —
+// is pre-registered so /metrics is complete before the first request.
+func New(cfg Config, reg *obs.Registry) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if reg == nil {
+		reg = obs.Default()
+	}
+	core.RegisterStageMetrics(reg)
+	scan.RegisterMetrics(reg)
+	met := newMetrics(reg)
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		met:   met,
+		adm:   newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, met),
+		store: newJobStore(cfg.MaxJobs, cfg.JobTTL, met),
+		jobCh: make(chan *job, cfg.MaxJobs),
+		stop:  make(chan struct{}),
+	}
+	if cfg.RatePerSec > 0 {
+		s.rl = newRateLimiter(cfg.RatePerSec, cfg.Burst)
+	}
+	if cfg.ModelPath != "" {
+		s.holder = newHolder(cfg.Loader, cfg.Scan)
+		if _, err := s.holder.reload(cfg.ModelPath); err != nil {
+			return nil, err
+		}
+		met.reloadOK.Inc()
+	}
+	for i := 0; i < cfg.JobWorkers; i++ {
+		go s.jobWorker()
+	}
+	s.handler = s.buildMux()
+	return s, nil
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Handler returns the subsystem's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// engine returns the live model's engine, or nil before any model loads.
+func (s *Server) engine() *scan.Engine {
+	if s.holder == nil {
+		return nil
+	}
+	if m := s.holder.current(); m != nil {
+		return m.engine
+	}
+	return nil
+}
+
+// Reload loads and shadow-validates path (the current model path when
+// empty) and atomically swaps it in. On error the previous model keeps
+// serving; either way the attempt lands on the reload counters.
+func (s *Server) Reload(path string) (Version, error) {
+	if s.holder == nil {
+		return Version{}, errors.New("serve: no model configured")
+	}
+	if path == "" {
+		if m := s.holder.current(); m != nil {
+			path = m.path
+		}
+	}
+	_, err := s.holder.reload(path)
+	if err != nil {
+		s.met.reloadErr.Inc()
+		return s.holder.version(), err
+	}
+	s.met.reloadOK.Inc()
+	return s.holder.version(), nil
+}
+
+// Version reports the live model's provenance.
+func (s *Server) Version() Version {
+	if s.holder == nil {
+		return Version{}
+	}
+	return s.holder.version()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admitting new work (every work endpoint answers 503 and
+// /healthz flips to draining) and waits for accepted async jobs to finish,
+// up to ctx's deadline. In-flight synchronous requests are the caller's
+// http.Server.Shutdown's responsibility.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.jobsPending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close stops the async job workers. Call after Drain on shutdown; jobs
+// still queued (drain timed out) are abandoned.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// buildMux wires every route. Work endpoints pass through instrumentation
+// (per-endpoint latency) and admission (drain check, model check, rate
+// limit, bounded queue); observability endpoints stay un-gated so /metrics
+// and /healthz keep answering under overload and drain.
+func (s *Server) buildMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(s.reg))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.Handle("POST /detect", s.instrument("/detect", s.admit(http.HandlerFunc(s.handleDetect))))
+	mux.Handle("POST /scan", s.instrument("/scan", s.admit(http.HandlerFunc(s.handleScan))))
+	mux.Handle("POST /jobs", s.instrument("/jobs", s.admit(http.HandlerFunc(s.handleJobSubmit))))
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.Handle("POST /admin/reload", s.instrument("/admin/reload", http.HandlerFunc(s.handleReload)))
+	mux.HandleFunc("GET /version", s.handleVersion)
+	return mux
+}
+
+// instrument records per-endpoint latency around h.
+func (s *Server) instrument(endpoint string, h http.Handler) http.Handler {
+	hist := s.met.latency[endpoint]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		hist.ObserveDuration(time.Since(start))
+	})
+}
+
+// admit is the admission-control gate in front of every work endpoint:
+// drain check, model presence, per-client rate limit, then the bounded
+// concurrency queue. Rejections are counted by reason and carry
+// Retry-After where retrying makes sense.
+func (s *Server) admit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.reject(w, "draining", http.StatusServiceUnavailable, 0, "server is draining")
+			return
+		}
+		if s.engine() == nil {
+			s.reject(w, "no_model", http.StatusServiceUnavailable, 0, "no model loaded")
+			return
+		}
+		if s.rl != nil {
+			if ok, retry := s.rl.allow(clientKey(r), time.Now()); !ok {
+				secs := int(retry.Seconds()) + 1
+				s.reject(w, "rate_limited", http.StatusTooManyRequests, secs, "client rate limit exceeded")
+				return
+			}
+		}
+		release, queueFull := s.adm.acquire(r.Context().Done())
+		if release == nil {
+			if queueFull {
+				s.reject(w, "queue_full", http.StatusTooManyRequests, 1, "admission queue full")
+			}
+			// Otherwise the client went away while queued; nothing to say.
+			return
+		}
+		defer release()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// reject answers an admission failure and counts it.
+func (s *Server) reject(w http.ResponseWriter, reason string, status, retryAfter int, msg string) {
+	if c, ok := s.met.rejects[reason]; ok {
+		c.Inc()
+	}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSONError(w, status, msg)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// handleHealthz is the load-balancer probe: 200 ok while serving, 503
+// draining once shutdown starts so traffic backs off before the listener
+// closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleDetect classifies a single raw-JS POST body — the original
+// one-script endpoint, kept for simple callers and the CLI smoke tests.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		if isBodyTooLarge(err) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge, "request body exceeds the size limit")
+		} else {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "request.js"
+	}
+	ctx := obs.WithRegistry(r.Context(), s.reg)
+	res := s.engine().ScanSource(ctx, name, string(body))
+	resp := map[string]any{
+		"path":      res.Path,
+		"verdict":   res.Verdict.String(),
+		"malicious": res.Malicious,
+	}
+	if res.Err != nil {
+		resp["error"] = res.Err.Error()
+		resp["reason"] = scan.Reason(res.Err)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleScan is the streaming batch endpoint: parse the whole submission,
+// fan it across the engine's worker pool, and flush one NDJSON verdict
+// line per script as it completes — a slow script never blocks verdicts
+// for the rest of the batch (lines arrive in completion order).
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	srcs, err := parseBatch(r, s.cfg.MaxBatch)
+	if err != nil {
+		var be *batchError
+		if errors.As(err, &be) {
+			writeJSONError(w, be.status, be.msg)
+		} else {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	ctx := obs.WithRegistry(r.Context(), s.reg)
+	s.engine().ScanSources(ctx, srcs, func(res scan.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(toLine(res))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+}
+
+// handleJobSubmit accepts a batch for asynchronous execution: the request
+// returns immediately with a job id, and GET /jobs/{id} polls it to
+// completion — the shape crawler-scale submitters need when a batch is too
+// big to hold a connection open for.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	srcs, err := parseBatch(r, s.cfg.MaxBatch)
+	if err != nil {
+		var be *batchError
+		if errors.As(err, &be) {
+			writeJSONError(w, be.status, be.msg)
+		} else {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	j := &job{id: newJobID(), sources: srcs, submitted: time.Now(), state: JobQueued}
+	if !s.store.put(j) {
+		s.reject(w, "queue_full", http.StatusTooManyRequests, 1, "job store full")
+		return
+	}
+	s.jobsPending.Add(1)
+	select {
+	case s.jobCh <- j:
+	default:
+		// The queue channel is sized to the store cap, so this is only
+		// reachable when evicted jobs left stale channel slots; shed load.
+		s.jobsPending.Add(-1)
+		s.store.remove(j.id)
+		s.reject(w, "queue_full", http.StatusTooManyRequests, 1, "job queue full")
+		return
+	}
+	s.met.jobs["submitted"].Inc()
+	s.met.jobInflight.Inc()
+	// Answer with the literal queued state: a worker may have started the
+	// job already, so j.state must not be read without its lock here.
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":      j.id,
+		"state":   JobQueued,
+		"scripts": len(srcs),
+	})
+}
+
+// handleJobGet polls one job.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, "unknown or expired job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleReload swaps the model: the current path by default, or ?path= to
+// point the server at a new file. Validation failures leave the old model
+// serving and answer 422 with the cause.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.holder == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, "no model configured")
+		return
+	}
+	v, err := s.Reload(r.URL.Query().Get("path"))
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleVersion reports the live model's provenance.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Version())
+}
+
+// jobWorker drains the async queue until Close.
+func (s *Server) jobWorker() {
+	for {
+		select {
+		case j := <-s.jobCh:
+			s.runJob(j)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// runJob executes one accepted job. The engine generation is captured at
+// start, so a mid-job reload never mixes verdicts from two models within
+// one job.
+func (s *Server) runJob(j *job) {
+	defer func() {
+		s.jobsPending.Add(-1)
+		s.met.jobInflight.Dec()
+	}()
+	eng := s.engine()
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	if eng == nil {
+		j.mu.Lock()
+		j.state = JobFailed
+		j.errMsg = "no model loaded"
+		j.finished = time.Now()
+		j.mu.Unlock()
+		s.met.jobs["failed"].Inc()
+		return
+	}
+	ctx := obs.WithRegistry(context.Background(), s.reg)
+	s.engineScan(ctx, eng, j)
+	j.mu.Lock()
+	j.state = JobDone
+	j.finished = time.Now()
+	j.mu.Unlock()
+	s.met.jobs["done"].Inc()
+}
+
+// engineScan streams the job's sources through the engine, appending each
+// verdict as it lands so a poll of a running job could expose progress.
+func (s *Server) engineScan(ctx context.Context, eng *scan.Engine, j *job) {
+	eng.ScanSources(ctx, j.sources, func(res scan.Result) {
+		line := toLine(res)
+		j.mu.Lock()
+		j.results = append(j.results, line)
+		j.mu.Unlock()
+	})
+}

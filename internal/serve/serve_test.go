@@ -1,0 +1,555 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/scan"
+)
+
+// stubLoader builds a Loader over a path→classifier table, so the suite
+// exercises loading, validation, and hot-reload without ever training a
+// model. The reported SHA-256 digests the path, making generations
+// distinguishable through /version.
+func stubLoader(table map[string]scan.Classifier) Loader {
+	return func(path string) (scan.Classifier, string, error) {
+		c, ok := table[path]
+		if !ok {
+			return nil, "", fmt.Errorf("no model at %s", path)
+		}
+		sum := sha256.Sum256([]byte(path))
+		return c, hex.EncodeToString(sum[:]), nil
+	}
+}
+
+// flagEvil flags any source containing "evil".
+var flagEvil = scan.ClassifierFunc(func(ctx context.Context, src string) (bool, error) {
+	return strings.Contains(src, "evil"), nil
+})
+
+// alwaysMalicious flags everything — the "new model" in reload tests.
+var alwaysMalicious = scan.ClassifierFunc(func(ctx context.Context, src string) (bool, error) {
+	return true, nil
+})
+
+// brokenClassifier fails shadow validation.
+var brokenClassifier = scan.ClassifierFunc(func(ctx context.Context, src string) (bool, error) {
+	return false, fmt.Errorf("model cannot classify")
+})
+
+// newTestServer builds a server plus httptest frontend around cfg. The
+// verdict cache is disabled unless the config asks otherwise, so stubbed
+// classifiers observe every request.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	if cfg.Scan.CacheSize == 0 {
+		cfg.Scan.CacheSize = -1
+	}
+	reg := obs.NewRegistry()
+	s, err := New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, reg
+}
+
+func ndjsonBatch(names ...string) string {
+	var b strings.Builder
+	for _, n := range names {
+		src := "var x = 1;"
+		if strings.HasPrefix(n, "evil") {
+			src = "evil();"
+		}
+		line, _ := json.Marshal(record{Name: n, Source: src})
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func decodeLines(t *testing.T, body io.Reader) map[string]verdictLine {
+	t.Helper()
+	out := make(map[string]verdictLine)
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		var l verdictLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out[l.Name] = l
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestScanBatchStreamsNDJSON(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+	})
+	resp, err := http.Post(ts.URL+"/scan", "application/x-ndjson",
+		strings.NewReader(ndjsonBatch("a.js", "evil-b.js", "c.js")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/scan status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	lines := decodeLines(t, resp.Body)
+	if len(lines) != 3 {
+		t.Fatalf("streamed %d lines, want 3", len(lines))
+	}
+	for name, l := range lines {
+		wantMal := strings.HasPrefix(name, "evil")
+		if l.Malicious != wantMal {
+			t.Errorf("%s: malicious=%v, want %v", name, l.Malicious, wantMal)
+		}
+		if wantMal && l.Verdict != "MALICIOUS" {
+			t.Errorf("%s: verdict = %q", name, l.Verdict)
+		}
+	}
+}
+
+func TestScanBatchMultipart(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+	})
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for name, src := range map[string]string{"one.js": "var a = 1;", "two.js": "evil();"} {
+		fw, err := mw.CreateFormFile("scripts", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.WriteString(fw, src)
+	}
+	mw.Close()
+	resp, err := http.Post(ts.URL+"/scan", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/scan multipart status = %d", resp.StatusCode)
+	}
+	lines := decodeLines(t, resp.Body)
+	if len(lines) != 2 || !lines["two.js"].Malicious || lines["one.js"].Malicious {
+		t.Errorf("multipart lines = %+v", lines)
+	}
+}
+
+func TestScanBatchRejectsBadInput(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+		MaxBatch:  2,
+		MaxBody:   256,
+	})
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"invalid json", "{not json", http.StatusBadRequest},
+		{"empty batch", "", http.StatusBadRequest},
+		{"too many scripts", ndjsonBatch("a.js", "b.js", "c.js"), http.StatusRequestEntityTooLarge},
+		{"oversized body", `{"name":"big.js","source":"` + strings.Repeat("x", 512) + `"}`, http.StatusRequestEntityTooLarge},
+	} {
+		resp, err := http.Post(ts.URL+"/scan", "application/x-ndjson", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+// TestScanConcurrentBatches hammers /scan from many goroutines — the race
+// detector's view of the admission queue, the engine pool, and the
+// streaming writer all at once.
+func TestScanConcurrentBatches(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+	})
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			batch := ndjsonBatch(
+				fmt.Sprintf("c%d-a.js", c), fmt.Sprintf("evil-c%d.js", c),
+				fmt.Sprintf("c%d-b.js", c), fmt.Sprintf("c%d-c.js", c),
+			)
+			resp, err := http.Post(ts.URL+"/scan", "application/x-ndjson", strings.NewReader(batch))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d", c, resp.StatusCode)
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			if n := bytes.Count(raw, []byte("\n")); n != 4 {
+				errs <- fmt.Errorf("client %d: %d lines, want 4", c, n)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// isSmoke reports whether src is one of the embedded shadow-validation
+// scripts, which stub classifiers must answer without blocking or the
+// initial load in New would never return.
+func isSmoke(src string) bool {
+	for _, s := range smokeCorpus {
+		if s.Content == src {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingClassifier parks every non-smoke classification until release is
+// closed, signalling each arrival on entered.
+func blockingClassifier(entered chan<- struct{}, release <-chan struct{}) scan.Classifier {
+	return scan.ClassifierFunc(func(ctx context.Context, src string) (bool, error) {
+		if isSmoke(src) {
+			return false, nil
+		}
+		entered <- struct{}{}
+		<-release
+		return false, nil
+	})
+}
+
+func waitGauge(t *testing.T, reg *obs.Registry, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Gauge(name, "", nil).Value() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("gauge %s never reached %v (now %v)", name, want, reg.Gauge(name, "", nil).Value())
+}
+
+// TestAdmissionQueueFull: with one concurrency slot and a one-deep waiting
+// room, the third simultaneous request fast-fails 429 with Retry-After
+// while the queued one eventually completes.
+func TestAdmissionQueueFull(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	_, ts, reg := newTestServer(t, Config{
+		ModelPath:     "model",
+		Loader:        stubLoader(map[string]scan.Classifier{"model": blockingClassifier(entered, release)}),
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+	})
+
+	type result struct {
+		status int
+		err    error
+	}
+	results := make(chan result, 2)
+	post := func(body string) {
+		resp, err := http.Post(ts.URL+"/detect", "text/plain", strings.NewReader(body))
+		if err != nil {
+			results <- result{0, err}
+			return
+		}
+		resp.Body.Close()
+		results <- result{resp.StatusCode, nil}
+	}
+
+	go post("var a = 1;") // takes the slot
+	<-entered             // classifier reached: slot held
+	go post("var b = 2;") // takes the waiting room
+	waitGauge(t, reg, QueueDepthMetric, 1)
+
+	// Third request: waiting room full → immediate 429 + Retry-After.
+	resp, err := http.Post(ts.URL+"/detect", "text/plain", strings.NewReader("var c = 3;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if n := reg.Counter(AdmissionRejectsMetric, "", obs.Labels{"reason": "queue_full"}).Value(); n != 1 {
+		t.Errorf("queue_full rejects = %d, want 1", n)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil || r.status != http.StatusOK {
+			t.Errorf("held request %d: status %d err %v", i, r.status, r.err)
+		}
+	}
+	// Every admitted request's queue wait was accounted.
+	if n := reg.Histogram(QueueWaitMetric, "", nil, nil).Count(); n != 2 {
+		t.Errorf("queue wait observations = %d, want 2", n)
+	}
+	// Drain the extra entered signal from the queued request.
+	<-entered
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{
+		ModelPath:  "model",
+		Loader:     stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+		RatePerSec: 0.001, // refill far slower than the test
+		Burst:      1,
+	})
+	post := func(client string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/detect", strings.NewReader("var a=1;"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if r := post("crawler-1"); r.StatusCode != http.StatusOK {
+		t.Fatalf("first request status = %d", r.StatusCode)
+	}
+	r2 := post("crawler-1")
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429", r2.StatusCode)
+	}
+	if ra := r2.Header.Get("Retry-After"); ra == "" {
+		t.Error("rate-limited 429 without Retry-After")
+	}
+	// A different client has its own bucket.
+	if r := post("crawler-2"); r.StatusCode != http.StatusOK {
+		t.Errorf("other client status = %d, want 200", r.StatusCode)
+	}
+	if n := reg.Counter(AdmissionRejectsMetric, "", obs.Labels{"reason": "rate_limited"}).Value(); n != 1 {
+		t.Errorf("rate_limited rejects = %d, want 1", n)
+	}
+}
+
+// TestHotReloadSwapsVerdicts: a reload mid-traffic leaves the in-flight
+// request on the old model and flips verdict behaviour for new requests,
+// with /version reflecting the new generation.
+func TestHotReloadSwapsVerdicts(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	table := map[string]scan.Classifier{
+		"model-a": blockingClassifier(entered, release), // benign once released
+		"model-b": alwaysMalicious,
+		"broken":  brokenClassifier,
+	}
+	s, ts, reg := newTestServer(t, Config{ModelPath: "model-a", Loader: stubLoader(table)})
+
+	verdictOf := func(resp *http.Response) bool {
+		defer resp.Body.Close()
+		var v struct {
+			Malicious bool `json:"malicious"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v.Malicious
+	}
+
+	// In-flight request on the old model.
+	inflight := make(chan bool, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/detect", "text/plain", strings.NewReader("var a=1;"))
+		if err != nil {
+			t.Error(err)
+			inflight <- false
+			return
+		}
+		inflight <- verdictOf(resp)
+	}()
+	<-entered
+
+	// Swap to model-b while the old request is still running.
+	resp, err := http.Post(ts.URL+"/admin/reload?path=model-b", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v Version
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status = %d", resp.StatusCode)
+	}
+	wantSHA := sha256.Sum256([]byte("model-b"))
+	if v.ModelPath != "model-b" || v.SHA256 != hex.EncodeToString(wantSHA[:]) || v.Reloads != 2 {
+		t.Errorf("post-reload version = %+v", v)
+	}
+
+	// New traffic sees the new model immediately.
+	resp2, err := http.Post(ts.URL+"/detect", "text/plain", strings.NewReader("var b=2;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK || !verdictOf(resp2) {
+		t.Error("request after reload should be flagged by model-b")
+	}
+
+	// The in-flight request finishes on the old model, undropped.
+	close(release)
+	if mal := <-inflight; mal {
+		t.Error("in-flight request should have kept model-a's benign verdict")
+	}
+
+	// A broken candidate is rejected by shadow validation: 422, old model
+	// keeps serving, error counted.
+	resp3, err := http.Post(ts.URL+"/admin/reload?path=broken", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("broken reload status = %d, want 422", resp3.StatusCode)
+	}
+	if s.Version().ModelPath != "model-b" {
+		t.Errorf("live model after failed reload = %q, want model-b", s.Version().ModelPath)
+	}
+	if n := reg.Counter(ReloadsMetric, "", obs.Labels{"result": "error"}).Value(); n != 1 {
+		t.Errorf("reload error counter = %d, want 1", n)
+	}
+	// A missing model file is rejected the same way.
+	resp4, err := http.Post(ts.URL+"/admin/reload?path=missing", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("missing reload status = %d, want 422", resp4.StatusCode)
+	}
+}
+
+// TestDrainFinishesInflight: drain flips /healthz and sheds new work while
+// an in-flight request runs to completion.
+func TestDrainFinishesInflight(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, ts, reg := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": blockingClassifier(entered, release)}),
+	})
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/detect", "text/plain", strings.NewReader("var a=1;"))
+		if err != nil {
+			t.Error(err)
+			inflight <- 0
+			return
+		}
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	<-entered
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Health flips to draining with 503.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status map[string]string
+	json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || status["status"] != "draining" {
+		t.Errorf("/healthz during drain = %d %v, want 503 draining", resp.StatusCode, status)
+	}
+
+	// New work is shed.
+	resp2, err := http.Post(ts.URL+"/detect", "text/plain", strings.NewReader("var b=2;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("request during drain status = %d, want 503", resp2.StatusCode)
+	}
+	if n := reg.Counter(AdmissionRejectsMetric, "", obs.Labels{"reason": "draining"}).Value(); n != 1 {
+		t.Errorf("draining rejects = %d, want 1", n)
+	}
+
+	// The in-flight request still completes.
+	close(release)
+	if code := <-inflight; code != http.StatusOK {
+		t.Errorf("in-flight request finished with %d, want 200", code)
+	}
+}
+
+func TestVersionWithoutModel(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v Version
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ModelLoaded || v.Reloads != 0 {
+		t.Errorf("version without model = %+v", v)
+	}
+}
+
+func TestNewRejectsBrokenInitialModel(t *testing.T) {
+	_, err := New(Config{
+		ModelPath: "broken",
+		Loader:    stubLoader(map[string]scan.Classifier{"broken": brokenClassifier}),
+	}, obs.NewRegistry())
+	if err == nil || !strings.Contains(err.Error(), "shadow validation") {
+		t.Fatalf("New with broken model: err = %v, want shadow validation failure", err)
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # bench.sh: run the hot-path benchmarks across every optimized layer — the
 # scan engine (cold and cached), the embedding network, path hashing and
-# extraction, and end-to-end detection — and record one timestamped run
+# extraction, end-to-end detection, and the serving layer's batch
+# endpoint — and record one timestamped run
 # (with the git SHA) into BENCH_scan.json via cmd/benchcompare. Earlier
 # runs are preserved, so `make bench-compare` can diff the newest run
 # against the committed baseline.
@@ -27,6 +28,10 @@ go test -bench 'BenchmarkPathHash|BenchmarkExtract' -benchmem -run '^$' \
 
 echo "==> end-to-end detection benchmark"
 go test -bench '^BenchmarkDetect$' -benchmem -run '^$' . | tee -a "$raw"
+
+echo "==> scan service benchmarks"
+go test -bench 'BenchmarkServeScanBatch' -benchmem -run '^$' \
+    ./internal/serve/ | tee -a "$raw"
 
 echo "==> recording run into $out"
 go run ./cmd/benchcompare record -file "$out" < "$raw" > /dev/null

@@ -25,16 +25,23 @@ go test ./...
 echo "==> go test -race -short (all packages except internal/experiments)"
 go test -race -short $(go list ./... | grep -v internal/experiments)
 
-# Serve smoke test: build the CLI, start the exposition endpoint on an
-# ephemeral port (-ready-file publishes the resolved address), and check
-# /healthz and /metrics respond with the expected content.
+# Serve smoke test: build the CLI, train a tiny model, start the scan
+# service on an ephemeral port (-ready-file publishes the resolved
+# address), and exercise the full serving surface: /healthz, /metrics, a
+# streaming NDJSON batch on /scan, an async job submitted and polled to
+# completion, a hot-reload via /admin/reload and SIGHUP, and the
+# admission/queue metric families. Finally verify the ready-file is
+# removed on graceful shutdown.
 echo "==> jsrevealer serve smoke test"
 tmpdir=$(mktemp -d)
 trap 'kill $serve_pid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/jsrevealer" ./cmd/jsrevealer
-"$tmpdir/jsrevealer" serve -addr 127.0.0.1:0 -ready-file "$tmpdir/addr" -log-level warn &
+"$tmpdir/jsrevealer" train -benign 25 -malicious 25 -seed 7 \
+    -model "$tmpdir/model.json" >/dev/null
+"$tmpdir/jsrevealer" serve -addr 127.0.0.1:0 -model "$tmpdir/model.json" \
+    -ready-file "$tmpdir/addr" -log-level warn &
 serve_pid=$!
-for _ in $(seq 1 50); do
+for _ in $(seq 1 100); do
     [ -s "$tmpdir/addr" ] && break
     sleep 0.1
 done
@@ -43,14 +50,73 @@ addr=$(cat "$tmpdir/addr")
 curl -fsS -o "$tmpdir/healthz" "http://$addr/healthz"
 grep -q '"status":"ok"' "$tmpdir/healthz" || {
     echo "/healthz unhealthy" >&2; exit 1; }
-curl -fsS -o "$tmpdir/metrics" "http://$addr/metrics"
+
+# Streaming batch: three NDJSON records in, one verdict line out per script.
+printf '%s\n' \
+    '{"name":"a.js","source":"var a = 1;"}' \
+    '{"name":"b.js","source":"function f() { return 2; }"}' \
+    '{"name":"c.js","source":"var s = unescape(\"%61\"); eval(s);"}' \
+    > "$tmpdir/batch.ndjson"
+curl -fsS -X POST --data-binary @"$tmpdir/batch.ndjson" \
+    -o "$tmpdir/scanout" "http://$addr/scan"
+[ "$(wc -l < "$tmpdir/scanout")" -eq 3 ] || {
+    echo "/scan did not stream 3 verdict lines" >&2; exit 1; }
+grep -q '"verdict"' "$tmpdir/scanout" || {
+    echo "/scan lines missing verdicts" >&2; exit 1; }
+
+# Async job: submit, then poll to completion.
+job_id=$(curl -fsS -X POST --data-binary @"$tmpdir/batch.ndjson" \
+    "http://$addr/jobs" | sed -n 's/.*"id":"\([0-9a-f.]*\)".*/\1/p')
+[ -n "$job_id" ] || { echo "/jobs returned no id" >&2; exit 1; }
+job_done=""
+for _ in $(seq 1 100); do
+    curl -fsS -o "$tmpdir/job" "http://$addr/jobs/$job_id"
+    if grep -q '"state":"done"' "$tmpdir/job"; then job_done=1; break; fi
+    sleep 0.1
+done
+[ -n "$job_done" ] || { echo "async job never completed" >&2; exit 1; }
+
+# Hot reload: via the admin endpoint and via SIGHUP; both must land on the
+# reload counter, and /version must report the live model.
+curl -fsS -X POST -o "$tmpdir/reload" "http://$addr/admin/reload"
+grep -q '"model_loaded":true' "$tmpdir/reload" || {
+    echo "/admin/reload did not report the live model" >&2; exit 1; }
+kill -HUP $serve_pid
+reloaded=""
+for _ in $(seq 1 50); do
+    curl -fsS -o "$tmpdir/metrics" "http://$addr/metrics"
+    if grep -q 'jsrevealer_serve_reloads_total{result="ok"} 3' "$tmpdir/metrics"; then
+        reloaded=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$reloaded" ] || { echo "SIGHUP reload never landed on /metrics" >&2; exit 1; }
+curl -fsS -o "$tmpdir/version" "http://$addr/version"
+grep -q '"sha256"' "$tmpdir/version" || {
+    echo "/version missing model digest" >&2; exit 1; }
+
+# Metric surface: scan families plus the serving subsystem's queue,
+# admission, and latency families.
 grep -q '^jsrevealer_scan_files_total' "$tmpdir/metrics" || {
     echo "/metrics missing scan metric families" >&2; exit 1; }
 grep -q '^jsrevealer_stage_duration_seconds_bucket' "$tmpdir/metrics" || {
     echo "/metrics missing stage histograms" >&2; exit 1; }
 grep -q '^jsrevealer_cache_hits_total' "$tmpdir/metrics" || {
     echo "/metrics missing verdict-cache counters" >&2; exit 1; }
+grep -q '^jsrevealer_serve_queue_depth' "$tmpdir/metrics" || {
+    echo "/metrics missing serve queue gauge" >&2; exit 1; }
+grep -q '^jsrevealer_serve_admission_rejects_total' "$tmpdir/metrics" || {
+    echo "/metrics missing admission reject counters" >&2; exit 1; }
+grep -q '^jsrevealer_serve_jobs_total' "$tmpdir/metrics" || {
+    echo "/metrics missing job counters" >&2; exit 1; }
+grep -q '^jsrevealer_serve_request_duration_seconds' "$tmpdir/metrics" || {
+    echo "/metrics missing per-endpoint latency histograms" >&2; exit 1; }
+
+# Graceful shutdown removes the ready-file so the next run never reads a
+# stale address.
 kill $serve_pid
 wait $serve_pid 2>/dev/null || true
+[ ! -e "$tmpdir/addr" ] || {
+    echo "ready-file leaked after shutdown" >&2; exit 1; }
 
 echo "==> OK"
