@@ -6,14 +6,17 @@ build:
 test:
 	go test ./...
 
-# The full verification gate: go vet, a clean build, the full test suite,
-# a race-detector pass, and a `jsrevealer serve` smoke test against
-# /healthz and /metrics (see scripts/check.sh for scope).
+# The full verification gate: go vet, the doc-coverage gate
+# (scripts/doccheck.sh — no undocumented exports in core/scan/serve/par),
+# a clean build, the full test suite, a race-detector pass, and a
+# `jsrevealer serve` smoke test against /healthz and /metrics (see
+# scripts/check.sh for scope).
 check:
 	sh scripts/check.sh
 
-# Hot-path benchmarks across scan/nn/pathctx/detect; each run is recorded
-# (with git SHA and timestamp) into BENCH_scan.json alongside earlier runs.
+# Hot-path benchmarks across scan/nn/pathctx/detect plus the parallel
+# training fit; each run is recorded (with git SHA and timestamp) into
+# BENCH_scan.json alongside earlier runs.
 bench:
 	sh scripts/bench.sh
 

@@ -2,14 +2,20 @@
 //
 // Usage:
 //
-//	jsrevealer train  [-benign N] [-malicious N] [-seed N] [-profile cpu|heap] -model model.json
+//	jsrevealer train  [-benign N] [-malicious N] [-seed N] [-train-workers N]
+//	                  [-batch-size N] [-checkpoint-dir DIR] [-resume]
+//	                  [-profile cpu|heap] -model model.json
 //	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-cache-size N] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
 //	jsrevealer explain -model model.json [-top N]
 //	jsrevealer serve  [-addr host:port] [-model model.json] [-log-level L]
 //	                  [-max-body N] [-max-batch N] [-max-concurrent N] [-max-queue N]
 //	                  [-rate R] [-burst N] [-max-jobs N] [-job-ttl D] [-drain-timeout D]
 //
-// The train subcommand trains on the synthetic corpus; detect classifies
+// The train subcommand trains on the synthetic corpus, fanning the heavy
+// stages out over -train-workers CPUs (the fitted model is bit-identical at
+// any worker count). With -checkpoint-dir each completed stage is written
+// to disk and SIGINT/SIGTERM interrupt the fit cleanly; a rerun with
+// -resume continues from the latest checkpointed stage. detect classifies
 // files with a persisted model; explain prints the most important learned
 // features (the paper's Table VII view); serve runs the production scan
 // service (internal/serve): /metrics, /healthz, net/http/pprof, and — when
@@ -36,9 +42,12 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"jsrevealer/internal/core"
@@ -82,10 +91,17 @@ func runTrain(args []string) (err error) {
 	malicious := fs.Int("malicious", 400, "malicious training samples")
 	seed := fs.Int64("seed", 42, "random seed")
 	model := fs.String("model", "jsrevealer-model.json", "output model path")
+	trainWorkers := fs.Int("train-workers", 0, "parallel training workers (0 = all CPUs); the fitted model is identical at any count")
+	batchSize := fs.Int("batch-size", 0, "pre-training minibatch size (0 or 1 = per-sample SGD)")
+	ckptDir := fs.String("checkpoint-dir", "", "write stage checkpoints to this directory")
+	resume := fs.Bool("resume", false, "resume from the latest valid checkpoint in -checkpoint-dir")
 	profile := fs.String("profile", "", "write a pprof profile of the run: cpu or heap")
 	profileOut := fs.String("profile-out", "jsrevealer-train.pprof", "profile output path")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("train: -resume requires -checkpoint-dir")
 	}
 	stopProfile, err := obs.StartProfile(*profile, *profileOut)
 	if err != nil {
@@ -104,8 +120,24 @@ func runTrain(args []string) (err error) {
 	opts := core.DefaultOptions()
 	opts.Seed = *seed
 	opts.Embedding.Seed = *seed
+	opts.TrainWorkers = *trainWorkers
+	opts.Embedding.BatchSize = *batchSize
+
+	// SIGINT/SIGTERM cancel the fit cooperatively: completed stages are
+	// already checkpointed, so a rerun with -resume picks up from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("training on %d samples...\n", len(train))
-	det, err := core.Train(train, nil, opts)
+	p, err := core.PrepareCheckpointed(ctx, train, nil, opts,
+		core.CheckpointConfig{Dir: *ckptDir, Resume: *resume})
+	if err != nil {
+		if errors.Is(err, context.Canceled) && *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "jsrevealer: interrupted; rerun with -checkpoint-dir %s -resume to continue\n", *ckptDir)
+		}
+		return err
+	}
+	det, err := p.Build(opts.KBenign, opts.KMalicious, opts.Trainer)
 	if err != nil {
 		return err
 	}

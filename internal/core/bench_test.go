@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"jsrevealer/internal/corpus"
+)
+
+// benchTrainSamples builds the fixed benchmark corpus once per process.
+func benchTrainSamples(b *testing.B) []Sample {
+	b.Helper()
+	samples := corpus.Generate(corpus.Config{Benign: 40, Malicious: 40, Seed: 9})
+	train := make([]Sample, len(samples))
+	for i, s := range samples {
+		train[i] = Sample{Source: s.Source, Malicious: s.Malicious}
+	}
+	return train
+}
+
+// BenchmarkTrain measures the end-to-end fit (Prepare + Build) at different
+// worker counts. The workers=4/workers=1 ratio is the training pipeline's
+// parallel speedup; the fitted detector is bit-identical across the
+// sub-benchmarks (asserted by TestFingerprintIndependentOfWorkers).
+func BenchmarkTrain(b *testing.B) {
+	train := benchTrainSamples(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := smallOptions(9)
+			opts.Embedding.BatchSize = 8
+			opts.TrainWorkers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det, err := Train(train, nil, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = det
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/obs"
+)
+
+// TestPreparedSaveLoadRoundTrip: a Prepared persisted with Save builds the
+// same detector after LoadPrepared in a fresh process.
+func TestPreparedSaveLoadRoundTrip(t *testing.T) {
+	train, _ := smallSplit(t, 40, 7)
+	opts := smallOptions(7)
+	p, err := Prepare(train, nil, opts)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	want := buildFingerprint(t, p, opts)
+
+	path := filepath.Join(t.TempDir(), "prepared.json")
+	if err := p.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadPrepared(path)
+	if err != nil {
+		t.Fatalf("LoadPrepared: %v", err)
+	}
+	if got := buildFingerprint(t, loaded, opts); got != want {
+		t.Errorf("loaded Prepared fingerprint %s, want %s", got, want)
+	}
+	if loaded.OutlierDetectorName != p.OutlierDetectorName {
+		t.Errorf("OutlierDetectorName %q, want %q", loaded.OutlierDetectorName, p.OutlierDetectorName)
+	}
+	if loaded.ParseFailures() != p.ParseFailures() {
+		t.Errorf("ParseFailures %d, want %d", loaded.ParseFailures(), p.ParseFailures())
+	}
+}
+
+func buildFingerprint(t *testing.T, p *Prepared, opts Options) string {
+	t.Helper()
+	det, err := p.Build(opts.KBenign, opts.KMalicious, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	fp, err := det.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	return fp
+}
+
+// TestLoadPreparedRejectsVersionMismatch: format changes must fail loudly.
+// The file is plain JSON on purpose — readers sniff the gzip magic and
+// accept both framings.
+func TestLoadPreparedRejectsVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prepared.json")
+	if err := os.WriteFile(path, []byte(`{"version":999,"stage":"prepared"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPrepared(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("LoadPrepared on version 999: err = %v, want version error", err)
+	}
+}
+
+// TestCorruptCheckpointFailsLoudly: a truncated stage file must error, not
+// silently refit or resume from garbage.
+func TestCorruptCheckpointFailsLoudly(t *testing.T) {
+	train, _ := smallSplit(t, 40, 7)
+	opts := smallOptions(7)
+	dir := t.TempDir()
+	if _, err := PrepareCheckpointed(context.Background(), train, nil, opts,
+		CheckpointConfig{Dir: dir}); err != nil {
+		t.Fatalf("PrepareCheckpointed: %v", err)
+	}
+	path := CheckpointPath(dir, StagePrepared)
+	if err := os.WriteFile(path, []byte(`{"version":1,"stage":"prep`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareCheckpointed(context.Background(), train, nil, opts,
+		CheckpointConfig{Dir: dir, Resume: true}); err == nil {
+		t.Fatal("resume from corrupt checkpoint succeeded; want error")
+	}
+}
+
+// TestResumeWithEmptyDirStartsFresh: no checkpoint files is not an error.
+func TestResumeWithEmptyDirStartsFresh(t *testing.T) {
+	train, _ := smallSplit(t, 40, 7)
+	p, err := PrepareCheckpointed(context.Background(), train, nil, smallOptions(7),
+		CheckpointConfig{Dir: t.TempDir(), Resume: true})
+	if err != nil {
+		t.Fatalf("PrepareCheckpointed: %v", err)
+	}
+	if p == nil {
+		t.Fatal("nil Prepared")
+	}
+}
+
+// TestTrainMetricsRecorded: a Prepare run routes script, progress, stage,
+// and checkpoint metrics into the context's registry.
+func TestTrainMetricsRecorded(t *testing.T) {
+	train, _ := smallSplit(t, 40, 7)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	if _, err := PrepareCheckpointed(ctx, train, nil, smallOptions(7),
+		CheckpointConfig{Dir: t.TempDir()}); err != nil {
+		t.Fatalf("PrepareCheckpointed: %v", err)
+	}
+	// A nil pretrain set reuses the training set, so both passes count.
+	parsed := reg.Counter(TrainScriptsMetric, "", obs.Labels{"result": "parsed"}).Value()
+	if parsed != int64(2*len(train)) {
+		t.Errorf("parsed scripts = %d, want %d", parsed, 2*len(train))
+	}
+	if got := reg.Gauge(TrainProgressMetric, "", nil).Value(); got != 1 {
+		t.Errorf("progress gauge = %v, want 1", got)
+	}
+	for _, stage := range checkpointStages {
+		n := reg.Counter(TrainCheckpointsMetric, "", obs.Labels{"stage": string(stage)}).Value()
+		if n != 1 {
+			t.Errorf("checkpoints{stage=%s} = %d, want 1", stage, n)
+		}
+	}
+	for _, s := range []string{"extract", "pretrain", "embed", "outlier"} {
+		h := reg.Histogram(TrainStageDurationMetric, "", obs.DefDurationBuckets, obs.Labels{"stage": s})
+		if h.Count() != 1 {
+			t.Errorf("stage duration{stage=%s} count = %d, want 1", s, h.Count())
+		}
+	}
+}

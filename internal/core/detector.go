@@ -18,8 +18,8 @@ import (
 	"jsrevealer/internal/ml/cluster"
 	"jsrevealer/internal/ml/linalg"
 	"jsrevealer/internal/ml/nn"
-	"jsrevealer/internal/ml/outlier"
 	"jsrevealer/internal/obs"
+	"jsrevealer/internal/par"
 	"jsrevealer/internal/pathctx"
 )
 
@@ -56,6 +56,13 @@ type Options struct {
 	UniformWeights bool
 	// Seed drives all pipeline randomness.
 	Seed int64
+	// TrainWorkers bounds the goroutines used by the parallel training
+	// stages (path extraction, script embedding, outlier scoring, K-Means
+	// assignment, and — via Embedding.TrainWorkers when that is unset —
+	// minibatch gradient computation). <= 0 means all CPUs. It is a
+	// wall-clock knob only: for a fixed Seed the fitted detector is
+	// bit-identical at any worker count (see Detector.Fingerprint).
+	TrainWorkers int
 }
 
 // DefaultOptions returns the paper's configuration (enhanced AST, K=11/10,
@@ -199,6 +206,10 @@ type Prepared struct {
 	acct *stageAccount
 	// parseFailures counts unparseable training scripts.
 	parseFailures int
+	// corpusDigest and optsDigest fingerprint the inputs this Prepared was
+	// fitted on; checkpoint resume refuses state from a different corpus or
+	// configuration (see checkpoint.go).
+	corpusDigest, optsDigest string
 }
 
 // Timings returns the cumulative preparation-stage wall-clock view.
@@ -229,142 +240,11 @@ func Train(train []Sample, pretrain []Sample, opts Options) (*Detector, error) {
 	return p.Build(opts.KBenign, opts.KMalicious, opts.Trainer)
 }
 
-// Prepare runs the K-independent training stages: extraction, embedding
-// pre-training, script embedding, pooling, and outlier filtering.
-func Prepare(train []Sample, pretrain []Sample, opts Options) (*Prepared, error) {
-	if len(train) == 0 {
-		return nil, errors.New("core: empty training set")
-	}
-	d := &Detector{opts: opts, acct: newStageAccount()}
-	ctx := context.Background()
-	if pretrain == nil {
-		pretrain = train
-	}
-
-	// Stage 1+2: path extraction for all scripts.
-	exPre := make([]extracted, 0, len(pretrain))
-	for _, s := range pretrain {
-		ex, err := d.extract(ctx, s.Source, parser.Limits{})
-		if err != nil {
-			d.parseFailures++
-			continue
-		}
-		ex.malicious = s.Malicious
-		exPre = append(exPre, ex)
-	}
-	exTrain := make([]extracted, 0, len(train))
-	for _, s := range train {
-		ex, err := d.extract(ctx, s.Source, parser.Limits{})
-		if err != nil {
-			d.parseFailures++
-			continue
-		}
-		ex.malicious = s.Malicious
-		exTrain = append(exTrain, ex)
-	}
-	if len(exTrain) == 0 {
-		return nil, errors.New("core: no training script parsed")
-	}
-
-	// Stage 2: pre-train the embedding model.
-	model, err := nn.NewModel(opts.Embedding)
-	if err != nil {
-		return nil, fmt.Errorf("core: embedding: %w", err)
-	}
-	d.model = model
-	hashPaths := func(ex *extracted) {
-		ex.keys = make([]nn.PathKey, len(ex.paths))
-		for i, p := range ex.paths {
-			ex.keys[i] = model.KeyOf(p.ComponentHashes())
-		}
-	}
-	for i := range exPre {
-		hashPaths(&exPre[i])
-	}
-	for i := range exTrain {
-		hashPaths(&exTrain[i])
-	}
-	nnSamples := make([]nn.Sample, len(exPre))
-	for i, ex := range exPre {
-		nnSamples[i] = nn.Sample{Keys: ex.keys, Malicious: ex.malicious}
-	}
-	_, sp := obs.StartSpan(ctx, "pretrain")
-	model.Train(nnSamples)
-	d.record(ctx, stgPreTrain, sp.End())
-
-	// Stage 2b: embed the training scripts.
-	_, sp = obs.StartSpan(ctx, "embed")
-	embs := make([]embedded, len(exTrain))
-	for i, ex := range exTrain {
-		embs[i] = embedded{embs: model.Embed(ex.keys), malicious: ex.malicious}
-	}
-	d.record(ctx, stgEmbed, sp.End())
-
-	// Stage 3: pool per-class path vectors (with their path strings for
-	// interpretability), outlier-filter, cluster.
-	var pools [2]pooled // 0 benign, 1 malicious
-	for i, e := range embs {
-		cls := 0
-		if e.malicious {
-			cls = 1
-		}
-		for j, emb := range e.embs {
-			pools[cls].vecs = append(pools[cls].vecs, emb.Vector)
-			pools[cls].descs = append(pools[cls].descs, exTrain[i].paths[j].String())
-		}
-	}
-	for c := 0; c < 2; c++ {
-		if opts.MaxPoolPerClass > 0 && len(pools[c].vecs) > opts.MaxPoolPerClass {
-			idx := strideSample(len(pools[c].vecs), opts.MaxPoolPerClass)
-			nv := make([][]float64, len(idx))
-			nd := make([]string, len(idx))
-			for k, i := range idx {
-				nv[k] = pools[c].vecs[i]
-				nd[k] = pools[c].descs[i]
-			}
-			pools[c].vecs, pools[c].descs = nv, nd
-		}
-	}
-
-	// Outlier detection (MetaOD-style auto-selection or FastABOD).
-	var det outlier.Detector = &outlier.FastABOD{}
-	if opts.AutoSelectOutlier {
-		sel, err := outlier.SelectDetector(pools[0].vecs, outlier.DefaultCandidates())
-		if err == nil {
-			det = sel
-		}
-	}
-	d.OutlierDetectorName = det.Name()
-	_, sp = obs.StartSpan(ctx, "outlier")
-	for c := 0; c < 2; c++ {
-		kept, err := outlier.Filter(pools[c].vecs, det, opts.OutlierFraction)
-		if err != nil {
-			continue // too few points: keep everything
-		}
-		nv := make([][]float64, len(kept))
-		nd := make([]string, len(kept))
-		for k, i := range kept {
-			nv[k] = pools[c].vecs[i]
-			nd[k] = pools[c].descs[i]
-		}
-		pools[c].vecs, pools[c].descs = nv, nd
-	}
-	d.record(ctx, stgOutlier, sp.End())
-
-	return &Prepared{
-		opts:                opts,
-		model:               model,
-		embs:                embs,
-		pools:               pools,
-		OutlierDetectorName: d.OutlierDetectorName,
-		acct:                d.acct,
-		parseFailures:       d.parseFailures,
-	}, nil
-}
-
 // Build finishes training: Bisecting K-Means clustering with the given K
 // values, overlap removal, featurization of the training scripts, and
 // classifier fitting. A nil trainer selects the paper's random forest.
+// Clustering and featurization parallelize over the Prepared options'
+// TrainWorkers; the built detector is bit-identical at any worker count.
 func (p *Prepared) Build(kBenign, kMalicious int, trainer classify.Trainer) (*Detector, error) {
 	d := &Detector{
 		opts:                p.opts,
@@ -384,7 +264,7 @@ func (p *Prepared) Build(kBenign, kMalicious int, trainer classify.Trainer) (*De
 			return nil, fmt.Errorf("core: class %d has %d path vectors, need >= %d",
 				c, len(p.pools[c].vecs), ks[c])
 		}
-		res, err := cluster.BisectingKMeans(p.pools[c].vecs, ks[c], p.opts.Seed+int64(c))
+		res, err := cluster.BisectingKMeansWorkers(p.pools[c].vecs, ks[c], p.opts.Seed+int64(c), p.opts.TrainWorkers)
 		if err != nil {
 			return nil, fmt.Errorf("core: clustering: %w", err)
 		}
@@ -401,13 +281,15 @@ func (p *Prepared) Build(kBenign, kMalicious int, trainer classify.Trainer) (*De
 	// Remove overlapping benign/malicious cluster pairs.
 	d.features = removeOverlaps(feats, p.opts.OverlapThreshold)
 
-	// Stage 4: featurize training scripts and fit the classifier.
+	// Stage 4: featurize training scripts and fit the classifier. Each
+	// script's feature vector is an independent function of the frozen
+	// features, so the fan-out is bit-identical at any worker count.
 	featVecs := make([][]float64, len(p.embs))
 	labels := make([]bool, len(p.embs))
-	for i, e := range p.embs {
-		featVecs[i] = d.featurize(e.embs)
-		labels[i] = e.malicious
-	}
+	par.For(p.opts.TrainWorkers, len(p.embs), func(i int) {
+		featVecs[i] = d.featurize(p.embs[i].embs)
+		labels[i] = p.embs[i].malicious
+	})
 	if trainer == nil {
 		trainer = &classify.RandomForestTrainer{Seed: p.opts.Seed}
 	}

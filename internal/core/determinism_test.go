@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// determinismOptions is smallOptions plus minibatch pre-training, the
+// configuration under which TrainWorkers exercises every parallel stage
+// (per-sample SGD would keep pre-training serial regardless).
+func determinismOptions(seed int64, workers int) Options {
+	opts := smallOptions(seed)
+	opts.Embedding.BatchSize = 4
+	opts.TrainWorkers = workers
+	return opts
+}
+
+func fingerprintWithWorkers(t *testing.T, train []Sample, workers int) string {
+	t.Helper()
+	det, err := Train(train, nil, determinismOptions(5, workers))
+	if err != nil {
+		t.Fatalf("Train(workers=%d): %v", workers, err)
+	}
+	fp, err := det.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint(workers=%d): %v", workers, err)
+	}
+	return fp
+}
+
+// TestFingerprintIndependentOfWorkers is the tentpole determinism contract:
+// the fitted detector is bit-identical at any TrainWorkers count.
+func TestFingerprintIndependentOfWorkers(t *testing.T) {
+	train, _ := smallSplit(t, 40, 5)
+	base := fingerprintWithWorkers(t, train, 1)
+	for _, w := range []int{4, runtime.NumCPU()} {
+		if fp := fingerprintWithWorkers(t, train, w); fp != base {
+			t.Errorf("TrainWorkers=%d fingerprint %s, want %s (workers=1)", w, fp, base)
+		}
+	}
+}
+
+// TestResumeMatchesFreshFit asserts that resuming from each checkpoint
+// stage reproduces the fresh fit bit for bit.
+func TestResumeMatchesFreshFit(t *testing.T) {
+	train, _ := smallSplit(t, 40, 5)
+	opts := determinismOptions(5, 2)
+	dir := t.TempDir()
+
+	p, err := PrepareCheckpointed(context.Background(), train, nil, opts,
+		CheckpointConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("PrepareCheckpointed: %v", err)
+	}
+	fresh, err := p.Build(opts.KBenign, opts.KMalicious, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want, err := fresh.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+
+	// Resuming from each stage means deleting the later stage files so
+	// loadLatest falls back; every entry point must land on the same model.
+	cases := []struct {
+		name   string
+		remove []CheckpointStage
+	}{
+		{"from-prepared", nil},
+		{"from-embedded", []CheckpointStage{StagePrepared}},
+		{"from-extracted", []CheckpointStage{StagePrepared, StageEmbedded}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, stage := range tc.remove {
+				if err := os.Remove(CheckpointPath(dir, stage)); err != nil && !errors.Is(err, os.ErrNotExist) {
+					t.Fatalf("remove %s: %v", stage, err)
+				}
+			}
+			rp, err := PrepareCheckpointed(context.Background(), train, nil, opts,
+				CheckpointConfig{Dir: dir, Resume: true})
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			det, err := rp.Build(opts.KBenign, opts.KMalicious, nil)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			fp, err := det.Fingerprint()
+			if err != nil {
+				t.Fatalf("Fingerprint: %v", err)
+			}
+			if fp != want {
+				t.Errorf("resume fingerprint %s, want fresh %s", fp, want)
+			}
+		})
+	}
+}
+
+// TestResumeRejectsDifferentCorpus: path keys in a checkpoint are only
+// valid for the corpus that produced them, so resume must fail loudly.
+func TestResumeRejectsDifferentCorpus(t *testing.T) {
+	train, _ := smallSplit(t, 40, 5)
+	opts := determinismOptions(5, 2)
+	dir := t.TempDir()
+	if _, err := PrepareCheckpointed(context.Background(), train, nil, opts,
+		CheckpointConfig{Dir: dir}); err != nil {
+		t.Fatalf("PrepareCheckpointed: %v", err)
+	}
+	other, _ := smallSplit(t, 40, 99)
+	_, err := PrepareCheckpointed(context.Background(), other, nil, opts,
+		CheckpointConfig{Dir: dir, Resume: true})
+	if err == nil {
+		t.Fatal("resume with a different corpus succeeded; want digest error")
+	}
+}
+
+// TestResumeRejectsDifferentOptions: preparation-shaping options are part
+// of the checkpoint identity; Build-time and parallelism knobs are not.
+func TestResumeRejectsDifferentOptions(t *testing.T) {
+	train, _ := smallSplit(t, 40, 5)
+	opts := determinismOptions(5, 2)
+	dir := t.TempDir()
+	if _, err := PrepareCheckpointed(context.Background(), train, nil, opts,
+		CheckpointConfig{Dir: dir}); err != nil {
+		t.Fatalf("PrepareCheckpointed: %v", err)
+	}
+
+	changed := opts
+	changed.Embedding.Epochs++
+	if _, err := PrepareCheckpointed(context.Background(), train, nil, changed,
+		CheckpointConfig{Dir: dir, Resume: true}); err == nil {
+		t.Error("resume with different embedding epochs succeeded; want digest error")
+	}
+
+	// Worker count and K values must NOT invalidate checkpoints.
+	compatible := opts
+	compatible.TrainWorkers = 7
+	compatible.KBenign, compatible.KMalicious = 4, 4
+	if _, err := PrepareCheckpointed(context.Background(), train, nil, compatible,
+		CheckpointConfig{Dir: dir, Resume: true}); err != nil {
+		t.Errorf("resume with different workers/K failed: %v", err)
+	}
+}
+
+// TestPrepareCtxCancelled: a pre-cancelled context aborts the fit promptly
+// instead of running stages to completion.
+func TestPrepareCtxCancelled(t *testing.T) {
+	train, _ := smallSplit(t, 40, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PrepareCtx(ctx, train, nil, determinismOptions(5, 2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PrepareCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestResumeRequiresDir guards the CLI contract.
+func TestResumeRequiresDir(t *testing.T) {
+	train, _ := smallSplit(t, 40, 5)
+	_, err := PrepareCheckpointed(context.Background(), train, nil, determinismOptions(5, 1),
+		CheckpointConfig{Resume: true})
+	if err == nil {
+		t.Fatal("Resume without Dir succeeded; want error")
+	}
+}

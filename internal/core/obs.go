@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"jsrevealer/internal/obs"
@@ -121,4 +122,90 @@ func (a *stageAccount) view() StageTimings {
 func (d *Detector) record(ctx context.Context, s stage, dur time.Duration) {
 	d.account().add(s, dur)
 	observeStage(obs.FromContext(ctx), s, dur)
+}
+
+// ---------------------------------------------------------------------------
+// Training metrics
+// ---------------------------------------------------------------------------
+
+// Training-pipeline metric families, registered in the registry carried by
+// the Prepare call's context. A long fit driven through `jsrevealer train`
+// (or any caller passing an obs.WithRegistry context) exposes live progress
+// through these.
+const (
+	// TrainStageDurationMetric observes each completed preparation stage's
+	// wall-clock once, labelled by stage (extract, pretrain, embed, outlier).
+	TrainStageDurationMetric = "jsrevealer_train_stage_duration_seconds"
+	// TrainScriptsMetric counts extracted training scripts by result
+	// (parsed, failed).
+	TrainScriptsMetric = "jsrevealer_train_scripts_total"
+	// TrainProgressMetric is the fraction of corpus scripts extracted so
+	// far, a 0..1 gauge for dashboards and long-fit sanity checks.
+	TrainProgressMetric = "jsrevealer_train_progress_ratio"
+	// TrainCheckpointsMetric counts checkpoint files written, by stage.
+	TrainCheckpointsMetric = "jsrevealer_train_checkpoints_total"
+)
+
+const (
+	trainStageDurationHelp = "Completed training-stage durations in seconds."
+	trainScriptsHelp       = "Training scripts extracted, by parse result."
+	trainProgressHelp      = "Fraction of corpus scripts extracted so far."
+	trainCheckpointsHelp   = "Training checkpoints written, by stage."
+)
+
+// RegisterTrainMetrics pre-creates the training metric surface in reg so an
+// exposition endpoint shows every family before the first stage completes.
+func RegisterTrainMetrics(reg *obs.Registry) {
+	for _, s := range []string{"extract", "pretrain", "embed", "outlier"} {
+		reg.Histogram(TrainStageDurationMetric, trainStageDurationHelp,
+			obs.DefDurationBuckets, obs.Labels{"stage": s})
+	}
+	reg.Counter(TrainScriptsMetric, trainScriptsHelp, obs.Labels{"result": "parsed"})
+	reg.Counter(TrainScriptsMetric, trainScriptsHelp, obs.Labels{"result": "failed"})
+	reg.Gauge(TrainProgressMetric, trainProgressHelp, nil)
+	for _, s := range checkpointStages {
+		reg.Counter(TrainCheckpointsMetric, trainCheckpointsHelp, obs.Labels{"stage": string(s)})
+	}
+}
+
+// trainMetrics instruments one preparation run. Script completions arrive
+// from many extraction workers at once, so the done count is atomic and
+// everything else routes through the registry's lock-free series.
+type trainMetrics struct {
+	reg   *obs.Registry
+	total int
+	done  atomic.Int64
+}
+
+// newTrainMetrics binds a run's instrumentation to the context's registry.
+func newTrainMetrics(ctx context.Context, totalScripts int) *trainMetrics {
+	reg := obs.FromContext(ctx)
+	RegisterTrainMetrics(reg)
+	return &trainMetrics{reg: reg, total: totalScripts}
+}
+
+// scriptDone records one extracted script and advances the progress gauge.
+// Safe to call from any extraction worker.
+func (t *trainMetrics) scriptDone(parsed bool) {
+	result := "parsed"
+	if !parsed {
+		result = "failed"
+	}
+	t.reg.Counter(TrainScriptsMetric, trainScriptsHelp, obs.Labels{"result": result}).Inc()
+	if t.total > 0 {
+		done := t.done.Add(1)
+		t.reg.Gauge(TrainProgressMetric, trainProgressHelp, nil).Set(float64(done) / float64(t.total))
+	}
+}
+
+// stageDone records one completed stage's wall-clock.
+func (t *trainMetrics) stageDone(stage string, d time.Duration) {
+	t.reg.Histogram(TrainStageDurationMetric, trainStageDurationHelp,
+		obs.DefDurationBuckets, obs.Labels{"stage": stage}).ObserveDuration(d)
+}
+
+// checkpointed records one checkpoint write.
+func (t *trainMetrics) checkpointed(stage CheckpointStage) {
+	t.reg.Counter(TrainCheckpointsMetric, trainCheckpointsHelp,
+		obs.Labels{"stage": string(stage)}).Inc()
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,6 +57,29 @@ func (d *Detector) UnmarshalJSON(data []byte) error {
 	d.classifier = dj.Forest
 	d.OutlierDetectorName = dj.OutlierDetectorName
 	return nil
+}
+
+// Fingerprint returns a hex SHA-256 digest over the detector's learned
+// state — embedding model, cluster features, and random forest — excluding
+// Options. Because every knob excluded is either runtime configuration
+// (TrainWorkers) or already reflected in the learned state, two fits agree
+// on Fingerprint exactly when they learned bit-identical parameters: the
+// determinism suite uses this to assert that worker counts and checkpoint
+// resumes never change the model. It returns ErrNotPersistable for
+// classifiers other than the random forest.
+func (d *Detector) Fingerprint() (string, error) {
+	rf, ok := d.classifier.(*classify.RandomForest)
+	if !ok {
+		return "", ErrNotPersistable
+	}
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, part := range []any{d.model, d.features, rf} {
+		if err := enc.Encode(part); err != nil {
+			return "", fmt.Errorf("core: fingerprint: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Save writes the detector to a JSON file.

@@ -8,9 +8,26 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"jsrevealer/internal/ml/linalg"
+	"jsrevealer/internal/par"
 )
+
+// parallelCutoff is the point count below which the assignment and seeding
+// loops stay serial: goroutine fan-out costs more than it saves on small
+// clusters (Bisecting K-Means recurses into many of those). Serial and
+// parallel paths are bit-identical, so the cutoff never changes results.
+const parallelCutoff = 256
+
+// effectiveWorkers resolves a worker knob for n points: small inputs run
+// serial, otherwise <= 0 means all CPUs.
+func effectiveWorkers(workers, n int) int {
+	if n < parallelCutoff {
+		return 1
+	}
+	return par.Workers(workers)
+}
 
 // ErrNoData is returned when clustering is asked for more clusters than
 // there are points, or for no points at all.
@@ -49,26 +66,40 @@ func Assign(centroids [][]float64, v []float64) int {
 	return best
 }
 
-// KMeans runs Lloyd's algorithm with K-Means++-style seeding.
+// KMeans runs Lloyd's algorithm with K-Means++-style seeding, parallelizing
+// large assignment passes over all CPUs (see KMeansWorkers — results are
+// identical at any worker count).
 func KMeans(points [][]float64, k int, seed int64, maxIter int) (*Result, error) {
+	return KMeansWorkers(points, k, seed, maxIter, 0)
+}
+
+// KMeansWorkers is KMeans with an explicit worker bound (<= 0 means all
+// CPUs) for the per-iteration assignment pass and the K-Means++ seeding
+// distances — the O(n·k·d) dominators. Parallelism is a wall-clock knob
+// only: each point's assignment is an independent function of the frozen
+// centroids and centroid recomputation stays serial in index order, so the
+// clustering is bit-identical at any worker count.
+func KMeansWorkers(points [][]float64, k int, seed int64, maxIter, workers int) (*Result, error) {
 	if k <= 0 || len(points) < k {
 		return nil, ErrNoData
 	}
 	if maxIter <= 0 {
 		maxIter = 50
 	}
+	workers = effectiveWorkers(workers, len(points))
 	rng := rand.New(rand.NewSource(seed))
-	centroids := seedPlusPlus(points, k, rng)
+	centroids := seedPlusPlus(points, k, rng, workers)
 	assignments := make([]int, len(points))
 	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		for i, p := range points {
-			a := Assign(centroids, p)
+		var changedFlag int32
+		par.For(workers, len(points), func(i int) {
+			a := Assign(centroids, points[i])
 			if a != assignments[i] {
 				assignments[i] = a
-				changed = true
+				atomic.StoreInt32(&changedFlag, 1)
 			}
-		}
+		})
+		changed := changedFlag != 0
 		// Recompute centroids.
 		dim := len(points[0])
 		sums := make([][]float64, k)
@@ -99,21 +130,25 @@ func KMeans(points [][]float64, k int, seed int64, maxIter int) (*Result, error)
 	return res, nil
 }
 
-// seedPlusPlus selects k initial centroids with D² weighting.
-func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+// seedPlusPlus selects k initial centroids with D² weighting. The distance
+// pass fans out over workers; the weighted draw sums serially in index
+// order, so seeding is bit-identical at any worker count.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand, workers int) [][]float64 {
 	centroids := make([][]float64, 0, k)
 	centroids = append(centroids, linalg.Clone(points[rng.Intn(len(points))]))
 	dists := make([]float64, len(points))
 	for len(centroids) < k {
-		total := 0.0
-		for i, p := range points {
+		par.For(workers, len(points), func(i int) {
 			d := math.Inf(1)
 			for _, c := range centroids {
-				if dd := linalg.SquaredDistance(p, c); dd < d {
+				if dd := linalg.SquaredDistance(points[i], c); dd < d {
 					d = dd
 				}
 			}
 			dists[i] = d
+		})
+		total := 0.0
+		for _, d := range dists {
 			total += d
 		}
 		if total == 0 {
@@ -166,8 +201,16 @@ func SSE(points, centroids [][]float64, assignments []int) float64 {
 
 // BisectingKMeans repeatedly splits the cluster with the largest SSE using
 // 2-means until k clusters exist. This is the algorithm the paper selects
-// for its deterministic behaviour relative to plain K-Means.
+// for its deterministic behaviour relative to plain K-Means. Large splits
+// parallelize over all CPUs (see BisectingKMeansWorkers).
 func BisectingKMeans(points [][]float64, k int, seed int64) (*Result, error) {
+	return BisectingKMeansWorkers(points, k, seed, 0)
+}
+
+// BisectingKMeansWorkers is BisectingKMeans with an explicit worker bound
+// (<= 0 means all CPUs) threaded into every 2-means split; the clustering
+// is bit-identical at any worker count.
+func BisectingKMeansWorkers(points [][]float64, k int, seed int64, workers int) (*Result, error) {
 	if k <= 0 || len(points) < k {
 		return nil, ErrNoData
 	}
@@ -209,7 +252,7 @@ func BisectingKMeans(points [][]float64, k int, seed int64) (*Result, error) {
 		var bestA, bestB []int
 		bestSSE := math.Inf(1)
 		for trial := 0; trial < 3; trial++ {
-			res, err := KMeans(sub, 2, seed+int64(worst*31+trial), 30)
+			res, err := KMeansWorkers(sub, 2, seed+int64(worst*31+trial), 30, workers)
 			if err != nil {
 				return nil, err
 			}

@@ -11,6 +11,7 @@
 package nn
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,6 +41,18 @@ type Config struct {
 	// renaming-style obfuscation behave identically at training and test
 	// time (fresh names are UNK either way). 0 means 2.
 	MinCount int
+	// BatchSize selects the pre-training regime. 0 or 1 is plain per-sample
+	// SGD — the original, golden-fixture-pinned path. Values > 1 enable
+	// minibatch gradient accumulation: per-sample gradients within a batch
+	// are computed against the batch-start parameters and applied in sample
+	// order, so the result depends on BatchSize but never on TrainWorkers.
+	BatchSize int
+	// TrainWorkers bounds the goroutines computing per-sample gradients
+	// within a minibatch (BatchSize > 1; per-sample SGD is inherently
+	// serial). It is a wall-clock knob only: the fit is bit-identical at any
+	// worker count. <= 0 means serial. Excluded from serialization —
+	// parallelism is runtime configuration, not model state.
+	TrainWorkers int `json:"-"`
 	// Seed drives weight initialization and shuffling; training is
 	// deterministic for a fixed seed.
 	Seed int64
@@ -275,7 +288,20 @@ func (m *Model) rowFor(slot, idx int) []float64 {
 // returns the mean cross-entropy loss of the final epoch. The samples also
 // define the model's vocabulary: components occurring fewer than MinCount
 // times share a per-slot UNK embedding, during training and at inference.
+// It is TrainCtx without cancellation.
 func (m *Model) Train(samples []Sample) float64 {
+	loss, _ := m.TrainCtx(context.Background(), samples)
+	return loss
+}
+
+// TrainCtx is Train with cooperative cancellation: the epoch and minibatch
+// loops check ctx and return early with ctx.Err() once it is done, leaving
+// the model in the partially-trained state of the last completed step (the
+// caller decides whether to checkpoint or discard it). For a fixed seed the
+// fit is deterministic; with BatchSize > 1 it is additionally bit-identical
+// at any TrainWorkers count, because per-sample gradients are computed
+// against frozen batch-start parameters and applied in sample order.
+func (m *Model) TrainCtx(ctx context.Context, samples []Sample) (float64, error) {
 	minCount := m.cfg.MinCount
 	if minCount <= 0 {
 		minCount = 2
@@ -299,16 +325,38 @@ func (m *Model) Train(samples []Sample) float64 {
 	}
 	lastLoss := 0.0
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return lastLoss, err
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		total := 0.0
-		for _, idx := range order {
-			total += m.step(samples[idx])
+		var total float64
+		var err error
+		if m.cfg.BatchSize > 1 {
+			total, err = m.epochMinibatch(ctx, samples, order)
+		} else {
+			total, err = m.epochSGD(ctx, samples, order)
+		}
+		if err != nil {
+			return lastLoss, err
 		}
 		if len(samples) > 0 {
 			lastLoss = total / float64(len(samples))
 		}
 	}
-	return lastLoss
+	return lastLoss, nil
+}
+
+// epochSGD is one pass of the original per-sample SGD (the golden-pinned
+// path), with a cancellation check between samples.
+func (m *Model) epochSGD(ctx context.Context, samples []Sample, order []int) (float64, error) {
+	total := 0.0
+	for _, idx := range order {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += m.step(samples[idx])
+	}
+	return total, nil
 }
 
 // step performs one SGD update and returns the sample's loss.

@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"context"
+	"math"
+
+	"jsrevealer/internal/ml/linalg"
+	"jsrevealer/internal/par"
+)
+
+// This file implements the BatchSize > 1 pre-training regime: minibatch SGD
+// with gradient accumulation. Per-sample gradients inside a batch are
+// computed concurrently against the parameters frozen at batch start, then
+// applied strictly in sample order. The split makes the parallelism purely
+// a wall-clock knob — float operations happen in the same order regardless
+// of TrainWorkers, so the fit is bit-reproducible at any worker count.
+
+// rowGrad is the gradient contribution of one (path, slot) pair to one
+// embedding row, weight decay already folded in at the frozen parameters.
+type rowGrad struct {
+	slot, idx int
+	g         []float64
+}
+
+// sampleGrad is one sample's full gradient, computed against frozen
+// parameters. Buffers are reused across batches via grow.
+type sampleGrad struct {
+	loss  float64
+	empty bool // no paths: loss only, no update (mirrors step)
+	dClsW [2][]float64
+	dClsB [2]float64
+	dAttn []float64
+	rows  []rowGrad
+	nRows int
+}
+
+// grow sizes the gradient buffers for dimension dim and up to rows row
+// contributions, reusing prior allocations where possible.
+func (g *sampleGrad) grow(dim, rows int) {
+	if cap(g.dAttn) < dim {
+		g.dAttn = make([]float64, dim)
+		g.dClsW[0] = make([]float64, dim)
+		g.dClsW[1] = make([]float64, dim)
+	}
+	g.dAttn = g.dAttn[:dim]
+	g.dClsW[0], g.dClsW[1] = g.dClsW[0][:dim], g.dClsW[1][:dim]
+	if cap(g.rows) < rows {
+		next := make([]rowGrad, rows)
+		copy(next, g.rows[:cap(g.rows)])
+		g.rows = next
+	}
+	g.rows = g.rows[:rows]
+	for i := range g.rows {
+		if cap(g.rows[i].g) < dim {
+			g.rows[i].g = make([]float64, dim)
+		}
+		g.rows[i].g = g.rows[i].g[:dim]
+	}
+}
+
+// epochMinibatch runs one epoch in batches of cfg.BatchSize over the
+// (already shuffled) order, returning the summed loss.
+func (m *Model) epochMinibatch(ctx context.Context, samples []Sample, order []int) (float64, error) {
+	b := m.cfg.BatchSize
+	workers := m.cfg.TrainWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	grads := make([]sampleGrad, b)
+	total := 0.0
+	for start := 0; start < len(order); start += b {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		end := start + b
+		if end > len(order) {
+			end = len(order)
+		}
+		n := end - start
+		par.For(workers, n, func(j int) {
+			s := samples[order[start+j]]
+			sc := m.getScratch(len(s.Keys))
+			m.gradient(s, sc, &grads[j])
+			m.putScratch(sc)
+		})
+		// Apply in sample order — the only place parameters change.
+		for j := 0; j < n; j++ {
+			total += grads[j].loss
+			m.apply(&grads[j])
+		}
+	}
+	return total, nil
+}
+
+// gradient computes one sample's loss and gradient into out without
+// touching model parameters. It mirrors step's math exactly, except that
+// every read (classifier rows, attention, embedding rows, weight decay)
+// sees the frozen batch-start parameters.
+func (m *Model) gradient(s Sample, sc *scratch, out *sampleGrad) {
+	m.forward(s.Keys, sc)
+	label := 0
+	if s.Malicious {
+		label = 1
+	}
+	out.loss = -math.Log(math.Max(sc.probs[label], 1e-12))
+	out.empty = len(s.Keys) == 0
+	out.nRows = 0
+	if out.empty {
+		return
+	}
+	out.grow(m.cfg.Dim, 3*len(s.Keys))
+
+	var dlogits [2]float64
+	dlogits[0] = sc.probs[0]
+	dlogits[1] = sc.probs[1]
+	dlogits[label] -= 1
+
+	dv := sc.dv
+	linalg.Zero(dv)
+	for c := 0; c < 2; c++ {
+		for j := range out.dClsW[c] {
+			out.dClsW[c][j] = dlogits[c] * sc.agg[j]
+		}
+		out.dClsB[c] = dlogits[c]
+		linalg.AXPYInPlace(dv, dlogits[c], m.clsW[c])
+	}
+
+	dalpha := sc.dalpha
+	for i, v := range sc.vecs {
+		dalpha[i] = linalg.Dot(dv, v)
+	}
+	meanD := 0.0
+	for i := range dalpha {
+		meanD += sc.weights[i] * dalpha[i]
+	}
+	linalg.Zero(out.dAttn)
+	for i, v := range sc.vecs {
+		ds := sc.weights[i] * (dalpha[i] - meanD)
+		dp := sc.dp
+		linalg.Zero(dp)
+		linalg.AXPYInPlace(dp, sc.weights[i], dv)
+		linalg.AXPYInPlace(dp, ds, m.attn)
+		linalg.AXPYInPlace(out.dAttn, ds, v)
+		key := sc.keys[i]
+		for slot, rowIdx := range [3]int{key.Src, key.Struct, key.Tgt} {
+			row := m.rowFor(slot, rowIdx)
+			rg := &out.rows[out.nRows]
+			out.nRows++
+			rg.slot, rg.idx = slot, rowIdx
+			for j := range rg.g {
+				rg.g[j] = dp[j]*(1-v[j]*v[j]) + m.cfg.WeightDecay*row[j]
+			}
+		}
+	}
+}
+
+// apply performs the SGD update for one accumulated gradient. Row gradients
+// are resolved through rowFor again so shared UNK rows accumulate exactly
+// like repeated touches do in the serial path.
+func (m *Model) apply(g *sampleGrad) {
+	if g.empty {
+		return
+	}
+	lr := m.cfg.LearningRate
+	for c := 0; c < 2; c++ {
+		linalg.AXPYInPlace(m.clsW[c], -lr, g.dClsW[c])
+		m.clsB[c] -= lr * g.dClsB[c]
+	}
+	for r := 0; r < g.nRows; r++ {
+		rg := &g.rows[r]
+		linalg.AXPYInPlace(m.rowFor(rg.slot, rg.idx), -lr, rg.g)
+	}
+	linalg.AXPYInPlace(m.attn, -lr, g.dAttn)
+}

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// trainedBytes fits a fresh model with the given batch size and worker
+// count and returns its full serialized parameters.
+func trainedBytes(t testing.TB, batch, workers int) []byte {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.BatchSize = batch
+	cfg.TrainWorkers = workers
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(syntheticSamples(cfg, 80, 11))
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestMinibatchBitIdenticalAcrossWorkers is the package-level determinism
+// contract: with BatchSize > 1, TrainWorkers never changes a single bit of
+// the fitted parameters (which also proves Config.TrainWorkers stays out of
+// the serialized form).
+func TestMinibatchBitIdenticalAcrossWorkers(t *testing.T) {
+	base := trainedBytes(t, 8, 1)
+	for _, w := range []int{4, runtime.NumCPU()} {
+		if got := trainedBytes(t, 8, w); string(got) != string(base) {
+			t.Errorf("TrainWorkers=%d produced different model bytes than serial", w)
+		}
+	}
+}
+
+// TestMinibatchLearnsSeparableTask: the minibatch regime must still learn,
+// not just be deterministic.
+func TestMinibatchLearnsSeparableTask(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BatchSize = 8
+	cfg.TrainWorkers = 4
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := m.Train(syntheticSamples(cfg, 120, 1))
+	if loss > 0.5 {
+		t.Errorf("final loss = %v, minibatch model failed to learn", loss)
+	}
+	test := syntheticSamples(cfg, 60, 2)
+	correct := 0
+	for _, s := range test {
+		if (m.PredictProb(s.Keys) >= 0.5) == s.Malicious {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.9 {
+		t.Errorf("test accuracy = %.2f", acc)
+	}
+}
+
+// TestBatchSizeOneMatchesSGD: BatchSize 1 must route through the legacy
+// per-sample path, keeping the golden-pinned numerics byte for byte. The
+// serialized config naturally differs (it records the batch size), so only
+// the learned parameters are compared.
+func TestBatchSizeOneMatchesSGD(t *testing.T) {
+	stripConfig := func(data []byte) string {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "config")
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	got := stripConfig(trainedBytes(t, 1, 4))
+	want := stripConfig(trainedBytes(t, 0, 1))
+	if got != want {
+		t.Error("BatchSize=1 parameters differ from BatchSize=0 (per-sample SGD)")
+	}
+}
+
+// TestTrainCtxCancellation: a cancelled context stops training early and
+// reports it.
+func TestTrainCtxCancellation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BatchSize = 8
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.TrainCtx(ctx, syntheticSamples(cfg, 40, 3)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"jsrevealer/internal/ml/linalg"
+	"jsrevealer/internal/par"
 )
 
 // ErrTooFewPoints is returned when a detector needs more points than given.
@@ -36,12 +37,18 @@ type Detector interface {
 type FastABOD struct {
 	// K is the neighbourhood size; defaults to 10 when zero.
 	K int
+	// Workers bounds the goroutines scoring points; <= 0 means all CPUs.
+	// Scores are bit-identical at any worker count (each point's score is
+	// an independent function of the frozen input).
+	Workers int
 }
 
 // Name implements Detector.
 func (*FastABOD) Name() string { return "FastABOD" }
 
-// Scores implements Detector.
+// Scores implements Detector. The O(n²·d) neighbour search plus O(n·k²·d)
+// angle-variance pass — the training pipeline's wall-clock dominator — fans
+// out over Workers goroutines, one point per task.
 func (f *FastABOD) Scores(points [][]float64) ([]float64, error) {
 	k := f.K
 	if k <= 0 {
@@ -55,10 +62,10 @@ func (f *FastABOD) Scores(points [][]float64) ([]float64, error) {
 		k = n - 1
 	}
 	scores := make([]float64, n)
-	for i := range points {
+	par.For(f.Workers, n, func(i int) {
 		nbrs := nearestNeighbors(points, i, k)
 		scores[i] = -abofVariance(points, i, nbrs)
-	}
+	})
 	return scores, nil
 }
 
@@ -111,12 +118,16 @@ func diff(a, b []float64) []float64 {
 type KNN struct {
 	// K is the neighbourhood size; defaults to 5 when zero.
 	K int
+	// Workers bounds the goroutines scoring points; <= 0 means all CPUs.
+	// Scores are bit-identical at any worker count.
+	Workers int
 }
 
 // Name implements Detector.
 func (*KNN) Name() string { return "kNN" }
 
-// Scores implements Detector.
+// Scores implements Detector, fanning the per-point O(n·d + n log n)
+// distance rankings out over Workers goroutines.
 func (d *KNN) Scores(points [][]float64) ([]float64, error) {
 	k := d.K
 	if k <= 0 {
@@ -130,11 +141,11 @@ func (d *KNN) Scores(points [][]float64) ([]float64, error) {
 		k = n - 1
 	}
 	scores := make([]float64, n)
-	for i := range points {
+	par.For(d.Workers, n, func(i int) {
 		dists := allDistances(points, i)
 		sort.Float64s(dists)
 		scores[i] = dists[k-1]
-	}
+	})
 	return scores, nil
 }
 
@@ -146,12 +157,18 @@ func (d *KNN) Scores(points [][]float64) ([]float64, error) {
 type LOF struct {
 	// K is the neighbourhood size; defaults to 10 when zero.
 	K int
+	// Workers bounds the goroutines used per phase; <= 0 means all CPUs.
+	// Scores are bit-identical at any worker count.
+	Workers int
 }
 
 // Name implements Detector.
 func (*LOF) Name() string { return "LOF" }
 
-// Scores implements Detector.
+// Scores implements Detector. The three phases (neighbourhoods, local
+// reachability density, factor) each fan out over Workers goroutines with a
+// barrier between phases, since every phase reads the previous one's
+// complete output.
 func (d *LOF) Scores(points [][]float64) ([]float64, error) {
 	k := d.K
 	if k <= 0 {
@@ -167,13 +184,13 @@ func (d *LOF) Scores(points [][]float64) ([]float64, error) {
 
 	nbrs := make([][]int, n)
 	kdist := make([]float64, n)
-	for i := 0; i < n; i++ {
+	par.For(d.Workers, n, func(i int) {
 		nbrs[i] = nearestNeighbors(points, i, k)
 		kdist[i] = linalg.Distance(points[i], points[nbrs[i][len(nbrs[i])-1]])
-	}
+	})
 	// Local reachability density.
 	lrd := make([]float64, n)
-	for i := 0; i < n; i++ {
+	par.For(d.Workers, n, func(i int) {
 		sum := 0.0
 		for _, j := range nbrs[i] {
 			reach := math.Max(kdist[j], linalg.Distance(points[i], points[j]))
@@ -184,9 +201,9 @@ func (d *LOF) Scores(points [][]float64) ([]float64, error) {
 		} else {
 			lrd[i] = float64(len(nbrs[i])) / sum
 		}
-	}
+	})
 	scores := make([]float64, n)
-	for i := 0; i < n; i++ {
+	par.For(d.Workers, n, func(i int) {
 		sum := 0.0
 		for _, j := range nbrs[i] {
 			if math.IsInf(lrd[i], 1) {
@@ -196,7 +213,7 @@ func (d *LOF) Scores(points [][]float64) ([]float64, error) {
 			}
 		}
 		scores[i] = sum / float64(len(nbrs[i]))
-	}
+	})
 	return scores, nil
 }
 
@@ -321,8 +338,17 @@ func SelectDetector(points [][]float64, candidates []Detector) (Detector, error)
 }
 
 // DefaultCandidates returns the detector pool the meta-selector considers.
-func DefaultCandidates() []Detector {
-	return []Detector{&FastABOD{}, &LOF{}, &KNN{}}
+func DefaultCandidates() []Detector { return CandidatesWithWorkers(0) }
+
+// CandidatesWithWorkers is DefaultCandidates with an explicit per-detector
+// worker bound (<= 0 means all CPUs); selection outcomes are identical at
+// any worker count.
+func CandidatesWithWorkers(workers int) []Detector {
+	return []Detector{
+		&FastABOD{Workers: workers},
+		&LOF{Workers: workers},
+		&KNN{Workers: workers},
+	}
 }
 
 // separationGap measures how cleanly the top decile of scores separates from

@@ -1,0 +1,102 @@
+// Package par provides the deterministic fork-join parallelism primitive
+// shared by the training pipeline: a bounded worker pool that fans a loop
+// body out over indices while guaranteeing that the result is independent
+// of the worker count.
+//
+// Determinism contract: For and ForCtx promise only *which goroutine* runs
+// an index is unspecified — every index in [0, n) runs exactly once (For)
+// or until cancellation (ForCtx). As long as fn(i) reads shared state that
+// is frozen for the duration of the loop and writes only to index-i slots,
+// the outcome is bit-identical at any worker count. All of the pipeline's
+// parallel stages (path extraction, per-sample gradients, outlier scoring,
+// K-Means assignment) are written in that shape.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select
+// runtime.NumCPU(), everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n), spread over at most workers
+// goroutines (<= 0 selects runtime.NumCPU()). Indices are handed out by an
+// atomic counter, so the schedule is work-stealing but every index runs
+// exactly once. For blocks until all indices are done. A panic inside fn is
+// re-raised on the calling goroutine (first one wins) after the pool has
+// drained, so callers see ordinary panic semantics instead of a crashed
+// worker.
+func For(workers, n int, fn func(i int)) {
+	_ = ForCtx(context.Background(), workers, n, fn)
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done, workers
+// stop picking up new indices and ForCtx returns ctx.Err(). Indices already
+// dispatched run to completion, so on a nil error every index ran; on a
+// non-nil error a prefix-free subset ran and the caller must discard the
+// partial results.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: same observable behaviour, no goroutines.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n || ctx.Err() != nil || panicked.Load() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							// CompareAndSwap-free: Store races are benign,
+							// any stored panic is a real one to re-raise.
+							panicked.Store(capturedPanic{r})
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(fmt.Sprintf("par: worker panic: %v", p.(capturedPanic).value))
+	}
+	return ctx.Err()
+}
+
+// capturedPanic wraps a recovered value so atomic.Value never sees
+// inconsistently-typed stores.
+type capturedPanic struct{ value any }

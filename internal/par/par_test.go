@@ -1,0 +1,97 @@
+package par
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		n := 1000
+		counts := make([]int32, n)
+		For(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForDeterministicResults(t *testing.T) {
+	// fn writes only to slot i; results must be identical at any worker count.
+	n := 500
+	ref := make([]float64, n)
+	For(1, n, func(i int) { ref[i] = float64(i) * 1.5 })
+	for _, workers := range []int{2, 3, 8} {
+		got := make([]float64, n)
+		For(workers, n, func(i int) { got[i] = float64(i) * 1.5 })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForCtx(ctx, 4, 100000, func(i int) {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("ForCtx did not return the cancellation error")
+	}
+	if n := atomic.LoadInt32(&ran); n >= 100000 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d)", n)
+	}
+}
+
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	if err := ForCtx(ctx, 2, 50, func(i int) { atomic.AddInt32(&ran, 1) }); err == nil {
+		t.Fatal("pre-cancelled context not reported")
+	}
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic was swallowed", workers)
+				}
+				if !strings.Contains(r.(string), "boom") {
+					t.Fatalf("workers=%d: panic payload lost: %v", workers, r)
+				}
+			}()
+			For(workers, 100, func(i int) {
+				if i == 42 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	For(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+	For(4, -3, func(i int) { t.Fatal("fn called for n<0") })
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("Workers must normalize non-positive values to >= 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("Workers must pass positive values through")
+	}
+}

@@ -29,6 +29,10 @@ go test -bench 'BenchmarkPathHash|BenchmarkExtract' -benchmem -run '^$' \
 echo "==> end-to-end detection benchmark"
 go test -bench '^BenchmarkDetect$' -benchmem -run '^$' . | tee -a "$raw"
 
+echo "==> training pipeline benchmark (parallel fit)"
+go test -bench '^BenchmarkTrain$' -benchmem -run '^$' \
+    ./internal/core/ | tee -a "$raw"
+
 echo "==> scan service benchmarks"
 go test -bench 'BenchmarkServeScanBatch' -benchmem -run '^$' \
     ./internal/serve/ | tee -a "$raw"

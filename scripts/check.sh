@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> doc coverage (scripts/doccheck.sh)"
+sh scripts/doccheck.sh
+
 echo "==> go build ./..."
 go build ./...
 

@@ -1,0 +1,45 @@
+#!/bin/sh
+# doccheck.sh: documentation-coverage gate over the packages that form the
+# public operational surface (internal/core, internal/scan, internal/serve,
+# internal/par). Every exported top-level declaration — and every exported
+# method on an exported receiver type — must carry a doc comment. The check
+# is a line-pattern scan, not go/doc: it flags `^func Foo`, `^type Foo`,
+# `^var Foo`, `^const Foo`, and `^func (r *Recv) Foo` lines whose preceding
+# line is not a comment. Grouped const/var blocks satisfy the gate with a
+# comment on the block.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PKGS="internal/core internal/scan internal/serve internal/par"
+
+bad=0
+for pkg in $PKGS; do
+    for f in "$pkg"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        out=$(awk '
+            /^\/\// { prevcomment = 1; next }
+            # Exported top-level declarations.
+            /^(func|type|var|const) [A-Z]/ ||
+            # Exported methods on exported receiver types only: a method on
+            # an unexported type is not part of the documented surface even
+            # when its name is exported (interface satisfaction).
+            /^func \([A-Za-z0-9_]+ \*?[A-Z][A-Za-z0-9_]*(\[[^]]*\])?\) [A-Z]/ {
+                if (!prevcomment) { printf "%s:%d: %s\n", FILENAME, FNR, $0 }
+            }
+            { prevcomment = 0 }
+        ' "$f")
+        if [ -n "$out" ]; then
+            echo "$out"
+            bad=1
+        fi
+    done
+done
+
+if [ "$bad" -ne 0 ]; then
+    echo "doccheck: undocumented exported declarations found" >&2
+    exit 1
+fi
+echo "doccheck: OK"
