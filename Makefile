@@ -36,3 +36,5 @@ fuzz:
 	go test -fuzz=FuzzLex -fuzztime=30s ./internal/js/lexer/
 	go test -fuzz=FuzzParse -fuzztime=30s ./internal/js/parser/
 	go test -fuzz=FuzzDetect -fuzztime=30s ./internal/scan/
+	go test -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/queue/
+	go test -fuzz=FuzzReplaySegment -fuzztime=30s ./internal/queue/

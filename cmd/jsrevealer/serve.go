@@ -44,6 +44,12 @@ func runServe(args []string) error {
 	jobWorkers := fs.Int("job-workers", serve.DefaultJobWorkers, "async job worker count")
 	jobTTL := fs.Duration("job-ttl", serve.DefaultJobTTL, "how long finished jobs stay pollable")
 	drainTimeout := fs.Duration("drain-timeout", serve.DefaultDrainTimeout, "graceful shutdown budget: finish in-flight work before exiting")
+
+	// Durable job-queue knobs.
+	queueDir := fs.String("queue-dir", "", "durable job queue directory; jobs survive crashes and restarts (empty = in-memory jobs)")
+	queueWatermark := fs.Int("queue-watermark", serve.DefaultQueueWatermark, "durable backlog beyond which admission answers 429")
+	queueLease := fs.Duration("queue-lease", serve.DefaultQueueLease, "durable delivery lease; a worker missing heartbeats this long loses the job")
+	queueAttempts := fs.Int("queue-attempts", 0, "delivery attempts before a durable job dead-letters; 0 = queue default")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,16 +67,20 @@ func runServe(args []string) error {
 			MaxBytes:  *maxBytes,
 			CacheSize: *cacheSize,
 		},
-		MaxBody:       *maxBody,
-		MaxBatch:      *maxBatch,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		RatePerSec:    *rate,
-		Burst:         *burst,
-		MaxJobs:       *maxJobs,
-		JobWorkers:    *jobWorkers,
-		JobTTL:        *jobTTL,
-		DrainTimeout:  *drainTimeout,
+		MaxBody:          *maxBody,
+		MaxBatch:         *maxBatch,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
+		RatePerSec:       *rate,
+		Burst:            *burst,
+		MaxJobs:          *maxJobs,
+		JobWorkers:       *jobWorkers,
+		JobTTL:           *jobTTL,
+		DrainTimeout:     *drainTimeout,
+		QueueDir:         *queueDir,
+		QueueWatermark:   *queueWatermark,
+		QueueLease:       *queueLease,
+		QueueMaxAttempts: *queueAttempts,
 	}, obs.Default())
 	if err != nil {
 		return err

@@ -1,0 +1,84 @@
+package queue
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeRecord hammers the WAL record decoder with arbitrary bytes:
+// whatever the input — truncated frames, flipped bits, hostile length
+// prefixes — decoding must terminate without panicking, and a full decode
+// loop over the input must always make progress or stop.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendRecord(nil, nil))
+	f.Add(appendRecord(nil, []byte("payload")))
+	f.Add(appendRecord(appendRecord(nil, []byte("a")), []byte("b")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+	corrupt := appendRecord(nil, []byte("healthy record"))
+	corrupt[recordHeaderLen] ^= 0x01
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		for off < len(data) {
+			payload, n, err := decodeRecord(data[off:])
+			if err != nil {
+				// Any failure ends the stream — recovery truncates here.
+				break
+			}
+			if n <= 0 {
+				t.Fatalf("decode consumed %d bytes without error: infinite loop", n)
+			}
+			if len(payload) > n {
+				t.Fatalf("payload %d bytes from a %d-byte record", len(payload), n)
+			}
+			// A healthy frame round-trips bit-identically.
+			re := appendRecord(nil, payload)
+			if !bytes.Equal(re, data[off:off+n]) {
+				t.Fatalf("record at %d does not round-trip", off)
+			}
+			off += n
+		}
+	})
+}
+
+// FuzzReplaySegment feeds arbitrary bytes to the full segment replay path
+// (framing + event decoding + state folding): opening a queue over any
+// byte soup must neither panic nor loop, only recover what decodes.
+func FuzzReplaySegment(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendRecord(nil, encodeEvent(walEvent{Op: opEnqueue, ID: "j", Payload: []byte("p")})))
+	seed := appendRecord(nil, encodeEvent(walEvent{Op: opEnqueue, ID: "j"}))
+	seed = appendRecord(seed, encodeEvent(walEvent{Op: opLease, ID: "j", Owner: "w"}))
+	seed = appendRecord(seed, encodeEvent(walEvent{Op: opAck, ID: "j", Result: []byte("r")}))
+	f.Add(seed)
+	f.Add(appendRecord(nil, []byte(`{"op":"snapshot-from-the-future"}`)))
+	f.Add(appendRecord(nil, []byte(`not even json`)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+			t.Skip()
+		}
+		rep, err := replay(dir, []uint64{1})
+		if err != nil {
+			// replay only errors on filesystem failures, never on content.
+			t.Fatalf("replay failed on content: %v", err)
+		}
+		// Whatever survived must be internally consistent.
+		for id, j := range rep.jobs {
+			if j.ID != id {
+				t.Fatalf("job indexed under %q carries id %q", id, j.ID)
+			}
+			switch j.State {
+			case StatePending, StateLeased, StateDone, StateDead:
+			default:
+				t.Fatalf("job %q in impossible state %q", id, j.State)
+			}
+		}
+	})
+}

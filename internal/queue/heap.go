@@ -1,0 +1,149 @@
+package queue
+
+// Two small intrusive binary heaps index pending jobs: readyHeap orders
+// eligible jobs by (priority desc, enqueue sequence asc) — strict priority
+// with FIFO inside a class — and delayHeap orders backoff-delayed jobs by
+// their NotBefore time so promotion is a peek at the root. Hand-rolled
+// rather than container/heap to keep per-operation allocations at zero and
+// the index fields (readyIx/delayIx) updated in place.
+
+// readyHeap holds eligible pending jobs, max-priority at the root.
+type readyHeap []*Job
+
+// Len reports the heap size.
+func (h readyHeap) Len() int { return len(h) }
+
+func (h readyHeap) before(a, b *Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (h *readyHeap) push(j *Job) {
+	*h = append(*h, j)
+	j.readyIx = len(*h) - 1
+	h.up(j.readyIx)
+}
+
+func (h *readyHeap) pop() *Job {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old[0] = old[n-1]
+	old[0].readyIx = 0
+	old[n-1] = nil
+	*h = old[:n-1]
+	if len(*h) > 0 {
+		h.down(0)
+	}
+	top.readyIx = -1
+	return top
+}
+
+func (h readyHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h[i], h[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h readyHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.before(h[l], h[best]) {
+			best = l
+		}
+		if r < n && h.before(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h readyHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].readyIx = i
+	h[j].readyIx = j
+}
+
+// delayHeap holds backoff-delayed pending jobs, earliest NotBefore at the
+// root.
+type delayHeap []*Job
+
+// Len reports the heap size.
+func (h delayHeap) Len() int { return len(h) }
+
+func (h delayHeap) before(a, b *Job) bool {
+	if !a.NotBefore.Equal(b.NotBefore) {
+		return a.NotBefore.Before(b.NotBefore)
+	}
+	return a.seq < b.seq
+}
+
+func (h *delayHeap) push(j *Job) {
+	*h = append(*h, j)
+	j.delayIx = len(*h) - 1
+	h.up(j.delayIx)
+}
+
+func (h *delayHeap) pop() *Job {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old[0] = old[n-1]
+	old[0].delayIx = 0
+	old[n-1] = nil
+	*h = old[:n-1]
+	if len(*h) > 0 {
+		h.down(0)
+	}
+	top.delayIx = -1
+	return top
+}
+
+func (h delayHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h[i], h[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h delayHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.before(h[l], h[best]) {
+			best = l
+		}
+		if r < n && h.before(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h delayHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].delayIx = i
+	h[j].delayIx = j
+}

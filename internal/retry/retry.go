@@ -1,0 +1,128 @@
+// Package retry provides capped exponential backoff with full jitter — the
+// retry schedule shared by the durable job queue and any other subsystem
+// that re-attempts failed work.
+//
+// The policy follows the "full jitter" strategy (AWS architecture blog,
+// also used by gRPC): the delay before attempt n is drawn uniformly from
+// [0, min(Cap, Base·Factor^n)]. Full jitter decorrelates retrying clients,
+// so a thundering herd created by one outage does not re-synchronize on
+// every backoff step; the cap bounds the worst-case wait so a long outage
+// never pushes retries out indefinitely.
+//
+// All methods are safe for concurrent use: Policy is an immutable value and
+// the default randomness source is math/rand's lock-protected global.
+package retry
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Defaults substituted for Policy zero values.
+const (
+	// DefaultBase is the backoff ceiling before the first retry.
+	DefaultBase = 100 * time.Millisecond
+	// DefaultCap bounds any single backoff delay.
+	DefaultCap = 30 * time.Second
+	// DefaultFactor doubles the ceiling each attempt.
+	DefaultFactor = 2.0
+)
+
+// Policy is a capped exponential backoff schedule with full jitter. The
+// zero value is usable and backs off 100ms·2^attempt, capped at 30s.
+type Policy struct {
+	// Base is the backoff ceiling before the first retry (attempt 0);
+	// <= 0 selects DefaultBase.
+	Base time.Duration
+	// Cap bounds every delay regardless of attempt; <= 0 selects
+	// DefaultCap.
+	Cap time.Duration
+	// Factor is the per-attempt ceiling growth; < 1 selects DefaultFactor.
+	Factor float64
+	// Rand returns a uniform value in [0, 1) for jitter; nil selects
+	// math/rand.Float64. Tests inject deterministic sources here.
+	Rand func() float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultCap
+	}
+	if p.Factor < 1 {
+		p.Factor = DefaultFactor
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	return p
+}
+
+// Ceil returns the un-jittered backoff ceiling for attempt (0-based):
+// min(Cap, Base·Factor^attempt). Negative attempts are treated as 0.
+func (p Policy) Ceil(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	// Factor^attempt overflows float64 fast; once the ceiling passes Cap
+	// the exact value no longer matters.
+	d := float64(p.Base) * math.Pow(p.Factor, float64(attempt))
+	if d >= float64(p.Cap) || math.IsInf(d, 1) || math.IsNaN(d) {
+		return p.Cap
+	}
+	return time.Duration(d)
+}
+
+// Delay returns the jittered delay before attempt (0-based): a uniform
+// draw from [0, Ceil(attempt)].
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	return time.Duration(p.Rand() * float64(p.Ceil(attempt)))
+}
+
+// Sleep blocks for Delay(attempt) or until ctx is done, returning ctx.Err()
+// in the latter case. It is the building block for inline retry loops that
+// must stay responsive to cancellation.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	d := p.Delay(attempt)
+	if d <= 0 {
+		// Still honor an already-cancelled context on a zero draw.
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs fn up to attempts times, sleeping the policy's jittered delay
+// between failures. It returns nil on the first success, ctx.Err() when the
+// context ends first, and the last failure's error when the budget runs
+// out. attempts < 1 is treated as 1.
+func (p Policy) Do(ctx context.Context, attempts int, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if a == attempts-1 {
+			break
+		}
+		if serr := p.Sleep(ctx, a); serr != nil {
+			return serr
+		}
+	}
+	return err
+}

@@ -1,0 +1,149 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCeilGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 1 * time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 0
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second, // capped
+		1 * time.Second,
+	}
+	for a, w := range want {
+		if got := p.Ceil(a); got != w {
+			t.Errorf("Ceil(%d) = %v, want %v", a, got, w)
+		}
+	}
+	if got := p.Ceil(-3); got != 100*time.Millisecond {
+		t.Errorf("Ceil(-3) = %v, want base", got)
+	}
+	// Huge attempt counts must not overflow into negative durations.
+	if got := p.Ceil(10_000); got != time.Second {
+		t.Errorf("Ceil(10000) = %v, want cap", got)
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Ceil(0); got != DefaultBase {
+		t.Errorf("zero-value Ceil(0) = %v, want %v", got, DefaultBase)
+	}
+	if got := p.Ceil(1 << 20); got != DefaultCap {
+		t.Errorf("zero-value Ceil(big) = %v, want %v", got, DefaultCap)
+	}
+}
+
+func TestDelayFullJitter(t *testing.T) {
+	// A pinned Rand makes the draw deterministic: delay = r·ceil.
+	p := Policy{Base: time.Second, Cap: time.Minute, Factor: 2,
+		Rand: func() float64 { return 0.5 }}
+	if got := p.Delay(0); got != 500*time.Millisecond {
+		t.Errorf("Delay(0) at r=0.5 = %v, want 500ms", got)
+	}
+	if got := p.Delay(2); got != 2*time.Second {
+		t.Errorf("Delay(2) at r=0.5 = %v, want 2s", got)
+	}
+	p.Rand = func() float64 { return 0 }
+	if got := p.Delay(5); got != 0 {
+		t.Errorf("Delay at r=0 = %v, want 0", got)
+	}
+	// Default randomness stays within [0, ceil].
+	d := Policy{Base: 10 * time.Millisecond}.Delay(3)
+	if d < 0 || d > 80*time.Millisecond {
+		t.Errorf("jittered delay %v outside [0, 80ms]", d)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	p := Policy{Base: time.Hour, Cap: time.Hour,
+		Rand: func() float64 { return 0.999 }}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Sleep after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancellation")
+	}
+
+	// A zero draw still reports an already-dead context.
+	p.Rand = func() float64 { return 0 }
+	if err := p.Sleep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sleep with zero delay on dead ctx = %v", err)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Cap: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), 5, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Cap: time.Microsecond}
+	sentinel := errors.New("poisoned")
+	calls := 0
+	err := p.Do(context.Background(), 4, func() error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 4 {
+		t.Errorf("Do = %v after %d calls, want sentinel after 4", err, calls)
+	}
+	// attempts < 1 still runs once.
+	calls = 0
+	if err := p.Do(context.Background(), 0, func() error { calls++; return nil }); err != nil || calls != 1 {
+		t.Errorf("Do(0 attempts) = %v after %d calls", err, calls)
+	}
+}
+
+func TestDoStopsOnContext(t *testing.T) {
+	p := Policy{Base: time.Hour, Cap: time.Hour, Rand: func() float64 { return 1 - 1e-9 }}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := p.Do(ctx, 3, func() error { calls++; return errors.New("x") })
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Errorf("Do on dead ctx = %v after %d calls, want Canceled after 1", err, calls)
+	}
+}
+
+func TestDelayDistributionStaysBounded(t *testing.T) {
+	// Sanity over many draws with the real randomness source: never
+	// negative, never above the ceiling, and not all identical (jitter is
+	// actually happening).
+	p := Policy{Base: time.Millisecond, Cap: 8 * time.Millisecond}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 500; i++ {
+		d := p.Delay(2)
+		if d < 0 || d > 4*time.Millisecond {
+			t.Fatalf("draw %d: delay %v outside [0, 4ms]", i, d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct delays over 500 draws; jitter looks broken", len(seen))
+	}
+	if math.Abs(float64(Policy{}.withDefaults().Factor)-2) > 1e-9 {
+		t.Error("default factor is not 2")
+	}
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/queue"
+	"jsrevealer/internal/scan"
+)
+
+// This file is the durable-mode job path: when Config.QueueDir is set,
+// POST /jobs persists submissions to the internal/queue WAL instead of the
+// in-memory store, workers lease jobs with heartbeat renewal, and finished
+// verdicts are committed back through the queue — so a kill -9 mid-batch
+// plus a restart resumes accepted jobs and keeps already-committed
+// verdicts, with lease fencing guaranteeing no duplicate emission.
+
+// progressTable exposes the verdicts of running durable jobs to polls, the
+// durable counterpart of the in-memory job's results-so-far slice.
+type progressTable struct {
+	mu sync.Mutex
+	m  map[string][]verdictLine
+}
+
+func (p *progressTable) add(id string, line verdictLine) {
+	p.mu.Lock()
+	p.m[id] = append(p.m[id], line)
+	p.mu.Unlock()
+}
+
+func (p *progressTable) snapshot(id string) []verdictLine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]verdictLine(nil), p.m[id]...)
+}
+
+// take returns the job's accumulated verdicts and forgets them.
+func (p *progressTable) take(id string) []verdictLine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lines := p.m[id]
+	delete(p.m, id)
+	return lines
+}
+
+// durableSubmit persists an accepted batch to the queue and answers 202.
+// The payload is the batch re-encoded as the same NDJSON record objects
+// the wire format uses, so the WAL is inspectable with standard tools.
+func (s *Server) durableSubmit(w http.ResponseWriter, r *http.Request, srcs []scan.Source) {
+	recs := make([]record, len(srcs))
+	for i, src := range srcs {
+		recs[i] = record{Name: src.Name, Source: src.Content}
+	}
+	payload, err := json.Marshal(recs)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	prio := 0
+	if q := r.URL.Query().Get("priority"); q != "" {
+		p, perr := strconv.Atoi(q)
+		if perr != nil {
+			writeJSONError(w, http.StatusBadRequest, "priority must be an integer")
+			return
+		}
+		prio = p
+	}
+	id := newJobID()
+	if err := s.q.Enqueue(id, prio, payload); err != nil {
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.met.jobs["submitted"].Inc()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":      id,
+		"state":   JobQueued,
+		"scripts": len(srcs),
+		"durable": true,
+	})
+}
+
+// durableGet answers GET /jobs/{id} from the queue: 404 for ids that never
+// existed, 410 Gone for ids whose results have been removed by the result
+// TTL, and the mapped job view otherwise.
+func (s *Server) durableGet(w http.ResponseWriter, id string) {
+	j, err := s.q.Get(id)
+	if err != nil {
+		if s.q.Forgotten(id) {
+			writeJSONGone(w)
+			return
+		}
+		writeJSONError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, durableView(j, s.progress.snapshot(id)))
+}
+
+// durableView maps a queue job snapshot onto the JobView wire shape shared
+// with the in-memory path, merging the live progress of a running job.
+func durableView(j queue.Job, progress []verdictLine) JobView {
+	v := JobView{
+		ID:          j.ID,
+		SubmittedAt: j.EnqueuedAt,
+		Attempt:     j.Attempt,
+		Error:       j.LastErr,
+	}
+	switch j.State {
+	case queue.StatePending:
+		v.State = JobQueued
+	case queue.StateLeased:
+		v.State = JobRunning
+	case queue.StateDone:
+		v.State = JobDone
+	case queue.StateDead:
+		v.State = JobFailed
+	}
+	if !j.DoneAt.IsZero() {
+		t := j.DoneAt
+		v.FinishedAt = &t
+	}
+	if j.State == queue.StateDone {
+		var lines []verdictLine
+		json.Unmarshal(j.Result, &lines)
+		v.Results = lines
+		v.Scripts = len(lines)
+		return v
+	}
+	var recs []record
+	json.Unmarshal(j.Payload, &recs)
+	v.Scripts = len(recs)
+	v.Results = progress
+	return v
+}
+
+// durableWorker leases and runs queue jobs until the worker context is
+// cancelled (drain or close).
+func (s *Server) durableWorker(ctx context.Context, i int) {
+	owner := fmt.Sprintf("serve-worker-%d", i)
+	for {
+		l, err := s.q.Next(ctx, owner)
+		if err != nil {
+			return // closed or cancelled
+		}
+		s.runLease(l)
+	}
+}
+
+// runLease executes one leased job: decode the payload, scan it with
+// heartbeat renewal keeping the lease alive, and commit the verdicts with
+// Ack. A lost lease (missed heartbeats — the reaper reassigned the job)
+// cancels the scan and commits nothing, so the new owner's verdicts are
+// the only ones emitted. Undecodable payloads and missing models are
+// Nacked: retried with backoff, dead-lettered once the attempt budget is
+// spent.
+func (s *Server) runLease(l *queue.Lease) {
+	s.jobsPending.Add(1)
+	s.met.jobInflight.Inc()
+	defer func() {
+		s.jobsPending.Add(-1)
+		s.met.jobInflight.Dec()
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.heartbeatLease(ctx, l, cancel)
+
+	var recs []record
+	if err := json.Unmarshal(l.Job.Payload, &recs); err != nil {
+		s.failLease(l, "undecodable payload: "+err.Error())
+		return
+	}
+	eng := s.engine()
+	if eng == nil {
+		s.failLease(l, "no model loaded")
+		return
+	}
+	srcs := make([]scan.Source, len(recs))
+	for i, r := range recs {
+		srcs[i] = scan.Source{Name: r.Name, Content: r.Source}
+	}
+	eng.ScanSources(obs.WithRegistry(ctx, s.reg), srcs, func(res scan.Result) {
+		s.progress.add(l.Job.ID, toLine(res))
+	})
+	lines := s.progress.take(l.Job.ID)
+	if ctx.Err() != nil {
+		// The lease lapsed mid-scan and the job belongs to someone else
+		// now; committing here would double-emit.
+		return
+	}
+	data, err := json.Marshal(lines)
+	if err != nil {
+		s.failLease(l, "encode results: "+err.Error())
+		return
+	}
+	if err := l.Ack(data); err == nil {
+		s.met.jobs["done"].Inc()
+	}
+	// ErrLeaseLost / ErrClosed: the fencing token (or shutdown) already
+	// decided this delivery does not count; nothing to roll back.
+}
+
+// failLease reports a failed delivery and counts a terminal failure when
+// the job dead-lettered as a result.
+func (s *Server) failLease(l *queue.Lease, reason string) {
+	if err := l.Nack(reason); err != nil {
+		return
+	}
+	if j, err := s.q.Get(l.Job.ID); err == nil && j.State == queue.StateDead {
+		s.met.jobs["failed"].Inc()
+	}
+}
+
+// heartbeatLease renews l at a third of the lease duration until ctx ends.
+// A failed renewal means the lease is gone — the scan is cancelled so the
+// worker stops burning cycles on a job it can no longer commit.
+func (s *Server) heartbeatLease(ctx context.Context, l *queue.Lease, cancel context.CancelFunc) {
+	interval := s.cfg.QueueLease / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			switch err := l.Heartbeat(); {
+			case err == nil:
+			case errors.Is(err, queue.ErrLeaseLost),
+				errors.Is(err, queue.ErrNotFound),
+				errors.Is(err, queue.ErrClosed):
+				// The lease is definitively gone; stop the scan.
+				cancel()
+				return
+			default:
+				// Transient WAL I/O failure: the lease may still be live,
+				// so keep scanning and retry at the next tick.
+			}
+		}
+	}
+}

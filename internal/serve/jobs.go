@@ -49,6 +49,9 @@ type JobView struct {
 	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
 	Results     []verdictLine `json:"results,omitempty"`
 	Error       string        `json:"error,omitempty"`
+	// Attempt counts durable deliveries that failed or were cut short by a
+	// crash; always 0 for in-memory jobs, which run exactly once.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 func (j *job) view() JobView {
@@ -82,10 +85,17 @@ func (j *job) terminal() (bool, time.Time) {
 	return j.state == JobDone || j.state == JobFailed, j.finished
 }
 
+// jobTombstoneCap bounds the evicted-id memory: enough to answer "did this
+// job exist?" for any id a polling client plausibly still holds, without
+// growing forever.
+const jobTombstoneCap = 4096
+
 // jobStore is the bounded in-memory job index. Finished jobs are kept for
 // ttl so clients can poll results, then evicted; the total population is
 // capped at max, with room made by evicting the oldest finished job early
-// when a fresh submission needs it.
+// when a fresh submission needs it. Evicted ids leave a bounded tombstone
+// behind so polls can distinguish "expired" (410 Gone) from "never
+// existed" (404).
 type jobStore struct {
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -93,10 +103,17 @@ type jobStore struct {
 	max   int
 	ttl   time.Duration
 	met   *metrics
+
+	gone      map[string]struct{}
+	goneOrder []string // tombstone insertion order, the FIFO trim order
 }
 
 func newJobStore(max int, ttl time.Duration, met *metrics) *jobStore {
-	return &jobStore{jobs: make(map[string]*job), max: max, ttl: ttl, met: met}
+	return &jobStore{
+		jobs: make(map[string]*job),
+		gone: make(map[string]struct{}),
+		max:  max, ttl: ttl, met: met,
+	}
 }
 
 // newJobID returns a 16-hex-char random id.
@@ -148,6 +165,15 @@ func (s *jobStore) get(id string) (*job, bool) {
 	return j, ok
 }
 
+// forgotten reports whether id was a real job that has since been evicted —
+// the signal behind answering 410 Gone rather than 404.
+func (s *jobStore) forgotten(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.gone[id]
+	return ok
+}
+
 // evictLocked removes finished jobs older than ttl; when force is set it
 // additionally removes the single oldest finished job regardless of age,
 // making room for a new submission. Callers hold s.mu.
@@ -164,10 +190,25 @@ func (s *jobStore) evictLocked(now time.Time, force bool) {
 		if expired || (force && done && !forced) {
 			forced = forced || !expired
 			delete(s.jobs, id)
+			s.tombstoneLocked(id)
 			s.met.jobs["evicted"].Inc()
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+}
+
+// tombstoneLocked remembers an evicted id, trimming the oldest tombstones
+// past the cap. Callers hold s.mu.
+func (s *jobStore) tombstoneLocked(id string) {
+	if _, ok := s.gone[id]; ok {
+		return
+	}
+	s.gone[id] = struct{}{}
+	s.goneOrder = append(s.goneOrder, id)
+	for len(s.goneOrder) > jobTombstoneCap {
+		delete(s.gone, s.goneOrder[0])
+		s.goneOrder = s.goneOrder[1:]
+	}
 }

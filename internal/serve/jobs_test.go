@@ -147,23 +147,42 @@ func TestJobStoreBoundsAndTTL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var goneBody struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(respGone.Body).Decode(&goneBody); err != nil {
+		t.Fatal(err)
+	}
 	respGone.Body.Close()
-	if respGone.StatusCode != http.StatusNotFound {
-		t.Errorf("evicted job status = %d, want 404", respGone.StatusCode)
+	if respGone.StatusCode != http.StatusGone {
+		t.Errorf("evicted job status = %d, want 410", respGone.StatusCode)
+	}
+	if goneBody.Reason != "expired" || goneBody.Error == "" {
+		t.Errorf("410 body = %+v, want a JSON reason", goneBody)
 	}
 	if n := reg.Counter(JobsMetric, "", obs.Labels{"event": "evicted"}).Value(); n < 1 {
 		t.Errorf("evicted counter = %d, want >= 1", n)
 	}
 
-	// TTL expiry: the second job vanishes once its TTL passes.
+	// TTL expiry: the second job answers 410 once its TTL passes — while an
+	// id that never existed stays a plain 404.
 	time.Sleep(400 * time.Millisecond)
 	respTTL, err := http.Get(ts.URL + "/jobs/" + second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	respTTL.Body.Close()
-	if respTTL.StatusCode != http.StatusNotFound {
-		t.Errorf("expired job status = %d, want 404", respTTL.StatusCode)
+	if respTTL.StatusCode != http.StatusGone {
+		t.Errorf("expired job status = %d, want 410", respTTL.StatusCode)
+	}
+	respNone, err := http.Get(ts.URL + "/jobs/feedfacecafebeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respNone.Body.Close()
+	if respNone.StatusCode != http.StatusNotFound {
+		t.Errorf("never-existed job status = %d, want 404", respNone.StatusCode)
 	}
 }
 

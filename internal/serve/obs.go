@@ -14,7 +14,8 @@ const (
 	// admission queue before a concurrency slot freed up.
 	QueueWaitMetric = "jsrevealer_serve_queue_wait_seconds"
 	// AdmissionRejectsMetric counts requests turned away before any work
-	// was done, by reason (queue_full|rate_limited|draining|no_model).
+	// was done, by reason
+	// (queue_full|rate_limited|draining|no_model|backlog).
 	AdmissionRejectsMetric = "jsrevealer_serve_admission_rejects_total"
 	// RequestDurationMetric is the per-endpoint request latency histogram,
 	// admission wait included.
@@ -35,7 +36,7 @@ const (
 var endpoints = []string{"/detect", "/scan", "/jobs", "/admin/reload"}
 
 // rejectReasons is the closed label set of AdmissionRejectsMetric.
-var rejectReasons = []string{"queue_full", "rate_limited", "draining", "no_model"}
+var rejectReasons = []string{"queue_full", "rate_limited", "draining", "no_model", "backlog"}
 
 // jobEvents is the closed label set of JobsMetric.
 var jobEvents = []string{"submitted", "done", "failed", "evicted"}

@@ -7,8 +7,9 @@
 //     (concatenated NDJSON records or multipart parts) and streams one
 //     NDJSON verdict line per script as results complete off the scan
 //     engine's worker pool. POST /jobs + GET /jobs/{id} give an async job
-//     store — bounded, in-memory, TTL-evicted — for submissions too large
-//     to hold a connection open for.
+//     store — bounded, in-memory, TTL-evicted, or WAL-backed and
+//     crash-durable with Config.QueueDir — for submissions too large to
+//     hold a connection open for.
 //
 //   - Admission control. A bounded admission queue (concurrency slots plus
 //     a waiting room) with queue-wait accounting fast-fails 429 with
@@ -47,6 +48,7 @@ import (
 
 	"jsrevealer/internal/core"
 	"jsrevealer/internal/obs"
+	"jsrevealer/internal/queue"
 	"jsrevealer/internal/scan"
 )
 
@@ -66,6 +68,12 @@ const (
 	DefaultJobTTL = 10 * time.Minute
 	// DefaultDrainTimeout bounds graceful shutdown.
 	DefaultDrainTimeout = 5 * time.Second
+	// DefaultQueueWatermark is the durable-queue backlog beyond which
+	// admission answers 429.
+	DefaultQueueWatermark = 1024
+	// DefaultQueueLease is how long one durable delivery may run between
+	// heartbeats.
+	DefaultQueueLease = 30 * time.Second
 )
 
 // Config tunes the serving subsystem. The zero value serves without a
@@ -105,6 +113,22 @@ type Config struct {
 	// DrainTimeout bounds Drain and the caller's server shutdown; <= 0
 	// means DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// QueueDir enables the durable job queue: async jobs are persisted to
+	// a WAL under this directory and survive crashes and restarts. Empty
+	// keeps the in-memory job store.
+	QueueDir string
+	// QueueWatermark is the durable backlog (pending + leased jobs) beyond
+	// which admission rejects new work with 429; <= 0 means
+	// DefaultQueueWatermark. Only meaningful with QueueDir.
+	QueueWatermark int
+	// QueueLease is the durable delivery lease; a worker that misses
+	// heartbeats for this long loses the job to another worker. <= 0 means
+	// DefaultQueueLease. Only meaningful with QueueDir.
+	QueueLease time.Duration
+	// QueueMaxAttempts is the delivery budget before a durable job is
+	// dead-lettered; <= 0 means the queue default (5). Only meaningful
+	// with QueueDir.
+	QueueMaxAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +165,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = DefaultDrainTimeout
 	}
+	if c.QueueWatermark <= 0 {
+		c.QueueWatermark = DefaultQueueWatermark
+	}
+	if c.QueueLease <= 0 {
+		c.QueueLease = DefaultQueueLease
+	}
 	return c
 }
 
@@ -159,6 +189,13 @@ type Server struct {
 	store       *jobStore
 	jobCh       chan *job
 	jobsPending atomic.Int64
+
+	// Durable mode (cfg.QueueDir set): q replaces the in-memory job path,
+	// workerCancel stops the durable workers' Next loops, and progress
+	// exposes verdicts of running durable jobs to polls.
+	q            *queue.Queue
+	workerCancel context.CancelFunc
+	progress     progressTable
 
 	draining atomic.Bool
 	stop     chan struct{}
@@ -198,8 +235,29 @@ func New(cfg Config, reg *obs.Registry) (*Server, error) {
 		}
 		met.reloadOK.Inc()
 	}
-	for i := 0; i < cfg.JobWorkers; i++ {
-		go s.jobWorker()
+	if cfg.QueueDir != "" {
+		// Durable mode: jobs live in a WAL-backed queue instead of the
+		// in-memory store, so accepted work survives kill -9 and restart.
+		q, err := queue.Open(cfg.QueueDir, queue.Options{
+			MaxAttempts:   cfg.QueueMaxAttempts,
+			LeaseDuration: cfg.QueueLease,
+			ResultTTL:     cfg.JobTTL,
+			Registry:      reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.q = q
+		s.progress.m = make(map[string][]verdictLine)
+		ctx, cancel := context.WithCancel(context.Background())
+		s.workerCancel = cancel
+		for i := 0; i < cfg.JobWorkers; i++ {
+			go s.durableWorker(ctx, i)
+		}
+	} else {
+		for i := 0; i < cfg.JobWorkers; i++ {
+			go s.jobWorker()
+		}
 	}
 	s.handler = s.buildMux()
 	return s, nil
@@ -256,10 +314,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain stops admitting new work (every work endpoint answers 503 and
 // /healthz flips to draining) and waits for accepted async jobs to finish,
-// up to ctx's deadline. In-flight synchronous requests are the caller's
-// http.Server.Shutdown's responsibility.
+// up to ctx's deadline. In durable mode only leases held by this process
+// are waited for — queued jobs persist in the WAL and resume on the next
+// start, which is the whole point. In-flight synchronous requests are the
+// caller's http.Server.Shutdown's responsibility.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.workerCancel != nil {
+		// Durable workers stop leasing new jobs; held leases run out.
+		s.workerCancel()
+	}
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -274,10 +338,20 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Close stops the async job workers. Call after Drain on shutdown; jobs
-// still queued (drain timed out) are abandoned.
+// Close stops the async job workers and, in durable mode, closes the
+// queue. Call after Drain on shutdown; in-memory jobs still queued (drain
+// timed out) are abandoned, durable ones stay in the WAL for the next
+// start.
 func (s *Server) Close() {
-	s.stopOnce.Do(func() { close(s.stop) })
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		if s.workerCancel != nil {
+			s.workerCancel()
+		}
+		if s.q != nil {
+			s.q.Close()
+		}
+	})
 }
 
 // buildMux wires every route. Work endpoints pass through instrumentation
@@ -333,6 +407,13 @@ func (s *Server) admit(h http.Handler) http.Handler {
 				s.reject(w, "rate_limited", http.StatusTooManyRequests, secs, "client rate limit exceeded")
 				return
 			}
+		}
+		if s.q != nil && s.q.Depth() >= s.cfg.QueueWatermark {
+			// The durable backlog is past the watermark: shed work before
+			// it ever touches a slot, with a hint to come back once the
+			// workers have caught up.
+			s.reject(w, "backlog", http.StatusTooManyRequests, 2, "durable job backlog past watermark")
+			return
 		}
 		release, queueFull := s.adm.acquire(r.Context().Done())
 		if release == nil {
@@ -457,6 +538,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if s.q != nil {
+		s.durableSubmit(w, r, srcs)
+		return
+	}
 	j := &job{id: newJobID(), sources: srcs, submitted: time.Now(), state: JobQueued}
 	if !s.store.put(j) {
 		s.reject(w, "queue_full", http.StatusTooManyRequests, 1, "job store full")
@@ -484,14 +569,34 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleJobGet polls one job.
+// handleJobGet polls one job. Ids that once existed but have since been
+// evicted answer 410 Gone with a JSON reason, so clients can tell "poll
+// slower next time" apart from "you never had this job" (404).
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.q != nil {
+		s.durableGet(w, id)
+		return
+	}
+	j, ok := s.store.get(id)
 	if !ok {
-		writeJSONError(w, http.StatusNotFound, "unknown or expired job")
+		if s.store.forgotten(id) {
+			writeJSONGone(w)
+			return
+		}
+		writeJSONError(w, http.StatusNotFound, "unknown job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+// writeJSONGone answers a poll for a job that existed but has been evicted
+// (TTL expiry or room-making) — 410 Gone, with the reason in the body.
+func writeJSONGone(w http.ResponseWriter) {
+	writeJSON(w, http.StatusGone, map[string]string{
+		"error":  "job results expired and were evicted",
+		"reason": "expired",
+	})
 }
 
 // handleReload swaps the model: the current path by default, or ?path= to

@@ -28,6 +28,12 @@ go test ./...
 echo "==> go test -race -short (all packages except internal/experiments)"
 go test -race -short $(go list ./... | grep -v internal/experiments)
 
+# The durable queue is crash-recovery code: its full suite (including the
+# slow lease-expiry and reaper tests that -short skips elsewhere) runs
+# under the race detector unconditionally.
+echo "==> go test -race ./internal/queue/..."
+go test -race ./internal/queue/...
+
 # Serve smoke test: build the CLI, train a tiny model, start the scan
 # service on an ephemeral port (-ready-file publishes the resolved
 # address), and exercise the full serving surface: /healthz, /metrics, a
@@ -121,5 +127,63 @@ kill $serve_pid
 wait $serve_pid 2>/dev/null || true
 [ ! -e "$tmpdir/addr" ] || {
     echo "ready-file leaked after shutdown" >&2; exit 1; }
+
+# Durable-queue kill -9 smoke: start serve with -queue-dir, submit a burst
+# of async jobs, SIGKILL the process with no warning, restart it over the
+# same directory, and require every accepted job to reach done — the
+# crash-safety contract the WAL exists for.
+echo "==> durable queue kill -9 smoke test"
+qdir="$tmpdir/queue"
+"$tmpdir/jsrevealer" serve -addr 127.0.0.1:0 -model "$tmpdir/model.json" \
+    -queue-dir "$qdir" -ready-file "$tmpdir/addr2" -log-level warn &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmpdir/addr2" ] && break
+    sleep 0.1
+done
+[ -s "$tmpdir/addr2" ] || {
+    echo "durable serve never published its address" >&2; exit 1; }
+addr=$(cat "$tmpdir/addr2")
+job_ids=""
+for _ in $(seq 1 5); do
+    id=$(curl -fsS -X POST --data-binary @"$tmpdir/batch.ndjson" \
+        "http://$addr/jobs" | sed -n 's/.*"id":"\([0-9a-f.]*\)".*/\1/p')
+    [ -n "$id" ] || { echo "durable /jobs returned no id" >&2; exit 1; }
+    job_ids="$job_ids $id"
+done
+
+kill -9 $serve_pid
+wait $serve_pid 2>/dev/null || true
+rm -f "$tmpdir/addr2" # a SIGKILLed process never cleans up its ready-file
+
+"$tmpdir/jsrevealer" serve -addr 127.0.0.1:0 -model "$tmpdir/model.json" \
+    -queue-dir "$qdir" -ready-file "$tmpdir/addr3" -log-level warn &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmpdir/addr3" ] && break
+    sleep 0.1
+done
+[ -s "$tmpdir/addr3" ] || {
+    echo "durable serve never restarted" >&2; exit 1; }
+addr=$(cat "$tmpdir/addr3")
+for id in $job_ids; do
+    job_done=""
+    for _ in $(seq 1 100); do
+        curl -fsS -o "$tmpdir/job" "http://$addr/jobs/$id"
+        if grep -q '"state":"done"' "$tmpdir/job"; then job_done=1; break; fi
+        sleep 0.1
+    done
+    [ -n "$job_done" ] || {
+        echo "job $id did not survive kill -9 + restart" >&2; exit 1; }
+done
+curl -fsS -o "$tmpdir/metrics2" "http://$addr/metrics"
+grep -q '^jsrevealer_queue_depth' "$tmpdir/metrics2" || {
+    echo "/metrics missing durable queue depth gauge" >&2; exit 1; }
+grep -q '^jsrevealer_queue_enqueued_total' "$tmpdir/metrics2" || {
+    echo "/metrics missing durable queue counters" >&2; exit 1; }
+grep -q '^jsrevealer_queue_recovered_total' "$tmpdir/metrics2" || {
+    echo "/metrics missing durable queue recovery counter" >&2; exit 1; }
+kill $serve_pid
+wait $serve_pid 2>/dev/null || true
 
 echo "==> OK"

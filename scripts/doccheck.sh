@@ -1,7 +1,7 @@
 #!/bin/sh
 # doccheck.sh: documentation-coverage gate over the packages that form the
 # public operational surface (internal/core, internal/scan, internal/serve,
-# internal/par). Every exported top-level declaration — and every exported
+# internal/par, internal/queue, internal/retry). Every exported top-level declaration — and every exported
 # method on an exported receiver type — must carry a doc comment. The check
 # is a line-pattern scan, not go/doc: it flags `^func Foo`, `^type Foo`,
 # `^var Foo`, `^const Foo`, and `^func (r *Recv) Foo` lines whose preceding
@@ -11,7 +11,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PKGS="internal/core internal/scan internal/serve internal/par"
+PKGS="internal/core internal/scan internal/serve internal/par internal/queue internal/retry"
 
 bad=0
 for pkg in $PKGS; do
