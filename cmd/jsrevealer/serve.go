@@ -50,6 +50,12 @@ func runServe(args []string) error {
 	queueWatermark := fs.Int("queue-watermark", serve.DefaultQueueWatermark, "durable backlog beyond which admission answers 429")
 	queueLease := fs.Duration("queue-lease", serve.DefaultQueueLease, "durable delivery lease; a worker missing heartbeats this long loses the job")
 	queueAttempts := fs.Int("queue-attempts", 0, "delivery attempts before a durable job dead-letters; 0 = queue default")
+
+	// Tracing and audit knobs.
+	traceBuffer := fs.Int("trace-buffer", 0, "traces retained for /debug/traces; 0 = default, negative disables")
+	slowTrace := fs.Duration("slow-trace", 0, "latency past which a trace is retained with bias and a CPU profile may fire; 0 = default")
+	profileDir := fs.String("profile-dir", "", "directory for automatic slow-trace CPU profiles (empty disables)")
+	auditDir := fs.String("audit-dir", "", "verdict audit trail directory: one NDJSON line per verdict (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +87,10 @@ func runServe(args []string) error {
 		QueueWatermark:   *queueWatermark,
 		QueueLease:       *queueLease,
 		QueueMaxAttempts: *queueAttempts,
+		TraceBuffer:      *traceBuffer,
+		SlowTrace:        *slowTrace,
+		ProfileDir:       *profileDir,
+		AuditDir:         *auditDir,
 	}, obs.Default())
 	if err != nil {
 		return err
@@ -150,15 +160,16 @@ func runServe(args []string) error {
 	}
 }
 
-// requestLog wraps h with structured access logging and request spans on
-// the default registry.
+// requestLog wraps h with structured access logging. It deliberately opens
+// no span: serve's own tracing middleware owns the root span per endpoint,
+// and a span here would shadow an incoming traceparent (a local parent
+// always beats a remote context), cutting caller traces off from the
+// server's spans.
 func requestLog(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx, sp := obs.StartSpan(r.Context(), "http.request")
-		h.ServeHTTP(w, r.WithContext(ctx))
-		sp.End()
-		obs.DefaultLogger().Event(ctx, obs.LevelDebug, "http.request",
+		h.ServeHTTP(w, r)
+		obs.DefaultLogger().Event(r.Context(), obs.LevelDebug, "http.request",
 			"method", r.Method, "path", r.URL.Path, "elapsed", time.Since(start))
 	})
 }

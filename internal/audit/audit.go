@@ -1,0 +1,437 @@
+// Package audit is the verdict audit trail: a crash-safe, append-only
+// NDJSON log recording one line per scan decision (and per rejected or
+// evicted request), with the full provenance an operator needs to answer
+// "why was this script cleared?" after the fact — content SHA-256, verdict,
+// which tier produced it (cache, full pipeline, or lexical fallback), the
+// model generation, queue hops, per-stage timings, and the trace ID that
+// links the line to /debug/traces.
+//
+// The hot path never blocks on the audit log: Write puts the record on a
+// bounded channel and returns; a single writer goroutine drains it through
+// a buffered writer, flushing on an interval and fsyncing on a (longer)
+// interval. Under backpressure — the channel full because the disk cannot
+// keep up — records are dropped and counted, never queued unboundedly and
+// never allowed to stall a scan. Files rotate by size: the active file is
+// atomically renamed to a timestamped archive and a fresh active file
+// opened, with the oldest archives pruned past a retention cap. A crash
+// loses at most the unflushed buffer; every line before it stays intact,
+// and a torn final line is skipped by any NDJSON reader.
+package audit
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"jsrevealer/internal/obs"
+)
+
+// Metric families emitted by the audit log.
+const (
+	// RecordsMetric counts audit records written (accepted onto the queue
+	// and persisted), by kind (verdict|reject|evicted).
+	RecordsMetric = "jsrevealer_audit_records_total"
+	// DroppedMetric counts records dropped under backpressure (queue full
+	// or log closed) — the price of never blocking the scan hot path.
+	DroppedMetric = "jsrevealer_audit_dropped_total"
+	// RotationsMetric counts size-triggered file rotations.
+	RotationsMetric = "jsrevealer_audit_rotations_total"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultMaxFileBytes rotates the active file past 64MiB.
+	DefaultMaxFileBytes = int64(64 << 20)
+	// DefaultMaxFiles keeps this many rotated archives.
+	DefaultMaxFiles = 8
+	// DefaultBuffer is the bounded record-queue length.
+	DefaultBuffer = 1024
+	// DefaultFlushInterval drives the buffered writer's flush.
+	DefaultFlushInterval = 200 * time.Millisecond
+	// DefaultSyncInterval drives fsync — the crash-durability horizon.
+	DefaultSyncInterval = time.Second
+)
+
+// ActiveFile is the name of the append target inside the audit directory;
+// rotated archives are audit-<unix-nanos>.ndjson.
+const ActiveFile = "audit.ndjson"
+
+// Record is one audit line. Zero-valued fields are omitted from the JSON,
+// so reject lines stay short while verdict lines carry full provenance.
+type Record struct {
+	// Time is when the decision was made (stamped by Write if zero).
+	Time time.Time `json:"ts"`
+	// Kind discriminates the line: "verdict" for scan decisions, "reject"
+	// for admission rejections, "evicted" for polls of expired jobs.
+	Kind string `json:"kind"`
+	// Name identifies the script (batch record name or file path).
+	Name string `json:"name,omitempty"`
+	// SHA256 is the hex content digest — the stable handle for "was this
+	// exact script seen, and what did we say about it?".
+	SHA256 string `json:"sha256,omitempty"`
+	// Verdict is the outcome class (benign|MALICIOUS|DEGRADED|FAILED).
+	Verdict string `json:"verdict,omitempty"`
+	// Malicious is the boolean decision behind the verdict.
+	Malicious bool `json:"malicious,omitempty"`
+	// Reason is the error-taxonomy reason for degraded/failed verdicts, or
+	// the admission reason for reject lines.
+	Reason string `json:"reason,omitempty"`
+	// Error carries the underlying failure, if any.
+	Error string `json:"error,omitempty"`
+	// Bytes is the script size.
+	Bytes int64 `json:"bytes,omitempty"`
+	// DurationMS is the wall time spent producing the verdict.
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Tier names what produced the verdict: cache | pipeline | fallback |
+	// none (failed with fallback disabled or broken).
+	Tier string `json:"tier,omitempty"`
+	// Cache is the verdict-cache outcome: hit | miss | off.
+	Cache string `json:"cache,omitempty"`
+	// Model is the serving model generation (hex SHA-256 of the model file).
+	Model string `json:"model,omitempty"`
+	// Source names the path the work arrived through
+	// (detect|scan|jobs|durable).
+	Source string `json:"source,omitempty"`
+	// Job is the async job id, when the verdict was produced by a job.
+	Job string `json:"job,omitempty"`
+	// Attempt counts durable delivery attempts before this one succeeded.
+	Attempt int `json:"attempt,omitempty"`
+	// TraceID links the line to /debug/traces/{id} (32 hex chars).
+	TraceID string `json:"trace_id,omitempty"`
+	// RequestID echoes the caller's X-Request-Id (or the trace ID).
+	RequestID string `json:"request_id,omitempty"`
+	// StagesMS breaks the duration down by pipeline stage (span name →
+	// milliseconds).
+	StagesMS map[string]float64 `json:"stages_ms,omitempty"`
+}
+
+// Options tunes a Log; zero values select the defaults above.
+type Options struct {
+	// MaxFileBytes rotates the active file past this size; <= 0 means
+	// DefaultMaxFileBytes.
+	MaxFileBytes int64
+	// MaxFiles caps rotated archives kept on disk; <= 0 means
+	// DefaultMaxFiles.
+	MaxFiles int
+	// Buffer bounds the record queue; <= 0 means DefaultBuffer. When full,
+	// Write drops (and counts) instead of blocking.
+	Buffer int
+	// FlushInterval drives buffered-writer flushes; <= 0 means
+	// DefaultFlushInterval.
+	FlushInterval time.Duration
+	// SyncInterval drives fsync; <= 0 means DefaultSyncInterval. A crash
+	// loses at most this much of the tail (plus the unflushed buffer).
+	SyncInterval time.Duration
+	// Registry receives the jsrevealer_audit_* metrics; nil means
+	// obs.Default().
+	Registry *obs.Registry
+
+	now func() time.Time // test clock; nil means time.Now
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFileBytes <= 0 {
+		o.MaxFileBytes = DefaultMaxFileBytes
+	}
+	if o.MaxFiles <= 0 {
+		o.MaxFiles = DefaultMaxFiles
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = DefaultBuffer
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = DefaultFlushInterval
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = DefaultSyncInterval
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default()
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// Log is the audit writer. All methods are safe for concurrent use; Write
+// never blocks. A nil *Log is a no-op sink, so call sites need no guards.
+type Log struct {
+	dir  string
+	opts Options
+
+	records   map[string]*obs.Counter
+	dropped   *obs.Counter
+	rotations *obs.Counter
+
+	ch      chan Record
+	flushCh chan chan error
+	closeCh chan struct{}
+	doneCh  chan struct{}
+
+	// Writer-goroutine state; never touched outside it after Open.
+	f    *os.File
+	bw   *bufio.Writer
+	size int64
+}
+
+// recordKinds is the closed label set of RecordsMetric.
+var recordKinds = []string{"verdict", "reject", "evicted"}
+
+// Open opens (creating if needed) the audit log in dir and starts its
+// writer goroutine. An existing active file is appended to, so restarts
+// never clobber history.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("audit: create dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, ActiveFile),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("audit: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("audit: stat: %w", err)
+	}
+	l := &Log{
+		dir:       dir,
+		opts:      opts,
+		records:   make(map[string]*obs.Counter, len(recordKinds)),
+		dropped:   opts.Registry.Counter(DroppedMetric, "Audit records dropped under backpressure.", nil),
+		rotations: opts.Registry.Counter(RotationsMetric, "Audit file rotations by size.", nil),
+		ch:        make(chan Record, opts.Buffer),
+		flushCh:   make(chan chan error),
+		closeCh:   make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		f:         f,
+		bw:        bufio.NewWriterSize(f, 64<<10),
+		size:      st.Size(),
+	}
+	for _, k := range recordKinds {
+		l.records[k] = opts.Registry.Counter(RecordsMetric,
+			"Audit records written, by kind.", obs.Labels{"kind": k})
+	}
+	go l.run()
+	return l, nil
+}
+
+// Write enqueues one record for the writer goroutine, stamping Time and
+// defaulting Kind to "verdict". It never blocks: when the queue is full or
+// the log is closed the record is dropped and counted. Write on a nil log
+// is a no-op.
+func (l *Log) Write(rec Record) {
+	if l == nil {
+		return
+	}
+	if rec.Time.IsZero() {
+		rec.Time = l.opts.now()
+	}
+	if rec.Kind == "" {
+		rec.Kind = "verdict"
+	}
+	select {
+	case <-l.closeCh:
+		l.dropped.Inc()
+		return
+	default:
+	}
+	select {
+	case l.ch <- rec:
+	default:
+		l.dropped.Inc()
+	}
+}
+
+// Sync drains everything queued so far, flushes the buffer, and fsyncs —
+// the synchronization point tests and graceful shutdown use. Sync on a nil
+// or closed log is a no-op.
+func (l *Log) Sync() error {
+	if l == nil {
+		return nil
+	}
+	reply := make(chan error, 1)
+	select {
+	case l.flushCh <- reply:
+		return <-reply
+	case <-l.doneCh:
+		return nil
+	}
+}
+
+// Close drains the queue, flushes, fsyncs, and closes the file. Records
+// written after Close are dropped (and counted). Close on a nil log is a
+// no-op.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	select {
+	case <-l.closeCh:
+		<-l.doneCh
+		return nil
+	default:
+	}
+	close(l.closeCh)
+	<-l.doneCh
+	return nil
+}
+
+// run is the writer goroutine: drain records, flush on FlushInterval,
+// fsync on SyncInterval, rotate by size, stop on Close.
+func (l *Log) run() {
+	defer close(l.doneCh)
+	flush := time.NewTicker(l.opts.FlushInterval)
+	defer flush.Stop()
+	sync := time.NewTicker(l.opts.SyncInterval)
+	defer sync.Stop()
+	for {
+		select {
+		case rec := <-l.ch:
+			l.emit(rec)
+		case <-flush.C:
+			l.bw.Flush()
+		case <-sync.C:
+			l.bw.Flush()
+			l.f.Sync()
+		case reply := <-l.flushCh:
+			l.drain()
+			l.bw.Flush()
+			reply <- l.f.Sync()
+		case <-l.closeCh:
+			l.drain()
+			l.bw.Flush()
+			l.f.Sync()
+			l.f.Close()
+			return
+		}
+	}
+}
+
+// drain consumes every record currently queued.
+func (l *Log) drain() {
+	for {
+		select {
+		case rec := <-l.ch:
+			l.emit(rec)
+		default:
+			return
+		}
+	}
+}
+
+// emit writes one record as an NDJSON line, rotating first when the active
+// file is already past the size threshold.
+func (l *Log) emit(rec Record) {
+	if l.size >= l.opts.MaxFileBytes {
+		l.rotate()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		// Record contains only marshalable fields; unreachable short of
+		// memory corruption — but an audit log must never panic the server.
+		l.dropped.Inc()
+		return
+	}
+	line = append(line, '\n')
+	if _, err := l.bw.Write(line); err != nil {
+		l.dropped.Inc()
+		return
+	}
+	l.size += int64(len(line))
+	if c, ok := l.records[rec.Kind]; ok {
+		c.Inc()
+	} else {
+		l.records["verdict"].Inc()
+	}
+}
+
+// rotate archives the active file under a timestamped name (an atomic
+// rename — a crash leaves either the old active file or a complete
+// archive, never a half-copied one), opens a fresh active file, and prunes
+// archives past MaxFiles. On any failure the current file keeps taking
+// appends: a full disk must degrade the audit trail, not sever it.
+func (l *Log) rotate() {
+	l.bw.Flush()
+	l.f.Sync()
+	archived := filepath.Join(l.dir,
+		fmt.Sprintf("audit-%d.ndjson", l.opts.now().UnixNano()))
+	if err := os.Rename(filepath.Join(l.dir, ActiveFile), archived); err != nil {
+		return
+	}
+	nf, err := os.OpenFile(filepath.Join(l.dir, ActiveFile),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The old handle still points at the archived inode; keep writing
+		// there rather than losing records.
+		return
+	}
+	l.f.Close()
+	l.f = nf
+	l.bw = bufio.NewWriterSize(nf, 64<<10)
+	l.size = 0
+	l.rotations.Inc()
+	l.prune()
+}
+
+// prune deletes the oldest archives past MaxFiles.
+func (l *Log) prune() {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	var archives []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "audit-") && strings.HasSuffix(name, ".ndjson") {
+			archives = append(archives, name)
+		}
+	}
+	sort.Strings(archives) // unix-nano names sort chronologically at equal width
+	for len(archives) > l.opts.MaxFiles {
+		os.Remove(filepath.Join(l.dir, archives[0]))
+		archives = archives[1:]
+	}
+}
+
+// Meta is the per-request provenance the serving layer attaches to a
+// context so the scan engine's audit records carry it: which endpoint the
+// work came through, the job id and delivery attempt for async work, and
+// the request ID error responses echo.
+type Meta struct {
+	// Source names the ingress path (detect|scan|jobs|durable).
+	Source string
+	// Job is the async job id, empty for synchronous requests.
+	Job string
+	// Attempt is the durable delivery attempt count.
+	Attempt int
+	// RequestID is the caller's X-Request-Id, or the trace ID.
+	RequestID string
+}
+
+type metaCtxKey struct{}
+
+// WithMeta attaches per-request audit provenance to ctx.
+func WithMeta(ctx context.Context, m Meta) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, metaCtxKey{}, m)
+}
+
+// MetaFromContext returns the provenance carried by ctx, or the zero Meta.
+func MetaFromContext(ctx context.Context) Meta {
+	if ctx == nil {
+		return Meta{}
+	}
+	m, _ := ctx.Value(metaCtxKey{}).(Meta)
+	return m
+}

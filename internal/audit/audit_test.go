@@ -1,0 +1,301 @@
+package audit
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jsrevealer/internal/obs"
+)
+
+// readLines decodes every NDJSON line across the active file and archives,
+// oldest first.
+func readLines(t *testing.T, dir string) []Record {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ndjson") && e.Name() != ActiveFile {
+			files = append(files, e.Name())
+		}
+	}
+	// Archives sort chronologically; the active file is always newest.
+	files = append(files, ActiveFile)
+	var out []Record
+	for _, name := range files {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var r Record
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("bad audit line %q: %v", sc.Text(), err)
+			}
+			out = append(out, r)
+		}
+		f.Close()
+	}
+	return out
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string, labels obs.Labels) int64 {
+	t.Helper()
+	return reg.Counter(name, "", labels).Value()
+}
+
+func TestAuditWriteAndSync(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l, err := Open(dir, Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	l.Write(Record{
+		Name: "a.js", SHA256: strings.Repeat("ab", 32),
+		Verdict: "MALICIOUS", Malicious: true, Bytes: 120,
+		DurationMS: 1.5, Tier: "pipeline", Cache: "miss",
+		Model: "deadbeef", Source: "scan", TraceID: strings.Repeat("cd", 16),
+		RequestID: "req-1", StagesMS: map[string]float64{"parse": 0.4, "classify": 0.2},
+	})
+	l.Write(Record{Kind: "reject", Reason: "queue_full", RequestID: "req-2"})
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := readLines(t, dir)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	v := recs[0]
+	if v.Kind != "verdict" || v.Verdict != "MALICIOUS" || !v.Malicious {
+		t.Errorf("verdict record = %+v", v)
+	}
+	if v.Time.IsZero() {
+		t.Error("Write did not stamp Time")
+	}
+	if v.SHA256 != strings.Repeat("ab", 32) || v.TraceID != strings.Repeat("cd", 16) {
+		t.Errorf("provenance lost: %+v", v)
+	}
+	if v.StagesMS["parse"] != 0.4 {
+		t.Errorf("stages = %v", v.StagesMS)
+	}
+	if recs[1].Kind != "reject" || recs[1].Reason != "queue_full" {
+		t.Errorf("reject record = %+v", recs[1])
+	}
+	if got := counterValue(t, reg, RecordsMetric, obs.Labels{"kind": "verdict"}); got != 1 {
+		t.Errorf("verdict records counter = %v, want 1", got)
+	}
+	if got := counterValue(t, reg, RecordsMetric, obs.Labels{"kind": "reject"}); got != 1 {
+		t.Errorf("reject records counter = %v, want 1", got)
+	}
+	// Zero-valued fields stay out of the JSON so reject lines are short.
+	raw, _ := os.ReadFile(filepath.Join(dir, ActiveFile))
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if strings.Contains(line, `"reject"`) && strings.Contains(line, "sha256") {
+			t.Errorf("reject line carries empty fields: %s", line)
+		}
+	}
+}
+
+func TestAuditRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	// Tiny size cap: every record (~100B) past the first forces rotation.
+	l, err := Open(dir, Options{Registry: reg, MaxFileBytes: 1, MaxFiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		l.Write(Record{Name: fmt.Sprintf("f%d.js", i), Verdict: "benign"})
+		if err := l.Sync(); err != nil { // force each record down before the next rotates
+			t.Fatal(err)
+		}
+		// Unix-nano archive names need distinct timestamps.
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	entries, _ := os.ReadDir(dir)
+	var archives int
+	for _, e := range entries {
+		if e.Name() != ActiveFile {
+			archives++
+		}
+	}
+	if archives != 2 {
+		t.Errorf("kept %d archives, want 2 (pruned)", archives)
+	}
+	if got := counterValue(t, reg, RotationsMetric, nil); got < 3 {
+		t.Errorf("rotations counter = %v, want >= 3", got)
+	}
+	// The newest records survived pruning.
+	recs := readLines(t, dir)
+	if len(recs) == 0 || recs[len(recs)-1].Name != fmt.Sprintf("f%d.js", n-1) {
+		t.Errorf("tail record missing: %+v", recs)
+	}
+}
+
+func TestAuditAppendsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Write(Record{Name: "before.js"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Write(Record{Name: "after.js"})
+	l2.Sync()
+	defer l2.Close()
+
+	recs := readLines(t, dir)
+	if len(recs) != 2 || recs[0].Name != "before.js" || recs[1].Name != "after.js" {
+		t.Fatalf("restart clobbered history: %+v", recs)
+	}
+}
+
+func TestAuditBackpressureDropsNotBlocks(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	// Stall the writer goroutine by holding the flush channel hostage is
+	// not possible from outside; instead use a 1-record buffer and flood
+	// faster than the writer can be scheduled deterministically: park the
+	// writer with a Sync that must drain, then overfill.
+	l, err := Open(dir, Options{Registry: reg, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Writes must return promptly even when flooding far past the buffer.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			l.Write(Record{Name: "flood.js"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Write blocked under backpressure")
+	}
+	l.Sync()
+	written := counterValue(t, reg, RecordsMetric, obs.Labels{"kind": "verdict"})
+	dropped := counterValue(t, reg, DroppedMetric, nil)
+	if written+dropped != 10000 {
+		t.Errorf("written %v + dropped %v != 10000", written, dropped)
+	}
+	if written == 0 {
+		t.Error("every record dropped; writer never ran")
+	}
+}
+
+func TestAuditWriteAfterCloseDrops(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l, err := Open(dir, Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	l.Write(Record{Name: "late.js"})
+	if got := counterValue(t, reg, DroppedMetric, nil); got != 1 {
+		t.Errorf("dropped counter = %v, want 1", got)
+	}
+	if err := l.Sync(); err != nil { // no-op, must not hang
+		t.Fatal(err)
+	}
+}
+
+func TestAuditNilLogNoops(t *testing.T) {
+	var l *Log
+	l.Write(Record{Name: "x"})
+	if err := l.Sync(); err != nil {
+		t.Error(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuditMetaContext(t *testing.T) {
+	m := Meta{Source: "durable", Job: "j-1", Attempt: 3, RequestID: "r-9"}
+	ctx := WithMeta(context.Background(), m)
+	if got := MetaFromContext(ctx); got != m {
+		t.Errorf("MetaFromContext = %+v, want %+v", got, m)
+	}
+	if got := MetaFromContext(context.Background()); got != (Meta{}) {
+		t.Errorf("empty context meta = %+v", got)
+	}
+	if got := MetaFromContext(nil); got != (Meta{}) {
+		t.Errorf("nil context meta = %+v", got)
+	}
+}
+
+// TestAuditConcurrent exercises Write/Sync from many goroutines; meaningful
+// under -race.
+func TestAuditConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l, err := Open(dir, Options{Registry: reg, Buffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Write(Record{Name: fmt.Sprintf("g%d-%d.js", g, i)})
+				if i%25 == 0 {
+					l.Sync()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	l.Sync()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	written := counterValue(t, reg, RecordsMetric, obs.Labels{"kind": "verdict"})
+	dropped := counterValue(t, reg, DroppedMetric, nil)
+	if written+dropped != 800 {
+		t.Errorf("written %v + dropped %v != 800", written, dropped)
+	}
+	if got := len(readLines(t, dir)); int64(got) != written {
+		t.Errorf("file holds %d lines, counters say %v", got, written)
+	}
+}

@@ -113,9 +113,12 @@ func (l *Logger) Event(ctx context.Context, level Level, event string, kv ...any
 		"level": level.String(),
 		"event": event,
 	}
+	// IDs are emitted as hex strings, never JSON numbers: a uint64 span ID
+	// above 2^53 would silently lose precision through any float64-decoding
+	// consumer, and the hex forms match traceparent and /debug/traces.
 	if sp := SpanFromContext(ctx); sp != nil {
-		fields["trace_id"] = sp.TraceID
-		fields["span_id"] = sp.SpanID
+		fields["trace_id"] = sp.TraceID.String()
+		fields["span_id"] = FormatSpanID(sp.SpanID)
 	}
 	for i := 0; i < len(kv); i += 2 {
 		key, ok := kv[i].(string)

@@ -59,8 +59,13 @@ func TestLoggerSpanCorrelation(t *testing.T) {
 	l.Event(ctx, LevelInfo, "inside")
 	sp.End()
 	lines := decodeLines(t, &buf)
-	if lines[0]["trace_id"] != float64(sp.TraceID) || lines[0]["span_id"] != float64(sp.SpanID) {
-		t.Errorf("span correlation missing: %v", lines[0])
+	// Hex strings, not JSON numbers: uint64 IDs above 2^53 would lose
+	// precision through float64 decoding.
+	if lines[0]["trace_id"] != sp.TraceID.String() || lines[0]["span_id"] != FormatSpanID(sp.SpanID) {
+		t.Errorf("span correlation missing or non-hex: %v", lines[0])
+	}
+	if _, isNum := lines[0]["span_id"].(float64); isNum {
+		t.Error("span_id decoded as a number; must be a hex string")
 	}
 }
 

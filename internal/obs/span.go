@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -13,33 +14,72 @@ const SpanDurationMetric = "jsrevealer_span_duration_seconds"
 type spanCtxKey struct{}
 
 // spanIDs issues process-unique span identifiers. A plain counter (rather
-// than random IDs) keeps span start allocation-free beyond the Span itself
-// and makes IDs stable enough for log correlation within one process.
+// than random IDs) keeps span start cheap and makes IDs stable enough for
+// log correlation within one process; trace IDs are the random,
+// globally-unique half of the identity.
 var spanIDs atomic.Uint64
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	// Key names the attribute.
+	Key string `json:"key"`
+	// Value is the attribute's rendered value.
+	Value string `json:"value"`
+}
+
+// SpanEvent is one timestamped point annotation within a span (a cache
+// hit, a retry, a lease renewal).
+type SpanEvent struct {
+	// Time is when the event happened.
+	Time time.Time `json:"time"`
+	// Message describes it.
+	Message string `json:"message"`
+}
+
+// maxSpanAnnotations bounds one span's attribute and event lists so a
+// pathological caller cannot grow a span without limit.
+const maxSpanAnnotations = 32
 
 // Span is one timed region of work. Spans form a tree via context: a span
 // started from a context that already carries a span becomes its child and
-// inherits its trace ID. Ending a span records its duration into the
-// registry carried by the starting context (Default() when none).
+// inherits its trace ID; a span started under a remote span context
+// (ContextWithRemote — an ingested traceparent or a durable job's persisted
+// trace) joins the remote trace instead of rooting a new one. Ending a span
+// records its duration into the registry carried by the starting context
+// (Default() when none) and reports it to the trace store carried by that
+// context, if any.
 //
 // All Span methods are nil-safe so instrumentation never has to guard.
 type Span struct {
 	// Name labels the span's duration series.
 	Name string
-	// TraceID groups all spans descending from one root span.
-	TraceID uint64
+	// TraceID groups all spans belonging to one request, local or remote.
+	TraceID TraceID
 	// SpanID uniquely identifies this span within the process.
 	SpanID uint64
-	// ParentID is the enclosing span's SpanID, 0 at the root.
+	// ParentID is the parent span's SpanID (local or remote), 0 at a root.
 	ParentID uint64
 
-	start time.Time
-	reg   *Registry
+	start  time.Time
+	reg    *Registry
+	store  *TraceStore
+	stages *StageTimings
+	// local reports whether the span has a local parent; spans without one
+	// are the process-local roots the trace store watches for slowness.
+	local bool
+
+	mu     sync.Mutex
+	attrs  []Attr
+	events []SpanEvent
+	errMsg string
+	failed bool
 }
 
 // StartSpan begins a span named name as a child of the span in ctx (if
-// any) and returns a derived context carrying it. The caller must End the
-// span; the usual shape is
+// any) and returns a derived context carrying it. With no local parent, a
+// remote span context in ctx (ContextWithRemote) is joined; otherwise a
+// fresh random trace is rooted. The caller must End the span; the usual
+// shape is
 //
 //	ctx, sp := obs.StartSpan(ctx, "parse")
 //	defer sp.End()
@@ -52,12 +92,18 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		SpanID: spanIDs.Add(1),
 		start:  time.Now(),
 		reg:    FromContext(ctx),
+		store:  TraceStoreFromContext(ctx),
+		stages: stageTimingsFromContext(ctx),
 	}
 	if parent := SpanFromContext(ctx); parent != nil {
 		s.TraceID = parent.TraceID
 		s.ParentID = parent.SpanID
+		s.local = true
+	} else if remote, ok := RemoteFromContext(ctx); ok {
+		s.TraceID = remote.TraceID
+		s.ParentID = remote.SpanID
 	} else {
-		s.TraceID = s.SpanID
+		s.TraceID = NewTraceID()
 	}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
@@ -71,8 +117,56 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+// Context returns the span's identity as a propagatable SpanContext — what
+// an outbound traceparent header or a persisted job record carries.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID, Sampled: true}
+}
+
+// SetAttr annotates the span with a key/value pair. Attributes beyond the
+// per-span cap are dropped.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.attrs) < maxSpanAnnotations {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// AddEvent records a timestamped point annotation. Events beyond the
+// per-span cap are dropped.
+func (s *Span) AddEvent(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.events) < maxSpanAnnotations {
+		s.events = append(s.events, SpanEvent{Time: time.Now(), Message: msg})
+	}
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed with a message; the trace store renders
+// failed spans with their error.
+func (s *Span) SetError(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.failed = true
+	s.errMsg = msg
+	s.mu.Unlock()
+}
+
 // End stops the span, records its duration into the registry it was
-// started under, and returns the duration. End on a nil span is a no-op.
+// started under, reports it to the trace store and stage-timing collector
+// (if any), and returns the duration. End on a nil span is a no-op.
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
@@ -80,6 +174,10 @@ func (s *Span) End() time.Duration {
 	d := time.Since(s.start)
 	s.reg.Histogram(SpanDurationMetric, "Span durations by name.",
 		DefDurationBuckets, Labels{"span": s.Name}).ObserveDuration(d)
+	s.stages.add(s.Name, d)
+	if s.store != nil {
+		s.store.record(s, d)
+	}
 	return d
 }
 

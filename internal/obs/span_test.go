@@ -11,7 +11,7 @@ func TestSpanNesting(t *testing.T) {
 	ctx := WithRegistry(context.Background(), r)
 
 	ctx1, root := StartSpan(ctx, "detect")
-	if root.TraceID != root.SpanID || root.ParentID != 0 {
+	if root.TraceID.IsZero() || root.ParentID != 0 {
 		t.Errorf("root span ids wrong: %+v", root)
 	}
 	ctx2, child := StartSpan(ctx1, "parse")

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// emitTrace ends one root span (optionally with a child) under the store
+// and returns the trace id.
+func emitTrace(store *TraceStore, name string, child bool) string {
+	ctx := WithTraceStore(WithRegistry(context.Background(), NewRegistry()), store)
+	ctx, root := StartSpan(ctx, name)
+	if child {
+		_, c := StartSpan(ctx, name+".child")
+		c.End()
+	}
+	root.End()
+	return root.TraceID.String()
+}
+
+func TestTraceStoreRetainsWaterfall(t *testing.T) {
+	store := NewTraceStore(TraceStoreOptions{})
+	id := emitTrace(store, "http.request", true)
+
+	sums := store.Traces()
+	if len(sums) != 1 || sums[0].ID != id || sums[0].Spans != 2 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if sums[0].Root != "http.request" {
+		t.Errorf("root = %q, want http.request", sums[0].Root)
+	}
+	tr, ok := store.Get(id)
+	if !ok || len(tr.Spans) != 2 {
+		t.Fatalf("Get(%s) = %+v, %v", id, tr, ok)
+	}
+	// Waterfall order: spans sorted by start; the child links to the root.
+	if tr.Spans[0].Name != "http.request" {
+		t.Errorf("first span = %q, want the root", tr.Spans[0].Name)
+	}
+	if tr.Spans[1].ParentID != tr.Spans[0].SpanID {
+		t.Errorf("child parent %q != root span %q", tr.Spans[1].ParentID, tr.Spans[0].SpanID)
+	}
+	if _, ok := store.Get("ffffffffffffffffffffffffffffffff"); ok {
+		t.Error("unknown trace id found")
+	}
+}
+
+func TestTraceStoreSlowRetentionBias(t *testing.T) {
+	var slowMu sync.Mutex
+	var slowIDs []string
+	store := NewTraceStore(TraceStoreOptions{
+		Cap:           4,
+		SlowCap:       2,
+		SlowThreshold: 10 * time.Millisecond,
+		OnSlow: func(id string, d time.Duration) {
+			slowMu.Lock()
+			slowIDs = append(slowIDs, id)
+			slowMu.Unlock()
+		},
+	})
+
+	// One slow trace, then a flood of fast ones that churns the recent ring.
+	ctx := WithTraceStore(WithRegistry(context.Background(), NewRegistry()), store)
+	_, slow := StartSpan(ctx, "slow.request")
+	time.Sleep(15 * time.Millisecond)
+	slow.End()
+	slowID := slow.TraceID.String()
+
+	var fastIDs []string
+	for i := 0; i < 20; i++ {
+		fastIDs = append(fastIDs, emitTrace(store, fmt.Sprintf("fast-%d", i), false))
+	}
+
+	if _, ok := store.Get(slowID); !ok {
+		t.Fatal("slow trace evicted by fast traffic; retention bias broken")
+	}
+	tr, _ := store.Get(slowID)
+	if !tr.Slow {
+		t.Error("slow trace not marked slow")
+	}
+	// The recent ring holds only its cap of the newest fast traces.
+	for _, id := range fastIDs[:len(fastIDs)-4] {
+		if _, ok := store.Get(id); ok {
+			t.Errorf("old fast trace %s not evicted", id)
+		}
+	}
+	for _, id := range fastIDs[len(fastIDs)-4:] {
+		if _, ok := store.Get(id); !ok {
+			t.Errorf("recent fast trace %s evicted", id)
+		}
+	}
+	slowMu.Lock()
+	defer slowMu.Unlock()
+	if len(slowIDs) != 1 || slowIDs[0] != slowID {
+		t.Errorf("OnSlow fired for %v, want [%s]", slowIDs, slowID)
+	}
+}
+
+func TestTraceStoreSlowRingBounded(t *testing.T) {
+	store := NewTraceStore(TraceStoreOptions{
+		Cap: 2, SlowCap: 2, SlowThreshold: time.Nanosecond,
+		OnSlow: func(string, time.Duration) {},
+	})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ctx := WithTraceStore(WithRegistry(context.Background(), NewRegistry()), store)
+		_, sp := StartSpan(ctx, "slow")
+		time.Sleep(time.Millisecond)
+		sp.End()
+		ids = append(ids, sp.TraceID.String())
+	}
+	if n := store.Len(); n != 2 {
+		t.Fatalf("retained %d slow traces, want 2", n)
+	}
+	for _, id := range ids[3:] {
+		if _, ok := store.Get(id); !ok {
+			t.Errorf("newest slow trace %s evicted", id)
+		}
+	}
+}
+
+func TestTraceStoreLateSpansJoin(t *testing.T) {
+	// A durable job's worker spans arrive after the submitting request's
+	// root span ended (possibly after a crash): they must append to the
+	// same trace.
+	store := NewTraceStore(TraceStoreOptions{})
+	ctx := WithTraceStore(WithRegistry(context.Background(), NewRegistry()), store)
+	ctx, root := StartSpan(ctx, "serve.jobs")
+	sc := root.Context()
+	root.End()
+
+	// "Restarted worker": no live parent span, only the persisted context.
+	wctx := ContextWithRemote(WithTraceStore(
+		WithRegistry(context.Background(), NewRegistry()), store), sc)
+	_, worker := StartSpan(wctx, "job.run")
+	worker.End()
+
+	tr, ok := store.Get(root.TraceID.String())
+	if !ok || len(tr.Spans) != 2 {
+		t.Fatalf("trace = %+v, %v; want 2 spans in one trace", tr, ok)
+	}
+	if worker.TraceID != root.TraceID {
+		t.Errorf("worker trace %s != original %s", worker.TraceID, root.TraceID)
+	}
+}
+
+func TestTraceStorePerTraceSpanCap(t *testing.T) {
+	store := NewTraceStore(TraceStoreOptions{MaxSpans: 3})
+	ctx := WithTraceStore(WithRegistry(context.Background(), NewRegistry()), store)
+	ctx, root := StartSpan(ctx, "root")
+	for i := 0; i < 10; i++ {
+		_, c := StartSpan(ctx, "child")
+		c.End()
+	}
+	root.End()
+	tr, _ := store.Get(root.TraceID.String())
+	if len(tr.Spans) != 3 || tr.Dropped != 8 {
+		t.Errorf("spans = %d, dropped = %d; want 3 retained, 8 dropped", len(tr.Spans), tr.Dropped)
+	}
+}
+
+// TestTraceStoreConcurrent exercises the record path from many goroutines;
+// meaningful under -race.
+func TestTraceStoreConcurrent(t *testing.T) {
+	store := NewTraceStore(TraceStoreOptions{Cap: 8, SlowCap: 2,
+		SlowThreshold: time.Millisecond, OnSlow: func(string, time.Duration) {}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				emitTrace(store, "load", true)
+				store.Traces()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := store.Len(); n > 10 {
+		t.Errorf("store holds %d traces, cap is 8+2", n)
+	}
+}

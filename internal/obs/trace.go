@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace identity and propagation. Traces use 128-bit random IDs rendered as
+// 32 lowercase hex characters — the W3C Trace Context format — so an
+// external caller's traceparent header joins our spans to its trace, and
+// our IDs are valid upstream. Span IDs stay process-local uint64s (cheap to
+// issue, unique within a process) rendered as 16 hex characters on the
+// wire, which is exactly the W3C parent-id width.
+
+// TraceID is a 128-bit trace identifier. The zero value means "no trace".
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID (which the W3C
+// spec also forbids on the wire).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// traceIDFallback seeds non-cryptographic fallback IDs if crypto/rand ever
+// fails (a broken platform); uniqueness within the process still holds.
+var traceIDFallback atomic.Uint64
+
+// NewTraceID returns a random 128-bit trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		binary.BigEndian.PutUint64(t[0:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(t[8:16], traceIDFallback.Add(1))
+	}
+	return t
+}
+
+// ParseTraceID parses 32 hex characters into a TraceID. The all-zero ID is
+// rejected, per the W3C spec.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, false
+	}
+	if _, err := hex.Decode(t[:], []byte(strings.ToLower(s))); err != nil {
+		return TraceID{}, false
+	}
+	return t, !t.IsZero()
+}
+
+// FormatSpanID renders a span ID as 16 lowercase hex characters — the W3C
+// parent-id width, and the form log lines and trace dumps use (uint64 JSON
+// numbers above 2^53 lose precision through float64 decoding).
+func FormatSpanID(id uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], id)
+	return hex.EncodeToString(b[:])
+}
+
+// SpanContext is the propagated remote half of a trace: the identity a
+// caller handed us in a traceparent header, or the identity we persist into
+// a durable job record so spans from the re-delivering worker join the
+// submitting request's trace.
+type SpanContext struct {
+	// TraceID is the 128-bit trace this context belongs to.
+	TraceID TraceID
+	// SpanID is the parent span on the remote (or past) side.
+	SpanID uint64
+	// Sampled is the W3C sampled flag; we record regardless but echo it.
+	Sampled bool
+}
+
+// Valid reports whether the context names a real trace.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() }
+
+// Traceparent renders the context in W3C form:
+// "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + FormatSpanID(sc.SpanID) + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header. Unknown versions are
+// accepted if the version-00 fields parse (per spec, forward compatibility);
+// malformed headers, the all-zero trace ID, and the all-zero parent ID are
+// rejected.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || parts[0] == "ff" {
+		return SpanContext{}, false
+	}
+	if _, err := hex.DecodeString(parts[0]); err != nil {
+		return SpanContext{}, false
+	}
+	tid, ok := ParseTraceID(parts[1])
+	if !ok {
+		return SpanContext{}, false
+	}
+	if len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	var sid [8]byte
+	if _, err := hex.Decode(sid[:], []byte(strings.ToLower(parts[2]))); err != nil {
+		return SpanContext{}, false
+	}
+	spanID := binary.BigEndian.Uint64(sid[:])
+	if spanID == 0 {
+		return SpanContext{}, false
+	}
+	if len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	flags, err := hex.DecodeString(parts[3])
+	if err != nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: tid, SpanID: spanID, Sampled: flags[0]&1 == 1}, true
+}
+
+type remoteCtxKey struct{}
+
+// ContextWithRemote attaches a remote span context to ctx: the next
+// StartSpan without a local parent becomes a child of sc instead of a new
+// trace root. A local parent span always wins over a remote one.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, sc)
+}
+
+// RemoteFromContext returns the remote span context carried by ctx, if any.
+func RemoteFromContext(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(remoteCtxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// maxStageEntries bounds one StageTimings table so a hostile input that
+// manufactures unbounded span names cannot grow it without limit.
+const maxStageEntries = 64
+
+// StageTimings accumulates the durations of every span ended beneath one
+// collection point, keyed by span name — the per-request counterpart of the
+// aggregate span histograms, and the source of the per-stage timings an
+// audit record carries. Attach one with WithStageTimings around a unit of
+// work (the scan engine does this per script); spans started under that
+// context add their duration on End. Safe for concurrent use.
+type StageTimings struct {
+	mu sync.Mutex
+	m  map[string]time.Duration
+}
+
+// NewStageTimings returns an empty collection table.
+func NewStageTimings() *StageTimings {
+	return &StageTimings{m: make(map[string]time.Duration, 8)}
+}
+
+type stageCtxKey struct{}
+
+// WithStageTimings routes the durations of spans ended under ctx into st.
+func WithStageTimings(ctx context.Context, st *StageTimings) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, stageCtxKey{}, st)
+}
+
+// stageTimingsFromContext returns the collection table carried by ctx, or nil.
+func stageTimingsFromContext(ctx context.Context) *StageTimings {
+	if ctx == nil {
+		return nil
+	}
+	st, _ := ctx.Value(stageCtxKey{}).(*StageTimings)
+	return st
+}
+
+// add accumulates one ended span; repeated names (a stage that runs more
+// than once) sum. Nil-safe.
+func (st *StageTimings) add(name string, d time.Duration) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if _, ok := st.m[name]; ok || len(st.m) < maxStageEntries {
+		st.m[name] += d
+	}
+	st.mu.Unlock()
+}
+
+// Snapshot returns a copy of the accumulated stage durations.
+func (st *StageTimings) Snapshot() map[string]time.Duration {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]time.Duration, len(st.m))
+	for k, v := range st.m {
+		out[k] = v
+	}
+	return out
+}

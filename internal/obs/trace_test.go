@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRandomHex(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a.IsZero() || b.IsZero() {
+		t.Fatal("NewTraceID returned the zero id")
+	}
+	if a == b {
+		t.Fatal("two fresh trace ids collided")
+	}
+	s := a.String()
+	if len(s) != 32 || strings.ToLower(s) != s {
+		t.Errorf("String() = %q, want 32 lowercase hex chars", s)
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != a {
+		t.Errorf("ParseTraceID(%q) = %v, %v", s, back, ok)
+	}
+	if _, ok := ParseTraceID("00000000000000000000000000000000"); ok {
+		t.Error("all-zero trace id accepted")
+	}
+	if _, ok := ParseTraceID("short"); ok {
+		t.Error("short trace id accepted")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: 0xdeadbeefcafe0123, Sampled: true}
+	h := sc.Traceparent()
+	want := "00-" + sc.TraceID.String() + "-deadbeefcafe0123-01"
+	if h != want {
+		t.Errorf("Traceparent() = %q, want %q", h, want)
+	}
+	back, ok := ParseTraceparent(h)
+	if !ok || back != sc {
+		t.Errorf("ParseTraceparent(%q) = %+v, %v", h, back, ok)
+	}
+	// Unsampled flag round-trips too.
+	sc.Sampled = false
+	if back, ok = ParseTraceparent(sc.Traceparent()); !ok || back.Sampled {
+		t.Errorf("unsampled round trip = %+v, %v", back, ok)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	good := SpanContext{TraceID: NewTraceID(), SpanID: 1}.Traceparent()
+	if _, ok := ParseTraceparent(good); !ok {
+		t.Fatalf("control header rejected: %q", good)
+	}
+	bad := []string{
+		"",
+		"garbage",
+		"00-xyz-0000000000000001-01",
+		"00-00000000000000000000000000000000-0000000000000001-01", // zero trace
+		"00-" + NewTraceID().String() + "-0000000000000000-01",    // zero parent
+		"00-" + NewTraceID().String() + "-0001-01",                // short parent
+		"ff-" + NewTraceID().String() + "-0000000000000001-01",    // forbidden version
+		"0-" + NewTraceID().String() + "-0000000000000001-01",     // short version
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+}
+
+func TestRemoteParentJoinsTrace(t *testing.T) {
+	remote := SpanContext{TraceID: NewTraceID(), SpanID: 42, Sampled: true}
+	ctx := ContextWithRemote(WithRegistry(context.Background(), NewRegistry()), remote)
+	ctx, sp := StartSpan(ctx, "serve")
+	if sp.TraceID != remote.TraceID {
+		t.Errorf("span trace %s != remote trace %s", sp.TraceID, remote.TraceID)
+	}
+	if sp.ParentID != remote.SpanID {
+		t.Errorf("span parent %d != remote span %d", sp.ParentID, remote.SpanID)
+	}
+	// A local parent beats the remote context for children.
+	_, child := StartSpan(ctx, "scan")
+	if child.ParentID != sp.SpanID || child.TraceID != remote.TraceID {
+		t.Errorf("child ids wrong: %+v", child)
+	}
+	child.End()
+	sp.End()
+}
+
+func TestStageTimings(t *testing.T) {
+	st := NewStageTimings()
+	ctx := WithStageTimings(WithRegistry(context.Background(), NewRegistry()), st)
+	ctx, outer := StartSpan(ctx, "scan.file")
+	_, p := StartSpan(ctx, "parse")
+	time.Sleep(time.Millisecond)
+	p.End()
+	_, e := StartSpan(ctx, "embed")
+	e.End()
+	_, e2 := StartSpan(ctx, "embed") // repeated stages sum
+	e2.End()
+	outer.End()
+
+	got := st.Snapshot()
+	if got["parse"] <= 0 {
+		t.Errorf("parse stage = %v, want > 0", got["parse"])
+	}
+	if _, ok := got["embed"]; !ok {
+		t.Error("embed stage missing")
+	}
+	if _, ok := got["scan.file"]; !ok {
+		t.Error("collection-root span missing from its own table")
+	}
+	// Nil-safety: collection is optional everywhere.
+	var none *StageTimings
+	none.add("x", time.Second)
+	if none.Snapshot() != nil {
+		t.Error("nil StageTimings snapshot not nil")
+	}
+}
+
+func TestSpanAnnotations(t *testing.T) {
+	store := NewTraceStore(TraceStoreOptions{})
+	ctx := WithTraceStore(WithRegistry(context.Background(), NewRegistry()), store)
+	_, sp := StartSpan(ctx, "work")
+	sp.SetAttr("endpoint", "/scan")
+	sp.AddEvent("cache miss")
+	sp.SetError("boom")
+	sp.End()
+
+	tr, ok := store.Get(sp.TraceID.String())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(tr.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(tr.Spans))
+	}
+	rec := tr.Spans[0]
+	if len(rec.Attrs) != 1 || rec.Attrs[0].Key != "endpoint" || rec.Attrs[0].Value != "/scan" {
+		t.Errorf("attrs = %+v", rec.Attrs)
+	}
+	if len(rec.Events) != 1 || rec.Events[0].Message != "cache miss" {
+		t.Errorf("events = %+v", rec.Events)
+	}
+	if rec.Error != "boom" {
+		t.Errorf("error = %q", rec.Error)
+	}
+	if rec.SpanID != FormatSpanID(sp.SpanID) {
+		t.Errorf("span id = %q, want %q", rec.SpanID, FormatSpanID(sp.SpanID))
+	}
+}

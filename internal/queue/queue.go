@@ -84,6 +84,10 @@ type Job struct {
 	Priority int
 	// Payload is the opaque work description.
 	Payload []byte
+	// Trace is the W3C traceparent of the request that enqueued the job,
+	// persisted so a worker — even one started after a crash — can join
+	// its spans to the submitter's trace. Empty when tracing is off.
+	Trace string
 	// Attempt counts failed deliveries so far.
 	Attempt int
 	// State is the job's current lifecycle state.
@@ -322,6 +326,14 @@ func (q *Queue) Abandon() {
 // Enqueue appends a new pending job. The id must be unique for the life of
 // the queue directory; higher priorities deliver first.
 func (q *Queue) Enqueue(id string, priority int, payload []byte) error {
+	return q.EnqueueTrace(id, priority, payload, "")
+}
+
+// EnqueueTrace is Enqueue with the submitter's trace context (a W3C
+// traceparent header value) persisted alongside the job, so spans emitted
+// by whichever worker eventually runs it — on this process or a restarted
+// one — join the original trace.
+func (q *Queue) EnqueueTrace(id string, priority int, payload []byte, trace string) error {
 	if id == "" {
 		return errors.New("queue: empty job id")
 	}
@@ -338,7 +350,7 @@ func (q *Queue) Enqueue(id string, priority int, payload []byte) error {
 	}
 	now := q.opts.now()
 	if err := q.appendLocked(walEvent{
-		Op: opEnqueue, ID: id, Priority: priority, Payload: payload, At: now.UnixNano(),
+		Op: opEnqueue, ID: id, Priority: priority, Payload: payload, Trace: trace, At: now.UnixNano(),
 	}); err != nil {
 		return err
 	}
@@ -346,6 +358,7 @@ func (q *Queue) Enqueue(id string, priority int, payload []byte) error {
 		ID:         id,
 		Priority:   priority,
 		Payload:    payload,
+		Trace:      trace,
 		State:      StatePending,
 		EnqueuedAt: now,
 		seq:        q.nextSeq,

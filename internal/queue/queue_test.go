@@ -137,6 +137,52 @@ func TestDurabilityAcrossReopen(t *testing.T) {
 	}
 }
 
+func TestTraceSurvivesReopenAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastOpts()
+	const trace = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	q1 := openQ(t, dir, opts)
+	if err := q1.EnqueueTrace("traced", 0, []byte("p"), trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := q1.Enqueue("plain", 0, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	q1.Abandon() // kill -9
+
+	// WAL replay restores the trace context.
+	q2 := openQ(t, dir, opts)
+	j, err := q2.Get("traced")
+	if err != nil || j.Trace != trace {
+		t.Fatalf("after replay: job = %+v err %v, want trace %s", j, err, trace)
+	}
+	if j, _ := q2.Get("plain"); j.Trace != "" {
+		t.Errorf("untraced job grew a trace: %+v", j)
+	}
+	// Compaction snapshots (reset + restore) must carry it too.
+	if err := q2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	q2.Abandon()
+	q3 := openQ(t, dir, opts)
+	j, err = q3.Get("traced")
+	if err != nil || j.Trace != trace {
+		t.Fatalf("after compaction: job = %+v err %v, want trace %s", j, err, trace)
+	}
+	// The trace rides the lease to whichever worker picks the job up.
+	seen := map[string]string{}
+	for i := 0; i < 2; i++ {
+		l := mustLease(t, q3, "w")
+		seen[l.Job.ID] = l.Job.Trace
+		if err := l.Ack(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen["traced"] != trace || seen["plain"] != "" {
+		t.Errorf("leased traces = %v", seen)
+	}
+}
+
 func TestPriorityAndFIFOOrder(t *testing.T) {
 	q := openQ(t, t.TempDir(), fastOpts())
 	for _, j := range []struct {

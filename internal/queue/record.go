@@ -104,6 +104,7 @@ type walEvent struct {
 	Result   []byte    `json:"result,omitempty"`
 	Owner    string    `json:"owner,omitempty"`
 	Attempt  int       `json:"attempt,omitempty"`
+	Trace    string    `json:"trace,omitempty"`    // submitter's traceparent (enqueue events)
 	At       int64     `json:"at,omitempty"`       // event time, unix nanos
 	Deadline int64     `json:"deadline,omitempty"` // lease expiry or retry not-before, unix nanos
 	Err      string    `json:"err,omitempty"`
@@ -116,6 +117,7 @@ type jobState struct {
 	ID          string `json:"id"`
 	Priority    int    `json:"pri,omitempty"`
 	Payload     []byte `json:"payload,omitempty"`
+	Trace       string `json:"trace,omitempty"`
 	Attempt     int    `json:"attempt,omitempty"`
 	State       State  `json:"state"`
 	EnqueuedAt  int64  `json:"enqueued_at,omitempty"`
@@ -159,6 +161,7 @@ func (j *Job) toState() *jobState {
 		ID:          j.ID,
 		Priority:    j.Priority,
 		Payload:     j.Payload,
+		Trace:       j.Trace,
 		Attempt:     j.Attempt,
 		State:       j.State,
 		EnqueuedAt:  nanoTime(j.EnqueuedAt),
@@ -176,6 +179,7 @@ func (s *jobState) toJob() *Job {
 		ID:          s.ID,
 		Priority:    s.Priority,
 		Payload:     s.Payload,
+		Trace:       s.Trace,
 		Attempt:     s.Attempt,
 		State:       s.State,
 		EnqueuedAt:  fromNano(s.EnqueuedAt),

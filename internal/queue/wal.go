@@ -188,6 +188,7 @@ func (r *replayResult) apply(payload []byte) bool {
 			ID:         ev.ID,
 			Priority:   ev.Priority,
 			Payload:    ev.Payload,
+			Trace:      ev.Trace,
 			State:      StatePending,
 			EnqueuedAt: fromNano(ev.At),
 			NotBefore:  fromNano(ev.Deadline),

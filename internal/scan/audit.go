@@ -1,0 +1,86 @@
+// The engine's side of the verdict audit trail: provenance is collected
+// where the verdict is decided (scanSource knows the cache outcome and
+// which tier answered; the context carries the request metadata and trace)
+// and written as one audit.Record per result. Everything here is gated on
+// Config.Audit — a nil sink costs nothing on the hot path.
+package scan
+
+import (
+	"context"
+	"encoding/hex"
+	"time"
+
+	"jsrevealer/internal/audit"
+	"jsrevealer/internal/obs"
+)
+
+// provenance is the audit-relevant context of one verdict, threaded out of
+// scanSource alongside the Result. The zero value (auditing disabled)
+// carries nothing.
+type provenance struct {
+	sha    string            // hex content digest
+	cache  string            // hit | miss | off
+	tier   string            // cache | pipeline | fallback | none
+	stages *obs.StageTimings // per-stage durations, nil unless auditing
+}
+
+// tierFor derives the audit tier from how the verdict was produced.
+func tierFor(v Verdict, fromCache bool) string {
+	switch {
+	case fromCache:
+		return "cache"
+	case v == VerdictDegraded:
+		return "fallback"
+	case v == VerdictFailed:
+		return "none"
+	default:
+		return "pipeline"
+	}
+}
+
+// auditResult writes one audit record for a finished result. Call it after
+// Duration is stamped. No-op when auditing is disabled.
+func (e *Engine) auditResult(ctx context.Context, res Result, prov provenance) {
+	if e.cfg.Audit == nil {
+		return
+	}
+	m := audit.MetaFromContext(ctx)
+	rec := audit.Record{
+		Name:       res.Path,
+		SHA256:     prov.sha,
+		Verdict:    res.Verdict.String(),
+		Malicious:  res.Malicious,
+		Bytes:      res.Bytes,
+		DurationMS: float64(res.Duration) / float64(time.Millisecond),
+		Tier:       prov.tier,
+		Cache:      prov.cache,
+		Model:      e.cfg.AuditModel,
+		Source:     m.Source,
+		Job:        m.Job,
+		Attempt:    m.Attempt,
+		RequestID:  m.RequestID,
+	}
+	if res.Err != nil {
+		rec.Reason = Reason(res.Err)
+		rec.Error = res.Err.Error()
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		rec.TraceID = sp.TraceID.String()
+	} else if rc, ok := obs.RemoteFromContext(ctx); ok {
+		rec.TraceID = rc.TraceID.String()
+	}
+	if prov.stages != nil {
+		if snap := prov.stages.Snapshot(); len(snap) > 0 {
+			rec.StagesMS = make(map[string]float64, len(snap))
+			for stage, d := range snap {
+				rec.StagesMS[stage] = float64(d) / float64(time.Millisecond)
+			}
+		}
+	}
+	e.cfg.Audit.Write(rec)
+}
+
+// hexKey renders a cache key as the audit trail's content digest.
+func hexKey(k cacheKey) string {
+	return hex.EncodeToString(k[:])
+}

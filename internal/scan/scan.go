@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jsrevealer/internal/audit"
 	"jsrevealer/internal/baselines"
 	"jsrevealer/internal/js/parser"
 	"jsrevealer/internal/obs"
@@ -101,6 +102,15 @@ type Config struct {
 	// Only clean verdicts (benign/malicious) are cached — degraded and
 	// failed results are always recomputed.
 	CacheSize int
+	// Audit, when non-nil, receives one record per verdict: content digest,
+	// outcome, which tier produced it, per-stage timings, and the request
+	// provenance carried by the scan context (audit.Meta). Writes never
+	// block the hot path; nil disables auditing with zero overhead.
+	Audit *audit.Log
+	// AuditModel is the model-generation identifier stamped into audit
+	// records — the serving layer sets it to the model file's hex digest so
+	// every verdict names the exact weights that produced it.
+	AuditModel string
 }
 
 func (c Config) withDefaults() Config {
@@ -351,11 +361,12 @@ func (e *Engine) ScanSources(ctx context.Context, srcs []Source, emit func(Resul
 				fstart := time.Now()
 				sctx, sp := obs.StartSpan(ctx, "scan.file")
 				ins.inflight.Inc()
-				res := e.scanSource(sctx, ins, srcs[i].Name, srcs[i].Content)
+				res, prov := e.scanSource(sctx, ins, srcs[i].Name, srcs[i].Content)
 				ins.inflight.Dec()
 				sp.End()
 				res.Duration = time.Since(fstart)
 				ins.observe(res)
+				e.auditResult(sctx, res, prov)
 				results[i] = res
 				done[i] = true
 				if emit != nil {
@@ -389,11 +400,12 @@ func (e *Engine) ScanSource(ctx context.Context, name, src string) Result {
 	ins := newInstruments(obs.FromContext(ctx))
 	sctx, sp := obs.StartSpan(ctx, "scan.file")
 	ins.inflight.Inc()
-	res := e.scanSource(sctx, ins, name, src)
+	res, prov := e.scanSource(sctx, ins, name, src)
 	ins.inflight.Dec()
 	sp.End()
 	res.Duration = time.Since(start)
 	ins.observe(res)
+	e.auditResult(sctx, res, prov)
 	return res
 }
 
@@ -411,10 +423,12 @@ func (e *Engine) scanFile(ctx context.Context, ins *instruments, path string) Re
 		res.Verdict = VerdictFailed
 		res.Err = fmt.Errorf("%w: %v", ErrInternal, err)
 		res.Duration = time.Since(start)
+		e.auditResult(ctx, res, provenance{cache: "off", tier: "none"})
 		return res
 	}
 	if info.Size() > e.cfg.MaxBytes {
 		res.Bytes = info.Size()
+		prov := provenance{cache: "off"}
 		prefix, err := readPrefix(path, e.cfg.MaxBytes)
 		if err != nil {
 			res.Verdict = VerdictFailed
@@ -423,8 +437,15 @@ func (e *Engine) scanFile(ctx context.Context, ins *instruments, path string) Re
 			cause := fmt.Errorf("%w: file is %d bytes (limit %d)",
 				ErrTooLarge, info.Size(), e.cfg.MaxBytes)
 			res.Verdict, res.Malicious, res.Err = e.degrade(ctx, prefix, cause)
+			if e.cfg.Audit != nil {
+				// Only the scanned prefix was ever read; its digest is what
+				// the verdict answers for.
+				prov.sha = hexKey(contentKey(prefix))
+			}
 		}
+		prov.tier = tierFor(res.Verdict, false)
 		res.Duration = time.Since(start)
+		e.auditResult(ctx, res, prov)
 		return res
 	}
 	data, err := os.ReadFile(path)
@@ -432,34 +453,63 @@ func (e *Engine) scanFile(ctx context.Context, ins *instruments, path string) Re
 		res.Verdict = VerdictFailed
 		res.Err = fmt.Errorf("%w: %v", ErrInternal, err)
 		res.Duration = time.Since(start)
+		e.auditResult(ctx, res, provenance{cache: "off", tier: "none"})
 		return res
 	}
-	res = e.scanSource(ctx, ins, path, string(data))
+	var prov provenance
+	res, prov = e.scanSource(ctx, ins, path, string(data))
 	res.Duration = time.Since(start)
+	e.auditResult(ctx, res, prov)
 	return res
 }
 
 // scanSource runs the guarded pipeline over src and degrades on any
 // structured failure. Duration is left for the caller to stamp. Content
 // already classified cleanly by this engine is answered from the verdict
-// cache without re-running the pipeline.
-func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src string) Result {
+// cache without re-running the pipeline. The returned provenance feeds the
+// audit trail; it stays zero-valued (and costs nothing) when auditing is
+// disabled.
+func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src string) (Result, provenance) {
 	res := Result{Path: name, Bytes: int64(len(src))}
+	var prov provenance
+	auditing := e.cfg.Audit != nil
+	if auditing {
+		prov.cache = "off"
+		prov.stages = obs.NewStageTimings()
+		ctx = obs.WithStageTimings(ctx, prov.stages)
+	}
 	if int64(len(src)) > e.cfg.MaxBytes {
 		cause := fmt.Errorf("%w: input is %d bytes (limit %d)",
 			ErrTooLarge, len(src), e.cfg.MaxBytes)
 		res.Verdict, res.Malicious, res.Err = e.degrade(ctx, src[:e.cfg.MaxBytes], cause)
-		return res
+		if auditing {
+			// Digest the full input, not the scanned prefix: the audit line
+			// must answer for the content as submitted.
+			prov.sha = hexKey(contentKey(src))
+			prov.tier = tierFor(res.Verdict, false)
+		}
+		return res, prov
 	}
 	var key cacheKey
-	if e.cache != nil {
+	if e.cache != nil || auditing {
 		key = contentKey(src)
+		if auditing {
+			prov.sha = hexKey(key)
+		}
+	}
+	if e.cache != nil {
 		if verdict, malicious, ok := e.cache.get(key); ok {
 			ins.cacheHit.Inc()
 			res.Verdict, res.Malicious = verdict, malicious
-			return res
+			if auditing {
+				prov.cache, prov.tier = "hit", "cache"
+			}
+			return res, prov
 		}
 		ins.cacheMis.Inc()
+		if auditing {
+			prov.cache = "miss"
+		}
 	}
 	fctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
 	defer cancel()
@@ -474,10 +524,16 @@ func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src str
 		if e.cache != nil {
 			e.cache.put(key, res.Verdict, res.Malicious)
 		}
-		return res
+		if auditing {
+			prov.tier = "pipeline"
+		}
+		return res, prov
 	}
 	res.Verdict, res.Malicious, res.Err = e.degrade(ctx, src, err)
-	return res
+	if auditing {
+		prov.tier = tierFor(res.Verdict, false)
+	}
+	return res, prov
 }
 
 // classify runs the full pipeline in an isolated goroutine: panics become

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"jsrevealer/internal/audit"
 	"jsrevealer/internal/obs"
 	"jsrevealer/internal/queue"
 	"jsrevealer/internal/scan"
@@ -73,7 +74,13 @@ func (s *Server) durableSubmit(w http.ResponseWriter, r *http.Request, srcs []sc
 		prio = p
 	}
 	id := newJobID()
-	if err := s.q.Enqueue(id, prio, payload); err != nil {
+	trace := ""
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		// The traceparent rides the WAL record: a worker on a restarted
+		// process still joins this request's trace.
+		trace = sp.Context().Traceparent()
+	}
+	if err := s.q.EnqueueTrace(id, prio, payload, trace); err != nil {
 		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -89,11 +96,11 @@ func (s *Server) durableSubmit(w http.ResponseWriter, r *http.Request, srcs []sc
 // durableGet answers GET /jobs/{id} from the queue: 404 for ids that never
 // existed, 410 Gone for ids whose results have been removed by the result
 // TTL, and the mapped job view otherwise.
-func (s *Server) durableGet(w http.ResponseWriter, id string) {
+func (s *Server) durableGet(w http.ResponseWriter, r *http.Request, id string) {
 	j, err := s.q.Get(id)
 	if err != nil {
 		if s.q.Forgotten(id) {
-			writeJSONGone(w)
+			s.writeJSONGone(w, r, id)
 			return
 		}
 		writeJSONError(w, http.StatusNotFound, "unknown job")
@@ -185,7 +192,17 @@ func (s *Server) runLease(l *queue.Lease) {
 	for i, r := range recs {
 		srcs[i] = scan.Source{Name: r.Name, Content: r.Source}
 	}
-	eng.ScanSources(obs.WithRegistry(ctx, s.reg), srcs, func(res scan.Result) {
+	// Join the submitting request's trace (persisted in the job record, so
+	// this works even when that request hit a process that has since been
+	// kill -9'd) and carry the delivery provenance into the audit trail.
+	sctx, sp := obs.StartSpan(s.workCtx(ctx, l.Job.Trace), "job.run")
+	sp.SetAttr("job", l.Job.ID)
+	sp.SetAttr("attempt", strconv.Itoa(l.Job.Attempt))
+	defer sp.End()
+	sctx = audit.WithMeta(sctx, audit.Meta{
+		Source: "durable", Job: l.Job.ID, Attempt: l.Job.Attempt,
+	})
+	eng.ScanSources(sctx, srcs, func(res scan.Result) {
 		s.progress.add(l.Job.ID, toLine(res))
 	})
 	lines := s.progress.take(l.Job.ID)

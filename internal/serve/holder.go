@@ -106,8 +106,12 @@ func (h *holder) reload(path string) (*model, error) {
 	if err := shadowValidate(c); err != nil {
 		return nil, fmt.Errorf("serve: shadow validation rejected %s: %w", path, err)
 	}
+	// Stamp the generation's digest into the engine so every audit line
+	// names the exact weights that produced its verdict.
+	cfg := h.scanCfg
+	cfg.AuditModel = sha
 	m := &model{
-		engine:   scan.New(c, h.scanCfg),
+		engine:   scan.New(c, cfg),
 		path:     path,
 		sha:      sha,
 		loadedAt: time.Now(),

@@ -30,6 +30,8 @@ type job struct {
 	id        string
 	sources   []scan.Source
 	submitted time.Time
+	trace     string // submitting request's traceparent; worker spans join it
+	reqID     string // submitting request's id, for the audit trail
 
 	mu       sync.Mutex
 	state    JobState

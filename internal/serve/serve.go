@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jsrevealer/internal/audit"
 	"jsrevealer/internal/core"
 	"jsrevealer/internal/obs"
 	"jsrevealer/internal/queue"
@@ -129,6 +130,25 @@ type Config struct {
 	// dead-lettered; <= 0 means the queue default (5). Only meaningful
 	// with QueueDir.
 	QueueMaxAttempts int
+	// TraceBuffer bounds the in-process trace store backing /debug/traces
+	// (recently finished traces kept for inspection). 0 selects
+	// obs.DefaultTraceCap; negative disables trace retention entirely.
+	TraceBuffer int
+	// SlowTrace is the root-span latency past which a finished trace is
+	// held in the store's slow ring (biased retention: fast traffic cannot
+	// evict it) and an automatic CPU profile may fire; <= 0 means
+	// obs.DefaultSlowThreshold.
+	SlowTrace time.Duration
+	// ProfileDir receives automatic slow-trace CPU profiles; empty
+	// disables capture.
+	ProfileDir string
+	// AuditDir enables the verdict audit trail: one crash-safe NDJSON line
+	// per verdict (and per admission reject / evicted poll) under this
+	// directory. Empty disables auditing.
+	AuditDir string
+	// AuditMaxBytes rotates audit files past this size; <= 0 means
+	// audit.DefaultMaxFileBytes. Only meaningful with AuditDir.
+	AuditMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -186,6 +206,9 @@ type Server struct {
 	adm    *admission
 	rl     *rateLimiter // nil when rate limiting is disabled
 
+	traces *obs.TraceStore // nil when trace retention is disabled
+	audit  *audit.Log      // nil when auditing is disabled
+
 	store       *jobStore
 	jobCh       chan *job
 	jobsPending atomic.Int64
@@ -228,9 +251,31 @@ func New(cfg Config, reg *obs.Registry) (*Server, error) {
 	if cfg.RatePerSec > 0 {
 		s.rl = newRateLimiter(cfg.RatePerSec, cfg.Burst)
 	}
+	if cfg.TraceBuffer >= 0 {
+		s.traces = obs.NewTraceStore(obs.TraceStoreOptions{
+			Cap:           cfg.TraceBuffer,
+			SlowThreshold: cfg.SlowTrace,
+			ProfileDir:    cfg.ProfileDir,
+		})
+	}
+	if cfg.AuditDir != "" {
+		al, err := audit.Open(cfg.AuditDir, audit.Options{
+			MaxFileBytes: cfg.AuditMaxBytes,
+			Registry:     reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.audit = al
+	}
 	if cfg.ModelPath != "" {
-		s.holder = newHolder(cfg.Loader, cfg.Scan)
+		// Each model generation gets its own engine carrying the audit sink
+		// and its generation sha, so audit lines name the exact weights.
+		scanCfg := cfg.Scan
+		scanCfg.Audit = s.audit
+		s.holder = newHolder(cfg.Loader, scanCfg)
 		if _, err := s.holder.reload(cfg.ModelPath); err != nil {
+			s.audit.Close()
 			return nil, err
 		}
 		met.reloadOK.Inc()
@@ -245,6 +290,7 @@ func New(cfg Config, reg *obs.Registry) (*Server, error) {
 			Registry:      reg,
 		})
 		if err != nil {
+			s.audit.Close()
 			return nil, err
 		}
 		s.q = q
@@ -351,6 +397,9 @@ func (s *Server) Close() {
 		if s.q != nil {
 			s.q.Close()
 		}
+		// Flush and fsync the audit tail; records from still-running
+		// goroutines after this point are dropped and counted.
+		s.audit.Close()
 	})
 }
 
@@ -368,13 +417,49 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	mux.Handle("POST /detect", s.instrument("/detect", s.admit(http.HandlerFunc(s.handleDetect))))
-	mux.Handle("POST /scan", s.instrument("/scan", s.admit(http.HandlerFunc(s.handleScan))))
-	mux.Handle("POST /jobs", s.instrument("/jobs", s.admit(http.HandlerFunc(s.handleJobSubmit))))
-	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	mux.Handle("POST /admin/reload", s.instrument("/admin/reload", http.HandlerFunc(s.handleReload)))
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
+
+	mux.Handle("POST /detect", s.instrument("/detect", s.traced("serve.detect", "detect", s.admit(http.HandlerFunc(s.handleDetect)))))
+	mux.Handle("POST /scan", s.instrument("/scan", s.traced("serve.scan", "scan", s.admit(http.HandlerFunc(s.handleScan)))))
+	mux.Handle("POST /jobs", s.instrument("/jobs", s.traced("serve.jobs", "jobs", s.admit(http.HandlerFunc(s.handleJobSubmit)))))
+	mux.Handle("GET /jobs/{id}", s.traced("serve.jobs.get", "jobs", http.HandlerFunc(s.handleJobGet)))
+	mux.Handle("POST /admin/reload", s.instrument("/admin/reload", s.traced("serve.reload", "admin", http.HandlerFunc(s.handleReload))))
 	mux.HandleFunc("GET /version", s.handleVersion)
 	return mux
+}
+
+// traced is the request-tracing middleware in front of every API endpoint:
+// it joins the caller's trace when the request carries a W3C traceparent
+// header (otherwise a fresh 128-bit trace id is minted), opens the
+// endpoint's root span, and answers with `traceparent` and `X-Request-Id`
+// response headers — so callers can correlate any response, including
+// rejections, with /debug/traces/{id} and the audit trail. The request id
+// is the caller's X-Request-Id when present, the trace id otherwise.
+func (s *Server) traced(span, source string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := obs.WithRegistry(r.Context(), s.reg)
+		if s.traces != nil {
+			ctx = obs.WithTraceStore(ctx, s.traces)
+		}
+		if rc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx = obs.ContextWithRemote(ctx, rc)
+		}
+		ctx, sp := obs.StartSpan(ctx, span)
+		defer sp.End()
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = sp.TraceID.String()
+		} else {
+			sp.SetAttr("request_id", reqID)
+		}
+		w.Header().Set("traceparent", sp.Context().Traceparent())
+		w.Header().Set("X-Request-Id", reqID)
+		ctx = audit.WithMeta(ctx, audit.Meta{Source: source, RequestID: reqID})
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // instrument records per-endpoint latency around h.
@@ -394,17 +479,17 @@ func (s *Server) instrument(endpoint string, h http.Handler) http.Handler {
 func (s *Server) admit(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
-			s.reject(w, "draining", http.StatusServiceUnavailable, 0, "server is draining")
+			s.reject(w, r, "draining", http.StatusServiceUnavailable, 0, "server is draining")
 			return
 		}
 		if s.engine() == nil {
-			s.reject(w, "no_model", http.StatusServiceUnavailable, 0, "no model loaded")
+			s.reject(w, r, "no_model", http.StatusServiceUnavailable, 0, "no model loaded")
 			return
 		}
 		if s.rl != nil {
 			if ok, retry := s.rl.allow(clientKey(r), time.Now()); !ok {
 				secs := int(retry.Seconds()) + 1
-				s.reject(w, "rate_limited", http.StatusTooManyRequests, secs, "client rate limit exceeded")
+				s.reject(w, r, "rate_limited", http.StatusTooManyRequests, secs, "client rate limit exceeded")
 				return
 			}
 		}
@@ -412,13 +497,13 @@ func (s *Server) admit(h http.Handler) http.Handler {
 			// The durable backlog is past the watermark: shed work before
 			// it ever touches a slot, with a hint to come back once the
 			// workers have caught up.
-			s.reject(w, "backlog", http.StatusTooManyRequests, 2, "durable job backlog past watermark")
+			s.reject(w, r, "backlog", http.StatusTooManyRequests, 2, "durable job backlog past watermark")
 			return
 		}
 		release, queueFull := s.adm.acquire(r.Context().Done())
 		if release == nil {
 			if queueFull {
-				s.reject(w, "queue_full", http.StatusTooManyRequests, 1, "admission queue full")
+				s.reject(w, r, "queue_full", http.StatusTooManyRequests, 1, "admission queue full")
 			}
 			// Otherwise the client went away while queued; nothing to say.
 			return
@@ -428,13 +513,22 @@ func (s *Server) admit(h http.Handler) http.Handler {
 	})
 }
 
-// reject answers an admission failure and counts it.
-func (s *Server) reject(w http.ResponseWriter, reason string, status, retryAfter int, msg string) {
+// reject answers an admission failure, counts it, and leaves an audit line
+// so shed load is as accountable as served load.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, reason string, status, retryAfter int, msg string) {
 	if c, ok := s.met.rejects[reason]; ok {
 		c.Inc()
 	}
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	if s.audit != nil {
+		m := audit.MetaFromContext(r.Context())
+		rec := audit.Record{Kind: "reject", Reason: reason, Source: m.Source, RequestID: m.RequestID}
+		if sp := obs.SpanFromContext(r.Context()); sp != nil {
+			rec.TraceID = sp.TraceID.String()
+		}
+		s.audit.Write(rec)
 	}
 	writeJSONError(w, status, msg)
 }
@@ -445,8 +539,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeJSONError answers status with {"error": msg}, echoing the request id
+// the traced middleware stamped on the response headers — every error body,
+// 4xx or 5xx, names the id to quote when reporting the failure.
 func writeJSONError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	body := map[string]string{"error": msg}
+	if id := w.Header().Get("X-Request-Id"); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, status, body)
 }
 
 // handleHealthz is the load-balancer probe: 200 ok while serving, 503
@@ -476,8 +577,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "request.js"
 	}
-	ctx := obs.WithRegistry(r.Context(), s.reg)
-	res := s.engine().ScanSource(ctx, name, string(body))
+	// The traced middleware already stocked the context with the registry,
+	// trace store, root span, and audit provenance.
+	res := s.engine().ScanSource(r.Context(), name, string(body))
 	resp := map[string]any{
 		"path":      res.Path,
 		"verdict":   res.Verdict.String(),
@@ -511,8 +613,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	var mu sync.Mutex
 	enc := json.NewEncoder(w)
-	ctx := obs.WithRegistry(r.Context(), s.reg)
-	s.engine().ScanSources(ctx, srcs, func(res scan.Result) {
+	s.engine().ScanSources(r.Context(), srcs, func(res scan.Result) {
 		mu.Lock()
 		defer mu.Unlock()
 		enc.Encode(toLine(res))
@@ -543,8 +644,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := &job{id: newJobID(), sources: srcs, submitted: time.Now(), state: JobQueued}
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		// Persist the submitting request's trace context so the worker's
+		// spans — which run after this response is long gone — join it.
+		j.trace = sp.Context().Traceparent()
+	}
+	j.reqID = audit.MetaFromContext(r.Context()).RequestID
 	if !s.store.put(j) {
-		s.reject(w, "queue_full", http.StatusTooManyRequests, 1, "job store full")
+		s.reject(w, r, "queue_full", http.StatusTooManyRequests, 1, "job store full")
 		return
 	}
 	s.jobsPending.Add(1)
@@ -555,7 +662,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		// reachable when evicted jobs left stale channel slots; shed load.
 		s.jobsPending.Add(-1)
 		s.store.remove(j.id)
-		s.reject(w, "queue_full", http.StatusTooManyRequests, 1, "job queue full")
+		s.reject(w, r, "queue_full", http.StatusTooManyRequests, 1, "job queue full")
 		return
 	}
 	s.met.jobs["submitted"].Inc()
@@ -575,13 +682,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if s.q != nil {
-		s.durableGet(w, id)
+		s.durableGet(w, r, id)
 		return
 	}
 	j, ok := s.store.get(id)
 	if !ok {
 		if s.store.forgotten(id) {
-			writeJSONGone(w)
+			s.writeJSONGone(w, r, id)
 			return
 		}
 		writeJSONError(w, http.StatusNotFound, "unknown job")
@@ -591,12 +698,28 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeJSONGone answers a poll for a job that existed but has been evicted
-// (TTL expiry or room-making) — 410 Gone, with the reason in the body.
-func writeJSONGone(w http.ResponseWriter) {
-	writeJSON(w, http.StatusGone, map[string]string{
+// (TTL expiry or room-making) — 410 Gone, with the reason in the body and
+// an audit line recording that results were lost to retention.
+func (s *Server) writeJSONGone(w http.ResponseWriter, r *http.Request, id string) {
+	if s.audit != nil {
+		m := audit.MetaFromContext(r.Context())
+		rec := audit.Record{
+			Kind: "evicted", Job: id, Reason: "expired",
+			Source: m.Source, RequestID: m.RequestID,
+		}
+		if sp := obs.SpanFromContext(r.Context()); sp != nil {
+			rec.TraceID = sp.TraceID.String()
+		}
+		s.audit.Write(rec)
+	}
+	body := map[string]string{
 		"error":  "job results expired and were evicted",
 		"reason": "expired",
-	})
+	}
+	if id := w.Header().Get("X-Request-Id"); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, http.StatusGone, body)
 }
 
 // handleReload swaps the model: the current path by default, or ?path= to
@@ -654,13 +777,35 @@ func (s *Server) runJob(j *job) {
 		s.met.jobs["failed"].Inc()
 		return
 	}
-	ctx := obs.WithRegistry(context.Background(), s.reg)
+	// Rebuild the submitting request's trace context from the persisted
+	// traceparent: the worker's spans join the original trace even though
+	// the submit response is long gone.
+	ctx := s.workCtx(context.Background(), j.trace)
+	ctx, sp := obs.StartSpan(ctx, "job.run")
+	sp.SetAttr("job", j.id)
+	ctx = audit.WithMeta(ctx, audit.Meta{Source: "jobs", Job: j.id, RequestID: j.reqID})
 	s.engineScan(ctx, eng, j)
+	sp.End()
 	j.mu.Lock()
 	j.state = JobDone
 	j.finished = time.Now()
 	j.mu.Unlock()
 	s.met.jobs["done"].Inc()
+}
+
+// workCtx builds the observability context background workers scan under:
+// the server's registry and trace store, plus — when trace is a valid
+// traceparent persisted at submission — the submitting request's remote
+// trace context, so worker spans join the original trace.
+func (s *Server) workCtx(ctx context.Context, trace string) context.Context {
+	ctx = obs.WithRegistry(ctx, s.reg)
+	if s.traces != nil {
+		ctx = obs.WithTraceStore(ctx, s.traces)
+	}
+	if rc, ok := obs.ParseTraceparent(trace); ok {
+		ctx = obs.ContextWithRemote(ctx, rc)
+	}
+	return ctx
 }
 
 // engineScan streams the job's sources through the engine, appending each

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"net/http"
+
+	"jsrevealer/internal/obs"
+)
+
+// The /debug/traces surface: the in-process trace store rendered as JSON.
+// GET /debug/traces lists recently finished traces (newest first, slow
+// traces retained with bias); GET /debug/traces/{id} renders one trace as
+// a waterfall — spans sorted by start time with parent links, attributes,
+// events, and error status. Like the pprof endpoints these are un-gated:
+// they must keep answering under overload, which is exactly when traces
+// are wanted.
+
+// handleTraces lists retained trace summaries.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	if s.traces == nil {
+		writeJSONError(w, http.StatusNotFound, "trace retention is disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":  s.traces.Len(),
+		"traces": s.traces.Traces(),
+	})
+}
+
+// handleTraceGet renders one trace's waterfall.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeJSONError(w, http.StatusNotFound, "trace retention is disabled")
+		return
+	}
+	id := r.PathValue("id")
+	if _, ok := obs.ParseTraceID(id); !ok {
+		writeJSONError(w, http.StatusBadRequest, "trace id must be 32 hex characters")
+		return
+	}
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, "trace not retained (evicted or never seen)")
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}

@@ -37,10 +37,11 @@ go test -race ./internal/queue/...
 # Serve smoke test: build the CLI, train a tiny model, start the scan
 # service on an ephemeral port (-ready-file publishes the resolved
 # address), and exercise the full serving surface: /healthz, /metrics, a
-# streaming NDJSON batch on /scan, an async job submitted and polled to
-# completion, a hot-reload via /admin/reload and SIGHUP, and the
-# admission/queue metric families. Finally verify the ready-file is
-# removed on graceful shutdown.
+# streaming NDJSON batch on /scan with a caller traceparent (retrieved
+# back from /debug/traces and matched against the audit trail), an async
+# job submitted and polled to completion, a hot-reload via /admin/reload
+# and SIGHUP, and the admission/queue metric families. Finally verify the
+# ready-file is removed on graceful shutdown.
 echo "==> jsrevealer serve smoke test"
 tmpdir=$(mktemp -d)
 trap 'kill $serve_pid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
@@ -48,7 +49,7 @@ go build -o "$tmpdir/jsrevealer" ./cmd/jsrevealer
 "$tmpdir/jsrevealer" train -benign 25 -malicious 25 -seed 7 \
     -model "$tmpdir/model.json" >/dev/null
 "$tmpdir/jsrevealer" serve -addr 127.0.0.1:0 -model "$tmpdir/model.json" \
-    -ready-file "$tmpdir/addr" -log-level warn &
+    -audit-dir "$tmpdir/audit" -ready-file "$tmpdir/addr" -log-level warn &
 serve_pid=$!
 for _ in $(seq 1 100); do
     [ -s "$tmpdir/addr" ] && break
@@ -66,12 +67,42 @@ printf '%s\n' \
     '{"name":"b.js","source":"function f() { return 2; }"}' \
     '{"name":"c.js","source":"var s = unescape(\"%61\"); eval(s);"}' \
     > "$tmpdir/batch.ndjson"
+trace_id=4bf92f3577b34da6a3ce929d0e0e4736
 curl -fsS -X POST --data-binary @"$tmpdir/batch.ndjson" \
+    -H "traceparent: 00-$trace_id-00f067aa0ba902b7-01" \
     -o "$tmpdir/scanout" "http://$addr/scan"
 [ "$(wc -l < "$tmpdir/scanout")" -eq 3 ] || {
     echo "/scan did not stream 3 verdict lines" >&2; exit 1; }
 grep -q '"verdict"' "$tmpdir/scanout" || {
     echo "/scan lines missing verdicts" >&2; exit 1; }
+
+# Trace retention: the caller's trace id must be retrievable from
+# /debug/traces with the serve root span and the engine's file spans.
+trace_ok=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o "$tmpdir/trace" "http://$addr/debug/traces/$trace_id" \
+        && grep -q '"serve.scan"' "$tmpdir/trace" \
+        && grep -q '"scan.file"' "$tmpdir/trace"; then
+        trace_ok=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$trace_ok" ] || {
+    echo "/debug/traces/$trace_id missing the scan waterfall" >&2; exit 1; }
+
+# Audit trail: one NDJSON line per verdict, carrying the content SHA-256
+# and the caller's trace id. The expected digest is sha256("var a = 1;").
+audit_sha=f9d67ab9db16c4d56819f49c02aeede48205e5425be05e918636cdea87b5a78c
+audit_ok=""
+for _ in $(seq 1 50); do
+    if grep -q "\"sha256\":\"$audit_sha\"" "$tmpdir/audit/audit.ndjson" 2>/dev/null \
+        && grep -q "\"trace_id\":\"$trace_id\"" "$tmpdir/audit/audit.ndjson"; then
+        audit_ok=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$audit_ok" ] || {
+    echo "audit trail missing the scanned content's record" >&2; exit 1; }
 
 # Async job: submit, then poll to completion.
 job_id=$(curl -fsS -X POST --data-binary @"$tmpdir/batch.ndjson" \
@@ -120,6 +151,8 @@ grep -q '^jsrevealer_serve_jobs_total' "$tmpdir/metrics" || {
     echo "/metrics missing job counters" >&2; exit 1; }
 grep -q '^jsrevealer_serve_request_duration_seconds' "$tmpdir/metrics" || {
     echo "/metrics missing per-endpoint latency histograms" >&2; exit 1; }
+grep -q '^jsrevealer_audit_records_total' "$tmpdir/metrics" || {
+    echo "/metrics missing audit record counters" >&2; exit 1; }
 
 # Graceful shutdown removes the ready-file so the next run never reads a
 # stale address.
