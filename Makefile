@@ -36,5 +36,6 @@ fuzz:
 	go test -fuzz=FuzzLex -fuzztime=30s ./internal/js/lexer/
 	go test -fuzz=FuzzParse -fuzztime=30s ./internal/js/parser/
 	go test -fuzz=FuzzDetect -fuzztime=30s ./internal/scan/
+	go test -fuzz=FuzzTriage -fuzztime=30s ./internal/triage/
 	go test -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/queue/
 	go test -fuzz=FuzzReplaySegment -fuzztime=30s ./internal/queue/

@@ -5,11 +5,12 @@
 //	jsrevealer train  [-benign N] [-malicious N] [-seed N] [-train-workers N]
 //	                  [-batch-size N] [-checkpoint-dir DIR] [-resume]
 //	                  [-profile cpu|heap] -model model.json
-//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-cache-size N] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
+//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-cache-size N] [-triage-threshold T] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
 //	jsrevealer explain -model model.json [-top N]
 //	jsrevealer serve  [-addr host:port] [-model model.json] [-log-level L]
 //	                  [-max-body N] [-max-batch N] [-max-concurrent N] [-max-queue N]
 //	                  [-rate R] [-burst N] [-max-jobs N] [-job-ttl D] [-drain-timeout D]
+//	                  [-triage-threshold T]
 //
 // The train subcommand trains on the synthetic corpus, fanning the heavy
 // stages out over -train-workers CPUs (the fitted model is bit-identical at
@@ -54,6 +55,7 @@ import (
 	"jsrevealer/internal/corpus"
 	"jsrevealer/internal/obs"
 	"jsrevealer/internal/scan"
+	"jsrevealer/internal/triage"
 )
 
 func main() {
@@ -156,6 +158,8 @@ func runDetect(args []string) (code int, err error) {
 	timeout := fs.Duration("timeout", scan.DefaultTimeout, "per-file classification deadline")
 	maxBytes := fs.Int64("max-bytes", scan.DefaultMaxBytes, "per-file size cap; larger files degrade to the fallback")
 	cacheSize := fs.Int("cache-size", 0, "verdict cache entries; 0 = default, negative disables caching of repeated content")
+	triageThreshold := fs.Float64("triage-threshold", 0,
+		"lexical triage threshold in (0,1]: scripts scoring below it are cleared as benign without parsing; 0 disables the triage tier (every file runs the full pipeline)")
 	profile := fs.String("profile", "", "write a pprof profile of the run: cpu or heap")
 	profileOut := fs.String("profile-out", "jsrevealer-detect.pprof", "profile output path")
 	statsJSON := fs.String("stats-json", "", "write scan stats and the metrics snapshot as JSON to this path")
@@ -184,6 +188,7 @@ func runDetect(args []string) (code int, err error) {
 		Timeout:   *timeout,
 		MaxBytes:  *maxBytes,
 		CacheSize: *cacheSize,
+		Triage:    triage.Config{Threshold: *triageThreshold},
 	})
 	reg := obs.NewRegistry()
 	results, stats := eng.ScanFiles(obs.WithRegistry(context.Background(), reg), files)
@@ -212,8 +217,8 @@ func runDetect(args []string) (code int, err error) {
 		}
 	}
 	fmt.Fprintf(os.Stderr,
-		"jsrevealer: scanned %d (flagged %d, degraded %d, failed %d) in %s; latency p50 %s p99 %s\n",
-		stats.Scanned, stats.Flagged, stats.Degraded, stats.Failed,
+		"jsrevealer: scanned %d (flagged %d, triaged %d, degraded %d, failed %d) in %s; latency p50 %s p99 %s\n",
+		stats.Scanned, stats.Flagged, stats.Triaged, stats.Degraded, stats.Failed,
 		stats.Wall.Round(time.Millisecond),
 		stats.P50.Round(time.Millisecond), stats.P99.Round(time.Millisecond))
 	fmt.Fprintf(os.Stderr,

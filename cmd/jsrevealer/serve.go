@@ -14,6 +14,7 @@ import (
 	"jsrevealer/internal/obs"
 	"jsrevealer/internal/scan"
 	"jsrevealer/internal/serve"
+	"jsrevealer/internal/triage"
 )
 
 // runServe is a flag-parsing wrapper around internal/serve: it builds the
@@ -32,6 +33,8 @@ func runServe(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-script deadline; 0 = engine default")
 	maxBytes := fs.Int64("max-bytes", 0, "per-script size cap in bytes; 0 = engine default")
 	cacheSize := fs.Int("cache-size", 0, "verdict cache entries; 0 = default, negative disables")
+	triageThreshold := fs.Float64("triage-threshold", 0,
+		"lexical triage threshold in (0,1]: scripts scoring below it are cleared as benign without parsing; 0 disables the triage tier")
 
 	// Serving-subsystem knobs.
 	maxBody := fs.Int64("max-body", serve.DefaultMaxBody, "per-request body cap in bytes")
@@ -72,6 +75,7 @@ func runServe(args []string) error {
 			Timeout:   *timeout,
 			MaxBytes:  *maxBytes,
 			CacheSize: *cacheSize,
+			Triage:    triage.Config{Threshold: *triageThreshold},
 		},
 		MaxBody:          *maxBody,
 		MaxBatch:         *maxBatch,

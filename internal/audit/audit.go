@@ -88,11 +88,15 @@ type Record struct {
 	Bytes int64 `json:"bytes,omitempty"`
 	// DurationMS is the wall time spent producing the verdict.
 	DurationMS float64 `json:"duration_ms,omitempty"`
-	// Tier names what produced the verdict: cache | pipeline | fallback |
-	// none (failed with fallback disabled or broken).
+	// Tier names what produced the verdict: triage | cache | pipeline |
+	// fallback | none (failed with fallback disabled or broken).
 	Tier string `json:"tier,omitempty"`
 	// Cache is the verdict-cache outcome: hit | miss | off.
 	Cache string `json:"cache,omitempty"`
+	// CacheTier, on a cache hit, names the tier that originally produced
+	// the cached verdict (triage | pipeline), so a served triage clear is
+	// never mistaken for a served full-pipeline verdict in the trail.
+	CacheTier string `json:"cache_tier,omitempty"`
 	// Model is the serving model generation (hex SHA-256 of the model file).
 	Model string `json:"model,omitempty"`
 	// Source names the path the work arrived through

@@ -422,6 +422,87 @@ func (d *Detector) DetectWithLimits(ctx context.Context, src string, lim parser.
 	return verdict, nil
 }
 
+// PreparedScript is the front half of one script's detection — parsed,
+// path-extracted, reduced to vocabulary keys — awaiting the batched
+// embed/classify back half. Produced by PrepareBatch, consumed by
+// ClassifyBatch; opaque to callers in between.
+type PreparedScript struct {
+	keys []nn.PathKey
+}
+
+// PrepareBatch runs the per-script front half of the pipeline (parse, path
+// extraction, vocabulary lookup) under the same limits and cancellation
+// semantics as DetectWithLimits and returns the prepared state for a later
+// ClassifyBatch. Splitting detection this way lets a scanner parse scripts
+// concurrently, then amortize the NN hot path across the whole batch; the
+// PrepareBatch + ClassifyBatch sequence is verdict-identical to calling
+// DetectWithLimits per script (nn.EmbedBatch is pinned bit-identical to
+// nn.Embed by golden test, and featurization/classification are unchanged).
+func (d *Detector) PrepareBatch(ctx context.Context, src string, lim parser.Limits) (any, error) {
+	if d.classifier == nil {
+		return nil, ErrNotTrained
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if lim.Cancel == nil {
+		lim.Cancel = ctx.Done()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ctx, sp := obs.StartSpan(ctx, "detect")
+	defer sp.End()
+	ex, err := d.extract(ctx, src, lim)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	keys := make([]nn.PathKey, len(ex.paths))
+	for i, p := range ex.paths {
+		keys[i] = d.model.KeyOf(p.ComponentHashes())
+	}
+	return &PreparedScript{keys: keys}, nil
+}
+
+// ClassifyBatch finishes a batch of prepared scripts: one batched embedding
+// pass over every script's path keys, then per-script featurization and
+// classification. The result slice is parallel to prepared. Embed and
+// classify stage time accrues to ctx's span tree once per batch rather than
+// once per script.
+func (d *Detector) ClassifyBatch(ctx context.Context, prepared []any) ([]bool, error) {
+	if d.classifier == nil {
+		return nil, ErrNotTrained
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	keySets := make([][]nn.PathKey, len(prepared))
+	for i, p := range prepared {
+		ps, ok := p.(*PreparedScript)
+		if !ok {
+			return nil, fmt.Errorf("core: ClassifyBatch element %d is %T, not *PreparedScript", i, p)
+		}
+		keySets[i] = ps.keys
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, esp := obs.StartSpan(ctx, "embed")
+	batch := d.model.EmbedBatch(keySets)
+	d.record(ctx, stgEmbed, esp.End())
+
+	_, csp := obs.StartSpan(ctx, "classify")
+	out := make([]bool, len(prepared))
+	for i, embs := range batch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = d.classifier.Predict(d.featurize(embs))
+	}
+	d.record(ctx, stgClassify, csp.End())
+	return out, nil
+}
+
 // DetectProgram classifies an already-parsed program (used by benchmarks to
 // separate parsing cost from pipeline cost).
 func (d *Detector) DetectProgram(prog *ast.Program) (bool, error) {

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+// TestEmbedBatchGolden pins EmbedBatch's bit-identity contract against the
+// serialized golden fixture model: batching scripts together must change
+// nothing about any script's embeddings — every vector element and every
+// attention weight compares equal at the math.Float64bits level to what the
+// per-script Embed produces.
+func TestEmbedBatchGolden(t *testing.T) {
+	data, err := os.ReadFile(goldenModelPath)
+	if err != nil {
+		t.Fatalf("golden model missing (regenerate with NN_WRITE_GOLDEN=1): %v", err)
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	sets := goldenKeySets(m.Config())
+	batch := m.EmbedBatch(sets)
+	if len(batch) != len(sets) {
+		t.Fatalf("batch returned %d scripts, want %d", len(batch), len(sets))
+	}
+	for si, keys := range sets {
+		want := m.Embed(keys)
+		got := batch[si]
+		if len(got) != len(want) {
+			t.Fatalf("script %d: %d embeddings, want %d", si, len(got), len(want))
+		}
+		for i := range want {
+			if gb, wb := math.Float64bits(got[i].Weight), math.Float64bits(want[i].Weight); gb != wb {
+				t.Errorf("script %d path %d: weight bits %016x, want %016x", si, i, gb, wb)
+			}
+			if len(got[i].Vector) != len(want[i].Vector) {
+				t.Fatalf("script %d path %d: vector dim %d, want %d", si, i, len(got[i].Vector), len(want[i].Vector))
+			}
+			for j := range want[i].Vector {
+				if gb, wb := math.Float64bits(got[i].Vector[j]), math.Float64bits(want[i].Vector[j]); gb != wb {
+					t.Errorf("script %d path %d dim %d: bits %016x, want %016x", si, i, j, gb, wb)
+				}
+			}
+		}
+	}
+}
+
+// TestEmbedBatchFreshModel repeats the identity check on a freshly trained
+// model (exercising known/UNK routing from this training run, not the
+// fixture's) and checks the edge shapes: empty batch, empty key sets.
+func TestEmbedBatchFreshModel(t *testing.T) {
+	cfg := smallConfig()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(syntheticSamples(cfg, 40, 7))
+
+	if out := m.EmbedBatch(nil); len(out) != 0 {
+		t.Errorf("empty batch returned %d scripts", len(out))
+	}
+	sets := [][]PathKey{nil, {}, goldenKeySets(cfg)[4], nil, goldenKeySets(cfg)[5]}
+	batch := m.EmbedBatch(sets)
+	for si, keys := range sets {
+		if len(batch[si]) != len(keys) {
+			t.Fatalf("script %d: %d embeddings, want %d", si, len(batch[si]), len(keys))
+		}
+		want := m.Embed(keys)
+		for i := range want {
+			if batch[si][i].Weight != want[i].Weight {
+				t.Errorf("script %d path %d weight mismatch", si, i)
+			}
+			for j := range want[i].Vector {
+				if batch[si][i].Vector[j] != want[i].Vector[j] {
+					t.Errorf("script %d path %d dim %d mismatch", si, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestEmbedBatchOutputOwnership: results must stay valid after further model
+// use — they cannot alias the pooled scratch.
+func TestEmbedBatchOutputOwnership(t *testing.T) {
+	cfg := smallConfig()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(syntheticSamples(cfg, 40, 7))
+	keys := goldenKeySets(cfg)[6]
+	batch := m.EmbedBatch([][]PathKey{keys})
+	snapshot := make([]float64, len(batch[0][0].Vector))
+	copy(snapshot, batch[0][0].Vector)
+	// Churn the pool with different inputs.
+	for i := 0; i < 10; i++ {
+		m.Embed(goldenKeySets(cfg)[3+i%5])
+		m.EmbedBatch([][]PathKey{goldenKeySets(cfg)[7], keys[:3]})
+	}
+	for j, v := range snapshot {
+		if batch[0][0].Vector[j] != v {
+			t.Fatalf("dim %d mutated after pool reuse: %v -> %v", j, v, batch[0][0].Vector[j])
+		}
+	}
+}

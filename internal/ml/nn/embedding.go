@@ -451,6 +451,68 @@ func (m *Model) Embed(keys []PathKey) []Embedding {
 	return out
 }
 
+// EmbedBatch embeds the path keys of many scripts in one pass: a single
+// pooled workspace sized for the whole batch, one flat loop over every path
+// (the gemm-shaped hot loop the per-script API fragments into per-call
+// setup), and per-script attention softmaxes over contiguous score
+// segments. Output slot i is bit-identical to Embed(keySets[i]) — the
+// per-path and per-script arithmetic runs in exactly the order forward
+// uses, pinned by TestEmbedBatchGolden — while the batch amortizes pool
+// leases and allocates the results in two flat arrays instead of per
+// script.
+func (m *Model) EmbedBatch(keySets [][]PathKey) [][]Embedding {
+	total := 0
+	for _, keys := range keySets {
+		total += len(keys)
+	}
+	sc := m.getScratch(total)
+	defer m.putScratch(sc)
+	dim := m.cfg.Dim
+
+	// Phase 1: every path of every script through the embedding sum, tanh,
+	// and attention logit — one contiguous loop over the flat workspace.
+	off := 0
+	for _, keys := range keySets {
+		for _, key := range keys {
+			pre := sc.preFlat[off*dim : (off+1)*dim : (off+1)*dim]
+			linalg.Zero(pre)
+			for s, idx := range [3]int{key.Src, key.Struct, key.Tgt} {
+				linalg.AddInPlace(pre, m.rowFor(s, idx))
+			}
+			v := sc.vecFlat[off*dim : (off+1)*dim : (off+1)*dim]
+			for j := range v {
+				v[j] = math.Tanh(pre[j])
+			}
+			sc.vecs[off] = v
+			sc.scores[off] = linalg.Dot(v, m.attn)
+			off++
+		}
+	}
+
+	// Phase 2: per-script attention softmax over each score segment, then
+	// copy vectors out of the pooled workspace into caller-owned flat
+	// backing (one allocation for all vectors, one for all Embeddings).
+	out := make([][]Embedding, len(keySets))
+	flat := make([]float64, total*dim)
+	embFlat := make([]Embedding, total)
+	off = 0
+	for si, keys := range keySets {
+		n := len(keys)
+		embs := embFlat[off : off+n : off+n]
+		if n > 0 {
+			linalg.Softmax(sc.scores[off:off+n], sc.weights[off:off+n])
+		}
+		for i := 0; i < n; i++ {
+			v := flat[(off+i)*dim : (off+i+1)*dim : (off+i+1)*dim]
+			copy(v, sc.vecs[off+i])
+			embs[i] = Embedding{Vector: v, Weight: sc.weights[off+i]}
+		}
+		out[si] = embs
+		off += n
+	}
+	return out
+}
+
 // PredictProb returns the model's own malicious probability for a script,
 // used for diagnostics (the full pipeline classifies with the random forest).
 func (m *Model) PredictProb(keys []PathKey) float64 {

@@ -18,23 +18,24 @@ import (
 // scanSource alongside the Result. The zero value (auditing disabled)
 // carries nothing.
 type provenance struct {
-	sha    string            // hex content digest
-	cache  string            // hit | miss | off
-	tier   string            // cache | pipeline | fallback | none
-	stages *obs.StageTimings // per-stage durations, nil unless auditing
+	sha       string            // hex content digest
+	cache     string            // hit | miss | off
+	tier      string            // triage | cache | pipeline | fallback | none
+	cacheTier string            // on a hit: the tier that produced the cached entry
+	stages    *obs.StageTimings // per-stage durations, nil unless auditing
 }
 
 // tierFor derives the audit tier from how the verdict was produced.
 func tierFor(v Verdict, fromCache bool) string {
 	switch {
 	case fromCache:
-		return "cache"
+		return TierCache
 	case v == VerdictDegraded:
-		return "fallback"
+		return TierFallback
 	case v == VerdictFailed:
-		return "none"
+		return TierNone
 	default:
-		return "pipeline"
+		return TierPipeline
 	}
 }
 
@@ -54,6 +55,7 @@ func (e *Engine) auditResult(ctx context.Context, res Result, prov provenance) {
 		DurationMS: float64(res.Duration) / float64(time.Millisecond),
 		Tier:       prov.tier,
 		Cache:      prov.cache,
+		CacheTier:  prov.cacheTier,
 		Model:      e.cfg.AuditModel,
 		Source:     m.Source,
 		Job:        m.Job,

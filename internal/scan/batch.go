@@ -1,0 +1,369 @@
+// Batched scanning: when the classifier can split detection into a
+// per-script front half (parse + path extraction) and a matrix-shaped back
+// half (embedding + classification), the engine amortizes the back half
+// across the whole batch. Phase 1 fans the front half out over the worker
+// pool — guards, cache, triage, and prepare all run concurrently, and
+// anything that finishes there (cache hit, triage clear, guard failure) is
+// emitted immediately. Phase 2 then classifies every surviving script in
+// ONE call, which lets the neural embedding run as a single batched pass
+// (see nn.EmbedBatch) instead of paying per-script pool and dispatch
+// overhead. Verdicts are identical to the per-script path; only the cost
+// moves.
+package scan
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/obs"
+)
+
+// BatchClassifier is optionally implemented by classifiers that split
+// detection into a per-script prepare and a batched classify
+// (core.Detector does). PrepareBatch runs the per-script front of the
+// pipeline and returns opaque state; ClassifyBatch consumes a slice of
+// such states and returns one verdict per element, in order. Both must be
+// safe for concurrent use; the engine wraps each in the same panic
+// isolation and deadlines as DetectWithLimits.
+type BatchClassifier interface {
+	PrepareBatch(ctx context.Context, src string, lim parser.Limits) (any, error)
+	ClassifyBatch(ctx context.Context, prepared []any) ([]bool, error)
+}
+
+// pendingScan is one script that passed the guards, the cache, and triage
+// in phase 1 and now awaits the batched back half.
+type pendingScan struct {
+	idx      int             // slot in the results slice
+	src      string          // script content (degrade needs it on batch failure)
+	key      cacheKey        // verdict-cache key, zero when caching and auditing are off
+	prepared any             // classifier state from PrepareBatch
+	res      Result          // partial result (Path/Bytes set)
+	prov     provenance      // audit provenance so far
+	sctx     context.Context // per-file context: stage timings + trace
+	prepDur  time.Duration   // phase-1 wall time (load, guards, prepare)
+	follower bool            // identical content is pipeline-bound under another slot
+}
+
+// batchDedup collapses byte-identical content within one batched run. The
+// first script to claim a content key becomes the leader and goes to the
+// pipeline; later claimants become followers, skip prepare entirely, and
+// are finalized after the batch from the cache entry the leader wrote — a
+// directory of duplicated bundles costs one pipeline run, not N.
+type batchDedup struct {
+	mu   sync.Mutex
+	seen map[cacheKey]struct{}
+}
+
+func newBatchDedup() *batchDedup {
+	return &batchDedup{seen: make(map[cacheKey]struct{})}
+}
+
+// claim reports whether the caller is the first in this batch to scan
+// content with this key (the leader).
+func (d *batchDedup) claim(key cacheKey) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.seen[key]; ok {
+		return false
+	}
+	d.seen[key] = struct{}{}
+	return true
+}
+
+// prepareSource runs phase 1 for one source: the shared front (guards,
+// cache, dedup, triage) and, when the script survives, the classifier's
+// prepare under the per-file deadline. A nil pendingScan means the result
+// is final.
+func (e *Engine) prepareSource(ctx context.Context, ins *instruments, bc BatchClassifier, dedup *batchDedup, name, src string) (Result, provenance, *pendingScan) {
+	fctx, res, prov, key, state := e.scanSourceFront(ctx, ins, dedup, name, src)
+	switch state {
+	case frontDone:
+		return res, prov, nil
+	case frontFollower:
+		return res, prov, &pendingScan{src: src, res: res, sctx: fctx, follower: true}
+	}
+	pctx, cancel := context.WithTimeout(fctx, e.cfg.Timeout)
+	prepared, err := e.prepare(pctx, bc, src)
+	cancel()
+	if err != nil {
+		res, prov = e.finishScan(fctx, res, prov, key, src, false, err)
+		return res, prov, nil
+	}
+	return res, prov, &pendingScan{
+		src: src, key: key, prepared: prepared,
+		res: res, prov: prov, sctx: fctx,
+	}
+}
+
+// prepare runs the classifier's front half in an isolated goroutine, with
+// the same panic and deadline hardening as classify.
+func (e *Engine) prepare(ctx context.Context, bc BatchClassifier, src string) (any, error) {
+	type outcome struct {
+		prepared any
+		err      error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("%w: panic: %v", ErrInternal, r)}
+			}
+		}()
+		lim := parser.Limits{MaxDepth: e.cfg.MaxDepth, MaxTokens: e.cfg.MaxTokens}
+		p, err := bc.PrepareBatch(ctx, src, lim)
+		ch <- outcome{prepared: p, err: classifyError(err, ctx)}
+	}()
+	select {
+	case o := <-ch:
+		return o.prepared, o.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	}
+}
+
+// classifyBatch runs the classifier's batched back half with panic
+// isolation under one Config.Timeout for the whole batch. The back half is
+// bounded matrix arithmetic — no parsing, no per-script pathology — so the
+// per-file deadline is a generous bound for it; if it is somehow exceeded,
+// every pending script degrades to the fallback rather than being dropped.
+func (e *Engine) classifyBatch(ctx context.Context, bc BatchClassifier, prepared []any) ([]bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
+	defer cancel()
+	type outcome struct {
+		verdicts []bool
+		err      error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("%w: panic: %v", ErrInternal, r)}
+			}
+		}()
+		v, err := bc.ClassifyBatch(ctx, prepared)
+		ch <- outcome{verdicts: v, err: classifyError(err, ctx)}
+	}()
+	select {
+	case o := <-ch:
+		if o.err == nil && len(o.verdicts) != len(prepared) {
+			return nil, fmt.Errorf("%w: batch returned %d verdicts for %d scripts",
+				ErrInternal, len(o.verdicts), len(prepared))
+		}
+		return o.verdicts, o.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	}
+}
+
+// runBatch is phase 2: one ClassifyBatch call over every pending leader,
+// then per-script finalization (cache, metrics, audit, emit). When the
+// whole batch fails, each script degrades individually — the fallback is
+// per-script, so one poisoned batch still yields a verdict per file. Each
+// Result's Duration is its own phase-1 time plus the shared batch time,
+// not the time it idled at the barrier. Followers (scripts whose content an
+// earlier leader already took through the pipeline) are finalized last by
+// re-running scanSource: in the common case that is a cache hit on the
+// leader's entry; if the leader failed to produce a cacheable verdict, the
+// follower runs the per-script pipeline itself.
+func (e *Engine) runBatch(ctx context.Context, ins *instruments, bc BatchClassifier, pend []*pendingScan, results []Result, done []bool, emit func(Result)) {
+	var followers []*pendingScan
+	leaders := pend[:0]
+	for _, p := range pend {
+		if p.follower {
+			followers = append(followers, p)
+		} else {
+			leaders = append(leaders, p)
+		}
+	}
+	if len(leaders) > 0 {
+		prepared := make([]any, len(leaders))
+		for i, p := range leaders {
+			prepared[i] = p.prepared
+		}
+		bctx, sp := obs.StartSpan(ctx, "scan.batch")
+		bstart := time.Now()
+		verdicts, err := e.classifyBatch(bctx, bc, prepared)
+		batchDur := time.Since(bstart)
+		sp.End()
+		for i, p := range leaders {
+			var res Result
+			var prov provenance
+			if err == nil {
+				res, prov = e.finishScan(p.sctx, p.res, p.prov, p.key, p.src, verdicts[i], nil)
+			} else {
+				res, prov = e.finishScan(p.sctx, p.res, p.prov, p.key, p.src, false, err)
+			}
+			res.Duration = p.prepDur + batchDur
+			ins.observe(res)
+			e.auditResult(p.sctx, res, prov)
+			results[p.idx] = res
+			done[p.idx] = true
+			if emit != nil {
+				emit(res)
+			}
+		}
+	}
+	for _, p := range followers {
+		fstart := time.Now()
+		res, prov := e.scanSource(p.sctx, ins, p.res.Path, p.src)
+		res.Duration = p.prepDur + time.Since(fstart)
+		ins.observe(res)
+		e.auditResult(p.sctx, res, prov)
+		results[p.idx] = res
+		done[p.idx] = true
+		if emit != nil {
+			emit(res)
+		}
+	}
+}
+
+// scanSourcesBatched is ScanSources for a BatchClassifier: concurrent
+// phase 1 with early emission of everything that never needs the pipeline,
+// then one batched classification for the rest.
+func (e *Engine) scanSourcesBatched(ctx context.Context, bc BatchClassifier, srcs []Source, emit func(Result)) Stats {
+	start := time.Now()
+	ins := newInstruments(obs.FromContext(ctx))
+	results := make([]Result, len(srcs))
+	done := make([]bool, len(srcs))
+	pending := make([]*pendingScan, len(srcs))
+	dedup := newBatchDedup()
+	workers := e.cfg.Workers
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(srcs) || ctx.Err() != nil {
+					return
+				}
+				ins.wait.ObserveDuration(time.Since(start))
+				fstart := time.Now()
+				sctx, sp := obs.StartSpan(ctx, "scan.file")
+				ins.inflight.Inc()
+				res, prov, pend := e.prepareSource(sctx, ins, bc, dedup, srcs[i].Name, srcs[i].Content)
+				ins.inflight.Dec()
+				sp.End()
+				if pend == nil {
+					res.Duration = time.Since(fstart)
+					ins.observe(res)
+					e.auditResult(sctx, res, prov)
+					results[i] = res
+					done[i] = true
+					if emit != nil {
+						emit(res)
+					}
+					continue
+				}
+				pend.idx = i
+				pend.prepDur = time.Since(fstart)
+				pending[i] = pend
+			}
+		}()
+	}
+	wg.Wait()
+	pend := pending[:0]
+	for _, p := range pending {
+		if p != nil {
+			pend = append(pend, p)
+		}
+	}
+	e.runBatch(ctx, ins, bc, pend, results, done, emit)
+	// Sources skipped by an engine-wide cancellation still get a result.
+	for i := range results {
+		if !done[i] {
+			results[i] = Result{
+				Path:    srcs[i].Name,
+				Verdict: VerdictFailed,
+				Tier:    TierNone,
+				Err:     fmt.Errorf("%w: scan cancelled: %v", ErrTimeout, ctx.Err()),
+			}
+			ins.observe(results[i])
+			if emit != nil {
+				emit(results[i])
+			}
+		}
+	}
+	return summarize(results, time.Since(start))
+}
+
+// scanFilesBatched is ScanFiles for a BatchClassifier: load + phase 1 in
+// the worker pool, one batched classification for whatever survives.
+func (e *Engine) scanFilesBatched(ctx context.Context, bc BatchClassifier, paths []string) ([]Result, Stats) {
+	start := time.Now()
+	ins := newInstruments(obs.FromContext(ctx))
+	results := make([]Result, len(paths))
+	done := make([]bool, len(paths))
+	pending := make([]*pendingScan, len(paths))
+	dedup := newBatchDedup()
+	workers := e.cfg.Workers
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(paths) || ctx.Err() != nil {
+					return
+				}
+				ins.wait.ObserveDuration(time.Since(start))
+				fstart := time.Now()
+				sctx, sp := obs.StartSpan(ctx, "scan.file")
+				ins.inflight.Inc()
+				res, prov, src, finished := e.loadFile(sctx, paths[i])
+				var pend *pendingScan
+				if !finished {
+					res, prov, pend = e.prepareSource(sctx, ins, bc, dedup, paths[i], src)
+				}
+				ins.inflight.Dec()
+				sp.End()
+				if pend == nil {
+					res.Duration = time.Since(fstart)
+					ins.observe(res)
+					e.auditResult(sctx, res, prov)
+					results[i] = res
+					done[i] = true
+					continue
+				}
+				pend.idx = i
+				pend.prepDur = time.Since(fstart)
+				pending[i] = pend
+			}
+		}()
+	}
+	wg.Wait()
+	pend := pending[:0]
+	for _, p := range pending {
+		if p != nil {
+			pend = append(pend, p)
+		}
+	}
+	e.runBatch(ctx, ins, bc, pend, results, done, nil)
+	// Files skipped by an engine-wide cancellation still get a result.
+	for i := range results {
+		if !done[i] {
+			results[i] = Result{
+				Path:    paths[i],
+				Verdict: VerdictFailed,
+				Tier:    TierNone,
+				Err:     fmt.Errorf("%w: scan cancelled: %v", ErrTimeout, ctx.Err()),
+			}
+			ins.observe(results[i])
+		}
+	}
+	return results, summarize(results, time.Since(start))
+}

@@ -24,11 +24,16 @@ const DefaultCacheSize = 4096
 // verdict, so the key's collision resistance is a security property of the
 // detector, not a statistical nicety.
 
-// cacheEntry is one cached clean verdict.
+// cacheEntry is one cached clean verdict. tier records which tier produced
+// it (TierTriage or TierPipeline): a triage-tier entry is a weaker claim
+// than a full-pipeline one, and the engine refuses to serve it when its own
+// triage is disabled — a cached triage clear must never alias a full
+// verdict (see Engine.cacheGet).
 type cacheEntry struct {
 	key       cacheKey
 	verdict   Verdict
 	malicious bool
+	tier      string
 }
 
 // verdictCache is a bounded, concurrency-safe LRU of clean verdicts.
@@ -47,33 +52,38 @@ func newVerdictCache(capacity int) *verdictCache {
 	}
 }
 
-// get returns the cached verdict for key, refreshing its recency.
-func (c *verdictCache) get(key cacheKey) (Verdict, bool, bool) {
+// get returns the cached verdict for key with its producing tier,
+// refreshing the entry's recency.
+func (c *verdictCache) get(key cacheKey) (Verdict, bool, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
-		return 0, false, false
+		return 0, false, "", false
 	}
 	c.ll.MoveToFront(el)
 	ent := el.Value.(*cacheEntry)
-	return ent.verdict, ent.malicious, true
+	return ent.verdict, ent.malicious, ent.tier, true
 }
 
 // put stores a clean verdict, evicting the least recently used entry when
 // full. Concurrent scans of identical content may race to put the same key;
 // the second write wins, which is harmless because both computed the same
 // deterministic verdict.
-func (c *verdictCache) put(key cacheKey, verdict Verdict, malicious bool) {
+func (c *verdictCache) put(key cacheKey, verdict Verdict, malicious bool, tier string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		ent.verdict, ent.malicious = verdict, malicious
+		// A full-pipeline verdict never downgrades to a triage one: the
+		// stronger claim stays.
+		if !(ent.tier == TierPipeline && tier == TierTriage) {
+			ent.verdict, ent.malicious, ent.tier = verdict, malicious, tier
+		}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, verdict: verdict, malicious: malicious})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, verdict: verdict, malicious: malicious, tier: tier})
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)

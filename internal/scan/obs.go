@@ -29,6 +29,15 @@ const (
 	// CacheMissesMetric counts scans that ran the full pipeline because the
 	// verdict cache had no entry (or is disabled).
 	CacheMissesMetric = "jsrevealer_cache_misses_total"
+	// TierMetric counts finished files by the tier that produced the
+	// verdict (triage|pipeline|cache|fallback|none). The triage:pipeline
+	// ratio is the clear rate — how much of the corpus the cheap tier
+	// absorbed.
+	TierMetric = "jsrevealer_scan_tier_total"
+	// TierDurationMetric is the per-file wall-time histogram split by tier,
+	// making the cost asymmetry between triage clears (microseconds) and
+	// full-pipeline scans (milliseconds) directly visible.
+	TierDurationMetric = "jsrevealer_scan_tier_duration_seconds"
 )
 
 // verdictLabels maps Verdict to its metric label (Verdict.String shouts
@@ -42,6 +51,9 @@ var verdictLabels = [...]string{
 
 // errorReasons is the closed set Reason can return for non-nil errors.
 var errorReasons = []string{"parse", "timeout", "too_large", "depth_limit", "internal"}
+
+// tierLabels is the closed set of Result.Tier values (see tier.go).
+var tierLabels = []string{TierTriage, TierPipeline, TierCache, TierFallback, TierNone}
 
 // RegisterMetrics pre-creates every scan metric series in reg (all verdict
 // and reason label values, zero-valued), so an exposition endpoint shows
@@ -61,6 +73,8 @@ type instruments struct {
 	inflight *obs.Gauge
 	cacheHit *obs.Counter
 	cacheMis *obs.Counter
+	tiers    map[string]*obs.Counter
+	tierDur  map[string]*obs.Histogram
 }
 
 func newInstruments(reg *obs.Registry) *instruments {
@@ -88,6 +102,16 @@ func newInstruments(reg *obs.Registry) *instruments {
 		ins.reasons[reason] = reg.Counter(ErrorsMetric,
 			"Degraded or failed files by taxonomy reason.", obs.Labels{"reason": reason})
 	}
+	ins.tiers = make(map[string]*obs.Counter, len(tierLabels))
+	ins.tierDur = make(map[string]*obs.Histogram, len(tierLabels))
+	for _, tier := range tierLabels {
+		ins.tiers[tier] = reg.Counter(TierMetric,
+			"Files scanned by the tier that produced the verdict.",
+			obs.Labels{"tier": tier})
+		ins.tierDur[tier] = reg.Histogram(TierDurationMetric,
+			"Per-file scan wall time in seconds, split by producing tier.",
+			obs.DefDurationBuckets, obs.Labels{"tier": tier})
+	}
 	return ins
 }
 
@@ -100,5 +124,9 @@ func (ins *instruments) observe(r Result) {
 	}
 	if reason := Reason(r.Err); reason != "" {
 		ins.reasons[reason].Inc()
+	}
+	if c, ok := ins.tiers[r.Tier]; ok {
+		c.Inc()
+		ins.tierDur[r.Tier].ObserveDuration(r.Duration)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"jsrevealer/internal/baselines"
 	"jsrevealer/internal/js/parser"
 	"jsrevealer/internal/obs"
+	"jsrevealer/internal/triage"
 )
 
 // Classifier is the full detection pipeline the engine drives. It must be
@@ -111,6 +112,15 @@ type Config struct {
 	// records — the serving layer sets it to the model file's hex digest so
 	// every verdict names the exact weights that produced it.
 	AuditModel string
+	// Triage configures the lexical pre-filter tier. The zero value
+	// (Threshold 0) disables it, preserving today's behavior exactly:
+	// every input runs the full pipeline. With Threshold > 0, scripts
+	// whose lexical suspicion stays below the threshold short-circuit to a
+	// benign verdict tagged TierTriage without ever being parsed — the
+	// common benign case answered in microseconds instead of
+	// milliseconds. Triage never flags: anything at or above the
+	// threshold escalates to the full pipeline unchanged.
+	Triage triage.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -185,8 +195,14 @@ type Result struct {
 	Err error
 	// Bytes is the input size.
 	Bytes int64
-	// Duration is the wall time spent on the file, fallback included.
+	// Duration is the wall time spent on the file, fallback included. In a
+	// batched scan this is the file's own share — its load/triage/prepare
+	// time plus the shared batch classification — not the time it spent
+	// waiting at the batch barrier.
 	Duration time.Duration
+	// Tier names what produced the verdict: TierTriage, TierPipeline,
+	// TierCache, TierFallback, or TierNone (see tier.go).
+	Tier string
 }
 
 // Stats aggregates one engine run.
@@ -199,6 +215,10 @@ type Stats struct {
 	Degraded int
 	// Failed counts files with no verdict at all.
 	Failed int
+	// Triaged counts files the lexical triage tier cleared as benign
+	// without running the full pipeline (always 0 when triage is
+	// disabled).
+	Triaged int
 	// Per-error-taxonomy counts over degraded and failed files, derived
 	// from Result.Err (see Reason). Their sum equals Degraded+Failed.
 	ParseErrors int
@@ -215,9 +235,10 @@ type Stats struct {
 // Engine scans files concurrently with panic isolation, deadlines, input
 // guards, and graceful degradation. It is safe for concurrent use.
 type Engine struct {
-	c     Classifier
-	cfg   Config
-	cache *verdictCache // nil when caching is disabled
+	c      Classifier
+	cfg    Config
+	cache  *verdictCache  // nil when caching is disabled
+	triage *triage.Scorer // nil when the triage tier is disabled
 }
 
 // New builds an engine around a classifier. cfg zero-values select the
@@ -226,6 +247,9 @@ func New(c Classifier, cfg Config) *Engine {
 	e := &Engine{c: c, cfg: cfg.withDefaults()}
 	if e.cfg.CacheSize > 0 {
 		e.cache = newVerdictCache(e.cfg.CacheSize)
+	}
+	if e.cfg.Triage.Enabled() {
+		e.triage = triage.New(e.cfg.Triage)
 	}
 	return e
 }
@@ -248,6 +272,7 @@ func (e *Engine) ScanDir(ctx context.Context, dir string) ([]Result, Stats, erro
 			broken = append(broken, Result{
 				Path:    path,
 				Verdict: VerdictFailed,
+				Tier:    TierNone,
 				Err:     fmt.Errorf("%w: %v", ErrInternal, err),
 			})
 			return nil
@@ -277,6 +302,9 @@ func (e *Engine) ScanDir(ctx context.Context, dir string) ([]Result, Stats, erro
 // latency, queue wait, verdict, and error-taxonomy metrics are recorded
 // into the registry carried by ctx (obs.Default() otherwise).
 func (e *Engine) ScanFiles(ctx context.Context, paths []string) ([]Result, Stats) {
+	if bc, ok := e.c.(BatchClassifier); ok {
+		return e.scanFilesBatched(ctx, bc, paths)
+	}
 	start := time.Now()
 	ins := newInstruments(obs.FromContext(ctx))
 	results := make([]Result, len(paths))
@@ -313,6 +341,7 @@ func (e *Engine) ScanFiles(ctx context.Context, paths []string) ([]Result, Stats
 			results[i] = Result{
 				Path:    paths[i],
 				Verdict: VerdictFailed,
+				Tier:    TierNone,
 				Err:     fmt.Errorf("%w: scan cancelled: %v", ErrTimeout, ctx.Err()),
 			}
 			ins.observe(results[i])
@@ -338,6 +367,9 @@ type Source struct {
 // the whole batch. Aggregate statistics are returned once every source is
 // done; per-file metrics land in the registry carried by ctx.
 func (e *Engine) ScanSources(ctx context.Context, srcs []Source, emit func(Result)) Stats {
+	if bc, ok := e.c.(BatchClassifier); ok {
+		return e.scanSourcesBatched(ctx, bc, srcs, emit)
+	}
 	start := time.Now()
 	ins := newInstruments(obs.FromContext(ctx))
 	results := make([]Result, len(srcs))
@@ -382,6 +414,7 @@ func (e *Engine) ScanSources(ctx context.Context, srcs []Source, emit func(Resul
 			results[i] = Result{
 				Path:    srcs[i].Name,
 				Verdict: VerdictFailed,
+				Tier:    TierNone,
 				Err:     fmt.Errorf("%w: scan cancelled: %v", ErrTimeout, ctx.Err()),
 			}
 			ins.observe(results[i])
@@ -417,14 +450,27 @@ func (e *Engine) scanFile(ctx context.Context, ins *instruments, path string) Re
 	start := time.Now()
 	ctx, sp := obs.StartSpan(ctx, "scan.file")
 	defer sp.End()
+	res, prov, src, finished := e.loadFile(ctx, path)
+	if !finished {
+		res, prov = e.scanSource(ctx, ins, path, src)
+	}
+	res.Duration = time.Since(start)
+	e.auditResult(ctx, res, prov)
+	return res
+}
+
+// loadFile stats and reads path under the engine's size guard. A true
+// finished flag means the file never reaches the pipeline: stat/read
+// failure (Failed) or oversize (degraded on a MaxBytes prefix, never fully
+// read). Duration is left for the caller to stamp.
+func (e *Engine) loadFile(ctx context.Context, path string) (Result, provenance, string, bool) {
 	res := Result{Path: path}
 	info, err := os.Stat(path)
 	if err != nil {
 		res.Verdict = VerdictFailed
 		res.Err = fmt.Errorf("%w: %v", ErrInternal, err)
-		res.Duration = time.Since(start)
-		e.auditResult(ctx, res, provenance{cache: "off", tier: "none"})
-		return res
+		res.Tier = TierNone
+		return res, provenance{cache: "off", tier: TierNone}, "", true
 	}
 	if info.Size() > e.cfg.MaxBytes {
 		res.Bytes = info.Size()
@@ -443,35 +489,61 @@ func (e *Engine) scanFile(ctx context.Context, ins *instruments, path string) Re
 				prov.sha = hexKey(contentKey(prefix))
 			}
 		}
-		prov.tier = tierFor(res.Verdict, false)
-		res.Duration = time.Since(start)
-		e.auditResult(ctx, res, prov)
-		return res
+		res.Tier = tierFor(res.Verdict, false)
+		prov.tier = res.Tier
+		return res, prov, "", true
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		res.Verdict = VerdictFailed
 		res.Err = fmt.Errorf("%w: %v", ErrInternal, err)
-		res.Duration = time.Since(start)
-		e.auditResult(ctx, res, provenance{cache: "off", tier: "none"})
-		return res
+		res.Tier = TierNone
+		return res, provenance{cache: "off", tier: TierNone}, "", true
 	}
-	var prov provenance
-	res, prov = e.scanSource(ctx, ins, path, string(data))
-	res.Duration = time.Since(start)
-	e.auditResult(ctx, res, prov)
-	return res
+	return res, provenance{}, string(data), false
 }
 
 // scanSource runs the guarded pipeline over src and degrades on any
 // structured failure. Duration is left for the caller to stamp. Content
 // already classified cleanly by this engine is answered from the verdict
-// cache without re-running the pipeline. The returned provenance feeds the
-// audit trail; it stays zero-valued (and costs nothing) when auditing is
-// disabled.
+// cache, and — when the triage tier is enabled — plainly benign content is
+// cleared lexically, both without running the pipeline. The returned
+// provenance feeds the audit trail; it stays zero-valued (and costs
+// nothing) when auditing is disabled.
 func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src string) (Result, provenance) {
+	ctx, res, prov, key, state := e.scanSourceFront(ctx, ins, nil, name, src)
+	if state == frontDone {
+		return res, prov
+	}
+	fctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
+	defer cancel()
+	malicious, err := e.classify(fctx, src)
+	return e.finishScan(ctx, res, prov, key, src, malicious, err)
+}
+
+// frontState is scanSourceFront's outcome.
+type frontState int
+
+const (
+	// frontDone: res is final (guard failure, cache hit, or triage clear).
+	frontDone frontState = iota
+	// frontPipeline: the caller owns the pipeline run and must finish with
+	// finishScan.
+	frontPipeline
+	// frontFollower: byte-identical content is already pipeline-bound in
+	// this batch (see batchDedup); finalize after the batch, when the
+	// leader's verdict has landed in the cache.
+	frontFollower
+)
+
+// scanSourceFront runs everything that comes before the full pipeline: the
+// size guard, the verdict cache, batch deduplication, and the triage tier.
+// The returned context carries the stage-timing collector when auditing and
+// must be used for the pipeline.
+func (e *Engine) scanSourceFront(ctx context.Context, ins *instruments, dedup *batchDedup, name, src string) (context.Context, Result, provenance, cacheKey, frontState) {
 	res := Result{Path: name, Bytes: int64(len(src))}
 	var prov provenance
+	var key cacheKey
 	auditing := e.cfg.Audit != nil
 	if auditing {
 		prov.cache = "off"
@@ -482,15 +554,15 @@ func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src str
 		cause := fmt.Errorf("%w: input is %d bytes (limit %d)",
 			ErrTooLarge, len(src), e.cfg.MaxBytes)
 		res.Verdict, res.Malicious, res.Err = e.degrade(ctx, src[:e.cfg.MaxBytes], cause)
+		res.Tier = tierFor(res.Verdict, false)
 		if auditing {
 			// Digest the full input, not the scanned prefix: the audit line
 			// must answer for the content as submitted.
 			prov.sha = hexKey(contentKey(src))
-			prov.tier = tierFor(res.Verdict, false)
+			prov.tier = res.Tier
 		}
-		return res, prov
+		return ctx, res, prov, key, frontDone
 	}
-	var key cacheKey
 	if e.cache != nil || auditing {
 		key = contentKey(src)
 		if auditing {
@@ -498,22 +570,53 @@ func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src str
 		}
 	}
 	if e.cache != nil {
-		if verdict, malicious, ok := e.cache.get(key); ok {
-			ins.cacheHit.Inc()
-			res.Verdict, res.Malicious = verdict, malicious
-			if auditing {
-				prov.cache, prov.tier = "hit", "cache"
+		if verdict, malicious, tier, ok := e.cache.get(key); ok {
+			// A cached triage clear is only as strong a claim as the triage
+			// tier itself: an engine running without triage must recompute,
+			// not alias it to a full verdict.
+			if tier != TierTriage || e.triage != nil {
+				ins.cacheHit.Inc()
+				res.Verdict, res.Malicious = verdict, malicious
+				res.Tier = TierCache
+				if auditing {
+					prov.cache, prov.tier, prov.cacheTier = "hit", TierCache, tier
+				}
+				return ctx, res, prov, key, frontDone
 			}
-			return res, prov
+		}
+		if dedup != nil && !dedup.claim(key) {
+			// Byte-identical content is already bound for the pipeline in
+			// this batch. Don't parse it again: finalize this one after the
+			// batch, when the leader's verdict sits in the cache. Hit/miss
+			// accounting happens then, on the re-check.
+			return ctx, res, prov, key, frontFollower
 		}
 		ins.cacheMis.Inc()
 		if auditing {
 			prov.cache = "miss"
 		}
 	}
-	fctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
-	defer cancel()
-	malicious, err := e.classify(fctx, src)
+	if e.triage != nil && e.triage.Clear(src) {
+		// The lexical pre-filter found nothing suspicious: short-circuit to
+		// benign without parsing. Triage never flags — everything it cannot
+		// clear escalates to the pipeline below the caller.
+		res.Verdict, res.Malicious = VerdictBenign, false
+		res.Tier = TierTriage
+		if e.cache != nil {
+			e.cache.put(key, res.Verdict, res.Malicious, TierTriage)
+		}
+		if auditing {
+			prov.tier = TierTriage
+		}
+		return ctx, res, prov, key, frontDone
+	}
+	return ctx, res, prov, key, frontPipeline
+}
+
+// finishScan turns a pipeline outcome into the final result: clean verdicts
+// are cached as pipeline-tier entries, failures degrade to the fallback.
+func (e *Engine) finishScan(ctx context.Context, res Result, prov provenance, key cacheKey, src string, malicious bool, err error) (Result, provenance) {
+	auditing := e.cfg.Audit != nil
 	if err == nil {
 		res.Malicious = malicious
 		if malicious {
@@ -521,17 +624,19 @@ func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src str
 		} else {
 			res.Verdict = VerdictBenign
 		}
+		res.Tier = TierPipeline
 		if e.cache != nil {
-			e.cache.put(key, res.Verdict, res.Malicious)
+			e.cache.put(key, res.Verdict, res.Malicious, TierPipeline)
 		}
 		if auditing {
-			prov.tier = "pipeline"
+			prov.tier = TierPipeline
 		}
 		return res, prov
 	}
 	res.Verdict, res.Malicious, res.Err = e.degrade(ctx, src, err)
+	res.Tier = tierFor(res.Verdict, false)
 	if auditing {
-		prov.tier = tierFor(res.Verdict, false)
+		prov.tier = res.Tier
 	}
 	return res, prov
 }
@@ -618,6 +723,9 @@ func summarize(results []Result, wall time.Duration) Stats {
 			s.Degraded++
 		case VerdictFailed:
 			s.Failed++
+		}
+		if r.Tier == TierTriage {
+			s.Triaged++
 		}
 		if r.Malicious && r.Verdict != VerdictFailed {
 			s.Flagged++

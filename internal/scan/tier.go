@@ -1,0 +1,26 @@
+package scan
+
+// Tiers: every finished Result names the tier that produced its verdict.
+// The tiered pipeline exists because the corpus cost distribution is wildly
+// asymmetric — most real-world scripts are plainly benign, and spending a
+// full parse + embed + classify on each of them buys nothing. The triage
+// tier answers those in microseconds; everything it cannot clear escalates
+// to the full pipeline, whose behavior is unchanged.
+const (
+	// TierTriage: the lexical pre-filter cleared the script as benign
+	// without parsing (Config.Triage enabled and suspicion below
+	// threshold). Triage never produces a malicious verdict.
+	TierTriage = "triage"
+	// TierPipeline: the full parse → embed → classify pipeline decided.
+	TierPipeline = "pipeline"
+	// TierCache: the verdict was served from the verdict cache. The
+	// cached entry remembers its own producing tier (see cacheEntry.tier
+	// and audit.Record.CacheTier).
+	TierCache = "cache"
+	// TierFallback: the pipeline could not finish and the heuristic
+	// fallback answered (Verdict is degraded).
+	TierFallback = "fallback"
+	// TierNone: nothing produced a verdict (failed; fallback disabled or
+	// itself broken).
+	TierNone = "none"
+)

@@ -25,6 +25,7 @@ type verdictLine struct {
 	Name       string  `json:"name"`
 	Verdict    string  `json:"verdict"`
 	Malicious  bool    `json:"malicious"`
+	Tier       string  `json:"tier,omitempty"`
 	Reason     string  `json:"reason,omitempty"`
 	Error      string  `json:"error,omitempty"`
 	Bytes      int64   `json:"bytes"`
@@ -37,6 +38,7 @@ func toLine(r scan.Result) verdictLine {
 		Name:       r.Path,
 		Verdict:    r.Verdict.String(),
 		Malicious:  r.Malicious,
+		Tier:       r.Tier,
 		Bytes:      r.Bytes,
 		DurationMS: float64(r.Duration.Microseconds()) / 1000,
 	}

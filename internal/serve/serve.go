@@ -585,6 +585,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		"verdict":   res.Verdict.String(),
 		"malicious": res.Malicious,
 	}
+	if res.Tier != "" {
+		resp["tier"] = res.Tier
+	}
 	if res.Err != nil {
 		resp["error"] = res.Err.Error()
 		resp["reason"] = scan.Reason(res.Err)

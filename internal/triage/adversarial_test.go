@@ -1,0 +1,134 @@
+package triage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/obfuscate"
+)
+
+// The adversarial suite pins the triage tier's one-sided error contract at
+// the default threshold: everything the full pipeline must see — malicious
+// corpus samples (pristine and in-the-wild transformed), all four
+// evaluation obfuscators' outputs, and the parser-killing pathological
+// corpus — escalates. Zero triage false negatives is the acceptance bar;
+// a benign script escalating merely wastes microseconds.
+
+func defaultScorer() *Scorer {
+	return New(Config{Threshold: DefaultThreshold})
+}
+
+// TestMaliciousCorpusEscalates sweeps multiple corpus seeds, pristine and
+// transformed: no malicious sample may clear.
+func TestMaliciousCorpusEscalates(t *testing.T) {
+	s := defaultScorer()
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, pristine := range []bool{true, false} {
+			samples := corpus.Generate(corpus.Config{Benign: 0, Malicious: 90, Seed: seed, Pristine: pristine})
+			for i, smp := range samples {
+				if s.Clear(smp.Source) {
+					t.Errorf("seed=%d pristine=%v sample=%d family=%s transform=%q cleared: %+v",
+						seed, pristine, i, smp.Family, smp.Transform, s.Score(smp.Source))
+				}
+			}
+		}
+	}
+}
+
+// TestObfuscatorOutputsEscalate feeds every corpus sample — benign and
+// malicious — through each of the paper's four evaluation obfuscators: all
+// outputs must escalate. Obfuscation is precisely the condition under which
+// a lexical tier must not vouch for anything.
+func TestObfuscatorOutputsEscalate(t *testing.T) {
+	s := defaultScorer()
+	samples := corpus.Generate(corpus.Config{Benign: 60, Malicious: 60, Seed: 5, Pristine: true})
+	reg := obfuscate.Registry(17)
+	for _, name := range obfuscate.PaperOrder() {
+		ob, ok := reg[name]
+		if !ok {
+			t.Fatalf("obfuscator %q missing from registry", name)
+		}
+		for i, smp := range samples {
+			out, err := ob.Obfuscate(smp.Source)
+			if err != nil {
+				t.Fatalf("%s: obfuscate sample %d: %v", name, i, err)
+			}
+			if s.Clear(out) {
+				t.Errorf("%s output of sample %d (family=%s malicious=%v) cleared: %+v",
+					name, i, smp.Family, smp.Malicious, s.Score(out))
+			}
+		}
+	}
+}
+
+// TestPathologicalCorpusEscalates: every parser-killing sample in the
+// shared pathological corpus must reach the full pipeline's guards, not be
+// cleared by a tier with no recursion limits to protect.
+func TestPathologicalCorpusEscalates(t *testing.T) {
+	s := defaultScorer()
+	dir := filepath.Join("..", "js", "parser", "testdata", "pathological")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("pathological corpus is empty")
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Clear(string(b)) {
+			t.Errorf("%s cleared: %+v", e.Name(), s.Score(string(b)))
+		}
+	}
+}
+
+// TestFuzzCorpusEscalates runs the parser fuzz corpus seeds (shared crash
+// regressions) through Clear: none may be vouched for.
+func TestFuzzCorpusEscalates(t *testing.T) {
+	s := defaultScorer()
+	dir := filepath.Join("..", "js", "parser", "testdata", "fuzz")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skip("no parser fuzz corpus checked in")
+		}
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Clear(string(b)) {
+			t.Errorf("fuzz seed %s cleared: %+v", e.Name(), s.Score(string(b)))
+		}
+	}
+}
+
+// TestBenignClearRate pins the reason triage exists: the pristine benign
+// corpus must overwhelmingly clear at the default threshold. The bound is
+// deliberately loose (80%) so honest retuning has headroom; the measured
+// rate is logged for EXPERIMENTS.md.
+func TestBenignClearRate(t *testing.T) {
+	s := defaultScorer()
+	samples := corpus.Generate(corpus.Config{Benign: 200, Malicious: 0, Seed: 9, Pristine: true})
+	cleared := 0
+	for _, smp := range samples {
+		if s.Clear(smp.Source) {
+			cleared++
+		}
+	}
+	rate := float64(cleared) / float64(len(samples))
+	t.Logf("pristine benign clear rate at %.2f: %.1f%%", DefaultThreshold, 100*rate)
+	if rate < 0.80 {
+		t.Errorf("clear rate %.2f too low: triage would escalate everything", rate)
+	}
+}

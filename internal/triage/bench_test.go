@@ -1,0 +1,37 @@
+package triage
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkTriage measures the Stage-0 cost per script on representative
+// benign boilerplate — the price every scan pays before the tier decides.
+// The budget is microseconds against the full pipeline's ~0.8ms.
+func BenchmarkTriage(b *testing.B) {
+	s := New(Config{Threshold: DefaultThreshold})
+	src := strings.Repeat(benignSample, 4) // ~2.5KB, typical script size
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Clear(src) == false {
+			b.Fatal("benchmark input escalated")
+		}
+	}
+}
+
+// BenchmarkTriageEscalate is the marker-dense worst case: the scorer still
+// pays one pass, then the pipeline takes over.
+func BenchmarkTriageEscalate(b *testing.B) {
+	s := New(Config{Threshold: DefaultThreshold})
+	src := strings.Repeat(benignSample+"eval(atob(x));\n", 4)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Clear(src) {
+			b.Fatal("benchmark input cleared")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package triage
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzTriage pins the scorer's robustness contract on arbitrary bytes: no
+// panic, no unbounded loop (every byte is visited exactly once), a
+// suspicion score inside [0, 1], determinism, and the MinBytes escalation
+// floor. The scan engine calls Score before any validation, so this is the
+// first code hostile input reaches.
+func FuzzTriage(f *testing.F) {
+	f.Add("")
+	f.Add("var a = 1;")
+	f.Add(`eval(unescape("%u9090%u9090"))`)
+	f.Add(strings.Repeat("{", 2000))
+	f.Add(strings.Repeat(`\x41`, 500))
+	f.Add("\x00\x01\xfe\xff\"'`\\")
+	f.Add(`"unterminated`)
+	f.Add("id‮right_to_left")
+	f.Add(strings.Repeat("_0x1a2b['\\x61'](", 100))
+
+	s := New(Config{Threshold: DefaultThreshold})
+	f.Fuzz(func(t *testing.T, src string) {
+		start := time.Now()
+		sc := s.Score(src)
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("Score took %v on %d bytes", d, len(src))
+		}
+		if sc.Suspicion < 0 || sc.Suspicion > 1 || math.IsNaN(sc.Suspicion) {
+			t.Fatalf("suspicion %v out of [0,1]", sc.Suspicion)
+		}
+		want := len(src)
+		if want > DefaultMaxBytes {
+			want = DefaultMaxBytes
+		}
+		if sc.Bytes != want {
+			t.Fatalf("scored %d bytes, want %d", sc.Bytes, want)
+		}
+		if sc != s.Score(src) {
+			t.Fatal("non-deterministic score")
+		}
+		if len(src) < DefaultMinBytes && s.Clear(src) {
+			t.Fatalf("cleared %d-byte input below MinBytes", len(src))
+		}
+	})
+}

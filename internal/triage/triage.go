@@ -1,0 +1,541 @@
+// Package triage is the Stage-0 tier of the scan pipeline: a single-pass,
+// allocation-free lexical scanner that separates obviously-benign scripts
+// from everything that deserves the full parse → path-context → embed →
+// classify pipeline. The JSRevealer paper's own premise is that obfuscation
+// leaves loud lexical fingerprints — high byte entropy, eval/atob density,
+// hex- and base64-encoded blobs, machine-generated identifiers — and
+// ScriptNet-style sequence detectors show such signals need no parse at
+// all. Triage measures them in one bounded pass over the raw bytes (a few
+// microseconds for typical scripts, versus ~0.8ms for the full pipeline)
+// and emits a bounded suspicion score in [0, 1].
+//
+// The contract is deliberately asymmetric: a script scoring at or above the
+// escalation threshold pays the full pipeline exactly as before, so a false
+// *positive* costs only the microseconds triage spent. A false *negative* —
+// a malicious script cleared as benign — is the failure mode that matters,
+// so the scorer is tuned loud: every signal any of the repo's obfuscators
+// or malicious corpus families emits trips it (asserted by the adversarial
+// suite in adversarial_test.go), inputs too short to measure always
+// escalate, and so do inputs whose lexical shape suggests the parser would
+// struggle (escape floods, degenerate repetition, binary garbage) — those
+// must reach the hardened engine's guards and fallback, not be waved
+// through.
+package triage
+
+import "math"
+
+// Defaults for Config zero values.
+const (
+	// DefaultThreshold is the tuned escalation threshold: the suspicion
+	// score at or above which a script escalates to the full pipeline.
+	// EXPERIMENTS.md records the threshold sweep behind this value — at 0.30
+	// the malicious corpus (raw, transformed, and all four obfuscators)
+	// escalates with zero false negatives while the bulk of pristine benign
+	// boilerplate clears.
+	DefaultThreshold = 0.30
+	// DefaultMaxBytes caps the bytes one Score examines. Suspicion answers
+	// for the scanned prefix; anything a 128KiB prefix cannot vouch for is
+	// the full pipeline's problem (the scan engine's own MaxBytes guard
+	// still applies to escalated content).
+	DefaultMaxBytes = 128 << 10
+	// DefaultMinBytes is the floor below which scripts always escalate:
+	// lexical statistics over a handful of bytes are meaningless, and a
+	// tiny script costs the full pipeline almost nothing anyway.
+	DefaultMinBytes = 64
+)
+
+// Config tunes the triage tier. The zero value disables it: a Threshold of
+// 0 (or less) means every script escalates, which is exactly the pipeline's
+// pre-triage behaviour.
+type Config struct {
+	// Threshold is the suspicion score in (0, 1] at or above which a script
+	// escalates to the full pipeline; scripts scoring below it are cleared
+	// as benign by the triage tier. <= 0 disables triage entirely.
+	Threshold float64
+	// MaxBytes caps the bytes examined per script; <= 0 means
+	// DefaultMaxBytes.
+	MaxBytes int
+	// MinBytes is the size floor below which scripts always escalate;
+	// <= 0 means DefaultMinBytes.
+	MinBytes int
+}
+
+// Enabled reports whether this configuration clears anything at all.
+func (c Config) Enabled() bool { return c.Threshold > 0 }
+
+func (c Config) withDefaults() Config {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.MinBytes <= 0 {
+		c.MinBytes = DefaultMinBytes
+	}
+	return c
+}
+
+// Score is the decomposed lexical measurement of one script. Suspicion is
+// the bounded headline number; the component fields exist so operators (and
+// the threshold-sweep experiment) can see *why* a script escalated.
+type Score struct {
+	// Bytes is how many bytes were examined (the MaxBytes-capped prefix).
+	Bytes int
+	// Entropy is the Shannon entropy of the examined bytes, in bits/byte.
+	Entropy float64
+	// MarkerWeight is the capped, weighted count of dynamic-code and
+	// decoder markers (eval(, new Function, atob(, unescape(,
+	// fromCharCode, document.write, ActiveXObject, ...).
+	MarkerWeight float64
+	// EscapeCount counts \x, \u, and %u escape sequences — the hex/unicode
+	// escape floods packers emit.
+	EscapeCount int
+	// EncodedStringBytes counts bytes inside long string literals made
+	// exclusively of base64/hex alphabet characters.
+	EncodedStringBytes int
+	// StringBytes counts all bytes inside string literals.
+	StringBytes int
+	// MaxStringLen is the longest string literal seen.
+	MaxStringLen int
+	// IdentCount and SuspiciousIdents drive the identifier-obfuscation
+	// ratio: `_0x` hex names, names with interior `$` separators, random-
+	// case gibberish, and very long machine-generated names count as
+	// suspicious.
+	IdentCount, SuspiciousIdents int
+	// ConcatSplits counts string-literal concatenation seams ("ev" + "al"
+	// shapes): string-splitting obfuscation produces them in bulk.
+	ConcatSplits int
+	// WeirdBytes counts control and non-ASCII bytes outside the ordinary
+	// source-text repertoire.
+	WeirdBytes int
+	// Repetition is the highest short-period self-similarity ratio (period
+	// 1–4) over non-space bytes: degenerate inputs like `((((((` or
+	// `new new new ...` approach 1.0.
+	Repetition float64
+	// Suspicion is the bounded combination of the above in [0, 1].
+	Suspicion float64
+}
+
+// Scorer scores scripts under one Config. It is stateless between calls
+// and safe for concurrent use.
+type Scorer struct {
+	cfg Config
+}
+
+// New builds a scorer; zero cfg fields other than Threshold take the
+// package defaults.
+func New(cfg Config) *Scorer {
+	return &Scorer{cfg: cfg.withDefaults()}
+}
+
+// Config returns the scorer's effective (defaulted) configuration.
+func (s *Scorer) Config() Config { return s.cfg }
+
+// Clear reports whether triage clears src as benign: the configuration is
+// enabled, the script is long enough to measure, and its suspicion score
+// falls below the threshold. Everything else escalates.
+func (s *Scorer) Clear(src string) bool {
+	if !s.cfg.Enabled() || len(src) < s.cfg.MinBytes {
+		return false
+	}
+	return s.Score(src).Suspicion < s.cfg.Threshold
+}
+
+// markers are the dynamic-code, decoder, and environment-probing substrings
+// whose density the paper's background section (and the ZOZZLE/JSTAP
+// lineage) treats as the classic drive-by tells. Matching is case-sensitive
+// because JavaScript is: a working payload must spell eval in lowercase.
+var markers = [...]struct {
+	text   string
+	weight float64
+	// digitAfter additionally requires a decimal digit right after the
+	// match: `http://` + digit is a raw-IP URL, the classic
+	// compromised-site beacon/exfil shape, while `http://` + hostname is
+	// everyday code.
+	digitAfter bool
+}{
+	{text: "eval(", weight: 1.5},
+	{text: "unescape(", weight: 1.5},
+	{text: "fromCharCode", weight: 1.0},
+	{text: "new Function", weight: 1.5},
+	{text: "atob(", weight: 1.5},
+	{text: "btoa(", weight: 0.5},
+	{text: "execScript", weight: 2.0},
+	{text: "ActiveXObject", weight: 2.0},
+	{text: "WScript.", weight: 2.0},
+	{text: "document.write(", weight: 1.0},
+	{text: "document.cookie", weight: 1.0},
+	{text: "document.hidden", weight: 1.0},
+	{text: "charCodeAt", weight: 0.5},
+	{text: "setTimeout(", weight: 0.25},
+	{text: "setInterval(", weight: 0.25},
+	{text: "CryptoJS.", weight: 1.0},
+	{text: "shellexecute", weight: 2.5},
+	{text: "callPhantom", weight: 1.5},
+	{text: "navigator.", weight: 0.75},
+	{text: "hardwareConcurrency", weight: 1.0},
+	{text: "visibilitychange", weight: 1.0},
+	{text: "cardnumber", weight: 1.5},
+	{text: "cardholder", weight: 1.0},
+	{text: "cvv", weight: 1.5},
+	{text: "http://", weight: 2.0, digitAfter: true},
+	{text: "https://", weight: 2.0, digitAfter: true},
+	// Character-level string surgery: split-to-chars / rejoin-with-nothing
+	// is how reversed or chunked payloads get reassembled at runtime.
+	{text: `split("")`, weight: 1.0},
+	{text: `reverse()`, weight: 0.75},
+	{text: `join("")`, weight: 0.75},
+	{text: `split('')`, weight: 1.0},
+	{text: `join('')`, weight: 0.75},
+}
+
+// markerCap bounds each marker's counted occurrences so one repeated token
+// cannot dominate unboundedly.
+const markerCap = 4
+
+// markerIndex maps a first byte to the candidate marker indices starting
+// with it, so the per-byte dispatch is one table load for the overwhelming
+// majority of bytes that begin no marker.
+var markerIndex [256][]uint8
+
+func init() {
+	for i, m := range markers {
+		b := m.text[0]
+		markerIndex[b] = append(markerIndex[b], uint8(i))
+	}
+}
+
+// byte classification tables, precomputed so the scan loop is pure table
+// lookups. identChar covers ASCII identifier constituents; b64Char the
+// base64 alphabet (hex strings are a subset).
+var (
+	identChar [256]bool
+	b64Char   [256]bool
+)
+
+func init() {
+	for c := byte('a'); c <= 'z'; c++ {
+		identChar[c] = true
+	}
+	for c := byte('A'); c <= 'Z'; c++ {
+		identChar[c] = true
+	}
+	for c := byte('0'); c <= '9'; c++ {
+		identChar[c] = true
+	}
+	identChar['_'], identChar['$'] = true, true
+	for c := byte('a'); c <= 'z'; c++ {
+		b64Char[c] = true
+	}
+	for c := byte('A'); c <= 'Z'; c++ {
+		b64Char[c] = true
+	}
+	for c := byte('0'); c <= '9'; c++ {
+		b64Char[c] = true
+	}
+	b64Char['+'], b64Char['/'] = true, true
+	b64Char['='] = true
+}
+
+// encodedStringMin is the length past which an all-base64/hex string
+// literal counts as an encoded blob.
+const encodedStringMin = 24
+
+// Score measures src in one bounded pass. It allocates nothing, never
+// panics on arbitrary bytes (the adversarial and fuzz suites pin both), and
+// its cost is linear in min(len(src), MaxBytes).
+func (s *Scorer) Score(src string) Score {
+	if n := s.cfg.MaxBytes; len(src) > n {
+		src = src[:n]
+	}
+	sc := Score{Bytes: len(src)}
+	if len(src) == 0 {
+		// Nothing measurable; Clear already escalates short inputs, and an
+		// explicit zero score keeps the fuzz contract trivial.
+		return sc
+	}
+
+	var hist [256]int32
+	// rep[k] counts positions whose byte equals the byte k back, over
+	// non-space bytes; repN is the comparison base.
+	var rep [5]int
+	repN := 0
+
+	// String-literal state.
+	var quote byte   // 0 = not in a string; otherwise ' " or `
+	escaped := false // previous byte was a backslash inside a string
+	curLen := 0      // current literal's length
+	curB64 := true   // current literal is all base64/hex alphabet so far
+
+	// Identifier state (outside strings).
+	identLen := 0
+	identHexName := false // matches the _0x machine-name prefix
+	identDollars := 0     // interior `$` separators ($fog$xxxx shapes)
+	caseFlips := 0        // upper/lower alternations (random-case gibberish)
+	lastCase := 0         // 1 = lower, 2 = upper, 0 = neither yet
+
+	// Concat-seam state: 1 = just closed a string literal, 2 = saw `+`
+	// after it; an opening quote in state 2 is one split seam.
+	seam := 0
+
+	closeString := func() {
+		sc.StringBytes += curLen
+		if curLen > sc.MaxStringLen {
+			sc.MaxStringLen = curLen
+		}
+		if curB64 && curLen >= encodedStringMin {
+			sc.EncodedStringBytes += curLen
+		}
+		quote, curLen, curB64 = 0, 0, true
+	}
+	closeIdent := func() {
+		if identLen > 0 {
+			sc.IdentCount++
+			switch {
+			case identHexName && identLen > 3: // _0x…
+				sc.SuspiciousIdents++
+			case identLen >= 24: // machine-generated mega-name
+				sc.SuspiciousIdents++
+			case identDollars > 0 && identLen >= 5: // $fog$xxxx shapes
+				sc.SuspiciousIdents++
+			case identLen >= 6 && caseFlips*2 >= identLen: // aKqRtz gibberish
+				sc.SuspiciousIdents++
+			}
+		}
+		identLen, identHexName = 0, false
+		identDollars, caseFlips, lastCase = 0, 0, 0
+	}
+
+	// matchMarkers runs the first-byte dispatch at a word-start offset.
+	n := len(src)
+	matchMarkers := func(i int, c byte) {
+		for _, mi := range markerIndex[c] {
+			m := &markers[mi]
+			if !matchAt(src, i, m.text) {
+				continue
+			}
+			if m.digitAfter {
+				j := i + len(m.text)
+				if j >= n || src[j] < '0' || src[j] > '9' {
+					continue
+				}
+			}
+			sc.MarkerWeight += m.weight
+			break
+		}
+	}
+
+	prevIdent := false
+	for i := 0; i < n; i++ {
+		c := src[i]
+		hist[c]++
+		wordStart := identChar[c] && !prevIdent
+		prevIdent = identChar[c]
+
+		// Short-period self-similarity over non-space bytes: degenerate
+		// parser-killers ((((((…, !!!!!…, 1?1?1?…, new new new …) light
+		// this up without tripping on ordinary indentation runs.
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			if i >= 4 {
+				repN++
+				for k := 1; k <= 4; k++ {
+					if src[i-k] == c {
+						rep[k]++
+					}
+				}
+			}
+		}
+
+		if c < 9 || (c > 13 && c < 32) || c >= 0x7f {
+			sc.WeirdBytes++
+		}
+
+		if quote != 0 {
+			// Inside a string literal. Markers still count: the tells that
+			// live in string data (payment-field names, event names, raw-IP
+			// URLs) are exactly the ones obfuscators cannot move elsewhere.
+			if wordStart && !escaped {
+				matchMarkers(i, c)
+			}
+			curLen++
+			if escaped {
+				escaped = false
+				if c == 'x' || c == 'u' {
+					sc.EscapeCount++
+				}
+				curB64 = false
+				continue
+			}
+			switch {
+			case c == '\\':
+				escaped = true
+			case c == quote:
+				curLen-- // the closing quote is not content
+				closeString()
+				seam = 1
+			case quote != '`' && (c == '\n' || c == '\r'):
+				// An unterminated single- or double-quoted literal ends at
+				// the line break (the lexer would reject it anyway).
+				closeString()
+			default:
+				if !b64Char[c] {
+					curB64 = false
+				}
+			}
+			continue
+		}
+
+		// Outside strings: identifier tracking, string openings, markers.
+		if identChar[c] {
+			if wordStart {
+				// Every marker begins with an identifier character, so word
+				// starts are the only anchors that can begin one.
+				matchMarkers(i, c)
+			}
+			identLen++
+			switch identLen {
+			case 1:
+				identHexName = c == '_'
+			case 2:
+				identHexName = identHexName && c == '0'
+			case 3:
+				identHexName = identHexName && c == 'x'
+			}
+			if c == '$' && identLen > 1 {
+				identDollars++
+			}
+			switch {
+			case c >= 'a' && c <= 'z':
+				if lastCase == 2 {
+					caseFlips++
+				}
+				lastCase = 1
+			case c >= 'A' && c <= 'Z':
+				if lastCase == 1 {
+					caseFlips++
+				}
+				lastCase = 2
+			}
+			seam = 0
+			// A 1–2 byte "identifier" ending here is ordinary (i, j, el);
+			// the suspicious shapes are decided at close.
+			continue
+		}
+		closeIdent()
+
+		switch c {
+		case '\'', '"', '`':
+			if seam == 2 {
+				sc.ConcatSplits++
+			}
+			seam = 0
+			quote, curLen, curB64 = c, 0, true
+			continue
+		case ' ', '\t', '\n', '\r':
+			// Whitespace keeps the concat-seam state alive.
+			continue
+		case '+':
+			if seam == 1 {
+				seam = 2
+				continue
+			}
+		case '\\':
+			// Escape outside a string (regex or broken input); \x / \u
+			// floods count wherever they appear.
+			if i+1 < n && (src[i+1] == 'x' || src[i+1] == 'u') {
+				sc.EscapeCount++
+			}
+		case '%':
+			if i+1 < n && src[i+1] == 'u' {
+				sc.EscapeCount++
+			}
+		}
+		seam = 0
+	}
+	if quote != 0 {
+		closeString()
+	}
+	closeIdent()
+	if sc.MarkerWeight > markerCap*2.5 {
+		sc.MarkerWeight = markerCap * 2.5
+	}
+
+	// Entropy over the byte histogram.
+	total := float64(len(src))
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		sc.Entropy -= p * math.Log2(p)
+	}
+	if repN > 0 {
+		best := 0
+		for k := 1; k <= 4; k++ {
+			if rep[k] > best {
+				best = rep[k]
+			}
+		}
+		sc.Repetition = float64(best) / float64(repN)
+	}
+
+	sc.Suspicion = s.combine(&sc)
+	return sc
+}
+
+// combine folds the component measurements into the bounded suspicion
+// score. Weights are tuned against the repo's corpora (see the sweep in
+// EXPERIMENTS.md); each component is individually clamped so no single
+// signal can push the sum past what its weight allows.
+func (s *Scorer) combine(sc *Score) float64 {
+	n := float64(sc.Bytes)
+	v := 0.0
+
+	// Entropy: packed/encoded blobs push past ~5.4 bits/byte; degenerate
+	// repetition drags below ~3.2. Ordinary source sits in between.
+	if sc.Bytes >= 256 {
+		v += 0.45 * clamp01((sc.Entropy-5.3)/0.5)
+		v += 0.45 * clamp01((3.2-sc.Entropy)/1.0)
+	}
+	// Marker density: a couple of weighted hits is already worth
+	// escalating for.
+	v += 0.60 * clamp01(sc.MarkerWeight/3.0)
+	// Escape floods: \x41\x41… and %u9090 sleds.
+	v += 0.50 * clamp01(float64(sc.EscapeCount)/48.0)
+	// Encoded blobs: long base64/hex-only literals relative to size.
+	v += 0.45 * clamp01(4.0*float64(sc.EncodedStringBytes)/n)
+	// Very long single literals (spray blocks, inlined payloads).
+	v += 0.30 * clamp01((float64(sc.MaxStringLen)-512)/2048)
+	// Machine-generated identifiers (_0x…, $fog$…, random-case gibberish):
+	// both as a fraction of all names and in absolute density, so a thin
+	// obfuscation layer over mostly-untouched code still registers.
+	if sc.IdentCount > 0 {
+		v += 0.50 * clamp01(3.0*float64(sc.SuspiciousIdents)/float64(sc.IdentCount))
+	}
+	v += 0.40 * clamp01(float64(sc.SuspiciousIdents)/10.0)
+	// String-splitting seams ("ev" + "al"): a handful is idiom, dozens per
+	// KB is an obfuscator.
+	v += 0.45 * clamp01(float64(sc.ConcatSplits)/(4.0+n/200.0))
+	// Binary garbage and control characters.
+	v += 0.60 * clamp01(20.0*float64(sc.WeirdBytes)/n)
+	// Degenerate short-period repetition (parser-killers).
+	v += 0.60 * clamp01((sc.Repetition-0.70)/0.20)
+
+	return clamp01(v)
+}
+
+// matchAt reports whether pat occurs in s at offset i.
+func matchAt(s string, i int, pat string) bool {
+	if i+len(pat) > len(s) {
+		return false
+	}
+	return s[i:i+len(pat)] == pat
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,173 @@
+package triage
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// benignSample is hand-written boilerplate of the kind triage exists to
+// clear: plain identifiers, short strings, no dynamic-code markers.
+const benignSample = `
+function formatPrice(value, currency) {
+  var amount = Math.round(value * 100) / 100;
+  return currency + " " + amount.toFixed(2);
+}
+var cart = [];
+function addItem(name, price, qty) {
+  cart.push({ name: name, price: price, qty: qty });
+  updateTotal();
+}
+function updateTotal() {
+  var total = 0;
+  for (var i = 0; i < cart.length; i++) {
+    total += cart[i].price * cart[i].qty;
+  }
+  var label = document.getElementById("total");
+  if (label) {
+    label.textContent = formatPrice(total, "USD");
+  }
+}
+`
+
+func TestDefaults(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	cfg := s.Config()
+	if cfg.MaxBytes != DefaultMaxBytes || cfg.MinBytes != DefaultMinBytes {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Error("threshold set but Enabled() = false")
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config must be disabled")
+	}
+	if (Config{Threshold: -1}).Enabled() {
+		t.Error("negative threshold must be disabled")
+	}
+}
+
+func TestDisabledNeverClears(t *testing.T) {
+	s := New(Config{}) // Threshold 0: triage off
+	if s.Clear(benignSample) {
+		t.Error("disabled scorer cleared a script")
+	}
+}
+
+func TestShortInputsEscalate(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	for _, src := range []string{"", "x", "var a = 1;", strings.Repeat("a", DefaultMinBytes-1)} {
+		if s.Clear(src) {
+			t.Errorf("cleared %d-byte input below MinBytes", len(src))
+		}
+	}
+}
+
+func TestBenignClears(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	if !s.Clear(benignSample) {
+		t.Fatalf("benign boilerplate escalated: %+v", s.Score(benignSample))
+	}
+}
+
+func TestMarkersEscalate(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	evil := benignSample + `
+var payload = unescape("%u9090%u9090");
+eval(atob("ZXZpbCgp"));
+document.write(unescape(payload));
+`
+	sc := s.Score(evil)
+	if sc.MarkerWeight < 3 {
+		t.Errorf("marker weight = %v, want the eval/atob/unescape cluster counted", sc.MarkerWeight)
+	}
+	if s.Clear(evil) {
+		t.Errorf("marker-dense script cleared: %+v", sc)
+	}
+	// The same markers mid-identifier must NOT count: medieval(, clatob(.
+	noisy := strings.ReplaceAll(benignSample, "formatPrice", "medievalPrice")
+	if got := s.Score(noisy).MarkerWeight; got != s.Score(benignSample).MarkerWeight {
+		t.Errorf("mid-identifier text changed marker weight: %v", got)
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	if e := s.Score(strings.Repeat("a", 1024)).Entropy; e != 0 {
+		t.Errorf("uniform input entropy = %v, want 0", e)
+	}
+	// All 256 byte values equally often: exactly 8 bits/byte.
+	var b strings.Builder
+	for i := 0; i < 4; i++ {
+		for c := 0; c < 256; c++ {
+			b.WriteByte(byte(c))
+		}
+	}
+	if e := s.Score(b.String()).Entropy; math.Abs(e-8) > 1e-9 {
+		t.Errorf("uniform-256 entropy = %v, want 8", e)
+	}
+}
+
+func TestSuspicionBounded(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	for _, src := range []string{
+		"", benignSample,
+		strings.Repeat("eval(unescape(\"%u9090\"));", 500),
+		strings.Repeat("\x00\xff", 4096),
+		strings.Repeat("_0xab12(", 2000),
+	} {
+		if v := s.Score(src).Suspicion; v < 0 || v > 1 || math.IsNaN(v) {
+			t.Errorf("suspicion %v out of [0,1] for %d-byte input", v, len(src))
+		}
+	}
+}
+
+func TestMaxBytesCapsWork(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold, MaxBytes: 128})
+	long := benignSample + strings.Repeat("eval(", 1000)
+	if got := s.Score(long).Bytes; got != 128 {
+		t.Errorf("scored %d bytes, want the 128-byte cap", got)
+	}
+}
+
+func TestEncodedStringDetection(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	src := `var blob = "aGVsbG8gd29ybGQgdGhpcyBpcyBhIGxvbmcgYmFzZTY0IHBheWxvYWQ=";`
+	sc := s.Score(src)
+	if sc.EncodedStringBytes == 0 {
+		t.Errorf("base64 literal not counted: %+v", sc)
+	}
+	if sc.MaxStringLen < 40 {
+		t.Errorf("max string len = %d", sc.MaxStringLen)
+	}
+	// Ordinary prose strings must not count as encoded.
+	if got := s.Score(`var msg = "please enter a valid email address";`).EncodedStringBytes; got != 0 {
+		t.Errorf("prose counted as encoded: %d", got)
+	}
+}
+
+func TestConcatSplitSeams(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	sc := s.Score(`var x = "e" + "v" + "a" + "l" + "(" + "1" + ")";`)
+	if sc.ConcatSplits != 6 {
+		t.Errorf("concat seams = %d, want 6", sc.ConcatSplits)
+	}
+}
+
+// TestScoreAllocFree pins the allocation-free contract: the scorer must be
+// cheap enough to sit in front of every scan with no GC pressure.
+func TestScoreAllocFree(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	src := strings.Repeat(benignSample, 8)
+	if allocs := testing.AllocsPerRun(100, func() { s.Score(src) }); allocs != 0 {
+		t.Errorf("Score allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestScoreDeterministic(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+	a, b := s.Score(benignSample), s.Score(benignSample)
+	if a != b {
+		t.Errorf("scores differ across runs: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,60 @@
+package triage
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/obfuscate"
+)
+
+// TestScoreDistributions logs the suspicion-score distributions that back
+// DefaultThreshold and the EXPERIMENTS.md sweep. Run with -v to see them.
+func TestScoreDistributions(t *testing.T) {
+	s := New(Config{Threshold: DefaultThreshold})
+
+	report := func(name string, scores []float64) {
+		sort.Float64s(scores)
+		q := func(p float64) float64 { return scores[int(p*float64(len(scores)-1))] }
+		below := 0
+		for _, v := range scores {
+			if v < DefaultThreshold {
+				below++
+			}
+		}
+		t.Logf("%-28s n=%3d min=%.3f p10=%.3f p50=%.3f p90=%.3f max=%.3f clear@%.2f=%d (%.0f%%)",
+			name, len(scores), scores[0], q(0.10), q(0.50), q(0.90), scores[len(scores)-1],
+			DefaultThreshold, below, 100*float64(below)/float64(len(scores)))
+	}
+
+	collect := func(samples []corpus.Sample, wantMal bool) []float64 {
+		var out []float64
+		for _, smp := range samples {
+			if smp.Malicious == wantMal {
+				out = append(out, s.Score(smp.Source).Suspicion)
+			}
+		}
+		return out
+	}
+
+	pristine := corpus.Generate(corpus.Config{Benign: 120, Malicious: 120, Seed: 7, Pristine: true})
+	mixed := corpus.Generate(corpus.Config{Benign: 120, Malicious: 120, Seed: 8})
+	report("benign/pristine", collect(pristine, false))
+	report("benign/mixed", collect(mixed, false))
+	report("malicious/pristine", collect(pristine, true))
+	report("malicious/mixed", collect(mixed, true))
+
+	for _, name := range obfuscate.PaperOrder() {
+		ob := obfuscate.Registry(3)[name]
+		var scores []float64
+		for _, smp := range pristine {
+			o, err := ob.Obfuscate(smp.Source)
+			if err != nil {
+				continue
+			}
+			scores = append(scores, s.Score(o).Suspicion)
+		}
+		report(fmt.Sprintf("obf/%s", name), scores)
+	}
+}

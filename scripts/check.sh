@@ -34,6 +34,13 @@ go test -race -short $(go list ./... | grep -v internal/experiments)
 echo "==> go test -race ./internal/queue/..."
 go test -race ./internal/queue/...
 
+# The triage tier is a correctness-critical fast path — a false negative
+# skips the detector entirely — so its full suite (including the
+# adversarial obfuscator/pathological corpus) runs under the race detector
+# unconditionally.
+echo "==> go test -race ./internal/triage/..."
+go test -race ./internal/triage/...
+
 # Serve smoke test: build the CLI, train a tiny model, start the scan
 # service on an ephemeral port (-ready-file publishes the resolved
 # address), and exercise the full serving surface: /healthz, /metrics, a
@@ -49,7 +56,8 @@ go build -o "$tmpdir/jsrevealer" ./cmd/jsrevealer
 "$tmpdir/jsrevealer" train -benign 25 -malicious 25 -seed 7 \
     -model "$tmpdir/model.json" >/dev/null
 "$tmpdir/jsrevealer" serve -addr 127.0.0.1:0 -model "$tmpdir/model.json" \
-    -audit-dir "$tmpdir/audit" -ready-file "$tmpdir/addr" -log-level warn &
+    -audit-dir "$tmpdir/audit" -ready-file "$tmpdir/addr" -log-level warn \
+    -triage-threshold 0.30 &
 serve_pid=$!
 for _ in $(seq 1 100); do
     [ -s "$tmpdir/addr" ] && break
@@ -61,20 +69,26 @@ curl -fsS -o "$tmpdir/healthz" "http://$addr/healthz"
 grep -q '"status":"ok"' "$tmpdir/healthz" || {
     echo "/healthz unhealthy" >&2; exit 1; }
 
-# Streaming batch: three NDJSON records in, one verdict line out per script.
+# Streaming batch: four NDJSON records in, one verdict line out per
+# script. The first three are below triage's size floor and escalate to
+# the full pipeline; long.js is big enough and boring enough to be cleared
+# by the triage tier, which must show up in its verdict line.
 printf '%s\n' \
     '{"name":"a.js","source":"var a = 1;"}' \
     '{"name":"b.js","source":"function f() { return 2; }"}' \
     '{"name":"c.js","source":"var s = unescape(\"%61\"); eval(s);"}' \
+    '{"name":"long.js","source":"function add(a, b) { return a + b; } function sub(a, b) { return a - b; } var total = add(2, 3) + sub(9, 4); console.log(total);"}' \
     > "$tmpdir/batch.ndjson"
 trace_id=4bf92f3577b34da6a3ce929d0e0e4736
 curl -fsS -X POST --data-binary @"$tmpdir/batch.ndjson" \
     -H "traceparent: 00-$trace_id-00f067aa0ba902b7-01" \
     -o "$tmpdir/scanout" "http://$addr/scan"
-[ "$(wc -l < "$tmpdir/scanout")" -eq 3 ] || {
-    echo "/scan did not stream 3 verdict lines" >&2; exit 1; }
+[ "$(wc -l < "$tmpdir/scanout")" -eq 4 ] || {
+    echo "/scan did not stream 4 verdict lines" >&2; exit 1; }
 grep -q '"verdict"' "$tmpdir/scanout" || {
     echo "/scan lines missing verdicts" >&2; exit 1; }
+grep -q '"name":"long.js".*"tier":"triage"' "$tmpdir/scanout" || {
+    echo "/scan did not clear long.js through the triage tier" >&2; exit 1; }
 
 # Trace retention: the caller's trace id must be retrievable from
 # /debug/traces with the serve root span and the engine's file spans.
@@ -143,6 +157,12 @@ grep -q '^jsrevealer_stage_duration_seconds_bucket' "$tmpdir/metrics" || {
     echo "/metrics missing stage histograms" >&2; exit 1; }
 grep -q '^jsrevealer_cache_hits_total' "$tmpdir/metrics" || {
     echo "/metrics missing verdict-cache counters" >&2; exit 1; }
+grep -Eq '^jsrevealer_scan_tier_total\{tier="triage"\} [1-9]' "$tmpdir/metrics" || {
+    echo "/metrics missing a non-zero triage tier counter" >&2; exit 1; }
+grep -Eq '^jsrevealer_scan_tier_total\{tier="pipeline"\} [1-9]' "$tmpdir/metrics" || {
+    echo "/metrics missing a non-zero pipeline tier counter" >&2; exit 1; }
+grep -q '^jsrevealer_scan_tier_duration_seconds_bucket' "$tmpdir/metrics" || {
+    echo "/metrics missing per-tier duration histograms" >&2; exit 1; }
 grep -q '^jsrevealer_serve_queue_depth' "$tmpdir/metrics" || {
     echo "/metrics missing serve queue gauge" >&2; exit 1; }
 grep -q '^jsrevealer_serve_admission_rejects_total' "$tmpdir/metrics" || {
