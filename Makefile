@@ -37,5 +37,6 @@ fuzz:
 	go test -fuzz=FuzzParse -fuzztime=30s ./internal/js/parser/
 	go test -fuzz=FuzzDetect -fuzztime=30s ./internal/scan/
 	go test -fuzz=FuzzTriage -fuzztime=30s ./internal/triage/
+	go test -fuzz=FuzzDeobfuscate -fuzztime=30s ./internal/deobfuscate/
 	go test -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/queue/
 	go test -fuzz=FuzzReplaySegment -fuzztime=30s ./internal/queue/

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"jsrevealer/internal/deobfuscate"
+	"jsrevealer/internal/js/parser"
+)
+
+// runDeob runs the normalization pipeline standalone: one file (or stdin)
+// in, normalized source on stdout, per-pass report on stderr. It is the
+// inspection tool for the same pipeline `detect -deobfuscate` and
+// `serve -deobfuscate` run in front of the classifier.
+func runDeob(args []string) error {
+	fs := flag.NewFlagSet("deob", flag.ContinueOnError)
+	maxRounds := fs.Int("max-rounds", 0, "fixpoint round cap (0 = default)")
+	maxNodes := fs.Int("max-nodes", 0, "tree-growth node budget (0 = default)")
+	timeout := fs.Duration("timeout", 10*time.Second, "normalization deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		src  []byte
+		name string
+		err  error
+	)
+	switch fs.NArg() {
+	case 0:
+		name = "<stdin>"
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		name = fs.Arg(0)
+		src, err = os.ReadFile(name)
+	default:
+		return fmt.Errorf("deob: at most one input file (or stdin)")
+	}
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	pipe := deobfuscate.NewPipeline(deobfuscate.Config{MaxRounds: *maxRounds, MaxNodes: *maxNodes})
+	out, rep, err := pipe.Normalize(ctx, string(src), parser.Limits{})
+	if err != nil {
+		return fmt.Errorf("deob: %s: %w", name, err)
+	}
+	fmt.Print(out)
+
+	fmt.Fprintf(os.Stderr, "jsrevealer: %s: %d rewrites in %d rounds", name, rep.Total(), rep.Rounds)
+	if rep.Truncated != "" {
+		fmt.Fprintf(os.Stderr, " (truncated: %s budget)", rep.Truncated)
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, s := range rep.Stats {
+		if s.Changes == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "jsrevealer:   pass %-10s runs=%d changes=%d (%s)\n",
+			s.Name, s.Runs, s.Changes, s.Duration.Round(10*time.Microsecond))
+	}
+	return nil
+}

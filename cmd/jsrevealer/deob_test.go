@@ -1,0 +1,71 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected into a pipe and returns
+// what f printed.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	ferr := f()
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), ferr
+}
+
+// TestDeobSubcommand: the standalone normalizer must decode a stacked
+// obfuscation (opaque predicate around an eval of folded string literals)
+// down to the plain assignment, and reject malformed invocations.
+func TestDeobSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "obf.js")
+	src := `if (!![]) { eval("var x = \"a\" + \"b\";"); }`
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := captureStdout(t, func() error {
+		_, err := run([]string{"deob", in})
+		return err
+	})
+	if err != nil {
+		t.Fatalf("deob: %v", err)
+	}
+	if !strings.Contains(out, `var x = "ab";`) {
+		t.Errorf("deob output = %q, want the folded assignment", out)
+	}
+	if strings.Contains(out, "eval") || strings.Contains(out, "!![]") {
+		t.Errorf("deob output still carries obfuscation scaffolding: %q", out)
+	}
+
+	// More than one positional argument is an invocation error.
+	if _, err := run([]string{"deob", in, in}); err == nil {
+		t.Error("deob accepted two input files")
+	}
+	// Unparseable input surfaces the parse error rather than exiting 0.
+	bad := filepath.Join(dir, "bad.js")
+	if err := os.WriteFile(bad, []byte("var = = ;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		_, err := run([]string{"deob", bad})
+		return err
+	}); err == nil {
+		t.Error("deob accepted unparseable input")
+	}
+}

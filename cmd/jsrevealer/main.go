@@ -5,12 +5,13 @@
 //	jsrevealer train  [-benign N] [-malicious N] [-seed N] [-train-workers N]
 //	                  [-batch-size N] [-checkpoint-dir DIR] [-resume]
 //	                  [-profile cpu|heap] -model model.json
-//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-cache-size N] [-triage-threshold T] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
+//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-cache-size N] [-triage-threshold T] [-deobfuscate] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
 //	jsrevealer explain -model model.json [-top N]
+//	jsrevealer deob   [-max-rounds N] [-max-nodes N] [-timeout D] [file.js]
 //	jsrevealer serve  [-addr host:port] [-model model.json] [-log-level L]
 //	                  [-max-body N] [-max-batch N] [-max-concurrent N] [-max-queue N]
 //	                  [-rate R] [-burst N] [-max-jobs N] [-job-ttl D] [-drain-timeout D]
-//	                  [-triage-threshold T]
+//	                  [-triage-threshold T] [-deobfuscate]
 //
 // The train subcommand trains on the synthetic corpus, fanning the heavy
 // stages out over -train-workers CPUs (the fitted model is bit-identical at
@@ -34,10 +35,19 @@
 // detect runs files through the hardened scan engine: each file is
 // classified under a per-file deadline (-timeout) with size (-max-bytes),
 // token-count, and parser recursion-depth guards, across -workers
-// concurrent workers. Files the full pipeline cannot classify degrade to a
+// concurrent workers. With -deobfuscate the classifier sees the
+// internal/deobfuscate-normalized source (constant folding, string-array
+// unfolding, eval-of-literal unwrapping, dead-branch elimination, escape
+// decoding); verdicts, cache keys, and audit digests still answer for the
+// original bytes. Files the full pipeline cannot classify degrade to a
 // lexical heuristic and are reported as DEGRADED with the structured reason
 // on stderr. Exit codes: 0 all benign, 1 at least one file flagged
 // malicious, 2 at least one file degraded or failed.
+//
+// deob runs the normalization pipeline standalone: it reads one file (or
+// stdin when no file is given), prints the normalized source to stdout, and
+// reports which passes fired — with change counts and durations — on
+// stderr. Exit code 0 whether or not any pass fired; parse failures exit 1.
 package main
 
 import (
@@ -53,6 +63,7 @@ import (
 
 	"jsrevealer/internal/core"
 	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/deobfuscate"
 	"jsrevealer/internal/obs"
 	"jsrevealer/internal/scan"
 	"jsrevealer/internal/triage"
@@ -71,7 +82,7 @@ func main() {
 // benign, 1 when any file was flagged malicious, 2 when any file errored.
 func run(args []string) (int, error) {
 	if len(args) == 0 {
-		return 0, fmt.Errorf("usage: jsrevealer <train|detect|explain|serve> [flags]")
+		return 0, fmt.Errorf("usage: jsrevealer <train|detect|explain|deob|serve> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -80,6 +91,8 @@ func run(args []string) (int, error) {
 		return runDetect(args[1:])
 	case "explain":
 		return 0, runExplain(args[1:])
+	case "deob":
+		return 0, runDeob(args[1:])
 	case "serve":
 		return 0, runServe(args[1:])
 	default:
@@ -160,6 +173,7 @@ func runDetect(args []string) (code int, err error) {
 	cacheSize := fs.Int("cache-size", 0, "verdict cache entries; 0 = default, negative disables caching of repeated content")
 	triageThreshold := fs.Float64("triage-threshold", 0,
 		"lexical triage threshold in (0,1]: scripts scoring below it are cleared as benign without parsing; 0 disables the triage tier (every file runs the full pipeline)")
+	deob := fs.Bool("deobfuscate", false, "normalize each script through the deobfuscation pipeline before classification")
 	profile := fs.String("profile", "", "write a pprof profile of the run: cpu or heap")
 	profileOut := fs.String("profile-out", "jsrevealer-detect.pprof", "profile output path")
 	statsJSON := fs.String("stats-json", "", "write scan stats and the metrics snapshot as JSON to this path")
@@ -184,11 +198,12 @@ func runDetect(args []string) (code int, err error) {
 		return 0, err
 	}
 	eng := scan.New(det, scan.Config{
-		Workers:   *workers,
-		Timeout:   *timeout,
-		MaxBytes:  *maxBytes,
-		CacheSize: *cacheSize,
-		Triage:    triage.Config{Threshold: *triageThreshold},
+		Workers:     *workers,
+		Timeout:     *timeout,
+		MaxBytes:    *maxBytes,
+		CacheSize:   *cacheSize,
+		Triage:      triage.Config{Threshold: *triageThreshold},
+		Deobfuscate: deobfuscate.Config{Enabled: *deob},
 	})
 	reg := obs.NewRegistry()
 	results, stats := eng.ScanFiles(obs.WithRegistry(context.Background(), reg), files)
@@ -217,8 +232,8 @@ func runDetect(args []string) (code int, err error) {
 		}
 	}
 	fmt.Fprintf(os.Stderr,
-		"jsrevealer: scanned %d (flagged %d, triaged %d, degraded %d, failed %d) in %s; latency p50 %s p99 %s\n",
-		stats.Scanned, stats.Flagged, stats.Triaged, stats.Degraded, stats.Failed,
+		"jsrevealer: scanned %d (flagged %d, triaged %d, deobfuscated %d, degraded %d, failed %d) in %s; latency p50 %s p99 %s\n",
+		stats.Scanned, stats.Flagged, stats.Triaged, stats.Deobfuscated, stats.Degraded, stats.Failed,
 		stats.Wall.Round(time.Millisecond),
 		stats.P50.Round(time.Millisecond), stats.P99.Round(time.Millisecond))
 	fmt.Fprintf(os.Stderr,

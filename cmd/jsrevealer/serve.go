@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"jsrevealer/internal/deobfuscate"
 	"jsrevealer/internal/obs"
 	"jsrevealer/internal/scan"
 	"jsrevealer/internal/serve"
@@ -35,6 +36,8 @@ func runServe(args []string) error {
 	cacheSize := fs.Int("cache-size", 0, "verdict cache entries; 0 = default, negative disables")
 	triageThreshold := fs.Float64("triage-threshold", 0,
 		"lexical triage threshold in (0,1]: scripts scoring below it are cleared as benign without parsing; 0 disables the triage tier")
+	deob := fs.Bool("deobfuscate", false,
+		"normalize scripts through the deobfuscation pipeline before classification; per-request ?deobfuscate= overrides")
 
 	// Serving-subsystem knobs.
 	maxBody := fs.Int64("max-body", serve.DefaultMaxBody, "per-request body cap in bytes")
@@ -71,11 +74,12 @@ func runServe(args []string) error {
 	s, err := serve.New(serve.Config{
 		ModelPath: *model,
 		Scan: scan.Config{
-			Workers:   *workers,
-			Timeout:   *timeout,
-			MaxBytes:  *maxBytes,
-			CacheSize: *cacheSize,
-			Triage:    triage.Config{Threshold: *triageThreshold},
+			Workers:     *workers,
+			Timeout:     *timeout,
+			MaxBytes:    *maxBytes,
+			CacheSize:   *cacheSize,
+			Triage:      triage.Config{Threshold: *triageThreshold},
+			Deobfuscate: deobfuscate.Config{Enabled: *deob},
 		},
 		MaxBody:          *maxBody,
 		MaxBatch:         *maxBatch,

@@ -113,6 +113,11 @@ type Record struct {
 	// StagesMS breaks the duration down by pipeline stage (span name →
 	// milliseconds).
 	StagesMS map[string]float64 `json:"stages_ms,omitempty"`
+	// DeobPasses lists the deobfuscation passes that rewrote the script
+	// before classification, in pipeline order — absent when the stage is
+	// off or no pass fired. Part of verdict provenance: a flag raised on
+	// deobfuscated source names the passes that exposed it.
+	DeobPasses []string `json:"deob_passes,omitempty"`
 }
 
 // Options tunes a Log; zero values select the defaults above.

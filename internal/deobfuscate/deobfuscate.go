@@ -1,0 +1,198 @@
+// Package deobfuscate is the AST-to-AST normalization stage that runs in
+// front of detection: composable rewrite passes that undo the mechanical
+// transforms common obfuscators apply — constant folding, string-array and
+// wrapper unfolding, eval-of-literal unwrapping, dead-branch elimination,
+// and literal/escape normalization — so the detector sees something close
+// to the script the obfuscator started from ("normalize-then-detect").
+//
+// Passes implement the Pass interface and are driven by a Pipeline to a
+// fixpoint: rounds repeat while any pass still changes the tree, bounded by
+// a round cap, a node budget (eval splicing grows the tree), and the
+// context deadline. The Report records which passes fired and how often —
+// that list becomes verdict provenance (`deob_passes`), the same pattern as
+// Result.Tier.
+//
+// Every pass must be semantics-preserving on the constructs it rewrites and
+// conservative everywhere else: when a binding might be shadowed, mutated,
+// or aliased, the pass leaves it alone. Nothing here executes script —
+// loops, dynamic decoding, and environment-dependent code stay as-is and
+// fall through to the detector unchanged.
+package deobfuscate
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/js/printer"
+	"jsrevealer/internal/obs"
+)
+
+// Pipeline budget defaults.
+const (
+	// DefaultMaxRounds caps fixpoint iterations; each round runs every pass
+	// once, so this also caps how many levels of nested eval("...") unwrap.
+	DefaultMaxRounds = 10
+	// DefaultMaxNodes stops the pipeline when the tree grows past this many
+	// nodes (eval splicing is the only pass that can grow it).
+	DefaultMaxNodes = 250_000
+)
+
+// Config tunes the normalization stage. The zero value disables it; with
+// Enabled set, zero budgets select the defaults above.
+type Config struct {
+	// Enabled turns the stage on. Off is a guaranteed zero-cost opt-out:
+	// the scan engine never parses or prints on the normalization path.
+	Enabled bool
+	// MaxRounds caps fixpoint rounds; <= 0 means DefaultMaxRounds.
+	MaxRounds int
+	// MaxNodes is the tree-growth budget; <= 0 means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// Pass is one composable AST-to-AST rewrite. Run mutates prog in place,
+// records per-rewrite counts on rep (Report.Note), and reports whether it
+// changed anything — the pipeline iterates rounds until no pass does.
+// Passes must be safe to re-run on their own output (idempotent at
+// fixpoint) and must never panic on any tree the parser can produce.
+type Pass interface {
+	// Name identifies the pass in reports, metrics, and provenance.
+	Name() string
+	// Run applies the pass to prog, noting rewrite counts on rep.
+	Run(prog *ast.Program, rep *Report) (changed bool)
+}
+
+// DefaultPasses returns the standard pass sequence in application order:
+// fold, strings, constprop, strarray, wrappers, eval, deadcode. Order is a
+// heuristic, not a contract — the fixpoint loop makes any order converge to
+// the same tree; this one just converges in fewer rounds.
+func DefaultPasses() []Pass {
+	return []Pass{
+		foldPass{},
+		stringsPass{},
+		constPropPass{},
+		stringArrayPass{},
+		wrapperPass{},
+		evalPass{},
+		deadCodePass{},
+	}
+}
+
+// PassNames lists the default pass names in order (metric pre-registration
+// and documentation).
+func PassNames() []string {
+	passes := DefaultPasses()
+	out := make([]string, len(passes))
+	for i, p := range passes {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// Pipeline drives a pass sequence to fixpoint under budget. It is
+// stateless between runs and safe for concurrent use.
+type Pipeline struct {
+	passes    []Pass
+	maxRounds int
+	maxNodes  int
+}
+
+// NewPipeline builds a pipeline from cfg. An empty pass list selects
+// DefaultPasses. cfg.Enabled is the caller's concern (the scan engine gates
+// on it); the pipeline itself always runs when asked.
+func NewPipeline(cfg Config, passes ...Pass) *Pipeline {
+	if len(passes) == 0 {
+		passes = DefaultPasses()
+	}
+	p := &Pipeline{passes: passes, maxRounds: cfg.MaxRounds, maxNodes: cfg.MaxNodes}
+	if p.maxRounds <= 0 {
+		p.maxRounds = DefaultMaxRounds
+	}
+	if p.maxNodes <= 0 {
+		p.maxNodes = DefaultMaxNodes
+	}
+	return p
+}
+
+// Run iterates the passes over prog until a full round changes nothing or a
+// budget trips, mutating prog in place. Per-pass change counts and
+// durations are recorded into the registry carried by ctx (obs.Default()
+// otherwise) and into the returned report.
+func (p *Pipeline) Run(ctx context.Context, prog *ast.Program) *Report {
+	rep := newReport(p.passes)
+	ins := newInstruments(obs.FromContext(ctx), p.passes)
+	nodes := ast.Count(prog)
+	for round := 0; round < p.maxRounds; round++ {
+		rep.Rounds = round + 1
+		any := false
+		for _, pass := range p.passes {
+			if ctx.Err() != nil {
+				rep.Truncated = "deadline"
+				ins.finish(rep)
+				return rep
+			}
+			if nodes > p.maxNodes {
+				rep.Truncated = "nodes"
+				ins.finish(rep)
+				return rep
+			}
+			st := rep.stat(pass.Name())
+			before := st.Changes
+			start := time.Now()
+			changed := pass.Run(prog, rep)
+			st.Runs++
+			st.Duration += time.Since(start)
+			ins.observe(pass.Name(), time.Since(start))
+			if changed {
+				any = true
+				if st.Changes == before {
+					// The pass changed the tree without noting a count;
+					// record at least the fact that it fired.
+					st.Changes++
+				}
+			}
+		}
+		if !any {
+			ins.finish(rep)
+			return rep
+		}
+		// Only eval splicing grows the tree; recount once per round, not
+		// per pass.
+		nodes = ast.Count(prog)
+	}
+	rep.Truncated = "rounds"
+	ins.finish(rep)
+	return rep
+}
+
+// Normalize is the source-to-source entry point: parse src under lim, run
+// the pipeline, and print the result. When no pass fires, src is returned
+// byte-identical (no reformatting noise, empty provenance). A parse failure
+// or internal panic returns src unchanged with the error — callers degrade
+// to the original bytes, never lose the script.
+func (p *Pipeline) Normalize(ctx context.Context, src string, lim parser.Limits) (out string, rep *Report, err error) {
+	out = src
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = src, fmt.Errorf("deobfuscate: panic: %v", r)
+			obs.FromContext(ctx).Counter(RunsMetric, runsHelp,
+				obs.Labels{"result": "error"}).Inc()
+		}
+	}()
+	if lim.Cancel == nil {
+		lim.Cancel = ctx.Done()
+	}
+	prog, perr := parser.ParseWithLimits(src, lim)
+	if perr != nil {
+		obs.FromContext(ctx).Counter(RunsMetric, runsHelp,
+			obs.Labels{"result": "error"}).Inc()
+		return src, nil, fmt.Errorf("deobfuscate: parse: %w", perr)
+	}
+	rep = p.Run(ctx, prog)
+	if rep.Total() == 0 {
+		return src, rep, nil
+	}
+	return printer.Print(prog), rep, nil
+}

@@ -1,0 +1,360 @@
+package deobfuscate
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/obs"
+)
+
+func norm(t *testing.T, src string) (string, *Report) {
+	t.Helper()
+	out, rep, err := NewPipeline(Config{}).Normalize(context.Background(), src, parser.Limits{})
+	if err != nil {
+		t.Fatalf("Normalize(%q): %v", src, err)
+	}
+	return out, rep
+}
+
+func wantContains(t *testing.T, out string, subs ...string) {
+	t.Helper()
+	for _, sub := range subs {
+		if !strings.Contains(out, sub) {
+			t.Errorf("output missing %q:\n%s", sub, out)
+		}
+	}
+}
+
+func wantAbsent(t *testing.T, out string, subs ...string) {
+	t.Helper()
+	for _, sub := range subs {
+		if strings.Contains(out, sub) {
+			t.Errorf("output still contains %q:\n%s", sub, out)
+		}
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	out, rep := norm(t, `var a = "ev" + "a" + "l";
+var b = 2 + 3 * 4;
+var c = !0;
+var d = !1;
+var e = (10 ^ 3) ^ 3;
+var f = (7 + 5) - 5;
+var g = true ? "yes" : sideEffect();
+var h = "x" && other;
+var i = 5 % 2;
+var j = 1 < 2;`)
+	wantContains(t, out, `"eval"`, `b = 14`, `c = true`, `d = false`,
+		`e = 10`, `f = 7`, `g = "yes"`, `h = other`, `i = 1`, `j = true`)
+	if got := rep.Fired(); len(got) == 0 || got[0] != "fold" {
+		t.Fatalf("Fired() = %v, want fold first", got)
+	}
+}
+
+func TestFoldLeavesNonFiniteAndSideEffects(t *testing.T) {
+	out, _ := norm(t, `var a = 1 / 0; var b = ![f()]; var c = x + 1;`)
+	wantContains(t, out, "1 / 0", "![f()]", "x + 1")
+}
+
+func TestStringBuiltins(t *testing.T) {
+	out, _ := norm(t, `var a = String.fromCharCode(104, 105);
+var b = parseInt("0x61", 16);
+var c = atob("aGVsbG8=");
+var d = unescape("%61%u0062");
+var e = "gnirts".split("").reverse().join("");
+var f = ["ab", "cd"].join("");
+var g = "abc".charCodeAt(1);
+var h = "abc".length;
+var i = window["eval"];
+var j = decodeURIComponent("%61b");
+var k = "5" + 1;`)
+	wantContains(t, out, `a = "hi"`, `b = 97`, `c = "hello"`, `d = "ab"`,
+		`e = "string"`, `f = "abcd"`, `g = 98`, `h = 3`, `i = window.eval`,
+		`j = "ab"`, `k = "51"`)
+}
+
+func TestRawNormalization(t *testing.T) {
+	out, _ := norm(t, "var a = 0x61; var b = 1e3; var c = '\\x68\\x69';")
+	wantContains(t, out, "a = 97", "b = 1000", `c = "hi"`)
+	wantAbsent(t, out, "0x61", "1e3", "\\x68")
+}
+
+func TestStringArrayDirect(t *testing.T) {
+	// The jfogs shape: a literal pool read by constant index.
+	out, rep := norm(t, `var $fog$0 = ["eval", "charCodeAt", 42];
+var a = $fog$0[0];
+var b = $fog$0[2];`)
+	wantContains(t, out, `a = "eval"`, `b = 42`)
+	wantAbsent(t, out, "$fog$0")
+	found := false
+	for _, name := range rep.Fired() {
+		if name == "strarray" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Fired() = %v, want strarray", rep.Fired())
+	}
+}
+
+func TestStringArrayDecoder(t *testing.T) {
+	// The javascript-obfuscator shape: base64 pool behind a rotating,
+	// modulo-wrapped atob decoder.
+	out, _ := norm(t, `var arr = ["Y2hhcg==", "ZXZhbA==", "YXRvYg=="];
+function dec(i) { return atob(arr[(i + 4) % arr.length]); }
+var a = dec(0);
+var b = dec(-3);`)
+	wantContains(t, out, `a = "eval"`, `b = "eval"`)
+	wantAbsent(t, out, "dec", "arr")
+}
+
+func TestStringArrayMutatedPoolUntouched(t *testing.T) {
+	out, _ := norm(t, `var arr = ["a", "b"];
+arr[0] = "z";
+var a = arr[0];`)
+	wantContains(t, out, `arr[0]`, `var arr`)
+}
+
+func TestStringArrayAliasedPoolUntouched(t *testing.T) {
+	out, _ := norm(t, `var arr = ["a", "b"];
+f(arr);
+var a = arr[0];`)
+	wantContains(t, out, "var a = arr[0]")
+}
+
+func TestWrappers(t *testing.T) {
+	out, _ := norm(t, `function w(g) { return g; }
+function th(g) { return g(); }
+function fwd() { return target.apply(null, arguments); }
+var a = w("plain");
+var b = th(function () { return 1 + 2; });
+var c = fwd("x", 9);`)
+	wantContains(t, out, `a = "plain"`, `b = 3`, `c = target("x", 9)`)
+	wantAbsent(t, out, "function w", "function th", "function fwd")
+}
+
+func TestThunkKeepsThisAndArguments(t *testing.T) {
+	out, _ := norm(t, `function th(g) { return g(); }
+var a = th(function () { return this.x; });
+var b = th(function () { return arguments.length; });`)
+	wantContains(t, out, "this.x", "arguments.length")
+}
+
+func TestEvalUnwrap(t *testing.T) {
+	out, rep := norm(t, `eval("var hidden = document.cookie; send(hidden);");
+var v = eval("40 + 2");
+var f = Function("a", "return a + 1");
+new Function("doWork();")();`)
+	wantContains(t, out, "var hidden = document.cookie", "send(hidden)",
+		"v = 42", "function(a)", "return a + 1", "doWork()")
+	wantAbsent(t, out, `eval("`, `Function("`)
+	found := false
+	for _, name := range rep.Fired() {
+		if name == "eval" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Fired() = %v, want eval", rep.Fired())
+	}
+}
+
+func TestEvalNested(t *testing.T) {
+	out, _ := norm(t, `eval("eval(\"var deep = 7;\")");`)
+	wantContains(t, out, "var deep = 7")
+	wantAbsent(t, out, "eval")
+}
+
+func TestEvalComposedWithDecoders(t *testing.T) {
+	// The corpus-style dropper: payload hidden behind unescape + eval.
+	out, _ := norm(t, `var p = unescape("%76%61%72%20%78%20%3d%20%31%3b");
+eval(p);`)
+	wantContains(t, out, "var x = 1")
+	wantAbsent(t, out, "eval", "unescape")
+}
+
+func TestEvalBadPayloadUntouched(t *testing.T) {
+	out, _ := norm(t, `eval("syntax error ((("); eval(dynamic);`)
+	wantContains(t, out, `eval("syntax error`, "eval(dynamic)")
+}
+
+func TestEvalShadowedUntouched(t *testing.T) {
+	out, _ := norm(t, `function eval(s) { return log(s); }
+eval("var x = 1;");`)
+	wantContains(t, out, `eval("var x = 1;")`)
+}
+
+func TestDeadBranches(t *testing.T) {
+	out, _ := norm(t, `if (!![]) { real(); } else { decoy(); }
+if (false) { dead(); var kept; }
+while (false) { gone(); }
+for (var i = 0; false; i++) { skipped(); }`)
+	wantContains(t, out, "real()", "var kept", "var i = 0")
+	wantAbsent(t, out, "decoy", "dead()", "gone", "skipped")
+}
+
+func TestCleanSourceReturnedVerbatim(t *testing.T) {
+	src := "function add(a, b) {\n  return a + b;\n}\nvar total = add(x, 2);\n"
+	out, rep := norm(t, src)
+	if out != src {
+		t.Fatalf("clean source rewritten:\n%s", out)
+	}
+	if fired := rep.Fired(); len(fired) != 0 {
+		t.Fatalf("Fired() = %v on clean source", fired)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	samples := []string{
+		`var a = "a" + "b"; if (!0) { eval("x(" + "1)"); }`,
+		`var arr = ["YQ=="]; function d(i) { return atob(arr[i]); } use(d(0));`,
+		`var n = -5; var m = 2 - -3; var s = "x" + -1;`,
+		`function w(g) { return g; } go(w(w("deep")));`,
+	}
+	p := NewPipeline(Config{})
+	for _, src := range samples {
+		once, _, err := p.Normalize(context.Background(), src, parser.Limits{})
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", src, err)
+		}
+		twice, _, err := p.Normalize(context.Background(), once, parser.Limits{})
+		if err != nil {
+			t.Fatalf("re-Normalize(%q): %v", once, err)
+		}
+		if once != twice {
+			t.Errorf("not idempotent:\n 1st: %s\n 2nd: %s", once, twice)
+		}
+	}
+}
+
+func TestParseErrorReturnsSource(t *testing.T) {
+	src := "var broken = (((;"
+	out, _, err := NewPipeline(Config{}).Normalize(context.Background(), src, parser.Limits{})
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if out != src {
+		t.Fatalf("out = %q, want original source", out)
+	}
+}
+
+func TestRoundBudgetTruncates(t *testing.T) {
+	// Each round unwraps one eval level; 12 nested levels exceed 3 rounds.
+	src := `var deep = 1;`
+	for i := 0; i < 12; i++ {
+		q := strings.ReplaceAll(src, `\`, `\\`)
+		q = strings.ReplaceAll(q, `"`, `\"`)
+		src = `eval("` + q + `")`
+	}
+	src += ";"
+	_, rep, err := NewPipeline(Config{MaxRounds: 3}).Normalize(context.Background(), src, parser.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated != "rounds" {
+		t.Fatalf("Truncated = %q, want rounds", rep.Truncated)
+	}
+	if rep.Rounds != 3 {
+		t.Fatalf("Rounds = %d, want 3", rep.Rounds)
+	}
+}
+
+func TestCancelledContextTruncates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	prog, err := parser.Parse(`var a = "x" + "y";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewPipeline(Config{}).Run(ctx, prog)
+	if rep.Truncated != "deadline" {
+		t.Fatalf("Truncated = %q, want deadline", rep.Truncated)
+	}
+}
+
+func TestNodeBudgetTruncates(t *testing.T) {
+	_, rep, err := NewPipeline(Config{MaxNodes: 5}).Normalize(context.Background(),
+		`var a = "x" + "y"; var b = 1 + 2; var c = 3 + 4;`, parser.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated != "nodes" {
+		t.Fatalf("Truncated = %q, want nodes", rep.Truncated)
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	_, rep := norm(t, `var a = "x" + "y"; if (true) { b(); }`)
+	if rep.Total() == 0 {
+		t.Fatal("Total() = 0, want rewrites")
+	}
+	byName := map[string]PassStat{}
+	for _, s := range rep.Stats {
+		byName[s.Name] = s
+	}
+	if byName["fold"].Changes == 0 {
+		t.Errorf("fold recorded no changes: %+v", rep.Stats)
+	}
+	if byName["deadcode"].Changes == 0 {
+		t.Errorf("deadcode recorded no changes: %+v", rep.Stats)
+	}
+	if byName["fold"].Runs < 2 {
+		t.Errorf("fold Runs = %d, want at least 2 (fixpoint confirmation)", byName["fold"].Runs)
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	ctx := obs.WithRegistry(context.Background(), reg)
+	_, _, err := NewPipeline(Config{}).Normalize(ctx, `var a = "x" + "y";`, parser.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(PassChangesMetric, changesHelp, obs.Labels{"pass": "fold"}).Value(); got == 0 {
+		t.Errorf("%s{pass=fold} = %d, want > 0", PassChangesMetric, got)
+	}
+	if got := reg.Counter(RunsMetric, runsHelp, obs.Labels{"result": "changed"}).Value(); got != 1 {
+		t.Errorf("%s{result=changed} = %d, want 1", RunsMetric, got)
+	}
+	_, _, err = NewPipeline(Config{}).Normalize(ctx, `var plain = 1;`, parser.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(RunsMetric, runsHelp, obs.Labels{"result": "clean"}).Value(); got != 1 {
+		t.Errorf("%s{result=clean} = %d, want 1", RunsMetric, got)
+	}
+}
+
+func TestConstPropConservatism(t *testing.T) {
+	out, _ := norm(t, `var s = "safe";
+var w = "written";
+w = "other";
+function f(s) { return s; }
+use(s, w, f);`)
+	// s is shadowed by the parameter, w is written: neither may inline.
+	wantContains(t, out, "use(s, w, f)")
+}
+
+func TestConstPropInlines(t *testing.T) {
+	out, _ := norm(t, `var key = "secret";
+send(key, key);`)
+	wantContains(t, out, `send("secret", "secret")`)
+	wantAbsent(t, out, "var key")
+}
+
+func TestDeadlineBudgetWiresIntoParse(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	src := strings.Repeat("var x = 1;\n", 5000)
+	out, _, err := NewPipeline(Config{}).Normalize(ctx, src, parser.Limits{})
+	if out != src {
+		t.Fatal("cancelled normalize must return the original source")
+	}
+	_ = err // either a parse-cancel error or a deadline truncation is fine
+}

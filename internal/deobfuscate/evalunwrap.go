@@ -1,0 +1,177 @@
+package deobfuscate
+
+import (
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/parser"
+)
+
+// Re-parse guards for spliced code. Nesting depth (eval-in-eval) is capped
+// separately by the pipeline's round budget: each round unwraps one level.
+const (
+	evalMaxBytes  = 1 << 20
+	evalMaxDepth  = 500
+	evalMaxTokens = 200_000
+)
+
+// evalPass unwraps code hidden in string literals behind dynamic
+// evaluation. A statement-position `eval("...")` is re-parsed and its
+// statements spliced in place (direct eval runs in the caller's scope, so
+// the splice is exact). An expression-position `eval("...")` whose payload
+// is a single expression becomes that expression. `Function("a", "return
+// a")` and its `new` form become a function expression with the parsed
+// body — revealing the payload at the cost of the Function constructor's
+// global-scope chain, a deviation only observable when an enclosing scope
+// shadows a global the payload uses. Payloads that fail to re-parse are
+// left untouched.
+type evalPass struct{}
+
+// Name implements Pass.
+func (evalPass) Name() string { return "eval" }
+
+// Run implements Pass.
+func (evalPass) Run(prog *ast.Program, rep *Report) bool {
+	bindings := bindingCounts(prog)
+	// A local binding named eval/Function is not the global evaluator.
+	evalOK := bindings["eval"] == 0
+	fnOK := bindings["Function"] == 0
+	if !evalOK && !fnOK {
+		return false
+	}
+
+	n := 0
+	if evalOK {
+		ast.RewriteStatements(prog, func(s ast.Statement) ([]ast.Statement, bool) {
+			es, ok := s.(*ast.ExpressionStatement)
+			if !ok {
+				return nil, false
+			}
+			code, ok := evalArg(es.Expression)
+			if !ok {
+				return nil, false
+			}
+			sub := reparse(code)
+			if sub == nil {
+				return nil, false
+			}
+			n++
+			return sub.Body, true
+		})
+	}
+	ast.RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		if evalOK {
+			if code, ok := evalArg(e); ok {
+				if sub := reparse(code); sub != nil && len(sub.Body) == 1 {
+					if es, ok := sub.Body[0].(*ast.ExpressionStatement); ok {
+						n++
+						return es.Expression
+					}
+				}
+				return e
+			}
+		}
+		if fnOK {
+			if fn := functionOfLiteral(e); fn != nil {
+				n++
+				return fn
+			}
+		}
+		return e
+	})
+	rep.Note("eval", n)
+	return n > 0
+}
+
+// evalArg extracts the payload of `eval("code")`.
+func evalArg(e ast.Expression) (string, bool) {
+	call, ok := e.(*ast.CallExpression)
+	if !ok || len(call.Arguments) != 1 {
+		return "", false
+	}
+	id, ok := call.Callee.(*ast.Identifier)
+	if !ok || id.Name != "eval" {
+		return "", false
+	}
+	l := litOf(call.Arguments[0])
+	if l == nil || l.Kind != ast.LiteralString {
+		return "", false
+	}
+	return l.StrVal, true
+}
+
+// functionOfLiteral rewrites `Function(params..., body)` / `new Function(
+// params..., body)` with all-literal arguments into an explicit function
+// expression.
+func functionOfLiteral(e ast.Expression) ast.Expression {
+	var args []ast.Expression
+	switch x := e.(type) {
+	case *ast.CallExpression:
+		id, ok := x.Callee.(*ast.Identifier)
+		if !ok || id.Name != "Function" {
+			return nil
+		}
+		args = x.Arguments
+	case *ast.NewExpression:
+		id, ok := x.Callee.(*ast.Identifier)
+		if !ok || id.Name != "Function" {
+			return nil
+		}
+		args = x.Arguments
+	default:
+		return nil
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	strs := make([]string, len(args))
+	for i, a := range args {
+		l := litOf(a)
+		if l == nil || l.Kind != ast.LiteralString {
+			return nil
+		}
+		strs[i] = l.StrVal
+	}
+	params := make([]*ast.Identifier, len(strs)-1)
+	for i, p := range strs[:len(strs)-1] {
+		if !identName(p) {
+			return nil // comma-lists and defaults are out of scope
+		}
+		params[i] = &ast.Identifier{Name: p}
+	}
+	body := reparseFunctionBody(strs[len(strs)-1])
+	if body == nil {
+		return nil
+	}
+	return &ast.FunctionExpression{Params: params, Body: body}
+}
+
+// reparseFunctionBody parses a Function-constructor body (which may
+// contain bare `return`) by wrapping it in a function shell. A payload
+// that escapes the shell produces extra top-level statements and is
+// rejected.
+func reparseFunctionBody(code string) *ast.BlockStatement {
+	prog := reparse("function deob_shell_() {\n" + code + "\n}")
+	if prog == nil || len(prog.Body) != 1 {
+		return nil
+	}
+	fd, ok := prog.Body[0].(*ast.FunctionDeclaration)
+	if !ok {
+		return nil
+	}
+	return fd.Body
+}
+
+// reparse parses an embedded payload under tight limits, returning nil on
+// any failure.
+func reparse(code string) *ast.Program {
+	if len(code) > evalMaxBytes {
+		return nil
+	}
+	prog, err := parser.ParseWithLimits(code, parser.Limits{
+		MaxDepth:  evalMaxDepth,
+		MaxTokens: evalMaxTokens,
+	})
+	if err != nil {
+		return nil
+	}
+	return prog
+}

@@ -1,0 +1,223 @@
+package deobfuscate
+
+import (
+	"math"
+
+	"jsrevealer/internal/js/ast"
+)
+
+// foldPass is classic constant folding restricted to exact JS semantics:
+// arithmetic on number literals (finite results only), string
+// concatenation, literal comparisons, bitwise/shift via ToInt32/ToUint32,
+// unary operators on literals, and logical/conditional operators with a
+// literal left side or test. Obfuscators lean on these heavily —
+// `"a"+"b"` chains, JSObfu's `(n^m)^m` arithmetic, `!0`/`!1` booleans.
+type foldPass struct{}
+
+// Name implements Pass.
+func (foldPass) Name() string { return "fold" }
+
+// Run implements Pass.
+func (foldPass) Run(prog *ast.Program, rep *Report) bool {
+	n := 0
+	ast.RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		if out := foldExpr(e); out != nil {
+			n++
+			return out
+		}
+		return e
+	})
+	rep.Note("fold", n)
+	return n > 0
+}
+
+// foldExpr returns the folded replacement for e, or nil to keep it. The
+// rewriter visits bottom-up, so `2+3*4` collapses fully in one run.
+func foldExpr(e ast.Expression) ast.Expression {
+	switch x := e.(type) {
+	case *ast.BinaryExpression:
+		return foldBinary(x)
+	case *ast.UnaryExpression:
+		return foldUnary(x)
+	case *ast.LogicalExpression:
+		l := litOf(x.Left)
+		if l == nil {
+			return nil
+		}
+		// `lit && e` / `lit || e`: the literal decides which operand is the
+		// value; short-circuit semantics make this exact.
+		if truthy(l) == (x.Operator == "&&") {
+			return x.Right
+		}
+		return x.Left
+	case *ast.ConditionalExpression:
+		t := litOf(x.Test)
+		if t == nil {
+			return nil
+		}
+		if truthy(t) {
+			return x.Consequent
+		}
+		return x.Alternate
+	}
+	return nil
+}
+
+// numOperand reads a numeric operand, looking through a unary minus on a
+// literal — the parser has no negative literals, so `2 - -3` arrives as
+// Binary(-, 2, Unary(-, 3)). The unary form is only folded here, as part
+// of a parent fold, never standalone (that would make the pass fire on
+// every benign script containing a negative number).
+func numOperand(e ast.Expression) (float64, bool) {
+	if l := litOf(e); l != nil && l.Kind == ast.LiteralNumber {
+		return l.NumVal, true
+	}
+	if u, ok := e.(*ast.UnaryExpression); ok && u.Operator == "-" {
+		if l := litOf(u.Argument); l != nil && l.Kind == ast.LiteralNumber {
+			return -l.NumVal, true
+		}
+	}
+	return 0, false
+}
+
+func foldBinary(b *ast.BinaryExpression) ast.Expression {
+	if lv, lok := numOperand(b.Left); lok {
+		if rv, rok := numOperand(b.Right); rok {
+			return foldNumeric(b.Operator, lv, rv)
+		}
+	}
+	l, r := litOf(b.Left), litOf(b.Right)
+	if l == nil || r == nil {
+		return nil
+	}
+	if l.Kind == ast.LiteralString && r.Kind == ast.LiteralString {
+		return foldStringOp(b.Operator, l.StrVal, r.StrVal)
+	}
+	if l.Kind == ast.LiteralBool && r.Kind == ast.LiteralBool {
+		switch b.Operator {
+		case "==", "===":
+			return boolLit(l.BoolVal == r.BoolVal)
+		case "!=", "!==":
+			return boolLit(l.BoolVal != r.BoolVal)
+		}
+	}
+	// Mixed `+` with a string side is ToString concatenation.
+	if b.Operator == "+" && (l.Kind == ast.LiteralString || r.Kind == ast.LiteralString) {
+		ls, lok := toString(l)
+		rs, rok := toString(r)
+		if lok && rok {
+			return strLit(ls + rs)
+		}
+	}
+	return nil
+}
+
+// foldNumeric folds a binary operator over two number values. Results that
+// are not finite are left unfolded: the printer has no literal spelling
+// for Infinity or NaN.
+func foldNumeric(op string, l, r float64) ast.Expression {
+	switch op {
+	case "+", "-", "*", "/", "%":
+		var v float64
+		switch op {
+		case "+":
+			v = l + r
+		case "-":
+			v = l - r
+		case "*":
+			v = l * r
+		case "/":
+			v = l / r
+		case "%":
+			v = math.Mod(l, r)
+		}
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return nil
+		}
+		return numLit(v)
+	case "&":
+		return numLit(float64(toInt32(l) & toInt32(r)))
+	case "|":
+		return numLit(float64(toInt32(l) | toInt32(r)))
+	case "^":
+		return numLit(float64(toInt32(l) ^ toInt32(r)))
+	case "<<":
+		return numLit(float64(toInt32(l) << (toUint32(r) & 31)))
+	case ">>":
+		return numLit(float64(toInt32(l) >> (toUint32(r) & 31)))
+	case ">>>":
+		return numLit(float64(toUint32(l) >> (toUint32(r) & 31)))
+	case "<":
+		return boolLit(l < r)
+	case "<=":
+		return boolLit(l <= r)
+	case ">":
+		return boolLit(l > r)
+	case ">=":
+		return boolLit(l >= r)
+	case "==", "===":
+		return boolLit(l == r)
+	case "!=", "!==":
+		return boolLit(l != r)
+	}
+	return nil
+}
+
+func foldStringOp(op string, l, r string) ast.Expression {
+	switch op {
+	case "+":
+		return strLit(l + r)
+	case "<":
+		return boolLit(l < r)
+	case "<=":
+		return boolLit(l <= r)
+	case ">":
+		return boolLit(l > r)
+	case ">=":
+		return boolLit(l >= r)
+	case "==", "===":
+		return boolLit(l == r)
+	case "!=", "!==":
+		return boolLit(l != r)
+	}
+	return nil
+}
+
+func foldUnary(u *ast.UnaryExpression) ast.Expression {
+	switch u.Operator {
+	case "!":
+		if l := litOf(u.Argument); l != nil {
+			return boolLit(!truthy(l))
+		}
+		// `![]` and `!{}` on EMPTY composites only: non-empty ones could
+		// have side-effecting elements. Both are truthy objects.
+		switch a := u.Argument.(type) {
+		case *ast.ArrayExpression:
+			if len(a.Elements) == 0 {
+				return boolLit(false)
+			}
+		case *ast.ObjectExpression:
+			if len(a.Properties) == 0 {
+				return boolLit(false)
+			}
+		}
+	case "+":
+		if l := litOf(u.Argument); l != nil && l.Kind == ast.LiteralNumber {
+			return l
+		}
+	case "typeof":
+		if l := litOf(u.Argument); l != nil {
+			switch l.Kind {
+			case ast.LiteralString:
+				return strLit("string")
+			case ast.LiteralNumber:
+				return strLit("number")
+			case ast.LiteralBool:
+				return strLit("boolean")
+			case ast.LiteralNull:
+				return strLit("object")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package deobfuscate
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jsrevealer/internal/js/parser"
+)
+
+// FuzzDeobfuscate asserts the pipeline's two safety invariants on
+// arbitrary input: whatever parses must normalize to output that re-parses
+// (detection downstream re-parses the normalized source), and a clean
+// (untruncated) fixpoint must be idempotent — normalizing the output again
+// changes nothing. Budgets are chosen so even maximal eval splicing stays
+// inside the printer's depth guard, keeping the re-parse invariant honest.
+func FuzzDeobfuscate(f *testing.F) {
+	seedDir := filepath.Join("..", "js", "parser", "testdata", "pathological")
+	if entries, err := os.ReadDir(seedDir); err == nil {
+		for _, e := range entries {
+			if b, err := os.ReadFile(filepath.Join(seedDir, e.Name())); err == nil {
+				f.Add(string(b))
+			}
+		}
+	}
+	for _, s := range []string{
+		`var a = "ev" + "al"; window[a]("x()");`,
+		`var p = ["YQ==", "Yg=="]; function d(i) { return atob(p[(i + 1) % p.length]); } d(0);`,
+		`eval("eval(\"var x = 1;\")");`,
+		`if (!![]) { f(); } else { g(); } while (false) { var h; }`,
+		`var s = unescape("%61%u0062") + String.fromCharCode(99);`,
+		`function w(g) { return g; } function t(g) { return g(); } t(function () { return w(1); });`,
+		`var n = parseInt("0x61", 16) + -3; var m = "gnirts".split("").reverse().join("");`,
+		`new Function("a", "return a + 1")(2);`,
+	} {
+		f.Add(s)
+	}
+
+	p := NewPipeline(Config{MaxRounds: 4, MaxNodes: 50_000})
+	lim := parser.Limits{MaxDepth: 800, MaxTokens: 100_000}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			t.Skip()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		out, rep, err := p.Normalize(ctx, src, lim)
+		if err != nil {
+			if out != src {
+				t.Fatalf("error path must return the source unchanged")
+			}
+			return
+		}
+		if out == src {
+			return
+		}
+		if _, err := parser.ParseWithLimits(out, lim); err != nil {
+			t.Fatalf("normalized output does not re-parse: %v\nsrc: %q\nout: %q", err, src, out)
+		}
+		if rep.Truncated != "" {
+			return // a budget-cut run makes no fixpoint promise
+		}
+		out2, rep2, err := p.Normalize(ctx, out, lim)
+		if err != nil {
+			t.Fatalf("re-normalize failed: %v\nout: %q", err, out)
+		}
+		if rep2.Truncated == "" && out2 != out {
+			t.Fatalf("not idempotent:\nsrc: %q\n 1st: %q\n 2nd: %q", src, out, out2)
+		}
+	})
+}

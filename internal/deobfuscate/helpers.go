@@ -1,0 +1,295 @@
+package deobfuscate
+
+import (
+	"math"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/printer"
+)
+
+// Literal constructors. New literals carry no Raw text, so the printer
+// emits the canonical spelling.
+
+func numLit(f float64) *ast.Literal {
+	return &ast.Literal{Kind: ast.LiteralNumber, NumVal: f}
+}
+
+func strLit(s string) *ast.Literal {
+	return &ast.Literal{Kind: ast.LiteralString, StrVal: s}
+}
+
+func boolLit(b bool) *ast.Literal {
+	return &ast.Literal{Kind: ast.LiteralBool, BoolVal: b}
+}
+
+// cloneLiteral copies a literal so inlining never shares nodes — passes
+// mutate in place, and an aliased node would let one rewrite corrupt
+// another site.
+func cloneLiteral(l *ast.Literal) *ast.Literal {
+	c := *l
+	return &c
+}
+
+// litOf returns e as a primitive literal, or nil. Regular expressions are
+// excluded: they are objects with identity, not values.
+func litOf(e ast.Expression) *ast.Literal {
+	l, ok := e.(*ast.Literal)
+	if !ok || l.Kind == ast.LiteralRegExp {
+		return nil
+	}
+	return l
+}
+
+// truthy applies JS ToBoolean to a primitive literal.
+func truthy(l *ast.Literal) bool {
+	switch l.Kind {
+	case ast.LiteralString:
+		return l.StrVal != ""
+	case ast.LiteralNumber:
+		return l.NumVal != 0 && !math.IsNaN(l.NumVal)
+	case ast.LiteralBool:
+		return l.BoolVal
+	default: // null
+		return false
+	}
+}
+
+// toString applies JS ToString to a primitive literal. The bool is false
+// when the exact JS spelling cannot be guaranteed (see jsNumberString) —
+// callers must not fold in that case.
+func toString(l *ast.Literal) (string, bool) {
+	switch l.Kind {
+	case ast.LiteralString:
+		return l.StrVal, true
+	case ast.LiteralNumber:
+		return jsNumberString(l.NumVal)
+	case ast.LiteralBool:
+		if l.BoolVal {
+			return "true", true
+		}
+		return "false", true
+	default:
+		return "null", true
+	}
+}
+
+// jsNumberString returns the JS ToString spelling of f when Go's canonical
+// formatting provably matches it. Both sides emit shortest round-trip
+// decimal digits, but they disagree on when to switch to exponent notation
+// (JS holds out to 1e21/1e-6, Go bails earlier) — so only plain decimal
+// output is trusted.
+func jsNumberString(f float64) (string, bool) {
+	s := printer.FormatNumber(f)
+	for i := 0; i < len(s); i++ {
+		if s[i] == 'e' || s[i] == 'E' {
+			return "", false
+		}
+	}
+	return s, true
+}
+
+// toInt32 / toUint32 implement the ToInt32/ToUint32 abstract operations
+// used by the bitwise and shift operators.
+func toInt32(f float64) int32 {
+	return int32(toUint32(f))
+}
+
+func toUint32(f float64) uint32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return uint32(int64(math.Trunc(f)))
+}
+
+// identName reports whether s is a valid ES5 identifier name (ASCII rules
+// only — enough for dot-access normalization) that is not a reserved word.
+func identName(s string) bool {
+	if s == "" || reservedWords[s] {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := c == '_' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+var reservedWords = map[string]bool{
+	"break": true, "case": true, "catch": true, "class": true,
+	"const": true, "continue": true, "debugger": true, "default": true,
+	"delete": true, "do": true, "else": true, "enum": true, "export": true,
+	"extends": true, "false": true, "finally": true, "for": true,
+	"function": true, "if": true, "import": true, "in": true,
+	"instanceof": true, "let": true, "new": true, "null": true,
+	"return": true, "static": true, "super": true, "switch": true,
+	"this": true, "throw": true, "true": true, "try": true, "typeof": true,
+	"var": true, "void": true, "while": true, "with": true, "yield": true,
+}
+
+// hasWith reports whether the program contains a with statement — dynamic
+// scope defeats every binding-based analysis, so scope-sensitive passes
+// refuse the whole program.
+func hasWith(prog *ast.Program) bool {
+	found := false
+	ast.Walk(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.WithStatement); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bindingCounts counts binding occurrences per name: var declarators,
+// function declaration/expression names, parameters, and catch parameters.
+// A name bound exactly once program-wide cannot be shadowed, which is the
+// safety precondition for cross-scope inlining.
+func bindingCounts(prog *ast.Program) map[string]int {
+	counts := make(map[string]int)
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.VariableDeclarator:
+			counts[x.ID.Name]++
+		case *ast.FunctionDeclaration:
+			counts[x.ID.Name]++
+			for _, p := range x.Params {
+				counts[p.Name]++
+			}
+		case *ast.FunctionExpression:
+			if x.ID != nil {
+				counts[x.ID.Name]++
+			}
+			for _, p := range x.Params {
+				counts[p.Name]++
+			}
+		case *ast.CatchClause:
+			counts[x.Param.Name]++
+		}
+		return true
+	})
+	return counts
+}
+
+// writeCounts counts writes per name: assignment targets, updates, deletes,
+// and for-in loop variables that are bare identifiers. Member-expression
+// targets do not count here — they mutate an object, not a binding.
+func writeCounts(prog *ast.Program) map[string]int {
+	counts := make(map[string]int)
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignmentExpression:
+			if id, ok := x.Left.(*ast.Identifier); ok {
+				counts[id.Name]++
+			}
+		case *ast.UpdateExpression:
+			if id, ok := x.Argument.(*ast.Identifier); ok {
+				counts[id.Name]++
+			}
+		case *ast.UnaryExpression:
+			if x.Operator == "delete" {
+				if id, ok := x.Argument.(*ast.Identifier); ok {
+					counts[id.Name]++
+				}
+			}
+		case *ast.ForInStatement:
+			if id, ok := x.Left.(*ast.Identifier); ok {
+				counts[id.Name]++
+			}
+		}
+		return true
+	})
+	return counts
+}
+
+// isValueRef reports whether id under parent is a value reference — i.e.
+// not a binding site, label, or property name.
+func isValueRef(id *ast.Identifier, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.VariableDeclarator:
+		return p.ID != id
+	case *ast.FunctionDeclaration:
+		if p.ID == id {
+			return false
+		}
+		for _, prm := range p.Params {
+			if prm == id {
+				return false
+			}
+		}
+	case *ast.FunctionExpression:
+		if p.ID == id {
+			return false
+		}
+		for _, prm := range p.Params {
+			if prm == id {
+				return false
+			}
+		}
+	case *ast.MemberExpression:
+		return p.Computed || p.Property != ast.Expression(id)
+	case *ast.Property:
+		return p.Computed || p.Key != ast.Expression(id)
+	case *ast.LabeledStatement:
+		return p.Label != id
+	case *ast.BreakStatement, *ast.ContinueStatement:
+		return false
+	case *ast.CatchClause:
+		return p.Param != id
+	}
+	return true
+}
+
+// refCount counts value references to name across the whole program (its
+// own declarator, labels, parameters, and property names excluded). Zero
+// means the binding is dead and its declaration can be dropped.
+func refCount(prog *ast.Program, name string) int {
+	count := 0
+	ast.WalkWithParent(prog, func(n, parent ast.Node) bool {
+		if id, ok := n.(*ast.Identifier); ok && id.Name == name && isValueRef(id, parent) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// removeDecls deletes the given declarator and function-declaration nodes
+// from prog (matched by pointer), dropping a VariableDeclaration entirely
+// when its last declarator goes. Returns the number of nodes removed.
+func removeDecls(prog *ast.Program, deadVars map[*ast.VariableDeclarator]bool, deadFns map[ast.Statement]bool) int {
+	if len(deadVars) == 0 && len(deadFns) == 0 {
+		return 0
+	}
+	removed := 0
+	ast.RewriteStatements(prog, func(s ast.Statement) ([]ast.Statement, bool) {
+		if deadFns[s] {
+			removed++
+			return nil, true
+		}
+		decl, ok := s.(*ast.VariableDeclaration)
+		if !ok {
+			return nil, false
+		}
+		kept := decl.Declarations[:0:0]
+		for _, d := range decl.Declarations {
+			if deadVars[d] {
+				removed++
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		if len(kept) == len(decl.Declarations) {
+			return nil, false
+		}
+		if len(kept) == 0 {
+			return nil, true
+		}
+		decl.Declarations = kept
+		return []ast.Statement{decl}, true
+	})
+	return removed
+}

@@ -1,0 +1,91 @@
+package deobfuscate
+
+import (
+	"time"
+
+	"jsrevealer/internal/obs"
+)
+
+// Metric families emitted by the pipeline. They land in the registry
+// carried by the run's context, the same registry `jsrevealer serve`
+// exposes on /metrics.
+const (
+	// PassChangesMetric counts individual rewrites by pass.
+	PassChangesMetric = "jsrevealer_deob_pass_changes_total"
+	// PassDurationMetric is the per-pass-invocation wall-time histogram.
+	PassDurationMetric = "jsrevealer_deob_pass_duration_seconds"
+	// RunsMetric counts pipeline runs by outcome
+	// (changed|clean|truncated|error).
+	RunsMetric = "jsrevealer_deob_runs_total"
+)
+
+const (
+	changesHelp  = "Deobfuscation rewrites applied, by pass."
+	durationHelp = "Per-invocation deobfuscation pass wall time in seconds."
+	runsHelp     = "Deobfuscation pipeline runs by outcome."
+)
+
+// runResults is the closed label set of RunsMetric.
+var runResults = []string{"changed", "clean", "truncated", "error"}
+
+// RegisterMetrics pre-creates every deobfuscation metric series in reg
+// (all default pass names and run outcomes, zero-valued), so an exposition
+// endpoint shows the full surface before the first normalization.
+func RegisterMetrics(reg *obs.Registry) {
+	for _, name := range PassNames() {
+		reg.Counter(PassChangesMetric, changesHelp, obs.Labels{"pass": name})
+		reg.Histogram(PassDurationMetric, durationHelp,
+			obs.DefDurationBuckets, obs.Labels{"pass": name})
+	}
+	for _, result := range runResults {
+		reg.Counter(RunsMetric, runsHelp, obs.Labels{"result": result})
+	}
+}
+
+// instruments caches one run's metric series so the fixpoint loop pays
+// pointer derefs, not registry lookups.
+type instruments struct {
+	reg     *obs.Registry
+	changes map[string]*obs.Counter
+	durs    map[string]*obs.Histogram
+}
+
+func newInstruments(reg *obs.Registry, passes []Pass) *instruments {
+	ins := &instruments{
+		reg:     reg,
+		changes: make(map[string]*obs.Counter, len(passes)),
+		durs:    make(map[string]*obs.Histogram, len(passes)),
+	}
+	for _, p := range passes {
+		ins.changes[p.Name()] = reg.Counter(PassChangesMetric, changesHelp,
+			obs.Labels{"pass": p.Name()})
+		ins.durs[p.Name()] = reg.Histogram(PassDurationMetric, durationHelp,
+			obs.DefDurationBuckets, obs.Labels{"pass": p.Name()})
+	}
+	return ins
+}
+
+func (ins *instruments) observe(pass string, d time.Duration) {
+	if h, ok := ins.durs[pass]; ok {
+		h.ObserveDuration(d)
+	}
+}
+
+// finish records the run outcome and flushes per-pass change counts.
+func (ins *instruments) finish(rep *Report) {
+	for _, s := range rep.Stats {
+		if s.Changes > 0 {
+			if c, ok := ins.changes[s.Name]; ok {
+				c.Add(int64(s.Changes))
+			}
+		}
+	}
+	result := "clean"
+	switch {
+	case rep.Truncated != "":
+		result = "truncated"
+	case rep.Total() > 0:
+		result = "changed"
+	}
+	ins.reg.Counter(RunsMetric, runsHelp, obs.Labels{"result": result}).Inc()
+}

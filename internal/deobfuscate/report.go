@@ -1,0 +1,86 @@
+package deobfuscate
+
+import "time"
+
+// PassStat is one pass's accounting for a pipeline run.
+type PassStat struct {
+	// Name is the pass name.
+	Name string
+	// Runs counts invocations across fixpoint rounds.
+	Runs int
+	// Changes counts individual rewrites the pass performed.
+	Changes int
+	// Duration is the total wall time spent in the pass.
+	Duration time.Duration
+}
+
+// Report records what one pipeline run did: which passes fired, how often,
+// and whether a budget cut the run short. Fired() is the verdict-provenance
+// view threaded into audit records and NDJSON output as `deob_passes`.
+type Report struct {
+	// Rounds is the number of fixpoint rounds executed (at least 1).
+	Rounds int
+	// Truncated is empty for a clean fixpoint, otherwise the budget that
+	// stopped the run: "rounds", "nodes", or "deadline".
+	Truncated string
+	// Stats holds per-pass accounting in pipeline order.
+	Stats []PassStat
+
+	index map[string]int
+}
+
+func newReport(passes []Pass) *Report {
+	r := &Report{
+		Stats: make([]PassStat, len(passes)),
+		index: make(map[string]int, len(passes)),
+	}
+	for i, p := range passes {
+		r.Stats[i] = PassStat{Name: p.Name()}
+		r.index[p.Name()] = i
+	}
+	return r
+}
+
+// stat returns the mutable stat slot for a pass, creating one for passes
+// the report was not pre-seeded with.
+func (r *Report) stat(name string) *PassStat {
+	if r.index == nil {
+		r.index = make(map[string]int)
+	}
+	if i, ok := r.index[name]; ok {
+		return &r.Stats[i]
+	}
+	r.index[name] = len(r.Stats)
+	r.Stats = append(r.Stats, PassStat{Name: name})
+	return &r.Stats[len(r.Stats)-1]
+}
+
+// Note adds n rewrites to the pass's change count. Passes call this from
+// Run so the report (and the changes metric) counts individual rewrites,
+// not just fired-or-not.
+func (r *Report) Note(pass string, n int) {
+	if n > 0 {
+		r.stat(pass).Changes += n
+	}
+}
+
+// Fired returns the names of passes that changed the tree, in pipeline
+// order — the `deob_passes` provenance value.
+func (r *Report) Fired() []string {
+	var out []string
+	for _, s := range r.Stats {
+		if s.Changes > 0 {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Total returns the total rewrite count across all passes.
+func (r *Report) Total() int {
+	n := 0
+	for _, s := range r.Stats {
+		n += s.Changes
+	}
+	return n
+}

@@ -1,0 +1,345 @@
+package deobfuscate
+
+import (
+	"math"
+
+	"jsrevealer/internal/js/ast"
+)
+
+// stringArrayPass undoes the hoisted-literal-pool transform: a top-level
+// array of literals plus index reads, optionally routed through a decoder
+// function — the javascript-obfuscator / jfogs family:
+//
+//	var A = ["aGk=", ...];                 // pool (often base64)
+//	function D(i) { return atob(A[(i + 3) % A.length]); }
+//	... D(7) ... A[2] ...
+//
+// Pool accesses with literal indexes are replaced by the pooled literal
+// (decoded through the rotation offset, modulo, and atob when the access
+// goes through a recognized decoder), and the pool/decoder declarations
+// are dropped once nothing references them. A pool is only trusted when
+// its binding is unique and unwritten and every reference is a plain
+// indexed read — any aliasing, mutation, or unrecognized use disqualifies
+// it.
+type stringArrayPass struct{}
+
+// Name implements Pass.
+func (stringArrayPass) Name() string { return "strarray" }
+
+type literalPool struct {
+	decl  *ast.VariableDeclarator
+	elems []*ast.Literal
+}
+
+type poolDecoder struct {
+	fn   *ast.FunctionDeclaration
+	pool string
+	rot  float64
+	mod  bool
+	atob bool
+}
+
+// Run implements Pass.
+func (stringArrayPass) Run(prog *ast.Program, rep *Report) bool {
+	if hasWith(prog) {
+		return false
+	}
+	bindings := bindingCounts(prog)
+	writes := writeCounts(prog)
+
+	pools := findPools(prog, bindings, writes)
+	if len(pools) == 0 {
+		return false
+	}
+	decoders := findDecoders(prog, pools, bindings, writes)
+	validatePoolRefs(prog, pools)
+
+	// Drop decoders whose pool fell to validation.
+	for name, d := range decoders {
+		if _, ok := pools[d.pool]; !ok {
+			delete(decoders, name)
+		}
+	}
+	if len(pools) == 0 {
+		return false
+	}
+
+	n := 0
+	inlinedPool := make(map[string]int)
+	inlinedDecoder := make(map[string]int)
+	ast.RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		switch x := e.(type) {
+		case *ast.MemberExpression:
+			// Direct pool read A[3]: a plain array index, no rotation.
+			if !x.Computed {
+				return e
+			}
+			id, ok := x.Object.(*ast.Identifier)
+			if !ok {
+				return e
+			}
+			p, ok := pools[id.Name]
+			if !ok {
+				return e
+			}
+			idx, ok := intIndex(x.Property)
+			if !ok || idx < 0 || idx >= len(p.elems) {
+				return e
+			}
+			n++
+			inlinedPool[id.Name]++
+			return cloneLiteral(p.elems[idx])
+		case *ast.CallExpression:
+			id, ok := x.Callee.(*ast.Identifier)
+			if !ok || len(x.Arguments) != 1 {
+				return e
+			}
+			d, ok := decoders[id.Name]
+			if !ok {
+				return e
+			}
+			arg, ok := intIndex(x.Arguments[0])
+			if !ok {
+				return e
+			}
+			out, ok := decodePoolRead(pools[d.pool], d, arg)
+			if !ok {
+				return e
+			}
+			n++
+			inlinedDecoder[id.Name]++
+			return out
+		}
+		return e
+	})
+
+	// Remove decoders first — their bodies hold the last pool references —
+	// then pools. Gate on having inlined something so the pass never fires
+	// on merely-dead benign declarations.
+	deadFns := make(map[ast.Statement]bool)
+	for name, d := range decoders {
+		if inlinedDecoder[name] > 0 && refCount(prog, name) == 0 {
+			deadFns[d.fn] = true
+			inlinedPool[d.pool]++ // pool lost a referencing decoder
+		}
+	}
+	n += removeDecls(prog, nil, deadFns)
+	deadVars := make(map[*ast.VariableDeclarator]bool)
+	for name, p := range pools {
+		if inlinedPool[name] > 0 && refCount(prog, name) == 0 {
+			deadVars[p.decl] = true
+		}
+	}
+	n += removeDecls(prog, deadVars, nil)
+	rep.Note("strarray", n)
+	return n > 0
+}
+
+// findPools collects top-level all-literal array declarations whose
+// binding is unique and never written.
+func findPools(prog *ast.Program, bindings, writes map[string]int) map[string]*literalPool {
+	pools := make(map[string]*literalPool)
+	for _, s := range prog.Body {
+		decl, ok := s.(*ast.VariableDeclaration)
+		if !ok {
+			continue
+		}
+		for _, d := range decl.Declarations {
+			arr, ok := d.Init.(*ast.ArrayExpression)
+			if !ok || len(arr.Elements) == 0 {
+				continue
+			}
+			if bindings[d.ID.Name] != 1 || writes[d.ID.Name] != 0 {
+				continue
+			}
+			elems := make([]*ast.Literal, len(arr.Elements))
+			all := true
+			for i, el := range arr.Elements {
+				if elems[i] = litOf(el); elems[i] == nil {
+					all = false
+					break
+				}
+			}
+			if all {
+				pools[d.ID.Name] = &literalPool{decl: d, elems: elems}
+			}
+		}
+	}
+	return pools
+}
+
+// findDecoders matches top-level one-parameter functions whose whole body
+// is `return [atob(] POOL[(param [+|- rot]) [% POOL.length]] [)]`.
+func findDecoders(prog *ast.Program, pools map[string]*literalPool, bindings, writes map[string]int) map[string]*poolDecoder {
+	decoders := make(map[string]*poolDecoder)
+	for _, s := range prog.Body {
+		fn, ok := s.(*ast.FunctionDeclaration)
+		if !ok {
+			continue
+		}
+		if bindings[fn.ID.Name] != 1 || writes[fn.ID.Name] != 0 {
+			continue
+		}
+		if d := matchDecoder(fn, pools); d != nil {
+			decoders[fn.ID.Name] = d
+		}
+	}
+	return decoders
+}
+
+func matchDecoder(fn *ast.FunctionDeclaration, pools map[string]*literalPool) *poolDecoder {
+	if len(fn.Params) != 1 || len(fn.Body.Body) != 1 {
+		return nil
+	}
+	ret, ok := fn.Body.Body[0].(*ast.ReturnStatement)
+	if !ok || ret.Argument == nil {
+		return nil
+	}
+	expr := ret.Argument
+	d := &poolDecoder{fn: fn}
+	if call, ok := expr.(*ast.CallExpression); ok {
+		id, ok := call.Callee.(*ast.Identifier)
+		if !ok || id.Name != "atob" || len(call.Arguments) != 1 {
+			return nil
+		}
+		d.atob = true
+		expr = call.Arguments[0]
+	}
+	mem, ok := expr.(*ast.MemberExpression)
+	if !ok || !mem.Computed {
+		return nil
+	}
+	arrID, ok := mem.Object.(*ast.Identifier)
+	if !ok {
+		return nil
+	}
+	if _, ok := pools[arrID.Name]; !ok {
+		return nil
+	}
+	d.pool = arrID.Name
+
+	idx := mem.Property
+	if bin, ok := idx.(*ast.BinaryExpression); ok && bin.Operator == "%" && isLengthOf(bin.Right, arrID.Name) {
+		d.mod = true
+		idx = bin.Left
+	}
+	param := fn.Params[0].Name
+	switch x := idx.(type) {
+	case *ast.Identifier:
+		if x.Name != param {
+			return nil
+		}
+	case *ast.BinaryExpression:
+		if x.Operator != "+" && x.Operator != "-" {
+			return nil
+		}
+		var rotExpr ast.Expression
+		if id, ok := x.Left.(*ast.Identifier); ok && id.Name == param {
+			rotExpr = x.Right
+		} else if id, ok := x.Right.(*ast.Identifier); ok && id.Name == param && x.Operator == "+" {
+			rotExpr = x.Left
+		} else {
+			return nil
+		}
+		rot, ok := numOperand(rotExpr)
+		if !ok || rot != math.Trunc(rot) {
+			return nil
+		}
+		if x.Operator == "-" {
+			rot = -rot
+		}
+		d.rot = rot
+	default:
+		return nil
+	}
+	return d
+}
+
+func isLengthOf(e ast.Expression, name string) bool {
+	mem, ok := e.(*ast.MemberExpression)
+	if !ok || mem.Computed {
+		return false
+	}
+	obj, ok := mem.Object.(*ast.Identifier)
+	if !ok || obj.Name != name {
+		return false
+	}
+	prop, ok := mem.Property.(*ast.Identifier)
+	return ok && prop.Name == "length"
+}
+
+// validatePoolRefs deletes from pools any entry with a reference that is
+// not a plain read: a bare use (aliasing), a method or property access
+// other than .length, or any write through the pool.
+func validatePoolRefs(prog *ast.Program, pools map[string]*literalPool) {
+	disqualify := func(target ast.Expression) {
+		if mem, ok := target.(*ast.MemberExpression); ok {
+			if id, ok := mem.Object.(*ast.Identifier); ok {
+				delete(pools, id.Name)
+			}
+		}
+	}
+	ast.WalkWithParent(prog, func(n, parent ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignmentExpression:
+			disqualify(x.Left)
+		case *ast.UpdateExpression:
+			disqualify(x.Argument)
+		case *ast.UnaryExpression:
+			if x.Operator == "delete" {
+				disqualify(x.Argument)
+			}
+		case *ast.Identifier:
+			if _, ok := pools[x.Name]; !ok || !isValueRef(x, parent) {
+				return true
+			}
+			mem, ok := parent.(*ast.MemberExpression)
+			if !ok || mem.Object != ast.Expression(x) {
+				delete(pools, x.Name)
+				return true
+			}
+			if !mem.Computed {
+				if prop, ok := mem.Property.(*ast.Identifier); !ok || prop.Name != "length" {
+					delete(pools, x.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// intIndex reads a non-negative-or-negative integer literal index,
+// accepting the unary-minus spelling.
+func intIndex(e ast.Expression) (int, bool) {
+	v, ok := numOperand(e)
+	if !ok || v != math.Trunc(v) || math.Abs(v) > 1<<31 {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// decodePoolRead computes what `D(arg)` returns: apply the rotation, the
+// optional modulo (JS semantics — a negative index stays negative and the
+// read is undefined, so we decline), index the pool, and atob-decode when
+// the decoder does.
+func decodePoolRead(p *literalPool, d *poolDecoder, arg int) (ast.Expression, bool) {
+	idx := float64(arg) + d.rot
+	if d.mod {
+		idx = math.Mod(idx, float64(len(p.elems)))
+	}
+	if idx != math.Trunc(idx) || idx < 0 || idx >= float64(len(p.elems)) {
+		return nil, false
+	}
+	elem := p.elems[int(idx)]
+	if !d.atob {
+		return cloneLiteral(elem), true
+	}
+	if elem.Kind != ast.LiteralString {
+		return nil, false
+	}
+	s, ok := jsAtob(elem.StrVal)
+	if !ok {
+		return nil, false
+	}
+	return strLit(s), true
+}

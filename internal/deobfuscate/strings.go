@@ -1,0 +1,510 @@
+package deobfuscate
+
+import (
+	"encoding/base64"
+	"math"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"jsrevealer/internal/js/ast"
+	"jsrevealer/internal/js/printer"
+)
+
+// stringsPass normalizes string and number spellings and folds the
+// stateless decoder builtins obfuscators route literals through:
+// `String.fromCharCode`, `parseInt`/`parseFloat`, `atob`, `unescape`,
+// `decodeURIComponent`, `String(x)`, the `split`/`reverse`/`join` shuffle
+// (LiteString's `"gnirts".split("").reverse().join("")`), `charAt`/
+// `charCodeAt`/`.length` on string literals, hex/exponent number raws, and
+// `a["b"]` back to `a.b`. Every fold reproduces the builtin's exact JS
+// result or declines — a partial or lossy decode never fires.
+type stringsPass struct{}
+
+// Name implements Pass.
+func (stringsPass) Name() string { return "strings" }
+
+// Run implements Pass.
+func (stringsPass) Run(prog *ast.Program, rep *Report) bool {
+	n := 0
+	ast.RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		switch x := e.(type) {
+		case *ast.Literal:
+			if canonicalizeRaw(x) {
+				n++
+			}
+		case *ast.CallExpression:
+			if out := foldCall(x); out != nil {
+				n++
+				return out
+			}
+		case *ast.MemberExpression:
+			if out, changed := foldMember(x); changed {
+				n++
+				return out
+			}
+		}
+		return e
+	})
+	rep.Note("strings", n)
+	return n > 0
+}
+
+// canonicalizeRaw drops a literal's original spelling when it differs from
+// the canonical one, so `0x61` prints as `97` and `'\x61'` as `"a"`. The
+// pass counts a change only when the spelling actually differs — plain
+// literals keep their Raw and the pass stays quiet on them.
+func canonicalizeRaw(l *ast.Literal) bool {
+	switch l.Kind {
+	case ast.LiteralNumber:
+		if l.Raw != "" && l.Raw != printer.FormatNumber(l.NumVal) {
+			l.Raw = ""
+			return true
+		}
+	case ast.LiteralString:
+		// Only escape-bearing spellings are worth rewriting; a merely
+		// single-quoted string is left untouched. Invalid UTF-8 keeps its
+		// Raw spelling — reprinting it would substitute replacement chars.
+		if l.Raw != "" && strings.ContainsRune(l.Raw, '\\') &&
+			utf8.ValidString(l.StrVal) && l.Raw != printer.Quote(l.StrVal) {
+			l.Raw = ""
+			return true
+		}
+	}
+	return false
+}
+
+// foldMember folds member reads on literals: `"abc".length` and computed
+// access with a string key that is a valid identifier (`a["b"]` → `a.b`).
+func foldMember(m *ast.MemberExpression) (ast.Expression, bool) {
+	if !m.Computed {
+		if id, ok := m.Property.(*ast.Identifier); ok && id.Name == "length" {
+			if l := litOf(m.Object); l != nil && l.Kind == ast.LiteralString {
+				return numLit(float64(len(utf16.Encode([]rune(l.StrVal))))), true
+			}
+		}
+		return nil, false
+	}
+	if l := litOf(m.Property); l != nil && l.Kind == ast.LiteralString && identName(l.StrVal) {
+		m.Computed = false
+		m.Property = &ast.Identifier{Name: l.StrVal}
+		return m, true
+	}
+	return nil, false
+}
+
+// foldCall dispatches over the stateless global and method decoders.
+func foldCall(c *ast.CallExpression) ast.Expression {
+	switch callee := c.Callee.(type) {
+	case *ast.Identifier:
+		return foldGlobalCall(callee.Name, c.Arguments)
+	case *ast.MemberExpression:
+		if callee.Computed {
+			return nil
+		}
+		prop, ok := callee.Property.(*ast.Identifier)
+		if !ok {
+			return nil
+		}
+		if id, ok := callee.Object.(*ast.Identifier); ok && id.Name == "String" && prop.Name == "fromCharCode" {
+			return foldFromCharCode(c.Arguments)
+		}
+		return foldMethodCall(callee.Object, prop.Name, c.Arguments)
+	}
+	return nil
+}
+
+func foldGlobalCall(name string, args []ast.Expression) ast.Expression {
+	if len(args) == 0 || len(args) > 2 {
+		return nil
+	}
+	arg := litOf(args[0])
+	if arg == nil {
+		return nil
+	}
+	switch name {
+	case "String":
+		if len(args) == 1 {
+			if s, ok := toString(arg); ok {
+				return strLit(s)
+			}
+		}
+	case "parseInt":
+		if arg.Kind != ast.LiteralString {
+			return nil
+		}
+		radix := 0
+		if len(args) == 2 {
+			r := litOf(args[1])
+			if r == nil || r.Kind != ast.LiteralNumber || r.NumVal != float64(int(r.NumVal)) {
+				return nil
+			}
+			radix = int(r.NumVal)
+		}
+		if v, ok := jsParseInt(arg.StrVal, radix); ok {
+			return numLit(v)
+		}
+	case "parseFloat":
+		if len(args) == 1 && arg.Kind == ast.LiteralString {
+			if v, ok := jsParseFloat(arg.StrVal); ok {
+				return numLit(v)
+			}
+		}
+	case "unescape":
+		if len(args) == 1 && arg.Kind == ast.LiteralString {
+			if s, ok := jsUnescape(arg.StrVal); ok {
+				return strLit(s)
+			}
+		}
+	case "decodeURIComponent":
+		if len(args) == 1 && arg.Kind == ast.LiteralString {
+			if s, ok := jsDecodeURIComponent(arg.StrVal); ok {
+				return strLit(s)
+			}
+		}
+	case "atob":
+		if len(args) == 1 && arg.Kind == ast.LiteralString {
+			if s, ok := jsAtob(arg.StrVal); ok {
+				return strLit(s)
+			}
+		}
+	}
+	return nil
+}
+
+// foldMethodCall folds pure methods on string and all-literal array
+// receivers.
+func foldMethodCall(object ast.Expression, method string, args []ast.Expression) ast.Expression {
+	if l := litOf(object); l != nil && l.Kind == ast.LiteralString {
+		return foldStringMethod(l.StrVal, method, args)
+	}
+	if arr, ok := object.(*ast.ArrayExpression); ok {
+		return foldArrayMethod(arr, method, args)
+	}
+	return nil
+}
+
+func foldStringMethod(s, method string, args []ast.Expression) ast.Expression {
+	switch method {
+	case "split":
+		if len(args) != 1 {
+			return nil
+		}
+		sep := litOf(args[0])
+		if sep == nil || sep.Kind != ast.LiteralString {
+			return nil
+		}
+		var parts []string
+		if sep.StrVal == "" {
+			// `split("")` separates UTF-16 code units; only fold when every
+			// character is one unit (no astral chars to split in half).
+			for _, r := range s {
+				if r > 0xFFFF {
+					return nil
+				}
+				parts = append(parts, string(r))
+			}
+		} else {
+			parts = strings.Split(s, sep.StrVal)
+		}
+		arr := &ast.ArrayExpression{Elements: make([]ast.Expression, len(parts))}
+		for i, p := range parts {
+			arr.Elements[i] = strLit(p)
+		}
+		return arr
+	case "charAt", "charCodeAt":
+		if len(args) > 1 {
+			return nil
+		}
+		idx := 0
+		if len(args) == 1 {
+			l := litOf(args[0])
+			if l == nil || l.Kind != ast.LiteralNumber || l.NumVal != float64(int(l.NumVal)) {
+				return nil
+			}
+			idx = int(l.NumVal)
+		}
+		units := utf16.Encode([]rune(s))
+		if idx < 0 || idx >= len(units) {
+			if method == "charAt" {
+				return strLit("")
+			}
+			return nil // charCodeAt out of range is NaN
+		}
+		if method == "charCodeAt" {
+			return numLit(float64(units[idx]))
+		}
+		if isSurrogate(units[idx]) {
+			return nil
+		}
+		return strLit(string(rune(units[idx])))
+	}
+	return nil
+}
+
+func foldArrayMethod(arr *ast.ArrayExpression, method string, args []ast.Expression) ast.Expression {
+	// All elements must be primitive literals: elided holes or expressions
+	// could carry side effects or non-primitive values.
+	lits := make([]*ast.Literal, len(arr.Elements))
+	for i, el := range arr.Elements {
+		if lits[i] = litOf(el); lits[i] == nil {
+			return nil
+		}
+	}
+	switch method {
+	case "reverse":
+		if len(args) != 0 {
+			return nil
+		}
+		out := &ast.ArrayExpression{Elements: make([]ast.Expression, len(lits))}
+		for i, l := range lits {
+			out.Elements[len(lits)-1-i] = l
+		}
+		return out
+	case "join":
+		sep := ","
+		switch len(args) {
+		case 0:
+		case 1:
+			l := litOf(args[0])
+			if l == nil || l.Kind != ast.LiteralString {
+				return nil
+			}
+			sep = l.StrVal
+		default:
+			return nil
+		}
+		parts := make([]string, len(lits))
+		for i, l := range lits {
+			if l.Kind == ast.LiteralNull {
+				parts[i] = "" // join treats null/undefined as empty
+				continue
+			}
+			s, ok := toString(l)
+			if !ok {
+				return nil
+			}
+			parts[i] = s
+		}
+		return strLit(strings.Join(parts, sep))
+	}
+	return nil
+}
+
+func foldFromCharCode(args []ast.Expression) ast.Expression {
+	if len(args) == 0 {
+		return nil
+	}
+	units := make([]uint16, len(args))
+	for i, a := range args {
+		l := litOf(a)
+		if l == nil || l.Kind != ast.LiteralNumber {
+			return nil
+		}
+		units[i] = uint16(toUint32(l.NumVal)) // ToUint16
+	}
+	s, ok := unitsToString(units)
+	if !ok {
+		return nil
+	}
+	return strLit(s)
+}
+
+func isSurrogate(u uint16) bool { return u >= 0xD800 && u <= 0xDFFF }
+
+// unitsToString converts UTF-16 code units to a string, declining on any
+// unpaired surrogate (Go strings cannot represent them losslessly).
+func unitsToString(units []uint16) (string, bool) {
+	for i := 0; i < len(units); i++ {
+		if !isSurrogate(units[i]) {
+			continue
+		}
+		if units[i] >= 0xDC00 || i+1 >= len(units) ||
+			units[i+1] < 0xDC00 || units[i+1] > 0xDFFF {
+			return "", false
+		}
+		i++ // valid lead+trail pair
+	}
+	return string(utf16.Decode(units)), true
+}
+
+// jsParseInt mirrors JS parseInt on a literal string: whitespace trim,
+// sign, 0x handling, longest valid digit prefix. Declines on NaN and on
+// magnitudes past 2^53 where float64 would silently round.
+func jsParseInt(s string, radix int) (float64, bool) {
+	t := strings.TrimSpace(s)
+	neg := false
+	if t != "" && (t[0] == '+' || t[0] == '-') {
+		neg = t[0] == '-'
+		t = t[1:]
+	}
+	if radix == 0 || radix == 16 {
+		if len(t) >= 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X') {
+			t = t[2:]
+			radix = 16
+		} else if radix == 0 {
+			radix = 10
+		}
+	}
+	if radix < 2 || radix > 36 {
+		return 0, false
+	}
+	var n int64
+	digits := 0
+	for i := 0; i < len(t); i++ {
+		d := digitVal(t[i])
+		if d < 0 || d >= radix {
+			break
+		}
+		n = n*int64(radix) + int64(d)
+		digits++
+		if n > 1<<53 {
+			return 0, false
+		}
+	}
+	if digits == 0 {
+		return 0, false // NaN
+	}
+	v := float64(n)
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'z':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'Z':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// jsParseFloat folds parseFloat only when the whole trimmed string is a
+// plain decimal number (no Inf/NaN/hex spellings, no trailing junk) — the
+// only shape obfuscators emit and the only one that is trivially exact.
+func jsParseFloat(s string) (float64, bool) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, false
+	}
+	sawDigit := false
+	for i := 0; i < len(t); i++ {
+		switch c := t[i]; {
+		case c >= '0' && c <= '9':
+			sawDigit = true
+		case c == '+' || c == '-' || c == '.' || c == 'e' || c == 'E':
+		default:
+			return 0, false
+		}
+	}
+	if !sawDigit {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || math.IsInf(v, 0) {
+		return 0, false
+	}
+	return v, true
+}
+
+// jsUnescape decodes %XX and %uXXXX sequences exactly as the legacy
+// `unescape` builtin does (malformed escapes pass through literally).
+func jsUnescape(s string) (string, bool) {
+	rs := []rune(s)
+	var units []uint16
+	for i := 0; i < len(rs); {
+		if rs[i] == '%' {
+			if i+5 < len(rs) && rs[i+1] == 'u' {
+				if v, ok := hex4(rs[i+2 : i+6]); ok {
+					units = append(units, v)
+					i += 6
+					continue
+				}
+			}
+			if i+2 < len(rs) {
+				if v, ok := hex4(rs[i+1 : i+3]); ok {
+					units = append(units, v)
+					i += 3
+					continue
+				}
+			}
+		}
+		units = append(units, utf16.Encode(rs[i:i+1])...)
+		i++
+	}
+	return unitsToString(units)
+}
+
+func hex4(rs []rune) (uint16, bool) {
+	var v uint16
+	for _, r := range rs {
+		if r > 0x7F {
+			return 0, false
+		}
+		d := digitVal(byte(r))
+		if d < 0 || d > 15 {
+			return 0, false
+		}
+		v = v<<4 | uint16(d)
+	}
+	return v, true
+}
+
+// jsDecodeURIComponent percent-decodes to bytes and requires the result to
+// be well-formed UTF-8 (the builtin throws URIError otherwise — we simply
+// decline to fold).
+func jsDecodeURIComponent(s string) (string, bool) {
+	var b []byte
+	for i := 0; i < len(s); {
+		if s[i] == '%' {
+			if i+2 >= len(s) {
+				return "", false
+			}
+			hi, lo := digitVal(s[i+1]), digitVal(s[i+2])
+			if hi < 0 || hi > 15 || lo < 0 || lo > 15 {
+				return "", false
+			}
+			b = append(b, byte(hi<<4|lo))
+			i += 3
+			continue
+		}
+		b = append(b, s[i])
+		i++
+	}
+	if !utf8.Valid(b) {
+		return "", false
+	}
+	return string(b), true
+}
+
+// jsAtob decodes forgiving base64: ASCII whitespace stripped, padding
+// optional. atob returns a binary string — each byte becomes one U+0000 to
+// U+00FF code unit, which Go represents exactly.
+func jsAtob(s string) (string, bool) {
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '\n', '\r', '\f':
+			return -1
+		}
+		return r
+	}, s)
+	enc := base64.StdEncoding
+	if len(clean)%4 != 0 {
+		enc = base64.RawStdEncoding
+	}
+	b, err := enc.DecodeString(clean)
+	if err != nil {
+		return "", false
+	}
+	out := make([]rune, len(b))
+	for i, c := range b {
+		out[i] = rune(c)
+	}
+	return string(out), true
+}

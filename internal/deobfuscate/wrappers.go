@@ -1,0 +1,218 @@
+package deobfuscate
+
+import "jsrevealer/internal/js/ast"
+
+// wrapperPass eliminates pure dispatch helpers of the jfogs family:
+//
+//	function W(g) { return g; }                    // identity wrapper
+//	function T(g) { return g(); }                  // thunk caller
+//	function F() { return f.apply(null, arguments); } // apply forwarder
+//
+// `W(x)` becomes `x`; `T(function () { return X; })` becomes `X` (only
+// when X captures neither `this` nor `arguments`, which the unwrap would
+// rebind); `F(a, b)` becomes `f(a, b)`. Wrapper bindings must be unique
+// and unwritten; a forwarder target must be unshadowable (declared at most
+// once program-wide). Wrapper declarations are dropped once every call has
+// been inlined away.
+type wrapperPass struct{}
+
+// Name implements Pass.
+func (wrapperPass) Name() string { return "wrappers" }
+
+// Run implements Pass.
+func (wrapperPass) Run(prog *ast.Program, rep *Report) bool {
+	if hasWith(prog) {
+		return false
+	}
+	bindings := bindingCounts(prog)
+	writes := writeCounts(prog)
+
+	identities := make(map[string]*ast.FunctionDeclaration)
+	thunks := make(map[string]*ast.FunctionDeclaration)
+	forwarders := make(map[string]*ast.FunctionDeclaration)
+	forwardTo := make(map[string]string)
+	for _, s := range prog.Body {
+		fn, ok := s.(*ast.FunctionDeclaration)
+		if !ok || bindings[fn.ID.Name] != 1 || writes[fn.ID.Name] != 0 {
+			continue
+		}
+		name := fn.ID.Name
+		switch {
+		case matchIdentity(fn):
+			identities[name] = fn
+		case matchThunkCaller(fn):
+			thunks[name] = fn
+		default:
+			if target, ok := matchForwarder(fn); ok && bindings[target] <= 1 && target != name {
+				forwarders[name] = fn
+				forwardTo[name] = target
+			}
+		}
+	}
+	if len(identities)+len(thunks)+len(forwarders) == 0 {
+		return false
+	}
+
+	n := 0
+	inlined := make(map[string]int)
+	ast.RewriteExpressions(prog, func(e ast.Expression) ast.Expression {
+		call, ok := e.(*ast.CallExpression)
+		if !ok {
+			return e
+		}
+		id, ok := call.Callee.(*ast.Identifier)
+		if !ok {
+			return e
+		}
+		name := id.Name
+		switch {
+		case identities[name] != nil && len(call.Arguments) == 1:
+			n++
+			inlined[name]++
+			return call.Arguments[0]
+		case thunks[name] != nil && len(call.Arguments) == 1:
+			if x := thunkValue(call.Arguments[0]); x != nil {
+				n++
+				inlined[name]++
+				return x
+			}
+		case forwarders[name] != nil:
+			n++
+			inlined[name]++
+			return &ast.CallExpression{
+				Callee:    &ast.Identifier{Name: forwardTo[name]},
+				Arguments: call.Arguments,
+			}
+		}
+		return e
+	})
+
+	dead := make(map[ast.Statement]bool)
+	for name, fn := range identities {
+		if inlined[name] > 0 && refCount(prog, name) == 0 {
+			dead[fn] = true
+		}
+	}
+	for name, fn := range thunks {
+		if inlined[name] > 0 && refCount(prog, name) == 0 {
+			dead[fn] = true
+		}
+	}
+	for name, fn := range forwarders {
+		if inlined[name] > 0 && refCount(prog, name) == 0 {
+			dead[fn] = true
+		}
+	}
+	n += removeDecls(prog, nil, dead)
+	rep.Note("wrappers", n)
+	return n > 0
+}
+
+// soleReturn unwraps a function whose entire body is one return statement.
+func soleReturn(fn *ast.FunctionDeclaration) *ast.ReturnStatement {
+	if len(fn.Body.Body) != 1 {
+		return nil
+	}
+	ret, _ := fn.Body.Body[0].(*ast.ReturnStatement)
+	return ret
+}
+
+func matchIdentity(fn *ast.FunctionDeclaration) bool {
+	if len(fn.Params) != 1 {
+		return false
+	}
+	ret := soleReturn(fn)
+	if ret == nil {
+		return false
+	}
+	id, ok := ret.Argument.(*ast.Identifier)
+	return ok && id.Name == fn.Params[0].Name
+}
+
+func matchThunkCaller(fn *ast.FunctionDeclaration) bool {
+	if len(fn.Params) != 1 {
+		return false
+	}
+	ret := soleReturn(fn)
+	if ret == nil {
+		return false
+	}
+	call, ok := ret.Argument.(*ast.CallExpression)
+	if !ok || len(call.Arguments) != 0 {
+		return false
+	}
+	id, ok := call.Callee.(*ast.Identifier)
+	return ok && id.Name == fn.Params[0].Name
+}
+
+func matchForwarder(fn *ast.FunctionDeclaration) (string, bool) {
+	if len(fn.Params) != 0 {
+		return "", false
+	}
+	ret := soleReturn(fn)
+	if ret == nil {
+		return "", false
+	}
+	call, ok := ret.Argument.(*ast.CallExpression)
+	if !ok || len(call.Arguments) != 2 {
+		return "", false
+	}
+	mem, ok := call.Callee.(*ast.MemberExpression)
+	if !ok || mem.Computed {
+		return "", false
+	}
+	prop, ok := mem.Property.(*ast.Identifier)
+	if !ok || prop.Name != "apply" {
+		return "", false
+	}
+	target, ok := mem.Object.(*ast.Identifier)
+	if !ok {
+		return "", false
+	}
+	if l, ok := call.Arguments[0].(*ast.Literal); !ok || l.Kind != ast.LiteralNull {
+		return "", false
+	}
+	args, ok := call.Arguments[1].(*ast.Identifier)
+	if !ok || args.Name != "arguments" {
+		return "", false
+	}
+	return target.Name, true
+}
+
+// thunkValue unwraps `function () { return X; }` to X when X is safe to
+// evaluate in the caller's frame.
+func thunkValue(arg ast.Expression) ast.Expression {
+	fn, ok := arg.(*ast.FunctionExpression)
+	if !ok || len(fn.Params) != 0 || fn.ID != nil || len(fn.Body.Body) != 1 {
+		return nil
+	}
+	ret, ok := fn.Body.Body[0].(*ast.ReturnStatement)
+	if !ok || ret.Argument == nil {
+		return nil
+	}
+	if usesThisOrArguments(ret.Argument) {
+		return nil
+	}
+	return ret.Argument
+}
+
+// usesThisOrArguments reports whether e references `this` or `arguments`
+// in its own frame (nested functions rebind both and are not descended
+// into).
+func usesThisOrArguments(e ast.Expression) bool {
+	found := false
+	ast.Walk(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FunctionExpression:
+			return false
+		case *ast.ThisExpression:
+			found = true
+		case *ast.Identifier:
+			if x.Name == "arguments" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

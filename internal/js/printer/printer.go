@@ -546,6 +546,17 @@ func startsAmbiguously(e ast.Expression) bool {
 	}
 }
 
+// Quote renders s exactly as the printer renders a string literal value —
+// double-quoted with minimal escaping. Normalization passes compare a
+// literal's original spelling against this canonical form to decide whether
+// re-printing would change it (escape/quote normalization).
+func Quote(s string) string { return quoteJS(s) }
+
+// FormatNumber renders f exactly as the printer renders a numeric literal
+// with no raw spelling — the canonical decimal form hex/octal/exponent
+// spellings normalize to.
+func FormatNumber(f float64) string { return formatNumber(f) }
+
 // quoteJS renders s as a double-quoted JavaScript string literal.
 func quoteJS(s string) string {
 	var sb strings.Builder

@@ -18,11 +18,12 @@ import (
 // scanSource alongside the Result. The zero value (auditing disabled)
 // carries nothing.
 type provenance struct {
-	sha       string            // hex content digest
-	cache     string            // hit | miss | off
-	tier      string            // triage | cache | pipeline | fallback | none
-	cacheTier string            // on a hit: the tier that produced the cached entry
-	stages    *obs.StageTimings // per-stage durations, nil unless auditing
+	sha        string            // hex content digest
+	cache      string            // hit | miss | off
+	tier       string            // triage | cache | pipeline | fallback | none
+	cacheTier  string            // on a hit: the tier that produced the cached entry
+	deobPasses []string          // deobfuscation passes that rewrote the script
+	stages     *obs.StageTimings // per-stage durations, nil unless auditing
 }
 
 // tierFor derives the audit tier from how the verdict was produced.
@@ -61,6 +62,7 @@ func (e *Engine) auditResult(ctx context.Context, res Result, prov provenance) {
 		Job:        m.Job,
 		Attempt:    m.Attempt,
 		RequestID:  m.RequestID,
+		DeobPasses: prov.deobPasses,
 	}
 	if res.Err != nil {
 		rec.Reason = Reason(res.Err)

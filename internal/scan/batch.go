@@ -87,7 +87,14 @@ func (e *Engine) prepareSource(ctx context.Context, ins *instruments, bc BatchCl
 		return res, prov, &pendingScan{src: src, res: res, sctx: fctx, follower: true}
 	}
 	pctx, cancel := context.WithTimeout(fctx, e.cfg.Timeout)
-	prepared, err := e.prepare(pctx, bc, src)
+	csrc := src
+	if e.deobOn(fctx) {
+		// Same contract as the per-script path: the classifier prepares the
+		// normalized source, everything else answers for the original bytes.
+		csrc, res.DeobPasses = e.normalizeSource(pctx, src)
+		prov.deobPasses = res.DeobPasses
+	}
+	prepared, err := e.prepare(pctx, bc, csrc)
 	cancel()
 	if err != nil {
 		res, prov = e.finishScan(fctx, res, prov, key, src, false, err)

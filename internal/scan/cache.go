@@ -28,12 +28,16 @@ const DefaultCacheSize = 4096
 // it (TierTriage or TierPipeline): a triage-tier entry is a weaker claim
 // than a full-pipeline one, and the engine refuses to serve it when its own
 // triage is disabled — a cached triage clear must never alias a full
-// verdict (see Engine.cacheGet).
+// verdict (see Engine.scanSourceFront). deob records whether the pipeline
+// classified deobfuscation-normalized source; a pipeline entry is only
+// served to scans running under the same setting, since the two pipelines
+// can legitimately disagree about the same bytes.
 type cacheEntry struct {
 	key       cacheKey
 	verdict   Verdict
 	malicious bool
 	tier      string
+	deob      bool
 }
 
 // verdictCache is a bounded, concurrency-safe LRU of clean verdicts.
@@ -52,25 +56,23 @@ func newVerdictCache(capacity int) *verdictCache {
 	}
 }
 
-// get returns the cached verdict for key with its producing tier,
-// refreshing the entry's recency.
-func (c *verdictCache) get(key cacheKey) (Verdict, bool, string, bool) {
+// get returns a copy of the cached entry for key, refreshing its recency.
+func (c *verdictCache) get(key cacheKey) (cacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
-		return 0, false, "", false
+		return cacheEntry{}, false
 	}
 	c.ll.MoveToFront(el)
-	ent := el.Value.(*cacheEntry)
-	return ent.verdict, ent.malicious, ent.tier, true
+	return *el.Value.(*cacheEntry), true
 }
 
 // put stores a clean verdict, evicting the least recently used entry when
 // full. Concurrent scans of identical content may race to put the same key;
 // the second write wins, which is harmless because both computed the same
 // deterministic verdict.
-func (c *verdictCache) put(key cacheKey, verdict Verdict, malicious bool, tier string) {
+func (c *verdictCache) put(key cacheKey, verdict Verdict, malicious bool, tier string, deob bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
@@ -78,12 +80,12 @@ func (c *verdictCache) put(key cacheKey, verdict Verdict, malicious bool, tier s
 		// A full-pipeline verdict never downgrades to a triage one: the
 		// stronger claim stays.
 		if !(ent.tier == TierPipeline && tier == TierTriage) {
-			ent.verdict, ent.malicious, ent.tier = verdict, malicious, tier
+			ent.verdict, ent.malicious, ent.tier, ent.deob = verdict, malicious, tier, deob
 		}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, verdict: verdict, malicious: malicious, tier: tier})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, verdict: verdict, malicious: malicious, tier: tier, deob: deob})
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)

@@ -21,26 +21,27 @@ func TestVerdictCacheLRU(t *testing.T) {
 		return key
 	}
 
-	c.put(k(1), VerdictBenign, false, TierPipeline)
-	c.put(k(2), VerdictMalicious, true, TierPipeline)
-	if _, _, _, ok := c.get(k(1)); !ok {
+	c.put(k(1), VerdictBenign, false, TierPipeline, false)
+	c.put(k(2), VerdictMalicious, true, TierPipeline, false)
+	if _, ok := c.get(k(1)); !ok {
 		t.Fatal("k1 missing before capacity exceeded")
 	}
 	// k1 was just refreshed, so inserting k3 must evict k2.
-	c.put(k(3), VerdictBenign, false, TierPipeline)
-	if _, _, _, ok := c.get(k(2)); ok {
+	c.put(k(3), VerdictBenign, false, TierPipeline, false)
+	if _, ok := c.get(k(2)); ok {
 		t.Fatal("k2 survived eviction despite being least recently used")
 	}
-	if _, _, _, ok := c.get(k(1)); !ok {
+	if _, ok := c.get(k(1)); !ok {
 		t.Fatal("k1 evicted despite being recently used")
 	}
-	if v, m, _, ok := c.get(k(3)); !ok || v != VerdictBenign || m {
-		t.Fatalf("k3 = (%v, %v, %v), want (benign, false, true)", v, m, ok)
+	if ent, ok := c.get(k(3)); !ok || ent.verdict != VerdictBenign || ent.malicious {
+		t.Fatalf("k3 = (%v, %v, %v), want (benign, false, true)", ent.verdict, ent.malicious, ok)
 	}
 	// Duplicate put updates in place without growing.
-	c.put(k(3), VerdictMalicious, true, TierPipeline)
-	if v, m, _, ok := c.get(k(3)); !ok || v != VerdictMalicious || !m {
-		t.Fatalf("k3 after update = (%v, %v, %v), want (malicious, true, true)", v, m, ok)
+	c.put(k(3), VerdictMalicious, true, TierPipeline, true)
+	if ent, ok := c.get(k(3)); !ok || ent.verdict != VerdictMalicious || !ent.malicious || !ent.deob {
+		t.Fatalf("k3 after update = (%v, %v, %v, deob=%v), want (malicious, true, true, true)",
+			ent.verdict, ent.malicious, ok, ent.deob)
 	}
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())

@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"jsrevealer/internal/deobfuscate"
 	"jsrevealer/internal/obs"
 )
 
@@ -60,6 +61,7 @@ var tierLabels = []string{TierTriage, TierPipeline, TierCache, TierFallback, Tie
 // the full metric surface before the first scan.
 func RegisterMetrics(reg *obs.Registry) {
 	newInstruments(reg)
+	deobfuscate.RegisterMetrics(reg)
 }
 
 // instruments caches the engine's metric series for one scan so the per-

@@ -35,6 +35,7 @@ import (
 
 	"jsrevealer/internal/audit"
 	"jsrevealer/internal/baselines"
+	"jsrevealer/internal/deobfuscate"
 	"jsrevealer/internal/js/parser"
 	"jsrevealer/internal/obs"
 	"jsrevealer/internal/triage"
@@ -121,6 +122,16 @@ type Config struct {
 	// milliseconds. Triage never flags: anything at or above the
 	// threshold escalates to the full pipeline unchanged.
 	Triage triage.Config
+	// Deobfuscate configures the AST-to-AST normalization stage that runs
+	// between triage and the full pipeline (see internal/deobfuscate):
+	// constant folding, string-array unfolding, eval unwrapping, and friends
+	// strip the obfuscation layer so the classifier sees what the script
+	// does, not how it was wrapped. The zero value disables it — no parse,
+	// no cost. When enabled, only the classifier sees the normalized source;
+	// the cache key, audit digest, triage tier, and fallback keep answering
+	// for the original bytes as submitted. Per-request override:
+	// WithDeobfuscate.
+	Deobfuscate deobfuscate.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +214,11 @@ type Result struct {
 	// Tier names what produced the verdict: TierTriage, TierPipeline,
 	// TierCache, TierFallback, or TierNone (see tier.go).
 	Tier string
+	// DeobPasses lists the deobfuscation passes that rewrote the script
+	// before classification, in pipeline order — verdict provenance, like
+	// Tier. Empty when the stage is disabled, the verdict came from another
+	// tier, or no pass found anything to undo.
+	DeobPasses []string
 }
 
 // Stats aggregates one engine run.
@@ -219,6 +235,10 @@ type Stats struct {
 	// without running the full pipeline (always 0 when triage is
 	// disabled).
 	Triaged int
+	// Deobfuscated counts files the deobfuscation stage rewrote before
+	// classification — at least one pass fired (always 0 when the stage is
+	// disabled).
+	Deobfuscated int
 	// Per-error-taxonomy counts over degraded and failed files, derived
 	// from Result.Err (see Reason). Their sum equals Degraded+Failed.
 	ParseErrors int
@@ -237,8 +257,9 @@ type Stats struct {
 type Engine struct {
 	c      Classifier
 	cfg    Config
-	cache  *verdictCache  // nil when caching is disabled
-	triage *triage.Scorer // nil when the triage tier is disabled
+	cache  *verdictCache         // nil when caching is disabled
+	triage *triage.Scorer        // nil when the triage tier is disabled
+	deob   *deobfuscate.Pipeline // always built; use is gated per scan (deobOn)
 }
 
 // New builds an engine around a classifier. cfg zero-values select the
@@ -251,6 +272,10 @@ func New(c Classifier, cfg Config) *Engine {
 	if e.cfg.Triage.Enabled() {
 		e.triage = triage.New(e.cfg.Triage)
 	}
+	// The pipeline is built unconditionally (it is a handful of words) so a
+	// per-request WithDeobfuscate override works even when the engine-wide
+	// default is off.
+	e.deob = deobfuscate.NewPipeline(e.cfg.Deobfuscate)
 	return e
 }
 
@@ -517,7 +542,16 @@ func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src str
 	}
 	fctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
 	defer cancel()
-	malicious, err := e.classify(fctx, src)
+	csrc := src
+	if e.deobOn(ctx) {
+		// Normalization shares the per-file deadline with classification:
+		// a pathological input cannot buy itself extra wall time by being
+		// expensive to deobfuscate. The classifier sees the normalized
+		// source; caching, auditing, and degradation keep using src.
+		csrc, res.DeobPasses = e.normalizeSource(fctx, src)
+		prov.deobPasses = res.DeobPasses
+	}
+	malicious, err := e.classify(fctx, csrc)
 	return e.finishScan(ctx, res, prov, key, src, malicious, err)
 }
 
@@ -570,16 +604,24 @@ func (e *Engine) scanSourceFront(ctx context.Context, ins *instruments, dedup *b
 		}
 	}
 	if e.cache != nil {
-		if verdict, malicious, tier, ok := e.cache.get(key); ok {
+		if ent, ok := e.cache.get(key); ok {
 			// A cached triage clear is only as strong a claim as the triage
 			// tier itself: an engine running without triage must recompute,
-			// not alias it to a full verdict.
-			if tier != TierTriage || e.triage != nil {
+			// not alias it to a full verdict. Likewise a pipeline verdict
+			// only answers for the deobfuscation setting it ran under —
+			// serving a raw-source verdict to a deobfuscating scan (or the
+			// reverse) would alias two different pipelines. Triage entries
+			// are deob-agnostic: triage always scores the raw bytes.
+			servable := ent.tier != TierTriage || e.triage != nil
+			if ent.tier != TierTriage && ent.deob != e.deobOn(ctx) {
+				servable = false
+			}
+			if servable {
 				ins.cacheHit.Inc()
-				res.Verdict, res.Malicious = verdict, malicious
+				res.Verdict, res.Malicious = ent.verdict, ent.malicious
 				res.Tier = TierCache
 				if auditing {
-					prov.cache, prov.tier, prov.cacheTier = "hit", TierCache, tier
+					prov.cache, prov.tier, prov.cacheTier = "hit", TierCache, ent.tier
 				}
 				return ctx, res, prov, key, frontDone
 			}
@@ -603,7 +645,7 @@ func (e *Engine) scanSourceFront(ctx context.Context, ins *instruments, dedup *b
 		res.Verdict, res.Malicious = VerdictBenign, false
 		res.Tier = TierTriage
 		if e.cache != nil {
-			e.cache.put(key, res.Verdict, res.Malicious, TierTriage)
+			e.cache.put(key, res.Verdict, res.Malicious, TierTriage, false)
 		}
 		if auditing {
 			prov.tier = TierTriage
@@ -626,7 +668,7 @@ func (e *Engine) finishScan(ctx context.Context, res Result, prov provenance, ke
 		}
 		res.Tier = TierPipeline
 		if e.cache != nil {
-			e.cache.put(key, res.Verdict, res.Malicious, TierPipeline)
+			e.cache.put(key, res.Verdict, res.Malicious, TierPipeline, e.deobOn(ctx))
 		}
 		if auditing {
 			prov.tier = TierPipeline
@@ -726,6 +768,9 @@ func summarize(results []Result, wall time.Duration) Stats {
 		}
 		if r.Tier == TierTriage {
 			s.Triaged++
+		}
+		if len(r.DeobPasses) > 0 {
+			s.Deobfuscated++
 		}
 		if r.Malicious && r.Verdict != VerdictFailed {
 			s.Flagged++

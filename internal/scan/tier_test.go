@@ -153,7 +153,7 @@ func TestCachedTriageVerdictNotAliased(t *testing.T) {
 	// if written before a config change): it must ignore it and run the
 	// pipeline, then overwrite the entry with the stronger claim.
 	plain := New(counting, Config{Workers: 1})
-	plain.cache.put(key, VerdictBenign, false, TierTriage)
+	plain.cache.put(key, VerdictBenign, false, TierTriage, false)
 	res := plain.ScanSource(ctx, "a.js", src)
 	if got := atomic.LoadInt64(&pipelineRuns); got != 1 {
 		t.Fatalf("pipeline ran %d times, want 1 (triage entry must not be served)", got)
@@ -161,24 +161,24 @@ func TestCachedTriageVerdictNotAliased(t *testing.T) {
 	if res.Tier != TierPipeline {
 		t.Errorf("tier = %q, want %q", res.Tier, TierPipeline)
 	}
-	if _, _, tier, ok := plain.cache.get(key); !ok || tier != TierPipeline {
-		t.Errorf("cache entry after rescan = (%v, %q), want pipeline-tier entry", ok, tier)
+	if ent, ok := plain.cache.get(key); !ok || ent.tier != TierPipeline {
+		t.Errorf("cache entry after rescan = (%v, %q), want pipeline-tier entry", ok, ent.tier)
 	}
 
 	// The reverse direction: a triage-enabled engine serves both its own
 	// triage entries and full-pipeline entries.
 	tiered := New(counting, Config{Workers: 1, Triage: triageOn()})
-	tiered.cache.put(key, VerdictBenign, false, TierTriage)
+	tiered.cache.put(key, VerdictBenign, false, TierTriage, false)
 	res = tiered.ScanSource(ctx, "b.js", src)
 	if res.Tier != TierCache {
 		t.Errorf("tier = %q, want %q (triage entry is servable here)", res.Tier, TierCache)
 	}
 
 	// And a pipeline entry never downgrades to triage on re-put.
-	tiered.cache.put(key, VerdictBenign, false, TierPipeline)
-	tiered.cache.put(key, VerdictBenign, false, TierTriage)
-	if _, _, tier, _ := tiered.cache.get(key); tier != TierPipeline {
-		t.Errorf("entry tier = %q after triage re-put, want pipeline kept", tier)
+	tiered.cache.put(key, VerdictBenign, false, TierPipeline, false)
+	tiered.cache.put(key, VerdictBenign, false, TierTriage, false)
+	if ent, _ := tiered.cache.get(key); ent.tier != TierPipeline {
+		t.Errorf("entry tier = %q after triage re-put, want pipeline kept", ent.tier)
 	}
 }
 

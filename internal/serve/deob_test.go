@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/deobfuscate"
+	"jsrevealer/internal/scan"
+)
+
+// foldedSrc only reads "evil" after constant folding has glued the string
+// halves together, so flagEvil tells deob-on and deob-off scans apart.
+const foldedSrc = `var x = "ev" + "il"; x();`
+
+func postDetect(t *testing.T, url, src string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "text/javascript", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s status = %d", url, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDetectDeobfuscateParam: ?deobfuscate= on /detect overrides the
+// server's default per request, and deob_passes provenance appears in the
+// response exactly when normalization changed what the classifier saw.
+func TestDetectDeobfuscateParam(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+	})
+
+	// Default (deob off): the split string hides "evil".
+	plain := postDetect(t, ts.URL+"/detect", foldedSrc)
+	if plain["malicious"] != false {
+		t.Fatalf("deob-off detect = %+v, want benign", plain)
+	}
+	if _, ok := plain["deob_passes"]; ok {
+		t.Fatalf("deob-off response carries deob_passes: %+v", plain)
+	}
+
+	// Per-request opt-in: folding reassembles "evil" and provenance names
+	// the passes that fired.
+	on := postDetect(t, ts.URL+"/detect?deobfuscate=1", foldedSrc)
+	if on["malicious"] != true {
+		t.Fatalf("deob-on detect = %+v, want malicious", on)
+	}
+	passes, ok := on["deob_passes"].([]any)
+	if !ok || len(passes) == 0 {
+		t.Fatalf("deob-on response missing deob_passes: %+v", on)
+	}
+
+	// Unparseable values are the client's fault.
+	resp, err := http.Post(ts.URL+"/detect?deobfuscate=maybe", "text/javascript", strings.NewReader(foldedSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("deobfuscate=maybe status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDetectDeobfuscateOptOut: a server configured with deobfuscation on
+// honors a per-request ?deobfuscate=0.
+func TestDetectDeobfuscateOptOut(t *testing.T) {
+	cfg := Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+	}
+	cfg.Scan.Deobfuscate = deobfuscate.Config{Enabled: true}
+	_, ts, _ := newTestServer(t, cfg)
+
+	on := postDetect(t, ts.URL+"/detect", foldedSrc)
+	if on["malicious"] != true {
+		t.Fatalf("default-on detect = %+v, want malicious", on)
+	}
+	off := postDetect(t, ts.URL+"/detect?deobfuscate=0", foldedSrc)
+	if off["malicious"] != false {
+		t.Fatalf("opted-out detect = %+v, want benign", off)
+	}
+	if _, ok := off["deob_passes"]; ok {
+		t.Fatalf("opted-out response carries deob_passes: %+v", off)
+	}
+}
+
+// TestScanDeobfuscateParam: the same per-request override on the streaming
+// batch endpoint, with deob_passes threaded into each NDJSON line.
+func TestScanDeobfuscateParam(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+	})
+	line, _ := json.Marshal(record{Name: "folded.js", Source: foldedSrc})
+	body := string(line) + "\n"
+
+	resp, err := http.Post(ts.URL+"/scan?deobfuscate=true", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/scan status = %d", resp.StatusCode)
+	}
+	lines := decodeLines(t, resp.Body)
+	l, ok := lines["folded.js"]
+	if !ok || !l.Malicious {
+		t.Fatalf("deob-on scan lines = %+v, want folded.js malicious", lines)
+	}
+	if len(l.DeobPasses) == 0 {
+		t.Fatalf("NDJSON line missing deob_passes: %+v", l)
+	}
+
+	// Without the override the same batch stays benign.
+	resp2, err := http.Post(ts.URL+"/scan", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if l := decodeLines(t, resp2.Body)["folded.js"]; l.Malicious || len(l.DeobPasses) != 0 {
+		t.Fatalf("deob-off scan line = %+v, want benign with no passes", l)
+	}
+
+	// Invalid values 400 before any work is admitted.
+	resp3, err := http.Post(ts.URL+"/scan?deobfuscate=nope", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("deobfuscate=nope status = %d, want 400", resp3.StatusCode)
+	}
+}

@@ -561,9 +561,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// deobCtx resolves the optional ?deobfuscate= query parameter into a scan
+// context: absent keeps the engine's configured default, a boolean value
+// overrides it for this request only (scan.WithDeobfuscate). An
+// unparseable value is a client error.
+func deobCtx(r *http.Request) (context.Context, error) {
+	v := r.URL.Query().Get("deobfuscate")
+	if v == "" {
+		return r.Context(), nil
+	}
+	on, err := strconv.ParseBool(v)
+	if err != nil {
+		return nil, errors.New("invalid deobfuscate value (want a boolean)")
+	}
+	return scan.WithDeobfuscate(r.Context(), on), nil
+}
+
 // handleDetect classifies a single raw-JS POST body — the original
 // one-script endpoint, kept for simple callers and the CLI smoke tests.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	ctx, err := deobCtx(r)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
 		if isBodyTooLarge(err) {
@@ -579,7 +600,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	// The traced middleware already stocked the context with the registry,
 	// trace store, root span, and audit provenance.
-	res := s.engine().ScanSource(r.Context(), name, string(body))
+	res := s.engine().ScanSource(ctx, name, string(body))
 	resp := map[string]any{
 		"path":      res.Path,
 		"verdict":   res.Verdict.String(),
@@ -587,6 +608,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Tier != "" {
 		resp["tier"] = res.Tier
+	}
+	if len(res.DeobPasses) > 0 {
+		resp["deob_passes"] = res.DeobPasses
 	}
 	if res.Err != nil {
 		resp["error"] = res.Err.Error()
@@ -600,6 +624,11 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 // line per script as it completes — a slow script never blocks verdicts
 // for the rest of the batch (lines arrive in completion order).
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	ctx, err := deobCtx(r)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	srcs, err := parseBatch(r, s.cfg.MaxBatch)
 	if err != nil {
@@ -616,7 +645,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	var mu sync.Mutex
 	enc := json.NewEncoder(w)
-	s.engine().ScanSources(r.Context(), srcs, func(res scan.Result) {
+	s.engine().ScanSources(ctx, srcs, func(res scan.Result) {
 		mu.Lock()
 		defer mu.Unlock()
 		enc.Encode(toLine(res))

@@ -1,8 +1,9 @@
 #!/bin/sh
 # bench.sh: run the hot-path benchmarks across every optimized layer — the
-# scan engine (cold, cached, and tiered), the triage scorer, the embedding
-# network (per-script and batched), path hashing and extraction, end-to-end
-# detection, and the serving layer's batch
+# scan engine (cold, cached, tiered, and obfuscated-with/without
+# deobfuscation), the deobfuscation pass pipeline, the triage scorer, the
+# embedding network (per-script and batched), path hashing and extraction,
+# end-to-end detection, and the serving layer's batch
 # endpoint — and record one timestamped run
 # (with the git SHA) into BENCH_scan.json via cmd/benchcompare. Earlier
 # runs are preserved, so `make bench-compare` can diff the newest run
@@ -18,6 +19,10 @@ trap 'rm -f "$raw"' EXIT
 echo "==> scan engine benchmarks"
 go test -bench 'BenchmarkScan|BenchmarkContentHash' -benchmem -run '^$' \
     ./internal/scan/ | tee -a "$raw"
+
+echo "==> deobfuscation pipeline benchmarks"
+go test -bench 'BenchmarkDeobfuscate' -benchmem -run '^$' \
+    ./internal/deobfuscate/ | tee -a "$raw"
 
 echo "==> triage tier benchmarks"
 go test -bench 'BenchmarkTriage' -benchmem -run '^$' \

@@ -41,6 +41,13 @@ go test -race ./internal/queue/...
 echo "==> go test -race ./internal/triage/..."
 go test -race ./internal/triage/...
 
+# The deobfuscation pipeline rewrites per-scan AST state inside the scan
+# engine's worker pool, so its full suite (pass unit tests, the fuzz seed
+# corpus, and the print→re-parse idempotence checks) runs under the race
+# detector unconditionally.
+echo "==> go test -race ./internal/deobfuscate/..."
+go test -race ./internal/deobfuscate/...
+
 # Serve smoke test: build the CLI, train a tiny model, start the scan
 # service on an ephemeral port (-ready-file publishes the resolved
 # address), and exercise the full serving surface: /healthz, /metrics, a
@@ -55,6 +62,13 @@ trap 'kill $serve_pid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/jsrevealer" ./cmd/jsrevealer
 "$tmpdir/jsrevealer" train -benign 25 -malicious 25 -seed 7 \
     -model "$tmpdir/model.json" >/dev/null
+
+# Deob CLI smoke: the standalone normalizer must strip the opaque
+# predicate, unwrap the eval-of-literal, and fold the string halves.
+printf '%s' 'if (!![]) { eval("var x = \"a\" + \"b\";"); }' \
+    | "$tmpdir/jsrevealer" deob 2>/dev/null > "$tmpdir/deobcli.out"
+grep -q 'var x = "ab";' "$tmpdir/deobcli.out" || {
+    echo "deob CLI did not normalize the smoke input" >&2; exit 1; }
 "$tmpdir/jsrevealer" serve -addr 127.0.0.1:0 -model "$tmpdir/model.json" \
     -audit-dir "$tmpdir/audit" -ready-file "$tmpdir/addr" -log-level warn \
     -triage-threshold 0.30 &
@@ -89,6 +103,26 @@ grep -q '"verdict"' "$tmpdir/scanout" || {
     echo "/scan lines missing verdicts" >&2; exit 1; }
 grep -q '"name":"long.js".*"tier":"triage"' "$tmpdir/scanout" || {
     echo "/scan did not clear long.js through the triage tier" >&2; exit 1; }
+
+# Deobfuscation provenance: a per-request ?deobfuscate=1 scan of a script
+# with foldable string halves must name the passes that fired in its NDJSON
+# verdict line and in the audit trail.
+printf '%s\n' \
+    '{"name":"obf.js","source":"var h = \"ev\" + \"al\"; if (!![]) { var y = \"a\" + \"b\"; }"}' \
+    > "$tmpdir/deob.ndjson"
+curl -fsS -X POST --data-binary @"$tmpdir/deob.ndjson" \
+    -o "$tmpdir/deobout" "http://$addr/scan?deobfuscate=1"
+grep -q '"deob_passes":\[' "$tmpdir/deobout" || {
+    echo "/scan?deobfuscate=1 missing deob_passes provenance" >&2; exit 1; }
+deob_audit=""
+for _ in $(seq 1 50); do
+    if grep -q '"deob_passes":\[' "$tmpdir/audit/audit.ndjson" 2>/dev/null; then
+        deob_audit=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$deob_audit" ] || {
+    echo "audit trail missing deob_passes provenance" >&2; exit 1; }
 
 # Trace retention: the caller's trace id must be retrievable from
 # /debug/traces with the serve root span and the engine's file spans.
@@ -163,6 +197,8 @@ grep -Eq '^jsrevealer_scan_tier_total\{tier="pipeline"\} [1-9]' "$tmpdir/metrics
     echo "/metrics missing a non-zero pipeline tier counter" >&2; exit 1; }
 grep -q '^jsrevealer_scan_tier_duration_seconds_bucket' "$tmpdir/metrics" || {
     echo "/metrics missing per-tier duration histograms" >&2; exit 1; }
+grep -Eq '^jsrevealer_deob_pass_changes_total\{pass="[a-z]+"\} [1-9]' "$tmpdir/metrics" || {
+    echo "/metrics missing non-zero deobfuscation pass counters" >&2; exit 1; }
 grep -q '^jsrevealer_serve_queue_depth' "$tmpdir/metrics" || {
     echo "/metrics missing serve queue gauge" >&2; exit 1; }
 grep -q '^jsrevealer_serve_admission_rejects_total' "$tmpdir/metrics" || {
