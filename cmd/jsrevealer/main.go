@@ -5,13 +5,14 @@
 //	jsrevealer train  [-benign N] [-malicious N] [-seed N] [-train-workers N]
 //	                  [-batch-size N] [-checkpoint-dir DIR] [-resume]
 //	                  [-profile cpu|heap] -model model.json
-//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-cache-size N] [-triage-threshold T] [-deobfuscate] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
+//	jsrevealer detect -model model.json [-workers N] [-timeout D] [-max-bytes N] [-cache-size N] [-triage-threshold T] [-deobfuscate] [-rules-dir DIR] [-profile cpu|heap] [-stats-json out.json] file.js [file2.js ...]
 //	jsrevealer explain -model model.json [-top N]
 //	jsrevealer deob   [-max-rounds N] [-max-nodes N] [-timeout D] [file.js]
 //	jsrevealer serve  [-addr host:port] [-model model.json] [-log-level L]
 //	                  [-max-body N] [-max-batch N] [-max-concurrent N] [-max-queue N]
 //	                  [-rate R] [-burst N] [-max-jobs N] [-job-ttl D] [-drain-timeout D]
 //	                  [-triage-threshold T] [-deobfuscate]
+//	                  [-rules-dir DIR] [-alert-webhook URL]
 //
 // The train subcommand trains on the synthetic corpus, fanning the heavy
 // stages out over -train-workers CPUs (the fitted model is bit-identical at
@@ -23,8 +24,9 @@
 // service (internal/serve): /metrics, /healthz, net/http/pprof, and — when
 // a model is given — POST /detect (single script), POST /scan (streaming
 // NDJSON batch), POST /jobs + GET /jobs/{id} (async jobs), POST
-// /admin/reload and SIGHUP (model hot-reload with shadow validation), and
-// GET /version (live model provenance). Admission control (bounded queue,
+// /admin/reload and SIGHUP (model hot-reload with shadow validation), POST
+// /admin/reload-rules (rule-set hot-reload, with -rules-dir), and GET
+// /version (live model and rule-set provenance). Admission control (bounded queue,
 // per-client rate limiting) sheds overload as 429 with Retry-After, and
 // shutdown drains in-flight work within -drain-timeout.
 //
@@ -39,10 +41,14 @@
 // internal/deobfuscate-normalized source (constant folding, string-array
 // unfolding, eval-of-literal unwrapping, dead-branch elimination, escape
 // decoding); verdicts, cache keys, and audit digests still answer for the
-// original bytes. Files the full pipeline cannot classify degrade to a
-// lexical heuristic and are reported as DEGRADED with the structured reason
-// on stderr. Exit codes: 0 all benign, 1 at least one file flagged
-// malicious, 2 at least one file degraded or failed.
+// original bytes. With -rules-dir the declarative rules layer
+// (internal/rules) runs alongside the model: deny-list hits and forcing
+// signatures convict regardless of the model's score, allow-list hits
+// short-circuit benign, and matched rule ids are printed next to each
+// verdict. Files the full pipeline cannot classify degrade to a lexical
+// heuristic and are reported as DEGRADED with the structured reason on
+// stderr. Exit codes: 0 all benign, 1 at least one file flagged malicious,
+// 2 at least one file degraded or failed.
 //
 // deob runs the normalization pipeline standalone: it reads one file (or
 // stdin when no file is given), prints the normalized source to stdout, and
@@ -58,6 +64,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +72,7 @@ import (
 	"jsrevealer/internal/corpus"
 	"jsrevealer/internal/deobfuscate"
 	"jsrevealer/internal/obs"
+	"jsrevealer/internal/rules"
 	"jsrevealer/internal/scan"
 	"jsrevealer/internal/triage"
 )
@@ -174,6 +182,7 @@ func runDetect(args []string) (code int, err error) {
 	triageThreshold := fs.Float64("triage-threshold", 0,
 		"lexical triage threshold in (0,1]: scripts scoring below it are cleared as benign without parsing; 0 disables the triage tier (every file runs the full pipeline)")
 	deob := fs.Bool("deobfuscate", false, "normalize each script through the deobfuscation pipeline before classification")
+	rulesDir := fs.String("rules-dir", "", "directory of *.json rule files (IOC lists and signatures) combined with the model; empty disables the rules layer")
 	profile := fs.String("profile", "", "write a pprof profile of the run: cpu or heap")
 	profileOut := fs.String("profile-out", "jsrevealer-detect.pprof", "profile output path")
 	statsJSON := fs.String("stats-json", "", "write scan stats and the metrics snapshot as JSON to this path")
@@ -197,6 +206,21 @@ func runDetect(args []string) (code int, err error) {
 	if err != nil {
 		return 0, err
 	}
+	var ruleProvider rules.Provider
+	if *rulesDir != "" {
+		// The CLI loads rules once per invocation: same validation as a
+		// serve-side reload (including the shadow corpus), pinned at
+		// generation 1 for the run.
+		set, err := rules.Load(*rulesDir)
+		if err != nil {
+			return 0, err
+		}
+		if err := rules.ShadowValidate(set); err != nil {
+			return 0, fmt.Errorf("detect: shadow validation rejected %s: %w", *rulesDir, err)
+		}
+		set.Gen = 1
+		ruleProvider = rules.StaticProvider{Set: set}
+	}
 	eng := scan.New(det, scan.Config{
 		Workers:     *workers,
 		Timeout:     *timeout,
@@ -204,19 +228,28 @@ func runDetect(args []string) (code int, err error) {
 		CacheSize:   *cacheSize,
 		Triage:      triage.Config{Threshold: *triageThreshold},
 		Deobfuscate: deobfuscate.Config{Enabled: *deob},
+		Rules:       ruleProvider,
 	})
 	reg := obs.NewRegistry()
 	results, stats := eng.ScanFiles(obs.WithRegistry(context.Background(), reg), files)
 	exit := 0
 	for _, r := range results {
+		hits := ""
+		if len(r.RuleHits) > 0 {
+			names := make([]string, len(r.RuleHits))
+			for i, h := range r.RuleHits {
+				names[i] = h.Rule
+			}
+			hits = " [rules: " + strings.Join(names, ", ") + "]"
+		}
 		switch r.Verdict {
 		case scan.VerdictMalicious:
-			fmt.Printf("%s: MALICIOUS\n", r.Path)
+			fmt.Printf("%s: MALICIOUS%s\n", r.Path, hits)
 			if exit == 0 {
 				exit = 1
 			}
 		case scan.VerdictBenign:
-			fmt.Printf("%s: benign\n", r.Path)
+			fmt.Printf("%s: benign%s\n", r.Path, hits)
 		case scan.VerdictDegraded:
 			label := "benign"
 			if r.Malicious {
@@ -232,8 +265,8 @@ func runDetect(args []string) (code int, err error) {
 		}
 	}
 	fmt.Fprintf(os.Stderr,
-		"jsrevealer: scanned %d (flagged %d, triaged %d, deobfuscated %d, degraded %d, failed %d) in %s; latency p50 %s p99 %s\n",
-		stats.Scanned, stats.Flagged, stats.Triaged, stats.Deobfuscated, stats.Degraded, stats.Failed,
+		"jsrevealer: scanned %d (flagged %d, triaged %d, deobfuscated %d, rule-matched %d, degraded %d, failed %d) in %s; latency p50 %s p99 %s\n",
+		stats.Scanned, stats.Flagged, stats.Triaged, stats.Deobfuscated, stats.RuleMatched, stats.Degraded, stats.Failed,
 		stats.Wall.Round(time.Millisecond),
 		stats.P50.Round(time.Millisecond), stats.P99.Round(time.Millisecond))
 	fmt.Fprintf(os.Stderr,

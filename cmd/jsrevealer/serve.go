@@ -38,6 +38,10 @@ func runServe(args []string) error {
 		"lexical triage threshold in (0,1]: scripts scoring below it are cleared as benign without parsing; 0 disables the triage tier")
 	deob := fs.Bool("deobfuscate", false,
 		"normalize scripts through the deobfuscation pipeline before classification; per-request ?deobfuscate= overrides")
+	rulesDir := fs.String("rules-dir", "",
+		"directory of *.json rule files (IOC lists and signatures) combined with the model; hot-reloadable via SIGHUP or POST /admin/reload-rules (empty disables)")
+	alertWebhook := fs.String("alert-webhook", "",
+		"http(s) endpoint POSTed one JSON alert per deny hit or forcing-signature verdict (empty disables)")
 
 	// Serving-subsystem knobs.
 	maxBody := fs.Int64("max-body", serve.DefaultMaxBody, "per-request body cap in bytes")
@@ -99,6 +103,8 @@ func runServe(args []string) error {
 		SlowTrace:        *slowTrace,
 		ProfileDir:       *profileDir,
 		AuditDir:         *auditDir,
+		RulesDir:         *rulesDir,
+		AlertWebhook:     *alertWebhook,
 	}, obs.Default())
 	if err != nil {
 		return err
@@ -122,7 +128,10 @@ func runServe(args []string) error {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	// SIGHUP hot-reloads the model without dropping traffic.
+	// SIGHUP hot-reloads the model — and, when -rules-dir is set, the rule
+	// set — without dropping traffic. The two reloads are independent: a
+	// broken rule directory keeps the old rules (and the fresh model), and
+	// vice versa.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
@@ -132,17 +141,27 @@ func runServe(args []string) error {
 			if err != nil {
 				obs.DefaultLogger().Event(nil, obs.LevelError, "serve.reload",
 					"trigger", "sighup", "error", err.Error())
-				continue
+			} else {
+				obs.DefaultLogger().Event(nil, obs.LevelInfo, "serve.reload",
+					"trigger", "sighup", "model", v.ModelPath, "sha256", v.SHA256)
 			}
-			obs.DefaultLogger().Event(nil, obs.LevelInfo, "serve.reload",
-				"trigger", "sighup", "model", v.ModelPath, "sha256", v.SHA256)
+			if *rulesDir != "" {
+				info, err := s.ReloadRules()
+				if err != nil {
+					obs.DefaultLogger().Event(nil, obs.LevelError, "serve.reload_rules",
+						"trigger", "sighup", "error", err.Error())
+					continue
+				}
+				obs.DefaultLogger().Event(nil, obs.LevelInfo, "serve.reload_rules",
+					"trigger", "sighup", "dir", info.Dir, "rules", info.Rules, "gen", info.Gen)
+			}
 		}
 	}()
 
 	srv := &http.Server{Handler: requestLog(s.Handler())}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "jsrevealer: serving on http://%s (/metrics /healthz /scan /jobs /version /debug/pprof/)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "jsrevealer: serving on http://%s (/metrics /healthz /detect /scan /jobs /version /admin/reload /admin/reload-rules /debug/pprof/)\n", ln.Addr())
 	obs.DefaultLogger().Event(ctx, obs.LevelInfo, "serve.listening",
 		"addr", ln.Addr().String(), "model", *model)
 

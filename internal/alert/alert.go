@@ -1,0 +1,265 @@
+// Package alert pushes rule-hit notifications to an operator webhook. It is
+// the "tell someone" end of the rules engine: when a scan trips a deny rule
+// or a forcing signature, the scan engine publishes an Alert and moves on —
+// delivery happens on a background worker with capped-exponential-backoff
+// retries (internal/retry), through a bounded queue that drops and counts
+// under backpressure exactly like the audit writer. A slow or down webhook
+// endpoint can never stall or backlog the scan hot path.
+package alert
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/retry"
+	"jsrevealer/internal/rules"
+)
+
+// Metric family emitted by the sink.
+const (
+	// DeliveriesMetric counts alert outcomes by result: sent (delivered),
+	// failed (all attempts exhausted), dropped (queue full or sink closed).
+	DeliveriesMetric = "jsrevealer_rules_alert_total"
+)
+
+const deliveriesHelp = "Rule alerts by delivery result."
+
+// deliveryResults is the closed label set of DeliveriesMetric.
+var deliveryResults = []string{"sent", "failed", "dropped"}
+
+// Defaults for Config zero values.
+const (
+	// DefaultTimeout bounds one delivery attempt.
+	DefaultTimeout = 5 * time.Second
+	// DefaultMaxAttempts bounds deliveries per alert.
+	DefaultMaxAttempts = 3
+	// DefaultBuffer is the bounded alert-queue length.
+	DefaultBuffer = 256
+)
+
+// Alert is one webhook payload: the flagged script's identity plus the rule
+// hits that fired, mirroring the provenance in the audit trail so the two
+// can be joined on sha256 or trace_id.
+type Alert struct {
+	// Time is when the verdict was produced (stamped by Publish if zero).
+	Time time.Time `json:"ts"`
+	// Name identifies the script (batch record name or file path).
+	Name string `json:"name,omitempty"`
+	// SHA256 is the hex digest of the raw script bytes.
+	SHA256 string `json:"sha256,omitempty"`
+	// Verdict is the combined outcome class.
+	Verdict string `json:"verdict,omitempty"`
+	// Hits are the rule matches that warranted the alert.
+	Hits []rules.Hit `json:"rule_hits"`
+	// Source names the ingress path (detect|scan|jobs|durable|cli).
+	Source string `json:"source,omitempty"`
+	// TraceID links the alert to /debug/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
+	// RequestID echoes the caller's X-Request-Id.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// Publisher is the scan engine's view of the sink: a non-blocking publish.
+// A nil *Sink satisfies it as a no-op, so "alerts disabled" needs no guards.
+type Publisher interface {
+	// Publish enqueues an alert for delivery, reporting whether it was
+	// accepted (false means dropped under backpressure or after Close).
+	Publish(a Alert) bool
+}
+
+// Config tunes a Sink.
+type Config struct {
+	// URL is the webhook endpoint; alerts are POSTed to it as JSON.
+	// Required, and must be http(s).
+	URL string
+	// Timeout bounds one delivery attempt; <= 0 means DefaultTimeout.
+	Timeout time.Duration
+	// MaxAttempts bounds deliveries per alert before it is counted
+	// failed; <= 0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// Buffer bounds the alert queue; <= 0 means DefaultBuffer. When full,
+	// Publish drops (and counts) instead of blocking.
+	Buffer int
+	// Retry is the backoff schedule between attempts; the zero value is
+	// the retry package's default (100ms·2^n capped at 30s, full jitter).
+	Retry retry.Policy
+	// Registry receives the alert metrics; nil means obs.Default().
+	Registry *obs.Registry
+	// Client overrides the HTTP client (tests); nil builds one from
+	// Timeout.
+	Client *http.Client
+}
+
+// Sink delivers alerts to the configured webhook from a single background
+// worker. All methods are safe for concurrent use; Publish never blocks.
+// A nil *Sink drops everything silently, so call sites need no guards.
+type Sink struct {
+	cfg     Config
+	client  *http.Client
+	ch      chan Alert
+	closeCh chan struct{}
+	doneCh  chan struct{}
+
+	sent    *obs.Counter
+	failed  *obs.Counter
+	dropped *obs.Counter
+}
+
+// RegisterMetrics pre-creates the alert metric series in reg (zero-valued)
+// so the exposition surface is complete before the first alert.
+func RegisterMetrics(reg *obs.Registry) {
+	for _, r := range deliveryResults {
+		reg.Counter(DeliveriesMetric, deliveriesHelp, obs.Labels{"result": r})
+	}
+}
+
+// Open validates the webhook URL and starts the delivery worker.
+func Open(cfg Config) (*Sink, error) {
+	u, err := url.Parse(cfg.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("alert: webhook URL %q is not a valid http(s) URL", cfg.URL)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	s := &Sink{
+		cfg:     cfg,
+		client:  client,
+		ch:      make(chan Alert, cfg.Buffer),
+		closeCh: make(chan struct{}),
+		doneCh:  make(chan struct{}),
+		sent:    reg.Counter(DeliveriesMetric, deliveriesHelp, obs.Labels{"result": "sent"}),
+		failed:  reg.Counter(DeliveriesMetric, deliveriesHelp, obs.Labels{"result": "failed"}),
+		dropped: reg.Counter(DeliveriesMetric, deliveriesHelp, obs.Labels{"result": "dropped"}),
+	}
+	go s.run()
+	return s, nil
+}
+
+// Publish implements Publisher: enqueue and return. When the queue is full
+// or the sink is closed the alert is dropped and counted — backpressure
+// from a dead webhook must never reach the scan path. Publish on a nil sink
+// reports false.
+func (s *Sink) Publish(a Alert) bool {
+	if s == nil {
+		return false
+	}
+	if a.Time.IsZero() {
+		a.Time = time.Now()
+	}
+	select {
+	case <-s.closeCh:
+		s.dropped.Inc()
+		return false
+	default:
+	}
+	select {
+	case s.ch <- a:
+		return true
+	default:
+		s.dropped.Inc()
+		return false
+	}
+}
+
+// Close stops the worker after it drains whatever is already queued, waiting
+// for in-flight deliveries (bounded by MaxAttempts × Timeout plus backoff).
+// Alerts published after Close are dropped. Close on a nil sink is a no-op.
+func (s *Sink) Close() error {
+	if s == nil {
+		return nil
+	}
+	select {
+	case <-s.closeCh:
+		<-s.doneCh
+		return nil
+	default:
+	}
+	close(s.closeCh)
+	<-s.doneCh
+	return nil
+}
+
+// run is the delivery worker: deliver queued alerts one at a time, drain on
+// Close, stop.
+func (s *Sink) run() {
+	defer close(s.doneCh)
+	for {
+		select {
+		case a := <-s.ch:
+			s.deliver(a)
+		case <-s.closeCh:
+			for {
+				select {
+				case a := <-s.ch:
+					s.deliver(a)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// deliver POSTs one alert, retrying transient failures on the backoff
+// schedule. Any 2xx status is success; anything else (including transport
+// errors) is retried until MaxAttempts.
+func (s *Sink) deliver(a Alert) {
+	body, err := json.Marshal(a)
+	if err != nil {
+		// Alert contains only marshalable fields; unreachable short of
+		// memory corruption.
+		s.failed.Inc()
+		return
+	}
+	// Deliveries started before Close finish their attempt schedule; the
+	// background context keeps retries alive through a drain.
+	err = s.cfg.Retry.Do(context.Background(), s.cfg.MaxAttempts, func() error {
+		return s.post(body)
+	})
+	if err != nil {
+		s.failed.Inc()
+		return
+	}
+	s.sent.Inc()
+}
+
+// post performs one delivery attempt.
+func (s *Sink) post(body []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("alert: webhook returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package alert
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/retry"
+	"jsrevealer/internal/rules"
+)
+
+// fastRetry removes jitter sleep from tests.
+var fastRetry = retry.Policy{Base: time.Millisecond, Cap: time.Millisecond, Rand: func() float64 { return 0 }}
+
+func counterValue(reg *obs.Registry, name, label, value string) float64 {
+	for _, p := range reg.Snapshot().Counters {
+		if p.Name == name && p.Labels[label] == value {
+			return p.Value
+		}
+	}
+	return -1
+}
+
+func TestSinkDelivers(t *testing.T) {
+	var mu sync.Mutex
+	var got []Alert
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var a Alert
+		if err := json.Unmarshal(body, &a); err != nil {
+			t.Errorf("bad payload: %v", err)
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content-type = %q", ct)
+		}
+		mu.Lock()
+		got = append(got, a)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	s, err := Open(Config{URL: srv.URL, Registry: reg, Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := s.Publish(Alert{
+		Name: "evil.js", SHA256: "abc", Verdict: "MALICIOUS",
+		Hits: []rules.Hit{{Rule: "exfil", Kind: rules.HitDeny, Severity: rules.SeverityHigh, Evidence: "evil.com"}},
+	})
+	if !ok {
+		t.Fatal("Publish refused")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	a := got[0]
+	if a.Name != "evil.js" || len(a.Hits) != 1 || a.Hits[0].Rule != "exfil" || a.Time.IsZero() {
+		t.Fatalf("payload = %+v", a)
+	}
+	if v := counterValue(reg, DeliveriesMetric, "result", "sent"); v != 1 {
+		t.Fatalf("sent counter = %v", v)
+	}
+}
+
+func TestSinkRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+	}))
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	s, err := Open(Config{URL: srv.URL, Registry: reg, Retry: fastRetry, MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Publish(Alert{Name: "a.js"})
+	s.Close()
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+	if v := counterValue(reg, DeliveriesMetric, "result", "sent"); v != 1 {
+		t.Fatalf("sent counter = %v", v)
+	}
+}
+
+func TestSinkCountsFailures(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	s, err := Open(Config{URL: srv.URL, Registry: reg, Retry: fastRetry, MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Publish(Alert{Name: "a.js"})
+	s.Close()
+	if v := counterValue(reg, DeliveriesMetric, "result", "failed"); v != 1 {
+		t.Fatalf("failed counter = %v", v)
+	}
+}
+
+func TestSinkDropsUnderBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	var closeOnce sync.Once
+	unblock := func() { closeOnce.Do(func() { close(block) }) }
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer unblock()
+	reg := obs.NewRegistry()
+	s, err := Open(Config{URL: srv.URL, Registry: reg, Retry: fastRetry, Buffer: 1, MaxAttempts: 1, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One alert occupies the worker, one fills the buffer; everything
+	// beyond must drop without blocking.
+	deadline := time.Now().Add(2 * time.Second)
+	dropped := false
+	for time.Now().Before(deadline) && !dropped {
+		if !s.Publish(Alert{Name: "x.js"}) {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Fatal("Publish never dropped with a wedged webhook")
+	}
+	if v := counterValue(reg, DeliveriesMetric, "result", "dropped"); v < 1 {
+		t.Fatalf("dropped counter = %v", v)
+	}
+	unblock()
+	s.Close()
+}
+
+func TestSinkNilIsNoop(t *testing.T) {
+	var s *Sink
+	if s.Publish(Alert{Name: "x"}) {
+		t.Fatal("nil sink accepted an alert")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsBadURL(t *testing.T) {
+	for _, u := range []string{"", "not-a-url", "ftp://x/y", "http://"} {
+		if _, err := Open(Config{URL: u}); err == nil {
+			t.Errorf("Open(%q) accepted", u)
+		}
+	}
+}
+
+func TestPublishAfterCloseDrops(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	s, err := Open(Config{URL: srv.URL, Registry: reg, Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if s.Publish(Alert{Name: "late.js"}) {
+		t.Fatal("Publish after Close accepted")
+	}
+	if v := counterValue(reg, DeliveriesMetric, "result", "dropped"); v != 1 {
+		t.Fatalf("dropped counter = %v", v)
+	}
+}

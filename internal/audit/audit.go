@@ -29,6 +29,8 @@ import (
 	"strings"
 	"time"
 
+	"jsrevealer/internal/rules"
+
 	"jsrevealer/internal/obs"
 )
 
@@ -118,6 +120,11 @@ type Record struct {
 	// off or no pass fired. Part of verdict provenance: a flag raised on
 	// deobfuscated source names the passes that exposed it.
 	DeobPasses []string `json:"deob_passes,omitempty"`
+	// RuleHits lists the declarative-rule matches behind the verdict, most
+	// decisive first — absent when rules are off or nothing matched. With
+	// tier "rules" the leading hit decided the verdict; otherwise the hits
+	// annotate the model's answer.
+	RuleHits []rules.Hit `json:"rule_hits,omitempty"`
 }
 
 // Options tunes a Log; zero values select the defaults above.

@@ -1,0 +1,34 @@
+// FuzzRuleParse pins the load path's core safety property: arbitrary bytes
+// never panic or hang the parser, and anything Parse accepts must also
+// compile and evaluate without panicking — the exact sequence a hot reload
+// runs on an operator-supplied file.
+package rules
+
+import (
+	"context"
+	"testing"
+)
+
+func FuzzRuleParse(f *testing.F) {
+	f.Add([]byte(`{"version":1,"deny":[{"id":"a","domains":["evil.com"],"ips":["1.2.3.4"],"tlds":[".xyz"],"strings":["coinhive"]}]}`))
+	f.Add([]byte(`{"version":1,"allow":[{"id":"b","domains":["ok.example"]}]}`))
+	f.Add([]byte(`{"version":1,"signatures":[{"id":"s","severity":"high","match":{"all":[{"substring":"eval("},{"any":[{"regex":"new\\s+Function"},{"not":{"substring":"jquery"}}]},{"path":{"node":"CallExpression","min_count":2}}]}}]}`))
+	f.Add([]byte(`{"version":1,"signatures":[{"id":"x","match":{"ref":"y"}},{"id":"y","match":{"substring":"z"}}]}`))
+	f.Add([]byte(`{"version":1`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse("fuzz.json", data)
+		if err != nil {
+			return
+		}
+		set, err := Compile([]*File{file})
+		if err != nil {
+			return
+		}
+		ctx := context.Background()
+		const probe = `var u = "https://cdn.evil.com/x?a=1"; eval(unescape('%61'));`
+		set.EvalText(ctx, probe)
+		set.Eval(ctx, Input{Name: "fuzz.js", Raw: probe, Normalized: probe})
+	})
+}

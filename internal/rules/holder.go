@@ -1,0 +1,184 @@
+// Hot reload: the generation holder for rule sets, mirroring the serving
+// layer's model holder. Reads on the scan path are one atomic load; reloads
+// are serialized, shadow-validated, and swap whole immutable generations —
+// a broken rule directory can never replace a working set.
+package rules
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jsrevealer/internal/js/parser"
+	"jsrevealer/internal/obs"
+)
+
+// Provider yields the rule set currently taking traffic. The scan engine
+// holds a Provider rather than a Set so every in-flight engine generation
+// observes rule reloads without being rebuilt.
+type Provider interface {
+	// Current returns the live set; nil means rules are disabled.
+	Current() *Set
+}
+
+// StaticProvider serves one fixed rule set: the CLI loads rules once per
+// invocation and never reloads, so it has no use for a Holder.
+type StaticProvider struct {
+	// Set is the fixed set to serve; nil means rules are disabled.
+	Set *Set
+}
+
+// Current implements Provider.
+func (p StaticProvider) Current() *Set { return p.Set }
+
+// Holder owns the live rule-set generation behind an atomic pointer and
+// implements Provider. The zero value is not usable; construct with
+// NewHolder and call Reload to load the first generation.
+type Holder struct {
+	dir     string
+	reg     *obs.Registry
+	cur     atomic.Pointer[Set]
+	gen     atomic.Uint64
+	reloads atomic.Int64
+
+	mu sync.Mutex // serializes reload attempts
+}
+
+// Info is the operator-facing snapshot of the live rule set, exposed on
+// /version and returned by reload endpoints.
+type Info struct {
+	// Dir is the directory the set was loaded from.
+	Dir string `json:"dir"`
+	// Files is the number of rule files in the set.
+	Files int `json:"files"`
+	// Rules is the total rule count (lists plus signatures).
+	Rules int `json:"rules"`
+	// Gen is the live generation number (1 for the first load).
+	Gen uint64 `json:"gen"`
+	// LoadedAt is when the set took traffic.
+	LoadedAt time.Time `json:"loaded_at"`
+	// Reloads counts successful reloads including the first load.
+	Reloads int64 `json:"reloads"`
+}
+
+// NewHolder returns an empty holder over dir. reg receives reload metrics;
+// nil selects the default registry. No rules are loaded until Reload.
+func NewHolder(dir string, reg *obs.Registry) *Holder {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Holder{dir: dir, reg: reg}
+}
+
+// Current implements Provider; it returns nil until the first successful
+// Reload.
+func (h *Holder) Current() *Set { return h.cur.Load() }
+
+// Reload loads the holder's directory, shadow-validates the compiled set,
+// and — only then — swaps it in as the live generation. On any error the
+// previous generation keeps serving untouched and the error is returned for
+// the operator.
+func (h *Holder) Reload() (Info, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	set, err := Load(h.dir)
+	if err != nil {
+		h.reg.Counter(metricReload, helpReload, obs.Labels{"result": "error"}).Inc()
+		return Info{}, err
+	}
+	if err := ShadowValidate(set); err != nil {
+		h.reg.Counter(metricReload, helpReload, obs.Labels{"result": "error"}).Inc()
+		return Info{}, fmt.Errorf("rules: shadow validation rejected %s: %w", h.dir, err)
+	}
+	set.Gen = h.gen.Add(1)
+	set.loadedAt = time.Now()
+	RegisterSetMetrics(h.reg, set)
+	h.cur.Store(set)
+	h.reloads.Add(1)
+	h.reg.Counter(metricReload, helpReload, obs.Labels{"result": "ok"}).Inc()
+	return h.infoLocked(set), nil
+}
+
+// Info snapshots the live set for /version; the zero Info means no rules
+// are loaded.
+func (h *Holder) Info() Info {
+	if h == nil {
+		return Info{}
+	}
+	set := h.cur.Load()
+	if set == nil {
+		return Info{Dir: h.dir, Reloads: h.reloads.Load()}
+	}
+	return h.infoLocked(set)
+}
+
+func (h *Holder) infoLocked(set *Set) Info {
+	return Info{
+		Dir:      h.dir,
+		Files:    set.Files(),
+		Rules:    set.Rules(),
+		Gen:      set.Gen,
+		LoadedAt: set.loadedAt,
+		Reloads:  h.reloads.Load(),
+	}
+}
+
+// shadowCorpus is the embedded validation set: plainly benign scripts a
+// sane rule set must never deny, plus a suspicious canary that merely must
+// not break evaluation. Mirrors the model holder's smoke corpus.
+var shadowCorpus = []struct {
+	name   string
+	benign bool
+	src    string
+}{
+	{"shadow-plain.js", true, "function greet(name) { return 'hello ' + name; }\ngreet('world');"},
+	{"shadow-loop.js", true, "var total = 0;\nfor (var i = 0; i < 100; i++) { total += i * i; }"},
+	{"shadow-dynamic.js", false, "var payload = unescape('%61%6c%65%72%74');\nvar fn = new Function(payload + '(1)');\nfn();"},
+}
+
+// shadowTimeout bounds the whole shadow pass; a rule set that cannot
+// evaluate three tiny scripts in this budget has no business taking traffic.
+const shadowTimeout = 30 * time.Second
+
+// ShadowValidate runs the candidate set over the embedded corpus before it
+// can take traffic. It rejects sets that panic or time out, and sets that
+// deny or force-match the plainly benign scripts — the fat-fingered rule
+// ("deny every script containing `function`") that would flag the whole
+// internet. Reload calls it automatically; it is exported so operators can
+// pre-flight rule directories in tests and tooling.
+func ShadowValidate(s *Set) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic during evaluation: %v", r)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), shadowTimeout)
+	defer cancel()
+	// Route shadow metrics to a throwaway registry: validation runs must
+	// not pollute live eval/hit counters.
+	ctx = obs.WithRegistry(ctx, obs.NewRegistry())
+	for _, sc := range shadowCorpus {
+		if ctx.Err() != nil {
+			return fmt.Errorf("timed out")
+		}
+		v := s.EvalText(ctx, sc.src)
+		prog, _ := parser.Parse(sc.src)
+		full := s.Eval(ctx, Input{Name: sc.name, Raw: sc.src, Normalized: sc.src, Prog: prog})
+		if sc.benign && (v.Action == ActionMalicious || full.Action == ActionMalicious) {
+			return fmt.Errorf("%s: benign shadow script matched %s", sc.name, firstForcing(append(v.Hits, full.Hits...)))
+		}
+	}
+	return nil
+}
+
+// firstForcing names the rule to blame in a shadow-validation rejection.
+func firstForcing(hits []Hit) string {
+	for _, h := range hits {
+		if h.Kind == HitDeny || (h.Kind == HitSignature && Forcing(h.Severity)) {
+			return fmt.Sprintf("rule %q (%s)", h.Rule, h.Kind)
+		}
+	}
+	return "a forcing rule"
+}

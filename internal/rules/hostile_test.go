@@ -1,0 +1,134 @@
+// Hostile rule-file suite: every malformed, oversized, cyclic, or
+// nonsensical rule set must fail loudly at load — never truncate, never
+// partially apply, never take traffic.
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRejectsHostileFiles(t *testing.T) {
+	deep := strings.Repeat(`{"not":`, MaxMatchDepth+1) + `{"substring":"x"}` + strings.Repeat(`}`, MaxMatchDepth+1)
+	wide := `{"all":[` + strings.TrimSuffix(strings.Repeat(`{"substring":"x"},`, MaxMatchNodes+1), ",") + `]}`
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"malformed json", `{"version":1,`, "unexpected EOF"},
+		{"trailing garbage", `{"version":1,"deny":[{"id":"a","domains":["x.co"]}]} {"more":1}`, "trailing data"},
+		{"unknown field", `{"version":1,"signature":[{"id":"a"}]}`, "unknown field"},
+		{"missing version", `{"deny":[{"id":"a","domains":["x.co"]}]}`, "version 0"},
+		{"wrong version", `{"version":2,"deny":[{"id":"a","domains":["x.co"]}]}`, "version 2, want 1"},
+		{"list without id", `{"version":1,"deny":[{"domains":["x.co"]}]}`, "missing id"},
+		{"empty list rule", `{"version":1,"deny":[{"id":"a"}]}`, "no entries"},
+		{"empty list entry", `{"version":1,"deny":[{"id":"a","domains":[""]}]}`, "empty list entry"},
+		{"bad severity", `{"version":1,"deny":[{"id":"a","severity":"fatal","domains":["x.co"]}]}`, "unknown severity"},
+		{"sig without match", `{"version":1,"signatures":[{"id":"s"}]}`, "missing match"},
+		{"empty matcher", `{"version":1,"signatures":[{"id":"s","match":{}}]}`, "empty match node"},
+		{"two-field matcher", `{"version":1,"signatures":[{"id":"s","match":{"substring":"a","regex":"b"}}]}`, "want exactly one"},
+		{"bad regex", `{"version":1,"signatures":[{"id":"s","match":{"regex":"("}}]}`, "bad regex"},
+		{"oversized regex", `{"version":1,"signatures":[{"id":"s","match":{"regex":"` + strings.Repeat("a", MaxRegexLen+1) + `"}}]}`, "regex longer"},
+		{"vacuous path pred", `{"version":1,"signatures":[{"id":"s","match":{"path":{}}}]}`, "constrains nothing"},
+		{"negative min_count", `{"version":1,"signatures":[{"id":"s","match":{"path":{"node":"CallExpression","min_count":-1}}}]}`, "negative min_count"},
+		{"over-deep tree", `{"version":1,"signatures":[{"id":"s","match":` + deep + `}]}`, "deeper than"},
+		{"over-wide tree", `{"version":1,"signatures":[{"id":"s","match":` + wide + `}]}`, "match nodes"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.name+".json", []byte(c.src))
+		if err == nil {
+			t.Errorf("%s: Parse accepted hostile input", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseRejectsOversizedFile(t *testing.T) {
+	big := make([]byte, MaxFileBytes+1)
+	if _, err := Parse("big.json", big); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized file: %v", err)
+	}
+}
+
+func TestCompileRejectsCrossFileHazards(t *testing.T) {
+	parse := func(name, src string) *File {
+		t.Helper()
+		f, err := Parse(name, []byte(src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return f
+	}
+	t.Run("duplicate ids across files", func(t *testing.T) {
+		a := parse("a.json", `{"version":1,"deny":[{"id":"dup","domains":["x.co"]}]}`)
+		b := parse("b.json", `{"version":1,"signatures":[{"id":"dup","match":{"substring":"x"}}]}`)
+		if _, err := Compile([]*File{a, b}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("dangling ref", func(t *testing.T) {
+		a := parse("a.json", `{"version":1,"signatures":[{"id":"s","match":{"ref":"ghost"}}]}`)
+		if _, err := Compile([]*File{a}); err == nil || !strings.Contains(err.Error(), "does not name a signature") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("ref cycle", func(t *testing.T) {
+		a := parse("a.json", `{"version":1,"signatures":[
+			{"id":"x","match":{"all":[{"substring":"a"},{"ref":"y"}]}},
+			{"id":"y","match":{"any":[{"ref":"z"}]}},
+			{"id":"z","match":{"not":{"ref":"x"}}}
+		]}`)
+		if _, err := Compile([]*File{a}); err == nil || !strings.Contains(err.Error(), "cycle") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("self ref", func(t *testing.T) {
+		a := parse("a.json", `{"version":1,"signatures":[{"id":"x","match":{"ref":"x"}}]}`)
+		if _, err := Compile([]*File{a}); err == nil || !strings.Contains(err.Error(), "cycle") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("cross-file ref resolves", func(t *testing.T) {
+		a := parse("a.json", `{"version":1,"signatures":[{"id":"base","match":{"substring":"eval("}}]}`)
+		b := parse("b.json", `{"version":1,"signatures":[{"id":"uses","severity":"high","match":{"ref":"base"}}]}`)
+		if _, err := Compile([]*File{a, b}); err != nil {
+			t.Fatalf("cross-file ref should compile: %v", err)
+		}
+	})
+}
+
+func TestLoadRejectsBadDirectories(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil || !strings.Contains(err.Error(), "no *.json") {
+		t.Fatalf("empty dir: %v", err)
+	}
+	if _, err := Load("/nonexistent-rules-dir"); err == nil {
+		t.Fatal("missing dir should error")
+	}
+}
+
+func TestTooManyRules(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"version":1,"deny":[`)
+	for i := 0; i <= MaxRules; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"id":"r`)
+		for _, d := range []byte{byte('0' + i/1000%10), byte('0' + i/100%10), byte('0' + i/10%10), byte('0' + i%10)} {
+			sb.WriteByte(d)
+		}
+		sb.WriteString(`","domains":["x.co"]}`)
+	}
+	sb.WriteString(`]}`)
+	f, err := Parse("many.json", []byte(sb.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := Compile([]*File{f}); err == nil || !strings.Contains(err.Error(), "more than") {
+		t.Fatalf("err = %v", err)
+	}
+}

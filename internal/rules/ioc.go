@@ -1,0 +1,147 @@
+// IOC extraction and list matching. Indicators are matched against
+// host-shaped and IPv4-shaped tokens pulled out of the script text (raw and
+// deobfuscated) and out of AST string literals, not by blind substring
+// search: "evil.com" on a deny list must flag cdn.evil.com but never
+// notevil.com. EvalText's substring prefilter is only an admission gate —
+// every prefilter hit is confirmed by proper extraction before it counts.
+package rules
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Extraction regexes. Host demands at least two labels with an alphabetic
+// final label of plausible TLD length, which also keeps it from matching the
+// numeric tokens the IP regex owns.
+var (
+	reHost = regexp.MustCompile(`(?i)[a-z0-9](?:[a-z0-9-]{0,62})(?:\.[a-z0-9](?:[a-z0-9-]{0,62}))*\.[a-z]{2,24}\b`)
+	reIP   = regexp.MustCompile(`(?:\d{1,3}\.){3}\d{1,3}`)
+)
+
+// maxIOCTokens caps extraction per text so a hostile script cannot turn
+// rule evaluation into unbounded work.
+const maxIOCTokens = 512
+
+// iocSet holds the deduplicated host and IP tokens extracted from one
+// script's views.
+type iocSet struct {
+	hosts []string // lowercase
+	ips   []string
+}
+
+// extractInto scans s and appends newly seen host/IP tokens, lowercased and
+// deduplicated via seen, up to maxIOCTokens per category.
+func (io *iocSet) extractInto(s string, seen map[string]bool) {
+	if len(io.hosts) < maxIOCTokens {
+		for _, h := range reHost.FindAllString(s, maxIOCTokens-len(io.hosts)) {
+			h = strings.ToLower(h)
+			if !seen["h:"+h] {
+				seen["h:"+h] = true
+				io.hosts = append(io.hosts, h)
+			}
+		}
+	}
+	if len(io.ips) < maxIOCTokens {
+		for _, ip := range reIP.FindAllString(s, maxIOCTokens-len(io.ips)) {
+			if validIPv4(ip) && !seen["i:"+ip] {
+				seen["i:"+ip] = true
+				io.ips = append(io.ips, ip)
+			}
+		}
+	}
+}
+
+// validIPv4 rejects dotted quads with out-of-range octets, which the
+// deliberately loose regex lets through.
+func validIPv4(s string) bool {
+	for _, part := range strings.SplitN(s, ".", 4) {
+		if len(part) > 1 && part[0] == '0' {
+			return false
+		}
+		n := 0
+		for i := 0; i < len(part); i++ {
+			n = n*10 + int(part[i]-'0')
+		}
+		if n > 255 {
+			return false
+		}
+	}
+	return true
+}
+
+// matchList checks one compiled list against the extracted IOCs and the
+// script texts, returning the first matching indicator as evidence.
+func (cl *compiledList) match(io *iocSet, texts []string) (string, bool) {
+	for _, h := range io.hosts {
+		for _, d := range cl.domains {
+			if hostMatches(h, d) {
+				return h, true
+			}
+		}
+		for _, t := range cl.tlds {
+			if strings.HasSuffix(h, "."+t) {
+				return h, true
+			}
+		}
+	}
+	if cl.ips != nil {
+		for _, ip := range io.ips {
+			if _, ok := cl.ips[ip]; ok {
+				return ip, true
+			}
+		}
+	}
+	for _, s := range cl.strs {
+		for _, text := range texts {
+			if strings.Contains(text, s) {
+				return s, true
+			}
+		}
+	}
+	return "", false
+}
+
+// hostMatches reports whether host equals domain or is a subdomain of it.
+// Both are lowercase.
+func hostMatches(host, domain string) bool {
+	if host == domain {
+		return true
+	}
+	return len(host) > len(domain) && strings.HasSuffix(host, domain) &&
+		host[len(host)-len(domain)-1] == '.'
+}
+
+// containsFold reports whether s contains needle ASCII-case-insensitively,
+// without allocating: the pre-triage prefilter runs on every scanned script,
+// so it cannot afford to lowercase multi-megabyte sources.
+func containsFold(s, needle string) bool {
+	n := len(needle)
+	if n == 0 {
+		return true
+	}
+	if n > len(s) {
+		return false
+	}
+	c0 := lowerByte(needle[0])
+	for i := 0; i+n <= len(s); i++ {
+		if lowerByte(s[i]) != c0 {
+			continue
+		}
+		j := 1
+		for j < n && lowerByte(s[i+j]) == lowerByte(needle[j]) {
+			j++
+		}
+		if j == n {
+			return true
+		}
+	}
+	return false
+}
+
+func lowerByte(b byte) byte {
+	if 'A' <= b && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}

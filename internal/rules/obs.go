@@ -1,0 +1,60 @@
+package rules
+
+import "jsrevealer/internal/obs"
+
+// Metric families emitted by the rules layer. Evaluation metrics land in the
+// registry carried by the scan's context; reload metrics land in the
+// registry the Holder was built with — both are the registry `jsrevealer
+// serve` exposes on /metrics.
+const (
+	// EvalsMetric counts rule-set evaluations by outcome
+	// (deny|force|allow|annotate|none).
+	EvalsMetric = "jsrevealer_rules_evals_total"
+	// HitsMetric counts rule matches, labeled per rule ID.
+	HitsMetric = "jsrevealer_rules_hits_total"
+	// ReloadMetric counts rule-set reload attempts by result (ok|error).
+	ReloadMetric = "jsrevealer_rules_reload_total"
+)
+
+const (
+	metricEvals  = EvalsMetric
+	metricHits   = HitsMetric
+	metricReload = ReloadMetric
+	helpEvals    = "Rule-set evaluations by outcome."
+	helpHits     = "Rule matches by rule ID."
+	helpReload   = "Rule-set reload attempts by result."
+)
+
+// evalOutcomes is the closed label set of EvalsMetric.
+var evalOutcomes = []string{"deny", "force", "allow", "annotate", "none"}
+
+// RegisterMetrics pre-creates the closed-label rules metric series in reg
+// (zero-valued), so an exposition endpoint shows the surface before the
+// first evaluation. HitsMetric is labeled by rule ID and appears as rules
+// fire; RegisterSetMetrics pre-creates it for a loaded set.
+func RegisterMetrics(reg *obs.Registry) {
+	for _, o := range evalOutcomes {
+		reg.Counter(metricEvals, helpEvals, obs.Labels{"outcome": o})
+	}
+	for _, r := range []string{"ok", "error"} {
+		reg.Counter(metricReload, helpReload, obs.Labels{"result": r})
+	}
+}
+
+// RegisterSetMetrics pre-creates the per-rule hit series for every rule in
+// s, so operators see zero-valued counters for rules that have never fired —
+// the difference between "rule never matched" and "rule never loaded".
+func RegisterSetMetrics(reg *obs.Registry, s *Set) {
+	if s == nil {
+		return
+	}
+	for _, cl := range s.deny {
+		reg.Counter(metricHits, helpHits, obs.Labels{"rule": cl.id})
+	}
+	for _, cl := range s.allow {
+		reg.Counter(metricHits, helpHits, obs.Labels{"rule": cl.id})
+	}
+	for _, cs := range s.sigs {
+		reg.Counter(metricHits, helpHits, obs.Labels{"rule": cs.id})
+	}
+}

@@ -1,0 +1,217 @@
+// Rule-file parsing and structural validation. Everything here fails loudly:
+// oversized files, unknown fields, bad versions, empty matchers, invalid
+// regexes, and over-deep or over-wide match trees are errors, never
+// best-effort partial loads — an operator must know when a rule is not live.
+package rules
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Parse decodes and structurally validates one rule file. name is used only
+// in error messages. Parse never panics on arbitrary input (FuzzRuleParse
+// pins this); semantic checks that need the whole set — duplicate IDs across
+// files, ref resolution, cycle detection — happen in Load.
+func Parse(name string, data []byte) (*File, error) {
+	if len(data) > MaxFileBytes {
+		return nil, fmt.Errorf("rules: %s: file is %d bytes, limit %d", name, len(data), MaxFileBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("rules: %s: %w", name, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("rules: %s: trailing data after rule object", name)
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("rules: %s: version %d, want %d", name, f.Version, Version)
+	}
+	for i := range f.Allow {
+		if err := validateList(&f.Allow[i]); err != nil {
+			return nil, fmt.Errorf("rules: %s: allow[%d]: %w", name, i, err)
+		}
+	}
+	for i := range f.Deny {
+		if err := validateList(&f.Deny[i]); err != nil {
+			return nil, fmt.Errorf("rules: %s: deny[%d]: %w", name, i, err)
+		}
+	}
+	for i := range f.Signatures {
+		if err := validateSignature(&f.Signatures[i]); err != nil {
+			return nil, fmt.Errorf("rules: %s: signatures[%d]: %w", name, i, err)
+		}
+	}
+	return &f, nil
+}
+
+// validSeverity reports whether sev is one of the declared severity levels.
+func validSeverity(sev string) bool {
+	switch sev {
+	case SeverityInfo, SeverityLow, SeverityMedium, SeverityHigh, SeverityCritical:
+		return true
+	}
+	return false
+}
+
+func validateList(r *ListRule) error {
+	if r.ID == "" {
+		return fmt.Errorf("missing id")
+	}
+	if r.Severity != "" && !validSeverity(r.Severity) {
+		return fmt.Errorf("%s: unknown severity %q", r.ID, r.Severity)
+	}
+	n := len(r.Domains) + len(r.IPs) + len(r.TLDs) + len(r.Strings)
+	if n == 0 {
+		return fmt.Errorf("%s: list rule has no entries", r.ID)
+	}
+	if n > MaxListEntries {
+		return fmt.Errorf("%s: %d entries, limit %d", r.ID, n, MaxListEntries)
+	}
+	for _, group := range [][]string{r.Domains, r.IPs, r.TLDs, r.Strings} {
+		for _, e := range group {
+			if e == "" {
+				return fmt.Errorf("%s: empty list entry", r.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func validateSignature(s *Signature) error {
+	if s.ID == "" {
+		return fmt.Errorf("missing id")
+	}
+	if s.Severity != "" && !validSeverity(s.Severity) {
+		return fmt.Errorf("%s: unknown severity %q", s.ID, s.Severity)
+	}
+	if s.Match == nil {
+		return fmt.Errorf("%s: missing match", s.ID)
+	}
+	nodes := 0
+	return validateMatch(s.ID, s.Match, 1, &nodes)
+}
+
+// validateMatch checks one match node and its subtree: exactly one field
+// set, depth and node-count budgets, compilable regexes, sane path
+// predicates. depth is 1-based; nodes accumulates across the signature.
+func validateMatch(id string, m *MatchNode, depth int, nodes *int) error {
+	if m == nil {
+		return fmt.Errorf("%s: null match node", id)
+	}
+	if depth > MaxMatchDepth {
+		return fmt.Errorf("%s: match tree deeper than %d", id, MaxMatchDepth)
+	}
+	*nodes++
+	if *nodes > MaxMatchNodes {
+		return fmt.Errorf("%s: more than %d match nodes", id, MaxMatchNodes)
+	}
+	set := 0
+	if len(m.All) > 0 {
+		set++
+	}
+	if len(m.Any) > 0 {
+		set++
+	}
+	if m.Not != nil {
+		set++
+	}
+	if m.Substring != "" {
+		set++
+	}
+	if m.Regex != "" {
+		set++
+	}
+	if m.Path != nil {
+		set++
+	}
+	if m.Ref != "" {
+		set++
+	}
+	if set == 0 {
+		return fmt.Errorf("%s: empty match node (set exactly one of all/any/not/substring/regex/path/ref)", id)
+	}
+	if set > 1 {
+		return fmt.Errorf("%s: match node sets %d fields, want exactly one", id, set)
+	}
+	switch {
+	case len(m.All) > 0:
+		for _, c := range m.All {
+			if err := validateMatch(id, c, depth+1, nodes); err != nil {
+				return err
+			}
+		}
+	case len(m.Any) > 0:
+		for _, c := range m.Any {
+			if err := validateMatch(id, c, depth+1, nodes); err != nil {
+				return err
+			}
+		}
+	case m.Not != nil:
+		return validateMatch(id, m.Not, depth+1, nodes)
+	case m.Regex != "":
+		if len(m.Regex) > MaxRegexLen {
+			return fmt.Errorf("%s: regex longer than %d bytes", id, MaxRegexLen)
+		}
+		if _, err := regexp.Compile(m.Regex); err != nil {
+			return fmt.Errorf("%s: bad regex: %w", id, err)
+		}
+	case m.Path != nil:
+		if m.Path.Source == "" && m.Path.Target == "" && m.Path.Node == "" {
+			return fmt.Errorf("%s: path predicate constrains nothing", id)
+		}
+		if m.Path.MinCount < 0 {
+			return fmt.Errorf("%s: negative min_count", id)
+		}
+	}
+	return nil
+}
+
+// Load reads every *.json file under dir (sorted by name, non-recursive),
+// parses and validates each, and compiles them into one immutable Set with
+// Gen 0 (Holder stamps live generations). A directory with no rule files is
+// an error — pointing the scanner at the wrong directory must not silently
+// disable rules.
+func Load(dir string) (*Set, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("rules: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("rules: no *.json rule files in %s", dir)
+	}
+	var files []*File
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("rules: %w", err)
+		}
+		f, err := Parse(n, data)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	set, err := Compile(files)
+	if err != nil {
+		return nil, err
+	}
+	set.files = len(files)
+	return set, nil
+}

@@ -1,0 +1,163 @@
+// Package rules implements the declarative detection layer that runs beside
+// the classifier: IOC allow-/deny-lists matched against string literals and
+// URL-shaped tokens, and YARA-style signatures (substring, regex, and
+// path-context predicates under all/any/not combinators) evaluated over the
+// raw and deobfuscated views of a script.
+//
+// A rule set is a directory of JSON files (docs/RULES.md is the authoring
+// guide). Load parses, validates, and compiles every file into one immutable
+// Set; Holder hot-reloads sets behind an atomic pointer with shadow
+// validation, mirroring the serving layer's model holder: a broken rule file
+// is rejected at load — or by the shadow pass when it is structurally valid
+// but operationally dangerous — and the previous set keeps taking traffic.
+//
+// The scan engine combines rule verdicts with the model under fixed
+// precedence: a deny hit forces malicious regardless of the model score, a
+// forcing (high/critical) signature hit does the same, an allow hit
+// short-circuits benign, and weaker signature hits only annotate the model's
+// verdict with provenance (Hit values surfaced as rule_hits).
+package rules
+
+// Version is the rule-file format version this parser understands. Files
+// must declare it explicitly so a format change can never be misread as an
+// empty or partial rule set.
+const Version = 1
+
+// Validation limits enforced at load time. A rule file that exceeds any of
+// them is rejected loudly rather than truncated: an operator must know when
+// a rule did not take effect.
+const (
+	// MaxFileBytes caps one rule file's size.
+	MaxFileBytes = 1 << 20
+	// MaxRules caps the total number of rules (lists plus signatures)
+	// across a whole set.
+	MaxRules = 4096
+	// MaxListEntries caps the combined entries (domains, IPs, TLDs,
+	// strings) of one list rule.
+	MaxListEntries = 4096
+	// MaxMatchDepth caps combinator nesting inside one signature.
+	MaxMatchDepth = 32
+	// MaxMatchNodes caps the total match nodes inside one signature.
+	MaxMatchNodes = 256
+	// MaxRegexLen caps one regex pattern's length.
+	MaxRegexLen = 1024
+)
+
+// Severities a rule may declare. High and critical signatures force the
+// malicious verdict (see Forcing); weaker severities only annotate the
+// model's verdict. A list rule's severity is provenance only: deny lists
+// always force, allow lists always short-circuit.
+const (
+	SeverityInfo     = "info"
+	SeverityLow      = "low"
+	SeverityMedium   = "medium"
+	SeverityHigh     = "high"
+	SeverityCritical = "critical"
+)
+
+// Forcing reports whether a signature of severity sev overrides the model
+// verdict (forces malicious) rather than merely annotating it.
+func Forcing(sev string) bool {
+	return sev == SeverityHigh || sev == SeverityCritical
+}
+
+// File is the on-disk shape of one rule file: a format version plus any mix
+// of allow lists, deny lists, and signatures. Unknown JSON fields are
+// rejected so a typo ("signature" for "signatures") cannot silently drop
+// rules.
+type File struct {
+	// Version must equal Version.
+	Version int `json:"version"`
+	// Allow lists short-circuit the verdict to benign when they match
+	// (unless a deny or forcing signature also matched).
+	Allow []ListRule `json:"allow,omitempty"`
+	// Deny lists force the verdict to malicious regardless of the model
+	// score. They are evaluated on every scan, before triage, so a
+	// deny-listed IOC can never be cleared by the lexical pre-filter.
+	Deny []ListRule `json:"deny,omitempty"`
+	// Signatures are match trees over the raw and deobfuscated source and
+	// over extracted path contexts. They run in the full pipeline, after
+	// deobfuscation.
+	Signatures []Signature `json:"signatures,omitempty"`
+}
+
+// ListRule is one IOC list: a set of indicators that, when any one is found
+// in a script, records a hit for the rule. Whether the hit allows or denies
+// depends on which section of the file the rule sits in.
+type ListRule struct {
+	// ID names the rule in hits, metrics, and audit records. IDs are
+	// unique across the whole set (all files, lists and signatures).
+	ID string `json:"id"`
+	// Description is shown to operators; it never affects matching.
+	Description string `json:"description,omitempty"`
+	// Severity is provenance carried on hits (defaults to "high" for deny
+	// rules and "info" for allow rules).
+	Severity string `json:"severity,omitempty"`
+	// Domains match a host token equal to the entry or any subdomain of
+	// it, case-insensitively: "evil.com" matches "evil.com" and
+	// "cdn.evil.com" but not "notevil.com".
+	Domains []string `json:"domains,omitempty"`
+	// IPs match IPv4-shaped tokens exactly.
+	IPs []string `json:"ips,omitempty"`
+	// TLDs match any host token whose final label equals the entry
+	// (with or without the leading dot: "xyz" and ".xyz" are the same).
+	TLDs []string `json:"tlds,omitempty"`
+	// Strings match as case-sensitive literal substrings of the raw or
+	// deobfuscated source text.
+	Strings []string `json:"strings,omitempty"`
+}
+
+// Signature is one YARA-style rule: an ID, a severity that decides whether
+// a match forces the verdict or only annotates it, and a match tree.
+type Signature struct {
+	// ID names the rule in hits, metrics, and audit records.
+	ID string `json:"id"`
+	// Description is shown to operators; it never affects matching.
+	Description string `json:"description,omitempty"`
+	// Severity defaults to "medium". "high" and "critical" force the
+	// malicious verdict on a match; the rest annotate.
+	Severity string `json:"severity,omitempty"`
+	// Match is the root of the signature's match tree. Required.
+	Match *MatchNode `json:"match"`
+}
+
+// MatchNode is one node of a signature's match tree. Exactly one field must
+// be set: either a combinator (all, any, not), a leaf predicate (substring,
+// regex, path), or a reference to another signature's tree (ref). Reference
+// cycles are rejected at load.
+type MatchNode struct {
+	// All matches when every child matches (logical AND). Must be
+	// non-empty when set.
+	All []*MatchNode `json:"all,omitempty"`
+	// Any matches when at least one child matches (logical OR). Must be
+	// non-empty when set.
+	Any []*MatchNode `json:"any,omitempty"`
+	// Not inverts its child.
+	Not *MatchNode `json:"not,omitempty"`
+	// Substring matches when the text (raw or deobfuscated source)
+	// contains the literal, case-sensitively.
+	Substring string `json:"substring,omitempty"`
+	// Regex matches when the Go regexp matches the text. Patterns are
+	// compiled at load; an invalid pattern rejects the file.
+	Regex string `json:"regex,omitempty"`
+	// Path matches against extracted path contexts (see PathPred).
+	Path *PathPred `json:"path,omitempty"`
+	// Ref reuses another signature's match tree by ID, so shared
+	// sub-patterns are written once.
+	Ref string `json:"ref,omitempty"`
+}
+
+// PathPred matches against the path contexts extracted from the
+// deobfuscated AST — the same source,node-sequence,target triples the
+// classifier embeds. Empty fields match anything; set fields must all hold
+// for a path to count.
+type PathPred struct {
+	// Source constrains the path's source leaf value exactly.
+	Source string `json:"source,omitempty"`
+	// Target constrains the path's target leaf value exactly.
+	Target string `json:"target,omitempty"`
+	// Node requires the named AST node type to appear along the path.
+	Node string `json:"node,omitempty"`
+	// MinCount is the minimum number of matching paths (default 1).
+	MinCount int `json:"min_count,omitempty"`
+}

@@ -20,6 +20,7 @@ import (
 
 	"jsrevealer/internal/js/parser"
 	"jsrevealer/internal/obs"
+	"jsrevealer/internal/rules"
 )
 
 // BatchClassifier is optionally implemented by classifiers that split
@@ -93,6 +94,17 @@ func (e *Engine) prepareSource(ctx context.Context, ins *instruments, bc BatchCl
 		// normalized source, everything else answers for the original bytes.
 		csrc, res.DeobPasses = e.normalizeSource(pctx, src)
 		prov.deobPasses = res.DeobPasses
+	}
+	if prov.rset != nil {
+		// Full rules pass, identical to the per-script path: a forcing or
+		// allow hit finalizes the script here and it never joins the batch.
+		rv := e.evalRules(pctx, prov.rset, name, src, csrc)
+		res.RuleHits = rv.Hits
+		if rv.Action != rules.ActionNone {
+			cancel()
+			res, prov = e.finishRules(fctx, res, prov, key, rv.Action == rules.ActionMalicious)
+			return res, prov, nil
+		}
 	}
 	prepared, err := e.prepare(pctx, bc, csrc)
 	cancel()
@@ -206,7 +218,7 @@ func (e *Engine) runBatch(ctx context.Context, ins *instruments, bc BatchClassif
 			}
 			res.Duration = p.prepDur + batchDur
 			ins.observe(res)
-			e.auditResult(p.sctx, res, prov)
+			e.recordResult(p.sctx, res, prov)
 			results[p.idx] = res
 			done[p.idx] = true
 			if emit != nil {
@@ -219,7 +231,7 @@ func (e *Engine) runBatch(ctx context.Context, ins *instruments, bc BatchClassif
 		res, prov := e.scanSource(p.sctx, ins, p.res.Path, p.src)
 		res.Duration = p.prepDur + time.Since(fstart)
 		ins.observe(res)
-		e.auditResult(p.sctx, res, prov)
+		e.recordResult(p.sctx, res, prov)
 		results[p.idx] = res
 		done[p.idx] = true
 		if emit != nil {
@@ -263,7 +275,7 @@ func (e *Engine) scanSourcesBatched(ctx context.Context, bc BatchClassifier, src
 				if pend == nil {
 					res.Duration = time.Since(fstart)
 					ins.observe(res)
-					e.auditResult(sctx, res, prov)
+					e.recordResult(sctx, res, prov)
 					results[i] = res
 					done[i] = true
 					if emit != nil {
@@ -341,7 +353,7 @@ func (e *Engine) scanFilesBatched(ctx context.Context, bc BatchClassifier, paths
 				if pend == nil {
 					res.Duration = time.Since(fstart)
 					ins.observe(res)
-					e.auditResult(sctx, res, prov)
+					e.recordResult(sctx, res, prov)
 					results[i] = res
 					done[i] = true
 					continue

@@ -11,6 +11,8 @@ package scan
 import (
 	"container/list"
 	"sync"
+
+	"jsrevealer/internal/rules"
 )
 
 // DefaultCacheSize bounds the verdict cache when Config.CacheSize is 0.
@@ -25,19 +27,27 @@ const DefaultCacheSize = 4096
 // detector, not a statistical nicety.
 
 // cacheEntry is one cached clean verdict. tier records which tier produced
-// it (TierTriage or TierPipeline): a triage-tier entry is a weaker claim
-// than a full-pipeline one, and the engine refuses to serve it when its own
-// triage is disabled — a cached triage clear must never alias a full
-// verdict (see Engine.scanSourceFront). deob records whether the pipeline
-// classified deobfuscation-normalized source; a pipeline entry is only
-// served to scans running under the same setting, since the two pipelines
-// can legitimately disagree about the same bytes.
+// it (TierTriage, TierPipeline, or TierRules): a triage-tier entry is a
+// weaker claim than a full-pipeline one, and the engine refuses to serve it
+// when its own triage is disabled — a cached triage clear must never alias a
+// full verdict (see Engine.scanSourceFront). deob records whether the
+// pipeline classified deobfuscation-normalized source; a pipeline entry is
+// only served to scans running under the same setting, since the two
+// pipelines can legitimately disagree about the same bytes. rulesGen is the
+// rule-set generation the verdict was computed under (0 with rules
+// disabled): after a rule reload every entry from the previous generation
+// goes stale, because the new set could flip any verdict — including cached
+// triage clears, which the pre-triage deny stage would otherwise never
+// re-examine. ruleHits replays rule provenance on a hit, so a cache-served
+// verdict explains itself exactly like the scan that produced it.
 type cacheEntry struct {
 	key       cacheKey
 	verdict   Verdict
 	malicious bool
 	tier      string
 	deob      bool
+	rulesGen  uint64
+	ruleHits  []rules.Hit
 }
 
 // verdictCache is a bounded, concurrency-safe LRU of clean verdicts.
@@ -72,20 +82,22 @@ func (c *verdictCache) get(key cacheKey) (cacheEntry, bool) {
 // full. Concurrent scans of identical content may race to put the same key;
 // the second write wins, which is harmless because both computed the same
 // deterministic verdict.
-func (c *verdictCache) put(key cacheKey, verdict Verdict, malicious bool, tier string, deob bool) {
+func (c *verdictCache) put(key cacheKey, verdict Verdict, malicious bool, tier string, deob bool, rulesGen uint64, hits []rules.Hit) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		// A full-pipeline verdict never downgrades to a triage one: the
-		// stronger claim stays.
-		if !(ent.tier == TierPipeline && tier == TierTriage) {
+		// A full-pipeline or rules verdict never downgrades to a triage
+		// one: the stronger claim stays — unless the stronger entry is from
+		// a stale rule generation, in which case the fresh claim wins.
+		if !(ent.tier != TierTriage && tier == TierTriage && ent.rulesGen == rulesGen) {
 			ent.verdict, ent.malicious, ent.tier, ent.deob = verdict, malicious, tier, deob
+			ent.rulesGen, ent.ruleHits = rulesGen, hits
 		}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, verdict: verdict, malicious: malicious, tier: tier, deob: deob})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, verdict: verdict, malicious: malicious, tier: tier, deob: deob, rulesGen: rulesGen, ruleHits: hits})
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)

@@ -21,13 +21,13 @@ func TestVerdictCacheLRU(t *testing.T) {
 		return key
 	}
 
-	c.put(k(1), VerdictBenign, false, TierPipeline, false)
-	c.put(k(2), VerdictMalicious, true, TierPipeline, false)
+	c.put(k(1), VerdictBenign, false, TierPipeline, false, 0, nil)
+	c.put(k(2), VerdictMalicious, true, TierPipeline, false, 0, nil)
 	if _, ok := c.get(k(1)); !ok {
 		t.Fatal("k1 missing before capacity exceeded")
 	}
 	// k1 was just refreshed, so inserting k3 must evict k2.
-	c.put(k(3), VerdictBenign, false, TierPipeline, false)
+	c.put(k(3), VerdictBenign, false, TierPipeline, false, 0, nil)
 	if _, ok := c.get(k(2)); ok {
 		t.Fatal("k2 survived eviction despite being least recently used")
 	}
@@ -38,7 +38,7 @@ func TestVerdictCacheLRU(t *testing.T) {
 		t.Fatalf("k3 = (%v, %v, %v), want (benign, false, true)", ent.verdict, ent.malicious, ok)
 	}
 	// Duplicate put updates in place without growing.
-	c.put(k(3), VerdictMalicious, true, TierPipeline, true)
+	c.put(k(3), VerdictMalicious, true, TierPipeline, true, 0, nil)
 	if ent, ok := c.get(k(3)); !ok || ent.verdict != VerdictMalicious || !ent.malicious || !ent.deob {
 		t.Fatalf("k3 after update = (%v, %v, %v, deob=%v), want (malicious, true, true, true)",
 			ent.verdict, ent.malicious, ok, ent.deob)

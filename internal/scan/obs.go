@@ -1,8 +1,10 @@
 package scan
 
 import (
+	"jsrevealer/internal/alert"
 	"jsrevealer/internal/deobfuscate"
 	"jsrevealer/internal/obs"
+	"jsrevealer/internal/rules"
 )
 
 // Metric families emitted by the engine. They land in the registry carried
@@ -31,9 +33,9 @@ const (
 	// verdict cache had no entry (or is disabled).
 	CacheMissesMetric = "jsrevealer_cache_misses_total"
 	// TierMetric counts finished files by the tier that produced the
-	// verdict (triage|pipeline|cache|fallback|none). The triage:pipeline
-	// ratio is the clear rate — how much of the corpus the cheap tier
-	// absorbed.
+	// verdict (triage|rules|pipeline|cache|fallback|none). The
+	// triage:pipeline ratio is the clear rate — how much of the corpus the
+	// cheap tier absorbed.
 	TierMetric = "jsrevealer_scan_tier_total"
 	// TierDurationMetric is the per-file wall-time histogram split by tier,
 	// making the cost asymmetry between triage clears (microseconds) and
@@ -54,7 +56,7 @@ var verdictLabels = [...]string{
 var errorReasons = []string{"parse", "timeout", "too_large", "depth_limit", "internal"}
 
 // tierLabels is the closed set of Result.Tier values (see tier.go).
-var tierLabels = []string{TierTriage, TierPipeline, TierCache, TierFallback, TierNone}
+var tierLabels = []string{TierTriage, TierRules, TierPipeline, TierCache, TierFallback, TierNone}
 
 // RegisterMetrics pre-creates every scan metric series in reg (all verdict
 // and reason label values, zero-valued), so an exposition endpoint shows
@@ -62,6 +64,8 @@ var tierLabels = []string{TierTriage, TierPipeline, TierCache, TierFallback, Tie
 func RegisterMetrics(reg *obs.Registry) {
 	newInstruments(reg)
 	deobfuscate.RegisterMetrics(reg)
+	rules.RegisterMetrics(reg)
+	alert.RegisterMetrics(reg)
 }
 
 // instruments caches the engine's metric series for one scan so the per-

@@ -1,0 +1,153 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/corpus"
+	"jsrevealer/internal/obfuscate"
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/rules"
+)
+
+// efficacyRules is the rule set behind the EXPERIMENTS.md "Rule efficacy"
+// table: one deny-listed IOC (the loopback exfil endpoint every synthetic
+// malicious sample reports to) and two signatures over the decoder idiom
+// (fromCharCode assembly feeding unescape/eval). The deny rule is the
+// threat-intel case — exact indicator, forced verdict; the signatures are
+// the behavioral case, where obfuscation can both hide the pattern (encode
+// the literal) and fake it (obfuscator-introduced decoders in benign code).
+const efficacyRules = `{
+  "version": 1,
+  "deny": [
+    {"id": "exfil-ip", "severity": "critical", "ips": ["127.0.0.1"],
+     "description": "exfil endpoint used by the synthetic malicious corpus"}
+  ],
+  "signatures": [
+    {"id": "charcode-decoder", "severity": "medium",
+     "description": "fromCharCode assembly feeding a dynamic-code sink",
+     "match": {"all": [
+       {"substring": "String.fromCharCode"},
+       {"any": [{"substring": "unescape("}, {"regex": "eval\\s*\\("}]}
+     ]}},
+    {"id": "shellcode-block", "severity": "high",
+     "description": "unescape of %u-encoded shellcode blocks",
+     "match": {"regex": "unescape\\(\"(%u[0-9a-fA-F]{4}){2,}"}}
+  ]
+}`
+
+// efficacySet compiles efficacyRules into a generation-1 provider.
+func efficacySet(t testing.TB) rules.Provider {
+	t.Helper()
+	f, err := rules.Parse("efficacy.json", []byte(efficacyRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := rules.Compile([]*rules.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Gen = 1
+	return rules.StaticProvider{Set: set}
+}
+
+// TestRuleEfficacy measures what the rules layer adds on top of the model
+// across the four evaluation obfuscators, with deobfuscation off and on —
+// the run behind the EXPERIMENTS.md "Rule efficacy" table. Per obfuscator
+// and mode it scans the obfuscated 40+40 corpus through a model-only engine
+// and a model+rules engine and reports detected counts, false positives,
+// and per-rule hit counts.
+//
+// The assertions pin the structural facts, not the exact counts: with no
+// allow rules in the set, the combined engine can only add malicious
+// verdicts (detected_combined >= detected_model for every cell), and the
+// deny-listed IOC must gain hits from deobfuscation on at least one
+// obfuscator (encodings hide the literal; normalization restores it).
+func TestRuleEfficacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two detectors and scans 4 obfuscated corpora x 4 engines")
+	}
+	rawDet, _ := trainedDetector(t)
+	normDet := normalizedDetector(t)
+	samples := corpus.Generate(corpus.Config{Benign: 40, Malicious: 40, Seed: 77})
+	ctx := obs.WithRegistry(context.Background(), obs.NewRegistry())
+	prov := efficacySet(t)
+
+	// Four engines: {deob off, deob on} x {model-only, model+rules}. The
+	// deob-on engines pair with the deob-trained detector, exactly like
+	// TestDeobfuscationLift.
+	modelOff := New(rawDet, Config{CacheSize: -1})
+	comboOff := New(rawDet, Config{CacheSize: -1, Rules: prov})
+	modelOn := New(normDet, Config{CacheSize: -1, Deobfuscate: deobOnCfg()})
+	comboOn := New(normDet, Config{CacheSize: -1, Deobfuscate: deobOnCfg(), Rules: prov})
+
+	ruleIDs := []string{"exfil-ip", "charcode-decoder", "shellcode-block"}
+	reg := obfuscate.Registry(7)
+	var table strings.Builder
+	table.WriteString("| Obfuscator | deob | detected model | detected +rules | FP model | FP +rules | exfil-ip | charcode-decoder | shellcode-block |\n")
+	table.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	denyLift := false
+	for _, name := range obfuscate.PaperOrder() {
+		obf := reg[name]
+		denyHits := map[string]int{} // per deob mode, exfil-ip hit count
+		for _, mode := range []struct {
+			label        string
+			model, combo *Engine
+		}{
+			{"off", modelOff, comboOff},
+			{"on", modelOn, comboOn},
+		} {
+			var mal, ben, hitModel, hitCombo, fpModel, fpCombo int
+			hits := map[string]int{}
+			for i, s := range samples {
+				osrc, err := obf.Obfuscate(s.Source)
+				if err != nil {
+					t.Fatalf("%s: obfuscate sample %d: %v", name, i, err)
+				}
+				id := fmt.Sprintf("%s-%s-%d.js", name, mode.label, i)
+				rm := mode.model.ScanSource(ctx, id, osrc)
+				rc := mode.combo.ScanSource(ctx, id, osrc)
+				for _, h := range rc.RuleHits {
+					hits[h.Rule]++
+				}
+				if s.Malicious {
+					mal++
+					if rm.Malicious {
+						hitModel++
+					}
+					if rc.Malicious {
+						hitCombo++
+					}
+				} else {
+					ben++
+					if rm.Malicious {
+						fpModel++
+					}
+					if rc.Malicious {
+						fpCombo++
+					}
+				}
+			}
+			if hitCombo < hitModel {
+				t.Errorf("%s deob=%s: rules lost detections (%d -> %d) with no allow rules in the set",
+					name, mode.label, hitModel, hitCombo)
+			}
+			denyHits[mode.label] = hits["exfil-ip"]
+			fmt.Fprintf(&table, "| %s | %s | %d/%d | %d/%d | %d/%d | %d/%d |",
+				name, mode.label, hitModel, mal, hitCombo, mal, fpModel, ben, fpCombo, ben)
+			for _, id := range ruleIDs {
+				fmt.Fprintf(&table, " %d |", hits[id])
+			}
+			table.WriteByte('\n')
+		}
+		if denyHits["on"] > denyHits["off"] {
+			denyLift = true
+		}
+	}
+	t.Logf("rule efficacy, model-only vs model+rules per obfuscator and deob mode (seed 77):\n%s", table.String())
+	if !denyLift {
+		t.Errorf("deobfuscation never increased exfil-ip deny hits on any obfuscator: normalization is not feeding the IOC matcher")
+	}
+}

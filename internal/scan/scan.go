@@ -33,11 +33,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jsrevealer/internal/alert"
 	"jsrevealer/internal/audit"
 	"jsrevealer/internal/baselines"
 	"jsrevealer/internal/deobfuscate"
 	"jsrevealer/internal/js/parser"
 	"jsrevealer/internal/obs"
+	"jsrevealer/internal/rules"
 	"jsrevealer/internal/triage"
 )
 
@@ -132,6 +134,20 @@ type Config struct {
 	// for the original bytes as submitted. Per-request override:
 	// WithDeobfuscate.
 	Deobfuscate deobfuscate.Config
+	// Rules supplies the declarative rules layer (internal/rules): IOC
+	// allow/deny lists and signatures evaluated alongside the model. nil —
+	// or a provider whose Current() is nil — disables it, leaving every
+	// verdict bit-identical to a rules-free engine. The engine reads
+	// Current() once per scan, so hot reloads never mix generations within
+	// one file. Precedence over the model: a deny hit or forcing signature
+	// forces malicious regardless of score; an allow hit short-circuits
+	// benign; anything else annotates the model's verdict (see
+	// docs/RULES.md).
+	Rules rules.Provider
+	// Alert, when non-nil, receives one webhook alert per alert-worthy rule
+	// verdict (deny hits and forcing signatures — rules.ShouldAlert).
+	// Publishing never blocks the scan path; nil disables alerting.
+	Alert alert.Publisher
 }
 
 func (c Config) withDefaults() Config {
@@ -219,6 +235,13 @@ type Result struct {
 	// Tier. Empty when the stage is disabled, the verdict came from another
 	// tier, or no pass found anything to undo.
 	DeobPasses []string
+	// RuleHits lists the rule matches behind the verdict, most decisive
+	// first (deny, then signatures, then allow) — rule provenance, the
+	// third leg alongside Tier and DeobPasses. When Tier is TierRules the
+	// leading hit decided the verdict; otherwise the hits are annotations
+	// riding on the model's answer. Empty when rules are disabled or
+	// nothing matched.
+	RuleHits []rules.Hit
 }
 
 // Stats aggregates one engine run.
@@ -239,6 +262,9 @@ type Stats struct {
 	// classification — at least one pass fired (always 0 when the stage is
 	// disabled).
 	Deobfuscated int
+	// RuleMatched counts files with at least one rule hit — forcing or
+	// annotating (always 0 when rules are disabled).
+	RuleMatched int
 	// Per-error-taxonomy counts over degraded and failed files, derived
 	// from Result.Err (see Reason). Their sum equals Degraded+Failed.
 	ParseErrors int
@@ -423,7 +449,7 @@ func (e *Engine) ScanSources(ctx context.Context, srcs []Source, emit func(Resul
 				sp.End()
 				res.Duration = time.Since(fstart)
 				ins.observe(res)
-				e.auditResult(sctx, res, prov)
+				e.recordResult(sctx, res, prov)
 				results[i] = res
 				done[i] = true
 				if emit != nil {
@@ -463,7 +489,7 @@ func (e *Engine) ScanSource(ctx context.Context, name, src string) Result {
 	sp.End()
 	res.Duration = time.Since(start)
 	ins.observe(res)
-	e.auditResult(sctx, res, prov)
+	e.recordResult(sctx, res, prov)
 	return res
 }
 
@@ -480,7 +506,7 @@ func (e *Engine) scanFile(ctx context.Context, ins *instruments, path string) Re
 		res, prov = e.scanSource(ctx, ins, path, src)
 	}
 	res.Duration = time.Since(start)
-	e.auditResult(ctx, res, prov)
+	e.recordResult(ctx, res, prov)
 	return res
 }
 
@@ -551,6 +577,20 @@ func (e *Engine) scanSource(ctx context.Context, ins *instruments, name, src str
 		csrc, res.DeobPasses = e.normalizeSource(fctx, src)
 		prov.deobPasses = res.DeobPasses
 	}
+	if prov.rset != nil {
+		// Full rules pass, post-deobfuscation: signatures and lists see the
+		// raw bytes, the normalized source, and (when a rule needs it) the
+		// AST. A forcing hit or allow-list clear answers here without ever
+		// running the model; annotation hits ride along on its verdict.
+		rv := e.evalRules(fctx, prov.rset, name, src, csrc)
+		res.RuleHits = rv.Hits
+		switch rv.Action {
+		case rules.ActionMalicious:
+			return e.finishRules(ctx, res, prov, key, true)
+		case rules.ActionBenign:
+			return e.finishRules(ctx, res, prov, key, false)
+		}
+	}
 	malicious, err := e.classify(fctx, csrc)
 	return e.finishScan(ctx, res, prov, key, src, malicious, err)
 }
@@ -571,20 +611,24 @@ const (
 )
 
 // scanSourceFront runs everything that comes before the full pipeline: the
-// size guard, the verdict cache, batch deduplication, and the triage tier.
-// The returned context carries the stage-timing collector when auditing and
-// must be used for the pipeline.
+// size guard, the verdict cache, batch deduplication, the pre-triage
+// deny-list stage, and the triage tier. The returned context carries the
+// stage-timing collector when auditing and must be used for the pipeline.
 func (e *Engine) scanSourceFront(ctx context.Context, ins *instruments, dedup *batchDedup, name, src string) (context.Context, Result, provenance, cacheKey, frontState) {
 	res := Result{Path: name, Bytes: int64(len(src))}
 	var prov provenance
 	var key cacheKey
 	auditing := e.cfg.Audit != nil
+	alerting := e.cfg.Alert != nil
 	if auditing {
 		prov.cache = "off"
 		prov.stages = obs.NewStageTimings()
 		ctx = obs.WithStageTimings(ctx, prov.stages)
 	}
 	if int64(len(src)) > e.cfg.MaxBytes {
+		// Oversized inputs never reach the rules layer: the pipeline only
+		// ever sees a prefix, and a deny verdict must answer for the whole
+		// input or not at all.
 		cause := fmt.Errorf("%w: input is %d bytes (limit %d)",
 			ErrTooLarge, len(src), e.cfg.MaxBytes)
 		res.Verdict, res.Malicious, res.Err = e.degrade(ctx, src[:e.cfg.MaxBytes], cause)
@@ -597,9 +641,14 @@ func (e *Engine) scanSourceFront(ctx context.Context, ins *instruments, dedup *b
 		}
 		return ctx, res, prov, key, frontDone
 	}
-	if e.cache != nil || auditing {
+	// The rule set is read once per scan and pinned in the provenance: a hot
+	// reload mid-scan must never mix generations within one file. Generation
+	// 0 means rules are disabled.
+	prov.rset = e.currentRules()
+	gen := prov.rset.Generation()
+	if e.cache != nil || auditing || alerting {
 		key = contentKey(src)
-		if auditing {
+		if auditing || alerting {
 			prov.sha = hexKey(key)
 		}
 	}
@@ -611,15 +660,22 @@ func (e *Engine) scanSourceFront(ctx context.Context, ins *instruments, dedup *b
 			// only answers for the deobfuscation setting it ran under —
 			// serving a raw-source verdict to a deobfuscating scan (or the
 			// reverse) would alias two different pipelines. Triage entries
-			// are deob-agnostic: triage always scores the raw bytes.
+			// are deob-agnostic: triage always scores the raw bytes. And
+			// every entry answers only for the rule generation it was
+			// computed under: after a reload the whole cache goes stale,
+			// because the new rules could flip any verdict.
 			servable := ent.tier != TierTriage || e.triage != nil
 			if ent.tier != TierTriage && ent.deob != e.deobOn(ctx) {
+				servable = false
+			}
+			if ent.rulesGen != gen {
 				servable = false
 			}
 			if servable {
 				ins.cacheHit.Inc()
 				res.Verdict, res.Malicious = ent.verdict, ent.malicious
 				res.Tier = TierCache
+				res.RuleHits = ent.ruleHits
 				if auditing {
 					prov.cache, prov.tier, prov.cacheTier = "hit", TierCache, ent.tier
 				}
@@ -638,6 +694,25 @@ func (e *Engine) scanSourceFront(ctx context.Context, ins *instruments, dedup *b
 			prov.cache = "miss"
 		}
 	}
+	if prov.rset != nil {
+		// Pre-triage deny stage: deny-list IOCs match on the raw bytes, so a
+		// deny-listed indicator convicts before triage can clear the script
+		// — a deny verdict must not depend on the lexical score. Signatures
+		// wait for the full rules pass after deobfuscation (scanSource),
+		// where they see the normalized source and the AST.
+		if rv := prov.rset.EvalText(ctx, src); rv.Action == rules.ActionMalicious {
+			res.Verdict, res.Malicious = VerdictMalicious, true
+			res.Tier = TierRules
+			res.RuleHits = rv.Hits
+			if e.cache != nil {
+				e.cache.put(key, res.Verdict, res.Malicious, TierRules, e.deobOn(ctx), gen, rv.Hits)
+			}
+			if auditing {
+				prov.tier = TierRules
+			}
+			return ctx, res, prov, key, frontDone
+		}
+	}
 	if e.triage != nil && e.triage.Clear(src) {
 		// The lexical pre-filter found nothing suspicious: short-circuit to
 		// benign without parsing. Triage never flags — everything it cannot
@@ -645,7 +720,7 @@ func (e *Engine) scanSourceFront(ctx context.Context, ins *instruments, dedup *b
 		res.Verdict, res.Malicious = VerdictBenign, false
 		res.Tier = TierTriage
 		if e.cache != nil {
-			e.cache.put(key, res.Verdict, res.Malicious, TierTriage, false)
+			e.cache.put(key, res.Verdict, res.Malicious, TierTriage, false, gen, nil)
 		}
 		if auditing {
 			prov.tier = TierTriage
@@ -668,7 +743,7 @@ func (e *Engine) finishScan(ctx context.Context, res Result, prov provenance, ke
 		}
 		res.Tier = TierPipeline
 		if e.cache != nil {
-			e.cache.put(key, res.Verdict, res.Malicious, TierPipeline, e.deobOn(ctx))
+			e.cache.put(key, res.Verdict, res.Malicious, TierPipeline, e.deobOn(ctx), prov.rset.Generation(), res.RuleHits)
 		}
 		if auditing {
 			prov.tier = TierPipeline
@@ -771,6 +846,9 @@ func summarize(results []Result, wall time.Duration) Stats {
 		}
 		if len(r.DeobPasses) > 0 {
 			s.Deobfuscated++
+		}
+		if len(r.RuleHits) > 0 {
+			s.RuleMatched++
 		}
 		if r.Malicious && r.Verdict != VerdictFailed {
 			s.Flagged++

@@ -17,6 +17,11 @@ const (
 	// cached entry remembers its own producing tier (see cacheEntry.tier
 	// and audit.Record.CacheTier).
 	TierCache = "cache"
+	// TierRules: the declarative rules layer decided — a deny-list hit or
+	// a forcing signature forced malicious, or an allow-list hit
+	// short-circuited benign — and the model never ran (or its score was
+	// overridden). Result.RuleHits names the rules.
+	TierRules = "rules"
 	// TierFallback: the pipeline could not finish and the heuristic
 	// fallback answered (Verdict is degraded).
 	TierFallback = "fallback"

@@ -153,7 +153,7 @@ func TestCachedTriageVerdictNotAliased(t *testing.T) {
 	// if written before a config change): it must ignore it and run the
 	// pipeline, then overwrite the entry with the stronger claim.
 	plain := New(counting, Config{Workers: 1})
-	plain.cache.put(key, VerdictBenign, false, TierTriage, false)
+	plain.cache.put(key, VerdictBenign, false, TierTriage, false, 0, nil)
 	res := plain.ScanSource(ctx, "a.js", src)
 	if got := atomic.LoadInt64(&pipelineRuns); got != 1 {
 		t.Fatalf("pipeline ran %d times, want 1 (triage entry must not be served)", got)
@@ -168,15 +168,15 @@ func TestCachedTriageVerdictNotAliased(t *testing.T) {
 	// The reverse direction: a triage-enabled engine serves both its own
 	// triage entries and full-pipeline entries.
 	tiered := New(counting, Config{Workers: 1, Triage: triageOn()})
-	tiered.cache.put(key, VerdictBenign, false, TierTriage, false)
+	tiered.cache.put(key, VerdictBenign, false, TierTriage, false, 0, nil)
 	res = tiered.ScanSource(ctx, "b.js", src)
 	if res.Tier != TierCache {
 		t.Errorf("tier = %q, want %q (triage entry is servable here)", res.Tier, TierCache)
 	}
 
 	// And a pipeline entry never downgrades to triage on re-put.
-	tiered.cache.put(key, VerdictBenign, false, TierPipeline, false)
-	tiered.cache.put(key, VerdictBenign, false, TierTriage, false)
+	tiered.cache.put(key, VerdictBenign, false, TierPipeline, false, 0, nil)
+	tiered.cache.put(key, VerdictBenign, false, TierTriage, false, 0, nil)
 	if ent, _ := tiered.cache.get(key); ent.tier != TierPipeline {
 		t.Errorf("entry tier = %q after triage re-put, want pipeline kept", ent.tier)
 	}

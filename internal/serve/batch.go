@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 
+	"jsrevealer/internal/rules"
 	"jsrevealer/internal/scan"
 )
 
@@ -22,15 +23,16 @@ type record struct {
 // verdictLine is one streamed NDJSON result line, and the per-script result
 // representation stored by async jobs.
 type verdictLine struct {
-	Name       string   `json:"name"`
-	Verdict    string   `json:"verdict"`
-	Malicious  bool     `json:"malicious"`
-	Tier       string   `json:"tier,omitempty"`
-	DeobPasses []string `json:"deob_passes,omitempty"`
-	Reason     string   `json:"reason,omitempty"`
-	Error      string   `json:"error,omitempty"`
-	Bytes      int64    `json:"bytes"`
-	DurationMS float64  `json:"duration_ms"`
+	Name       string      `json:"name"`
+	Verdict    string      `json:"verdict"`
+	Malicious  bool        `json:"malicious"`
+	Tier       string      `json:"tier,omitempty"`
+	DeobPasses []string    `json:"deob_passes,omitempty"`
+	RuleHits   []rules.Hit `json:"rule_hits,omitempty"`
+	Reason     string      `json:"reason,omitempty"`
+	Error      string      `json:"error,omitempty"`
+	Bytes      int64       `json:"bytes"`
+	DurationMS float64     `json:"duration_ms"`
 }
 
 // toLine renders a scan result as its NDJSON line.
@@ -41,6 +43,7 @@ func toLine(r scan.Result) verdictLine {
 		Malicious:  r.Malicious,
 		Tier:       r.Tier,
 		DeobPasses: r.DeobPasses,
+		RuleHits:   r.RuleHits,
 		Bytes:      r.Bytes,
 		DurationMS: float64(r.Duration.Microseconds()) / 1000,
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"jsrevealer/internal/core"
+	"jsrevealer/internal/rules"
 	"jsrevealer/internal/scan"
 )
 
@@ -45,13 +46,16 @@ type model struct {
 }
 
 // Version is the /version payload: which model is taking traffic and how it
-// got there.
+// got there, plus the live rule set when the rules layer is enabled.
 type Version struct {
 	ModelLoaded bool      `json:"model_loaded"`
 	ModelPath   string    `json:"model_path,omitempty"`
 	SHA256      string    `json:"sha256,omitempty"`
 	LoadedAt    time.Time `json:"loaded_at,omitempty"`
 	Reloads     int64     `json:"reloads"`
+	// Rules describes the live rule-set generation; absent when the rules
+	// layer is disabled.
+	Rules *rules.Info `json:"rules,omitempty"`
 }
 
 // holder owns the live model generation behind an atomic pointer, so reads

